@@ -1,0 +1,181 @@
+// Package ap1000plus is a library reproduction of the Fujitsu AP1000+
+// ("AP1000+: Architectural Support of PUT/GET Interface for
+// Parallelizing Compiler", ASPLOS VI, 1994): a functional simulator
+// of the machine's communication architecture — hardware PUT/GET
+// with flag updates combined with data transfer, one-dimensional
+// stride DMA, communication registers with present bits, ring-buffer
+// SEND/RECEIVE, distributed shared memory — plus the trace-driven
+// message level simulator (MLSim) used for the paper's evaluation.
+//
+// # Quick start
+//
+//	m, _ := ap1000plus.NewMachine(ap1000plus.Config{Width: 2, Height: 2})
+//	segs := make([]*ap1000plus.Segment, m.Cells())
+//	for id := 0; id < m.Cells(); id++ {
+//		segs[id], _, _ = m.Cell(ap1000plus.CellID(id)).AllocFloat64("buf", 128)
+//	}
+//	m.Run(func(c *ap1000plus.Cell) error {
+//		comm := ap1000plus.NewComm(c)
+//		if c.ID() == 0 {
+//			// put(node_id, raddr, laddr, size, send_flag, recv_flag, ack)
+//			return comm.Put(1, segs[1].Base(), segs[0].Base(), 64, 0, 0, true)
+//		}
+//		return nil
+//	})
+//
+// The architecture lives in internal packages, re-exported here:
+//
+//   - machine: cells, MSC+ queues, MC flags/MMU/registers, networks
+//   - core: the paper's put/get/put_stride/get_stride interface
+//   - vpp: the VPP-Fortran-style run-time system (global arrays,
+//     SPREAD MOVE, OVERLAP FIX)
+//   - sendrecv, barrier, dsm: SEND/RECEIVE, collectives, shared memory
+//   - trace, params, mlsim: the evaluation toolchain
+package ap1000plus
+
+import (
+	"ap1000plus/internal/barrier"
+	"ap1000plus/internal/core"
+	"ap1000plus/internal/dsm"
+	"ap1000plus/internal/machine"
+	"ap1000plus/internal/mc"
+	"ap1000plus/internal/mem"
+	"ap1000plus/internal/mlsim"
+	"ap1000plus/internal/params"
+	"ap1000plus/internal/sendrecv"
+	"ap1000plus/internal/topology"
+	"ap1000plus/internal/trace"
+	"ap1000plus/internal/vpp"
+)
+
+// Machine construction and cells.
+type (
+	// Machine is a functional AP1000+ system instance.
+	Machine = machine.Machine
+	// Config parameterizes a machine (torus shape, memory, queues).
+	Config = machine.Config
+	// Cell is one processing element.
+	Cell = machine.Cell
+	// CellID identifies a cell.
+	CellID = topology.CellID
+	// Segment is an allocated region of cell memory.
+	Segment = mem.Segment
+	// Addr is a logical memory address.
+	Addr = mem.Addr
+	// Stride describes a one-dimensional stride pattern (Figure 3).
+	Stride = mem.Stride
+	// FlagID names a synchronization flag.
+	FlagID = mc.FlagID
+	// Group is a set of cells for group collectives.
+	Group = topology.Group
+	// Torus is the machine geometry.
+	Torus = topology.Torus
+)
+
+// NewMachine builds a machine; see machine.New.
+func NewMachine(cfg Config) (*Machine, error) { return machine.New(cfg) }
+
+// Table1 returns the published AP1000+ specifications.
+func Table1() machine.Spec { return machine.Table1() }
+
+// The PUT/GET interface (the paper's contribution).
+type (
+	// Comm is a cell's PUT/GET endpoint.
+	Comm = core.Comm
+)
+
+// NewComm builds the PUT/GET interface for a cell.
+func NewComm(c *Cell) *Comm { return core.New(c) }
+
+// Flag constants.
+const (
+	// NoFlag requests no flag update (the paper's address-0 idiom).
+	NoFlag = mc.NoFlag
+	// AckFlagID is the implicit acknowledge flag of the Ack & Barrier
+	// model.
+	AckFlagID = mc.AckFlagID
+)
+
+// Contiguous returns the stride pattern of a plain transfer.
+func Contiguous(size int64) Stride { return mem.Contiguous(size) }
+
+// SEND/RECEIVE, collectives, and shared memory.
+type (
+	// Endpoint is a SEND/RECEIVE port over a ring buffer.
+	Endpoint = sendrecv.Endpoint
+	// Sync provides barriers and global reductions.
+	Sync = barrier.Sync
+	// DSM is the distributed-shared-memory interface of a cell.
+	DSM = dsm.DSM
+)
+
+// NewEndpoint installs a SEND/RECEIVE endpoint on a cell.
+func NewEndpoint(c *Cell, ringBytes int64) *Endpoint { return sendrecv.New(c, ringBytes) }
+
+// NewSync builds the synchronization library for a cell.
+func NewSync(c *Cell, ep *Endpoint) (*Sync, error) { return barrier.New(c, ep) }
+
+// NewDSM builds the shared-memory interface for a cell.
+func NewDSM(c *Cell) (*DSM, error) { return dsm.New(c) }
+
+// The VPP-Fortran-style run-time system.
+type (
+	// Runtime is the per-cell run-time system.
+	Runtime = vpp.Runtime
+	// Array1D is a block-distributed global vector with overlap.
+	Array1D = vpp.Array1D
+	// Array2D is a column-block-distributed global matrix with
+	// overlap columns (Figure 2).
+	Array2D = vpp.Array2D
+	// CyclicArray1D is a cyclically-distributed global vector.
+	CyclicArray1D = vpp.CyclicArray1D
+	// Block2D is a global matrix partitioned in both dimensions over
+	// the process grid, with group-collective overlap exchange.
+	Block2D = vpp.Block2D
+)
+
+// NewRuntime builds the run-time system for a cell.
+func NewRuntime(c *Cell) (*Runtime, error) { return vpp.NewRuntime(c) }
+
+// NewArray1D allocates a global 1-D array across the machine.
+func NewArray1D(m *Machine, name string, n, overlap int) (*Array1D, error) {
+	return vpp.NewArray1D(m, name, n, overlap)
+}
+
+// NewArray2D allocates a global 2-D array across the machine.
+func NewArray2D(m *Machine, name string, rows, cols, overlap int) (*Array2D, error) {
+	return vpp.NewArray2D(m, name, rows, cols, overlap)
+}
+
+// NewCyclicArray1D allocates a cyclically-distributed global array.
+func NewCyclicArray1D(m *Machine, name string, n int) (*CyclicArray1D, error) {
+	return vpp.NewCyclicArray1D(m, name, n)
+}
+
+// NewBlock2D allocates a two-dimensionally partitioned global array.
+func NewBlock2D(m *Machine, name string, rows, cols, overlap int) (*Block2D, error) {
+	return vpp.NewBlock2D(m, name, rows, cols, overlap)
+}
+
+// Evaluation toolchain.
+type (
+	// TraceSet is a per-PE event capture.
+	TraceSet = trace.TraceSet
+	// Params is an MLSim machine model.
+	Params = params.Params
+	// SimResult is an MLSim replay outcome.
+	SimResult = mlsim.Result
+)
+
+// AP1000 returns the Figure 6 software-messaging model.
+func AP1000() *Params { return params.AP1000() }
+
+// AP1000Plus returns the Figure 6 hardware PUT/GET model.
+func AP1000Plus() *Params { return params.AP1000Plus() }
+
+// AP1000x8 returns Table 2's comparison model (8x CPU, software
+// messaging).
+func AP1000x8() *Params { return params.AP1000x8() }
+
+// Simulate replays a trace under a machine model.
+func Simulate(ts *TraceSet, p *Params) (*SimResult, error) { return mlsim.Run(ts, p) }

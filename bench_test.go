@@ -1,0 +1,466 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, plus ablations of the design choices DESIGN.md calls
+// out. Speedups and breakdowns are reported as custom benchmark
+// metrics so `go test -bench=.` reproduces the published numbers:
+//
+//	BenchmarkTable2/<app>    — Table 2 speedups (paper problem sizes)
+//	BenchmarkTable3/<app>    — Table 3 per-PE statistics
+//	BenchmarkFig8/<app>      — Figure 8 breakdown percentages
+//	BenchmarkFig7PutModel    — Figure 7 PUT latency vs message size
+//	BenchmarkFig6Params      — Figure 6 parameter file round trip
+//	BenchmarkTable1Specs     — Table 1 accessor
+//	BenchmarkStrideAblation  — S5.4 TOMCATV stride vs no-stride
+//	BenchmarkAblation*       — flag combining, direct ack, queue depth
+package ap1000plus
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"ap1000plus/internal/apps"
+	"ap1000plus/internal/machine"
+	"ap1000plus/internal/mem"
+	"ap1000plus/internal/mlsim"
+	"ap1000plus/internal/msc"
+	"ap1000plus/internal/params"
+	"ap1000plus/internal/stats"
+	"ap1000plus/internal/topology"
+	"ap1000plus/internal/trace"
+)
+
+// experimentCache runs each paper-scale application once per process
+// and shares the result across the Table 2 / Table 3 / Figure 8
+// benchmarks (FT alone takes ~15s to execute functionally).
+var experimentCache = struct {
+	mu   sync.Mutex
+	exps map[string]*stats.Experiment
+	errs map[string]error
+}{exps: map[string]*stats.Experiment{}, errs: map[string]error{}}
+
+func paperExperiment(b *testing.B, name string) *stats.Experiment {
+	b.Helper()
+	experimentCache.mu.Lock()
+	defer experimentCache.mu.Unlock()
+	if err := experimentCache.errs[name]; err != nil {
+		b.Fatal(err)
+	}
+	if e := experimentCache.exps[name]; e != nil {
+		return e
+	}
+	var build apps.Builder
+	for _, row := range apps.Catalog() {
+		if row.Name == name {
+			build = row.Build
+		}
+	}
+	if build == nil {
+		b.Fatalf("unknown app %q", name)
+	}
+	e, err := stats.RunExperiment(name, build)
+	if err != nil {
+		experimentCache.errs[name] = err
+		b.Fatal(err)
+	}
+	experimentCache.exps[name] = e
+	return e
+}
+
+var paperApps = []string{"EP", "CG", "FT", "SP", "TC st", "TC no st", "MatMul", "SCG"}
+
+// BenchmarkTable2 regenerates Table 2: each sub-benchmark runs one
+// application at the paper's size and reports the two speedup
+// columns as metrics.
+func BenchmarkTable2(b *testing.B) {
+	for _, name := range paperApps {
+		b.Run(name, func(b *testing.B) {
+			var e *stats.Experiment
+			for i := 0; i < b.N; i++ {
+				e = paperExperiment(b, name)
+			}
+			b.ReportMetric(e.SpeedupPlus(), "speedup-ap1000+")
+			b.ReportMetric(e.SpeedupX8(), "speedup-ap1000x8")
+			paper := stats.PaperTable2[name]
+			b.ReportMetric(paper[0], "paper-ap1000+")
+			b.ReportMetric(paper[1], "paper-ap1000x8")
+		})
+	}
+}
+
+// BenchmarkTable3 regenerates Table 3's per-PE statistics.
+func BenchmarkTable3(b *testing.B) {
+	for _, name := range paperApps {
+		b.Run(name, func(b *testing.B) {
+			e := paperExperiment(b, name)
+			var row trace.Table3Row
+			for i := 0; i < b.N; i++ {
+				row = trace.Stats(e.Trace)
+			}
+			b.ReportMetric(row.Put, "put/pe")
+			b.ReportMetric(row.PutS, "puts/pe")
+			b.ReportMetric(row.Get, "get/pe")
+			b.ReportMetric(row.GetS, "gets/pe")
+			b.ReportMetric(row.Send, "send/pe")
+			b.ReportMetric(row.Gop, "gop/pe")
+			b.ReportMetric(row.VGop, "vgop/pe")
+			b.ReportMetric(row.Sync, "sync/pe")
+			b.ReportMetric(row.MsgSize, "msg-bytes")
+		})
+	}
+}
+
+// BenchmarkFig8 regenerates Figure 8's normalized execution-time
+// breakdown (percent of the AP1000+ total).
+func BenchmarkFig8(b *testing.B) {
+	for _, name := range paperApps {
+		b.Run(name, func(b *testing.B) {
+			e := paperExperiment(b, name)
+			var row stats.Fig8Row
+			for i := 0; i < b.N; i++ {
+				row = stats.Fig8(e)
+			}
+			b.ReportMetric(row.Plus.Exec, "+exec%")
+			b.ReportMetric(row.Plus.RTS, "+rts%")
+			b.ReportMetric(row.Plus.Overhead, "+ovhd%")
+			b.ReportMetric(row.Plus.Idle, "+idle%")
+			b.ReportMetric(row.X8.Total, "x8total%")
+		})
+	}
+}
+
+// BenchmarkFig7PutModel reconstructs Figure 7's PUT model across
+// message sizes, reporting end-to-end latency and sender CPU time.
+func BenchmarkFig7PutModel(b *testing.B) {
+	for _, size := range []int64{4, 256, 4096, 65536} {
+		for _, mk := range []func() *params.Params{params.AP1000, params.AP1000Plus} {
+			p := mk()
+			b.Run(fmt.Sprintf("%s/%dB", p.Name, size), func(b *testing.B) {
+				var lat, cpu int64
+				for i := 0; i < b.N; i++ {
+					l, c := mlsim.PutLatency(p, size, 3)
+					lat, cpu = int64(l), int64(c)
+				}
+				b.ReportMetric(float64(lat)/1000, "latency-us")
+				b.ReportMetric(float64(cpu)/1000, "sender-cpu-us")
+			})
+		}
+	}
+}
+
+// BenchmarkFig6Params regenerates the Figure 6 parameter files
+// (format + parse round trip).
+func BenchmarkFig6Params(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		p := params.AP1000Plus()
+		if err := p.Format(&buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := params.Parse(&buf, params.AP1000()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Specs covers the Table 1 accessor.
+func BenchmarkTable1Specs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if machine.Table1().ClockMHz != 50 {
+			b.Fatal("bad spec")
+		}
+	}
+}
+
+// BenchmarkStrideAblation is the S5.4 experiment: TOMCATV elapsed
+// time on the AP1000+ with and without stride transfers.
+func BenchmarkStrideAblation(b *testing.B) {
+	st := paperExperiment(b, "TC st")
+	nost := paperExperiment(b, "TC no st")
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		gain = float64(nost.Plus.Elapsed)/float64(st.Plus.Elapsed) - 1
+	}
+	b.ReportMetric(100*gain, "stride-gain-%")
+	b.ReportMetric(50, "paper-gain-%")
+}
+
+// BenchmarkAblationFlagCombine quantifies S1.2's motivation for
+// combining the flag update with the data transfer: a trace where
+// every PUT's flag travels as a separate message doubles the message
+// count and delays flag visibility.
+func BenchmarkAblationFlagCombine(b *testing.B) {
+	combined := paperExperiment(b, "SCG").Trace
+	// Transform: each flag-updating PUT becomes a data PUT without a
+	// flag plus a 4-byte flag-carrier PUT.
+	separate := trace.New(combined.Meta.App+"-sepflag", combined.Meta.Width, combined.Meta.Height)
+	for pe, evs := range combined.PE {
+		out := make([]trace.Event, 0, len(evs))
+		for _, e := range evs {
+			if e.Kind == trace.KindPut && e.RecvFlag != trace.NoFlag {
+				data := e
+				data.RecvFlag = trace.NoFlag
+				flag := e
+				flag.Size = 4
+				flag.Items = 1
+				flag.Ack = false
+				out = append(out, data, flag)
+				continue
+			}
+			out = append(out, e)
+		}
+		separate.PE[pe] = out
+	}
+	var comb, sep *mlsim.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		if comb, err = mlsim.Run(combined, params.AP1000Plus()); err != nil {
+			b.Fatal(err)
+		}
+		if sep, err = mlsim.Run(separate, params.AP1000Plus()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(comb.Elapsed.Us(), "combined-us")
+	b.ReportMetric(sep.Elapsed.Us(), "separate-us")
+	b.ReportMetric(float64(sep.Messages)/float64(comb.Messages), "message-ratio")
+}
+
+// BenchmarkAblationDirectAck compares the AP1000+'s GET-based
+// acknowledgement with the rejected direct-acknowledge hardware
+// (S4.1's cost/benefit discussion).
+func BenchmarkAblationDirectAck(b *testing.B) {
+	ts := paperExperiment(b, "TC no st").Trace // ack-heavy workload
+	getAck := params.AP1000Plus()
+	direct := params.AP1000Plus()
+	direct.Name = "AP1000+directack"
+	direct.Features.DirectAck = true
+	var g, d *mlsim.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		if g, err = mlsim.Run(ts, getAck); err != nil {
+			b.Fatal(err)
+		}
+		if d, err = mlsim.Run(ts, direct); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(g.Elapsed.Us(), "get-ack-us")
+	b.ReportMetric(d.Elapsed.Us(), "direct-ack-us")
+	b.ReportMetric(float64(g.Messages)/float64(d.Messages), "message-ratio")
+}
+
+// BenchmarkAblationQueueDepth sweeps the MSC+ queue capacity and
+// measures how much of a put storm spills to DRAM (S4.1's overflow
+// mechanism).
+func BenchmarkAblationQueueDepth(b *testing.B) {
+	for _, words := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("%dwords", words), func(b *testing.B) {
+			var spills, interrupts int64
+			for i := 0; i < b.N; i++ {
+				m, err := machine.New(machine.Config{
+					Width: 2, Height: 2, MemoryPerCell: 1 << 20, QueueWords: words,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				segs := make([]*mem.Segment, 4)
+				for id := 0; id < 4; id++ {
+					segs[id], _, _ = m.Cell(topology.CellID(id)).AllocFloat64("b", 64)
+				}
+				rf := m.Cell(1).Flags.Alloc()
+				const puts = 512
+				err = m.Run(func(c *machine.Cell) error {
+					switch c.ID() {
+					case 0:
+						for k := 0; k < puts; k++ {
+							c.PushUser(msc.Command{
+								Op: msc.OpPut, Dst: 1,
+								RAddr: segs[1].Base(), LAddr: segs[0].Base(),
+								RStride: mem.Contiguous(8), LStride: mem.Contiguous(8),
+								RecvFlag: rf,
+							})
+						}
+					case 1:
+						c.Flags.Wait(rf, puts)
+					}
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				s := m.Cell(0).MSC.Stats().UserSend
+				spills = s.Spills
+				interrupts = s.Interrupts
+			}
+			b.ReportMetric(float64(spills), "spills")
+			b.ReportMetric(float64(interrupts), "os-interrupts")
+		})
+	}
+}
+
+// BenchmarkPutIssueOverhead measures the user-level issue path of a
+// PUT through the facade — the operation S4.1 prices at 8 stores.
+func BenchmarkPutIssueOverhead(b *testing.B) {
+	m, err := NewMachine(Config{Width: 2, Height: 2, MemoryPerCell: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	segs := make([]*Segment, 4)
+	for id := 0; id < 4; id++ {
+		segs[id], _, _ = m.Cell(CellID(id)).AllocFloat64("b", 64)
+	}
+	b.ReportAllocs()
+	err = m.Run(func(c *Cell) error {
+		if c.ID() != 0 {
+			return nil
+		}
+		comm := NewComm(c)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := comm.Put(1, segs[1].Base(), segs[0].Base(), 8, NoFlag, NoFlag, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkReductionScalar and BenchmarkReductionVector cover S4.5's
+// two reduction mechanisms through the facade.
+func BenchmarkReductionScalar(b *testing.B) {
+	benchReduce(b, func(s *Sync, n int) error {
+		for i := 0; i < n; i++ {
+			s.Reduce(trace.AllGroup, trace.ReduceSum, 1)
+		}
+		return nil
+	})
+}
+
+func BenchmarkReductionVector(b *testing.B) {
+	vecs := map[*Sync][]float64{}
+	var mu sync.Mutex
+	benchReduce(b, func(s *Sync, n int) error {
+		mu.Lock()
+		v := vecs[s]
+		if v == nil {
+			v = make([]float64, 1400) // the CG vector size
+			vecs[s] = v
+		}
+		mu.Unlock()
+		for i := 0; i < n; i++ {
+			if err := s.ReduceVec(trace.AllGroup, trace.ReduceSum, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func benchReduce(b *testing.B, body func(s *Sync, n int) error) {
+	b.Helper()
+	m, err := NewMachine(Config{Width: 4, Height: 4, MemoryPerCell: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	syncs := make([]*Sync, m.Cells())
+	for id := 0; id < m.Cells(); id++ {
+		cell := m.Cell(CellID(id))
+		ep := NewEndpoint(cell, 0)
+		if syncs[id], err = NewSync(cell, ep); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := m.Run(func(c *Cell) error {
+		if c.ID() == 0 {
+			b.ResetTimer()
+		}
+		return body(syncs[c.ID()], b.N)
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkMLSimReplay measures the timing simulator itself on the
+// largest trace (FT: ~300k events).
+func BenchmarkMLSimReplay(b *testing.B) {
+	ts := paperExperiment(b, "CG").Trace
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := mlsim.Run(ts, params.AP1000Plus()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestFacadeQuickstart keeps the package-level doc example honest.
+func TestFacadeQuickstart(t *testing.T) {
+	m, err := NewMachine(Config{Width: 2, Height: 2, MemoryPerCell: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := make([]*Segment, m.Cells())
+	for id := 0; id < m.Cells(); id++ {
+		segs[id], _, _ = m.Cell(CellID(id)).AllocFloat64("buf", 128)
+	}
+	err = m.Run(func(c *Cell) error {
+		comm := NewComm(c)
+		if c.ID() == 0 {
+			if err := comm.Put(1, segs[1].Base(), segs[0].Base(), 64, NoFlag, NoFlag, true); err != nil {
+				return err
+			}
+			comm.AckWait()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TNetStats().Messages != 3 { // put + ack get + ack reply
+		t.Errorf("messages = %d", m.TNetStats().Messages)
+	}
+}
+
+// BenchmarkContentionAnalysis runs the link-level contention
+// re-simulation (an extension beyond the paper's contention-free
+// MLSim) on the CG trace and reports the slowdown it would cause.
+func BenchmarkContentionAnalysis(b *testing.B) {
+	e := paperExperiment(b, "CG")
+	_, log, err := mlsim.RunWithLog(e.Trace, params.AP1000Plus())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rep *mlsim.ContentionReport
+	for i := 0; i < b.N; i++ {
+		rep, err = mlsim.AnalyzeContention(e.Trace, params.AP1000Plus(), log)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.Slowdown(), "slowdown-x")
+	b.ReportMetric(rep.MeanDelay.Us(), "mean-queue-us")
+}
+
+// BenchmarkQueueOverflowModel exercises the MLSim queue-occupancy
+// extension (the model S5.4 says the paper's MLSim lacked) on the
+// ack-heavy TC-no-st trace and reports its findings.
+func BenchmarkQueueOverflowModel(b *testing.B) {
+	ts := paperExperiment(b, "TC no st").Trace
+	p := params.AP1000Plus()
+	p.Features.ModelQueueOverflow = true
+	var res *mlsim.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = mlsim.Run(ts, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Queue.Spills), "spills")
+	b.ReportMetric(float64(res.Queue.Interrupts), "os-interrupts")
+	b.ReportMetric(float64(res.Queue.MaxDepth), "max-depth")
+}

@@ -1,0 +1,176 @@
+// Command apbench regenerates every table and figure of the paper's
+// evaluation (S5): Table 1 (specifications), Figure 6 (parameter
+// files), Figure 7 (the PUT communication model), Table 2 (speedups
+// vs the AP1000), Table 3 (application statistics) and Figure 8 (the
+// execution-time breakdown), plus the S5.4 stride ablation.
+//
+// Usage:
+//
+//	apbench -experiment all            # everything at paper scale
+//	apbench -experiment table2 -quick  # reduced problem sizes
+//	apbench -experiment fig7 -size 1024 -distance 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ap1000plus/internal/apps"
+	"ap1000plus/internal/machine"
+	"ap1000plus/internal/mlsim"
+	"ap1000plus/internal/params"
+	"ap1000plus/internal/stats"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all",
+		"specs|params|fig7|table2|table3|fig8|stride|contention|all")
+	quick := flag.Bool("quick", false, "use reduced problem sizes")
+	size := flag.Int64("size", 1024, "message size for fig7")
+	distance := flag.Int("distance", 3, "routing distance for fig7")
+	only := flag.String("app", "", "restrict table2/table3/fig8 to one application (e.g. CG)")
+	flag.Parse()
+
+	if err := run(*experiment, *quick, *size, *distance, *only); err != nil {
+		fmt.Fprintln(os.Stderr, "apbench:", err)
+		os.Exit(1)
+	}
+}
+
+func hottestCount(r *mlsim.ContentionReport) int64 {
+	if len(r.Hottest) == 0 {
+		return 0
+	}
+	return r.Hottest[0].Messages
+}
+
+func run(experiment string, quick bool, size int64, distance int, only string) error {
+	needApps := false
+	switch experiment {
+	case "table2", "table3", "fig8", "stride", "contention", "all":
+		needApps = true
+	}
+
+	var exps []*stats.Experiment
+	if needApps {
+		catalog := stats.TestCatalog()
+		if !quick {
+			catalog = catalog[:0]
+			for _, row := range apps.Catalog() {
+				catalog = append(catalog, struct {
+					Name  string
+					Build apps.Builder
+				}{row.Name, row.Build})
+			}
+		}
+		for _, row := range catalog {
+			if only != "" && !strings.EqualFold(row.Name, only) {
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "running %s...\n", row.Name)
+			e, err := stats.RunExperiment(row.Name, row.Build)
+			if err != nil {
+				return err
+			}
+			exps = append(exps, e)
+		}
+	}
+
+	w := os.Stdout
+	show := func(name string) bool { return experiment == name || experiment == "all" }
+
+	if show("specs") {
+		s := machine.Table1()
+		fmt.Fprintln(w, "Table 1: AP1000+ specifications")
+		fmt.Fprintf(w, "  Processor              %s (%d MHz)\n", s.Processor, s.ClockMHz)
+		fmt.Fprintf(w, "  Processor performance  %d MFLOPS\n", s.MFLOPSPerCell)
+		fmt.Fprintf(w, "  Memory per cell        %v megabytes\n", s.MemoryPerCellMB)
+		fmt.Fprintf(w, "  Cache per cell         %d kilobytes, %s\n", s.CacheKB, s.CachePolicy)
+		fmt.Fprintf(w, "  System configuration   %d - %d cells\n", s.MinCells, s.MaxCells)
+		fmt.Fprintf(w, "  System performance     %.1f - %.1f GFLOPS\n", s.PeakGFLOPSAtMin, s.PeakGFLOPSAtMax)
+		fmt.Fprintln(w)
+	}
+	if show("params") {
+		fmt.Fprintln(w, "Figure 6: MLSim parameter files")
+		for _, p := range []*params.Params{params.AP1000(), params.AP1000Plus()} {
+			if err := p.Format(w); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintln(w, "differences (AP1000 -> AP1000+):")
+		for _, d := range params.Diff(params.AP1000(), params.AP1000Plus()) {
+			fmt.Fprintln(w, " ", d)
+		}
+		fmt.Fprintln(w)
+	}
+	if show("fig7") {
+		fmt.Fprintln(w, "Figure 7: PUT communication model")
+		for _, p := range []*params.Params{params.AP1000(), params.AP1000Plus()} {
+			if err := mlsim.WriteTimeline(w, p, size, distance); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	if show("table2") {
+		if err := stats.WriteTable2(w, exps); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if show("table3") {
+		if err := stats.WriteTable3(w, exps); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if show("fig8") {
+		if err := stats.WriteFig8(w, exps); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if show("stride") {
+		var st, nost *stats.Experiment
+		for _, e := range exps {
+			switch e.App {
+			case "TC st":
+				st = e
+			case "TC no st":
+				nost = e
+			}
+		}
+		if st != nil && nost != nil {
+			fmt.Fprintln(w, "S5.4 stride ablation (TOMCATV on the AP1000+):")
+			fmt.Fprintf(w, "  with stride    %12s\n", st.Plus.Elapsed)
+			fmt.Fprintf(w, "  without stride %12s\n", nost.Plus.Elapsed)
+			fmt.Fprintf(w, "  stride is %.0f%% faster (paper: ~50%%)\n",
+				100*(float64(nost.Plus.Elapsed)/float64(st.Plus.Elapsed)-1))
+			fmt.Fprintln(w)
+		}
+	}
+	if show("contention") {
+		fmt.Fprintln(w, "T-net link contention (extension beyond the paper's contention-free MLSim):")
+		for _, e := range exps {
+			_, log, err := mlsim.RunWithLog(e.Trace, params.AP1000Plus())
+			if err != nil {
+				return err
+			}
+			rep, err := mlsim.AnalyzeContention(e.Trace, params.AP1000Plus(), log)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%-10s slowdown %.2fx, mean queueing delay %s, hottest link %v msgs\n",
+				e.App, rep.Slowdown(), rep.MeanDelay, hottestCount(rep))
+		}
+		fmt.Fprintln(w)
+	}
+	switch experiment {
+	case "specs", "params", "fig7", "table2", "table3", "fig8", "stride", "contention", "all":
+		return nil
+	}
+	return fmt.Errorf("unknown experiment %q", experiment)
+}

@@ -1,0 +1,113 @@
+// Command mlsim replays an execution trace (written by cmd/tracegen)
+// under a machine parameter model, exactly like the paper's message
+// level simulator (S5): it prints the per-PE time breakdown
+// (execution / run-time system / overhead / idle), the elapsed time,
+// and the traffic statistics.
+//
+// Usage:
+//
+//	mlsim -trace cg.trace                       # AP1000+ model
+//	mlsim -trace cg.trace -model ap1000
+//	mlsim -trace cg.trace -params my-model.conf # Figure 6 file
+//	mlsim -trace cg.trace -compare              # all three models
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ap1000plus/internal/mlsim"
+	"ap1000plus/internal/params"
+	"ap1000plus/internal/trace"
+)
+
+func main() {
+	traceFile := flag.String("trace", "", "trace file from tracegen")
+	model := flag.String("model", "ap1000+", "built-in model: ap1000|ap1000+|ap1000x8")
+	paramFile := flag.String("params", "", "parameter file overriding the model (Figure 6 format)")
+	compare := flag.Bool("compare", false, "replay under all three built-in models")
+	perPE := flag.Bool("per-pe", false, "print the per-PE breakdown")
+	flag.Parse()
+
+	if err := run(*traceFile, *model, *paramFile, *compare, *perPE); err != nil {
+		fmt.Fprintln(os.Stderr, "mlsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(traceFile, model, paramFile string, compare, perPE bool) error {
+	if traceFile == "" {
+		return fmt.Errorf("missing -trace")
+	}
+	f, err := os.Open(traceFile)
+	if err != nil {
+		return err
+	}
+	ts, err := trace.Read(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace: app=%s pes=%d torus=%dx%d events=%d\n",
+		ts.Meta.App, ts.Meta.PEs, ts.Meta.Width, ts.Meta.Height, ts.Events())
+
+	var models []*params.Params
+	if compare {
+		models = []*params.Params{params.AP1000(), params.AP1000Plus(), params.AP1000x8()}
+	} else {
+		p, err := params.ByName(model)
+		if err != nil {
+			return err
+		}
+		if paramFile != "" {
+			pf, err := os.Open(paramFile)
+			if err != nil {
+				return err
+			}
+			p, err = params.Parse(pf, p)
+			pf.Close()
+			if err != nil {
+				return err
+			}
+		}
+		models = []*params.Params{p}
+	}
+
+	var results []*mlsim.Result
+	for _, p := range models {
+		res, err := mlsim.Run(ts, p)
+		if err != nil {
+			return err
+		}
+		results = append(results, res)
+		b := res.Breakdown()
+		fmt.Printf("\nmodel %s:\n", p.Name)
+		fmt.Printf("  elapsed        %14s\n", res.Elapsed)
+		fmt.Printf("  execution      %14.1fus (%.1f%%)\n", b.Exec, pct(b.Exec, b.Total))
+		fmt.Printf("  run-time sys   %14.1fus (%.1f%%)\n", b.RTS, pct(b.RTS, b.Total))
+		fmt.Printf("  comm overhead  %14.1fus (%.1f%%)\n", b.Overhead, pct(b.Overhead, b.Total))
+		fmt.Printf("  idle           %14.1fus (%.1f%%)\n", b.Idle, pct(b.Idle, b.Total))
+		fmt.Printf("  messages       %14d (%d bytes, mean distance %.2f hops)\n",
+			res.Messages, res.Bytes, res.MeanDistance)
+		fmt.Printf("  load imbalance %14.3f (max end / mean end)\n", res.LoadImbalance())
+		if perPE {
+			for i, pe := range res.PE {
+				fmt.Printf("  pe%-4d exec=%s rts=%s ovhd=%s idle=%s end=%s\n",
+					i, pe.Exec, pe.RTS, pe.Overhead, pe.Idle, pe.End)
+			}
+		}
+	}
+	if compare && len(results) == 3 {
+		fmt.Printf("\nspeedup vs AP1000: AP1000+ %.2fx, AP1000x8 %.2fx\n",
+			results[1].SpeedupVs(results[0]), results[2].SpeedupVs(results[0]))
+	}
+	return nil
+}
+
+func pct(part, total float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * part / total
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ap1000plus/internal/topology"
+	"ap1000plus/internal/trace"
+)
+
+func writeTempTrace(t *testing.T) string {
+	t.Helper()
+	ts := trace.New("cmdtest", 2, 2)
+	for pe := 0; pe < 4; pe++ {
+		r := trace.NewRecorder()
+		r.Compute(100)
+		r.Put(topology.CellID((pe+1)%4), 256, 1, 0, 5, false, false)
+		r.Barrier(trace.AllGroup)
+		ts.PE[pe] = r.Events()
+	}
+	path := filepath.Join(t.TempDir(), "t.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := trace.Write(f, ts); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSingleModel(t *testing.T) {
+	path := writeTempTrace(t)
+	if err := run(path, "ap1000+", "", false, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCompare(t *testing.T) {
+	path := writeTempTrace(t)
+	if err := run(path, "", "", true, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithParamFile(t *testing.T) {
+	path := writeTempTrace(t)
+	pf := filepath.Join(t.TempDir(), "m.conf")
+	if err := os.WriteFile(pf, []byte("put_prolog_time 2.5\nname custom\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, "ap1000", pf, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "ap1000+", "", false, false); err == nil {
+		t.Error("missing trace accepted")
+	}
+	if err := run("/nonexistent.trace", "ap1000+", "", false, false); err == nil {
+		t.Error("nonexistent trace accepted")
+	}
+	path := writeTempTrace(t)
+	if err := run(path, "cm5", "", false, false); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if err := run(path, "ap1000+", "/nonexistent.conf", false, false); err == nil {
+		t.Error("nonexistent param file accepted")
+	}
+}

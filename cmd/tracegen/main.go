@@ -1,0 +1,93 @@
+// Command tracegen runs one of the paper's applications on the
+// functional AP1000+ machine and writes its execution trace — the
+// same artifact the paper collected with probes on the real AP1000
+// (S5) — for later replay with cmd/mlsim.
+//
+// Usage:
+//
+//	tracegen -app CG -o cg.trace
+//	tracegen -app "TC no st" -quick -o tc.trace
+//	tracegen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ap1000plus/internal/apps"
+	"ap1000plus/internal/stats"
+	"ap1000plus/internal/trace"
+)
+
+func main() {
+	app := flag.String("app", "", "application name (see -list)")
+	out := flag.String("o", "", "output trace file (default <app>.trace)")
+	quick := flag.Bool("quick", false, "use the reduced problem size")
+	list := flag.Bool("list", false, "list available applications")
+	dump := flag.Int("dump", 0, "also print the first N events per PE")
+	flag.Parse()
+
+	if *list {
+		for _, row := range apps.Catalog() {
+			fmt.Println(row.Name)
+		}
+		return
+	}
+	if err := run(*app, *out, *quick, *dump); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(app, out string, quick bool, dumpN int) error {
+	if app == "" {
+		return fmt.Errorf("missing -app (use -list to see choices)")
+	}
+	var build apps.Builder
+	if quick {
+		for _, row := range stats.TestCatalog() {
+			if strings.EqualFold(row.Name, app) {
+				build = row.Build
+			}
+		}
+	} else {
+		for _, row := range apps.Catalog() {
+			if strings.EqualFold(row.Name, app) {
+				build = row.Build
+			}
+		}
+	}
+	if build == nil {
+		return fmt.Errorf("unknown application %q", app)
+	}
+	in, err := build()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "running %s on %d cells...\n", in.Name, in.Machine.Cells())
+	ts, err := in.Run()
+	if err != nil {
+		return err
+	}
+	if out == "" {
+		out = strings.ReplaceAll(strings.ToLower(app), " ", "-") + ".trace"
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.Write(f, ts); err != nil {
+		return err
+	}
+	row := trace.Stats(ts)
+	fmt.Fprintln(os.Stderr, trace.Table3Header)
+	fmt.Fprintln(os.Stderr, row.Format())
+	fmt.Fprintf(os.Stderr, "wrote %s (%d events)\n", out, ts.Events())
+	if dumpN > 0 {
+		return trace.Dump(os.Stdout, ts, dumpN)
+	}
+	return nil
+}

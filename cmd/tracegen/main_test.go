@@ -1,0 +1,41 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ap1000plus/internal/trace"
+)
+
+func TestRunWritesReadableTrace(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "ep.trace")
+	if err := run("EP", out, true, 0); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ts, err := trace.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Meta.App != "EP" {
+		t.Errorf("app = %q", ts.Meta.App)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "x.trace", true, 0); err == nil {
+		t.Error("missing app accepted")
+	}
+	if err := run("NOPE", "x.trace", true, 0); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if err := run("EP", "/nonexistent-dir/x.trace", true, 0); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}

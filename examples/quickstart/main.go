@@ -1,0 +1,83 @@
+// Quickstart: the PUT/GET interface with flag synchronization.
+//
+// Cell 0 PUTs a block into cell 1's memory; cell 1 waits on its
+// receive flag, doubles the data, and cell 0 GETs it back — the
+// split-phase one-sided communication of S3.1, with the flags doing
+// all the synchronization.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ap1000plus"
+)
+
+func main() {
+	m, err := ap1000plus.NewMachine(ap1000plus.Config{Width: 2, Height: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// SPMD setup: identical allocation on every cell gives every cell
+	// the same addresses, so remote addresses are known statically —
+	// exactly what lets a parallelizing compiler emit PUT/GET without
+	// rendezvous.
+	const n = 8
+	segs := make([]*ap1000plus.Segment, m.Cells())
+	datas := make([][]float64, m.Cells())
+	for id := 0; id < m.Cells(); id++ {
+		seg, data, err := m.Cell(ap1000plus.CellID(id)).AllocFloat64("buf", n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		segs[id], datas[id] = seg, data
+	}
+	// Flags must exist before Run so both sides agree on IDs.
+	readyFlag := m.Cell(1).Flags.Alloc()  // rises on cell 1 when data lands
+	resultFlag := m.Cell(0).Flags.Alloc() // rises on cell 0 when reply lands
+	doneFlag := m.Cell(1).Flags.Alloc()   // cell 1's cue that cell 0 read back
+
+	err = m.Run(func(c *ap1000plus.Cell) error {
+		comm := ap1000plus.NewComm(c)
+		switch c.ID() {
+		case 0:
+			for i := range datas[0] {
+				datas[0][i] = float64(i + 1)
+			}
+			// put(node, raddr, laddr, size, send_flag, recv_flag, ack):
+			// non-blocking; cell 1's readyFlag rises when its receive
+			// DMA completes.
+			if err := comm.Put(1, segs[1].Base(), segs[0].Base(), n*8,
+				ap1000plus.NoFlag, readyFlag, false); err != nil {
+				return err
+			}
+			// Cell 1 doubles the values and raises our resultFlag
+			// with a data-less PUT; then we GET the result back.
+			comm.WaitFlag(resultFlag, 1)
+			if err := comm.Get(1, segs[1].Base(), segs[0].Base(), n*8,
+				ap1000plus.NoFlag, resultFlag); err != nil {
+				return err
+			}
+			comm.WaitFlag(resultFlag, 2)
+			fmt.Println("cell 0 received:", datas[0])
+			// Tell cell 1 we are done (pure flag message: address 0).
+			return comm.Put(1, 0, segs[0].Base(), 8, ap1000plus.NoFlag, doneFlag, false)
+		case 1:
+			comm.WaitFlag(readyFlag, 1)
+			for i := range datas[1] {
+				datas[1][i] *= 2
+			}
+			// Raise cell 0's resultFlag with a zero-copy notification.
+			if err := comm.Put(0, 0, segs[1].Base(), 8, ap1000plus.NoFlag, resultFlag, false); err != nil {
+				return err
+			}
+			comm.WaitFlag(doneFlag, 1)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: %+v\n", m.TNetStats())
+}

@@ -1,0 +1,3 @@
+module ap1000plus
+
+go 1.22

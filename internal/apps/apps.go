@@ -1,0 +1,105 @@
+// Package apps implements the paper's seven evaluation workloads
+// (S5.2) against the functional AP1000+ and the VPP-Fortran-style
+// run-time system:
+//
+//	EP, CG, FT, SP (NAS parallel benchmarks), TOMCATV (SPEC, in
+//	stride and no-stride variants), and the C-language MatMul and
+//	SCG.
+//
+// Every application computes real numerics (verified by its tests)
+// and, when run on a tracing machine, emits the per-PE event stream
+// MLSim replays. Problem sizes are parameters; PaperConfig returns
+// the sizes of Table 2/Table 3.
+package apps
+
+import (
+	"fmt"
+
+	"ap1000plus/internal/machine"
+	"ap1000plus/internal/topology"
+	"ap1000plus/internal/trace"
+	"ap1000plus/internal/vpp"
+)
+
+// Instance is one configured application run.
+type Instance struct {
+	// Name labels the run ("CG", "TC st", ...).
+	Name string
+	// Machine is the functional machine the app runs on.
+	Machine *machine.Machine
+	// RTs holds the per-cell run-time systems.
+	RTs []*vpp.Runtime
+	// Program is the SPMD body.
+	Program func(rt *vpp.Runtime) error
+	// Verify checks the numeric result after the run.
+	Verify func() error
+}
+
+// newInstance builds a machine with cells cells (squarish torus),
+// tracing under name, and a runtime per cell.
+func newInstance(name string, cells int, memPerCell int64) (*Instance, error) {
+	tor, err := topology.SquarishTorus(cells)
+	if err != nil {
+		return nil, fmt.Errorf("apps: %s: %w", name, err)
+	}
+	m, err := machine.New(machine.Config{
+		Width: tor.Width(), Height: tor.Height(),
+		MemoryPerCell: memPerCell, TraceApp: name,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("apps: %s: %w", name, err)
+	}
+	in := &Instance{Name: name, Machine: m}
+	for id := 0; id < m.Cells(); id++ {
+		rt, err := vpp.NewRuntime(m.Cell(topology.CellID(id)))
+		if err != nil {
+			return nil, fmt.Errorf("apps: %s: %w", name, err)
+		}
+		in.RTs = append(in.RTs, rt)
+	}
+	return in, nil
+}
+
+// Run executes the application SPMD, verifies the numerics, and
+// returns the trace.
+func (in *Instance) Run() (*trace.TraceSet, error) {
+	if err := in.Machine.Run(func(c *machine.Cell) error {
+		return in.Program(in.RTs[c.ID()])
+	}); err != nil {
+		return nil, fmt.Errorf("apps: %s: %w", in.Name, err)
+	}
+	if in.Verify != nil {
+		if err := in.Verify(); err != nil {
+			return nil, fmt.Errorf("apps: %s: verification: %w", in.Name, err)
+		}
+	}
+	ts := in.Machine.Trace()
+	if err := ts.Validate(); err != nil {
+		return nil, fmt.Errorf("apps: %s: %w", in.Name, err)
+	}
+	return ts, nil
+}
+
+// Builder constructs a configured application instance.
+type Builder func() (*Instance, error)
+
+// Catalog returns the paper-configuration builder for every
+// application row of Table 2/3, in the paper's order.
+func Catalog() []struct {
+	Name  string
+	Build Builder
+} {
+	return []struct {
+		Name  string
+		Build Builder
+	}{
+		{"EP", func() (*Instance, error) { return NewEP(PaperEP()) }},
+		{"CG", func() (*Instance, error) { return NewCG(PaperCG()) }},
+		{"FT", func() (*Instance, error) { return NewFT(PaperFT()) }},
+		{"SP", func() (*Instance, error) { return NewSP(PaperSP()) }},
+		{"TC st", func() (*Instance, error) { return NewTomcatv(PaperTomcatv(true)) }},
+		{"TC no st", func() (*Instance, error) { return NewTomcatv(PaperTomcatv(false)) }},
+		{"MatMul", func() (*Instance, error) { return NewMatMul(PaperMatMul()) }},
+		{"SCG", func() (*Instance, error) { return NewSCG(PaperSCG()) }},
+	}
+}

@@ -1,0 +1,365 @@
+package apps
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ap1000plus/internal/trace"
+)
+
+func runApp(t *testing.T, build func() (*Instance, error)) *trace.TraceSet {
+	t.Helper()
+	in, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := in.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts
+}
+
+func TestEPRunsAndHasNoCommunication(t *testing.T) {
+	ts := runApp(t, func() (*Instance, error) { return NewEP(TestEP()) })
+	row := trace.Stats(ts)
+	if row.Put != 0 || row.Get != 0 || row.Send != 0 || row.Sync != 0 || row.Gop != 0 || row.VGop != 0 {
+		t.Errorf("EP must be communication-free: %+v", row)
+	}
+	if row.ComputeUs <= 0 {
+		t.Error("EP recorded no compute")
+	}
+}
+
+func TestLCGSkipMatchesSequential(t *testing.T) {
+	x := uint64(epSeed)
+	for i := 0; i < 1000; i++ {
+		x = lcg46(x)
+	}
+	if got := lcgSkip(epSeed, 1000); got != x {
+		t.Fatalf("lcgSkip = %d, want %d", got, x)
+	}
+}
+
+func TestCGConvergesAndMatchesTable3Shape(t *testing.T) {
+	cfg := TestCG()
+	ts := runApp(t, func() (*Instance, error) { return NewCG(cfg) })
+	row := trace.Stats(ts)
+	iters := float64(cfg.Outer * cfg.Inner)
+	if row.VGop != iters {
+		t.Errorf("VGop = %v, want %v (one vector sum per step)", row.VGop, iters)
+	}
+	if row.Put != iters {
+		t.Errorf("PUT = %v, want %v (one per step)", row.Put, iters)
+	}
+	// Two scalar sums per step, two per outer round, plus the
+	// initial one.
+	wantGop := 2*iters + float64(2*cfg.Outer) + 1
+	if row.Gop != wantGop {
+		t.Errorf("Gop = %v, want %v", row.Gop, wantGop)
+	}
+	// The per-step PUT payload averages (n/P)*8 bytes.
+	wantMsg := float64(cfg.N) * 8 / float64(cfg.Cells)
+	if math.Abs(row.MsgSize-wantMsg) > 1e-9 {
+		t.Errorf("msg size = %v, want %v", row.MsgSize, wantMsg)
+	}
+	// The SEND:VGop ratio is (P-1)/P — the Table 3 CG signature.
+	wantSend := iters * float64(cfg.Cells-1) / float64(cfg.Cells)
+	if math.Abs(row.Send-wantSend) > 1e-9 {
+		t.Errorf("Send = %v, want %v", row.Send, wantSend)
+	}
+}
+
+func TestCGPaperRatios(t *testing.T) {
+	// The paper configuration's derived counts, without running it:
+	// 15*26 = 390 steps -> VGop 390, PUT 390 of 700 bytes.
+	cfg := PaperCG()
+	if cfg.Outer*cfg.Inner != 390 {
+		t.Errorf("paper CG steps = %d, want 390", cfg.Outer*cfg.Inner)
+	}
+	if avg := float64(cfg.N) * 8 / float64(cfg.Cells); avg != 700 {
+		t.Errorf("paper CG average put size = %v, want 700", avg)
+	}
+	a := cgMatrix{n: cfg.N, band: cfg.Band}
+	if nz := a.nnz(); nz < 70000 || nz > 80000 {
+		t.Errorf("paper CG nnz = %d, want ~78184", nz)
+	}
+}
+
+func TestFFTRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 16, 64, 256} {
+		buf := make([]float64, 2*n)
+		orig := make([]float64, 2*n)
+		rng := rand.New(rand.NewSource(int64(n)))
+		for i := range buf {
+			buf[i] = rng.NormFloat64()
+			orig[i] = buf[i]
+		}
+		fftInPlace(buf, n, false)
+		fftInPlace(buf, n, true)
+		for i := range buf {
+			if math.Abs(buf[i]/float64(n)-orig[i]) > 1e-10 {
+				t.Fatalf("n=%d roundtrip mismatch at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestFFTKnownTransform(t *testing.T) {
+	// FFT of a unit impulse is all-ones.
+	n := 8
+	buf := make([]float64, 2*n)
+	buf[0] = 1
+	fftInPlace(buf, n, false)
+	for i := 0; i < n; i++ {
+		if math.Abs(buf[2*i]-1) > 1e-12 || math.Abs(buf[2*i+1]) > 1e-12 {
+			t.Fatalf("impulse FFT[%d] = (%g,%g)", i, buf[2*i], buf[2*i+1])
+		}
+	}
+	// FFT of a pure tone has one spike.
+	for i := 0; i < n; i++ {
+		buf[2*i] = math.Cos(2 * math.Pi * 2 * float64(i) / float64(n))
+		buf[2*i+1] = math.Sin(2 * math.Pi * 2 * float64(i) / float64(n))
+	}
+	fftInPlace(buf, n, false)
+	for i := 0; i < n; i++ {
+		want := 0.0
+		if i == 2 {
+			want = float64(n)
+		}
+		if math.Abs(buf[2*i]-want) > 1e-10 || math.Abs(buf[2*i+1]) > 1e-10 {
+			t.Fatalf("tone FFT[%d] = (%g,%g), want (%g,0)", i, buf[2*i], buf[2*i+1], want)
+		}
+	}
+}
+
+// Property: Parseval's theorem holds for the FFT.
+func TestFFTParseval(t *testing.T) {
+	prop := func(seed int64) bool {
+		const n = 32
+		rng := rand.New(rand.NewSource(seed))
+		buf := make([]float64, 2*n)
+		var eTime float64
+		for i := range buf {
+			buf[i] = rng.NormFloat64()
+			eTime += buf[i] * buf[i]
+		}
+		fftInPlace(buf, n, false)
+		var eFreq float64
+		for i := range buf {
+			eFreq += buf[i] * buf[i]
+		}
+		return math.Abs(eFreq/float64(n)-eTime) < 1e-8*eTime
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFTPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	fftInPlace(make([]float64, 12), 6, false)
+}
+
+func TestFTRoundTripOnMachine(t *testing.T) {
+	ts := runApp(t, func() (*Instance, error) { return NewFT(TestFT()) })
+	row := trace.Stats(ts)
+	if row.PutS == 0 {
+		t.Error("FT must use stride PUTs for the forward transpose")
+	}
+	if row.Get == 0 {
+		t.Error("FT must use contiguous GETs for the inverse transpose")
+	}
+	if row.Gop == 0 {
+		t.Error("FT must reduce checksums")
+	}
+}
+
+func TestPentaSolve(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 17, 64} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		rhs := pentaApply(x, n)
+		scratch := make([]float64, 3*n)
+		pentaSolve(rhs, n, scratch)
+		for i := range x {
+			if math.Abs(rhs[i]-x[i]) > 1e-9 {
+				t.Fatalf("n=%d: solve[%d] = %g, want %g", n, i, rhs[i], x[i])
+			}
+		}
+	}
+}
+
+// Property: pentaSolve(pentaApply(x)) == x for random x.
+func TestPentaSolveProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		const n = 40
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 10
+		}
+		rhs := pentaApply(x, n)
+		pentaSolve(rhs, n, make([]float64, 3*n))
+		for i := range x {
+			if math.Abs(rhs[i]-x[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSPMatchesSerialReference(t *testing.T) {
+	ts := runApp(t, func() (*Instance, error) { return NewSP(TestSP()) })
+	row := trace.Stats(ts)
+	if row.Put == 0 || row.PutS == 0 || row.Get == 0 {
+		t.Errorf("SP communication shape: %+v", row)
+	}
+	// PUT and GET counts are of the same order (Table 3: 10880 vs
+	// 10710).
+	total := row.Put + row.PutS
+	if total < row.Get/2 || row.Get < total/4 {
+		t.Errorf("PUT/GET imbalance: put=%v puts=%v get=%v", row.Put, row.PutS, row.Get)
+	}
+}
+
+func TestTomcatvStrideShape(t *testing.T) {
+	cfg := TestTomcatv(true)
+	ts := runApp(t, func() (*Instance, error) { return NewTomcatv(cfg) })
+	row := trace.Stats(ts)
+	if row.Put != 0 {
+		t.Errorf("stride mode must not use plain PUTs for columns: %+v", row)
+	}
+	if row.PutS == 0 || row.Get == 0 {
+		t.Errorf("stride mode shape: %+v", row)
+	}
+	// Two Gops per iteration.
+	if row.Gop != float64(2*cfg.Iters) {
+		t.Errorf("Gop = %v, want %v", row.Gop, 2*cfg.Iters)
+	}
+	// PUTS == GET: two column pushes and two edge fetches per
+	// interior pair, for both X/Y and RX/RY.
+	if row.PutS != row.Get {
+		t.Errorf("PUTS %v != GET %v", row.PutS, row.Get)
+	}
+}
+
+func TestTomcatvNoStrideMultiplies(t *testing.T) {
+	cfg := TestTomcatv(false)
+	ts := runApp(t, func() (*Instance, error) { return NewTomcatv(cfg) })
+	row := trace.Stats(ts)
+	if row.PutS != 0 {
+		t.Errorf("no-stride mode must not use stride PUTs: %+v", row)
+	}
+	st := runApp(t, func() (*Instance, error) { return NewTomcatv(TestTomcatv(true)) })
+	strow := trace.Stats(st)
+	if row.Put != strow.PutS*float64(cfg.N) {
+		t.Errorf("no-stride PUT = %v, want %v x %d", row.Put, strow.PutS, cfg.N)
+	}
+}
+
+func TestMatMulCorrectAndShape(t *testing.T) {
+	cfg := TestMatMul()
+	ts := runApp(t, func() (*Instance, error) { return NewMatMul(cfg) })
+	row := trace.Stats(ts)
+	// One PUT per step except the last; one barrier per step plus the
+	// initial one.
+	wantPut := float64(cfg.Cells - 1)
+	if row.Put != wantPut {
+		t.Errorf("PUT = %v, want %v", row.Put, wantPut)
+	}
+	if row.Sync != float64(cfg.Cells)+1 {
+		t.Errorf("Sync = %v, want %v", row.Sync, cfg.Cells+1)
+	}
+	if row.Gop != 0 || row.VGop != 0 || row.Send != 0 {
+		t.Errorf("MatMul extraneous collectives: %+v", row)
+	}
+}
+
+func TestSCGConvergesAndShape(t *testing.T) {
+	cfg := TestSCG()
+	ts := runApp(t, func() (*Instance, error) { return NewSCG(cfg) })
+	row := trace.Stats(ts)
+	if row.Sync != 1 {
+		t.Errorf("Sync = %v, want 1 (Table 3)", row.Sync)
+	}
+	// PUT ~= SEND ~= iterations * (P-1)/P; Gop ~= 2/iteration.
+	if row.Put == 0 || row.Send == 0 {
+		t.Errorf("SCG shape: %+v", row)
+	}
+	if math.Abs(row.Put-row.Send) > 1e-9 {
+		t.Errorf("PUT %v != SEND %v", row.Put, row.Send)
+	}
+	// Two halo'd arrays per iteration: PUT/PE = 2*(P-1)/P per step.
+	iters := row.Put * float64(cfg.Cells) / (2 * float64(cfg.Cells-1))
+	if row.Gop < 2*iters-2 || row.Gop > 2*iters+4 {
+		t.Errorf("Gop = %v for ~%v iterations", row.Gop, iters)
+	}
+	// Message size = one grid row.
+	if row.MsgSize != float64(cfg.G*8) {
+		t.Errorf("msg size = %v, want %v", row.MsgSize, cfg.G*8)
+	}
+}
+
+func TestBalancedRange(t *testing.T) {
+	for _, c := range []struct{ n, np int }{{800, 64}, {10, 4}, {64, 64}, {200, 64}} {
+		covered := 0
+		for r := 0; r < c.np; r++ {
+			lo, hi := balancedRange(c.n, c.np, r)
+			covered += hi - lo
+			if c.n >= c.np && hi <= lo {
+				t.Errorf("n=%d np=%d r=%d empty block", c.n, c.np, r)
+			}
+			for i := lo; i < hi; i++ {
+				if balancedOwner(c.n, c.np, i) != r {
+					t.Errorf("owner(%d) != %d", i, r)
+				}
+			}
+		}
+		if covered != c.n {
+			t.Errorf("n=%d np=%d covered %d", c.n, c.np, covered)
+		}
+	}
+}
+
+func TestCatalogBuildsTestConfigs(t *testing.T) {
+	// The catalog itself uses paper sizes (exercised in benches);
+	// here we confirm every app constructor validates configs.
+	if len(Catalog()) != 8 {
+		t.Fatalf("catalog rows = %d", len(Catalog()))
+	}
+	if _, err := NewEP(EPConfig{Cells: 4, LogPairs: 0}); err == nil {
+		t.Error("bad EP config accepted")
+	}
+	if _, err := NewCG(CGConfig{Cells: 4, N: 2, Band: 1, Outer: 1, Inner: 1}); err == nil {
+		t.Error("bad CG config accepted")
+	}
+	if _, err := NewFT(FTConfig{Cells: 4, Nx: 12, Ny: 8, Nz: 8, Iters: 1}); err == nil {
+		t.Error("non-power-of-two FT accepted")
+	}
+	if _, err := NewSP(SPConfig{Cells: 4, N: 2, Iters: 1}); err == nil {
+		t.Error("bad SP config accepted")
+	}
+	if _, err := NewTomcatv(TomcatvConfig{Cells: 4, N: 2, Iters: 1}); err == nil {
+		t.Error("bad TOMCATV config accepted")
+	}
+	if _, err := NewMatMul(MatMulConfig{Cells: 4, N: 2}); err == nil {
+		t.Error("bad MatMul config accepted")
+	}
+	if _, err := NewSCG(SCGConfig{Cells: 4, G: 2, MaxIter: 1}); err == nil {
+		t.Error("bad SCG config accepted")
+	}
+}

@@ -1,0 +1,135 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"ap1000plus/internal/vpp"
+)
+
+// EPConfig configures the NPB EP (embarrassingly parallel) kernel:
+// generate 2^LogPairs pairs of uniform deviates with the NPB linear
+// congruential generator, transform acceptable pairs to Gaussian
+// deviates with the Marsaglia polar method, and tally them into
+// annular bins. EP has no communication at all (Table 3's all-zero
+// row): verification aggregates the per-cell tallies outside the
+// machine.
+type EPConfig struct {
+	Cells    int
+	LogPairs int
+}
+
+// PaperEP is the paper's configuration: 2^28 random numbers on 64
+// cells.
+func PaperEP() EPConfig { return EPConfig{Cells: 64, LogPairs: 28} }
+
+// TestEP is a laptop-scale configuration.
+func TestEP() EPConfig { return EPConfig{Cells: 4, LogPairs: 14} }
+
+// epState carries the per-cell results out of the run.
+type epState struct {
+	mu     sync.Mutex
+	sx, sy float64
+	counts [10]int64
+	pairs  int64
+}
+
+// NPB EP linear congruential generator constants: x_{k+1} = a*x_k
+// mod 2^46, a = 5^13.
+const (
+	epA    = 1220703125 // 5^13
+	epMod  = 1 << 46
+	epSeed = 271828183
+)
+
+// lcg46 advances the 46-bit LCG.
+func lcg46(x uint64) uint64 {
+	return (x * epA) % epMod
+}
+
+// lcgSkip jumps the generator ahead by n steps (a^n mod 2^46) so each
+// cell owns an independent stream slice, as NPB specifies.
+func lcgSkip(x uint64, n uint64) uint64 {
+	a := uint64(epA)
+	for ; n > 0; n >>= 1 {
+		if n&1 == 1 {
+			x = (x * a) % epMod
+		}
+		a = (a * a) % epMod
+	}
+	return x
+}
+
+// NewEP builds an EP instance.
+func NewEP(cfg EPConfig) (*Instance, error) {
+	if cfg.LogPairs < 1 || cfg.LogPairs > 40 {
+		return nil, fmt.Errorf("apps: EP: bad log pairs %d", cfg.LogPairs)
+	}
+	in, err := newInstance("EP", cfg.Cells, 4<<20)
+	if err != nil {
+		return nil, err
+	}
+	total := int64(1) << cfg.LogPairs
+	np := int64(in.Machine.Cells())
+	st := &epState{}
+	in.Program = func(rt *vpp.Runtime) error {
+		r := int64(rt.Rank())
+		lo := r * total / np
+		hi := (r + 1) * total / np
+		// Jump to this cell's slice: 2 deviates per pair.
+		x := lcgSkip(epSeed, uint64(2*lo))
+		var sx, sy float64
+		var counts [10]int64
+		accepted := int64(0)
+		for k := lo; k < hi; k++ {
+			x = lcg46(x)
+			u1 := 2*float64(x)/float64(epMod) - 1
+			x = lcg46(x)
+			u2 := 2*float64(x)/float64(epMod) - 1
+			t := u1*u1 + u2*u2
+			if t <= 1 && t > 0 {
+				f := math.Sqrt(-2 * math.Log(t) / t)
+				gx, gy := u1*f, u2*f
+				sx += gx
+				sy += gy
+				m := math.Max(math.Abs(gx), math.Abs(gy))
+				bin := int(m)
+				if bin > 9 {
+					bin = 9
+				}
+				counts[bin]++
+				accepted++
+			}
+		}
+		// ~30 ops per pair (2 LCG steps, squares, compare) plus the
+		// transform on accepted pairs.
+		rt.Compute(opUS(float64(hi-lo)*30) + flopUS(float64(accepted)*20))
+		st.mu.Lock()
+		st.sx += sx
+		st.sy += sy
+		for i, c := range counts {
+			st.counts[i] += c
+		}
+		st.pairs += accepted
+		st.mu.Unlock()
+		return nil
+	}
+	in.Verify = func() error {
+		// The acceptance rate of the polar method is pi/4.
+		rate := float64(st.pairs) / float64(total)
+		if math.Abs(rate-math.Pi/4) > 0.01 {
+			return fmt.Errorf("acceptance rate %v, want ~%v", rate, math.Pi/4)
+		}
+		// Gaussian sums concentrate near 0 relative to the count.
+		if math.Abs(st.sx) > 4*math.Sqrt(float64(st.pairs)) || math.Abs(st.sy) > 4*math.Sqrt(float64(st.pairs)) {
+			return fmt.Errorf("gaussian sums off: sx=%v sy=%v n=%d", st.sx, st.sy, st.pairs)
+		}
+		// Nearly all samples fall in the first few annuli.
+		if st.counts[0] == 0 || st.counts[9] > st.counts[0] {
+			return fmt.Errorf("annulus counts implausible: %v", st.counts)
+		}
+		return nil
+	}
+	return in, nil
+}

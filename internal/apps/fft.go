@@ -1,0 +1,76 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Complex data in this package is stored as interleaved float64
+// pairs (re, im) inside machine memory segments, so DMA moves it
+// byte-identically while kernels work on it in place.
+
+// fftInPlace computes the in-place radix-2 decimation-in-time FFT of
+// n complex values stored interleaved in buf[0:2n]. inverse selects
+// the inverse transform (unscaled; callers divide by n).
+func fftInPlace(buf []float64, n int, inverse bool) {
+	if n&(n-1) != 0 || n == 0 {
+		panic(fmt.Sprintf("apps: FFT length %d not a power of two", n))
+	}
+	if len(buf) < 2*n {
+		panic("apps: FFT buffer too short")
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if i < j {
+			buf[2*i], buf[2*j] = buf[2*j], buf[2*i]
+			buf[2*i+1], buf[2*j+1] = buf[2*j+1], buf[2*i+1]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		ang := sign * 2 * math.Pi / float64(size)
+		wr, wi := math.Cos(ang), math.Sin(ang)
+		for start := 0; start < n; start += size {
+			cr, ci := 1.0, 0.0
+			for k := 0; k < half; k++ {
+				i0 := 2 * (start + k)
+				i1 := 2 * (start + k + half)
+				tr := buf[i1]*cr - buf[i1+1]*ci
+				ti := buf[i1]*ci + buf[i1+1]*cr
+				buf[i1] = buf[i0] - tr
+				buf[i1+1] = buf[i0+1] - ti
+				buf[i0] += tr
+				buf[i0+1] += ti
+				cr, ci = cr*wr-ci*wi, cr*wi+ci*wr
+			}
+		}
+	}
+}
+
+// fftStrided transforms a line of n complex values at the given
+// element stride within buf (stride in complex elements), via a
+// contiguous scratch of at least 2n floats.
+func fftStrided(buf []float64, offset, stride, n int, inverse bool, scratch []float64) {
+	for i := 0; i < n; i++ {
+		scratch[2*i] = buf[2*(offset+i*stride)]
+		scratch[2*i+1] = buf[2*(offset+i*stride)+1]
+	}
+	fftInPlace(scratch, n, inverse)
+	for i := 0; i < n; i++ {
+		buf[2*(offset+i*stride)] = scratch[2*i]
+		buf[2*(offset+i*stride)+1] = scratch[2*i+1]
+	}
+}
+
+// fftFlops estimates floating-point operations of one length-n FFT
+// (5 n log2 n, the standard count).
+func fftFlops(n int) float64 {
+	return 5 * float64(n) * math.Log2(float64(n))
+}

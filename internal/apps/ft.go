@@ -1,0 +1,314 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"ap1000plus/internal/mc"
+	"ap1000plus/internal/mem"
+	"ap1000plus/internal/topology"
+	"ap1000plus/internal/vpp"
+)
+
+// FTConfig configures the NPB FT kernel: repeated 3-D FFTs of an
+// Nx x Ny x Nz complex array, slab-decomposed along Z. Per iteration
+// the kernel runs a forward 3-D FFT (X and Y lines are local; the Z
+// dimension is reached by an all-to-all TRANSPOSE realized with one
+// stride PUT per destination cell per local plane) and the inverse
+// FFT (transposing back with contiguous GETs into a staging line),
+// then a checksum via scalar global sums — the PUT/PUTS/GET-heavy
+// mix of Table 3's FT row.
+type FTConfig struct {
+	Cells      int
+	Nx, Ny, Nz int
+	Iters      int
+	// ChunkRows splits each transpose block into messages of this
+	// many Y rows (0 = whole block in one message). The paper's FT
+	// moves ~1.6 KB messages; 32-row chunks reproduce that scale.
+	ChunkRows int
+}
+
+// PaperFT is the paper's configuration: 256 x 256 x 128 for 6
+// iterations on 128 cells.
+func PaperFT() FTConfig {
+	return FTConfig{Cells: 128, Nx: 256, Ny: 256, Nz: 128, Iters: 6, ChunkRows: 32}
+}
+
+// TestFT is a laptop-scale configuration.
+func TestFT() FTConfig { return FTConfig{Cells: 4, Nx: 16, Ny: 8, Nz: 8, Iters: 2} }
+
+// NewFT builds an FT instance.
+func NewFT(cfg FTConfig) (*Instance, error) {
+	for _, d := range []int{cfg.Nx, cfg.Ny, cfg.Nz} {
+		if d <= 0 || d&(d-1) != 0 {
+			return nil, fmt.Errorf("apps: FT: dimensions must be powers of two, got %dx%dx%d", cfg.Nx, cfg.Ny, cfg.Nz)
+		}
+	}
+	in, err := newInstance("FT", cfg.Cells, 64<<20)
+	if err != nil {
+		return nil, err
+	}
+	np := in.Machine.Cells()
+	if cfg.Nz%np != 0 || cfg.Nx%np != 0 {
+		return nil, fmt.Errorf("apps: FT: %d cells must divide Nz=%d and Nx=%d", np, cfg.Nz, cfg.Nx)
+	}
+	nzL := cfg.Nz / np // local z planes
+	nxL := cfg.Nx / np // local x columns in the transposed layout
+	chunk := cfg.ChunkRows
+	if chunk <= 0 || chunk > cfg.Ny {
+		chunk = cfg.Ny
+	}
+	if cfg.Ny%chunk != 0 {
+		return nil, fmt.Errorf("apps: FT: chunk rows %d must divide Ny=%d", chunk, cfg.Ny)
+	}
+
+	// zslab: [zl][y][x] interleaved complex.
+	zslab, err := newPerCellBuf(in.Machine, "ft.zslab", nzL*cfg.Ny*cfg.Nx*2)
+	if err != nil {
+		return nil, err
+	}
+	// xslab: [z][y][xl] interleaved complex.
+	xslab, err := newPerCellBuf(in.Machine, "ft.xslab", cfg.Nz*cfg.Ny*nxL*2)
+	if err != nil {
+		return nil, err
+	}
+	// line: staging for the inverse-transpose GETs (one plane block).
+	line, err := newPerCellBuf(in.Machine, "ft.line", cfg.Ny*nxL*2)
+	if err != nil {
+		return nil, err
+	}
+
+	// Deterministic pseudo-random initial data, reproducible per
+	// global index for verification.
+	initVal := func(zg, y, x int) (float64, float64) {
+		h := uint64(zg)*0x9E3779B97F4A7C15 ^ uint64(y)*0xC2B2AE3D27D4EB4F ^ uint64(x)*0x165667B19E3779F9
+		h ^= h >> 33
+		h *= 0xFF51AFD7ED558CCD
+		h ^= h >> 33
+		re := float64(h&0xFFFFF)/float64(1<<20) - 0.5
+		im := float64((h>>20)&0xFFFFF)/float64(1<<20) - 0.5
+		return re, im
+	}
+
+	checksums := make([]float64, cfg.Iters*2) // re/im per iteration (global)
+
+	in.Program = func(rt *vpp.Runtime) error {
+		r := rt.Rank()
+		zs := zslab.slice(r)
+		xs := xslab.slice(r)
+		scratch := make([]float64, 2*maxInt(cfg.Nx, maxInt(cfg.Ny, cfg.Nz)))
+
+		for zl := 0; zl < nzL; zl++ {
+			zg := r*nzL + zl
+			for y := 0; y < cfg.Ny; y++ {
+				for x := 0; x < cfg.Nx; x++ {
+					re, im := initVal(zg, y, x)
+					idx := 2 * ((zl*cfg.Ny+y)*cfg.Nx + x)
+					zs[idx], zs[idx+1] = re, im
+				}
+			}
+		}
+		rt.Barrier()
+
+		recvFlag := rt.Cell().Flags.Alloc()
+		gets := int64(0)
+
+		for iter := 0; iter < cfg.Iters; iter++ {
+			// --- Forward 3-D FFT ---
+			// X lines (contiguous) and Y lines (strided) are local.
+			flops := 0.0
+			for zl := 0; zl < nzL; zl++ {
+				base := zl * cfg.Ny * cfg.Nx
+				for y := 0; y < cfg.Ny; y++ {
+					fftInPlace(zs[2*(base+y*cfg.Nx):], cfg.Nx, false)
+					flops += fftFlops(cfg.Nx)
+				}
+				for x := 0; x < cfg.Nx; x++ {
+					fftStrided(zs, base+x, cfg.Nx, cfg.Ny, false, scratch)
+					flops += fftFlops(cfg.Ny)
+				}
+			}
+			rt.Compute(flopUS(flops))
+			rt.Barrier()
+
+			// Transpose z-slab -> x-slab: one stride PUT per
+			// (destination, local plane); the destination region
+			// [zg][*][*] is contiguous there.
+			for s := 0; s < np; s++ {
+				for zl := 0; zl < nzL; zl++ {
+					zg := r*nzL + zl
+					srcPat := mem.Stride{ItemSize: int64(nxL * 16), Count: int64(cfg.Ny), Skip: int64((cfg.Nx - nxL) * 16)}
+					dstOff := zg * cfg.Ny * nxL * 2
+					srcOff := (zl*cfg.Ny*cfg.Nx + s*nxL) * 2
+					if s == r {
+						// Local block: plain copy.
+						for y := 0; y < cfg.Ny; y++ {
+							copy(xs[dstOff+y*nxL*2:dstOff+(y+1)*nxL*2],
+								zs[srcOff+y*cfg.Nx*2:srcOff+y*cfg.Nx*2+nxL*2])
+						}
+						continue
+					}
+					for y0 := 0; y0 < cfg.Ny; y0 += chunk {
+						pat := srcPat
+						pat.Count = int64(chunk)
+						if err := rt.Comm.PutStride(topology.CellID(s),
+							xslab.addr(s, dstOff+y0*nxL*2), zslab.addr(r, srcOff+y0*cfg.Nx*2),
+							mc.NoFlag, mc.NoFlag, true,
+							pat, mem.Contiguous(pat.Total())); err != nil {
+							return err
+						}
+					}
+				}
+			}
+			rt.Comm.AckWait()
+			rt.Barrier()
+
+			// Z lines: in the x-slab layout, the z-line at (y, xl) has
+			// stride Ny*nxL complex elements.
+			flops = 0
+			for y := 0; y < cfg.Ny; y++ {
+				for xl := 0; xl < nxL; xl++ {
+					fftStrided(xs, y*nxL+xl, cfg.Ny*nxL, cfg.Nz, false, scratch)
+					flops += fftFlops(cfg.Nz)
+				}
+			}
+			rt.Compute(flopUS(flops))
+
+			// Checksum in frequency space plus spectrum diagnostics:
+			// the paper's four per-iteration global operations.
+			var csRe, csIm, energy, peak float64
+			for k := 0; k < 16; k++ {
+				idx := (k * 37) % (cfg.Nz * cfg.Ny * nxL)
+				csRe += xs[2*idx]
+				csIm += xs[2*idx+1]
+			}
+			for i := 0; i < cfg.Nz*cfg.Ny*nxL; i++ {
+				m2 := xs[2*i]*xs[2*i] + xs[2*i+1]*xs[2*i+1]
+				energy += m2
+				if m2 > peak {
+					peak = m2
+				}
+			}
+			rt.Compute(flopUS(float64(3 * cfg.Nz * cfg.Ny * nxL)))
+			csRe = rt.GlobalSum(csRe)
+			csIm = rt.GlobalSum(csIm)
+			energy = rt.GlobalSum(energy)
+			peak = rt.GlobalMax(peak)
+			_ = energy
+			_ = peak
+			if r == 0 {
+				checksums[2*iter] = csRe
+				checksums[2*iter+1] = csIm
+			}
+			rt.Barrier()
+
+			// --- Inverse 3-D FFT ---
+			// Z lines first (still local in the x-slab).
+			flops = 0
+			for y := 0; y < cfg.Ny; y++ {
+				for xl := 0; xl < nxL; xl++ {
+					fftStrided(xs, y*nxL+xl, cfg.Ny*nxL, cfg.Nz, true, scratch)
+					flops += fftFlops(cfg.Nz)
+				}
+			}
+			rt.Compute(flopUS(flops))
+			rt.Barrier()
+
+			// Transpose back: contiguous GET of each remote plane
+			// block into the staging line, then local scatter — the
+			// run-time system's software gather, which keeps the GET
+			// contiguous as in Table 3.
+			for s := 0; s < np; s++ {
+				for zl := 0; zl < nzL; zl++ {
+					zg := r*nzL + zl
+					srcOff := zg * cfg.Ny * nxL * 2
+					dstBase := (zl*cfg.Ny*cfg.Nx + s*nxL) * 2
+					if s == r {
+						for y := 0; y < cfg.Ny; y++ {
+							copy(zs[dstBase+y*cfg.Nx*2:dstBase+y*cfg.Nx*2+nxL*2],
+								xs[srcOff+y*nxL*2:srcOff+(y+1)*nxL*2])
+						}
+						continue
+					}
+					for y0 := 0; y0 < cfg.Ny; y0 += chunk {
+						if err := rt.Comm.Get(topology.CellID(s),
+							xslab.addr(s, srcOff+y0*nxL*2), line.addr(r, 0),
+							int64(chunk*nxL*16), mc.NoFlag, recvFlag); err != nil {
+							return err
+						}
+						gets++
+						rt.Comm.WaitFlag(recvFlag, gets)
+						ln := line.slice(r)
+						for y := 0; y < chunk; y++ {
+							copy(zs[dstBase+(y0+y)*cfg.Nx*2:dstBase+(y0+y)*cfg.Nx*2+nxL*2],
+								ln[y*nxL*2:(y+1)*nxL*2])
+						}
+					}
+				}
+			}
+			rt.Barrier()
+
+			// X and Y inverse lines, and 1/N scaling.
+			flops = 0
+			scale := 1 / (float64(cfg.Nx) * float64(cfg.Ny) * float64(cfg.Nz))
+			for zl := 0; zl < nzL; zl++ {
+				base := zl * cfg.Ny * cfg.Nx
+				for x := 0; x < cfg.Nx; x++ {
+					fftStrided(zs, base+x, cfg.Nx, cfg.Ny, true, scratch)
+					flops += fftFlops(cfg.Ny)
+				}
+				for y := 0; y < cfg.Ny; y++ {
+					fftInPlace(zs[2*(base+y*cfg.Nx):], cfg.Nx, true)
+					flops += fftFlops(cfg.Nx)
+					for x := 0; x < cfg.Nx; x++ {
+						idx := 2 * (base + y*cfg.Nx + x)
+						zs[idx] *= scale
+						zs[idx+1] *= scale
+					}
+				}
+			}
+			rt.Compute(flopUS(flops))
+			rt.Barrier()
+			rt.Barrier() // iteration boundary (compiler loop barrier)
+		}
+		return nil
+	}
+	in.Verify = func() error {
+		// Forward+inverse per iteration: the data must equal the
+		// initial field (to rounding) on every cell.
+		for r := 0; r < np; r++ {
+			zs := zslab.slice(r)
+			for zl := 0; zl < nzL; zl++ {
+				zg := r*nzL + zl
+				for y := 0; y < cfg.Ny; y++ {
+					for x := 0; x < cfg.Nx; x++ {
+						re, im := initVal(zg, y, x)
+						idx := 2 * ((zl*cfg.Ny+y)*cfg.Nx + x)
+						if math.Abs(zs[idx]-re) > 1e-9 || math.Abs(zs[idx+1]-im) > 1e-9 {
+							return fmt.Errorf("FT roundtrip mismatch at cell %d (%d,%d,%d): got (%g,%g) want (%g,%g)",
+								r, zg, y, x, zs[idx], zs[idx+1], re, im)
+						}
+					}
+				}
+			}
+		}
+		// Checksums must be identical across iterations (the spectrum
+		// is recomputed from the same data each time).
+		for it := 1; it < cfg.Iters; it++ {
+			if math.Abs(checksums[2*it]-checksums[0]) > 1e-6 ||
+				math.Abs(checksums[2*it+1]-checksums[1]) > 1e-6 {
+				return fmt.Errorf("FT checksum drift: iter %d (%g,%g) vs iter 0 (%g,%g)",
+					it, checksums[2*it], checksums[2*it+1], checksums[0], checksums[1])
+			}
+		}
+		return nil
+	}
+	return in, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,85 @@
+package apps
+
+import "fmt"
+
+// pentaCoeffs are the constant pentadiagonal coefficients of the
+// model operator: (cm2, cm1, c0, cp1, cp2) with strong diagonal
+// dominance so the factorization is stable without pivoting.
+var pentaCoeffs = [5]float64{-0.5, -1, 6, -1, -0.5}
+
+// pentaSolve solves the constant-coefficient pentadiagonal system
+// in place on rhs (length n), using scratch of at least 3n floats.
+// It is the line solver of the SP kernel (one solve per grid line per
+// direction).
+func pentaSolve(rhs []float64, n int, scratch []float64) {
+	if n < 1 {
+		return
+	}
+	if len(scratch) < 3*n {
+		panic(fmt.Sprintf("apps: pentaSolve scratch %d < %d", len(scratch), 3*n))
+	}
+	cm2, cm1, c0, cp1, cp2 := pentaCoeffs[0], pentaCoeffs[1], pentaCoeffs[2], pentaCoeffs[3], pentaCoeffs[4]
+	// Gaussian elimination on the band, keeping the two
+	// super-diagonals (u1, u2) and the pivot (d) per row.
+	d := scratch[0:n]
+	u1 := scratch[n : 2*n]
+	u2 := scratch[2*n : 3*n]
+	for i := 0; i < n; i++ {
+		di := c0
+		e1 := cp1
+		e2 := cp2
+		b := rhs[i]
+		// Eliminate the contribution of rows i-1 and i-2.
+		if i >= 1 {
+			m1 := cm1
+			if i >= 2 {
+				// Row i's cm2 term was partially folded below.
+				m2 := cm2 / d[i-2]
+				m1 -= m2 * u1[i-2]
+				di -= m2 * u2[i-2]
+				b -= m2 * rhs[i-2]
+			}
+			f := m1 / d[i-1]
+			di -= f * u1[i-1]
+			e1 -= f * u2[i-1]
+			b -= f * rhs[i-1]
+		}
+		d[i] = di
+		u1[i] = e1
+		u2[i] = e2
+		rhs[i] = b
+	}
+	// Back substitution.
+	if n >= 1 {
+		rhs[n-1] /= d[n-1]
+	}
+	if n >= 2 {
+		rhs[n-2] = (rhs[n-2] - u1[n-2]*rhs[n-1]) / d[n-2]
+	}
+	for i := n - 3; i >= 0; i-- {
+		rhs[i] = (rhs[i] - u1[i]*rhs[i+1] - u2[i]*rhs[i+2]) / d[i]
+	}
+}
+
+// pentaApply computes y = A x for the model pentadiagonal operator,
+// for testing the solver.
+func pentaApply(x []float64, n int) []float64 {
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := pentaCoeffs[2] * x[i]
+		if i >= 1 {
+			s += pentaCoeffs[1] * x[i-1]
+		}
+		if i >= 2 {
+			s += pentaCoeffs[0] * x[i-2]
+		}
+		if i+1 < n {
+			s += pentaCoeffs[3] * x[i+1]
+		}
+		if i+2 < n {
+			s += pentaCoeffs[4] * x[i+2]
+		}
+		y[i] = s
+	}
+	return y
+}

@@ -1,0 +1,243 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"ap1000plus/internal/mc"
+	"ap1000plus/internal/topology"
+	"ap1000plus/internal/vpp"
+)
+
+// SCGConfig configures the C-language SCG application: Poisson's
+// equation solved with the scaled (diagonally preconditioned)
+// conjugate gradient method on a G x G five-point grid — a sparse
+// G^2 x G^2 system (40000 unknowns for G=200 in the paper). The grid
+// is row-block distributed. Each iteration halos TWO arrays — the
+// search vector p for the A*p product and the solution x for the
+// explicit residual recomputation r = b - A*x (residual replacement,
+// which keeps long CG runs numerically honest) — sending the upward
+// halos with direct PUTs and the downward halos through SEND/RECEIVE,
+// plus two scalar global sums. Run to convergence (~446 iterations on
+// the paper grid) this lands on Table 3's SCG row: ~878 PUTs and
+// SENDs of G*8 = 1600 bytes and ~893 Gops with a single barrier.
+type SCGConfig struct {
+	Cells   int
+	G       int // grid edge; unknowns = G*G (200 -> 40000 in the paper)
+	MaxIter int
+	Tol     float64
+}
+
+// PaperSCG is the paper's configuration: a 40000 x 40000 sparse
+// system on 64 cells.
+func PaperSCG() SCGConfig { return SCGConfig{Cells: 64, G: 200, MaxIter: 1500, Tol: 2e-11} }
+
+// TestSCG is a laptop-scale configuration.
+func TestSCG() SCGConfig { return SCGConfig{Cells: 4, G: 24, MaxIter: 200, Tol: 1e-10} }
+
+// NewSCG builds an SCG instance.
+func NewSCG(cfg SCGConfig) (*Instance, error) {
+	if cfg.G < cfg.Cells || cfg.MaxIter < 1 {
+		return nil, fmt.Errorf("apps: SCG: bad config %+v", cfg)
+	}
+	in, err := newInstance("SCG", cfg.Cells, 32<<20)
+	if err != nil {
+		return nil, err
+	}
+	m := in.Machine
+	np := m.Cells()
+	g := cfg.G
+
+	// Row-block decomposition of the G x G grid. Every cell stores
+	// its rows of p and x plus one halo row above and below each.
+	rowsMax := vpp.BlockSize(g, np)
+	p, err := newPerCellBuf(m, "scg.p", (rowsMax+2)*g)
+	if err != nil {
+		return nil, err
+	}
+	xsol, err := newPerCellBuf(m, "scg.x", (rowsMax+2)*g)
+	if err != nil {
+		return nil, err
+	}
+	var finalRes sync.Map
+
+	in.Program = func(rt *vpp.Runtime) error {
+		r := rt.Rank()
+		lo, hi := balancedRange(g, np, r)
+		rows := hi - lo
+		ps := p.slice(r)    // [halo-above | rows | halo-below], each row g wide
+		xs := xsol.slice(r) // same layout
+		rres := make([]float64, rows*g)
+		q := make([]float64, rows*g)
+		diag := 4.0
+
+		// b = A * ones (interior-truncated 5-point operator), so the
+		// solution is all-ones; scaled CG preconditions by 1/diag.
+		bAt := func(gr, gc int) float64 {
+			b := diag
+			if gr > 0 {
+				b -= 1
+			}
+			if gr < g-1 {
+				b -= 1
+			}
+			if gc > 0 {
+				b -= 1
+			}
+			if gc < g-1 {
+				b -= 1
+			}
+			return b
+		}
+		for i := 0; i < rows; i++ {
+			for j := 0; j < g; j++ {
+				rres[i*g+j] = bAt(lo+i, j)
+				ps[(1+i)*g+j] = rres[i*g+j] / diag // p = z = M^-1 r
+			}
+		}
+		rhoLocal := 0.0
+		for i := 0; i < rows; i++ {
+			for j := 0; j < g; j++ {
+				rhoLocal += rres[i*g+j] * rres[i*g+j] / diag
+			}
+		}
+		rt.Compute(flopUS(float64(3 * rows * g)))
+		rho := rt.GlobalSum(rhoLocal)
+
+		// The single barrier of Table 3's SCG row: after it the loop
+		// synchronizes purely through flags and reductions.
+		rt.Barrier()
+
+		haloFlag := rt.Cell().Flags.Alloc()
+		haloRecv := int64(0)
+		// exchange halos a buffer laid out [halo | rows | halo]:
+		// upward via PUT, downward via SEND/RECEIVE (the C code's
+		// mixed usage that gives SCG equal PUT and SEND counts).
+		exchange := func(buf *perCellBuf) error {
+			if r < np-1 {
+				if err := rt.Comm.Put(topology.CellID(r+1),
+					buf.addr(r+1, 0), buf.addr(r, rows*g),
+					int64(g)*8, mc.NoFlag, haloFlag, true); err != nil {
+					return err
+				}
+			}
+			if r > 0 {
+				if err := rt.EP.Send(topology.CellID(r-1), buf.addr(r, g), int64(g)*8, false); err != nil {
+					return err
+				}
+			}
+			if r > 0 {
+				haloRecv++
+				rt.Comm.WaitFlag(haloFlag, haloRecv)
+			}
+			if r < np-1 {
+				if _, err := rt.EP.Recv(topology.CellID(r+1), buf.addr(r, (rows+1)*g), int64(g)*8); err != nil {
+					return err
+				}
+			}
+			rt.Comm.AckWait()
+			return nil
+		}
+		iters := 0
+		for iter := 0; iter < cfg.MaxIter; iter++ {
+			iters = iter + 1
+			if err := exchange(p); err != nil {
+				return err
+			}
+
+			// q = A p over owned rows (5-point stencil; halo rows
+			// supply the off-block terms).
+			pAt := func(i, j int) float64 {
+				// i in halo coordinates: -1..rows; global row lo+i.
+				gr := lo + i
+				if gr < 0 || gr >= g || j < 0 || j >= g {
+					return 0
+				}
+				return ps[(1+i)*g+j]
+			}
+			pq := 0.0
+			for i := 0; i < rows; i++ {
+				for j := 0; j < g; j++ {
+					v := diag*pAt(i, j) - pAt(i-1, j) - pAt(i+1, j) - pAt(i, j-1) - pAt(i, j+1)
+					q[i*g+j] = v
+					pq += pAt(i, j) * v
+				}
+			}
+			rt.Compute(flopUS(float64(11 * rows * g)))
+			pq = rt.GlobalSum(pq)
+			alpha := rho / pq
+
+			for i := 0; i < rows; i++ {
+				for j := 0; j < g; j++ {
+					xs[(1+i)*g+j] += alpha * ps[(1+i)*g+j]
+				}
+			}
+			rt.Compute(flopUS(float64(2 * rows * g)))
+			// Residual replacement: recompute r = b - A*x explicitly,
+			// which needs x's halo — the second PUT/SEND pair of each
+			// iteration.
+			if err := exchange(xsol); err != nil {
+				return err
+			}
+			xAt := func(i, j int) float64 {
+				gr := lo + i
+				if gr < 0 || gr >= g || j < 0 || j >= g {
+					return 0
+				}
+				return xs[(1+i)*g+j]
+			}
+			rzLocal := 0.0
+			for i := 0; i < rows; i++ {
+				for j := 0; j < g; j++ {
+					ax := diag*xAt(i, j) - xAt(i-1, j) - xAt(i+1, j) - xAt(i, j-1) - xAt(i, j+1)
+					rres[i*g+j] = bAt(lo+i, j) - ax
+					rzLocal += rres[i*g+j] * rres[i*g+j] / diag
+				}
+			}
+			rt.Compute(flopUS(float64(12 * rows * g)))
+			rhoNew := rt.GlobalSum(rzLocal)
+			if math.Sqrt(rhoNew) < cfg.Tol {
+				rho = rhoNew
+				break
+			}
+			beta := rhoNew / rho
+			rho = rhoNew
+			for i := 0; i < rows; i++ {
+				for j := 0; j < g; j++ {
+					ps[(1+i)*g+j] = rres[i*g+j]/diag + beta*ps[(1+i)*g+j]
+				}
+			}
+			rt.Compute(flopUS(float64(3 * rows * g)))
+		}
+		finalRes.Store(r, [2]float64{math.Sqrt(rho), float64(iters)})
+		return nil
+	}
+	in.Verify = func() error {
+		var res float64
+		count := 0
+		finalRes.Range(func(_, v any) bool {
+			res = v.([2]float64)[0]
+			count++
+			return true
+		})
+		if count != np {
+			return fmt.Errorf("missing results: %d of %d", count, np)
+		}
+		if res > 1e-6 {
+			return fmt.Errorf("SCG residual %g did not converge", res)
+		}
+		// Solution must be ~all-ones.
+		for r := 0; r < np; r++ {
+			lo, hi := balancedRange(g, np, r)
+			xs := xsol.slice(r)
+			for i := 0; i < (hi-lo)*g; i++ {
+				if math.Abs(xs[g+i]-1) > 1e-3 {
+					return fmt.Errorf("SCG x[%d] on cell %d = %g, want 1", i, r, xs[g+i])
+				}
+			}
+		}
+		return nil
+	}
+	return in, nil
+}

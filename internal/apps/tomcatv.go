@@ -1,0 +1,273 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"ap1000plus/internal/mc"
+	"ap1000plus/internal/topology"
+	"ap1000plus/internal/vpp"
+)
+
+// TomcatvConfig configures the SPEC TOMCATV mesh-generation kernel:
+// an iterative smoother over two N x N coordinate arrays X and Y,
+// column-block distributed over the cells (Figure 2's layout).
+//
+// Per iteration:
+//   - the X and Y boundary columns are pushed to the neighbours'
+//     overlap areas — one stride PUT per column with Stride on (the
+//     2056-byte PUTS of Table 3's "TC st" row for N=257), or N
+//     8-byte PUTs with Stride off ("TC no st": x257 messages of
+//     size/257);
+//   - the residual edge columns RX and RY are packed contiguously and
+//     fetched by the neighbours with plain GETs (the contiguous GET
+//     column of Table 3);
+//   - the maximum residuals are reduced with two scalar global
+//     operations (Gop 2/iteration);
+//   - a tridiagonal-style relaxation updates the interior.
+type TomcatvConfig struct {
+	Cells  int
+	N      int // grid edge (257 in the paper)
+	Iters  int // 10 simulated iterations in the paper
+	Stride bool
+}
+
+// PaperTomcatv is the paper's configuration: 257 x 257, 10
+// iterations, 16 cells.
+func PaperTomcatv(stride bool) TomcatvConfig {
+	return TomcatvConfig{Cells: 16, N: 257, Iters: 10, Stride: stride}
+}
+
+// TestTomcatv is a laptop-scale configuration.
+func TestTomcatv(stride bool) TomcatvConfig {
+	return TomcatvConfig{Cells: 4, N: 33, Iters: 3, Stride: stride}
+}
+
+// NewTomcatv builds a TOMCATV instance.
+func NewTomcatv(cfg TomcatvConfig) (*Instance, error) {
+	if cfg.N < 5 || cfg.Iters < 1 {
+		return nil, fmt.Errorf("apps: TOMCATV: bad config %+v", cfg)
+	}
+	name := "TC st"
+	if !cfg.Stride {
+		name = "TC no st"
+	}
+	in, err := newInstance(name, cfg.Cells, 32<<20)
+	if err != nil {
+		return nil, err
+	}
+	m := in.Machine
+	np := m.Cells()
+	n := cfg.N
+
+	x, err := vpp.NewArray2D(m, "tc.x", n, n, 1)
+	if err != nil {
+		return nil, err
+	}
+	y, err := vpp.NewArray2D(m, "tc.y", n, n, 1)
+	if err != nil {
+		return nil, err
+	}
+	// Packed edge buffers for RX/RY: [left RX | right RX | left RY |
+	// right RY], each n elements, published for neighbours to GET.
+	edges, err := newPerCellBuf(m, "tc.edges", 4*n)
+	if err != nil {
+		return nil, err
+	}
+	// Landing area for fetched edges: [RX from left | RX from right |
+	// RY from left | RY from right].
+	inbox, err := newPerCellBuf(m, "tc.inbox", 4*n)
+	if err != nil {
+		return nil, err
+	}
+
+	var resHistory sync.Map // iter -> max residual (stored by rank 0)
+
+	in.Program = func(rt *vpp.Runtime) error {
+		r := rt.Rank()
+		lo, hi := x.OwnedCols(r)
+		own := hi - lo
+		w := x.LocalWidth()
+		xl := x.Local(r)
+		yl := y.Local(r)
+		rx := make([]float64, n*w)
+		ry := make([]float64, n*w)
+
+		// Initial mesh: a stretched grid with a high-frequency wrinkle
+		// (the wrinkle is what a few smoother iterations remove; the
+		// smooth mode decays only over O(n^2) iterations).
+		for row := 0; row < n; row++ {
+			for j := lo; j < hi; j++ {
+				c := x.LocalCol(r, j)
+				u := float64(row) / float64(n-1)
+				v := float64(j) / float64(n-1)
+				chk := float64(((row+j)&1)*2 - 1) // checkerboard
+				if row == 0 || row == n-1 || j == 0 || j == n-1 {
+					chk = 0 // keep the boundary exact
+				}
+				base := 0.1 * math.Sin(math.Pi*u) * math.Sin(math.Pi*v)
+				xl[row*w+c] = v + base + 0.01*chk
+				yl[row*w+c] = u + base + 0.01*chk
+			}
+		}
+
+		getFlag := rt.Cell().Flags.Alloc()
+		gets := int64(0)
+
+		for iter := 0; iter < cfg.Iters; iter++ {
+			// Phase 1: refresh X and Y overlap columns.
+			if err := rt.OverlapFix2D(x, cfg.Stride); err != nil {
+				return err
+			}
+			if err := rt.OverlapFix2D(y, cfg.Stride); err != nil {
+				return err
+			}
+
+			// Phase 2: residuals over owned interior columns, using
+			// the freshly exchanged shadow columns.
+			rxm, rym := 0.0, 0.0
+			for row := 1; row < n-1; row++ {
+				for j := lo; j < hi; j++ {
+					if j == 0 || j == n-1 {
+						continue
+					}
+					c := x.LocalCol(r, j)
+					lapX := xl[row*w+c-1] + xl[row*w+c+1] + xl[(row-1)*w+c] + xl[(row+1)*w+c] - 4*xl[row*w+c]
+					lapY := yl[row*w+c-1] + yl[row*w+c+1] + yl[(row-1)*w+c] + yl[(row+1)*w+c] - 4*yl[row*w+c]
+					rx[row*w+c] = lapX
+					ry[row*w+c] = lapY
+					if a := math.Abs(lapX); a > rxm {
+						rxm = a
+					}
+					if a := math.Abs(lapY); a > rym {
+						rym = a
+					}
+				}
+			}
+			rt.Compute(flopUS(float64(14 * (n - 2) * own)))
+			rt.Barrier() // residuals complete
+
+			// Phase 3: the two scalar global reductions (max
+			// residuals) of each TOMCATV iteration.
+			rxm = rt.GlobalMax(rxm)
+			rym = rt.GlobalMax(rym)
+			if r == 0 {
+				resHistory.Store(iter, math.Max(rxm, rym))
+			}
+			rt.Barrier() // reductions consumed
+
+			// Phase 4: publish packed residual edge columns; the
+			// neighbours GET them (contiguous both sides).
+			ed := edges.slice(r)
+			cl := x.LocalCol(r, lo)
+			cr := x.LocalCol(r, hi-1)
+			for row := 0; row < n; row++ {
+				ed[row] = rx[row*w+cl]
+				ed[n+row] = rx[row*w+cr]
+				ed[2*n+row] = ry[row*w+cl]
+				ed[3*n+row] = ry[row*w+cr]
+			}
+			rt.Barrier() // edges published everywhere
+			// Fetch neighbour residual edges. With stride hardware the
+			// packed edge moves as one contiguous GET; without it the
+			// run-time system falls back to one 8-byte GET per row,
+			// multiplying the GET count by N exactly as the PUTs
+			// (Table 3's TC no st row).
+			fetch := func(peer topology.CellID, srcOff, dstOff int) error {
+				if cfg.Stride {
+					gets++
+					return rt.Comm.Get(peer, edges.addr(int(peer), srcOff), inbox.addr(r, dstOff),
+						int64(n)*8, mc.NoFlag, getFlag)
+				}
+				for row := 0; row < n; row++ {
+					gets++
+					if err := rt.Comm.Get(peer, edges.addr(int(peer), srcOff+row), inbox.addr(r, dstOff+row),
+						8, mc.NoFlag, getFlag); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			if r > 0 {
+				// The left neighbour's RIGHT edges.
+				if err := fetch(topology.CellID(r-1), n, 0); err != nil {
+					return err
+				}
+				if err := fetch(topology.CellID(r-1), 3*n, 2*n); err != nil {
+					return err
+				}
+			}
+			if r < np-1 {
+				if err := fetch(topology.CellID(r+1), 0, n); err != nil {
+					return err
+				}
+				if err := fetch(topology.CellID(r+1), 2*n, 3*n); err != nil {
+					return err
+				}
+			}
+			rt.Comm.WaitFlag(getFlag, gets)
+			rt.Barrier() // all fetches complete before edges reused
+
+			// Phase 5: relaxation update using residuals, with the
+			// fetched neighbour residual edges smoothing the block
+			// boundaries.
+			ib := inbox.slice(r)
+			// omega=1/8 makes the damped-Jacobi update contractive for
+			// the 5-point Laplacian (spectral radius 8) and kills the
+			// checkerboard mode in a single sweep.
+			const omega = 0.125
+			for row := 1; row < n-1; row++ {
+				for j := lo; j < hi; j++ {
+					if j == 0 || j == n-1 {
+						continue
+					}
+					c := x.LocalCol(r, j)
+					dx := rx[row*w+c]
+					dy := ry[row*w+c]
+					if j == lo && r > 0 {
+						dx = 0.5 * (dx + ib[row])
+						dy = 0.5 * (dy + ib[2*n+row])
+					}
+					if j == hi-1 && r < np-1 {
+						dx = 0.5 * (dx + ib[n+row])
+						dy = 0.5 * (dy + ib[3*n+row])
+					}
+					xl[row*w+c] += omega * dx
+					yl[row*w+c] += omega * dy
+				}
+			}
+			rt.Compute(flopUS(float64(8 * (n - 2) * own)))
+			rt.Barrier() // update visible
+			rt.Barrier() // iteration boundary (the compiler's loop barrier)
+		}
+		return nil
+	}
+	in.Verify = func() error {
+		// The smoother must reduce the mesh residual: damped Jacobi
+		// on a Laplacian converges, allowing small local wiggles in
+		// the max norm.
+		var first, last, prev float64
+		prev = math.Inf(1)
+		for iter := 0; iter < cfg.Iters; iter++ {
+			v, ok := resHistory.Load(iter)
+			if !ok {
+				return fmt.Errorf("missing residual for iteration %d", iter)
+			}
+			res := v.(float64)
+			if math.IsNaN(res) || res > prev*1.1 {
+				return fmt.Errorf("residual diverging: iter %d: %g (prev %g)", iter, res, prev)
+			}
+			prev = res
+			if iter == 0 {
+				first = res
+			}
+			last = res
+		}
+		if cfg.Iters >= 3 && last >= first {
+			return fmt.Errorf("residual did not decrease: first %g, last %g", first, last)
+		}
+		return nil
+	}
+	return in, nil
+}

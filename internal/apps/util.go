@@ -1,0 +1,54 @@
+package apps
+
+import (
+	"ap1000plus/internal/machine"
+	"ap1000plus/internal/mem"
+	"ap1000plus/internal/topology"
+)
+
+// perCellBuf is a buffer of elems float64 allocated identically on
+// every cell, with cross-cell addressing — the raw material of the
+// C-language applications' PUT/GET usage and of staging areas.
+type perCellBuf struct {
+	segs []*mem.Segment
+	data [][]float64
+}
+
+func newPerCellBuf(m *machine.Machine, name string, elems int) (*perCellBuf, error) {
+	b := &perCellBuf{}
+	for r := 0; r < m.Cells(); r++ {
+		seg, data, err := m.Cell(topology.CellID(r)).AllocFloat64(name, elems)
+		if err != nil {
+			return nil, err
+		}
+		b.segs = append(b.segs, seg)
+		b.data = append(b.data, data)
+	}
+	return b, nil
+}
+
+// addr returns the address of element idx on rank r.
+func (b *perCellBuf) addr(r, idx int) mem.Addr {
+	return b.segs[r].Base() + mem.Addr(idx*8)
+}
+
+// slice returns rank r's backing data.
+func (b *perCellBuf) slice(r int) []float64 { return b.data[r] }
+
+// balancedRange splits n items over np ranks with sizes differing by
+// at most one (never empty while n >= np): rank r owns [lo, hi).
+func balancedRange(n, np, r int) (lo, hi int) {
+	return r * n / np, (r + 1) * n / np
+}
+
+// balancedOwner finds the rank owning item i under balancedRange.
+func balancedOwner(n, np, i int) int {
+	r := i * np / n
+	for i >= (r+1)*n/np {
+		r++
+	}
+	for i < r*n/np {
+		r--
+	}
+	return r
+}

@@ -1,0 +1,26 @@
+package apps
+
+// The work model: traces carry compute durations in microseconds of
+// AP1000 (25 MHz SPARC) time, since the paper's traces were captured
+// on the AP1000 and MLSim scales them by each model's
+// computation_factor. We charge floating-point work at a sustained
+// SPARC rate and memory-traffic-bound work at a separate rate.
+//
+// Because Table 2 reports ratios between two models replaying the
+// SAME trace, results depend on the compute:communication balance —
+// set by the real algorithms — rather than on the absolute constants
+// here.
+const (
+	// MFLOPSSPARC is the sustained MFLOPS of the AP1000's 25 MHz
+	// SPARC on numeric inner loops.
+	MFLOPSSPARC = 5.0
+	// MopsSPARC is the sustained Mops for integer/RNG work.
+	MopsSPARC = 12.5
+)
+
+// flopUS converts floating-point operations to microseconds of SPARC
+// time.
+func flopUS(flops float64) float64 { return flops / MFLOPSSPARC }
+
+// opUS converts integer operations to microseconds of SPARC time.
+func opUS(ops float64) float64 { return ops / MopsSPARC }

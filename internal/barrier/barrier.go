@@ -1,0 +1,280 @@
+// Package barrier implements the AP1000+'s synchronization and
+// reduction library (S4.5):
+//
+//   - All-cells barriers use the S-net hardware.
+//   - Group barriers run in software over the communication
+//     registers, as a store/load tree ("Software synchronization can
+//     be used for barrier synchronization for specific groups of
+//     cells").
+//   - Scalar global reductions use the communication registers with a
+//     binary tree: children remote-store partial values into their
+//     parent's registers (p-bit handshake), the parent combines with
+//     plain loads, and results flow back down.
+//   - Vector global reductions circulate through ring buffers with
+//     SEND/RECEIVE: an accumulating pass around the group ring (P-1
+//     sends) whose final cell owns the result, followed by a B-net
+//     broadcast — matching the paper's Table 3 accounting where a
+//     16-cell CG shows 15/16 SENDs per vector reduction per PE.
+package barrier
+
+import (
+	"fmt"
+	"math"
+
+	"ap1000plus/internal/machine"
+	"ap1000plus/internal/mc"
+	"ap1000plus/internal/mem"
+	"ap1000plus/internal/sendrecv"
+	"ap1000plus/internal/topology"
+	"ap1000plus/internal/trace"
+)
+
+// regsPerGroup is the communication-register region reserved per
+// group: two 8-byte up pairs, one 8-byte down pair, two 4-byte
+// barrier-up slots, one 4-byte barrier-down slot, padded to 16.
+// With 128 registers, at most 8 groups can synchronize concurrently;
+// more groups alias regions, which is safe only if they never run
+// collectives at the same time.
+const regsPerGroup = 16
+
+// Sync provides barriers and reductions for one cell.
+type Sync struct {
+	cell *machine.Cell
+	ep   *sendrecv.Endpoint
+
+	f64Scratch []float64
+	f64Seg     *mem.Segment
+	tokSeg     *mem.Segment
+	vecSeg     *mem.Segment
+	vecData    []float64
+}
+
+// New builds the synchronization library for a cell. ep may be nil if
+// vector reductions are never used.
+func New(cell *machine.Cell, ep *sendrecv.Endpoint) (*Sync, error) {
+	f64Seg, f64, err := cell.AllocFloat64("sync.f64", 1)
+	if err != nil {
+		return nil, err
+	}
+	tokSeg, _, err := cell.AllocBytes("sync.tok", 4)
+	if err != nil {
+		return nil, err
+	}
+	return &Sync{cell: cell, ep: ep, f64Seg: f64Seg, f64Scratch: f64, tokSeg: tokSeg}, nil
+}
+
+func regBase(gid trace.GroupID) int {
+	return (int(gid) * regsPerGroup) % mc.NumCommRegs
+}
+
+// fence waits for all this cell's outstanding remote-store
+// acknowledgements, guaranteeing every prior store was captured (and
+// so the scratch areas may be rewritten).
+func (s *Sync) fence() { s.cell.FenceRemoteStores() }
+
+// storeRemoteF64 remote-stores an 8-byte value into register pair
+// reg of cell dst, via the scratch slot.
+func (s *Sync) storeRemoteF64(dst topology.CellID, reg int, v float64) {
+	s.f64Scratch[0] = v
+	s.cell.RemoteStore(dst, machine.CregAddr(reg), s.f64Seg.Base(), 8)
+	s.fence() // scratch has one slot; serialize captures
+}
+
+// storeRemoteToken remote-stores a 4-byte token into register reg of
+// cell dst.
+func (s *Sync) storeRemoteToken(dst topology.CellID, reg int) {
+	s.cell.RemoteStore(dst, machine.CregAddr(reg), s.tokSeg.Base(), 4)
+	s.fence()
+}
+
+// group returns this cell's group view, panicking if the cell is not
+// a member — calling a collective from outside the group is a program
+// bug the hardware cannot save.
+func (s *Sync) group(gid trace.GroupID) (*topology.Group, int) {
+	g := s.cell.Machine().Group(gid)
+	rank, ok := g.Rank(s.cell.ID())
+	if !ok {
+		panic(fmt.Sprintf("barrier: cell %d is not in group %q", s.cell.ID(), g.Name()))
+	}
+	return g, rank
+}
+
+// Barrier synchronizes the group. The all-cells group uses the S-net;
+// other groups use the communication-register tree.
+func (s *Sync) Barrier(gid trace.GroupID) {
+	if rec := s.cell.Recorder(); rec != nil {
+		rec.Barrier(gid)
+	}
+	if gid == trace.AllGroup {
+		s.cell.HWBarrier()
+		return
+	}
+	g, rank := s.group(gid)
+	if g.Size() == 1 {
+		return
+	}
+	base := regBase(gid)
+	me := s.cell.ID()
+	// Up phase: wait for children's tokens, then notify parent.
+	for i := range g.BinaryTreeChildren(me) {
+		s.cell.Cregs.Load32(base + 6 + i)
+	}
+	if rank != 0 {
+		slot := (rank - 1) % 2 // which child of the parent am I
+		s.storeRemoteToken(g.BinaryTreeParent(me), base+6+slot)
+		// Down phase: wait for release token.
+		s.cell.Cregs.Load32(base + 8)
+	}
+	// Release children.
+	for _, child := range g.BinaryTreeChildren(me) {
+		s.storeRemoteToken(child, base+8)
+	}
+}
+
+func combine(op trace.ReduceOp, a, b float64) float64 {
+	switch op {
+	case trace.ReduceSum:
+		return a + b
+	case trace.ReduceMax:
+		if b > a {
+			return b
+		}
+		return a
+	case trace.ReduceMin:
+		if b < a {
+			return b
+		}
+		return a
+	}
+	panic(fmt.Sprintf("barrier: unknown reduce op %d", op))
+}
+
+// Reduce performs a scalar global reduction over the group and
+// returns the combined value on every member. It runs over the
+// communication registers: "global reduction can be achieved only by
+// repeating store, execute, and load instructions" (S4.5).
+func (s *Sync) Reduce(gid trace.GroupID, op trace.ReduceOp, x float64) float64 {
+	if rec := s.cell.Recorder(); rec != nil {
+		rec.GopScalar(gid, op)
+	}
+	g, rank := s.group(gid)
+	if g.Size() == 1 {
+		return x
+	}
+	base := regBase(gid)
+	me := s.cell.ID()
+	acc := x
+	// Up phase: combine children's partials (blocking p-bit loads on
+	// our own registers).
+	for i := range g.BinaryTreeChildren(me) {
+		bits := s.cell.Cregs.Load64(base + 2*i)
+		acc = combine(op, acc, f64FromBits(bits))
+	}
+	if rank != 0 {
+		slot := (rank - 1) % 2
+		s.storeRemoteF64(g.BinaryTreeParent(me), base+2*slot, acc)
+		// Down phase: the final value arrives in the down pair.
+		acc = f64FromBits(s.cell.Cregs.Load64(base + 4))
+	}
+	for _, child := range g.BinaryTreeChildren(me) {
+		s.storeRemoteF64(child, base+4, acc)
+	}
+	return acc
+}
+
+// ReduceVec performs an element-wise global reduction of vec over the
+// group, in place, returning the combined vector on every member.
+// Implementation (S4.5): an accumulating pass around the group ring
+// through the ring buffers — each cell consumes its predecessor's
+// partial vector in place, combines, and SENDs onward — then the last
+// cell broadcasts the result. For the all-cells group the broadcast
+// uses the B-net; for proper subgroups it rides the ring back (a
+// second P-1 sends), since B-net broadcasts reach every cell.
+func (s *Sync) ReduceVec(gid trace.GroupID, op trace.ReduceOp, vec []float64) error {
+	if s.ep == nil {
+		return fmt.Errorf("barrier: vector reduction needs a SEND/RECEIVE endpoint")
+	}
+	if rec := s.cell.Recorder(); rec != nil {
+		rec.GopVector(gid, op, int64(len(vec))*8)
+	}
+	g, rank := s.group(gid)
+	if g.Size() == 1 || len(vec) == 0 {
+		return nil
+	}
+	if err := s.ensureVec(len(vec)); err != nil {
+		return err
+	}
+	me := s.cell.ID()
+	members := g.Members()
+	prev := members[(rank-1+g.Size())%g.Size()]
+	next := g.RingNext(me)
+	size := int64(len(vec)) * 8
+	tag := int64(gid)<<32 | int64(len(vec))
+
+	if rank > 0 {
+		// Consume the predecessor's partial in place (zero copy).
+		p := s.ep.Consume(prev)
+		vals, ok := p.Float64s()
+		if !ok || len(vals) != len(vec) {
+			return fmt.Errorf("barrier: ring payload mismatch (%d vs %d elements)", len(vals), len(vec))
+		}
+		for i := range vec {
+			vec[i] = combine(op, vec[i], vals[i])
+		}
+	}
+	if rank < g.Size()-1 {
+		copy(s.vecData, vec)
+		if err := s.ep.Send(next, s.vecSeg.Base(), size, false); err != nil {
+			return err
+		}
+		if gid == trace.AllGroup {
+			// Await the broadcast result.
+			p := s.cell.RecvBroadcast(tag)
+			vals, _ := p.Float64s()
+			copy(vec, vals)
+			return nil
+		}
+		// Subgroup: result comes back around the ring.
+		p := s.ep.Consume(prev)
+		vals, ok := p.Float64s()
+		if !ok {
+			return fmt.Errorf("barrier: ring broadcast payload not float64")
+		}
+		copy(vec, vals)
+		if next != g.Members()[g.Size()-1] { // don't return it to the owner
+			copy(s.vecData, vec)
+			if err := s.ep.Send(next, s.vecSeg.Base(), size, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Last member owns the result; distribute it.
+	if gid == trace.AllGroup {
+		copy(s.vecData, vec)
+		if err := s.cell.Broadcast(s.vecSeg.Base(), size, tag); err != nil {
+			return err
+		}
+		// Drain our own copy of the broadcast.
+		s.cell.RecvBroadcast(tag)
+		return nil
+	}
+	copy(s.vecData, vec)
+	return s.ep.Send(next, s.vecSeg.Base(), size, false)
+}
+
+func (s *Sync) ensureVec(n int) error {
+	if s.vecData != nil && len(s.vecData) >= n {
+		return nil
+	}
+	seg, data, err := s.cell.AllocFloat64(fmt.Sprintf("sync.vec%d", n), n)
+	if err != nil {
+		return err
+	}
+	s.vecSeg, s.vecData = seg, data
+	return nil
+}
+
+func f64FromBits(bits uint64) float64 {
+	return math.Float64frombits(bits)
+}

@@ -1,0 +1,332 @@
+package barrier
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"ap1000plus/internal/machine"
+	"ap1000plus/internal/sendrecv"
+	"ap1000plus/internal/topology"
+	"ap1000plus/internal/trace"
+)
+
+type fixture struct {
+	m     *machine.Machine
+	syncs []*Sync
+}
+
+func newFixture(t testing.TB, w, h int, traceApp string) *fixture {
+	t.Helper()
+	m, err := machine.New(machine.Config{Width: w, Height: h, MemoryPerCell: 1 << 22, TraceApp: traceApp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fixture{m: m}
+	for id := 0; id < m.Cells(); id++ {
+		cell := m.Cell(topology.CellID(id))
+		ep := sendrecv.New(cell, 0)
+		s, err := New(cell, ep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.syncs = append(f.syncs, s)
+	}
+	return f
+}
+
+func TestAllCellsBarrier(t *testing.T) {
+	f := newFixture(t, 2, 2, "")
+	var arrived atomic.Int64
+	err := f.m.Run(func(c *machine.Cell) error {
+		arrived.Add(1)
+		f.syncs[c.ID()].Barrier(trace.AllGroup)
+		if arrived.Load() != 4 {
+			t.Error("released early")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.m.Barriers() != 1 {
+		t.Errorf("hardware barriers = %d (all-cells barrier must use the S-net)", f.m.Barriers())
+	}
+}
+
+func TestGroupBarrierSoftware(t *testing.T) {
+	f := newFixture(t, 4, 2, "")
+	row0 := f.m.DefineGroup(topology.Row(f.m.Torus(), 0))
+	var inRow atomic.Int64
+	err := f.m.Run(func(c *machine.Cell) error {
+		if !f.m.Group(row0).Contains(c.ID()) {
+			return nil
+		}
+		for round := 0; round < 5; round++ {
+			inRow.Add(1)
+			f.syncs[c.ID()].Barrier(row0)
+			if got := inRow.Load(); got < int64((round+1)*4) {
+				t.Errorf("round %d released with %d arrivals", round, got)
+				return nil
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.m.Barriers() != 0 {
+		t.Error("group barrier must not use the S-net")
+	}
+}
+
+func TestScalarReduceSum(t *testing.T) {
+	f := newFixture(t, 4, 4, "")
+	err := f.m.Run(func(c *machine.Cell) error {
+		got := f.syncs[c.ID()].Reduce(trace.AllGroup, trace.ReduceSum, float64(c.ID())+1)
+		want := float64(16 * 17 / 2) // 1+2+...+16
+		if got != want {
+			t.Errorf("cell %d: sum = %v, want %v", c.ID(), got, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScalarReduceMaxMin(t *testing.T) {
+	f := newFixture(t, 2, 2, "")
+	err := f.m.Run(func(c *machine.Cell) error {
+		s := f.syncs[c.ID()]
+		x := float64(c.ID()*10) - 15 // -15, -5, 5, 15
+		if got := s.Reduce(trace.AllGroup, trace.ReduceMax, x); got != 15 {
+			t.Errorf("cell %d max = %v", c.ID(), got)
+		}
+		if got := s.Reduce(trace.AllGroup, trace.ReduceMin, x); got != -15 {
+			t.Errorf("cell %d min = %v", c.ID(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupScalarReduce(t *testing.T) {
+	f := newFixture(t, 4, 2, "")
+	col1 := f.m.DefineGroup(topology.Column(f.m.Torus(), 1))
+	err := f.m.Run(func(c *machine.Cell) error {
+		g := f.m.Group(col1)
+		if !g.Contains(c.ID()) {
+			return nil
+		}
+		got := f.syncs[c.ID()].Reduce(col1, trace.ReduceSum, 1)
+		if got != float64(g.Size()) {
+			t.Errorf("cell %d: group sum = %v, want %d", c.ID(), got, g.Size())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepeatedReductions(t *testing.T) {
+	// Back-to-back reductions must not corrupt each other via
+	// register reuse (p-bit protocol).
+	f := newFixture(t, 2, 2, "")
+	err := f.m.Run(func(c *machine.Cell) error {
+		s := f.syncs[c.ID()]
+		for round := 1; round <= 50; round++ {
+			got := s.Reduce(trace.AllGroup, trace.ReduceSum, float64(round))
+			if got != float64(4*round) {
+				t.Errorf("cell %d round %d: %v", c.ID(), round, got)
+				return nil
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Correct protocols never overwrite a full register.
+	for id := 0; id < 4; id++ {
+		if s := f.m.Cell(topology.CellID(id)).Cregs.Stats(); s.Overwrites != 0 {
+			t.Errorf("cell %d register overwrites = %d", id, s.Overwrites)
+		}
+	}
+}
+
+func TestVectorReduceAll(t *testing.T) {
+	f := newFixture(t, 2, 2, "")
+	err := f.m.Run(func(c *machine.Cell) error {
+		vec := make([]float64, 100)
+		for i := range vec {
+			vec[i] = float64(int(c.ID())+1) * float64(i)
+		}
+		if err := f.syncs[c.ID()].ReduceVec(trace.AllGroup, trace.ReduceSum, vec); err != nil {
+			return err
+		}
+		for i := range vec {
+			want := 10 * float64(i) // (1+2+3+4)*i
+			if math.Abs(vec[i]-want) > 1e-12 {
+				t.Errorf("cell %d vec[%d] = %v, want %v", c.ID(), i, vec[i], want)
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVectorReduceSubgroup(t *testing.T) {
+	f := newFixture(t, 4, 2, "")
+	row1 := f.m.DefineGroup(topology.Row(f.m.Torus(), 1))
+	err := f.m.Run(func(c *machine.Cell) error {
+		g := f.m.Group(row1)
+		if !g.Contains(c.ID()) {
+			return nil
+		}
+		vec := []float64{float64(c.ID()), 1}
+		if err := f.syncs[c.ID()].ReduceVec(row1, trace.ReduceSum, vec); err != nil {
+			return err
+		}
+		var wantSum float64
+		for _, m := range g.Members() {
+			wantSum += float64(m)
+		}
+		if vec[0] != wantSum || vec[1] != float64(g.Size()) {
+			t.Errorf("cell %d vec = %v (want [%v %d])", c.ID(), vec, wantSum, g.Size())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVectorReduceRepeated(t *testing.T) {
+	f := newFixture(t, 2, 2, "")
+	err := f.m.Run(func(c *machine.Cell) error {
+		for round := 1; round <= 10; round++ {
+			vec := []float64{float64(round), float64(c.ID())}
+			if err := f.syncs[c.ID()].ReduceVec(trace.AllGroup, trace.ReduceSum, vec); err != nil {
+				return err
+			}
+			if vec[0] != float64(4*round) || vec[1] != 6 {
+				t.Errorf("cell %d round %d: %v", c.ID(), round, vec)
+				return nil
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTable3SendAccounting checks the paper's Table 3 arithmetic: a
+// vector reduction over P cells generates P-1 SENDs in total (the
+// accumulating ring pass; distribution rides the B-net).
+func TestTable3SendAccounting(t *testing.T) {
+	f := newFixture(t, 4, 4, "vgop")
+	const rounds = 8
+	err := f.m.Run(func(c *machine.Cell) error {
+		vec := make([]float64, 50)
+		for round := 0; round < rounds; round++ {
+			if err := f.syncs[c.ID()].ReduceVec(trace.AllGroup, trace.ReduceSum, vec); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := trace.Stats(f.m.Trace())
+	if row.VGop != rounds {
+		t.Errorf("VGop/PE = %v", row.VGop)
+	}
+	wantSend := float64(rounds) * float64(16-1) / 16 // 15/16 per vgop per PE
+	if math.Abs(row.Send-wantSend) > 1e-9 {
+		t.Errorf("Send/PE = %v, want %v (the CG 365.6/390 ratio)", row.Send, wantSend)
+	}
+}
+
+func TestTraceEventsRecorded(t *testing.T) {
+	f := newFixture(t, 2, 2, "sync")
+	g2 := f.m.DefineGroup(topology.Row(f.m.Torus(), 0))
+	err := f.m.Run(func(c *machine.Cell) error {
+		s := f.syncs[c.ID()]
+		s.Barrier(trace.AllGroup)
+		s.Reduce(trace.AllGroup, trace.ReduceSum, 1)
+		if f.m.Group(g2).Contains(c.ID()) {
+			s.Barrier(g2)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := trace.Stats(f.m.Trace())
+	if row.Gop != 1 {
+		t.Errorf("Gop = %v", row.Gop)
+	}
+	if row.Sync != 1.5 { // all cells + half the cells
+		t.Errorf("Sync = %v", row.Sync)
+	}
+}
+
+func TestNonMemberPanics(t *testing.T) {
+	f := newFixture(t, 4, 2, "")
+	row0 := f.m.DefineGroup(topology.Row(f.m.Torus(), 0))
+	err := f.m.Run(func(c *machine.Cell) error {
+		if c.ID() != 7 {
+			return nil
+		}
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for non-member collective")
+			}
+		}()
+		f.syncs[7].Barrier(row0)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScalarReduce16(b *testing.B) {
+	f := newFixture(b, 4, 4, "")
+	err := f.m.Run(func(c *machine.Cell) error {
+		s := f.syncs[c.ID()]
+		for i := 0; i < b.N; i++ {
+			s.Reduce(trace.AllGroup, trace.ReduceSum, 1)
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkVectorReduce16x1400(b *testing.B) {
+	// The CG configuration: 11200-byte vectors (S5.4).
+	f := newFixture(b, 4, 4, "")
+	err := f.m.Run(func(c *machine.Cell) error {
+		vec := make([]float64, 1400)
+		for i := 0; i < b.N; i++ {
+			if err := f.syncs[c.ID()].ReduceVec(trace.AllGroup, trace.ReduceSum, vec); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

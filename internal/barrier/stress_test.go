@@ -1,0 +1,137 @@
+package barrier
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ap1000plus/internal/machine"
+	"ap1000plus/internal/topology"
+	"ap1000plus/internal/trace"
+)
+
+// TestCollectiveStress runs a long random (but SPMD-identical)
+// sequence of mixed collectives — all-cell barriers, group barriers,
+// scalar reductions with varying operators, vector reductions of
+// varying lengths — and checks every result against locally computed
+// expectations. This shakes out register-reuse and ring-ordering bugs
+// that single-collective tests cannot reach.
+func TestCollectiveStress(t *testing.T) {
+	f := newFixture(t, 4, 2, "")
+	rowA := f.m.DefineGroup(topology.Row(f.m.Torus(), 0))
+	rowB := f.m.DefineGroup(topology.Row(f.m.Torus(), 1))
+
+	// The schedule is generated identically on every cell.
+	type step struct {
+		kind  int
+		op    trace.ReduceOp
+		group trace.GroupID
+		vlen  int
+	}
+	const steps = 120
+	schedule := make([]step, steps)
+	rng := rand.New(rand.NewSource(99))
+	for i := range schedule {
+		schedule[i] = step{
+			kind:  rng.Intn(4),
+			op:    trace.ReduceOp(rng.Intn(3)),
+			group: trace.AllGroup,
+			vlen:  1 + rng.Intn(64),
+		}
+		if rng.Intn(3) == 0 {
+			if rng.Intn(2) == 0 {
+				schedule[i].group = rowA
+			} else {
+				schedule[i].group = rowB
+			}
+		}
+	}
+
+	expect := func(g *topology.Group, op trace.ReduceOp, val func(r int) float64) float64 {
+		var acc float64
+		for i, m := range g.Members() {
+			v := val(int(m))
+			if i == 0 {
+				acc = v
+				continue
+			}
+			switch op {
+			case trace.ReduceSum:
+				acc += v
+			case trace.ReduceMax:
+				acc = math.Max(acc, v)
+			case trace.ReduceMin:
+				acc = math.Min(acc, v)
+			}
+		}
+		return acc
+	}
+
+	err := f.m.Run(func(c *machine.Cell) error {
+		s := f.syncs[c.ID()]
+		me := int(c.ID())
+		for i, st := range schedule {
+			g := f.m.Group(st.group)
+			if !g.Contains(c.ID()) {
+				// Non-members skip group steps; re-sync at all-group
+				// steps only. To keep lockstep, members and
+				// non-members alike hit the all-cells barrier placed
+				// after every group step.
+				if st.group != trace.AllGroup {
+					s.Barrier(trace.AllGroup)
+					continue
+				}
+			}
+			val := func(r int) float64 { return float64((r+1)*(i+1)) * 0.5 }
+			switch st.kind {
+			case 0:
+				s.Barrier(st.group)
+			case 1:
+				got := s.Reduce(st.group, st.op, val(me))
+				want := expect(g, st.op, val)
+				if got != want {
+					t.Errorf("step %d (%s group %d): got %v, want %v", i, st.op, st.group, got, want)
+					return nil
+				}
+			case 2:
+				vec := make([]float64, st.vlen)
+				for k := range vec {
+					vec[k] = val(me) + float64(k)
+				}
+				if err := s.ReduceVec(st.group, trace.ReduceSum, vec); err != nil {
+					return err
+				}
+				for k := range vec {
+					want := expect(g, trace.ReduceSum, func(r int) float64 { return val(r) + float64(k) })
+					if math.Abs(vec[k]-want) > 1e-9 {
+						t.Errorf("step %d vec[%d]: got %v, want %v", i, k, vec[k], want)
+						return nil
+					}
+				}
+			case 3:
+				// Mixed: barrier then reduce on the same group
+				// back-to-back (register reuse pressure).
+				s.Barrier(st.group)
+				got := s.Reduce(st.group, trace.ReduceMin, val(me))
+				want := expect(g, trace.ReduceMin, val)
+				if got != want {
+					t.Errorf("step %d mixed: got %v, want %v", i, got, want)
+					return nil
+				}
+			}
+			if st.group != trace.AllGroup {
+				s.Barrier(trace.AllGroup)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Register protocol integrity across the whole run.
+	for id := 0; id < f.m.Cells(); id++ {
+		if s := f.m.Cell(topology.CellID(id)).Cregs.Stats(); s.Overwrites != 0 {
+			t.Errorf("cell %d register overwrites = %d", id, s.Overwrites)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Package bnet models the AP1000+ broadcast network: a single shared
+// 50 MB/s medium connecting all cells and the host, used "for
+// broadcast communication and data distribution and collection".
+//
+// The B-net is a bus: one sender at a time. The functional model
+// serializes broadcasts with a mutex (preserving the bus property
+// that every cell observes broadcasts in the same global order) and
+// delivers to each cell's handler.
+package bnet
+
+import (
+	"fmt"
+	"sync"
+
+	"ap1000plus/internal/mem"
+	"ap1000plus/internal/topology"
+)
+
+// Bandwidth is the B-net bandwidth in bytes/second (Figure 5: 50MB/s).
+const Bandwidth = 50 << 20
+
+// Message is a broadcast or distribution unit.
+type Message struct {
+	Src topology.CellID // HostID for host-originated distribution
+	// Payload carries the data.
+	Payload *mem.Payload
+	// Tag lets receivers demultiplex broadcast streams.
+	Tag int64
+}
+
+// Handler consumes a broadcast at one cell.
+type Handler func(Message)
+
+// Stats counts B-net traffic.
+type Stats struct {
+	Broadcasts int64
+	Scatters   int64
+	Gathers    int64
+	Bytes      int64
+}
+
+// Network is the broadcast bus.
+type Network struct {
+	cells    int
+	mu       sync.Mutex
+	handlers []Handler
+	stats    Stats
+}
+
+// New builds a B-net for n cells.
+func New(cells int) *Network {
+	if cells <= 0 {
+		panic("bnet: non-positive cell count")
+	}
+	return &Network{cells: cells, handlers: make([]Handler, cells)}
+}
+
+// Attach registers cell id's B-net interface (the BIF of Figure 5).
+func (n *Network) Attach(id topology.CellID, h Handler) {
+	if int(id) < 0 || int(id) >= n.cells {
+		panic(fmt.Sprintf("bnet: attach to invalid cell %d", id))
+	}
+	if h == nil {
+		panic("bnet: nil handler")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.handlers[id] != nil {
+		panic(fmt.Sprintf("bnet: cell %d already attached", id))
+	}
+	n.handlers[id] = h
+}
+
+// Broadcast delivers m to every cell (including the sender, matching
+// the bus: every BIF snoops the medium). Broadcasts are globally
+// ordered — the bus carries one message at a time.
+func (n *Network) Broadcast(m Message) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats.Broadcasts++
+	n.stats.Bytes += m.Payload.Size()
+	for id, h := range n.handlers {
+		if h == nil {
+			panic(fmt.Sprintf("bnet: cell %d has no handler", id))
+		}
+		h(m)
+	}
+}
+
+// Scatter delivers one message per cell (data distribution). msgs
+// must have exactly one entry per cell, indexed by cell ID.
+func (n *Network) Scatter(src topology.CellID, msgs []Message) {
+	if len(msgs) != n.cells {
+		panic(fmt.Sprintf("bnet: scatter with %d messages for %d cells", len(msgs), n.cells))
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats.Scatters++
+	for id, m := range msgs {
+		m.Src = src
+		n.stats.Bytes += m.Payload.Size()
+		n.handlers[id](m)
+	}
+}
+
+// Gather collects one payload from each cell via the supplied
+// per-cell producer (data collection toward the host or a root cell).
+// The bus serializes the collection.
+func (n *Network) Gather(produce func(id topology.CellID) *mem.Payload) []*mem.Payload {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats.Gathers++
+	out := make([]*mem.Payload, n.cells)
+	for id := 0; id < n.cells; id++ {
+		p := produce(topology.CellID(id))
+		n.stats.Bytes += p.Size()
+		out[id] = p
+	}
+	return out
+}
+
+// Stats snapshots traffic counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}

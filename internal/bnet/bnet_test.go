@@ -1,0 +1,120 @@
+package bnet
+
+import (
+	"testing"
+
+	"ap1000plus/internal/mem"
+	"ap1000plus/internal/topology"
+)
+
+func payload(t *testing.T, vals ...float64) *mem.Payload {
+	t.Helper()
+	sp, _ := mem.NewSpace(1 << 16)
+	seg, data, _ := sp.AllocFloat64("p", len(vals))
+	copy(data, vals)
+	p, err := mem.CapturePayload(sp, seg.Base(), mem.Contiguous(int64(len(vals))*8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestBroadcastReachesAll(t *testing.T) {
+	n := New(4)
+	got := make([]float64, 4)
+	for id := 0; id < 4; id++ {
+		id := id
+		n.Attach(topology.CellID(id), func(m Message) {
+			vals, ok := m.Payload.Float64s()
+			if !ok {
+				t.Errorf("cell %d: payload not float64", id)
+				return
+			}
+			got[id] = vals[0]
+		})
+	}
+	n.Broadcast(Message{Src: 2, Payload: payload(t, 42.0)})
+	for id, v := range got {
+		if v != 42.0 {
+			t.Fatalf("cell %d got %v", id, v)
+		}
+	}
+	if s := n.Stats(); s.Broadcasts != 1 || s.Bytes != 8 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestScatter(t *testing.T) {
+	n := New(4)
+	got := make([]float64, 4)
+	for id := 0; id < 4; id++ {
+		id := id
+		n.Attach(topology.CellID(id), func(m Message) {
+			vals, _ := m.Payload.Float64s()
+			got[id] = vals[0]
+			if m.Src != topology.HostID {
+				t.Errorf("src = %d", m.Src)
+			}
+		})
+	}
+	msgs := make([]Message, 4)
+	for i := range msgs {
+		msgs[i] = Message{Payload: payload(t, float64(i*10))}
+	}
+	n.Scatter(topology.HostID, msgs)
+	for id, v := range got {
+		if v != float64(id*10) {
+			t.Fatalf("cell %d got %v", id, v)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scatter with wrong count should panic")
+			}
+		}()
+		n.Scatter(topology.HostID, msgs[:2])
+	}()
+}
+
+func TestGather(t *testing.T) {
+	n := New(4)
+	for id := 0; id < 4; id++ {
+		n.Attach(topology.CellID(id), func(Message) {})
+	}
+	out := n.Gather(func(id topology.CellID) *mem.Payload {
+		return payload(t, float64(id))
+	})
+	if len(out) != 4 {
+		t.Fatalf("gathered %d", len(out))
+	}
+	for id, p := range out {
+		vals, _ := p.Float64s()
+		if vals[0] != float64(id) {
+			t.Fatalf("cell %d contributed %v", id, vals[0])
+		}
+	}
+	if s := n.Stats(); s.Gathers != 1 || s.Bytes != 32 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestAttachValidation(t *testing.T) {
+	n := New(2)
+	n.Attach(0, func(Message) {})
+	for _, f := range []func(){
+		func() { n.Attach(0, func(Message) {}) },
+		func() { n.Attach(5, func(Message) {}) },
+		func() { n.Attach(1, nil) },
+		func() { New(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,224 @@
+// Package core is the paper's primary contribution as a library: the
+// user-level PUT/GET interface of S2.2 and S3.1.
+//
+//	put(node_id, raddr, laddr, size, send_flag, recv_flag, ack)
+//	get(node_id, raddr, laddr, size, send_flag, recv_flag)
+//	put_stride(...), get_stride(...)
+//	readRemote(node_id, raddr, laddr, size)
+//	writeRemote(node_id, raddr, laddr, size)
+//
+// PUT copies a local memory block to remote memory and increments
+// flags on both sides when the respective DMA completes; GET fetches
+// a remote block. Both are non-blocking and split-phase, so
+// communication and computation overlap; synchronization is the
+// program checking flag values — exactly the behaviour the
+// parallelizing compiler needs.
+//
+// Completion of writes is detected with the Ack & Barrier model
+// (S2.2): every acknowledged PUT bumps the cell's implicit
+// acknowledge flag via a zero-address GET that rides the same
+// in-order channel (S4.1); AckWait blocks until all outstanding
+// acknowledgements arrived, after which the program may enter a
+// barrier.
+package core
+
+import (
+	"fmt"
+
+	"ap1000plus/internal/machine"
+	"ap1000plus/internal/mc"
+	"ap1000plus/internal/mem"
+	"ap1000plus/internal/msc"
+	"ap1000plus/internal/topology"
+	"ap1000plus/internal/trace"
+)
+
+// MaxTransfer is the largest single DMA the send controller accepts:
+// "from 1 word (4 byte) to 1 megaword (4 megabytes)" (S4.1).
+const MaxTransfer = 4 << 20
+
+// Comm is one cell's PUT/GET endpoint.
+type Comm struct {
+	cell *machine.Cell
+	// rts marks traced operations as issued by the run-time system
+	// (the VPP Fortran runtime constructs its Comm with NewRTS).
+	rts bool
+	// acks counts acknowledgements requested so far; AckWait's target.
+	acks int64
+	// rrFlag serializes blocking ReadRemote calls.
+	rrFlag  mc.FlagID
+	rrCount int64
+}
+
+// New builds the PUT/GET interface for a cell.
+func New(cell *machine.Cell) *Comm {
+	return &Comm{cell: cell, rrFlag: cell.Flags.Alloc()}
+}
+
+// NewRTS builds a Comm whose traced operations carry the run-time
+// system attribution (MLSim charges rts_op_time for them).
+func NewRTS(cell *machine.Cell) *Comm {
+	c := New(cell)
+	c.rts = true
+	return c
+}
+
+// Cell returns the underlying cell.
+func (c *Comm) Cell() *machine.Cell { return c.cell }
+
+func (c *Comm) validate(dst topology.CellID, pat mem.Stride) error {
+	if !c.cell.Machine().Torus().Valid(dst) {
+		return fmt.Errorf("core: invalid destination cell %d", dst)
+	}
+	if err := pat.Validate(); err != nil {
+		return err
+	}
+	if pat.Total() > MaxTransfer {
+		return fmt.Errorf("core: transfer of %d bytes exceeds the %d-byte DMA limit", pat.Total(), MaxTransfer)
+	}
+	return nil
+}
+
+// Put copies size bytes from laddr in local memory to raddr on dst.
+// It returns as soon as the command is queued (a few stores into the
+// MSC+). sendFlag is incremented locally when the send DMA completes
+// (the source area may then be reused); recvFlag is incremented on
+// dst when the receive DMA completes. With ack, the cell's implicit
+// acknowledge flag rises when the destination has consumed the data.
+func (c *Comm) Put(dst topology.CellID, raddr, laddr mem.Addr, size int64, sendFlag, recvFlag mc.FlagID, ack bool) error {
+	return c.PutStride(dst, raddr, laddr, sendFlag, recvFlag, ack, mem.Contiguous(size), mem.Contiguous(size))
+}
+
+// PutStride is Put with independent one-dimensional stride patterns
+// on the sending and receiving side (Figure 3). The payload totals of
+// the two patterns must match.
+func (c *Comm) PutStride(dst topology.CellID, raddr, laddr mem.Addr, sendFlag, recvFlag mc.FlagID, ack bool, sendPat, recvPat mem.Stride) error {
+	if err := c.validate(dst, sendPat); err != nil {
+		return err
+	}
+	if err := recvPat.Validate(); err != nil {
+		return err
+	}
+	if sendPat.Total() != recvPat.Total() {
+		return fmt.Errorf("core: put payload mismatch: send %d bytes, recv %d", sendPat.Total(), recvPat.Total())
+	}
+	if rec := c.cell.Recorder(); rec != nil {
+		items := int32(sendPat.Count)
+		if recvPat.Count > sendPat.Count {
+			items = int32(recvPat.Count)
+		}
+		rec.Put(dst, sendPat.Total(), items, trace.FlagID(sendFlag), trace.FlagID(recvFlag), ack, c.rts)
+	}
+	c.cell.PushUser(msc.Command{
+		Op: msc.OpPut, Dst: dst,
+		RAddr: raddr, LAddr: laddr,
+		RStride: recvPat, LStride: sendPat,
+		SendFlag: sendFlag, RecvFlag: recvFlag,
+	})
+	if ack {
+		c.pushAckGet(dst)
+	}
+	return nil
+}
+
+// pushAckGet issues the S4.1 acknowledge: a GET to address 0 behind
+// the PUT on the same in-order channel. The reply bumps the implicit
+// acknowledge flag.
+func (c *Comm) pushAckGet(dst topology.CellID) {
+	c.acks++
+	c.cell.PushUser(msc.Command{
+		Op: msc.OpGet, Dst: dst,
+		RAddr: 0, LAddr: 0,
+		RStride: mem.Contiguous(1), LStride: mem.Contiguous(1),
+		RecvFlag: mc.AckFlagID,
+	})
+}
+
+// Get retrieves size bytes from raddr on dst into laddr locally.
+// sendFlag names a flag on dst (incremented when dst's reply DMA
+// completes); recvFlag is incremented locally when the data arrived.
+func (c *Comm) Get(dst topology.CellID, raddr, laddr mem.Addr, size int64, sendFlag, recvFlag mc.FlagID) error {
+	return c.GetStride(dst, raddr, laddr, sendFlag, recvFlag, mem.Contiguous(size), mem.Contiguous(size))
+}
+
+// GetStride is Get with stride patterns: sendPat describes the layout
+// at the remote (data-sending) side, recvPat the local layout.
+func (c *Comm) GetStride(dst topology.CellID, raddr, laddr mem.Addr, sendFlag, recvFlag mc.FlagID, sendPat, recvPat mem.Stride) error {
+	if err := c.validate(dst, sendPat); err != nil {
+		return err
+	}
+	if err := recvPat.Validate(); err != nil {
+		return err
+	}
+	if sendPat.Total() != recvPat.Total() {
+		return fmt.Errorf("core: get payload mismatch: send %d bytes, recv %d", sendPat.Total(), recvPat.Total())
+	}
+	if rec := c.cell.Recorder(); rec != nil {
+		items := int32(sendPat.Count)
+		if recvPat.Count > sendPat.Count {
+			items = int32(recvPat.Count)
+		}
+		rec.Get(dst, sendPat.Total(), items, trace.FlagID(sendFlag), trace.FlagID(recvFlag), c.rts)
+	}
+	c.cell.PushUser(msc.Command{
+		Op: msc.OpGet, Dst: dst,
+		RAddr: raddr, LAddr: laddr,
+		RStride: sendPat, LStride: recvPat,
+		SendFlag: sendFlag, RecvFlag: recvFlag,
+	})
+	return nil
+}
+
+// WaitFlag blocks until the local flag reaches target — the program's
+// flag-check loop, with the wait time visible to MLSim as idle time.
+func (c *Comm) WaitFlag(flag mc.FlagID, target int64) {
+	if rec := c.cell.Recorder(); rec != nil {
+		rec.FlagWait(trace.FlagID(flag), target)
+	}
+	c.cell.Flags.Wait(flag, target)
+}
+
+// AcksIssued reports how many acknowledged PUTs were issued.
+func (c *Comm) AcksIssued() int64 { return c.acks }
+
+// AckWait blocks until every acknowledgement requested so far has
+// arrived — the "Ack" half of the Ack & Barrier model.
+func (c *Comm) AckWait() {
+	if c.acks == 0 {
+		return
+	}
+	c.WaitFlag(mc.AckFlagID, c.acks)
+}
+
+// WriteRemote is the translator's non-blocking direct remote write
+// (S2.2): a PUT with an acknowledgement and no user flags. Completion
+// of all writes is observed with AckWait before a barrier.
+func (c *Comm) WriteRemote(dst topology.CellID, raddr, laddr mem.Addr, size int64) error {
+	return c.Put(dst, raddr, laddr, size, mc.NoFlag, mc.NoFlag, true)
+}
+
+// ReadRemote is the translator's blocking direct remote read (S2.2):
+// a GET that waits for the reply data before returning. "To detect
+// the completion of readRemote is easy, because reply data returns
+// and update the flag."
+func (c *Comm) ReadRemote(dst topology.CellID, raddr, laddr mem.Addr, size int64) error {
+	if err := c.Get(dst, raddr, laddr, size, mc.NoFlag, c.rrFlag); err != nil {
+		return err
+	}
+	c.rrCount++
+	c.WaitFlag(c.rrFlag, c.rrCount)
+	return nil
+}
+
+// Barrier arrives at the all-cells hardware barrier (S-net) and
+// records the synchronization in the trace.
+func (c *Comm) Barrier() {
+	if rec := c.cell.Recorder(); rec != nil {
+		rec.Barrier(trace.AllGroup)
+	}
+	c.cell.HWBarrier()
+}
+
+// Compute charges dur microseconds of base-SPARC computation to the
+// trace; it is how applications expose their work to MLSim.
+func (c *Comm) Compute(dur float64) { c.cell.RecordCompute(dur) }

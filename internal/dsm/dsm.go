@@ -1,0 +1,305 @@
+// Package dsm implements the AP1000+'s distributed shared memory
+// (S4.2). The SuperSPARC's 64-gigabyte physical space is split in
+// half: the lower half is cell-local, the upper half is shared space
+// divided into equal blocks, one per cell. A normal LOAD/STORE whose
+// physical address falls in shared space is turned by the MSC+ into a
+// remote access: "the MSC+ generates commands to translate the upper
+// 10 bits of physical addresses ... to destination cell IDs and the
+// other bits to local addresses at the destination cell."
+//
+// Remote loads block; remote stores are non-blocking and
+// acknowledged automatically by the destination MSC+ — Fence waits
+// for those acknowledgements.
+//
+// The package also provides the "write through page" mechanism: part
+// of local memory acts as a cache for shared space, replacing remote
+// loads of cached pages with local accesses; stores write through to
+// the owning cell (S4.2 sketches this; the paper defers details, so
+// the cache here is single-writer per page by convention).
+package dsm
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"ap1000plus/internal/machine"
+	"ap1000plus/internal/mem"
+	"ap1000plus/internal/topology"
+)
+
+// SharedBase is the physical address where shared space begins: bit
+// 35 of the 36-bit address (32 GB local / 32 GB shared).
+const SharedBase uint64 = 1 << 35
+
+// SharedSize is the total shared space (32 GB).
+const SharedSize uint64 = 1 << 35
+
+// GAddr is a global (shared-space) address.
+type GAddr uint64
+
+// Space maps global addresses for one machine size.
+type Space struct {
+	cells     int
+	blockSize uint64
+}
+
+// NewSpace builds the shared-space geometry for n cells. Blocks are
+// the largest power of two such that n blocks fit in shared space,
+// matching the hardware's "divided into blocks equally" rule (for
+// 1024 cells the block is 32 MB).
+func NewSpace(cells int) (*Space, error) {
+	if cells < 1 || cells > 1024 {
+		return nil, fmt.Errorf("dsm: %d cells out of range", cells)
+	}
+	block := SharedSize
+	for uint64(cells)*block > SharedSize {
+		block >>= 1
+	}
+	// Round cells up to a power of two so the cell ID occupies a
+	// fixed bit field, as the upper-10-bit decode requires.
+	for block*pow2ceil(uint64(cells)) > SharedSize {
+		block >>= 1
+	}
+	return &Space{cells: cells, blockSize: block}, nil
+}
+
+func pow2ceil(v uint64) uint64 {
+	p := uint64(1)
+	for p < v {
+		p <<= 1
+	}
+	return p
+}
+
+// BlockSize reports bytes of shared space per cell.
+func (s *Space) BlockSize() uint64 { return s.blockSize }
+
+// Global forms the shared-space address of offset within cell's block.
+func (s *Space) Global(cell topology.CellID, offset mem.Addr) (GAddr, error) {
+	if int(cell) < 0 || int(cell) >= s.cells {
+		return 0, fmt.Errorf("dsm: invalid cell %d", cell)
+	}
+	if uint64(offset) >= s.blockSize {
+		return 0, fmt.Errorf("dsm: offset %#x outside the %d-byte block", offset, s.blockSize)
+	}
+	return GAddr(SharedBase + uint64(cell)*s.blockSize + uint64(offset)), nil
+}
+
+// Split decodes a shared-space address into its owning cell and the
+// local address at that cell. Shared offsets map identically onto the
+// owner's local addresses ("half of the local memory is mapped for
+// shared space").
+func (s *Space) Split(ga GAddr) (topology.CellID, mem.Addr, error) {
+	if uint64(ga) < SharedBase {
+		return 0, 0, fmt.Errorf("dsm: %#x is not a shared address", uint64(ga))
+	}
+	off := uint64(ga) - SharedBase
+	cell := off / s.blockSize
+	if cell >= uint64(s.cells) {
+		return 0, 0, fmt.Errorf("dsm: %#x decodes to nonexistent cell %d", uint64(ga), cell)
+	}
+	return topology.CellID(cell), mem.Addr(off % s.blockSize), nil
+}
+
+// DSM is one cell's shared-memory interface.
+type DSM struct {
+	cell  *machine.Cell
+	space *Space
+
+	scratchSeg *mem.Segment
+	scratch    []float64
+
+	mu    sync.Mutex
+	cache map[mem.Addr][]byte // write-through page cache, keyed by page-aligned GAddr offset
+	on    bool
+	stats CacheStats
+}
+
+// CacheStats counts write-through-page activity.
+type CacheStats struct {
+	Hits, Misses, WriteThroughs int64
+}
+
+// New builds the DSM interface for a cell.
+func New(cell *machine.Cell) (*DSM, error) {
+	space, err := NewSpace(cell.N())
+	if err != nil {
+		return nil, err
+	}
+	seg, scratch, err := cell.AllocFloat64("dsm.scratch", 1)
+	if err != nil {
+		return nil, err
+	}
+	return &DSM{cell: cell, space: space, scratchSeg: seg, scratch: scratch, cache: make(map[mem.Addr][]byte)}, nil
+}
+
+// Space exposes the address geometry.
+func (d *DSM) Space() *Space { return d.space }
+
+// EnableWriteThroughPages turns on the local page cache for remote
+// reads.
+func (d *DSM) EnableWriteThroughPages() {
+	d.mu.Lock()
+	d.on = true
+	d.mu.Unlock()
+}
+
+// CacheStats snapshots cache counters.
+func (d *DSM) CacheStats() CacheStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// Load reads size bytes at the shared address. Local blocks are read
+// directly; remote blocks go through the blocking remote-load path
+// (or the write-through page cache when enabled).
+func (d *DSM) Load(ga GAddr, size int64) (*mem.Payload, error) {
+	cell, laddr, err := d.space.Split(ga)
+	if err != nil {
+		return nil, err
+	}
+	if cell == d.cell.ID() {
+		return mem.CapturePayload(d.cell.Mem, laddr, mem.Contiguous(size))
+	}
+	if p, ok := d.cacheRead(ga, size); ok {
+		return p, nil
+	}
+	p, err := d.cell.RemoteLoad(cell, laddr, size)
+	if err != nil {
+		return nil, err
+	}
+	d.cacheFill(ga, p)
+	return p, nil
+}
+
+// LoadF64 loads one float64 from shared space.
+func (d *DSM) LoadF64(ga GAddr) (float64, error) {
+	p, err := d.Load(ga, 8)
+	if err != nil {
+		return 0, err
+	}
+	if vals, ok := p.Float64s(); ok {
+		return vals[0], nil
+	}
+	if b, ok := p.Bytes(); ok && len(b) == 8 {
+		var bits uint64
+		for i := 7; i >= 0; i-- {
+			bits = bits<<8 | uint64(b[i])
+		}
+		return math.Float64frombits(bits), nil
+	}
+	return 0, fmt.Errorf("dsm: 8-byte load returned unusable payload")
+}
+
+// Store writes the local range [laddr, laddr+size) to the shared
+// address. Remote stores are non-blocking; use Fence to await their
+// acknowledgements.
+func (d *DSM) Store(ga GAddr, laddr mem.Addr, size int64) error {
+	cell, raddr, err := d.space.Split(ga)
+	if err != nil {
+		return err
+	}
+	d.cacheInvalidate(ga, size)
+	if cell == d.cell.ID() {
+		return mem.Copy(d.cell.Mem, raddr, d.cell.Mem, laddr, size)
+	}
+	d.cell.RemoteStore(cell, raddr, laddr, size)
+	d.mu.Lock()
+	d.stats.WriteThroughs++
+	d.mu.Unlock()
+	return nil
+}
+
+// StoreF64 writes one float64 to shared space via the scratch slot.
+// It fences before rewriting the scratch, so repeated stores are safe.
+func (d *DSM) StoreF64(ga GAddr, v float64) error {
+	d.cell.FenceRemoteStores()
+	d.scratch[0] = v
+	return d.Store(ga, d.scratchSeg.Base(), 8)
+}
+
+// Fence blocks until every remote store issued by this cell has been
+// acknowledged — the completion detection of S4.2.
+func (d *DSM) Fence() { d.cell.FenceRemoteStores() }
+
+// pageOf returns the page-aligned offset key for caching.
+func pageOf(ga GAddr) mem.Addr { return mem.Addr(uint64(ga) &^ (mem.PageSize - 1)) }
+
+func (d *DSM) cacheRead(ga GAddr, size int64) (*mem.Payload, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.on {
+		return nil, false
+	}
+	pg := pageOf(ga)
+	if pageOf(ga+GAddr(size)-1) != pg {
+		return nil, false // spans pages; fall back to remote
+	}
+	data, ok := d.cache[pg]
+	if !ok {
+		d.stats.Misses++
+		return nil, false
+	}
+	d.stats.Hits++
+	off := uint64(ga) - uint64(pg)
+	// Wrap the cached bytes into a payload via a staging space.
+	staging, err := mem.NewSpace(size + mem.PageSize)
+	if err != nil {
+		return nil, false
+	}
+	seg, err := staging.Alloc("wtp", mem.Bytes, size)
+	if err != nil {
+		return nil, false
+	}
+	copy(seg.BytesData(), data[off:off+uint64(size)])
+	p, err := mem.CapturePayload(staging, seg.Base(), mem.Contiguous(size))
+	if err != nil {
+		return nil, false
+	}
+	return p, true
+}
+
+func (d *DSM) cacheFill(ga GAddr, p *mem.Payload) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.on {
+		return
+	}
+	pg := pageOf(ga)
+	if pageOf(ga+GAddr(p.Size())-1) != pg {
+		return
+	}
+	data, ok := d.cache[pg]
+	if !ok {
+		data = make([]byte, mem.PageSize)
+		d.cache[pg] = data
+	}
+	off := uint64(ga) - uint64(pg)
+	if b, ok := p.Bytes(); ok {
+		copy(data[off:], b)
+		return
+	}
+	if vals, ok := p.Float64s(); ok {
+		for i, v := range vals {
+			bits := math.Float64bits(v)
+			for j := 0; j < 8; j++ {
+				data[int(off)+i*8+j] = byte(bits >> (8 * j))
+			}
+		}
+	}
+}
+
+func (d *DSM) cacheInvalidate(ga GAddr, size int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.on {
+		return
+	}
+	first := pageOf(ga)
+	last := pageOf(ga + GAddr(size) - 1)
+	for pg := first; pg <= last; pg += mem.PageSize {
+		delete(d.cache, pg)
+	}
+}

@@ -1,0 +1,275 @@
+package dsm
+
+import (
+	"testing"
+
+	"ap1000plus/internal/machine"
+	"ap1000plus/internal/mem"
+	"ap1000plus/internal/topology"
+)
+
+func TestSpaceGeometry(t *testing.T) {
+	s, err := NewSpace(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.BlockSize() != 32<<20 {
+		t.Errorf("1024-cell block = %d, want 32MB", s.BlockSize())
+	}
+	s4, _ := NewSpace(4)
+	if s4.BlockSize() != 8<<30 {
+		t.Errorf("4-cell block = %d, want 8GB", s4.BlockSize())
+	}
+	if _, err := NewSpace(0); err == nil {
+		t.Error("0 cells should fail")
+	}
+	if _, err := NewSpace(2048); err == nil {
+		t.Error("2048 cells should fail")
+	}
+}
+
+func TestGlobalSplitRoundTrip(t *testing.T) {
+	s, _ := NewSpace(64)
+	for _, cell := range []topology.CellID{0, 1, 31, 63} {
+		for _, off := range []mem.Addr{0, 4096, 123456} {
+			ga, err := s.Global(cell, off)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotCell, gotOff, err := s.Split(ga)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotCell != cell || gotOff != off {
+				t.Fatalf("round trip (%d,%#x) -> (%d,%#x)", cell, off, gotCell, gotOff)
+			}
+		}
+	}
+}
+
+func TestGlobalSplitErrors(t *testing.T) {
+	s, _ := NewSpace(4)
+	if _, err := s.Global(9, 0); err == nil {
+		t.Error("bad cell accepted")
+	}
+	if _, err := s.Global(0, mem.Addr(s.BlockSize())); err == nil {
+		t.Error("offset past block accepted")
+	}
+	if _, _, err := s.Split(GAddr(100)); err == nil {
+		t.Error("local address accepted as shared")
+	}
+}
+
+type fixture struct {
+	m    *machine.Machine
+	segs []*mem.Segment
+	data [][]float64
+	ds   []*DSM
+}
+
+func newFixture(t testing.TB) *fixture {
+	t.Helper()
+	m, err := machine.New(machine.Config{Width: 2, Height: 2, MemoryPerCell: 1 << 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fixture{m: m}
+	for id := 0; id < 4; id++ {
+		cell := m.Cell(topology.CellID(id))
+		d, err := New(cell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seg, data, err := cell.AllocFloat64("shared", 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.ds = append(f.ds, d)
+		f.segs = append(f.segs, seg)
+		f.data = append(f.data, data)
+	}
+	return f
+}
+
+// ga returns the shared-space address of element i of cell id's
+// "shared" segment. Shared offsets equal local addresses by the
+// identity mapping.
+func (f *fixture) ga(t *testing.T, d *DSM, id topology.CellID, i int) GAddr {
+	t.Helper()
+	a, err := d.Space().Global(id, f.segs[id].Base()+mem.Addr(i*8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestRemoteStoreLoadF64(t *testing.T) {
+	f := newFixture(t)
+	err := f.m.Run(func(c *machine.Cell) error {
+		d := f.ds[c.ID()]
+		if c.ID() == 0 {
+			// Store into every other cell's block.
+			for dst := 1; dst < 4; dst++ {
+				if err := d.StoreF64(f.ga(t, d, topology.CellID(dst), 3), 10.0+float64(dst)); err != nil {
+					return err
+				}
+			}
+			d.Fence()
+			// Read them back.
+			for dst := 1; dst < 4; dst++ {
+				v, err := d.LoadF64(f.ga(t, d, topology.CellID(dst), 3))
+				if err != nil {
+					return err
+				}
+				if v != 10.0+float64(dst) {
+					t.Errorf("cell %d slot = %v", dst, v)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for dst := 1; dst < 4; dst++ {
+		if f.data[dst][3] != 10.0+float64(dst) {
+			t.Errorf("cell %d memory = %v", dst, f.data[dst][3])
+		}
+	}
+}
+
+func TestLocalFastPath(t *testing.T) {
+	f := newFixture(t)
+	err := f.m.Run(func(c *machine.Cell) error {
+		d := f.ds[c.ID()]
+		me := c.ID()
+		if err := d.StoreF64(f.ga(t, d, me, 0), 5.5); err != nil {
+			return err
+		}
+		v, err := d.LoadF64(f.ga(t, d, me, 0))
+		if err != nil {
+			return err
+		}
+		if v != 5.5 {
+			t.Errorf("cell %d local = %v", me, v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Local accesses never touch the network.
+	if n := f.m.TNetStats().Messages; n != 0 {
+		t.Errorf("local DSM access generated %d network messages", n)
+	}
+}
+
+func TestBulkStoreLoad(t *testing.T) {
+	f := newFixture(t)
+	err := f.m.Run(func(c *machine.Cell) error {
+		d := f.ds[c.ID()]
+		if c.ID() != 1 {
+			return nil
+		}
+		for i := 0; i < 8; i++ {
+			f.data[1][i] = float64(i) * 1.5
+		}
+		if err := d.Store(f.ga(t, d, 3, 0), f.segs[1].Base(), 64); err != nil {
+			return err
+		}
+		d.Fence()
+		p, err := d.Load(f.ga(t, d, 3, 0), 64)
+		if err != nil {
+			return err
+		}
+		vals, ok := p.Float64s()
+		if !ok {
+			t.Error("payload not float64")
+			return nil
+		}
+		for i := 0; i < 8; i++ {
+			if vals[i] != float64(i)*1.5 {
+				t.Errorf("vals[%d] = %v", i, vals[i])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteThroughPageCache(t *testing.T) {
+	f := newFixture(t)
+	err := f.m.Run(func(c *machine.Cell) error {
+		d := f.ds[c.ID()]
+		switch c.ID() {
+		case 2:
+			f.data[2][7] = 42.0
+		case 0:
+			d.EnableWriteThroughPages()
+		}
+		c.HWBarrier()
+		if c.ID() == 0 {
+			addr := f.ga(t, d, 2, 7)
+			// First load misses and fills.
+			v, err := d.LoadF64(addr)
+			if err != nil {
+				return err
+			}
+			before := f.m.TNetStats().Messages
+			// Second load must be served from the cache.
+			v2, err := d.LoadF64(addr)
+			if err != nil {
+				return err
+			}
+			if v != 42 || v2 != 42 {
+				t.Errorf("v=%v v2=%v", v, v2)
+			}
+			if after := f.m.TNetStats().Messages; after != before {
+				t.Error("cached load touched the network")
+			}
+			cs := d.CacheStats()
+			if cs.Hits != 1 || cs.Misses != 1 {
+				t.Errorf("cache stats = %+v", cs)
+			}
+			// A store through this cell invalidates its own copy.
+			if err := d.StoreF64(addr, 43); err != nil {
+				return err
+			}
+			d.Fence()
+			v3, err := d.LoadF64(addr)
+			if err != nil {
+				return err
+			}
+			if v3 != 43 {
+				t.Errorf("after invalidate: %v", v3)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadUnmappedFaults(t *testing.T) {
+	f := newFixture(t)
+	err := f.m.Run(func(c *machine.Cell) error {
+		if c.ID() != 0 {
+			return nil
+		}
+		d := f.ds[0]
+		ga, _ := d.Space().Global(1, 0x500000) // unmapped offset at cell 1
+		if _, err := d.LoadF64(ga); err == nil {
+			t.Error("load of unmapped remote memory should error")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.m.Cell(1).OS.Interrupts(machine.IntrPageFault) == 0 {
+		t.Error("remote cell should log the page fault")
+	}
+}

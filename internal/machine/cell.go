@@ -1,0 +1,299 @@
+package machine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ap1000plus/internal/bnet"
+	"ap1000plus/internal/mc"
+	"ap1000plus/internal/mem"
+	"ap1000plus/internal/msc"
+	"ap1000plus/internal/topology"
+	"ap1000plus/internal/trace"
+)
+
+// MessageSink consumes SEND-model messages arriving at a cell; the
+// sendrecv package installs a ring buffer here.
+type MessageSink func(port int32, src topology.CellID, payload *mem.Payload)
+
+// Cell is one processing element: SuperSPARC context, memory, MC and
+// MSC+ state (Figure 5).
+type Cell struct {
+	id      topology.CellID
+	machine *Machine
+
+	// Mem is the cell's DRAM.
+	Mem *mem.Space
+	// MMU is the MC's address translator.
+	MMU *mc.MMU
+	// Flags is the cell's synchronization flag file, incremented by
+	// the MC's fetch-and-increment on DMA completion.
+	Flags *mc.Flags
+	// Cregs are the 128 communication registers with p-bits.
+	Cregs *mc.CommRegs
+	// MSC is the message controller's queue front end.
+	MSC *msc.MSC
+	// OS is the cell's operating system state (interrupt and fault
+	// logs).
+	OS *OS
+
+	rec *trace.Recorder
+
+	sinkMu sync.RWMutex
+	sink   MessageSink
+
+	loadMu  sync.Mutex
+	loadSeq int64
+	loads   map[int64]chan *mem.Payload
+
+	bcastMu   sync.Mutex
+	bcastCond *sync.Cond
+	bcasts    []bcastMsg
+
+	rstores atomic.Int64 // remote stores issued (for fencing)
+
+	// invalLines counts cache lines invalidated by message reception:
+	// "Invalidation of cache is done at the time of message
+	// reception. This means that data reception from a network does
+	// not prevent user program execution" (S4.1). The SuperSPARC's
+	// 36 KB write-through cache uses 32-byte lines.
+	invalLines atomic.Int64
+}
+
+// CacheLineBytes is the cache line size used for invalidation
+// accounting.
+const CacheLineBytes = 32
+
+// CacheInvalidations reports how many cache lines the receive
+// hardware invalidated on this cell.
+func (c *Cell) CacheInvalidations() int64 { return c.invalLines.Load() }
+
+type bcastMsg struct {
+	src     topology.CellID
+	tag     int64
+	payload *mem.Payload
+}
+
+func newCell(m *Machine, id topology.CellID) (*Cell, error) {
+	space, err := mem.NewSpace(m.cfg.MemoryPerCell)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cell{
+		id:      id,
+		machine: m,
+		Mem:     space,
+		MMU:     mc.NewMMU(mc.DefaultTLB),
+		Flags:   mc.NewFlags(),
+		Cregs:   mc.NewCommRegs(),
+		MSC:     msc.NewWithQueueWords(m.cfg.QueueWords),
+		OS:      newOS(),
+		loads:   make(map[int64]chan *mem.Payload),
+	}
+	c.bcastCond = sync.NewCond(&c.bcastMu)
+	if m.ts != nil {
+		c.rec = trace.NewRecorder()
+	}
+	return c, nil
+}
+
+// ID reports the cell's number.
+func (c *Cell) ID() topology.CellID { return c.id }
+
+// N reports the total number of cells in the machine.
+func (c *Cell) N() int { return c.machine.Cells() }
+
+// Machine returns the owning machine.
+func (c *Cell) Machine() *Machine { return c.machine }
+
+// Recorder returns the cell's trace recorder, or nil when tracing is
+// disabled. Layered packages (core, vpp, sendrecv, barrier) record
+// their library entry points here, mirroring the paper's probes.
+func (c *Cell) Recorder() *trace.Recorder { return c.rec }
+
+// RecordCompute charges dur microseconds of base-SPARC computation to
+// the trace (no-op when tracing is off).
+func (c *Cell) RecordCompute(dur float64) {
+	if c.rec != nil {
+		c.rec.Compute(dur)
+	}
+}
+
+// Alloc allocates a segment of local memory and maps its pages in the
+// MMU, as the OS does when a program's data is placed.
+func (c *Cell) Alloc(name string, kind mem.Kind, size int64) (*mem.Segment, error) {
+	seg, err := c.Mem.Alloc(name, kind, size)
+	if err != nil {
+		return nil, err
+	}
+	c.MMU.Map(seg.Base(), seg.Size())
+	return seg, nil
+}
+
+// AllocFloat64 allocates and maps a float64 segment of n elements.
+func (c *Cell) AllocFloat64(name string, n int) (*mem.Segment, []float64, error) {
+	seg, err := c.Alloc(name, mem.Float64, int64(n)*8)
+	if err != nil {
+		return nil, nil, err
+	}
+	return seg, seg.Float64Data(), nil
+}
+
+// AllocBytes allocates and maps a byte segment.
+func (c *Cell) AllocBytes(name string, size int64) (*mem.Segment, []byte, error) {
+	seg, err := c.Alloc(name, mem.Bytes, size)
+	if err != nil {
+		return nil, nil, err
+	}
+	return seg, seg.BytesData(), nil
+}
+
+// SetMessageSink installs the SEND/RECEIVE delivery hook (ring
+// buffer). Installing twice panics: the hardware has one ring-buffer
+// manager.
+func (c *Cell) SetMessageSink(s MessageSink) {
+	c.sinkMu.Lock()
+	defer c.sinkMu.Unlock()
+	if c.sink != nil && s != nil {
+		panic(fmt.Sprintf("machine: cell %d message sink already installed", c.id))
+	}
+	c.sink = s
+}
+
+// HWBarrier arrives at the S-net all-cells hardware barrier.
+func (c *Cell) HWBarrier() { c.machine.snet.Arrive() }
+
+// push routes a command into this cell's MSC, tracking it for drain.
+func (c *Cell) push(kind queueKind, cmd msc.Command) {
+	c.machine.inflight.Add(1)
+	switch kind {
+	case qUser:
+		c.MSC.PushUser(cmd)
+	case qSystem:
+		c.MSC.PushSystem(cmd)
+	case qRemote:
+		c.MSC.PushRemoteAccess(cmd)
+	case qGetReply:
+		c.MSC.PushGetReply(cmd)
+	case qRloadReply:
+		c.MSC.PushRemoteLoadReply(cmd)
+	}
+}
+
+type queueKind uint8
+
+const (
+	qUser queueKind = iota
+	qSystem
+	qRemote
+	qGetReply
+	qRloadReply
+)
+
+// PushUser submits a user-level PUT/GET/SEND command — the paper's
+// "write the parameters one-by-one to the special address" interface.
+// The call never blocks: queue overflow spills to DRAM.
+func (c *Cell) PushUser(cmd msc.Command) {
+	cmd.Src = c.id
+	c.push(qUser, cmd)
+}
+
+// PushSystem submits a system-level command through the separate
+// system queue.
+func (c *Cell) PushSystem(cmd msc.Command) {
+	cmd.Src = c.id
+	c.push(qSystem, cmd)
+}
+
+// newLoadWaiter registers a pending remote load and returns its tag
+// and completion channel.
+func (c *Cell) newLoadWaiter() (int64, chan *mem.Payload) {
+	c.loadMu.Lock()
+	defer c.loadMu.Unlock()
+	c.loadSeq++
+	ch := make(chan *mem.Payload, 1)
+	c.loads[c.loadSeq] = ch
+	return c.loadSeq, ch
+}
+
+func (c *Cell) completeLoad(tag int64, p *mem.Payload) {
+	c.loadMu.Lock()
+	ch, ok := c.loads[tag]
+	delete(c.loads, tag)
+	c.loadMu.Unlock()
+	if !ok {
+		c.OS.fault(fmt.Errorf("machine: cell %d: remote load reply for unknown tag %d", c.id, tag))
+		return
+	}
+	ch <- p
+}
+
+// RemoteLoad performs a blocking load of size bytes from raddr on
+// dst, through the privileged remote-access queue (S4.2: "remote load
+// is blocking"). It returns the loaded payload.
+func (c *Cell) RemoteLoad(dst topology.CellID, raddr mem.Addr, size int64) (*mem.Payload, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("machine: remote load of %d bytes", size)
+	}
+	tag, ch := c.newLoadWaiter()
+	c.push(qRemote, msc.Command{
+		Op: msc.OpRemoteLoad, Src: c.id, Dst: dst,
+		RAddr: raddr, RStride: mem.Contiguous(size), Tag: tag,
+	})
+	p := <-ch
+	if p == nil {
+		return nil, fmt.Errorf("machine: remote load %d<-%d @%#x faulted", c.id, dst, raddr)
+	}
+	return p, nil
+}
+
+// RemoteStore performs a non-blocking store of the local range
+// [laddr, laddr+size) into raddr on dst. The MSC+ acknowledges
+// automatically; completion is observed on the cell's AckFlag.
+func (c *Cell) RemoteStore(dst topology.CellID, raddr, laddr mem.Addr, size int64) {
+	c.rstores.Add(1)
+	c.push(qRemote, msc.Command{
+		Op: msc.OpRemoteStore, Src: c.id, Dst: dst,
+		RAddr: raddr, LAddr: laddr,
+		RStride: mem.Contiguous(size), LStride: mem.Contiguous(size),
+	})
+}
+
+// Broadcast sends the local range over the B-net to every cell's
+// broadcast inbox.
+func (c *Cell) Broadcast(laddr mem.Addr, size int64, tag int64) error {
+	p, err := mem.CapturePayload(c.Mem, laddr, mem.Contiguous(size))
+	if err != nil {
+		return err
+	}
+	c.machine.bnet.Broadcast(bnet.Message{Src: c.id, Payload: p, Tag: tag})
+	return nil
+}
+
+// RecvBroadcast blocks until a broadcast with the given tag arrives
+// and returns its payload.
+func (c *Cell) RecvBroadcast(tag int64) *mem.Payload {
+	c.bcastMu.Lock()
+	defer c.bcastMu.Unlock()
+	for {
+		for i, b := range c.bcasts {
+			if b.tag == tag {
+				c.bcasts = append(c.bcasts[:i], c.bcasts[i+1:]...)
+				return b.payload
+			}
+		}
+		c.bcastCond.Wait()
+	}
+}
+
+// RemoteStoresIssued reports how many remote stores this cell has
+// issued; with Flags.Wait on mc.RemoteAckFlagID it forms a store
+// fence (every issued store acknowledged).
+func (c *Cell) RemoteStoresIssued() int64 { return c.rstores.Load() }
+
+// FenceRemoteStores blocks until every remote store issued by this
+// cell so far has been acknowledged by its destination MSC+.
+func (c *Cell) FenceRemoteStores() {
+	c.Flags.Wait(mc.RemoteAckFlagID, c.rstores.Load())
+}

@@ -1,0 +1,228 @@
+package machine
+
+import (
+	"fmt"
+
+	"ap1000plus/internal/bnet"
+	"ap1000plus/internal/mc"
+	"ap1000plus/internal/mem"
+	"ap1000plus/internal/msc"
+	"ap1000plus/internal/tnet"
+)
+
+// controller is the per-cell MSC+ send controller loop: it drains the
+// cell's queues in hardware priority order and executes each command.
+// "Message handling must be independent of processor execution"
+// (S3.2) — this goroutine is that independence.
+func (m *Machine) controller(c *Cell) {
+	for {
+		cmd, ok := c.MSC.Next()
+		if !ok {
+			return
+		}
+		m.process(c, cmd)
+		m.inflight.Add(-1)
+	}
+}
+
+// process executes one command popped from c's queues.
+func (m *Machine) process(c *Cell, cmd msc.Command) {
+	switch cmd.Op {
+	case msc.OpPut, msc.OpSend, msc.OpRemoteStore:
+		m.sendData(c, cmd)
+	case msc.OpGet, msc.OpRemoteLoad:
+		// Request messages carry no payload; route them out.
+		m.tnet.Send(tnet.Packet{Head: cmd})
+	case msc.OpGetReply:
+		m.reply(c, cmd)
+	case msc.OpRemoteLoadReply:
+		m.loadReply(c, cmd)
+	default:
+		c.OS.fault(fmt.Errorf("machine: cell %d: unknown command %v", c.id, cmd))
+	}
+}
+
+// sendData runs the send DMA for a data-bearing command: translate
+// the local address, capture the payload, raise the send flag, and
+// inject the packet.
+func (m *Machine) sendData(c *Cell, cmd msc.Command) {
+	var payload *mem.Payload
+	if cmd.LAddr != 0 && cmd.LStride.Total() > 0 {
+		if _, err := c.MMU.Translate(cmd.LAddr, cmd.LStride.Extent()); err != nil {
+			// "A program may specify an illegal address ... the
+			// hardware must check for illegal addresses" (S3.2): the
+			// faulting command interrupts the OS and is dropped.
+			c.OS.interrupt(IntrPageFault)
+			c.OS.fault(fmt.Errorf("machine: cell %d: send DMA: %w", c.id, err))
+			return
+		}
+		p, err := mem.CapturePayload(c.Mem, cmd.LAddr, cmd.LStride)
+		if err != nil {
+			c.OS.fault(fmt.Errorf("machine: cell %d: send DMA: %w", c.id, err))
+			return
+		}
+		payload = p
+	}
+	// Send DMA complete: the MSC+ asks the MC to increment the send
+	// flag (S4.1, "flag update combined with data transfer").
+	c.Flags.Inc(cmd.SendFlag)
+	m.tnet.Send(tnet.Packet{Head: cmd, Payload: payload})
+}
+
+// reply serves a queued GET request: capture the requested range from
+// local memory and send it back to the requester. The data-sending
+// side's flag (cmd.SendFlag, a flag on THIS cell chosen by the
+// requester) rises when the reply DMA completes.
+func (m *Machine) reply(c *Cell, cmd msc.Command) {
+	var payload *mem.Payload
+	if cmd.RAddr != 0 {
+		if _, err := c.MMU.Translate(cmd.RAddr, cmd.RStride.Extent()); err != nil {
+			c.OS.interrupt(IntrPageFault)
+			c.OS.fault(fmt.Errorf("machine: cell %d: GET reply: %w", c.id, err))
+			return
+		}
+		p, err := mem.CapturePayload(c.Mem, cmd.RAddr, cmd.RStride)
+		if err != nil {
+			c.OS.fault(fmt.Errorf("machine: cell %d: GET reply: %w", c.id, err))
+			return
+		}
+		payload = p
+	}
+	c.Flags.Inc(cmd.SendFlag)
+	out := cmd
+	out.Src = c.id
+	out.Dst = cmd.Src // back to the requester
+	m.tnet.Send(tnet.Packet{Head: out, Payload: payload})
+}
+
+// loadReply serves a queued remote load.
+func (m *Machine) loadReply(c *Cell, cmd msc.Command) {
+	var payload *mem.Payload
+	if _, err := c.MMU.Translate(cmd.RAddr, cmd.RStride.Extent()); err != nil {
+		c.OS.interrupt(IntrPageFault)
+		c.OS.fault(fmt.Errorf("machine: cell %d: remote load: %w", c.id, err))
+		// Reply with no payload so the loader unblocks with an error.
+	} else if p, err := mem.CapturePayload(c.Mem, cmd.RAddr, cmd.RStride); err != nil {
+		c.OS.fault(fmt.Errorf("machine: cell %d: remote load: %w", c.id, err))
+	} else {
+		payload = p
+	}
+	out := cmd
+	out.Src = c.id
+	out.Dst = cmd.Src
+	m.tnet.Send(tnet.Packet{Head: out, Payload: payload})
+}
+
+// receive is the cell's T-net receive controller (the MSC+ of the
+// receiving cell): it "analyzes the header of the message and
+// activates the receive DMA to write the data directly" (S4.1).
+// It runs on the sending controller's goroutine; all state it touches
+// is monitor-protected or owned by flag discipline, like real DMA.
+func (c *Cell) receive(p tnet.Packet) {
+	m := c.machine
+	cmd := p.Head
+	switch cmd.Op {
+	case msc.OpPut:
+		if c.deliver(cmd, p.Payload) {
+			c.Flags.Inc(cmd.RecvFlag)
+		}
+
+	case msc.OpSend:
+		c.sinkMu.RLock()
+		sink := c.sink
+		c.sinkMu.RUnlock()
+		if sink == nil {
+			c.OS.fault(fmt.Errorf("machine: cell %d: SEND arrived with no ring buffer", c.id))
+			return
+		}
+		sink(cmd.Port, cmd.Src, p.Payload)
+
+	case msc.OpGet:
+		// The MSC+ "analyzes the GET request message and enters it
+		// into the reply queue" — no processor involvement. The queued
+		// entry is the reply to produce.
+		req := cmd
+		req.Op = msc.OpGetReply
+		c.push(qGetReply, req)
+
+	case msc.OpGetReply:
+		if c.deliver(cmd, p.Payload) {
+			c.Flags.Inc(cmd.RecvFlag)
+		}
+
+	case msc.OpRemoteStore:
+		if c.deliver(remoteStoreAsPut(cmd), p.Payload) {
+			// Acknowledge automatically (S4.2).
+			ack := msc.Command{Op: msc.OpRemoteStoreAck, Src: c.id, Dst: cmd.Src}
+			m.tnet.Send(tnet.Packet{Head: ack})
+		}
+
+	case msc.OpRemoteStoreAck:
+		c.Flags.Inc(mc.RemoteAckFlagID)
+
+	case msc.OpRemoteLoad:
+		req := cmd
+		req.Op = msc.OpRemoteLoadReply
+		c.push(qRloadReply, req)
+
+	case msc.OpRemoteLoadReply:
+		c.completeLoad(cmd.Tag, p.Payload)
+
+	default:
+		c.OS.fault(fmt.Errorf("machine: cell %d: unknown packet %v", c.id, cmd))
+	}
+}
+
+// remoteStoreAsPut reshapes a remote-store header so deliver writes
+// to RAddr like a PUT.
+func remoteStoreAsPut(cmd msc.Command) msc.Command {
+	cmd.Op = msc.OpPut
+	return cmd
+}
+
+// deliver runs the receive DMA: translate the destination address and
+// write the payload. A destination address of 0 (the GET-acknowledge
+// convention) skips the copy; addresses in the communication-register
+// window land in the MC's register file with p-bit semantics (S4.4:
+// the registers live in shared memory space, so remote stores reach
+// them). It reports whether the DMA completed.
+func (c *Cell) deliver(cmd msc.Command, payload *mem.Payload) bool {
+	// Choose the destination side: PUT writes at RAddr on this cell;
+	// GET replies write at LAddr on this (requesting) cell.
+	addr := cmd.RAddr
+	pat := cmd.RStride
+	if cmd.Op == msc.OpGetReply {
+		addr = cmd.LAddr
+		pat = cmd.LStride
+	}
+	if addr == 0 || payload == nil {
+		return true // pure flag/ack message
+	}
+	if addr >= CregSpaceBase {
+		return c.deliverCreg(addr, payload)
+	}
+	if _, err := c.MMU.Translate(addr, pat.Extent()); err != nil {
+		// "If a page fault happens in a remote cell during message
+		// transfer, the MSC+ interrupts the operating system and
+		// pulls the remaining message from the network" (S4.1).
+		c.OS.interrupt(IntrPageFault)
+		c.OS.fault(fmt.Errorf("machine: cell %d: receive DMA: %w", c.id, err))
+		return false
+	}
+	if err := payload.Deliver(c.Mem, addr, pat); err != nil {
+		c.OS.fault(fmt.Errorf("machine: cell %d: receive DMA: %w", c.id, err))
+		return false
+	}
+	// The receive hardware invalidates the cache lines the DMA wrote.
+	c.invalLines.Add((payload.Size() + CacheLineBytes - 1) / CacheLineBytes)
+	return true
+}
+
+// receiveBroadcast is the cell's B-net interface: broadcasts land in
+// an inbox the CPU drains with RecvBroadcast.
+func (c *Cell) receiveBroadcast(msg bnet.Message) {
+	c.bcastMu.Lock()
+	c.bcasts = append(c.bcasts, bcastMsg{src: msg.Src, tag: msg.Tag, payload: msg.Payload})
+	c.bcastMu.Unlock()
+	c.bcastCond.Broadcast()
+}

@@ -1,0 +1,238 @@
+// Package machine assembles the AP1000+ functional simulator: cells
+// (SuperSPARC context, MSC+ message controller, MC memory controller,
+// DRAM), the three networks (T-net, B-net, S-net), and the SPMD
+// runner that executes one user goroutine per cell, exactly as the
+// paper's Figure 4/Figure 5 configuration wires the hardware.
+//
+// The machine is functional, not cycle-timed: data really moves,
+// flags really increment, queues really overflow. Timing lives in
+// the trace-driven MLSim (package mlsim), following the paper's own
+// methodology of separating execution from timing simulation.
+package machine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ap1000plus/internal/bnet"
+	"ap1000plus/internal/msc"
+	"ap1000plus/internal/snet"
+	"ap1000plus/internal/tnet"
+	"ap1000plus/internal/topology"
+	"ap1000plus/internal/trace"
+)
+
+// Spec are the Table 1 machine specifications.
+type Spec struct {
+	Processor       string
+	ClockMHz        int
+	MFLOPSPerCell   int
+	MemoryPerCellMB []int
+	CacheKB         int
+	CachePolicy     string
+	MinCells        int
+	MaxCells        int
+	PeakGFLOPSAtMin float64
+	PeakGFLOPSAtMax float64
+}
+
+// Table1 returns the published AP1000+ specifications.
+func Table1() Spec {
+	return Spec{
+		Processor:       "SuperSPARC",
+		ClockMHz:        50,
+		MFLOPSPerCell:   50,
+		MemoryPerCellMB: []int{16, 64},
+		CacheKB:         36,
+		CachePolicy:     "write-through",
+		MinCells:        4,
+		MaxCells:        1024,
+		PeakGFLOPSAtMin: 0.2,
+		PeakGFLOPSAtMax: 51.2,
+	}
+}
+
+// Config parameterizes a machine instance.
+type Config struct {
+	// Width and Height give the torus dimensions (4..1024 cells).
+	Width, Height int
+	// MemoryPerCell is DRAM per cell in bytes (default 16 MB).
+	MemoryPerCell int64
+	// QueueWords sizes the MSC+ queues (default 64, the hardware's).
+	QueueWords int
+	// TraceApp, when non-empty, enables trace recording under this
+	// application name.
+	TraceApp string
+}
+
+func (c *Config) fill() error {
+	if c.MemoryPerCell == 0 {
+		c.MemoryPerCell = 16 << 20
+	}
+	if c.MemoryPerCell < 0 {
+		return fmt.Errorf("machine: negative memory size")
+	}
+	if c.QueueWords == 0 {
+		c.QueueWords = msc.QueueWords
+	}
+	return nil
+}
+
+// Machine is one AP1000+ system instance.
+type Machine struct {
+	cfg   Config
+	torus *topology.Torus
+	tnet  *tnet.Network
+	bnet  *bnet.Network
+	snet  *snet.Barrier
+	cells []*Cell
+
+	inflight atomic.Int64 // commands pushed but not fully processed
+	ran      atomic.Bool
+	ts       *trace.TraceSet
+
+	groupMu sync.Mutex
+	groups  []*topology.Group // index = trace.GroupID
+}
+
+// New builds a machine. Every cell's controllers are attached but not
+// yet running; Run starts them.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	torus, err := topology.NewTorus(cfg.Width, cfg.Height)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:   cfg,
+		torus: torus,
+		tnet:  tnet.New(torus),
+		bnet:  bnet.New(torus.Cells()),
+		snet:  snet.New(torus.Cells()),
+	}
+	m.groups = []*topology.Group{topology.AllCells(torus)}
+	if cfg.TraceApp != "" {
+		m.ts = trace.New(cfg.TraceApp, cfg.Width, cfg.Height)
+	}
+	for id := 0; id < torus.Cells(); id++ {
+		c, err := newCell(m, topology.CellID(id))
+		if err != nil {
+			return nil, err
+		}
+		m.cells = append(m.cells, c)
+		m.tnet.Attach(c.id, c.receive)
+		m.bnet.Attach(c.id, c.receiveBroadcast)
+	}
+	return m, nil
+}
+
+// Cells reports the cell count.
+func (m *Machine) Cells() int { return m.torus.Cells() }
+
+// Torus exposes the machine geometry.
+func (m *Machine) Torus() *topology.Torus { return m.torus }
+
+// Cell returns cell id.
+func (m *Machine) Cell(id topology.CellID) *Cell { return m.cells[id] }
+
+// TNetStats reports point-to-point network statistics.
+func (m *Machine) TNetStats() tnet.Stats { return m.tnet.Stats() }
+
+// BNetStats reports broadcast network statistics.
+func (m *Machine) BNetStats() bnet.Stats { return m.bnet.Stats() }
+
+// Barriers reports how many all-cell hardware barriers completed.
+func (m *Machine) Barriers() int64 { return m.snet.Count() }
+
+// DefineGroup registers a cell group machine-wide and returns its
+// trace GroupID. Groups must be defined before Run (SPMD prologue).
+func (m *Machine) DefineGroup(g *topology.Group) trace.GroupID {
+	m.groupMu.Lock()
+	defer m.groupMu.Unlock()
+	m.groups = append(m.groups, g)
+	id := trace.GroupID(len(m.groups) - 1)
+	if m.ts != nil {
+		if got := m.ts.AddGroup(g.Members()); got != id {
+			panic("machine: trace group id out of sync")
+		}
+	}
+	return id
+}
+
+// Group resolves a GroupID.
+func (m *Machine) Group(id trace.GroupID) *topology.Group {
+	m.groupMu.Lock()
+	defer m.groupMu.Unlock()
+	return m.groups[id]
+}
+
+// Trace returns the recorded trace after Run; nil when tracing was
+// not enabled.
+func (m *Machine) Trace() *trace.TraceSet {
+	if m.ts == nil {
+		return nil
+	}
+	for id, c := range m.cells {
+		m.ts.PE[id] = c.rec.Events()
+	}
+	return m.ts
+}
+
+// Run executes program SPMD: one goroutine per cell, plus one message
+// controller goroutine per cell. It returns after every cell's
+// program finished AND all in-flight communication drained, mirroring
+// a job completing on the machine. The first program error (or
+// panic, converted) is returned; faults taken by the hardware are
+// left in each cell's OS log.
+func (m *Machine) Run(program func(c *Cell) error) error {
+	if !m.ran.CompareAndSwap(false, true) {
+		return fmt.Errorf("machine: Run called twice (a machine instance executes one job; build a new Machine)")
+	}
+	var ctlWG sync.WaitGroup
+	for _, c := range m.cells {
+		ctlWG.Add(1)
+		go func(c *Cell) {
+			defer ctlWG.Done()
+			m.controller(c)
+		}(c)
+	}
+
+	errs := make([]error, len(m.cells))
+	var cpuWG sync.WaitGroup
+	for i, c := range m.cells {
+		cpuWG.Add(1)
+		go func(i int, c *Cell) {
+			defer cpuWG.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					buf := make([]byte, 8192)
+					n := runtime.Stack(buf, false)
+					errs[i] = fmt.Errorf("machine: cell %d panic: %v\n%s", c.id, r, buf[:n])
+				}
+			}()
+			errs[i] = program(c)
+		}(i, c)
+	}
+	cpuWG.Wait()
+
+	// Drain: wait for all queued and chained commands to complete,
+	// then stop the controllers.
+	for m.inflight.Load() != 0 {
+		runtime.Gosched()
+	}
+	for _, c := range m.cells {
+		c.MSC.Close()
+	}
+	ctlWG.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

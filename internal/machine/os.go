@@ -1,0 +1,73 @@
+package machine
+
+import "sync"
+
+// InterruptCause classifies OS interrupts the hardware raises.
+type InterruptCause int
+
+const (
+	// IntrQueueRefill: an MSC+ queue emptied while commands were
+	// spilled to DRAM and the OS reloaded them (S4.1).
+	IntrQueueRefill InterruptCause = iota
+	// IntrPageFault: a PUT/GET named an unmapped address (S3.2/S4.1).
+	IntrPageFault
+	// IntrRingBufferFull: a ring buffer filled and the OS allocated a
+	// new one (S4.3).
+	IntrRingBufferFull
+
+	numInterruptCauses
+)
+
+func (c InterruptCause) String() string {
+	switch c {
+	case IntrQueueRefill:
+		return "queue-refill"
+	case IntrPageFault:
+		return "page-fault"
+	case IntrRingBufferFull:
+		return "ring-buffer-full"
+	}
+	return "unknown"
+}
+
+// OS is a cell's operating-system state: interrupt counters and the
+// fault log. The functional machine never kills a program on an
+// asynchronous fault (the hardware drops the offending message and
+// interrupts); tests assert on these logs instead.
+type OS struct {
+	mu         sync.Mutex
+	interrupts [numInterruptCauses]int64
+	faults     []error
+}
+
+func newOS() *OS { return &OS{} }
+
+func (o *OS) interrupt(cause InterruptCause) {
+	o.mu.Lock()
+	o.interrupts[cause]++
+	o.mu.Unlock()
+}
+
+func (o *OS) fault(err error) {
+	o.mu.Lock()
+	o.faults = append(o.faults, err)
+	o.mu.Unlock()
+}
+
+// Interrupt records an OS interrupt of the given cause; exported for
+// layered subsystems (ring buffers) that trap to the OS.
+func (o *OS) Interrupt(cause InterruptCause) { o.interrupt(cause) }
+
+// Interrupts reports how many interrupts of the given cause fired.
+func (o *OS) Interrupts(cause InterruptCause) int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.interrupts[cause]
+}
+
+// Faults returns a copy of the fault log.
+func (o *OS) Faults() []error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]error(nil), o.faults...)
+}

@@ -1,0 +1,147 @@
+package mc
+
+import (
+	"fmt"
+	"sync"
+)
+
+// NumCommRegs is the number of communication registers per MC:
+// "128 4-byte communication registers for each MC are allocated in
+// shared memory space" (S4.4).
+const NumCommRegs = 128
+
+// CommRegs models a cell's communication registers. Each register
+// carries a present bit (p-bit): a store sets it, a load blocks until
+// it is set and then clears it. Because the registers live in the
+// distributed shared memory space, a remote cell's store is "a simple
+// store instruction to the appropriate address" — here, a Store call
+// on the destination cell's CommRegs.
+//
+// Registers can be accessed in 4- or 8-byte blocks; an 8-byte access
+// uses registers idx and idx+1 and a single logical p-bit handshake.
+type CommRegs struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	val  [NumCommRegs]uint32
+	pbit [NumCommRegs]bool
+	// Overwrites counts stores that found the p-bit already set —
+	// data the consumer never observed. Correct reduction protocols
+	// keep this at zero; tests assert on it.
+	overwrites int64
+	stores     int64
+	loads      int64
+}
+
+// NewCommRegs returns a register file with all p-bits clear.
+func NewCommRegs() *CommRegs {
+	c := &CommRegs{}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+func (c *CommRegs) check(idx, width int) {
+	if width != 1 && width != 2 {
+		panic(fmt.Sprintf("mc: comm register access width %d (want 1 or 2 words)", width))
+	}
+	if idx < 0 || idx+width > NumCommRegs {
+		panic(fmt.Sprintf("mc: comm register %d..%d out of range", idx, idx+width-1))
+	}
+	if width == 2 && idx%2 != 0 {
+		panic(fmt.Sprintf("mc: unaligned 8-byte comm register access at %d", idx))
+	}
+}
+
+// Store32 writes a 4-byte value to register idx and sets its p-bit.
+func (c *CommRegs) Store32(idx int, v uint32) {
+	c.check(idx, 1)
+	c.mu.Lock()
+	if c.pbit[idx] {
+		c.overwrites++
+	}
+	c.val[idx] = v
+	c.pbit[idx] = true
+	c.stores++
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}
+
+// Store64 writes an 8-byte value to the aligned register pair
+// starting at idx and sets both p-bits.
+func (c *CommRegs) Store64(idx int, v uint64) {
+	c.check(idx, 2)
+	c.mu.Lock()
+	if c.pbit[idx] || c.pbit[idx+1] {
+		c.overwrites++
+	}
+	c.val[idx] = uint32(v)
+	c.val[idx+1] = uint32(v >> 32)
+	c.pbit[idx] = true
+	c.pbit[idx+1] = true
+	c.stores++
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}
+
+// Load32 blocks until register idx's p-bit is set, clears it, and
+// returns the value — the hardware's automatic retry-until-present
+// (S4.4), without software polling.
+func (c *CommRegs) Load32(idx int) uint32 {
+	c.check(idx, 1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for !c.pbit[idx] {
+		c.cond.Wait()
+	}
+	c.pbit[idx] = false
+	c.loads++
+	return c.val[idx]
+}
+
+// Load64 blocks until both p-bits of the pair at idx are set, clears
+// them, and returns the combined value.
+func (c *CommRegs) Load64(idx int) uint64 {
+	c.check(idx, 2)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for !c.pbit[idx] || !c.pbit[idx+1] {
+		c.cond.Wait()
+	}
+	c.pbit[idx] = false
+	c.pbit[idx+1] = false
+	c.loads++
+	return uint64(c.val[idx]) | uint64(c.val[idx+1])<<32
+}
+
+// TryLoad32 is a non-blocking probe used by tests: it returns the
+// value and clears the p-bit only if present.
+func (c *CommRegs) TryLoad32(idx int) (uint32, bool) {
+	c.check(idx, 1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.pbit[idx] {
+		return 0, false
+	}
+	c.pbit[idx] = false
+	c.loads++
+	return c.val[idx], true
+}
+
+// Present reports whether register idx's p-bit is set.
+func (c *CommRegs) Present(idx int) bool {
+	c.check(idx, 1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pbit[idx]
+}
+
+// CommRegStats is a snapshot of register activity.
+type CommRegStats struct {
+	Stores, Loads, Overwrites int64
+}
+
+// Stats returns usage counters.
+func (c *CommRegs) Stats() CommRegStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CommRegStats{Stores: c.stores, Loads: c.loads, Overwrites: c.overwrites}
+}

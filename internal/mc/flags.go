@@ -1,0 +1,147 @@
+// Package mc models the AP1000+ memory controller (MC): the MMU with
+// its direct-mapped TLB, the fetch-and-increment flag updater that
+// realizes the paper's "flag update combined with data transfer", and
+// the 128 communication registers with present bits used for barrier
+// synchronization and scalar global reduction (S4, S4.4).
+package mc
+
+import (
+	"fmt"
+	"sync"
+)
+
+// FlagID names a synchronization flag within one cell. Flag 0 plays
+// the paper's "address 0" role: PUT/GET with flag 0 updates nothing.
+type FlagID int32
+
+// NoFlag is the "do not update" flag (the paper passes address 0).
+const NoFlag FlagID = 0
+
+// AckFlagID identifies the implicit acknowledge flag every cell owns
+// (S2.2, the Ack & Barrier model); PUT acknowledgements raise it.
+const AckFlagID FlagID = -1
+
+// RemoteAckFlagID is the implicit flag raised by the automatic
+// acknowledgements of distributed-shared-memory remote stores (S4.2).
+// It is distinct from AckFlagID so DSM traffic cannot satisfy a
+// PUT-level AckWait.
+const RemoteAckFlagID FlagID = -2
+
+// Flags is a cell's flag file. Flags are "normal variables specified
+// in the user programs" (S4.1); the MC increments them atomically
+// when the MSC+ signals DMA completion ("the MC has an incrementer,
+// which can fetch and increment"). Increments may arrive from remote
+// cells' delivery goroutines concurrently with the owner waiting, so
+// the implementation is a monitor: an increment establishes a
+// happens-before edge to the waiter exactly like the hardware's
+// memory-system ordering does.
+type Flags struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	vals map[FlagID]int64
+	next FlagID
+	// incs counts total increments, for statistics.
+	incs int64
+}
+
+// NewFlags returns an empty flag file.
+func NewFlags() *Flags {
+	f := &Flags{vals: make(map[FlagID]int64), next: 1}
+	f.cond = sync.NewCond(&f.mu)
+	return f
+}
+
+// Alloc reserves a fresh flag. Flags are ordinary memory words on
+// the real machine, so an increment that arrives from a fast remote
+// cell before the owner "allocates" the flag is legitimate and must
+// not be lost: Alloc never clears an existing count.
+func (f *Flags) Alloc() FlagID {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	id := f.next
+	f.next++
+	if _, ok := f.vals[id]; !ok {
+		f.vals[id] = 0
+	}
+	return id
+}
+
+// Inc increments flag id by one — the MC's fetch-and-increment. Inc
+// of NoFlag is a no-op, matching the paper: "if flag addresses are
+// specified as 0, MSC+ does not update the flag."
+func (f *Flags) Inc(id FlagID) {
+	if id == NoFlag {
+		return
+	}
+	f.mu.Lock()
+	f.vals[id]++
+	f.incs++
+	f.mu.Unlock()
+	f.cond.Broadcast()
+}
+
+// Add increments flag id by n (> 0). Used by collective operations
+// that complete several transfers at once.
+func (f *Flags) Add(id FlagID, n int64) {
+	if id == NoFlag || n == 0 {
+		return
+	}
+	if n < 0 {
+		panic("mc: negative flag add")
+	}
+	f.mu.Lock()
+	f.vals[id] += n
+	f.incs += n
+	f.mu.Unlock()
+	f.cond.Broadcast()
+}
+
+// Load returns the current value of flag id.
+func (f *Flags) Load(id FlagID) int64 {
+	if id == NoFlag {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.vals[id]
+}
+
+// Reset sets flag id back to zero, the program's way of reusing a
+// flag between communication phases.
+func (f *Flags) Reset(id FlagID) {
+	if id == NoFlag {
+		return
+	}
+	f.mu.Lock()
+	f.vals[id] = 0
+	f.mu.Unlock()
+	f.cond.Broadcast()
+}
+
+// Wait blocks until flag id reaches at least target. This is the
+// "program checks the value of these flags to detect the completion
+// of communications" loop (S3.1), minus the busy-wait.
+func (f *Flags) Wait(id FlagID, target int64) {
+	if id == NoFlag {
+		return
+	}
+	f.mu.Lock()
+	for f.vals[id] < target {
+		f.cond.Wait()
+	}
+	f.mu.Unlock()
+}
+
+// Increments reports the total number of increments performed, a
+// proxy for how many completion notifications the MC handled.
+func (f *Flags) Increments() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.incs
+}
+
+func (f *Flags) String() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return fmt.Sprintf("flags{n=%d incs=%d}", len(f.vals), f.incs)
+}

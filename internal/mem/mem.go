@@ -1,0 +1,360 @@
+// Package mem models a cell's local memory: the DRAM address space,
+// the segments user programs allocate in it, and the DMA copy engine
+// the MSC+ drives for PUT/GET transfers, including the
+// one-dimensional stride mode of Figure 3.
+//
+// Memory is segment-based. A segment is a contiguous logical address
+// range backed either by raw bytes or by a []float64 (the natural
+// element type of the paper's Fortran workloads). The DMA engine
+// copies between segments of any cell, converting representation when
+// a transfer crosses segment kinds, so the byte-level semantics of
+// the hardware are preserved while numeric kernels keep direct slice
+// access to their data — the "user-level direct access" the paper's
+// zero-copy PUT depends on.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Addr is a logical byte address within one cell's address space.
+type Addr uint64
+
+// PageSize is the small page size of the MC's MMU (S4.1: "256 entries
+// for every 4-kilobyte page").
+const PageSize = 4096
+
+// BigPageSize is the large page size ("64 entries for every
+// 256-kilobyte page").
+const BigPageSize = 256 * 1024
+
+// Kind describes a segment's backing representation.
+type Kind uint8
+
+const (
+	// Bytes segments are backed by []byte.
+	Bytes Kind = iota
+	// Float64 segments are backed by []float64; addresses within them
+	// must stay 8-byte aligned and sizes must be multiples of 8.
+	Float64
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Bytes:
+		return "bytes"
+	case Float64:
+		return "float64"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Segment is an allocated region of a cell's memory.
+type Segment struct {
+	name  string
+	base  Addr
+	size  int64
+	kind  Kind
+	bytes []byte
+	f64   []float64
+}
+
+// Name reports the segment's allocation label.
+func (s *Segment) Name() string { return s.name }
+
+// Base reports the segment's starting logical address.
+func (s *Segment) Base() Addr { return s.base }
+
+// Size reports the segment length in bytes.
+func (s *Segment) Size() int64 { return s.size }
+
+// Kind reports the backing representation.
+func (s *Segment) Kind() Kind { return s.kind }
+
+// BytesData returns the raw backing slice of a Bytes segment.
+// The hardware DMA may concurrently write other parts of the slice;
+// callers must follow the flag discipline, exactly as on the machine.
+func (s *Segment) BytesData() []byte {
+	if s.kind != Bytes {
+		panic(fmt.Sprintf("mem: BytesData on %s segment %q", s.kind, s.name))
+	}
+	return s.bytes
+}
+
+// Float64Data returns the backing slice of a Float64 segment.
+func (s *Segment) Float64Data() []float64 {
+	if s.kind != Float64 {
+		panic(fmt.Sprintf("mem: Float64Data on %s segment %q", s.kind, s.name))
+	}
+	return s.f64
+}
+
+// Contains reports whether [addr, addr+n) lies within the segment.
+func (s *Segment) Contains(addr Addr, n int64) bool {
+	return addr >= s.base && n >= 0 && int64(addr-s.base)+n <= s.size
+}
+
+// Space is one cell's local memory. It is not safe for concurrent
+// allocation; allocation happens during program setup (SPMD prologue)
+// while data transfers into existing segments may run concurrently.
+type Space struct {
+	capacity int64
+	used     int64
+	next     Addr
+	segs     []*Segment // sorted by base
+}
+
+// allocBase is the first allocatable address. Address 0 is reserved:
+// a GET with destination address 0 "goes and comes back, and does not
+// copy the data" — the acknowledge trick of S4.1.
+const allocBase Addr = PageSize
+
+// NewSpace creates a memory space with the given capacity in bytes.
+// The AP1000+ shipped with 16 or 64 megabytes per cell; any positive
+// capacity is accepted so tests can run small.
+func NewSpace(capacity int64) (*Space, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("mem: non-positive capacity %d", capacity)
+	}
+	return &Space{capacity: capacity, next: allocBase}, nil
+}
+
+// Capacity reports the configured DRAM size.
+func (sp *Space) Capacity() int64 { return sp.capacity }
+
+// Used reports total allocated bytes.
+func (sp *Space) Used() int64 { return sp.used }
+
+// Alloc carves a new segment of size bytes. Segments are page-aligned
+// so that MMU translation of a transfer never splits a segment
+// boundary mid-page.
+func (sp *Space) Alloc(name string, kind Kind, size int64) (*Segment, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("mem: alloc %q: non-positive size %d", name, size)
+	}
+	if kind == Float64 && size%8 != 0 {
+		return nil, fmt.Errorf("mem: alloc %q: float64 segment size %d not a multiple of 8", name, size)
+	}
+	if sp.used+size > sp.capacity {
+		return nil, fmt.Errorf("mem: alloc %q: %d bytes exceeds capacity (%d used of %d)", name, size, sp.used, sp.capacity)
+	}
+	seg := &Segment{name: name, base: sp.next, size: size, kind: kind}
+	switch kind {
+	case Bytes:
+		seg.bytes = make([]byte, size)
+	case Float64:
+		seg.f64 = make([]float64, size/8)
+	default:
+		return nil, fmt.Errorf("mem: alloc %q: unknown kind %d", name, kind)
+	}
+	sp.segs = append(sp.segs, seg)
+	sp.used += size
+	// Advance to the next page boundary past the segment.
+	end := sp.next + Addr(size)
+	sp.next = (end + PageSize - 1) &^ (PageSize - 1)
+	return seg, nil
+}
+
+// AllocFloat64 allocates a Float64 segment holding n elements and
+// returns both the segment and its backing slice.
+func (sp *Space) AllocFloat64(name string, n int) (*Segment, []float64, error) {
+	seg, err := sp.Alloc(name, Float64, int64(n)*8)
+	if err != nil {
+		return nil, nil, err
+	}
+	return seg, seg.Float64Data(), nil
+}
+
+// Resolve finds the segment containing [addr, addr+n).
+func (sp *Space) Resolve(addr Addr, n int64) (*Segment, error) {
+	i := sort.Search(len(sp.segs), func(i int) bool {
+		return sp.segs[i].base+Addr(sp.segs[i].size) > addr
+	})
+	if i < len(sp.segs) && sp.segs[i].Contains(addr, n) {
+		return sp.segs[i], nil
+	}
+	return nil, fmt.Errorf("mem: access [%#x,+%d) hits no segment", addr, n)
+}
+
+// Segments returns all segments in address order. Callers must not
+// mutate the slice.
+func (sp *Space) Segments() []*Segment { return sp.segs }
+
+// readElem8 reads the 8 bytes at byte offset off within seg, which
+// must be 8-aligned for Float64 segments.
+func readElem8(seg *Segment, off int64) (uint64, error) {
+	switch seg.kind {
+	case Float64:
+		if off%8 != 0 {
+			return 0, fmt.Errorf("mem: misaligned 8-byte read at offset %d of float64 segment %q", off, seg.name)
+		}
+		return math.Float64bits(seg.f64[off/8]), nil
+	default:
+		return binary.LittleEndian.Uint64(seg.bytes[off:]), nil
+	}
+}
+
+func writeElem8(seg *Segment, off int64, v uint64) error {
+	switch seg.kind {
+	case Float64:
+		if off%8 != 0 {
+			return fmt.Errorf("mem: misaligned 8-byte write at offset %d of float64 segment %q", off, seg.name)
+		}
+		seg.f64[off/8] = math.Float64frombits(v)
+		return nil
+	default:
+		binary.LittleEndian.PutUint64(seg.bytes[off:], v)
+		return nil
+	}
+}
+
+// copyRun copies n contiguous bytes between segments starting at the
+// given intra-segment byte offsets.
+func copyRun(dst *Segment, doff int64, src *Segment, soff int64, n int64) error {
+	if n == 0 {
+		return nil
+	}
+	switch {
+	case dst.kind == Bytes && src.kind == Bytes:
+		copy(dst.bytes[doff:doff+n], src.bytes[soff:soff+n])
+		return nil
+	case dst.kind == Float64 && src.kind == Float64:
+		if doff%8 != 0 || soff%8 != 0 || n%8 != 0 {
+			return fmt.Errorf("mem: float64<-float64 copy misaligned (doff=%d soff=%d n=%d)", doff, soff, n)
+		}
+		copy(dst.f64[doff/8:(doff+n)/8], src.f64[soff/8:(soff+n)/8])
+		return nil
+	default:
+		// Cross-representation: move 8 bytes at a time; both sides
+		// must be 8-aligned with n a multiple of 8, which the
+		// float64 side requires anyway.
+		if doff%8 != 0 || soff%8 != 0 || n%8 != 0 {
+			return fmt.Errorf("mem: cross-kind copy misaligned (doff=%d soff=%d n=%d)", doff, soff, n)
+		}
+		for i := int64(0); i < n; i += 8 {
+			v, err := readElem8(src, soff+i)
+			if err != nil {
+				return err
+			}
+			if err := writeElem8(dst, doff+i, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// Copy performs a contiguous DMA transfer of size bytes from
+// (srcSpace, srcAddr) to (dstSpace, dstAddr). Source and destination
+// may belong to different cells; the MSC+ receive DMA is exactly this
+// operation on the destination cell.
+func Copy(dst *Space, dstAddr Addr, src *Space, srcAddr Addr, size int64) error {
+	if size < 0 {
+		return fmt.Errorf("mem: negative copy size %d", size)
+	}
+	if size == 0 {
+		return nil
+	}
+	sseg, err := src.Resolve(srcAddr, size)
+	if err != nil {
+		return fmt.Errorf("mem: copy source: %w", err)
+	}
+	dseg, err := dst.Resolve(dstAddr, size)
+	if err != nil {
+		return fmt.Errorf("mem: copy destination: %w", err)
+	}
+	return copyRun(dseg, int64(dstAddr-dseg.base), sseg, int64(srcAddr-sseg.base), size)
+}
+
+// Stride describes one side of a one-dimensional stride transfer
+// (Figure 3): Count items of ItemSize bytes, with Skip bytes of gap
+// between the end of one item and the start of the next.
+type Stride struct {
+	ItemSize int64
+	Count    int64
+	Skip     int64
+}
+
+// Contiguous returns the Stride describing a plain transfer of size
+// bytes (one item, no skip).
+func Contiguous(size int64) Stride { return Stride{ItemSize: size, Count: 1} }
+
+// Total reports the payload bytes the pattern moves.
+func (s Stride) Total() int64 { return s.ItemSize * s.Count }
+
+// Extent reports the bytes of address space the pattern touches,
+// including gaps (but not a trailing gap).
+func (s Stride) Extent() int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Count*s.ItemSize + (s.Count-1)*s.Skip
+}
+
+// Validate rejects patterns the hardware cannot express.
+func (s Stride) Validate() error {
+	if s.ItemSize <= 0 || s.Count <= 0 || s.Skip < 0 {
+		return fmt.Errorf("mem: invalid stride %+v", s)
+	}
+	return nil
+}
+
+// CopyStride performs a stride DMA transfer: the source pattern is
+// read item by item and the stream of payload bytes is written into
+// the destination pattern. As in Figure 3, the item sizes of the two
+// sides may differ (send_item_size=2,cnt=3 feeding recv_item_size=3,
+// cnt=2); only the payload totals must match.
+func CopyStride(dst *Space, dstAddr Addr, dstPat Stride, src *Space, srcAddr Addr, srcPat Stride) error {
+	if err := srcPat.Validate(); err != nil {
+		return err
+	}
+	if err := dstPat.Validate(); err != nil {
+		return err
+	}
+	if srcPat.Total() != dstPat.Total() {
+		return fmt.Errorf("mem: stride payload mismatch: send %d bytes, recv %d bytes", srcPat.Total(), dstPat.Total())
+	}
+	sseg, err := src.Resolve(srcAddr, srcPat.Extent())
+	if err != nil {
+		return fmt.Errorf("mem: stride source: %w", err)
+	}
+	dseg, err := dst.Resolve(dstAddr, dstPat.Extent())
+	if err != nil {
+		return fmt.Errorf("mem: stride destination: %w", err)
+	}
+	soff := int64(srcAddr - sseg.base)
+	doff := int64(dstAddr - dseg.base)
+	var (
+		si, di       int64 // item indices
+		sfill, dfill int64 // bytes already consumed/produced in current item
+	)
+	remaining := srcPat.Total()
+	for remaining > 0 {
+		srun := srcPat.ItemSize - sfill
+		drun := dstPat.ItemSize - dfill
+		run := srun
+		if drun < run {
+			run = drun
+		}
+		sp := soff + si*(srcPat.ItemSize+srcPat.Skip) + sfill
+		dp := doff + di*(dstPat.ItemSize+dstPat.Skip) + dfill
+		if err := copyRun(dseg, dp, sseg, sp, run); err != nil {
+			return err
+		}
+		sfill += run
+		dfill += run
+		remaining -= run
+		if sfill == srcPat.ItemSize {
+			sfill = 0
+			si++
+		}
+		if dfill == dstPat.ItemSize {
+			dfill = 0
+			di++
+		}
+	}
+	return nil
+}

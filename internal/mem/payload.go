@@ -1,0 +1,95 @@
+package mem
+
+import "fmt"
+
+// Payload is data in flight: the send DMA captures the source pattern
+// into a private buffer at send time (so the sender may reuse the
+// source area as soon as its send flag rises, per S3.1), and the
+// receive DMA delivers it into the destination pattern on arrival.
+type Payload struct {
+	space *Space
+	base  Addr
+	size  int64
+}
+
+// Size reports the payload length in bytes.
+func (p *Payload) Size() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.size
+}
+
+// CapturePayload reads srcPat at (src, addr) into a fresh payload
+// buffer, preserving the source segment's representation so numeric
+// data never round-trips through bytes.
+func CapturePayload(src *Space, addr Addr, srcPat Stride) (*Payload, error) {
+	if err := srcPat.Validate(); err != nil {
+		return nil, err
+	}
+	total := srcPat.Total()
+	seg, err := src.Resolve(addr, srcPat.Extent())
+	if err != nil {
+		return nil, fmt.Errorf("mem: capture: %w", err)
+	}
+	staging, err := NewSpace(total + PageSize)
+	if err != nil {
+		return nil, err
+	}
+	kind := seg.Kind()
+	size := total
+	if kind == Float64 && size%8 != 0 {
+		// A sub-element byte transfer from a float segment must fall
+		// back to byte representation.
+		kind = Bytes
+	}
+	pseg, err := staging.Alloc("payload", kind, size)
+	if err != nil {
+		return nil, err
+	}
+	if err := CopyStride(staging, pseg.Base(), Contiguous(total), src, addr, srcPat); err != nil {
+		return nil, err
+	}
+	return &Payload{space: staging, base: pseg.Base(), size: total}, nil
+}
+
+// Deliver writes the payload into dstPat at (dst, addr) — the receive
+// DMA. A nil payload (zero-length transfer) is a no-op.
+func (p *Payload) Deliver(dst *Space, addr Addr, dstPat Stride) error {
+	if p == nil {
+		return nil
+	}
+	if dstPat.Total() != p.size {
+		return fmt.Errorf("mem: deliver: pattern wants %d bytes, payload has %d", dstPat.Total(), p.size)
+	}
+	return CopyStride(dst, addr, dstPat, p.space, p.base, Contiguous(p.size))
+}
+
+// Float64s returns the payload as float64 values when it was captured
+// from a Float64 segment; ok reports whether that representation is
+// available. Used by reduction operators that combine in-flight data.
+func (p *Payload) Float64s() (vals []float64, ok bool) {
+	if p == nil {
+		return nil, false
+	}
+	seg, err := p.space.Resolve(p.base, p.size)
+	if err != nil || seg.Kind() != Float64 {
+		return nil, false
+	}
+	off := int64(p.base-seg.Base()) / 8
+	return seg.Float64Data()[off : off+p.size/8], true
+}
+
+// Bytes returns the payload as raw bytes when it was captured from a
+// Bytes segment.
+func (p *Payload) Bytes() (data []byte, ok bool) {
+	if p == nil {
+		return nil, false
+	}
+	seg, err := p.space.Resolve(p.base, p.size)
+	if err != nil || seg.Kind() != Bytes {
+		return nil, false
+	}
+	off := int64(p.base - seg.Base())
+	return seg.BytesData()[off : off+p.size], true
+}

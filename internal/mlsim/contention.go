@@ -1,0 +1,181 @@
+package mlsim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"ap1000plus/internal/event"
+	"ap1000plus/internal/params"
+	"ap1000plus/internal/topology"
+	"ap1000plus/internal/trace"
+)
+
+// The contention analyzer is an extension beyond the paper's MLSim
+// (which, like ours, charges per-hop delay but assumes contention-free
+// links). It takes the message log of a replay and re-simulates the
+// T-net at link granularity with a discrete-event kernel: messages
+// follow their dimension-order routes and serialize on each 25 MB/s
+// link, exposing queueing delay and hot links. This quantifies how
+// far the contention-free assumption is from a store-and-forward
+// worst case for each workload.
+
+// link identifies a directed channel between torus neighbours.
+type link struct {
+	from, to topology.CellID
+}
+
+// LinkStats reports one link's utilization.
+type LinkStats struct {
+	From, To topology.CellID
+	Messages int64
+	Bytes    int64
+	// Busy is the total transmission time on this link.
+	Busy event.Time
+}
+
+// ContentionReport summarizes the link-level re-simulation.
+type ContentionReport struct {
+	Messages int64
+	// Makespan is the time the last message finishes under link
+	// serialization; FreeMakespan the same without contention.
+	Makespan     event.Time
+	FreeMakespan event.Time
+	// MaxDelay and MeanDelay are per-message queueing delays relative
+	// to the contention-free schedule.
+	MaxDelay  event.Time
+	MeanDelay event.Time
+	// Hottest lists the busiest links, descending.
+	Hottest []LinkStats
+}
+
+// Slowdown reports makespan inflation due to contention.
+func (r *ContentionReport) Slowdown() float64 {
+	if r.FreeMakespan == 0 {
+		return 1
+	}
+	return float64(r.Makespan) / float64(r.FreeMakespan)
+}
+
+// AnalyzeContention re-simulates a message log on the torus with
+// serialized links. Each message occupies each link of its route for
+// its full transmission time (store-and-forward, a conservative
+// bound; the real T-net's wormhole pipelining sits between this and
+// the contention-free model).
+func AnalyzeContention(ts *trace.TraceSet, p *params.Params, log []Message) (*ContentionReport, error) {
+	torus, err := topology.NewTorus(ts.Meta.Width, ts.Meta.Height)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	// Sort by departure for deterministic arbitration.
+	msgs := append([]Message(nil), log...)
+	sort.SliceStable(msgs, func(i, j int) bool { return msgs[i].Depart < msgs[j].Depart })
+
+	perHopWire := func(size int64) event.Time {
+		// Per-link occupancy: header + payload at link speed.
+		return us(p.NetworkPrologTime + p.NetworkDelayTime + p.PutMsgTime*float64(size))
+	}
+
+	var k event.Kernel
+	free := make(map[link]event.Time) // link free-at time
+	stats := make(map[link]*LinkStats)
+	report := &ContentionReport{Messages: int64(len(msgs))}
+	var totalDelay event.Time
+
+	type inflight struct {
+		m     Message
+		route []topology.CellID
+		hop   int
+	}
+	var advance func(now event.Time, f *inflight)
+	advance = func(now event.Time, f *inflight) {
+		if f.hop >= len(f.route) {
+			// Delivered.
+			freeArrive := f.m.Depart
+			for range f.route {
+				freeArrive += perHopWire(f.m.Size)
+			}
+			delay := now - freeArrive
+			if delay < 0 {
+				delay = 0
+			}
+			totalDelay += delay
+			if delay > report.MaxDelay {
+				report.MaxDelay = delay
+			}
+			if now > report.Makespan {
+				report.Makespan = now
+			}
+			if freeArrive > report.FreeMakespan {
+				report.FreeMakespan = freeArrive
+			}
+			return
+		}
+		from := f.m.Src
+		if f.hop > 0 {
+			from = int(f.route[f.hop-1])
+		}
+		l := link{from: topology.CellID(from), to: f.route[f.hop]}
+		start := now
+		if free[l] > start {
+			start = free[l]
+		}
+		occupy := perHopWire(f.m.Size)
+		end := start + occupy
+		free[l] = end
+		st := stats[l]
+		if st == nil {
+			st = &LinkStats{From: l.from, To: l.to}
+			stats[l] = st
+		}
+		st.Messages++
+		st.Bytes += f.m.Size
+		st.Busy += occupy
+		f.hop++
+		k.At(end, func(t event.Time) { advance(t, f) })
+	}
+
+	for i := range msgs {
+		f := &inflight{m: msgs[i], route: torus.Route(topology.CellID(msgs[i].Src), topology.CellID(msgs[i].Dst))}
+		k.At(msgs[i].Depart, func(t event.Time) { advance(t, f) })
+	}
+	k.Run()
+
+	if len(msgs) > 0 {
+		report.MeanDelay = totalDelay / event.Time(len(msgs))
+	}
+	for _, st := range stats {
+		report.Hottest = append(report.Hottest, *st)
+	}
+	sort.Slice(report.Hottest, func(i, j int) bool {
+		if report.Hottest[i].Busy != report.Hottest[j].Busy {
+			return report.Hottest[i].Busy > report.Hottest[j].Busy
+		}
+		if report.Hottest[i].From != report.Hottest[j].From {
+			return report.Hottest[i].From < report.Hottest[j].From
+		}
+		return report.Hottest[i].To < report.Hottest[j].To
+	})
+	return report, nil
+}
+
+// WriteContention renders the report.
+func WriteContention(w io.Writer, r *ContentionReport, topLinks int) error {
+	fmt.Fprintf(w, "contention analysis: %d messages\n", r.Messages)
+	fmt.Fprintf(w, "  makespan %s (contention-free %s, slowdown %.2fx)\n",
+		r.Makespan, r.FreeMakespan, r.Slowdown())
+	fmt.Fprintf(w, "  queueing delay: mean %s, max %s\n", r.MeanDelay, r.MaxDelay)
+	for i, l := range r.Hottest {
+		if i >= topLinks {
+			break
+		}
+		if _, err := fmt.Fprintf(w, "  link %3d -> %-3d  %6d msgs %10d bytes  busy %s\n",
+			l.From, l.To, l.Messages, l.Bytes, l.Busy); err != nil {
+			return err
+		}
+	}
+	return nil
+}

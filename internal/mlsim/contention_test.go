@@ -1,0 +1,163 @@
+package mlsim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ap1000plus/internal/event"
+	"ap1000plus/internal/params"
+	"ap1000plus/internal/trace"
+)
+
+func TestRunWithLogCollectsMessages(t *testing.T) {
+	ts := synthetic("log", func(pe int, r *trace.Recorder) {
+		if pe == 0 {
+			r.Put(1, 512, 1, 0, 0, false, false)
+			r.Put(2, 256, 1, 0, 0, true, false) // + ack round trip
+			r.Get(3, 128, 1, 0, 0, false)       // request + reply
+			r.Send(1, 64, false)
+		}
+	})
+	res, log, err := RunWithLog(ts, params.AP1000Plus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Logged: 2 data puts, ack req+reply, get req+reply, 1 send = 7.
+	if len(log) != 7 {
+		t.Fatalf("log entries = %d, want 7: %+v", len(log), log)
+	}
+	if res.Messages != 7 {
+		t.Fatalf("messages = %d", res.Messages)
+	}
+	for _, m := range log {
+		if m.Src == m.Dst {
+			t.Errorf("self-message logged: %+v", m)
+		}
+		if m.Depart < 0 || m.Size < 0 {
+			t.Errorf("bad log entry %+v", m)
+		}
+	}
+}
+
+func TestContentionSingleMessageNoDelay(t *testing.T) {
+	ts := trace.New("one", 2, 2)
+	log := []Message{{Src: 0, Dst: 3, Depart: 0, Size: 1000}}
+	rep, err := AnalyzeContention(ts, params.AP1000Plus(), log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxDelay != 0 || rep.MeanDelay != 0 {
+		t.Errorf("lone message delayed: %+v", rep)
+	}
+	if rep.Slowdown() != 1.0 {
+		t.Errorf("slowdown = %v", rep.Slowdown())
+	}
+	if rep.Makespan == 0 {
+		t.Error("zero makespan")
+	}
+}
+
+func TestContentionSerializesSharedLink(t *testing.T) {
+	// Two same-time messages over the same link must serialize: the
+	// second is delayed by one transmission time.
+	ts := trace.New("two", 2, 2)
+	log := []Message{
+		{Src: 0, Dst: 1, Depart: 0, Size: 4096},
+		{Src: 0, Dst: 1, Depart: 0, Size: 4096},
+	}
+	p := params.AP1000Plus()
+	rep, err := AnalyzeContention(ts, p, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	occupy := event.Microseconds(p.NetworkPrologTime + p.NetworkDelayTime + p.PutMsgTime*4096)
+	if rep.MaxDelay != occupy {
+		t.Errorf("max delay = %v, want one transmission (%v)", rep.MaxDelay, occupy)
+	}
+	if rep.Slowdown() <= 1.0 {
+		t.Errorf("slowdown = %v, want > 1", rep.Slowdown())
+	}
+	if len(rep.Hottest) != 1 {
+		t.Fatalf("links = %d, want 1", len(rep.Hottest))
+	}
+	hot := rep.Hottest[0]
+	if hot.Messages != 2 || hot.Bytes != 8192 || hot.Busy != 2*occupy {
+		t.Errorf("hot link = %+v", hot)
+	}
+}
+
+func TestContentionDisjointLinksNoDelay(t *testing.T) {
+	ts := trace.New("disjoint", 2, 2)
+	log := []Message{
+		{Src: 0, Dst: 1, Depart: 0, Size: 4096},
+		{Src: 2, Dst: 3, Depart: 0, Size: 4096},
+	}
+	rep, err := AnalyzeContention(ts, params.AP1000Plus(), log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxDelay != 0 {
+		t.Errorf("disjoint routes delayed: %+v", rep)
+	}
+}
+
+func TestContentionDeterministic(t *testing.T) {
+	ts := randomTrace(3, 4)
+	_, log, err := RunWithLog(ts, params.AP1000Plus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := AnalyzeContention(ts, params.AP1000Plus(), log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AnalyzeContention(ts, params.AP1000Plus(), log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan || a.MeanDelay != b.MeanDelay || len(a.Hottest) != len(b.Hottest) {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+// Contention can only make things later, never earlier.
+func TestContentionNeverEarly(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		ts := randomTrace(seed, 4)
+		_, log, err := RunWithLog(ts, params.AP1000Plus())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := AnalyzeContention(ts, params.AP1000Plus(), log)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Makespan < rep.FreeMakespan {
+			t.Fatalf("seed %d: makespan %v below contention-free %v", seed, rep.Makespan, rep.FreeMakespan)
+		}
+		if rep.Slowdown() < 1 {
+			t.Fatalf("seed %d: slowdown %v < 1", seed, rep.Slowdown())
+		}
+	}
+}
+
+func TestWriteContention(t *testing.T) {
+	ts := trace.New("w", 2, 2)
+	log := []Message{
+		{Src: 0, Dst: 1, Depart: 0, Size: 100},
+		{Src: 0, Dst: 1, Depart: 0, Size: 100},
+	}
+	rep, err := AnalyzeContention(ts, params.AP1000Plus(), log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteContention(&buf, rep, 5); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "slowdown") || !strings.Contains(out, "link") {
+		t.Errorf("output = %q", out)
+	}
+}

@@ -1,0 +1,129 @@
+package mlsim
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"ap1000plus/internal/event"
+	"ap1000plus/internal/params"
+)
+
+// Component is one numbered cost component of Figure 7's PUT
+// communication model.
+type Component struct {
+	Index int    // Figure 7 item number (1-18)
+	Name  string // parameter name
+	Lane  string // "user-a", "system-a", "network", "system-b", "user-b"
+	Start event.Time
+	End   event.Time
+}
+
+// PutTimeline reconstructs Figure 7: the full component timeline of
+// one PUT of msgSize bytes over distance hops, under model p, from
+// the sender's library entry to the receiver's flag check returning.
+// Components with zero cost in the model still appear (with
+// Start==End), so the AP1000 and AP1000+ timelines align item by
+// item.
+func PutTimeline(p *params.Params, msgSize int64, distance int) []Component {
+	var out []Component
+	t := event.Time(0)
+	sz := float64(msgSize)
+	add := func(idx int, name, lane string, dur float64) event.Time {
+		start := t
+		t += us(dur)
+		out = append(out, Component{Index: idx, Name: name, Lane: lane, Start: start, End: t})
+		return t
+	}
+	// Sender: user/system boundary per Figure 7.
+	add(1, "put_prolog_time", "user-a", p.PutPrologTime)
+	add(2, "put_enqueue_time", "system-a", p.PutEnqueueTime)
+	if !p.Features.HardwareMessageHandling {
+		add(3, "put_msg_post_time x msg_size", "system-a", p.PutMsgPostTime*sz)
+	} else {
+		add(3, "put_msg_post_time x msg_size", "system-a", 0)
+	}
+	dmaSet := add(4, "put_dma_set_time", "system-a", p.PutDmaSetTime)
+	add(5, "put_epilog_time", "user-a", p.PutEpilogTime)
+	cpuDone := t
+
+	// Send completion (asynchronous to the CPU on the MSC+).
+	t = dmaSet
+	add(6, "send_complete_time", "system-a", p.SendCompleteTime)
+	add(7, "send_complete_flag_time", "system-a", p.SendCompleteFlagTime)
+
+	// Network, departing after DMA setup.
+	t = dmaSet
+	add(15, "network_prolog_time", "network", p.NetworkPrologTime)
+	add(16, "network_delay_time x distance", "network", p.NetworkDelayTime*float64(distance))
+	add(17, "network_msg_time x msg_size", "network", p.PutMsgTime*sz)
+	arrive := add(18, "network_epilog_time", "network", p.NetworkEpilogTime)
+
+	// Receiver.
+	t = arrive
+	add(8, "intr_rtc_time", "system-b", p.IntrRtcTime)
+	add(9, "recv_msg_invalid_time x msg_size", "system-b", p.RecvMsgFlushTime*sz)
+	add(10, "recv_dma_set_time", "system-b", p.RecvDmaSetTime)
+	add(11, "recv_complete_time", "system-b", p.RecvCompleteTime)
+	flagAt := add(12, "recv_complete_flag_time", "system-b", p.RecvCompleteFlagTime)
+
+	// Receiver's flag check returning right as the flag rises.
+	t = flagAt - us(p.FlagCheckPrologTime)
+	if t < 0 {
+		t = 0
+	}
+	add(13, "flag_check_prolog_time", "user-b", p.FlagCheckPrologTime)
+	add(14, "flag_check_epilog_time", "user-b", p.FlagCheckEpilogTime)
+	_ = cpuDone
+	return out
+}
+
+// PutLatency reports the end-to-end PUT latency (sender library entry
+// to receiver flag update) and the sender CPU busy time, summarizing
+// the timeline.
+func PutLatency(p *params.Params, msgSize int64, distance int) (latency, senderCPU event.Time) {
+	comps := PutTimeline(p, msgSize, distance)
+	for _, c := range comps {
+		if c.Index == 12 {
+			latency = c.End
+		}
+	}
+	if p.Features.HardwareMessageHandling {
+		senderCPU = us(p.PutPrologTime + p.PutEnqueueTime)
+	} else {
+		senderCPU = us(p.PutPrologTime + p.PutEnqueueTime + p.PutMsgPostTime*float64(msgSize) +
+			p.PutDmaSetTime + p.PutEpilogTime)
+	}
+	return latency, senderCPU
+}
+
+// WriteTimeline renders the Figure 7 reconstruction as text.
+func WriteTimeline(w io.Writer, p *params.Params, msgSize int64, distance int) error {
+	comps := PutTimeline(p, msgSize, distance)
+	fmt.Fprintf(w, "PUT communication model (%s), %d bytes, %d hops\n", p.Name, msgSize, distance)
+	var total event.Time
+	for _, c := range comps {
+		if c.End > total {
+			total = c.End
+		}
+	}
+	for _, c := range comps {
+		bar := ""
+		if total > 0 {
+			const width = 40
+			s := int(int64(c.Start) * width / int64(total))
+			e := int(int64(c.End) * width / int64(total))
+			if e == s && c.End > c.Start {
+				e = s + 1
+			}
+			bar = strings.Repeat(" ", s) + strings.Repeat("#", e-s)
+		}
+		if _, err := fmt.Fprintf(w, "(%2d) %-34s %-8s %9s ..%9s |%-40s|\n",
+			c.Index, c.Name, c.Lane, c.Start, c.End, bar); err != nil {
+			return err
+		}
+	}
+	lat, cpu := PutLatency(p, msgSize, distance)
+	_, err := fmt.Fprintf(w, "latency %s, sender CPU %s\n", lat, cpu)
+	return err
+}

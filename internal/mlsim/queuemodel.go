@@ -1,0 +1,93 @@
+package mlsim
+
+import (
+	"ap1000plus/internal/event"
+	"ap1000plus/internal/msc"
+)
+
+// The queue-occupancy model closes a gap the paper itself notes
+// (§5.4): "The current implementation of MLSim, however, does not
+// include a queue overflow model. Hence, MLSim cannot detect whether
+// overflow occurs, and if so, how this affects performance."
+//
+// Here each PE's MSC+ send side is modeled as a single server: a
+// command occupies the send DMA for its launch time plus its wire
+// time (the 25 MB/s link drains the queue). Commands that arrive
+// while more than QueueCommands predecessors are still waiting spill
+// to the DRAM buffer; when the hardware queue later drains, the OS
+// takes a refill interrupt (charged to the PE when enabled).
+
+// QueueCommands is the hardware queue capacity in commands (64 words
+// / 8 words per command).
+const QueueCommands = msc.QueueWords / msc.CommandWords
+
+// queueModel tracks one PE's send-queue occupancy.
+type queueModel struct {
+	// busyUntil is when the send DMA finishes the current backlog.
+	busyUntil event.Time
+	// pending holds the completion times of queued commands.
+	pending []event.Time
+	// stats
+	spills     int64
+	interrupts int64
+	maxDepth   int
+	inSpill    bool
+}
+
+// QueueStats summarizes the queue-occupancy model for a replay.
+type QueueStats struct {
+	// Spills counts commands that overflowed to the DRAM buffer.
+	Spills int64
+	// Interrupts counts OS refill interrupts taken.
+	Interrupts int64
+	// MaxDepth is the deepest backlog observed (commands).
+	MaxDepth int
+}
+
+// push records a command issued at time now whose transmission
+// occupies the DMA for occupy; it returns the OS interrupt time to
+// charge (zero unless a spill episode ends).
+func (q *queueModel) push(now event.Time, occupy event.Time, intrCost event.Time) event.Time {
+	// Drain completed commands.
+	keep := q.pending[:0]
+	for _, done := range q.pending {
+		if done > now {
+			keep = append(keep, done)
+		}
+	}
+	q.pending = keep
+	if q.busyUntil < now {
+		q.busyUntil = now
+	}
+	q.busyUntil += occupy
+	q.pending = append(q.pending, q.busyUntil)
+	depth := len(q.pending)
+	if depth > q.maxDepth {
+		q.maxDepth = depth
+	}
+	var charge event.Time
+	if depth > QueueCommands {
+		q.spills++
+		if !q.inSpill {
+			q.inSpill = true
+		}
+	} else if q.inSpill {
+		// Queue drained below capacity: the OS reloads the spilled
+		// commands from DRAM — one interrupt per episode.
+		q.inSpill = false
+		q.interrupts++
+		charge = intrCost
+	}
+	return charge
+}
+
+// stats exports the counters. A spill episode still open when the
+// trace ends is closed here: the OS refill happens as the queue
+// drains whether or not the program issues more commands.
+func (q *queueModel) stats() QueueStats {
+	intr := q.interrupts
+	if q.inSpill {
+		intr++
+	}
+	return QueueStats{Spills: q.spills, Interrupts: intr, MaxDepth: q.maxDepth}
+}

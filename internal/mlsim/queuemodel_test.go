@@ -1,0 +1,88 @@
+package mlsim
+
+import (
+	"testing"
+
+	"ap1000plus/internal/params"
+	"ap1000plus/internal/trace"
+)
+
+func TestQueueModelOffByDefault(t *testing.T) {
+	ts := synthetic("qoff", func(pe int, r *trace.Recorder) {
+		if pe == 0 {
+			for i := 0; i < 100; i++ {
+				r.Put(1, 65536, 1, 0, 0, false, false)
+			}
+		}
+	})
+	res := mustRun(t, ts, params.AP1000Plus())
+	if res.Queue.Spills != 0 || res.Queue.MaxDepth != 0 {
+		t.Errorf("queue model active without the feature flag: %+v", res.Queue)
+	}
+}
+
+func TestQueueModelDetectsOverflow(t *testing.T) {
+	// 100 large puts issued back-to-back: the 1.16us issue cost is far
+	// below the ~3.3ms wire time per message, so the backlog blows
+	// through the 8-command queue.
+	ts := synthetic("qburst", func(pe int, r *trace.Recorder) {
+		if pe == 0 {
+			for i := 0; i < 100; i++ {
+				r.Put(1, 65536, 1, 0, 0, false, false)
+			}
+		}
+	})
+	p := params.AP1000Plus()
+	p.Features.ModelQueueOverflow = true
+	res := mustRun(t, ts, p)
+	if res.Queue.Spills == 0 {
+		t.Errorf("burst of 100 large puts did not spill: %+v", res.Queue)
+	}
+	if res.Queue.MaxDepth <= QueueCommands {
+		t.Errorf("max depth %d should exceed the %d-command queue", res.Queue.MaxDepth, QueueCommands)
+	}
+	if res.Queue.Interrupts == 0 {
+		t.Error("spill episodes must end in OS refill interrupts")
+	}
+}
+
+func TestQueueModelNoSpillWhenPaced(t *testing.T) {
+	// Compute between puts paces the issue rate below the drain rate:
+	// no overflow.
+	ts := synthetic("qpaced", func(pe int, r *trace.Recorder) {
+		if pe == 0 {
+			for i := 0; i < 50; i++ {
+				r.Put(1, 64, 1, 0, 0, false, false)
+				r.Compute(1000) // 125us on the AP1000+, >> 3.7us wire
+			}
+		}
+	})
+	p := params.AP1000Plus()
+	p.Features.ModelQueueOverflow = true
+	res := mustRun(t, ts, p)
+	if res.Queue.Spills != 0 {
+		t.Errorf("paced puts spilled: %+v", res.Queue)
+	}
+	if res.Queue.MaxDepth > 2 {
+		t.Errorf("paced max depth = %d", res.Queue.MaxDepth)
+	}
+}
+
+func TestQueueModelChargesInterrupts(t *testing.T) {
+	ts := synthetic("qcost", func(pe int, r *trace.Recorder) {
+		if pe == 0 {
+			for i := 0; i < 100; i++ {
+				r.Put(1, 65536, 1, 0, 0, false, false)
+			}
+			r.Compute(10) // episode end is charged at the next issue/step
+		}
+	})
+	off := mustRun(t, ts, params.AP1000Plus())
+	p := params.AP1000Plus()
+	p.Features.ModelQueueOverflow = true
+	p.IntrRtcTime = 20 // make refill interrupts visible
+	on := mustRun(t, ts, p)
+	if on.PE[0].Overhead < off.PE[0].Overhead {
+		t.Errorf("queue model reduced overhead: %v vs %v", on.PE[0].Overhead, off.PE[0].Overhead)
+	}
+}

@@ -1,0 +1,325 @@
+// Package msc models the AP1000+ message controller (MSC+): the five
+// command queues in its RAM (three send queues — user PUT/GET, system
+// PUT/GET, remote access — and two reply queues — GET reply and
+// remote-load reply), the 64-word queue limit with automatic spill to
+// a DRAM buffer and operating-system refill, and the command/packet
+// vocabulary the send and receive controllers exchange (S4.1).
+package msc
+
+import (
+	"fmt"
+	"sync"
+
+	"ap1000plus/internal/mc"
+	"ap1000plus/internal/mem"
+	"ap1000plus/internal/topology"
+)
+
+// Op is a command/packet operation code.
+type Op uint8
+
+const (
+	// OpPut transfers data into remote memory.
+	OpPut Op = iota
+	// OpGet requests remote data; the remote MSC+ answers with
+	// OpGetReply without processor involvement.
+	OpGet
+	// OpGetReply carries GET payload back to the requester.
+	OpGetReply
+	// OpRemoteStore is a hardware-issued store into distributed
+	// shared memory (S4.2); it is acknowledged automatically.
+	OpRemoteStore
+	// OpRemoteStoreAck acknowledges an OpRemoteStore.
+	OpRemoteStoreAck
+	// OpRemoteLoad is a hardware-issued blocking load from
+	// distributed shared memory.
+	OpRemoteLoad
+	// OpRemoteLoadReply carries remote-load data back.
+	OpRemoteLoadReply
+	// OpSend appends a message to the destination's ring buffer
+	// (the SEND/RECEIVE model, S4.3).
+	OpSend
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	"put", "get", "get-reply", "rstore", "rstore-ack", "rload", "rload-reply", "send",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// CommandWords is the parameter count of a PUT/GET command: "PUT/GET
+// operations require 8-word parameters, the overhead of PUT/GET is
+// the time for 8 store instructions" (S4.1).
+const CommandWords = 8
+
+// QueueWords is the capacity of each MSC+ queue in words: "the
+// maximum queue size is 64 words" (S4.1).
+const QueueWords = 64
+
+// Command is one entry of an MSC+ queue. The same structure doubles
+// as the network packet header.
+type Command struct {
+	Op  Op
+	Src topology.CellID
+	Dst topology.CellID
+	// RAddr is the remote address (on Dst for PUT/SEND, on the data
+	// holder for GET). Address 0 on a GET means "no data copy" — the
+	// acknowledge round trip of S4.1.
+	RAddr mem.Addr
+	// LAddr is the local address (source of PUT, destination of GET).
+	LAddr mem.Addr
+	// RStride and LStride describe the transfer patterns at the
+	// remote and local side.
+	RStride mem.Stride
+	LStride mem.Stride
+	// SendFlag is incremented on the data-sending cell when its send
+	// DMA completes; RecvFlag on the data-receiving cell when its
+	// receive DMA completes.
+	SendFlag mc.FlagID
+	RecvFlag mc.FlagID
+	// Ack requests an acknowledgement for a PUT.
+	Ack bool
+	// Port selects the destination ring buffer for OpSend.
+	Port int32
+	// Tag carries an opaque correlation token (remote load waiters).
+	Tag int64
+}
+
+func (c Command) String() string {
+	return fmt.Sprintf("%s %d->%d raddr=%#x laddr=%#x %db", c.Op, c.Src, c.Dst, c.RAddr, c.LAddr, c.LStride.Total())
+}
+
+// QueueStats counts queue activity.
+type QueueStats struct {
+	Pushes     int64
+	Pops       int64
+	Spills     int64 // commands that overflowed to the DRAM buffer
+	Refills    int64 // commands moved back from DRAM into the queue
+	Interrupts int64 // OS interrupts taken for refill management
+	MaxDepth   int   // high-water mark of the hardware queue
+}
+
+// Queue is one MSC+ command queue: a fixed-capacity hardware FIFO
+// that spills to a DRAM buffer when full. "All data written by the
+// processor after the queue becomes full is written into the buffer
+// in DRAM. When the queue empties, the MSC+ interrupts the operating
+// system, which then loads data from the buffer in DRAM back into the
+// queue" (S4.1). Queue is not safe for concurrent use on its own; the
+// owning MSC serializes access.
+type Queue struct {
+	name     string
+	capacity int // commands (QueueWords / CommandWords)
+	hw       []Command
+	spill    []Command
+	stats    QueueStats
+}
+
+// NewQueue builds a queue holding capacityWords of commands.
+func NewQueue(name string, capacityWords int) *Queue {
+	if capacityWords < CommandWords {
+		panic(fmt.Sprintf("msc: queue %q capacity %d below one command", name, capacityWords))
+	}
+	return &Queue{name: name, capacity: capacityWords / CommandWords}
+}
+
+// Push appends a command. It never rejects: overflow goes to the DRAM
+// spill buffer exactly like the hardware.
+func (q *Queue) Push(c Command) {
+	q.stats.Pushes++
+	if len(q.spill) > 0 || len(q.hw) >= q.capacity {
+		q.spill = append(q.spill, c)
+		q.stats.Spills++
+		return
+	}
+	q.hw = append(q.hw, c)
+	if len(q.hw) > q.stats.MaxDepth {
+		q.stats.MaxDepth = len(q.hw)
+	}
+}
+
+// Pop removes the oldest command. When the hardware queue drains and
+// spilled commands exist, the MSC+ interrupts the OS, which refills
+// the queue from DRAM.
+func (q *Queue) Pop() (Command, bool) {
+	if len(q.hw) == 0 {
+		if len(q.spill) == 0 {
+			return Command{}, false
+		}
+		q.refill()
+	}
+	c := q.hw[0]
+	q.hw = q.hw[1:]
+	q.stats.Pops++
+	if len(q.hw) == 0 && len(q.spill) > 0 {
+		q.refill()
+	}
+	return c, true
+}
+
+func (q *Queue) refill() {
+	q.stats.Interrupts++
+	n := q.capacity
+	if n > len(q.spill) {
+		n = len(q.spill)
+	}
+	q.hw = append(q.hw, q.spill[:n]...)
+	q.spill = q.spill[n:]
+	q.stats.Refills += int64(n)
+	if len(q.hw) > q.stats.MaxDepth {
+		q.stats.MaxDepth = len(q.hw)
+	}
+}
+
+// Len reports queued commands (hardware + spill).
+func (q *Queue) Len() int { return len(q.hw) + len(q.spill) }
+
+// Stats returns a snapshot of activity counters.
+func (q *Queue) Stats() QueueStats { return q.stats }
+
+// Name reports the queue's label.
+func (q *Queue) Name() string { return q.name }
+
+// MSC is one cell's message controller front end: the five queues and
+// the condition variable the send controller blocks on. The CPU
+// pushes commands; the machine's per-cell controller goroutine pops
+// them in the hardware's priority order.
+type MSC struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	// Send side: "three sending queues for PUT and GET requests
+	// issued by the user, PUT and GET requests from the system, and
+	// remote access" (S4.1).
+	userSend  *Queue
+	sysSend   *Queue
+	remoteAcc *Queue
+	// Reply side: "two reply queues, one for GET replies, and one for
+	// remote load replies. Remote load replies precede GET replies."
+	getReply   *Queue
+	rloadReply *Queue
+
+	closed bool
+}
+
+// New builds an MSC+ with the hardware's 64-word queues.
+func New() *MSC { return NewWithQueueWords(QueueWords) }
+
+// NewWithQueueWords builds an MSC+ with a custom queue capacity, used
+// by the queue-depth ablation.
+func NewWithQueueWords(words int) *MSC {
+	m := &MSC{
+		userSend:   NewQueue("user-send", words),
+		sysSend:    NewQueue("sys-send", words),
+		remoteAcc:  NewQueue("remote-access", words),
+		getReply:   NewQueue("get-reply", words),
+		rloadReply: NewQueue("rload-reply", words),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// PushUser enqueues a user-level PUT/GET command. This is the paper's
+// user interface: the program writes parameters "one-by-one to the
+// special address" with plain stores — no system call.
+func (m *MSC) PushUser(c Command) { m.push(m.userSend, c) }
+
+// PushSystem enqueues a system-issued PUT/GET. A separate queue means
+// "the MSC+ does not need to save and restore the entries for the
+// user" when the OS communicates.
+func (m *MSC) PushSystem(c Command) { m.push(m.sysSend, c) }
+
+// PushRemoteAccess enqueues a hardware remote load/store. "Remote
+// access uses another queue because the processor waits for a remote
+// load, so remote access must be privileged."
+func (m *MSC) PushRemoteAccess(c Command) { m.push(m.remoteAcc, c) }
+
+// PushGetReply enqueues a reply to a GET request received from the
+// network.
+func (m *MSC) PushGetReply(c Command) { m.push(m.getReply, c) }
+
+// PushRemoteLoadReply enqueues a reply to a remote load.
+func (m *MSC) PushRemoteLoadReply(c Command) { m.push(m.rloadReply, c) }
+
+func (m *MSC) push(q *Queue, c Command) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		panic("msc: push after Close")
+	}
+	q.Push(c)
+	m.mu.Unlock()
+	m.cond.Signal()
+}
+
+// Next pops the highest-priority pending command, blocking until one
+// arrives or the MSC is closed. Priority: remote-load replies, then
+// GET replies, then remote access, then system sends, then user
+// sends.
+func (m *MSC) Next() (Command, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for _, q := range []*Queue{m.rloadReply, m.getReply, m.remoteAcc, m.sysSend, m.userSend} {
+			if c, ok := q.Pop(); ok {
+				return c, true
+			}
+		}
+		if m.closed {
+			return Command{}, false
+		}
+		m.cond.Wait()
+	}
+}
+
+// TryNext pops without blocking.
+func (m *MSC) TryNext() (Command, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, q := range []*Queue{m.rloadReply, m.getReply, m.remoteAcc, m.sysSend, m.userSend} {
+		if c, ok := q.Pop(); ok {
+			return c, true
+		}
+	}
+	return Command{}, false
+}
+
+// Pending reports the total commands across all queues.
+func (m *MSC) Pending() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.userSend.Len() + m.sysSend.Len() + m.remoteAcc.Len() + m.getReply.Len() + m.rloadReply.Len()
+}
+
+// Close marks the MSC as shutting down; Next returns false once the
+// queues drain. Pushing after Close panics — it would lose commands.
+func (m *MSC) Close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// MSCStats aggregates the five queues' statistics.
+type MSCStats struct {
+	UserSend, SysSend, RemoteAccess, GetReply, RemoteLoadReply QueueStats
+}
+
+// Stats snapshots all queue counters.
+func (m *MSC) Stats() MSCStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return MSCStats{
+		UserSend:        m.userSend.Stats(),
+		SysSend:         m.sysSend.Stats(),
+		RemoteAccess:    m.remoteAcc.Stats(),
+		GetReply:        m.getReply.Stats(),
+		RemoteLoadReply: m.rloadReply.Stats(),
+	}
+}

@@ -1,0 +1,39 @@
+package params
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse: arbitrary parameter-file text must either error or yield
+// a set that validates and round-trips through Format.
+func FuzzParse(f *testing.F) {
+	var seed bytes.Buffer
+	if err := AP1000Plus().Format(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add("put_prolog_time 3.5\n# comment\n")
+	f.Add("bogus 1")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(strings.NewReader(src), AP1000())
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Parse accepted invalid params: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := p.Format(&buf); err != nil {
+			t.Fatal(err)
+		}
+		q, err := Parse(&buf, AP1000Plus())
+		if err != nil {
+			t.Fatalf("formatted output failed to parse: %v\n%s", err, buf.String())
+		}
+		if *q != *p {
+			t.Fatalf("format/parse round trip changed values")
+		}
+	})
+}

@@ -1,0 +1,220 @@
+package params
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFigure6Values pins the built-in models to the exact values
+// printed in Figure 6 of the paper.
+func TestFigure6Values(t *testing.T) {
+	ap := AP1000()
+	plus := AP1000Plus()
+
+	check := func(name string, got, want float64) {
+		t.Helper()
+		if got != want {
+			t.Errorf("%s = %g, want %g", name, got, want)
+		}
+	}
+	// AP1000 column.
+	check("AP1000 computation_factor", ap.ComputationFactor, 1.00)
+	check("AP1000 network_prolog_time", ap.NetworkPrologTime, 0.16)
+	check("AP1000 network_delay_time", ap.NetworkDelayTime, 0.16)
+	check("AP1000 put_prolog_time", ap.PutPrologTime, 20.0)
+	check("AP1000 put_epilog_time", ap.PutEpilogTime, 15.0)
+	check("AP1000 put_msg_time", ap.PutMsgTime, 0.05)
+	check("AP1000 put_dma_set_time", ap.PutDmaSetTime, 15.0)
+	check("AP1000 put_msg_post_time", ap.PutMsgPostTime, 0.04)
+	check("AP1000 intr_rtc_time", ap.IntrRtcTime, 20.0)
+	check("AP1000 recv_msg_flush_time", ap.RecvMsgFlushTime, 0.04)
+	check("AP1000 recv_dma_set_time", ap.RecvDmaSetTime, 15.0)
+	// AP1000+ column.
+	check("AP1000+ computation_factor", plus.ComputationFactor, 0.125)
+	check("AP1000+ network_prolog_time", plus.NetworkPrologTime, 0.16)
+	check("AP1000+ network_delay_time", plus.NetworkDelayTime, 0.16)
+	check("AP1000+ put_prolog_time", plus.PutPrologTime, 1.00)
+	check("AP1000+ put_epilog_time", plus.PutEpilogTime, 0.00)
+	check("AP1000+ put_msg_time", plus.PutMsgTime, 0.05)
+	check("AP1000+ put_dma_set_time", plus.PutDmaSetTime, 0.50)
+	check("AP1000+ put_msg_post_time", plus.PutMsgPostTime, 0.00)
+	check("AP1000+ intr_rtc_time", plus.IntrRtcTime, 0.00)
+	check("AP1000+ recv_msg_flush_time", plus.RecvMsgFlushTime, 0.00)
+	check("AP1000+ recv_dma_set_time", plus.RecvDmaSetTime, 0.50)
+}
+
+func TestPutIssueIs8StoresAt50MHz(t *testing.T) {
+	// S4.1: "PUT/GET operations require 8-word parameters, the
+	// overhead of PUT/GET is the time for 8 store instructions, in
+	// other words, 8 clock cycles" = 8/50MHz = 0.16 us.
+	if got := AP1000Plus().PutEnqueueTime; got != 0.16 {
+		t.Errorf("AP1000+ put_enqueue_time = %g, want 0.16", got)
+	}
+}
+
+func TestFeatures(t *testing.T) {
+	if f := AP1000().Features; f.HardwareMessageHandling || f.HardwareStride || f.CommRegisters || f.CacheInvalidateOnReceive {
+		t.Errorf("AP1000 features should all be off: %+v", f)
+	}
+	if f := AP1000Plus().Features; !f.HardwareMessageHandling || !f.HardwareStride || !f.CommRegisters || !f.CacheInvalidateOnReceive {
+		t.Errorf("AP1000+ features should all be on: %+v", f)
+	}
+	// The x8 model is AP1000 hardware with a faster CPU.
+	if f := AP1000x8().Features; f.HardwareMessageHandling {
+		t.Errorf("AP1000x8 must keep software message handling: %+v", f)
+	}
+	if AP1000x8().ComputationFactor != 0.125 {
+		t.Errorf("AP1000x8 computation_factor = %g", AP1000x8().ComputationFactor)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"ap1000", "AP1000+", "ap1000plus", "AP1000x8", "ap1000*"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("cm5"); err == nil {
+		t.Error("ByName(cm5) should fail")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	p := AP1000Plus()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p.ComputationFactor = 0
+	if err := p.Validate(); err == nil {
+		t.Error("zero computation_factor should fail")
+	}
+	p = AP1000Plus()
+	p.PutDmaSetTime = -1
+	if err := p.Validate(); err == nil {
+		t.Error("negative time should fail")
+	}
+}
+
+func TestParseFigure6Style(t *testing.T) {
+	// A file in exactly the Figure 6 style.
+	src := `#
+# AP1000 model
+#
+# computation SPARC
+computation_factor	1.00
+#
+# ---- network ----
+network_prolog_time	0.16
+network_delay_time	0.16
+#
+# ---- PUT/GET ----
+#
+put_prolog_time		20.0
+put_epilog_time		15.0
+put_msg_time		0.05
+put_dma_set_time	15.0
+put_msg_post_time	0.04
+#
+intr_rtc_time		20.0
+recv_msg_flush_time	0.04
+recv_dma_set_time	15.0
+`
+	p, err := Parse(strings.NewReader(src), AP1000Plus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PutPrologTime != 20.0 || p.IntrRtcTime != 20.0 || p.ComputationFactor != 1.0 {
+		t.Errorf("parsed values wrong: %+v", p)
+	}
+	// Untouched base values survive.
+	if p.BarrierHwTime != AP1000Plus().BarrierHwTime {
+		t.Errorf("base value lost")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"bogus_param 1.0",
+		"put_prolog_time",
+		"put_prolog_time 1 2",
+		"put_prolog_time abc",
+		"hw_stride maybe",
+		"computation_factor 0", // fails validation
+		"put_prolog_time -3",
+	}
+	for _, src := range cases {
+		if _, err := Parse(strings.NewReader(src), AP1000()); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseFeaturesAndName(t *testing.T) {
+	src := "name mymodel\nhw_stride false\ncomm_registers false\n"
+	p, err := Parse(strings.NewReader(src), AP1000Plus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "mymodel" || p.Features.HardwareStride || p.Features.CommRegisters {
+		t.Errorf("got %+v", p)
+	}
+	if !p.Features.HardwareMessageHandling {
+		t.Error("unset feature should keep base value")
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	for _, mk := range []func() *Params{AP1000, AP1000Plus, AP1000x8} {
+		orig := mk()
+		var buf bytes.Buffer
+		if err := orig.Format(&buf); err != nil {
+			t.Fatal(err)
+		}
+		// Parse on top of a different base: every field must be
+		// overwritten back to orig.
+		base := AP1000Plus()
+		if orig.Name == "AP1000+" {
+			base = AP1000()
+		}
+		got, err := Parse(bytes.NewReader(buf.Bytes()), base)
+		if err != nil {
+			t.Fatalf("%s: %v\nfile:\n%s", orig.Name, err, buf.String())
+		}
+		if *got != *orig {
+			t.Errorf("%s round trip mismatch:\n got %+v\nwant %+v", orig.Name, got, orig)
+		}
+	}
+}
+
+func TestDiff(t *testing.T) {
+	d := Diff(AP1000(), AP1000Plus())
+	if len(d) == 0 {
+		t.Fatal("AP1000 vs AP1000+ should differ")
+	}
+	found := false
+	for _, line := range d {
+		if strings.HasPrefix(line, "put_prolog_time: 20 -> 1") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("diff missing put_prolog_time change: %v", d)
+	}
+	if d := Diff(AP1000(), AP1000()); len(d) != 0 {
+		t.Errorf("self-diff = %v", d)
+	}
+}
+
+func TestAP1000x8SoftwareCostsRemainLarge(t *testing.T) {
+	// The whole point of Table 2's third column: the x8 model keeps
+	// most of the software messaging cost. Its PUT path must remain
+	// at least an order of magnitude above the AP1000+'s.
+	x8 := AP1000x8()
+	plus := AP1000Plus()
+	x8Send := x8.PutPrologTime + x8.PutEnqueueTime + x8.PutDmaSetTime + x8.PutEpilogTime
+	plusSend := plus.PutPrologTime + plus.PutEnqueueTime
+	if x8Send < 10*plusSend {
+		t.Errorf("x8 send overhead %g not >> AP1000+ %g", x8Send, plusSend)
+	}
+}

@@ -1,0 +1,197 @@
+// Package sendrecv implements the AP1000+'s SEND/RECEIVE
+// communication model (S4.3): SEND reuses the PUT hardware, targeting
+// the destination cell's ring buffer instead of a user address;
+// RECEIVE searches the ring buffer and copies the message into the
+// user's memory area. When a ring buffer fills, the MSC+ interrupts
+// the operating system, which allocates a new (larger) buffer.
+//
+// For global vector reductions the receiving cell may consume ring
+// data in place (Consume), eliminating the copy — "the received data
+// is used only once, so the receiving cell does not need to copy this
+// data from the ring buffer" (S4.5).
+package sendrecv
+
+import (
+	"fmt"
+	"sync"
+
+	"ap1000plus/internal/machine"
+	"ap1000plus/internal/mc"
+	"ap1000plus/internal/mem"
+	"ap1000plus/internal/msc"
+	"ap1000plus/internal/topology"
+)
+
+// DefaultRingBytes is the initial ring-buffer capacity.
+const DefaultRingBytes = 64 << 10
+
+// message is one entry parked in the ring buffer.
+type message struct {
+	src     topology.CellID
+	port    int32
+	payload *mem.Payload
+}
+
+// Stats reports ring activity.
+type Stats struct {
+	Received   int64
+	Delivered  int64
+	BytesIn    int64
+	Grows      int64 // OS interrupts taken to enlarge the ring
+	InPlace    int64 // messages consumed without copying
+	MaxBacklog int   // high-water mark of parked messages
+}
+
+// Endpoint is a cell's SEND/RECEIVE port: the ring buffer plus the
+// send side built on the PUT mechanism.
+type Endpoint struct {
+	cell *machine.Cell
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	msgs     []message
+	bytes    int64
+	capacity int64
+	stats    Stats
+
+	sendFlag  mc.FlagID
+	sendCount int64
+}
+
+// New installs an endpoint on the cell. Only one endpoint per cell
+// may exist (the hardware has one ring-buffer manager).
+func New(cell *machine.Cell, ringBytes int64) *Endpoint {
+	if ringBytes <= 0 {
+		ringBytes = DefaultRingBytes
+	}
+	e := &Endpoint{cell: cell, capacity: ringBytes, sendFlag: cell.Flags.Alloc()}
+	e.cond = sync.NewCond(&e.mu)
+	cell.SetMessageSink(e.sink)
+	return e
+}
+
+// sink is the machine's delivery hook: a SEND packet arrived.
+func (e *Endpoint) sink(port int32, src topology.CellID, payload *mem.Payload) {
+	e.mu.Lock()
+	size := payload.Size()
+	if e.bytes+size > e.capacity {
+		// "If the ring buffer becomes full, the MSC+ interrupts the
+		// operating system, which then allocates a new buffer."
+		e.cell.OS.Interrupt(machine.IntrRingBufferFull)
+		e.stats.Grows++
+		for e.bytes+size > e.capacity {
+			e.capacity *= 2
+		}
+	}
+	e.msgs = append(e.msgs, message{src: src, port: port, payload: payload})
+	e.bytes += size
+	e.stats.Received++
+	e.stats.BytesIn += size
+	if len(e.msgs) > e.stats.MaxBacklog {
+		e.stats.MaxBacklog = len(e.msgs)
+	}
+	e.mu.Unlock()
+	e.cond.Broadcast()
+}
+
+// Send transmits [laddr, laddr+size) to dst's ring buffer. SEND is
+// blocking in the library sense: it returns when the send DMA has
+// finished reading the source area (the paper's SEND "waits to
+// complete data transfer in the SEND library").
+func (e *Endpoint) Send(dst topology.CellID, laddr mem.Addr, size int64, rts bool) error {
+	if size <= 0 {
+		return fmt.Errorf("sendrecv: send of %d bytes", size)
+	}
+	if !e.cell.Machine().Torus().Valid(dst) {
+		return fmt.Errorf("sendrecv: invalid destination %d", dst)
+	}
+	if rec := e.cell.Recorder(); rec != nil {
+		rec.Send(dst, size, rts)
+	}
+	e.cell.PushUser(msc.Command{
+		Op: msc.OpSend, Dst: dst,
+		LAddr: laddr, LStride: mem.Contiguous(size),
+		SendFlag: e.sendFlag,
+	})
+	e.sendCount++
+	e.cell.Flags.Wait(e.sendFlag, e.sendCount)
+	return nil
+}
+
+// take removes the first parked message matching src (or any source
+// when src < 0), blocking until one arrives.
+func (e *Endpoint) take(src topology.CellID) message {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for {
+		for i, m := range e.msgs {
+			if src < 0 || m.src == src {
+				e.msgs = append(e.msgs[:i], e.msgs[i+1:]...)
+				e.bytes -= m.payload.Size()
+				e.stats.Delivered++
+				return m
+			}
+		}
+		e.cond.Wait()
+	}
+}
+
+// Recv blocks for a message from src and copies it to [laddr,
+// laddr+max). It returns the message length. Messages longer than max
+// are an error (the message is consumed).
+func (e *Endpoint) Recv(src topology.CellID, laddr mem.Addr, max int64) (int64, error) {
+	m := e.take(src)
+	n := m.payload.Size()
+	if rec := e.cell.Recorder(); rec != nil {
+		rec.Recv(m.src, n, false)
+	}
+	if n > max {
+		return 0, fmt.Errorf("sendrecv: %d-byte message exceeds %d-byte receive area", n, max)
+	}
+	if err := m.payload.Deliver(e.cell.Mem, laddr, mem.Contiguous(n)); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// RecvAny is Recv matching any source; it reports the sender.
+func (e *Endpoint) RecvAny(laddr mem.Addr, max int64) (topology.CellID, int64, error) {
+	m := e.take(-1)
+	n := m.payload.Size()
+	if rec := e.cell.Recorder(); rec != nil {
+		rec.Recv(m.src, n, false)
+	}
+	if n > max {
+		return m.src, 0, fmt.Errorf("sendrecv: %d-byte message exceeds %d-byte receive area", n, max)
+	}
+	if err := m.payload.Deliver(e.cell.Mem, laddr, mem.Contiguous(n)); err != nil {
+		return m.src, 0, err
+	}
+	return m.src, n, nil
+}
+
+// Consume blocks for a message from src and returns its payload for
+// in-place use — the zero-copy path of the vector global reduction.
+// No trace Recv is recorded: collectives record their own event at
+// the library boundary.
+func (e *Endpoint) Consume(src topology.CellID) *mem.Payload {
+	m := e.take(src)
+	e.mu.Lock()
+	e.stats.InPlace++
+	e.mu.Unlock()
+	return m.payload
+}
+
+// Pending reports parked messages.
+func (e *Endpoint) Pending() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.msgs)
+}
+
+// Stats snapshots ring statistics.
+func (e *Endpoint) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}

@@ -1,0 +1,289 @@
+package sendrecv
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+
+	"ap1000plus/internal/machine"
+	"ap1000plus/internal/mem"
+	"ap1000plus/internal/topology"
+	"ap1000plus/internal/trace"
+)
+
+type fixture struct {
+	m    *machine.Machine
+	segs []*mem.Segment
+	data [][]float64
+	eps  []*Endpoint
+}
+
+func newFixture(t testing.TB, traceApp string, elems int, ringBytes int64) *fixture {
+	t.Helper()
+	m, err := machine.New(machine.Config{Width: 2, Height: 2, MemoryPerCell: 1 << 22, TraceApp: traceApp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fixture{m: m}
+	for id := 0; id < 4; id++ {
+		cell := m.Cell(topology.CellID(id))
+		seg, data, err := cell.AllocFloat64("buf", elems)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.segs = append(f.segs, seg)
+		f.data = append(f.data, data)
+		f.eps = append(f.eps, New(cell, ringBytes))
+	}
+	return f
+}
+
+func TestSendRecvBasic(t *testing.T) {
+	f := newFixture(t, "", 8, 0)
+	err := f.m.Run(func(c *machine.Cell) error {
+		ep := f.eps[c.ID()]
+		switch c.ID() {
+		case 0:
+			for i := range f.data[0] {
+				f.data[0][i] = float64(i) * 2
+			}
+			return ep.Send(1, f.segs[0].Base(), 64, false)
+		case 1:
+			n, err := ep.Recv(0, f.segs[1].Base(), 64)
+			if err != nil {
+				return err
+			}
+			if n != 64 {
+				t.Errorf("n = %d", n)
+			}
+			for i, v := range f.data[1] {
+				if v != float64(i)*2 {
+					t.Errorf("data[%d] = %v", i, v)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvBlocksUntilSend(t *testing.T) {
+	f := newFixture(t, "", 4, 0)
+	order := make(chan string, 4)
+	err := f.m.Run(func(c *machine.Cell) error {
+		ep := f.eps[c.ID()]
+		switch c.ID() {
+		case 1:
+			if _, err := ep.Recv(0, f.segs[1].Base(), 32); err != nil {
+				return err
+			}
+			order <- "recv"
+		case 0:
+			order <- "send"
+			return ep.Send(1, f.segs[0].Base(), 32, false)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first := <-order; first != "send" {
+		t.Fatalf("recv completed before send")
+	}
+}
+
+func TestRecvAnyAndFIFO(t *testing.T) {
+	f := newFixture(t, "", 8, 0)
+	err := f.m.Run(func(c *machine.Cell) error {
+		ep := f.eps[c.ID()]
+		if c.ID() == 0 {
+			// Two messages to cell 3; FIFO per pair must hold.
+			f.data[0][0] = 1
+			if err := ep.Send(3, f.segs[0].Base(), 8, false); err != nil {
+				return err
+			}
+			f.data[0][1] = 2
+			if err := ep.Send(3, f.segs[0].Base()+8, 8, false); err != nil {
+				return err
+			}
+		}
+		if c.ID() == 3 {
+			src, n, err := ep.RecvAny(f.segs[3].Base(), 8)
+			if err != nil {
+				return err
+			}
+			if src != 0 || n != 8 || f.data[3][0] != 1 {
+				t.Errorf("first: src=%d n=%d v=%v", src, n, f.data[3][0])
+			}
+			if _, err := ep.Recv(0, f.segs[3].Base()+8, 8); err != nil {
+				return err
+			}
+			if f.data[3][1] != 2 {
+				t.Errorf("second = %v", f.data[3][1])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConsumeInPlace(t *testing.T) {
+	f := newFixture(t, "", 4, 0)
+	err := f.m.Run(func(c *machine.Cell) error {
+		ep := f.eps[c.ID()]
+		if c.ID() == 0 {
+			f.data[0][0] = 3.25
+			return ep.Send(2, f.segs[0].Base(), 32, false)
+		}
+		if c.ID() == 2 {
+			p := ep.Consume(0)
+			vals, ok := p.Float64s()
+			if !ok || vals[0] != 3.25 {
+				t.Errorf("consume = %v %v", vals, ok)
+			}
+			if s := ep.Stats(); s.InPlace != 1 {
+				t.Errorf("in-place = %d", s.InPlace)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingOverflowGrows(t *testing.T) {
+	// Tiny ring; many sends before any receive.
+	f := newFixture(t, "", 8, 64)
+	const n = 20
+	err := f.m.Run(func(c *machine.Cell) error {
+		ep := f.eps[c.ID()]
+		if c.ID() == 0 {
+			for i := 0; i < n; i++ {
+				if err := ep.Send(1, f.segs[0].Base(), 64, false); err != nil {
+					return err
+				}
+			}
+		}
+		if c.ID() == 1 {
+			// Let the backlog build before draining so the ring
+			// demonstrably overflows.
+			for ep.Pending() < n {
+				runtime.Gosched()
+			}
+			for i := 0; i < n; i++ {
+				if _, err := ep.Recv(0, f.segs[1].Base(), 64); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := f.eps[1].Stats()
+	if s.Received != n || s.Delivered != n {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.Grows == 0 {
+		t.Error("tiny ring never grew")
+	}
+	if f.m.Cell(1).OS.Interrupts(machine.IntrRingBufferFull) == 0 {
+		t.Error("no OS interrupt for ring growth")
+	}
+}
+
+func TestRecvTooSmall(t *testing.T) {
+	f := newFixture(t, "", 8, 0)
+	err := f.m.Run(func(c *machine.Cell) error {
+		ep := f.eps[c.ID()]
+		if c.ID() == 0 {
+			return ep.Send(1, f.segs[0].Base(), 64, false)
+		}
+		if c.ID() == 1 {
+			_, err := ep.Recv(0, f.segs[1].Base(), 8)
+			if err == nil || !strings.Contains(err.Error(), "exceeds") {
+				t.Errorf("err = %v", err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendValidation(t *testing.T) {
+	f := newFixture(t, "", 8, 0)
+	err := f.m.Run(func(c *machine.Cell) error {
+		if c.ID() != 0 {
+			return nil
+		}
+		ep := f.eps[0]
+		if err := ep.Send(99, f.segs[0].Base(), 8, false); err == nil {
+			t.Error("bad destination accepted")
+		}
+		if err := ep.Send(1, f.segs[0].Base(), 0, false); err == nil {
+			t.Error("zero size accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceEvents(t *testing.T) {
+	f := newFixture(t, "sr", 8, 0)
+	err := f.m.Run(func(c *machine.Cell) error {
+		ep := f.eps[c.ID()]
+		if c.ID() == 0 {
+			return ep.Send(1, f.segs[0].Base(), 16, true)
+		}
+		if c.ID() == 1 {
+			_, err := ep.Recv(0, f.segs[1].Base(), 16)
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := f.m.Trace()
+	var sends, recvs int
+	for _, e := range ts.PE[0] {
+		if e.Kind == trace.KindSend {
+			sends++
+			if !e.RTS || e.Size != 16 || e.Peer != 1 {
+				t.Errorf("send event = %+v", e)
+			}
+		}
+	}
+	for _, e := range ts.PE[1] {
+		if e.Kind == trace.KindRecv {
+			recvs++
+			if e.Peer != 0 {
+				t.Errorf("recv event = %+v", e)
+			}
+		}
+	}
+	if sends != 1 || recvs != 1 {
+		t.Errorf("sends=%d recvs=%d", sends, recvs)
+	}
+}
+
+func TestDoubleEndpointPanics(t *testing.T) {
+	m, _ := machine.New(machine.Config{Width: 2, Height: 2, MemoryPerCell: 1 << 20})
+	New(m.Cell(0), 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(m.Cell(0), 0)
+}

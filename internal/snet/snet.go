@@ -1,0 +1,64 @@
+// Package snet models the AP1000+ synchronization network: a
+// dedicated hardware tree that implements barrier synchronization
+// over all cells. Group barriers are done in software over the
+// communication registers (S4.5); the S-net serves only the all-cells
+// case, which is why it can be this simple — and this fast.
+package snet
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Barrier is a reusable all-cells hardware barrier. It is a
+// sense-reversing barrier: generations prevent a fast cell from
+// lapping a slow one.
+type Barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	arrived int
+	gen     uint64
+	// count is the number of completed barrier episodes.
+	count int64
+}
+
+// New builds a barrier for the given number of cells.
+func New(parties int) *Barrier {
+	if parties <= 0 {
+		panic(fmt.Sprintf("snet: non-positive parties %d", parties))
+	}
+	b := &Barrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Parties reports the number of participants.
+func (b *Barrier) Parties() int { return b.parties }
+
+// Arrive blocks until all cells have arrived at the barrier, then
+// releases them together — the S-net's wired-AND going high.
+func (b *Barrier) Arrive() {
+	b.mu.Lock()
+	gen := b.gen
+	b.arrived++
+	if b.arrived == b.parties {
+		b.arrived = 0
+		b.gen++
+		b.count++
+		b.mu.Unlock()
+		b.cond.Broadcast()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// Count reports how many barrier episodes have completed.
+func (b *Barrier) Count() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.count
+}

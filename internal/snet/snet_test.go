@@ -1,0 +1,95 @@
+package snet
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestBarrierReleasesTogether(t *testing.T) {
+	const n = 8
+	b := New(n)
+	var before, after atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			before.Add(1)
+			b.Arrive()
+			if before.Load() != n {
+				t.Error("released before all arrived")
+			}
+			after.Add(1)
+		}()
+	}
+	wg.Wait()
+	if after.Load() != n {
+		t.Fatalf("after = %d", after.Load())
+	}
+	if b.Count() != 1 {
+		t.Fatalf("count = %d", b.Count())
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	const n, rounds = 4, 50
+	b := New(n)
+	// Per-round counters prove no generation lapping.
+	var counters [rounds]atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				counters[r].Add(1)
+				b.Arrive()
+				if got := counters[r].Load(); got != n {
+					t.Errorf("round %d released with %d arrivals", r, got)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if b.Count() != rounds {
+		t.Fatalf("count = %d", b.Count())
+	}
+}
+
+func TestBarrierBlocksUntilLast(t *testing.T) {
+	b := New(2)
+	released := make(chan struct{})
+	go func() {
+		b.Arrive()
+		close(released)
+	}()
+	select {
+	case <-released:
+		t.Fatal("single arrival released a 2-party barrier")
+	case <-time.After(10 * time.Millisecond):
+	}
+	b.Arrive()
+	<-released
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0)
+}
+
+func TestSingleParty(t *testing.T) {
+	b := New(1)
+	for i := 0; i < 10; i++ {
+		b.Arrive() // must never block
+	}
+	if b.Count() != 10 {
+		t.Fatalf("count = %d", b.Count())
+	}
+}

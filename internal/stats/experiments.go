@@ -1,0 +1,208 @@
+// Package stats orchestrates the paper's experiments: it runs the
+// applications on the functional machine, replays the traces through
+// MLSim under the three machine models, and formats Table 2, Table 3
+// and Figure 8 alongside the paper's published numbers.
+package stats
+
+import (
+	"fmt"
+	"io"
+
+	"ap1000plus/internal/apps"
+	"ap1000plus/internal/mlsim"
+	"ap1000plus/internal/params"
+	"ap1000plus/internal/trace"
+)
+
+// PaperTable2 holds the published Table 2 speedups (vs the AP1000).
+var PaperTable2 = map[string][2]float64{
+	"EP":       {8.00, 8.00},
+	"CG":       {4.78, 3.42},
+	"FT":       {7.12, 4.14},
+	"SP":       {7.62, 6.05},
+	"TC st":    {7.83, 6.42},
+	"TC no st": {11.55, 2.20},
+	"MatMul":   {8.27, 6.22},
+	"SCG":      {7.96, 5.17},
+}
+
+// PaperTable3 holds the published per-PE statistics of Table 3:
+// PE, SEND, Gop, VGop, Sync, PUT, PUTS, GET, GETS, MsgSize.
+var PaperTable3 = map[string]trace.Table3Row{
+	"EP":       {App: "EP", PEs: 64},
+	"CG":       {App: "CG", PEs: 16, Send: 365.6, Gop: 810, VGop: 390, Sync: 3135, Put: 390, MsgSize: 700},
+	"FT":       {App: "FT", PEs: 128, Gop: 24, Sync: 51, Put: 2048, PutS: 7680, Get: 9652, GetS: 512, MsgSize: 1638.4},
+	"SP":       {App: "SP", PEs: 64, Send: 1, VGop: 1, Sync: 42, Put: 10880, Get: 10710, MsgSize: 1355.3},
+	"TC st":    {App: "TC st", PEs: 16, Gop: 20, Sync: 80, PutS: 37.5, Get: 37.5, MsgSize: 2056},
+	"TC no st": {App: "TC no st", PEs: 16, Gop: 20, Sync: 80, Put: 9637.5, Get: 9637.5, MsgSize: 8},
+	"MatMul":   {App: "MatMul", PEs: 64, Sync: 64, Put: 64, MsgSize: 76800},
+	"SCG":      {App: "SCG", PEs: 64, Send: 878.1, Gop: 893, Sync: 1, Put: 878.1, MsgSize: 1600},
+}
+
+// Experiment is one application's full simulation outcome.
+type Experiment struct {
+	App   string
+	Trace *trace.TraceSet
+	// Base, Plus, X8 are the three machine-model replays: AP1000,
+	// AP1000+, and AP1000-with-SuperSPARC.
+	Base, Plus, X8 *mlsim.Result
+}
+
+// RunExperiment executes one application and replays its trace under
+// all three models.
+func RunExperiment(name string, build apps.Builder) (*Experiment, error) {
+	in, err := build()
+	if err != nil {
+		return nil, err
+	}
+	ts, err := in.Run()
+	if err != nil {
+		return nil, err
+	}
+	e := &Experiment{App: name, Trace: ts}
+	if e.Base, err = mlsim.Run(ts, params.AP1000()); err != nil {
+		return nil, fmt.Errorf("%s on AP1000: %w", name, err)
+	}
+	if e.Plus, err = mlsim.Run(ts, params.AP1000Plus()); err != nil {
+		return nil, fmt.Errorf("%s on AP1000+: %w", name, err)
+	}
+	if e.X8, err = mlsim.Run(ts, params.AP1000x8()); err != nil {
+		return nil, fmt.Errorf("%s on AP1000x8: %w", name, err)
+	}
+	return e, nil
+}
+
+// SpeedupPlus is the Table 2 AP1000+ column: AP1000 elapsed over
+// AP1000+ elapsed.
+func (e *Experiment) SpeedupPlus() float64 { return e.Plus.SpeedupVs(e.Base) }
+
+// SpeedupX8 is the Table 2 third column (8x CPU, software messages).
+func (e *Experiment) SpeedupX8() float64 { return e.X8.SpeedupVs(e.Base) }
+
+// WriteTable2 renders Table 2 for a set of experiments, with the
+// paper's published values alongside.
+func WriteTable2(w io.Writer, exps []*Experiment) error {
+	if _, err := fmt.Fprintln(w, "Table 2: Performance simulation: compared to AP1000"); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-10s %10s %10s   %14s %14s\n", "App", "AP1000+", "AP1000x8", "paper AP1000+", "paper AP1000x8")
+	for _, e := range exps {
+		paper, ok := PaperTable2[e.App]
+		paperS := [2]string{"-", "-"}
+		if ok {
+			paperS[0] = fmt.Sprintf("%.2f", paper[0])
+			paperS[1] = fmt.Sprintf("%.2f", paper[1])
+		}
+		if _, err := fmt.Fprintf(w, "%-10s %10.2f %10.2f   %14s %14s\n",
+			e.App, e.SpeedupPlus(), e.SpeedupX8(), paperS[0], paperS[1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTable3 renders measured and published Table 3 rows.
+func WriteTable3(w io.Writer, exps []*Experiment) error {
+	fmt.Fprintln(w, "Table 3: Application statistics (measured, then paper)")
+	fmt.Fprintln(w, trace.Table3Header)
+	for _, e := range exps {
+		row := trace.Stats(e.Trace)
+		row.App = e.App
+		fmt.Fprintln(w, row.Format())
+		if paper, ok := PaperTable3[e.App]; ok {
+			paper.App = "  (paper)"
+			fmt.Fprintln(w, paper.Format())
+		}
+	}
+	return nil
+}
+
+// Fig8Row is one application's Figure 8 pair of bars: per-component
+// times normalized to the AP1000+ total (percent).
+type Fig8Row struct {
+	App string
+	// Plus and X8 are the two bars, components in percent of the
+	// AP1000+ total.
+	Plus, X8 struct {
+		Exec, RTS, Overhead, Idle, Total float64
+	}
+}
+
+// Fig8 computes the normalized breakdown for one experiment.
+func Fig8(e *Experiment) Fig8Row {
+	row := Fig8Row{App: e.App}
+	plus := e.Plus.Breakdown()
+	x8 := e.X8.Breakdown()
+	norm := plus.Total / 100 // percent of AP1000+ total
+	if norm == 0 {
+		return row
+	}
+	row.Plus.Exec = plus.Exec / norm
+	row.Plus.RTS = plus.RTS / norm
+	row.Plus.Overhead = plus.Overhead / norm
+	row.Plus.Idle = plus.Idle / norm
+	row.Plus.Total = plus.Total / norm
+	row.X8.Exec = x8.Exec / norm
+	row.X8.RTS = x8.RTS / norm
+	row.X8.Overhead = x8.Overhead / norm
+	row.X8.Idle = x8.Idle / norm
+	row.X8.Total = x8.Total / norm
+	return row
+}
+
+// WriteFig8 renders the Figure 8 comparison: a numeric table plus the
+// stacked bars of the original figure (E=execution, R=run-time
+// system, O=overhead, I=idle; 20 characters = 100% of the AP1000+
+// total).
+func WriteFig8(w io.Writer, exps []*Experiment) error {
+	fmt.Fprintln(w, "Figure 8: Effect of PUT/GET hardware support")
+	fmt.Fprintln(w, "(normalized to AP1000+ execution time; left bar AP1000+, right bar AP1000 with SuperSPARC)")
+	fmt.Fprintf(w, "%-10s %8s %8s %8s %8s %8s\n", "App/model", "exec%", "rts%", "ovhd%", "idle%", "total%")
+	type comps struct{ Exec, RTS, Overhead, Idle, Total float64 }
+	bar := func(c comps) string {
+		const scale = 20.0 / 100.0
+		out := ""
+		for _, seg := range []struct {
+			ch  byte
+			pct float64
+		}{{'E', c.Exec}, {'R', c.RTS}, {'O', c.Overhead}, {'I', c.Idle}} {
+			n := int(seg.pct*scale + 0.5)
+			for i := 0; i < n && len(out) < 240; i++ {
+				out += string(seg.ch)
+			}
+		}
+		return out
+	}
+	for _, e := range exps {
+		row := Fig8(e)
+		fmt.Fprintf(w, "%-10s %8.1f %8.1f %8.1f %8.1f %8.1f |%s\n",
+			e.App+" +", row.Plus.Exec, row.Plus.RTS, row.Plus.Overhead, row.Plus.Idle, row.Plus.Total,
+			bar(comps(row.Plus)))
+		fmt.Fprintf(w, "%-10s %8.1f %8.1f %8.1f %8.1f %8.1f |%s\n",
+			e.App+" x8", row.X8.Exec, row.X8.RTS, row.X8.Overhead, row.X8.Idle, row.X8.Total,
+			bar(comps(row.X8)))
+	}
+	return nil
+}
+
+// TestCatalog returns small-scale builders for every application row,
+// used by tests and quick runs; the shapes (who communicates how)
+// match the paper configurations at reduced size.
+func TestCatalog() []struct {
+	Name  string
+	Build apps.Builder
+} {
+	return []struct {
+		Name  string
+		Build apps.Builder
+	}{
+		{"EP", func() (*apps.Instance, error) { return apps.NewEP(apps.TestEP()) }},
+		{"CG", func() (*apps.Instance, error) { return apps.NewCG(apps.TestCG()) }},
+		{"FT", func() (*apps.Instance, error) { return apps.NewFT(apps.TestFT()) }},
+		{"SP", func() (*apps.Instance, error) { return apps.NewSP(apps.TestSP()) }},
+		{"TC st", func() (*apps.Instance, error) { return apps.NewTomcatv(apps.TestTomcatv(true)) }},
+		{"TC no st", func() (*apps.Instance, error) { return apps.NewTomcatv(apps.TestTomcatv(false)) }},
+		{"MatMul", func() (*apps.Instance, error) { return apps.NewMatMul(apps.TestMatMul()) }},
+		{"SCG", func() (*apps.Instance, error) { return apps.NewSCG(apps.TestSCG()) }},
+	}
+}

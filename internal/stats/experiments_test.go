@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestQuickExperiments runs the reduced-size versions of every
+// application end to end (functional machine -> trace -> MLSim under
+// three models) and checks the qualitative Table 2 shape.
+func TestQuickExperiments(t *testing.T) {
+	var exps []*Experiment
+	for _, row := range TestCatalog() {
+		e, err := RunExperiment(row.Name, row.Build)
+		if err != nil {
+			t.Fatalf("%s: %v", row.Name, err)
+		}
+		exps = append(exps, e)
+		t.Logf("%-9s AP1000+=%5.2fx AP1000x8=%5.2fx  (paper %v)",
+			row.Name, e.SpeedupPlus(), e.SpeedupX8(), PaperTable2[row.Name])
+	}
+
+	byName := map[string]*Experiment{}
+	for _, e := range exps {
+		byName[e.App] = e
+	}
+
+	// EP: no communication -> both models exactly the CPU ratio.
+	if s := byName["EP"].SpeedupPlus(); s != 8.0 {
+		t.Errorf("EP AP1000+ speedup = %v, want exactly 8", s)
+	}
+	if s := byName["EP"].SpeedupX8(); s != 8.0 {
+		t.Errorf("EP AP1000x8 speedup = %v, want exactly 8", s)
+	}
+	for _, e := range exps {
+		// The paper's headline: the AP1000+ always beats the
+		// software-messaging model with the same processor.
+		if e.SpeedupPlus() < e.SpeedupX8() {
+			t.Errorf("%s: AP1000+ (%v) slower than AP1000x8 (%v)", e.App, e.SpeedupPlus(), e.SpeedupX8())
+		}
+		// And both beat the original AP1000.
+		if e.SpeedupPlus() < 1 || e.SpeedupX8() < 0.5 {
+			t.Errorf("%s: implausible speedups %v / %v", e.App, e.SpeedupPlus(), e.SpeedupX8())
+		}
+	}
+	// TC no st: the largest gap between the two models (S5.4).
+	gapOf := func(name string) float64 { return byName[name].SpeedupPlus() / byName[name].SpeedupX8() }
+	if gapOf("TC no st") <= gapOf("TC st") {
+		t.Errorf("TC no st gap (%v) should exceed TC st gap (%v)", gapOf("TC no st"), gapOf("TC st"))
+	}
+
+	var buf bytes.Buffer
+	if err := WriteTable2(&buf, exps); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTable3(&buf, exps); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFig8(&buf, exps); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 2", "Table 3", "Figure 8", "EP", "TC no st", "paper"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+// TestStrideAblation reproduces the S5.4 claim on the reduced
+// TOMCATV: with stride transfers the AP1000+ run is substantially
+// faster than without.
+func TestStrideAblation(t *testing.T) {
+	cat := TestCatalog()
+	var st, nost *Experiment
+	for _, row := range cat {
+		switch row.Name {
+		case "TC st":
+			e, err := RunExperiment(row.Name, row.Build)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st = e
+		case "TC no st":
+			e, err := RunExperiment(row.Name, row.Build)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nost = e
+		}
+	}
+	if st.Plus.Elapsed >= nost.Plus.Elapsed {
+		t.Errorf("stride (%v) should beat no-stride (%v) on the AP1000+",
+			st.Plus.Elapsed, nost.Plus.Elapsed)
+	}
+}
+
+func TestFig8Normalization(t *testing.T) {
+	row := TestCatalog()[0] // EP
+	e, err := RunExperiment(row.Name, row.Build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Fig8(e)
+	if f.Plus.Total < 99.9 || f.Plus.Total > 100.1 {
+		t.Errorf("AP1000+ bar total = %v%%, want 100%%", f.Plus.Total)
+	}
+	// EP has no communication: x8 bar equals the + bar.
+	if f.X8.Total < 99.9 || f.X8.Total > 100.1 {
+		t.Errorf("EP x8 bar = %v%%, want 100%%", f.X8.Total)
+	}
+}
+
+func TestPaperReferencesComplete(t *testing.T) {
+	for _, row := range TestCatalog() {
+		if _, ok := PaperTable2[row.Name]; !ok {
+			t.Errorf("missing paper Table 2 row for %s", row.Name)
+		}
+		if _, ok := PaperTable3[row.Name]; !ok {
+			t.Errorf("missing paper Table 3 row for %s", row.Name)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"testing"
+
+	"ap1000plus/internal/apps"
+	"ap1000plus/internal/trace"
+)
+
+// TestPaperScale runs every application at the paper's problem sizes
+// and checks the Table 2 relationships that define the paper's
+// result. FT (128 cells, 256x256x128) takes ~15s, so the whole test
+// is skipped in -short mode.
+func TestPaperScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale runs are slow; run without -short")
+	}
+	results := map[string]*Experiment{}
+	for _, row := range apps.Catalog() {
+		row := row
+		t.Run(row.Name, func(t *testing.T) {
+			e, err := RunExperiment(row.Name, row.Build)
+			if err != nil {
+				t.Fatal(err)
+			}
+			results[row.Name] = e
+			paper := PaperTable2[row.Name]
+			t.Logf("%-9s AP1000+=%5.2fx AP1000x8=%5.2fx (paper %.2f / %.2f)",
+				row.Name, e.SpeedupPlus(), e.SpeedupX8(), paper[0], paper[1])
+			// Hard qualitative checks per app.
+			if e.SpeedupPlus() < e.SpeedupX8() {
+				t.Errorf("AP1000+ must beat software messaging: %v < %v", e.SpeedupPlus(), e.SpeedupX8())
+			}
+			if row.Name == "EP" && (e.SpeedupPlus() != 8 || e.SpeedupX8() != 8) {
+				t.Errorf("EP must hit the processor ratio exactly: %v / %v", e.SpeedupPlus(), e.SpeedupX8())
+			}
+		})
+	}
+	if t.Failed() || len(results) < 8 {
+		return
+	}
+	// Cross-application shape of Table 2.
+	if cg := results["CG"]; cg != nil {
+		for name, e := range results {
+			if name != "CG" && e.SpeedupPlus() < cg.SpeedupPlus() {
+				t.Errorf("CG should be the worst AP1000+ case, but %s (%v) is below it (%v)",
+					name, e.SpeedupPlus(), cg.SpeedupPlus())
+			}
+		}
+	}
+	if results["TC no st"].SpeedupPlus() <= results["TC st"].SpeedupPlus() {
+		t.Error("no-stride TOMCATV must show a larger AP1000+ gain than stride")
+	}
+	if results["TC no st"].SpeedupX8() >= results["TC st"].SpeedupX8() {
+		t.Error("no-stride TOMCATV must be the worst case for software messaging")
+	}
+	// S5.4: stride TOMCATV substantially faster on the AP1000+.
+	st, nost := results["TC st"], results["TC no st"]
+	gain := float64(nost.Plus.Elapsed)/float64(st.Plus.Elapsed) - 1
+	t.Logf("stride ablation: stride is %.0f%% faster on the AP1000+ (paper ~50%%)", 100*gain)
+	if gain < 0.2 {
+		t.Errorf("stride gain = %.0f%%, want substantial (paper ~50%%)", 100*gain)
+	}
+
+	// Table 3 pinning: rows the reproduction matches (near-)exactly.
+	within := func(got, want, tol float64) bool {
+		if want == 0 {
+			return got == 0
+		}
+		d := got/want - 1
+		return d >= -tol && d <= tol
+	}
+	checkRow := func(name string, tol float64, fields ...string) {
+		t.Helper()
+		got := trace.Stats(results[name].Trace)
+		want := PaperTable3[name]
+		pairs := map[string][2]float64{
+			"send": {got.Send, want.Send}, "gop": {got.Gop, want.Gop},
+			"vgop": {got.VGop, want.VGop}, "sync": {got.Sync, want.Sync},
+			"put": {got.Put, want.Put}, "puts": {got.PutS, want.PutS},
+			"get": {got.Get, want.Get}, "gets": {got.GetS, want.GetS},
+			"msg": {got.MsgSize, want.MsgSize},
+		}
+		for _, f := range fields {
+			p := pairs[f]
+			if !within(p[0], p[1], tol) {
+				t.Errorf("%s Table 3 %s: measured %v vs paper %v (tol %v)", name, f, p[0], p[1], tol)
+			}
+		}
+	}
+	checkRow("EP", 0, "send", "gop", "vgop", "sync", "put", "puts", "get", "gets", "msg")
+	checkRow("CG", 0.01, "send", "gop", "vgop", "sync", "put", "msg")
+	checkRow("TC st", 0.001, "gop", "sync", "puts", "get", "msg")
+	checkRow("TC no st", 0.001, "gop", "sync", "put", "get", "msg")
+	checkRow("MatMul", 0.06, "sync", "put", "msg")
+	checkRow("SCG", 0.01, "send", "gop", "sync", "put", "msg")
+}

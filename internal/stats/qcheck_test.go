@@ -1,0 +1,55 @@
+package stats
+
+import (
+	"testing"
+
+	"ap1000plus/internal/apps"
+	"ap1000plus/internal/mlsim"
+	"ap1000plus/internal/params"
+)
+
+func catalogPaper() []struct {
+	Name  string
+	Build apps.Builder
+} {
+	var out []struct {
+		Name  string
+		Build apps.Builder
+	}
+	for _, row := range apps.Catalog() {
+		out = append(out, struct {
+			Name  string
+			Build apps.Builder
+		}{row.Name, row.Build})
+	}
+	return out
+}
+
+func TestQueueModelImpactSmall(t *testing.T) {
+	var e *Experiment
+	if testing.Short() {
+		t.Skip("paper-scale in short mode")
+	}
+	for _, row := range catalogPaper() {
+		if row.Name == "TC no st" {
+			var err error
+			e, err = RunExperiment(row.Name, row.Build)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	p := params.AP1000Plus()
+	p.Features.ModelQueueOverflow = true
+	on, err := mlsim.Run(e.Trace, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := e.Plus
+	ratio := float64(on.Elapsed) / float64(off.Elapsed)
+	t.Logf("TC no st: spills=%d interrupts=%d maxdepth=%d elapsed ratio=%.4f",
+		on.Queue.Spills, on.Queue.Interrupts, on.Queue.MaxDepth, ratio)
+	if ratio > 1.01 {
+		t.Errorf("queue model changed elapsed by %.2f%%", 100*(ratio-1))
+	}
+}

@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"testing"
+
+	"ap1000plus/internal/mlsim"
+	"ap1000plus/internal/params"
+	"ap1000plus/internal/trace"
+)
+
+// scaleCompute returns a copy of ts with every compute duration
+// multiplied by f — equivalent to regenerating the trace with a work
+// model that assumes a f-times-slower base processor.
+func scaleCompute(ts *trace.TraceSet, f float64) *trace.TraceSet {
+	out := &trace.TraceSet{Meta: ts.Meta, PE: make([][]trace.Event, len(ts.PE))}
+	for pe, evs := range ts.PE {
+		cp := append([]trace.Event(nil), evs...)
+		for i := range cp {
+			if cp[i].Kind == trace.KindCompute {
+				cp[i].Dur *= f
+			}
+		}
+		out.PE[pe] = cp
+	}
+	return out
+}
+
+// TestWorkModelSensitivity checks DESIGN.md's calibration claim: the
+// Table 2 orderings survive halving or doubling the assumed sustained
+// MFLOPS, because the speedups are ratios between replays of the same
+// trace.
+func TestWorkModelSensitivity(t *testing.T) {
+	catalog := TestCatalog()
+	type speeds struct{ plus, x8 float64 }
+	run := func(ts *trace.TraceSet) speeds {
+		t.Helper()
+		base, err := mlsim.Run(ts, params.AP1000())
+		if err != nil {
+			t.Fatal(err)
+		}
+		plus, err := mlsim.Run(ts, params.AP1000Plus())
+		if err != nil {
+			t.Fatal(err)
+		}
+		x8, err := mlsim.Run(ts, params.AP1000x8())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return speeds{plus.SpeedupVs(base), x8.SpeedupVs(base)}
+	}
+	for _, row := range catalog {
+		if row.Name == "EP" || row.Name == "FT" {
+			// EP is trivially invariant; FT is the slowest to build.
+			continue
+		}
+		in, err := row.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts, err := in.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range []float64{0.5, 2.0} {
+			orig := run(ts)
+			scaled := run(scaleCompute(ts, f))
+			// Invariants, not values: the hardware model always wins,
+			// and both speedups move WITH the compute share (more
+			// compute -> both models closer to the CPU ratio).
+			if scaled.plus < scaled.x8 {
+				t.Errorf("%s x%v: AP1000+ (%v) below x8 (%v)", row.Name, f, scaled.plus, scaled.x8)
+			}
+			if f > 1 {
+				if scaled.plus < orig.plus-1e-9 && orig.plus < 8 {
+					t.Errorf("%s x%v: more compute should not reduce the AP1000+ speedup toward 8 (%v -> %v)",
+						row.Name, f, orig.plus, scaled.plus)
+				}
+				if scaled.x8 < orig.x8-1e-9 {
+					t.Errorf("%s x%v: more compute reduced the x8 speedup (%v -> %v)",
+						row.Name, f, orig.x8, scaled.x8)
+				}
+			}
+		}
+	}
+}

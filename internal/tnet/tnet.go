@@ -1,0 +1,118 @@
+// Package tnet models the AP1000+'s point-to-point torus network.
+//
+// The T-net routes statically (dimension order) and therefore
+// delivers messages between a given pair of cells in order — the
+// property S4.1's GET-as-acknowledge trick depends on. The functional
+// simulator preserves that property structurally: each cell's single
+// send controller processes its commands FIFO and delivers each
+// packet synchronously, so two messages from A to B can never
+// overtake each other. Link bandwidth (25 MB/s x 4 links per cell)
+// and hop latency matter only to the timing model (MLSim); here the
+// network accounts traffic statistics and hands packets to the
+// destination's receive controller.
+package tnet
+
+import (
+	"fmt"
+	"sync"
+
+	"ap1000plus/internal/mem"
+	"ap1000plus/internal/msc"
+	"ap1000plus/internal/topology"
+)
+
+// LinkBandwidth is the physical per-link bandwidth in bytes/second
+// (Table 1 and Figure 5: "25MB/s x 4").
+const LinkBandwidth = 25 << 20
+
+// Packet is a routed message: an MSC+ command header plus captured
+// payload.
+type Packet struct {
+	Head    msc.Command
+	Payload *mem.Payload
+}
+
+// Handler consumes a packet at its destination cell — the receive
+// controller of the destination's MSC+.
+type Handler func(Packet)
+
+// Stats aggregates network traffic.
+type Stats struct {
+	Messages  int64
+	Bytes     int64 // payload bytes
+	HopsTotal int64 // sum of routing distances, for mean distance
+	// PerOp counts messages by operation.
+	PerOp [8]int64
+}
+
+// MeanDistance reports the average routing distance in hops.
+func (s Stats) MeanDistance() float64 {
+	if s.Messages == 0 {
+		return 0
+	}
+	return float64(s.HopsTotal) / float64(s.Messages)
+}
+
+// Network is the T-net fabric connecting every cell's MSC+.
+type Network struct {
+	torus    *topology.Torus
+	mu       sync.Mutex
+	handlers []Handler
+	stats    Stats
+}
+
+// New builds a T-net over the torus.
+func New(t *topology.Torus) *Network {
+	return &Network{torus: t, handlers: make([]Handler, t.Cells())}
+}
+
+// Torus exposes the network geometry.
+func (n *Network) Torus() *topology.Torus { return n.torus }
+
+// Attach registers the receive controller for a cell. Must be called
+// for every cell before traffic flows.
+func (n *Network) Attach(id topology.CellID, h Handler) {
+	if !n.torus.Valid(id) {
+		panic(fmt.Sprintf("tnet: attach to invalid cell %d", id))
+	}
+	if h == nil {
+		panic("tnet: nil handler")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.handlers[id] != nil {
+		panic(fmt.Sprintf("tnet: cell %d already attached", id))
+	}
+	n.handlers[id] = h
+}
+
+// Send routes a packet to its destination and runs the destination's
+// receive controller on the calling goroutine. Ordering guarantee:
+// calls from the same goroutine to the same destination are processed
+// in call order (static routing, in-order links).
+func (n *Network) Send(p Packet) {
+	dst := p.Head.Dst
+	if !n.torus.Valid(dst) {
+		panic(fmt.Sprintf("tnet: send to invalid cell %d", dst))
+	}
+	n.mu.Lock()
+	h := n.handlers[dst]
+	n.stats.Messages++
+	n.stats.Bytes += p.Payload.Size()
+	n.stats.HopsTotal += int64(n.torus.Distance(p.Head.Src, dst))
+	if op := int(p.Head.Op); op < len(n.stats.PerOp) {
+		n.stats.PerOp[op]++
+	}
+	n.mu.Unlock()
+	if h == nil {
+		panic(fmt.Sprintf("tnet: cell %d has no receive controller", dst))
+	}
+	h(p)
+}
+
+// Stats snapshots traffic counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}

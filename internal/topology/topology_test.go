@@ -1,0 +1,287 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewTorusBounds(t *testing.T) {
+	if _, err := NewTorus(1, 2); err == nil {
+		t.Error("2 cells should be rejected (<4)")
+	}
+	if _, err := NewTorus(64, 32); err == nil {
+		t.Error("2048 cells should be rejected (>1024)")
+	}
+	if _, err := NewTorus(0, 4); err == nil {
+		t.Error("zero dimension should be rejected")
+	}
+	if _, err := NewTorus(-2, -2); err == nil {
+		t.Error("negative dimensions should be rejected")
+	}
+	tor, err := NewTorus(32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tor.Cells() != 1024 {
+		t.Errorf("Cells() = %d", tor.Cells())
+	}
+}
+
+func TestSquarishTorus(t *testing.T) {
+	cases := []struct{ n, w, h int }{
+		{64, 8, 8},
+		{16, 4, 4},
+		{128, 16, 8},
+		{4, 2, 2},
+		{1024, 32, 32},
+		{6, 3, 2},
+	}
+	for _, c := range cases {
+		tor, err := SquarishTorus(c.n)
+		if err != nil {
+			t.Fatalf("SquarishTorus(%d): %v", c.n, err)
+		}
+		if tor.Width() != c.w || tor.Height() != c.h {
+			t.Errorf("SquarishTorus(%d) = %dx%d, want %dx%d", c.n, tor.Width(), tor.Height(), c.w, c.h)
+		}
+	}
+	if _, err := SquarishTorus(2); err == nil {
+		t.Error("SquarishTorus(2) should fail")
+	}
+}
+
+func TestCoordIDRoundTrip(t *testing.T) {
+	tor := MustTorus(8, 4)
+	for id := CellID(0); int(id) < tor.Cells(); id++ {
+		x, y := tor.Coord(id)
+		if got := tor.ID(x, y); got != id {
+			t.Fatalf("round trip %d -> (%d,%d) -> %d", id, x, y, got)
+		}
+	}
+}
+
+func TestIDWraps(t *testing.T) {
+	tor := MustTorus(8, 4)
+	if got := tor.ID(-1, 0); got != 7 {
+		t.Errorf("ID(-1,0) = %d, want 7", got)
+	}
+	if got := tor.ID(8, 0); got != 0 {
+		t.Errorf("ID(8,0) = %d, want 0", got)
+	}
+	if got := tor.ID(0, -1); got != CellID(3*8) {
+		t.Errorf("ID(0,-1) = %d, want 24", got)
+	}
+}
+
+func TestDistance(t *testing.T) {
+	tor := MustTorus(8, 8)
+	cases := []struct {
+		a, b CellID
+		want int
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 7, 1},  // wrap in X
+		{0, 56, 1}, // wrap in Y
+		{0, CellID(4 + 4*8), 8},
+		{0, 9, 2},
+	}
+	for _, c := range cases {
+		if got := tor.Distance(c.a, c.b); got != c.want {
+			t.Errorf("Distance(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDistanceSymmetric(t *testing.T) {
+	tor := MustTorus(5, 7)
+	prop := func(a, b uint8) bool {
+		ca := CellID(int(a) % tor.Cells())
+		cb := CellID(int(b) % tor.Cells())
+		return tor.Distance(ca, cb) == tor.Distance(cb, ca)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteEndsAtDestAndMatchesDistance(t *testing.T) {
+	tor := MustTorus(6, 6)
+	for a := CellID(0); int(a) < tor.Cells(); a++ {
+		for b := CellID(0); int(b) < tor.Cells(); b++ {
+			path := tor.Route(a, b)
+			if a == b {
+				if len(path) != 0 {
+					t.Fatalf("Route(%d,%d) = %v, want empty", a, b, path)
+				}
+				continue
+			}
+			if path[len(path)-1] != b {
+				t.Fatalf("Route(%d,%d) ends at %d", a, b, path[len(path)-1])
+			}
+			if len(path) != tor.Distance(a, b) {
+				t.Fatalf("Route(%d,%d) len %d != distance %d", a, b, len(path), tor.Distance(a, b))
+			}
+			// Each hop moves exactly one step.
+			prev := a
+			for _, hop := range path {
+				if tor.Distance(prev, hop) != 1 {
+					t.Fatalf("Route(%d,%d): hop %d->%d is not a neighbour", a, b, prev, hop)
+				}
+				prev = hop
+			}
+		}
+	}
+}
+
+func TestRouteDimensionOrder(t *testing.T) {
+	tor := MustTorus(8, 8)
+	// From (0,0) to (3,2): all X moves first, then Y moves.
+	path := tor.Route(tor.ID(0, 0), tor.ID(3, 2))
+	want := []CellID{tor.ID(1, 0), tor.ID(2, 0), tor.ID(3, 0), tor.ID(3, 1), tor.ID(3, 2)}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v", path)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+}
+
+func TestGroupBasics(t *testing.T) {
+	g, err := NewGroup("g", []CellID{5, 2, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 3 || g.Root() != 5 {
+		t.Fatalf("size=%d root=%d", g.Size(), g.Root())
+	}
+	if r, ok := g.Rank(9); !ok || r != 2 {
+		t.Fatalf("Rank(9) = %d,%v", r, ok)
+	}
+	if g.Contains(7) {
+		t.Fatal("Contains(7) should be false")
+	}
+	if _, err := NewGroup("dup", []CellID{1, 1}); err == nil {
+		t.Fatal("duplicate members should be rejected")
+	}
+	if _, err := NewGroup("empty", nil); err == nil {
+		t.Fatal("empty group should be rejected")
+	}
+}
+
+func TestAllCellsRowColumn(t *testing.T) {
+	tor := MustTorus(4, 3)
+	all := AllCells(tor)
+	if all.Size() != 12 {
+		t.Fatalf("all size = %d", all.Size())
+	}
+	r1 := Row(tor, 1)
+	if r1.Size() != 4 || r1.Members()[0] != 4 || r1.Members()[3] != 7 {
+		t.Fatalf("row1 = %v", r1.Members())
+	}
+	c2 := Column(tor, 2)
+	if c2.Size() != 3 || c2.Members()[0] != 2 || c2.Members()[2] != 10 {
+		t.Fatalf("col2 = %v", c2.Members())
+	}
+}
+
+func TestBinaryTree(t *testing.T) {
+	g, _ := NewGroup("g", []CellID{0, 1, 2, 3, 4, 5, 6})
+	if p := g.BinaryTreeParent(0); p != 0 {
+		t.Fatalf("root parent = %d", p)
+	}
+	if p := g.BinaryTreeParent(5); p != 2 {
+		t.Fatalf("parent(rank5) = %d, want 2", p)
+	}
+	kids := g.BinaryTreeChildren(1)
+	if len(kids) != 2 || kids[0] != 3 || kids[1] != 4 {
+		t.Fatalf("children(1) = %v", kids)
+	}
+	if kids := g.BinaryTreeChildren(3); len(kids) != 0 {
+		t.Fatalf("leaf children = %v", kids)
+	}
+}
+
+// Property: every non-root member's parent has a lower rank, and
+// walking parents reaches the root in <= log2(n)+1 steps.
+func TestBinaryTreeReachesRoot(t *testing.T) {
+	tor := MustTorus(16, 16)
+	g := AllCells(tor)
+	for _, m := range g.Members() {
+		steps := 0
+		cur := m
+		for cur != g.Root() {
+			next := g.BinaryTreeParent(cur)
+			rc, _ := g.Rank(cur)
+			rn, _ := g.Rank(next)
+			if rn >= rc {
+				t.Fatalf("parent rank %d >= child rank %d", rn, rc)
+			}
+			cur = next
+			steps++
+			if steps > 10 {
+				t.Fatalf("member %d: too many steps to root", m)
+			}
+		}
+	}
+}
+
+func TestRingNext(t *testing.T) {
+	g, _ := NewGroup("g", []CellID{3, 1, 4})
+	if n := g.RingNext(3); n != 1 {
+		t.Fatalf("RingNext(3) = %d", n)
+	}
+	if n := g.RingNext(4); n != 3 {
+		t.Fatalf("RingNext(4) = %d, want wrap to 3", n)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	tor := MustTorus(4, 4)
+	groups, err := Partition(tor, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	seen := map[CellID]bool{}
+	for _, g := range groups {
+		total += g.Size()
+		for _, m := range g.Members() {
+			if seen[m] {
+				t.Fatalf("cell %d in two partitions", m)
+			}
+			seen[m] = true
+		}
+	}
+	if total != 16 {
+		t.Fatalf("partition covers %d cells", total)
+	}
+	if _, err := Partition(tor, 0); err == nil {
+		t.Fatal("k=0 should fail")
+	}
+	if _, err := Partition(tor, 17); err == nil {
+		t.Fatal("k>n should fail")
+	}
+}
+
+func TestSortedCopy(t *testing.T) {
+	g, _ := NewGroup("g", []CellID{9, 2, 5})
+	s := g.SortedCopy()
+	if s[0] != 2 || s[1] != 5 || s[2] != 9 {
+		t.Fatalf("sorted = %v", s)
+	}
+	// original order untouched
+	if g.Members()[0] != 9 {
+		t.Fatal("Members mutated")
+	}
+}
+
+func BenchmarkRoute(b *testing.B) {
+	tor := MustTorus(32, 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = tor.Route(0, CellID(i%1024))
+	}
+}

@@ -1,0 +1,250 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"ap1000plus/internal/topology"
+)
+
+// Binary trace format:
+//
+//	magic "APTR" | version u16 | app string | PEs, W, H u32
+//	groups u32 | per group: len u32, members []u32
+//	per PE: count u32, events (fixed 40-byte records)
+//
+// All integers little-endian. Strings are u16 length + bytes.
+
+var magic = [4]byte{'A', 'P', 'T', 'R'}
+
+const version = 1
+
+const eventSize = 1 + 1 + 1 + 1 + 4 + 8 + 8 + 4 + 4 + 4 + 4 // = 40 bytes
+
+func putEvent(b []byte, e *Event) {
+	b[0] = byte(e.Kind)
+	b[1] = byte(e.Op)
+	var fl byte
+	if e.Ack {
+		fl |= 1
+	}
+	if e.RTS {
+		fl |= 2
+	}
+	b[2] = fl
+	b[3] = 0 // reserved
+	binary.LittleEndian.PutUint32(b[4:], uint32(int32(e.Peer)))
+	binary.LittleEndian.PutUint64(b[8:], math.Float64bits(e.Dur))
+	binary.LittleEndian.PutUint64(b[16:], uint64(e.Size))
+	binary.LittleEndian.PutUint32(b[24:], uint32(e.Items))
+	binary.LittleEndian.PutUint32(b[28:], uint32(e.SendFlag))
+	binary.LittleEndian.PutUint32(b[32:], uint32(e.RecvFlag))
+	// Flag/Target/Group share the tail: FlagWait uses Flag+Target,
+	// group ops use Group. Pack Flag and Group in one word and Target
+	// in Size (FlagWait carries no size).
+	switch e.Kind {
+	case KindFlagWait:
+		binary.LittleEndian.PutUint32(b[36:], uint32(e.Flag))
+		binary.LittleEndian.PutUint64(b[16:], uint64(e.Target))
+	default:
+		binary.LittleEndian.PutUint32(b[36:], uint32(e.Group))
+	}
+}
+
+func getEvent(b []byte) (Event, error) {
+	var e Event
+	e.Kind = Kind(b[0])
+	if e.Kind >= numKinds {
+		return e, fmt.Errorf("trace: bad event kind %d", b[0])
+	}
+	e.Op = ReduceOp(b[1])
+	e.Ack = b[2]&1 != 0
+	e.RTS = b[2]&2 != 0
+	e.Peer = topology.CellID(int32(binary.LittleEndian.Uint32(b[4:])))
+	e.Dur = math.Float64frombits(binary.LittleEndian.Uint64(b[8:]))
+	e.Items = int32(binary.LittleEndian.Uint32(b[24:]))
+	e.SendFlag = FlagID(int32(binary.LittleEndian.Uint32(b[28:])))
+	e.RecvFlag = FlagID(int32(binary.LittleEndian.Uint32(b[32:])))
+	switch e.Kind {
+	case KindFlagWait:
+		e.Flag = FlagID(int32(binary.LittleEndian.Uint32(b[36:])))
+		e.Target = int64(binary.LittleEndian.Uint64(b[16:]))
+	default:
+		e.Size = int64(binary.LittleEndian.Uint64(b[16:]))
+		e.Group = GroupID(int32(binary.LittleEndian.Uint32(b[36:])))
+	}
+	return e, nil
+}
+
+// Write encodes the trace set to w in the binary format.
+func Write(w io.Writer, ts *TraceSet) error {
+	if err := ts.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	writeU16 := func(v uint16) { binary.Write(bw, binary.LittleEndian, v) }
+	writeU32 := func(v uint32) { binary.Write(bw, binary.LittleEndian, v) }
+	writeU16(version)
+	if len(ts.Meta.App) > math.MaxUint16 {
+		return fmt.Errorf("trace: app name too long")
+	}
+	writeU16(uint16(len(ts.Meta.App)))
+	bw.WriteString(ts.Meta.App)
+	writeU32(uint32(ts.Meta.PEs))
+	writeU32(uint32(ts.Meta.Width))
+	writeU32(uint32(ts.Meta.Height))
+	writeU32(uint32(len(ts.Meta.Groups)))
+	for _, g := range ts.Meta.Groups {
+		writeU32(uint32(len(g)))
+		for _, m := range g {
+			writeU32(uint32(int32(m)))
+		}
+	}
+	var buf [eventSize]byte
+	for _, evs := range ts.PE {
+		writeU32(uint32(len(evs)))
+		for i := range evs {
+			putEvent(buf[:], &evs[i])
+			if _, err := bw.Write(buf[:]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read decodes a trace set written by Write.
+func Read(r io.Reader) (*TraceSet, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", m[:])
+	}
+	readU16 := func() (uint16, error) {
+		var v uint16
+		err := binary.Read(br, binary.LittleEndian, &v)
+		return v, err
+	}
+	readU32 := func() (uint32, error) {
+		var v uint32
+		err := binary.Read(br, binary.LittleEndian, &v)
+		return v, err
+	}
+	ver, err := readU16()
+	if err != nil {
+		return nil, err
+	}
+	if ver != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+	}
+	nameLen, err := readU16()
+	if err != nil {
+		return nil, err
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	pes, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	w, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	h, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	const maxPEs = 1024
+	if pes == 0 || pes > maxPEs || uint64(w)*uint64(h) != uint64(pes) {
+		return nil, fmt.Errorf("trace: implausible geometry %dx%d=%d", w, h, pes)
+	}
+	ngroups, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if ngroups == 0 || ngroups > 1<<20 {
+		return nil, fmt.Errorf("trace: implausible group count %d", ngroups)
+	}
+	ts := &TraceSet{
+		Meta: Meta{App: string(name), PEs: int(pes), Width: int(w), Height: int(h)},
+		PE:   make([][]Event, pes),
+	}
+	for gi := uint32(0); gi < ngroups; gi++ {
+		glen, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		if glen > pes {
+			return nil, fmt.Errorf("trace: group %d size %d > PEs", gi, glen)
+		}
+		g := make([]topology.CellID, glen)
+		for i := range g {
+			v, err := readU32()
+			if err != nil {
+				return nil, err
+			}
+			g[i] = topology.CellID(int32(v))
+		}
+		ts.Meta.Groups = append(ts.Meta.Groups, g)
+	}
+	var buf [eventSize]byte
+	for pe := uint32(0); pe < pes; pe++ {
+		count, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		// Cap the preallocation: a hostile header may claim billions
+		// of events; actual reads fail at EOF long before.
+		prealloc := count
+		if prealloc > 1<<16 {
+			prealloc = 1 << 16
+		}
+		evs := make([]Event, 0, prealloc)
+		for i := uint32(0); i < count; i++ {
+			if _, err := io.ReadFull(br, buf[:]); err != nil {
+				return nil, fmt.Errorf("trace: pe %d event %d: %w", pe, i, err)
+			}
+			e, err := getEvent(buf[:])
+			if err != nil {
+				return nil, fmt.Errorf("trace: pe %d event %d: %w", pe, i, err)
+			}
+			evs = append(evs, e)
+		}
+		ts.PE[pe] = evs
+	}
+	if err := ts.Validate(); err != nil {
+		return nil, err
+	}
+	return ts, nil
+}
+
+// Dump writes a human-readable text rendering of the trace, one event
+// per line, prefixed by the PE number. Intended for debugging; the
+// binary format is the interchange format.
+func Dump(w io.Writer, ts *TraceSet, maxPerPE int) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# app=%s pes=%d torus=%dx%d groups=%d events=%d\n",
+		ts.Meta.App, ts.Meta.PEs, ts.Meta.Width, ts.Meta.Height, len(ts.Meta.Groups), ts.Events())
+	for pe, evs := range ts.PE {
+		for i, e := range evs {
+			if maxPerPE > 0 && i >= maxPerPE {
+				fmt.Fprintf(bw, "pe%d: ... %d more\n", pe, len(evs)-maxPerPE)
+				break
+			}
+			fmt.Fprintf(bw, "pe%d: %s\n", pe, e)
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"ap1000plus/internal/topology"
+)
+
+// FuzzRead feeds arbitrary bytes to the binary trace reader: it must
+// either return an error or a trace that validates — never panic and
+// never accept garbage silently.
+func FuzzRead(f *testing.F) {
+	var seed bytes.Buffer
+	ts := New("seed", 2, 2)
+	r := NewRecorder()
+	r.Compute(1)
+	r.Put(1, 64, 1, 1, 2, true, false)
+	r.Barrier(AllGroup)
+	ts.PE[0] = r.Events()
+	if err := Write(&seed, ts); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte("APTR"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("Read accepted a trace that fails Validate: %v", err)
+		}
+	})
+}
+
+// FuzzRoundTrip: any trace the recorder can produce must survive the
+// codec bit-exactly.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(int64(1), uint8(3))
+	f.Add(int64(42), uint8(9))
+	f.Fuzz(func(t *testing.T, seed int64, nEvents uint8) {
+		ts := New("fuzz", 2, 2)
+		x := uint64(seed)
+		next := func(n int) int {
+			x = x*6364136223846793005 + 1442695040888963407
+			return int(x>>33) % n
+		}
+		for pe := 0; pe < 4; pe++ {
+			r := NewRecorder()
+			for i := 0; i < int(nEvents)%32; i++ {
+				switch next(6) {
+				case 0:
+					r.Compute(float64(next(1000)) / 8)
+				case 1:
+					r.Put(topology.CellID(next(4)), int64(next(1<<16)), int32(1+next(50)), FlagID(next(8)), FlagID(next(8)), next(2) == 0, next(2) == 0)
+				case 2:
+					r.Get(topology.CellID(next(4)), int64(next(1<<16)), int32(1+next(50)), FlagID(next(8)), FlagID(next(8)), next(2) == 0)
+				case 3:
+					r.Send(topology.CellID(next(4)), int64(1+next(4096)), false)
+				case 4:
+					r.Barrier(AllGroup)
+				case 5:
+					r.FlagWait(FlagID(next(8)), int64(next(100)))
+				}
+			}
+			ts.PE[pe] = r.Events()
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, ts); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pe := range ts.PE {
+			if len(got.PE[pe]) != len(ts.PE[pe]) {
+				t.Fatalf("pe %d: %d events, want %d", pe, len(got.PE[pe]), len(ts.PE[pe]))
+			}
+			for i := range ts.PE[pe] {
+				if got.PE[pe][i] != ts.PE[pe][i] {
+					t.Fatalf("pe %d event %d: %+v != %+v", pe, i, got.PE[pe][i], ts.PE[pe][i])
+				}
+			}
+		}
+	})
+}

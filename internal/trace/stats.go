@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Table3Row holds the per-PE average operation counts the paper
+// reports in Table 3, plus the average PUT/GET message size in bytes
+// ("without GET for acknowledge": acknowledge GETs are synthesized by
+// MLSim from the Ack bit and never appear as events, so they are
+// naturally excluded here, matching the paper's accounting).
+type Table3Row struct {
+	App  string
+	PEs  int
+	Send float64 // point-to-point SEND per PE
+	Gop  float64 // scalar global operations per PE
+	VGop float64 // vector global operations per PE
+	Sync float64 // barrier synchronizations per PE
+	Put  float64 // contiguous PUTs per PE
+	PutS float64 // stride PUTs per PE
+	Get  float64 // contiguous GETs per PE
+	GetS float64 // stride GETs per PE
+	// MsgSize is the average PUT/GET payload in bytes.
+	MsgSize float64
+	// ComputeUs is total compute per PE in base-SPARC microseconds
+	// (not a Table 3 column, but needed to sanity-check balance).
+	ComputeUs float64
+}
+
+// Stats computes the Table 3 row for a trace.
+func Stats(ts *TraceSet) Table3Row {
+	row := Table3Row{App: ts.Meta.App, PEs: ts.Meta.PEs}
+	var totalPG float64 // put/get count for message-size averaging
+	var totalBytes float64
+	for _, evs := range ts.PE {
+		for i := range evs {
+			e := &evs[i]
+			switch e.Kind {
+			case KindCompute:
+				row.ComputeUs += e.Dur
+			case KindSend:
+				row.Send++
+			case KindRecv:
+				// receives pair with sends; Table 3 counts sends only
+			case KindBarrier:
+				row.Sync++
+			case KindGopScalar:
+				row.Gop++
+			case KindGopVector:
+				row.VGop++
+			case KindPut:
+				if e.Items > 1 {
+					row.PutS++
+				} else {
+					row.Put++
+				}
+				totalPG++
+				totalBytes += float64(e.Size)
+			case KindGet:
+				if e.Items > 1 {
+					row.GetS++
+				} else {
+					row.Get++
+				}
+				totalPG++
+				totalBytes += float64(e.Size)
+			}
+		}
+	}
+	n := float64(ts.Meta.PEs)
+	row.Send /= n
+	row.Gop /= n
+	row.VGop /= n
+	row.Sync /= n
+	row.Put /= n
+	row.PutS /= n
+	row.Get /= n
+	row.GetS /= n
+	row.ComputeUs /= n
+	if totalPG > 0 {
+		row.MsgSize = totalBytes / totalPG
+	}
+	return row
+}
+
+// Table3Header is the column header matching the paper's Table 3.
+const Table3Header = "Application      PE   SEND     Gop    V Gop   Sync     PUT     PUTS    GET     GETS   Size of Msg."
+
+// Format renders the row in the paper's Table 3 layout.
+func (r Table3Row) Format() string {
+	return fmt.Sprintf("%-14s %4d %8.1f %7.1f %7.1f %7.1f %8.1f %7.1f %8.1f %7.1f %10.1f",
+		r.App, r.PEs, r.Send, r.Gop, r.VGop, r.Sync, r.Put, r.PutS, r.Get, r.GetS, r.MsgSize)
+}
+
+// WriteTable3 renders a set of rows as the full table.
+func WriteTable3(w io.Writer, rows []Table3Row) error {
+	if _, err := fmt.Fprintln(w, Table3Header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintln(w, r.Format()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SizeHistogram returns the distribution of PUT/GET payload sizes:
+// sorted unique sizes with their counts. MLSim reports "transferred
+// message size" statistics; this gives the detailed shape.
+func SizeHistogram(ts *TraceSet) (sizes []int64, counts []int64) {
+	hist := make(map[int64]int64)
+	for _, evs := range ts.PE {
+		for i := range evs {
+			switch evs[i].Kind {
+			case KindPut, KindGet:
+				hist[evs[i].Size]++
+			}
+		}
+	}
+	for s := range hist {
+		sizes = append(sizes, s)
+	}
+	sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
+	counts = make([]int64, len(sizes))
+	for i, s := range sizes {
+		counts[i] = hist[s]
+	}
+	return sizes, counts
+}
+
+// CommBytes reports the total PUT/GET payload bytes per PE on average.
+func CommBytes(ts *TraceSet) float64 {
+	var total float64
+	for _, evs := range ts.PE {
+		for i := range evs {
+			switch evs[i].Kind {
+			case KindPut, KindGet:
+				total += float64(evs[i].Size)
+			}
+		}
+	}
+	return total / float64(ts.Meta.PEs)
+}

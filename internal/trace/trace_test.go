@@ -1,0 +1,329 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ap1000plus/internal/topology"
+)
+
+func sampleTrace() *TraceSet {
+	ts := New("sample", 2, 2)
+	g := ts.AddGroup([]topology.CellID{0, 1})
+	r := NewRecorder()
+	r.Compute(10.5)
+	r.Put(1, 700, 1, 1, 2, true, true)
+	r.Put(2, 2048, 8, 1, 2, false, true) // stride PUT
+	r.Get(3, 1600, 1, 0, 3, false)
+	r.Get(1, 512, 4, 0, 3, true) // stride GET
+	r.Send(1, 128, false)
+	r.FlagWait(AckFlag, 2)
+	r.Barrier(AllGroup)
+	r.GopScalar(g, ReduceSum)
+	r.GopVector(AllGroup, ReduceMax, 11200)
+	ts.PE[0] = r.Events()
+	r1 := NewRecorder()
+	r1.Recv(0, 128, false)
+	r1.Barrier(AllGroup)
+	r1.GopScalar(g, ReduceSum)
+	r1.GopVector(AllGroup, ReduceMax, 11200)
+	ts.PE[1] = r1.Events()
+	for pe := 2; pe < 4; pe++ {
+		r := NewRecorder()
+		r.Barrier(AllGroup)
+		r.GopVector(AllGroup, ReduceMax, 11200)
+		ts.PE[pe] = r.Events()
+	}
+	return ts
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := sampleTrace().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	mutations := []struct {
+		name string
+		f    func(*TraceSet)
+	}{
+		{"bad peer", func(ts *TraceSet) { ts.PE[0][1].Peer = 99 }},
+		{"bad group", func(ts *TraceSet) { ts.PE[0][7].Group = 42 }},
+		{"negative size", func(ts *TraceSet) { ts.PE[0][1].Size = -1 }},
+		{"zero items", func(ts *TraceSet) { ts.PE[0][1].Items = 0 }},
+		{"stream count", func(ts *TraceSet) { ts.PE = ts.PE[:2] }},
+		{"group0 not all", func(ts *TraceSet) { ts.Meta.Groups[0] = ts.Meta.Groups[0][:1] }},
+		{"empty group", func(ts *TraceSet) { ts.Meta.Groups[1] = nil }},
+	}
+	for _, m := range mutations {
+		ts := sampleTrace()
+		m.f(ts)
+		if err := ts.Validate(); err == nil {
+			t.Errorf("%s: Validate should fail", m.name)
+		}
+	}
+}
+
+func TestRecorderComputeMerges(t *testing.T) {
+	r := NewRecorder()
+	r.Compute(1)
+	r.Compute(2)
+	r.Compute(0)  // dropped
+	r.Compute(-5) // dropped
+	r.Put(0, 8, 1, 0, 0, false, false)
+	r.Compute(4)
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("events = %v", evs)
+	}
+	if evs[0].Dur != 3 || evs[2].Dur != 4 {
+		t.Fatalf("merge wrong: %v", evs)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	ts := sampleTrace()
+	var buf bytes.Buffer
+	if err := Write(&buf, ts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Meta, ts.Meta) {
+		t.Fatalf("meta mismatch:\n got %+v\nwant %+v", got.Meta, ts.Meta)
+	}
+	for pe := range ts.PE {
+		if !reflect.DeepEqual(got.PE[pe], ts.PE[pe]) {
+			t.Fatalf("pe %d mismatch:\n got %+v\nwant %+v", pe, got.PE[pe], ts.PE[pe])
+		}
+	}
+}
+
+// Property-based round trip over randomized events.
+func TestCodecRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	randEvent := func() Event {
+		switch rng.Intn(9) {
+		case 0:
+			return Event{Kind: KindCompute, Dur: float64(rng.Intn(1000)) / 4}
+		case 1:
+			return Event{Kind: KindPut, Peer: topology.CellID(rng.Intn(4)), Size: int64(rng.Intn(1 << 20)), Items: int32(1 + rng.Intn(100)), SendFlag: FlagID(rng.Intn(10)), RecvFlag: FlagID(rng.Intn(10)), Ack: rng.Intn(2) == 0, RTS: rng.Intn(2) == 0}
+		case 2:
+			return Event{Kind: KindGet, Peer: topology.CellID(rng.Intn(4)), Size: int64(rng.Intn(1 << 20)), Items: int32(1 + rng.Intn(100)), RecvFlag: FlagID(rng.Intn(10))}
+		case 3:
+			return Event{Kind: KindSend, Peer: topology.CellID(rng.Intn(4)), Size: int64(rng.Intn(65536))}
+		case 4:
+			return Event{Kind: KindRecv, Peer: topology.CellID(rng.Intn(4)), Size: int64(rng.Intn(65536))}
+		case 5:
+			return Event{Kind: KindBarrier}
+		case 6:
+			return Event{Kind: KindGopScalar, Op: ReduceOp(rng.Intn(3)), Size: 8}
+		case 7:
+			return Event{Kind: KindGopVector, Op: ReduceOp(rng.Intn(3)), Size: int64(rng.Intn(100000))}
+		default:
+			return Event{Kind: KindFlagWait, Flag: FlagID(rng.Int31n(100) - 1), Target: int64(rng.Intn(10000))}
+		}
+	}
+	for trial := 0; trial < 25; trial++ {
+		ts := New("prop", 2, 2)
+		for pe := 0; pe < 4; pe++ {
+			n := rng.Intn(50)
+			for i := 0; i < n; i++ {
+				ts.PE[pe] = append(ts.PE[pe], randEvent())
+			}
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, ts); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pe := range ts.PE {
+			if len(got.PE[pe]) != len(ts.PE[pe]) {
+				t.Fatalf("trial %d pe %d: %d events, want %d", trial, pe, len(got.PE[pe]), len(ts.PE[pe]))
+			}
+			for i := range ts.PE[pe] {
+				if got.PE[pe][i] != ts.PE[pe][i] {
+					t.Fatalf("trial %d pe %d event %d:\n got %+v\nwant %+v", trial, pe, i, got.PE[pe][i], ts.PE[pe][i])
+				}
+			}
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX"),
+		[]byte("APTR"),
+		append([]byte("APTR"), 0xFF, 0xFF), // bad version
+	}
+	for i, c := range cases {
+		if _, err := Read(bytes.NewReader(c)); err == nil {
+			t.Errorf("case %d: Read should fail", i)
+		}
+	}
+}
+
+func TestReadRejectsTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{5, 10, len(full) / 2, len(full) - 1} {
+		if _, err := Read(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncated at %d: Read should fail", cut)
+		}
+	}
+}
+
+func TestStatsTable3(t *testing.T) {
+	ts := sampleTrace()
+	row := Stats(ts)
+	// 4 PEs. PE0: 1 put, 1 puts, 1 get, 1 gets, 1 send. All: 1 sync each.
+	if row.Put != 0.25 || row.PutS != 0.25 || row.Get != 0.25 || row.GetS != 0.25 {
+		t.Errorf("put/get stats: %+v", row)
+	}
+	if row.Send != 0.25 {
+		t.Errorf("send = %v", row.Send)
+	}
+	if row.Sync != 1.0 {
+		t.Errorf("sync = %v", row.Sync)
+	}
+	if row.Gop != 0.5 { // 2 gops over 4 PEs
+		t.Errorf("gop = %v", row.Gop)
+	}
+	if row.VGop != 1.0 {
+		t.Errorf("vgop = %v", row.VGop)
+	}
+	wantSize := float64(700+2048+1600+512) / 4
+	if row.MsgSize != wantSize {
+		t.Errorf("msg size = %v, want %v", row.MsgSize, wantSize)
+	}
+	if row.ComputeUs != 10.5/4 {
+		t.Errorf("compute = %v", row.ComputeUs)
+	}
+}
+
+func TestSizeHistogram(t *testing.T) {
+	ts := sampleTrace()
+	sizes, counts := SizeHistogram(ts)
+	if len(sizes) != 4 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i-1] >= sizes[i] {
+			t.Fatalf("sizes not sorted: %v", sizes)
+		}
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total != 4 {
+		t.Fatalf("total count = %d", total)
+	}
+}
+
+func TestCommBytes(t *testing.T) {
+	got := CommBytes(sampleTrace())
+	want := float64(700+2048+1600+512) / 4
+	if got != want {
+		t.Fatalf("CommBytes = %v, want %v", got, want)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	cases := []struct {
+		e    Event
+		want string
+	}{
+		{Event{Kind: KindCompute, Dur: 1.5}, "compute 1.500us"},
+		{Event{Kind: KindBarrier, Group: 2}, "barrier group=2"},
+		{Event{Kind: KindGopScalar, Op: ReduceMax}, "gop group=0 op=max"},
+		{Event{Kind: KindFlagWait, Flag: -1, Target: 3}, "flagwait flag=-1 target=3"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+	if s := (Event{Kind: KindPut, Peer: 3, Size: 8, Items: 1, Ack: true}).String(); !strings.Contains(s, "ack") {
+		t.Errorf("put string missing ack: %q", s)
+	}
+}
+
+func TestDump(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Dump(&buf, sampleTrace(), 3); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "app=sample") || !strings.Contains(out, "pe0:") {
+		t.Errorf("dump = %q", out)
+	}
+	if !strings.Contains(out, "more") {
+		t.Errorf("dump should truncate at 3 events per PE:\n%s", out)
+	}
+}
+
+func TestWriteTable3(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTable3(&buf, []Table3Row{Stats(sampleTrace())}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "sample") {
+		t.Errorf("table = %q", buf.String())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindPut.String() != "put" || KindGopVector.String() != "vgop" {
+		t.Error("kind names wrong")
+	}
+	if !strings.Contains(Kind(200).String(), "200") {
+		t.Error("unknown kind should show number")
+	}
+}
+
+// quick.Check: Stats never returns negative values for valid traces.
+func TestStatsNonNegative(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ts := New("q", 2, 2)
+		for pe := 0; pe < 4; pe++ {
+			r := NewRecorder()
+			for i := 0; i < rng.Intn(20); i++ {
+				r.Put(topology.CellID(rng.Intn(4)), int64(rng.Intn(1000)), 1, 0, 0, false, false)
+				r.Compute(rng.Float64() * 10)
+			}
+			ts.PE[pe] = r.Events()
+		}
+		row := Stats(ts)
+		return row.Put >= 0 && row.MsgSize >= 0 && row.ComputeUs >= 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCodecWrite(b *testing.B) {
+	ts := sampleTrace()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := Write(&buf, ts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package vpp
+
+import (
+	"fmt"
+
+	"ap1000plus/internal/machine"
+	"ap1000plus/internal/mc"
+	"ap1000plus/internal/mem"
+	"ap1000plus/internal/topology"
+)
+
+// Array2D is a global two-dimensional array (rows x cols) decomposed
+// in blocks along the SECOND dimension — Figure 2's layout, where
+// each cell owns a slab of columns and replicates its neighbours'
+// boundary columns in an overlap area. Local storage is row-major
+// over (w + ownedCols + w) columns, so a boundary COLUMN is strided
+// in memory: exchanging it exercises exactly the stride-transfer
+// hardware the paper motivates with this figure.
+type Array2D struct {
+	name       string
+	rows, cols int
+	w          int
+	np         int
+	block      int // owned columns per cell (ceil)
+	width      int // local row length = block + 2w
+	segs       []*mem.Segment
+	locals     [][]float64
+}
+
+// NewArray2D allocates the array on every cell of the machine.
+func NewArray2D(m *machine.Machine, name string, rows, cols, overlap int) (*Array2D, error) {
+	if rows <= 0 || cols <= 0 || overlap < 0 {
+		return nil, fmt.Errorf("vpp: array %q: bad shape %dx%d overlap %d", name, rows, cols, overlap)
+	}
+	np := m.Cells()
+	a := &Array2D{
+		name: name, rows: rows, cols: cols, w: overlap, np: np,
+		block: BlockSize(cols, np),
+	}
+	a.width = a.block + 2*a.w
+	for r := 0; r < np; r++ {
+		seg, local, err := m.Cell(topology.CellID(r)).AllocFloat64(name, rows*a.width)
+		if err != nil {
+			return nil, fmt.Errorf("vpp: array %q: %w", name, err)
+		}
+		a.segs = append(a.segs, seg)
+		a.locals = append(a.locals, local)
+	}
+	return a, nil
+}
+
+// Rows and Cols report the global shape.
+func (a *Array2D) Rows() int { return a.rows }
+
+// Cols reports the global column count.
+func (a *Array2D) Cols() int { return a.cols }
+
+// LocalWidth reports the local row length including shadows.
+func (a *Array2D) LocalWidth() int { return a.width }
+
+// OwnedCols reports the global column range [lo, hi) owned by rank r.
+func (a *Array2D) OwnedCols(r int) (lo, hi int) { return blockRange(a.cols, a.np, r) }
+
+// OwnerOfCol reports the rank owning global column j.
+func (a *Array2D) OwnerOfCol(j int) int {
+	if j < 0 || j >= a.cols {
+		panic(fmt.Sprintf("vpp: array %q column %d out of range", a.name, j))
+	}
+	return j / a.block
+}
+
+// Local returns rank r's local storage (row-major, width LocalWidth).
+// Local column w+k holds global column lo+k; columns [0,w) and
+// [w+owned, width) are the shadows.
+func (a *Array2D) Local(r int) []float64 { return a.locals[r] }
+
+// At reads local element (row, localCol) on rank r.
+func (a *Array2D) At(r, row, localCol int) float64 {
+	return a.locals[r][row*a.width+localCol]
+}
+
+// Set writes local element (row, localCol) on rank r.
+func (a *Array2D) Set(r, row, localCol int, v float64) {
+	a.locals[r][row*a.width+localCol] = v
+}
+
+// LocalCol translates global column j to rank r's local column index
+// (valid for owned columns and in-range shadows).
+func (a *Array2D) LocalCol(r, j int) int {
+	lo, _ := a.OwnedCols(r)
+	return a.w + (j - lo)
+}
+
+// addr returns the address of local element (row, localCol) on rank r.
+func (a *Array2D) addr(r, row, localCol int) mem.Addr {
+	return a.segs[r].Base() + mem.Addr((row*a.width+localCol)*8)
+}
+
+// colPattern is the stride pattern of one local column: rows items of
+// 8 bytes, skipping the rest of each row.
+func (a *Array2D) colPattern() mem.Stride {
+	return mem.Stride{ItemSize: 8, Count: int64(a.rows), Skip: int64((a.width - 1) * 8)}
+}
+
+// OverlapFix2D refreshes the column shadows of a (Figure 2's overlap
+// area), collectively. With useStride, each boundary column moves as
+// ONE stride PUT; without it, the run-time system falls back to one
+// 8-byte PUT per row — the software alternative whose cost Table 3's
+// TOMCATV rows quantify (message count x257, size /257).
+func (rt *Runtime) OverlapFix2D(a *Array2D, useStride bool) error {
+	r := rt.Rank()
+	lo, hi := a.OwnedCols(r)
+	own := hi - lo
+	if a.w > 0 && own > 0 {
+		w := a.w
+		if w > own {
+			w = own
+		}
+		for k := 0; k < w; k++ {
+			// Our k-th owned column from the left goes to the left
+			// neighbour's right shadow; symmetric on the right.
+			if r > 0 {
+				left := r - 1
+				llo, lhi := a.OwnedCols(left)
+				if lhi > llo {
+					srcCol := a.w + k
+					dstCol := a.w + (lhi - llo) + k
+					if err := rt.putColumn(a, left, dstCol, r, srcCol, useStride); err != nil {
+						return err
+					}
+				}
+			}
+			if r < a.np-1 {
+				right := r + 1
+				rlo, rhi := a.OwnedCols(right)
+				if rhi > rlo {
+					srcCol := a.w + own - w + k
+					dstCol := k
+					if err := rt.putColumn(a, right, dstCol, r, srcCol, useStride); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	rt.Comm.AckWait()
+	rt.Barrier()
+	return nil
+}
+
+// putColumn transfers one full column of a from (srcRank, srcCol) to
+// (dstRank, dstCol), either as a single stride PUT or as per-row
+// 8-byte PUTs.
+func (rt *Runtime) putColumn(a *Array2D, dstRank, dstCol, srcRank, srcCol int, useStride bool) error {
+	if useStride {
+		return rt.Comm.PutStride(topology.CellID(dstRank),
+			a.addr(dstRank, 0, dstCol), a.addr(srcRank, 0, srcCol),
+			mc.NoFlag, mc.NoFlag, true,
+			a.colPattern(), a.colPattern())
+	}
+	for row := 0; row < a.rows; row++ {
+		// S5.4: "Current implementation of the VPP Fortran run-time
+		// system requires an acknowledgment for every put()" — the
+		// improved last-put-only scheme was future work, so we model
+		// the measured system.
+		if err := rt.Comm.Put(topology.CellID(dstRank),
+			a.addr(dstRank, row, dstCol), a.addr(srcRank, row, srcCol),
+			8, mc.NoFlag, mc.NoFlag, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MoveColTo1D is the SPREAD MOVE of List 1 with the loop index in the
+// 2nd dimension — A(J) = B(J,K): global column k of src scatters into
+// dst. The column's owner pushes slices to each destination owner
+// (stride source, contiguous destination).
+func (rt *Runtime) MoveColTo1D(dst *Array1D, src *Array2D, k int, useStride bool) (*Move, error) {
+	if dst.Len() != src.rows {
+		return nil, fmt.Errorf("vpp: move column: %d rows into length-%d array", src.rows, dst.Len())
+	}
+	r := rt.Rank()
+	if src.OwnerOfCol(k) == r {
+		localCol := src.LocalCol(r, k)
+		for dr := 0; dr < dst.np; dr++ {
+			lo, hi := dst.OwnedRange(dr)
+			if hi <= lo {
+				continue
+			}
+			n := hi - lo
+			daddr := dst.addr(dr, dst.w)
+			saddr := src.addr(r, lo, localCol)
+			srcPat := mem.Stride{ItemSize: 8, Count: int64(n), Skip: int64((src.width - 1) * 8)}
+			if useStride {
+				if err := rt.Comm.PutStride(topology.CellID(dr), daddr, saddr,
+					mc.NoFlag, mc.NoFlag, true, srcPat, mem.Contiguous(int64(n*8))); err != nil {
+					return nil, err
+				}
+			} else {
+				for i := 0; i < n; i++ {
+					if err := rt.Comm.Put(topology.CellID(dr),
+						daddr+mem.Addr(i*8), src.addr(r, lo+i, localCol),
+						8, mc.NoFlag, mc.NoFlag, true); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	return &Move{rt: rt}, nil
+}
+
+// MoveRowTo1D is SPREAD MOVE with the loop index in the 1st dimension
+// — A(J) = B(K,J): global row k of src scatters into dst. Each cell
+// owns a contiguous chunk of the row, pushed with plain PUTs.
+func (rt *Runtime) MoveRowTo1D(dst *Array1D, src *Array2D, k int) (*Move, error) {
+	if dst.Len() != src.cols {
+		return nil, fmt.Errorf("vpp: move row: %d cols into length-%d array", src.cols, dst.Len())
+	}
+	r := rt.Rank()
+	lo, hi := src.OwnedCols(r)
+	j := lo
+	for j < hi {
+		owner := dst.OwnerOf(j)
+		_, ohi := dst.OwnedRange(owner)
+		run := min(hi-j, ohi-j)
+		_, daddr := dst.AddrOfGlobal(j)
+		saddr := src.addr(r, k, src.LocalCol(r, j))
+		if err := rt.Comm.Put(topology.CellID(owner), daddr, saddr,
+			int64(run*8), mc.NoFlag, mc.NoFlag, true); err != nil {
+			return nil, err
+		}
+		j += run
+	}
+	return &Move{rt: rt}, nil
+}

@@ -1,0 +1,179 @@
+package vpp
+
+import (
+	"math"
+	"testing"
+
+	"ap1000plus/internal/machine"
+	"ap1000plus/internal/trace"
+)
+
+func TestBlock2DOwnership(t *testing.T) {
+	f := newFixture(t, 4, 2, "")
+	a, err := NewBlock2D(f.m, "a", 10, 17, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every global element owned by exactly one rank.
+	covered := map[[2]int]int{}
+	for r := 0; r < 8; r++ {
+		rlo, rhi := a.OwnedRows(r)
+		clo, chi := a.OwnedCols(r)
+		for row := rlo; row < rhi; row++ {
+			for col := clo; col < chi; col++ {
+				key := [2]int{row, col}
+				covered[key]++
+			}
+		}
+	}
+	if len(covered) != 10*17 {
+		t.Fatalf("coverage %d of %d", len(covered), 10*17)
+	}
+	for key, n := range covered {
+		if n != 1 {
+			t.Fatalf("element %v owned %d times", key, n)
+		}
+	}
+	if _, err := NewBlock2D(f.m, "bad", 0, 5, 1); err == nil {
+		t.Error("bad shape accepted")
+	}
+}
+
+// TestBlock2DJacobi runs a 2-D Jacobi smoother on a block-block
+// partitioned array, exchanging all four borders with
+// OverlapFixBlock2D, and compares every element against a serial
+// reference — the full §5.4 "larger dimensional partitioning"
+// scenario, group barriers included.
+func TestBlock2DJacobi(t *testing.T) {
+	const rows, cols, iters = 12, 20, 5
+	f := newFixture(t, 4, 2, "block2d")
+	cur, err := NewBlock2D(f.m, "cur", rows, cols, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nxt, err := NewBlock2D(f.m, "nxt", rows, cols, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	initVal := func(row, col int) float64 {
+		return math.Sin(float64(row)*0.9) + math.Cos(float64(col)*0.7)
+	}
+	// Serial reference.
+	ref := make([]float64, rows*cols)
+	tmp := make([]float64, rows*cols)
+	for row := 0; row < rows; row++ {
+		for col := 0; col < cols; col++ {
+			ref[row*cols+col] = initVal(row, col)
+		}
+	}
+	at := func(g []float64, row, col int) float64 {
+		if row < 0 || row >= rows || col < 0 || col >= cols {
+			return 0
+		}
+		return g[row*cols+col]
+	}
+	for it := 0; it < iters; it++ {
+		for row := 0; row < rows; row++ {
+			for col := 0; col < cols; col++ {
+				tmp[row*cols+col] = 0.2 * (at(ref, row, col) + at(ref, row-1, col) +
+					at(ref, row+1, col) + at(ref, row, col-1) + at(ref, row, col+1))
+			}
+		}
+		ref, tmp = tmp, ref
+	}
+
+	err = f.m.Run(func(c *machine.Cell) error {
+		rt := f.rts[c.ID()]
+		r := rt.Rank()
+		rlo, rhi := cur.OwnedRows(r)
+		clo, chi := cur.OwnedCols(r)
+		for row := rlo; row < rhi; row++ {
+			for col := clo; col < chi; col++ {
+				cur.Set(r, row, col, initVal(row, col))
+			}
+		}
+		rt.Barrier()
+		a, b := cur, nxt
+		for it := 0; it < iters; it++ {
+			if err := rt.OverlapFixBlock2D(a); err != nil {
+				return err
+			}
+			get := func(row, col int) float64 {
+				if row < 0 || row >= rows || col < 0 || col >= cols {
+					return 0
+				}
+				return a.At(r, row, col)
+			}
+			for row := rlo; row < rhi; row++ {
+				for col := clo; col < chi; col++ {
+					b.Set(r, row, col, 0.2*(get(row, col)+get(row-1, col)+
+						get(row+1, col)+get(row, col-1)+get(row, col+1)))
+				}
+			}
+			a, b = b, a
+			rt.Barrier()
+		}
+		// Compare the owned block against the serial reference.
+		for row := rlo; row < rhi; row++ {
+			for col := clo; col < chi; col++ {
+				got := a.At(r, row, col)
+				want := ref[row*cols+col]
+				if math.Abs(got-want) > 1e-12 {
+					t.Errorf("rank %d (%d,%d): got %v, want %v", r, row, col, got, want)
+					return nil
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The exchange must contain both contiguous row PUTs and strided
+	// column PUTs, and only GROUP barriers beyond the explicit
+	// all-cell ones.
+	row := trace.Stats(f.m.Trace())
+	if row.Put == 0 || row.PutS == 0 {
+		t.Errorf("expected both PUT and PUTS: %+v", row)
+	}
+	// iters * (2 group barriers) + 1 setup + iters loop barriers.
+	wantSync := float64(2*iters + 1 + iters)
+	if row.Sync != wantSync {
+		t.Errorf("Sync = %v, want %v", row.Sync, wantSync)
+	}
+	// Hardware (all-cell) barriers: setup + per-iteration only — the
+	// overlap exchange must use group barriers, not the S-net.
+	if got := f.m.Barriers(); got != int64(1+iters) {
+		t.Errorf("S-net barriers = %d, want %d (group barriers must not use the S-net)", got, 1+iters)
+	}
+}
+
+func TestBlock2DGroupReductions(t *testing.T) {
+	f := newFixture(t, 4, 2, "")
+	a, err := NewBlock2D(f.m, "a", 8, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = f.m.Run(func(c *machine.Cell) error {
+		rt := f.rts[c.ID()]
+		r := rt.Rank()
+		// Sum of ranks along my process-grid row, then along my column.
+		rowSum := rt.Sync.Reduce(a.RowGroup(r), trace.ReduceSum, float64(r))
+		colSum := rt.Sync.Reduce(a.ColGroup(r), trace.ReduceSum, float64(r))
+		var wantRow, wantCol float64
+		for _, m := range f.m.Group(a.RowGroup(r)).Members() {
+			wantRow += float64(m)
+		}
+		for _, m := range f.m.Group(a.ColGroup(r)).Members() {
+			wantCol += float64(m)
+		}
+		if rowSum != wantRow || colSum != wantCol {
+			t.Errorf("rank %d: row %v/%v col %v/%v", r, rowSum, wantRow, colSum, wantCol)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,138 @@
+package vpp
+
+import (
+	"fmt"
+
+	"ap1000plus/internal/machine"
+	"ap1000plus/internal/mc"
+	"ap1000plus/internal/mem"
+	"ap1000plus/internal/topology"
+)
+
+// CyclicArray1D is a global one-dimensional array in CYCLIC
+// decomposition (§2.1: VPP Fortran and HPF both offer "block and
+// cyclic decomposition"): element i lives on cell i mod P at local
+// index i div P. Cyclic layouts balance triangular workloads; moving
+// data between block and cyclic layouts is the "redistributing large
+// matrices" task the paper names as a motivation for stride transfer.
+type CyclicArray1D struct {
+	name   string
+	n      int
+	np     int
+	segs   []*mem.Segment
+	locals [][]float64
+}
+
+// NewCyclicArray1D allocates the array on every cell.
+func NewCyclicArray1D(m *machine.Machine, name string, n int) (*CyclicArray1D, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("vpp: cyclic array %q: bad length %d", name, n)
+	}
+	np := m.Cells()
+	a := &CyclicArray1D{name: name, n: n, np: np}
+	perCell := (n + np - 1) / np
+	for r := 0; r < np; r++ {
+		seg, local, err := m.Cell(topology.CellID(r)).AllocFloat64(name, perCell)
+		if err != nil {
+			return nil, fmt.Errorf("vpp: cyclic array %q: %w", name, err)
+		}
+		a.segs = append(a.segs, seg)
+		a.locals = append(a.locals, local)
+	}
+	return a, nil
+}
+
+// Len reports the global length.
+func (a *CyclicArray1D) Len() int { return a.n }
+
+// OwnerOf reports the owning rank of global element i.
+func (a *CyclicArray1D) OwnerOf(i int) int { return i % a.np }
+
+// LocalIndex reports where global element i sits on its owner.
+func (a *CyclicArray1D) LocalIndex(i int) int { return i / a.np }
+
+// OwnedCount reports how many elements rank r owns.
+func (a *CyclicArray1D) OwnedCount(r int) int {
+	return (a.n - r + a.np - 1) / a.np
+}
+
+// Local returns rank r's local storage: element k holds global
+// element k*P + r.
+func (a *CyclicArray1D) Local(r int) []float64 { return a.locals[r] }
+
+// addr returns the address of local element k on rank r.
+func (a *CyclicArray1D) addr(r, k int) mem.Addr {
+	return a.segs[r].Base() + mem.Addr(k*8)
+}
+
+// RedistributeBlockToCyclic copies a block-distributed array into a
+// cyclic one (same global length), collectively. Each cell owns a
+// contiguous block of src; the elements destined for cell s are every
+// P-th element of that block — one stride PUT per destination, the
+// exact redistribution pattern §1.1 motivates ("bulk and stride data
+// transfers, which are used for tasks like transposing or
+// redistributing large matrices"). Completion follows Ack & Barrier.
+func (rt *Runtime) RedistributeBlockToCyclic(dst *CyclicArray1D, src *Array1D) (*Move, error) {
+	if dst.Len() != src.Len() {
+		return nil, fmt.Errorf("vpp: redistribute: length mismatch %d vs %d", dst.Len(), src.Len())
+	}
+	r := rt.Rank()
+	np := rt.NP()
+	lo, hi := src.OwnedRange(r)
+	for s := 0; s < np; s++ {
+		// Global indices i in [lo,hi) with i % np == s.
+		first := lo + ((s-lo)%np+np)%np
+		if first >= hi {
+			continue
+		}
+		count := (hi - first + np - 1) / np
+		srcPat := mem.Stride{ItemSize: 8, Count: int64(count), Skip: int64((np - 1) * 8)}
+		// Destination: consecutive local slots starting at first/np.
+		dstAddr := dst.addr(s, first/np)
+		srcAddr := src.addr(r, src.Overlap()+(first-lo))
+		if err := rt.Comm.PutStride(topology.CellID(s), dstAddr, srcAddr,
+			mc.NoFlag, mc.NoFlag, true,
+			srcPat, mem.Contiguous(int64(count)*8)); err != nil {
+			return nil, err
+		}
+	}
+	return &Move{rt: rt}, nil
+}
+
+// RedistributeCyclicToBlock is the inverse redistribution: each cell
+// scatters its cyclic elements back into the block owners, with a
+// strided DESTINATION pattern this time.
+func (rt *Runtime) RedistributeCyclicToBlock(dst *Array1D, src *CyclicArray1D) (*Move, error) {
+	if dst.Len() != src.Len() {
+		return nil, fmt.Errorf("vpp: redistribute: length mismatch %d vs %d", dst.Len(), src.Len())
+	}
+	r := rt.Rank()
+	np := rt.NP()
+	owned := src.OwnedCount(r)
+	k := 0
+	for k < owned {
+		i := k*np + r // global index of local element k
+		owner := dst.OwnerOf(i)
+		olo, ohi := dst.OwnedRange(owner)
+		// How many of our consecutive local elements land in this
+		// destination block? Their global indices step by np.
+		count := (ohi - 1 - i) / np
+		if count < 0 {
+			count = 0
+		}
+		count++
+		if k+count > owned {
+			count = owned - k
+		}
+		_, first := dst.AddrOfGlobal(i)
+		dstPat := mem.Stride{ItemSize: 8, Count: int64(count), Skip: int64((np - 1) * 8)}
+		if err := rt.Comm.PutStride(topology.CellID(owner), first, src.addr(r, k),
+			mc.NoFlag, mc.NoFlag, true,
+			mem.Contiguous(int64(count)*8), dstPat); err != nil {
+			return nil, err
+		}
+		k += count
+		_ = olo
+	}
+	return &Move{rt: rt}, nil
+}

@@ -1,0 +1,156 @@
+package vpp
+
+import (
+	"testing"
+
+	"ap1000plus/internal/machine"
+	"ap1000plus/internal/topology"
+	"ap1000plus/internal/trace"
+)
+
+func TestCyclicOwnership(t *testing.T) {
+	f := newFixture(t, 2, 2, "")
+	a, err := NewCyclicArray1D(f.m, "c", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for i := 0; i < 10; i++ {
+		r := a.OwnerOf(i)
+		counts[r]++
+		if a.LocalIndex(i) != i/4 {
+			t.Errorf("LocalIndex(%d) = %d", i, a.LocalIndex(i))
+		}
+	}
+	for r := 0; r < 4; r++ {
+		if counts[r] != a.OwnedCount(r) {
+			t.Errorf("rank %d: counted %d, OwnedCount %d", r, counts[r], a.OwnedCount(r))
+		}
+	}
+	if _, err := NewCyclicArray1D(f.m, "bad", 0); err == nil {
+		t.Error("zero-length cyclic array accepted")
+	}
+}
+
+func TestRedistributeBlockToCyclicAndBack(t *testing.T) {
+	f := newFixture(t, 2, 2, "redist")
+	const n = 37 // awkward length: uneven blocks and cycles
+	blk, err := NewArray1D(f.m, "blk", n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cyc, err := NewCyclicArray1D(f.m, "cyc", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk2, err := NewArray1D(f.m, "blk2", n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = f.m.Run(func(c *machine.Cell) error {
+		rt := f.rts[c.ID()]
+		r := rt.Rank()
+		lo, _ := blk.OwnedRange(r)
+		own := blk.Owned(r)
+		for i := range own {
+			own[i] = 1000 + float64(lo+i)
+		}
+		rt.Barrier()
+		mv, err := rt.RedistributeBlockToCyclic(cyc, blk)
+		if err != nil {
+			return err
+		}
+		mv.Wait()
+		// Check the cyclic view.
+		local := cyc.Local(r)
+		for k := 0; k < cyc.OwnedCount(r); k++ {
+			want := 1000 + float64(k*4+r)
+			if local[k] != want {
+				t.Errorf("rank %d cyc[%d] = %v, want %v", r, k, local[k], want)
+			}
+		}
+		// And back again.
+		mv, err = rt.RedistributeCyclicToBlock(blk2, cyc)
+		if err != nil {
+			return err
+		}
+		mv.Wait()
+		lo2, hi2 := blk2.OwnedRange(r)
+		own2 := blk2.Owned(r)
+		for i := lo2; i < hi2; i++ {
+			if own2[i-lo2] != 1000+float64(i) {
+				t.Errorf("rank %d blk2[%d] = %v, want %v", r, i, own2[i-lo2], 1000+float64(i))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Redistribution must be dominated by stride traffic (PUTS); a
+	// handful of single-element transfers at block tails degenerate
+	// to plain PUTs.
+	row := trace.Stats(f.m.Trace())
+	if row.PutS == 0 || row.PutS < 4*row.Put {
+		t.Errorf("redistribution not stride-dominated: %+v", row)
+	}
+}
+
+func TestRedistributeLengthMismatch(t *testing.T) {
+	f := newFixture(t, 2, 2, "")
+	blk, _ := NewArray1D(f.m, "blk", 10, 0)
+	cyc, _ := NewCyclicArray1D(f.m, "cyc", 12)
+	err := f.m.Run(func(c *machine.Cell) error {
+		rt := f.rts[c.ID()]
+		if _, err := rt.RedistributeBlockToCyclic(cyc, blk); err == nil {
+			t.Error("length mismatch accepted")
+		}
+		if _, err := rt.RedistributeCyclicToBlock(blk, cyc); err == nil {
+			t.Error("length mismatch accepted (inverse)")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGroupPartitionedCollectives exercises the §5.4 future-work
+// scenario: two-dimensional partitioning where row groups and column
+// groups of the process grid run group barriers and group reductions
+// concurrently.
+func TestGroupPartitionedCollectives(t *testing.T) {
+	f := newFixture(t, 4, 2, "")
+	tor := f.m.Torus()
+	rowIDs := make([]trace.GroupID, tor.Height())
+	colIDs := make([]trace.GroupID, tor.Width())
+	for y := 0; y < tor.Height(); y++ {
+		rowIDs[y] = f.m.DefineGroup(topology.Row(f.m.Torus(), y))
+	}
+	for x := 0; x < tor.Width(); x++ {
+		colIDs[x] = f.m.DefineGroup(topology.Column(f.m.Torus(), x))
+	}
+	err := f.m.Run(func(c *machine.Cell) error {
+		rt := f.rts[c.ID()]
+		x, y := tor.Coord(c.ID())
+		// Row-wise sum of ranks, then column-wise max of the row sums.
+		rowSum := rt.Sync.Reduce(rowIDs[y], trace.ReduceSum, float64(c.ID()))
+		var wantRow float64
+		for _, m := range f.m.Group(rowIDs[y]).Members() {
+			wantRow += float64(m)
+		}
+		if rowSum != wantRow {
+			t.Errorf("cell %d row sum = %v, want %v", c.ID(), rowSum, wantRow)
+		}
+		rt.Sync.Barrier(rowIDs[y])
+		colMax := rt.Sync.Reduce(colIDs[x], trace.ReduceMax, rowSum)
+		if colMax < rowSum {
+			t.Errorf("cell %d col max %v below own %v", c.ID(), colMax, rowSum)
+		}
+		rt.Sync.Barrier(colIDs[x])
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,317 @@
+// Package vpp is the run-time system of a VPP-Fortran-style
+// parallelizing compiler (S2), the layer whose communication needs
+// motivated the AP1000+ architecture. It provides:
+//
+//   - Global arrays in block decomposition over the cells, with
+//     optional overlap (shadow) areas (Figure 2).
+//   - OVERLAP FIX: collective refresh of the overlap areas, using
+//     stride PUT when the boundary is non-contiguous.
+//   - SPREAD MOVE / MOVEWAIT: asynchronous collective copies between
+//     global arrays, built on put/put_stride with the Ack & Barrier
+//     completion model.
+//   - Group and global barriers, scalar and vector reductions.
+//
+// The translator "inserts an index calculation code which converts
+// global addresses to local addresses" — here those are the addr
+// methods — and "communication library calls for accessing remote
+// data" — the PUT/GET calls these collectives issue, all attributed
+// to the run-time system in traces (MLSim charges rts_op_time).
+package vpp
+
+import (
+	"fmt"
+
+	"ap1000plus/internal/barrier"
+	"ap1000plus/internal/core"
+	"ap1000plus/internal/machine"
+	"ap1000plus/internal/mc"
+	"ap1000plus/internal/mem"
+	"ap1000plus/internal/sendrecv"
+	"ap1000plus/internal/topology"
+	"ap1000plus/internal/trace"
+)
+
+// Runtime is the per-cell run-time system instance.
+type Runtime struct {
+	cell *machine.Cell
+	// Comm is the RTS-attributed PUT/GET interface.
+	Comm *core.Comm
+	// Sync provides barriers and reductions.
+	Sync *barrier.Sync
+	// EP is the SEND/RECEIVE endpoint (vector reductions).
+	EP *sendrecv.Endpoint
+
+	bcastSeg  *mem.Segment
+	bcastData []float64
+}
+
+// NewRuntime builds the run-time system for one cell.
+func NewRuntime(cell *machine.Cell) (*Runtime, error) {
+	ep := sendrecv.New(cell, 0)
+	sync, err := barrier.New(cell, ep)
+	if err != nil {
+		return nil, err
+	}
+	return &Runtime{cell: cell, Comm: core.NewRTS(cell), Sync: sync, EP: ep}, nil
+}
+
+// Cell returns the underlying cell.
+func (rt *Runtime) Cell() *machine.Cell { return rt.cell }
+
+// Rank reports this cell's ID as an integer rank.
+func (rt *Runtime) Rank() int { return int(rt.cell.ID()) }
+
+// NP reports the number of cells.
+func (rt *Runtime) NP() int { return rt.cell.N() }
+
+// Barrier synchronizes all cells.
+func (rt *Runtime) Barrier() { rt.Sync.Barrier(trace.AllGroup) }
+
+// GlobalSum reduces a scalar sum over all cells.
+func (rt *Runtime) GlobalSum(x float64) float64 {
+	return rt.Sync.Reduce(trace.AllGroup, trace.ReduceSum, x)
+}
+
+// GlobalMax reduces a scalar max over all cells.
+func (rt *Runtime) GlobalMax(x float64) float64 {
+	return rt.Sync.Reduce(trace.AllGroup, trace.ReduceMax, x)
+}
+
+// GlobalMin reduces a scalar min over all cells.
+func (rt *Runtime) GlobalMin(x float64) float64 {
+	return rt.Sync.Reduce(trace.AllGroup, trace.ReduceMin, x)
+}
+
+// GlobalSumVec reduces a vector sum over all cells, in place.
+func (rt *Runtime) GlobalSumVec(v []float64) error {
+	return rt.Sync.ReduceVec(trace.AllGroup, trace.ReduceSum, v)
+}
+
+// Compute charges computation time to the trace.
+func (rt *Runtime) Compute(us float64) { rt.cell.RecordCompute(us) }
+
+// blockRange gives the block decomposition of n items over np cells:
+// cell r owns [lo, hi).
+func blockRange(n, np, r int) (lo, hi int) {
+	block := (n + np - 1) / np
+	lo = r * block
+	hi = lo + block
+	if lo > n {
+		lo = n
+	}
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// BlockSize reports the per-cell block length used for n items.
+func BlockSize(n, np int) int { return (n + np - 1) / np }
+
+// Array1D is a global one-dimensional array in block decomposition
+// with an overlap (shadow) area of w elements on each side. It is a
+// machine-global object: construct it once (before Machine.Run), then
+// every cell operates on its own partition.
+type Array1D struct {
+	name   string
+	n, w   int
+	np     int
+	block  int
+	segs   []*mem.Segment
+	locals [][]float64
+}
+
+// NewArray1D allocates the array on every cell. Each cell's local
+// storage holds w + block + w elements.
+func NewArray1D(m *machine.Machine, name string, n, overlap int) (*Array1D, error) {
+	if n <= 0 || overlap < 0 {
+		return nil, fmt.Errorf("vpp: array %q: bad shape n=%d overlap=%d", name, n, overlap)
+	}
+	np := m.Cells()
+	a := &Array1D{name: name, n: n, w: overlap, np: np, block: BlockSize(n, np)}
+	for r := 0; r < np; r++ {
+		seg, local, err := m.Cell(topology.CellID(r)).AllocFloat64(name, a.block+2*a.w)
+		if err != nil {
+			return nil, fmt.Errorf("vpp: array %q: %w", name, err)
+		}
+		a.segs = append(a.segs, seg)
+		a.locals = append(a.locals, local)
+	}
+	return a, nil
+}
+
+// Len reports the global length.
+func (a *Array1D) Len() int { return a.n }
+
+// Overlap reports the shadow width.
+func (a *Array1D) Overlap() int { return a.w }
+
+// OwnedRange reports the global index range [lo, hi) owned by rank r.
+func (a *Array1D) OwnedRange(r int) (lo, hi int) { return blockRange(a.n, a.np, r) }
+
+// OwnerOf reports the rank owning global index i.
+func (a *Array1D) OwnerOf(i int) int {
+	if i < 0 || i >= a.n {
+		panic(fmt.Sprintf("vpp: array %q index %d out of range", a.name, i))
+	}
+	return i / a.block
+}
+
+// Local returns rank r's local storage: indices [0,w) are the left
+// shadow, [w, w+owned) the owned elements, then the right shadow.
+func (a *Array1D) Local(r int) []float64 { return a.locals[r] }
+
+// Owned returns rank r's owned window (no shadows).
+func (a *Array1D) Owned(r int) []float64 {
+	lo, hi := a.OwnedRange(r)
+	return a.locals[r][a.w : a.w+(hi-lo)]
+}
+
+// addr returns the memory address of local element li on rank r.
+func (a *Array1D) addr(r, li int) mem.Addr {
+	return a.segs[r].Base() + mem.Addr(li*8)
+}
+
+// AddrOfGlobal returns (owner, address) of global element i,
+// the translator's global-to-local index calculation.
+func (a *Array1D) AddrOfGlobal(i int) (int, mem.Addr) {
+	r := a.OwnerOf(i)
+	lo, _ := a.OwnedRange(r)
+	return r, a.addr(r, a.w+(i-lo))
+}
+
+// OverlapFix refreshes this rank's neighbours' shadow copies of our
+// boundary elements: the collective of Figure 2. Every cell must
+// call it (it ends in AckWait + Barrier). Non-periodic: edge cells
+// skip the missing neighbour.
+func (rt *Runtime) OverlapFix1D(a *Array1D) error {
+	r := rt.Rank()
+	lo, hi := a.OwnedRange(r)
+	own := hi - lo
+	if a.w > 0 && own > 0 {
+		w := a.w
+		if w > own {
+			w = own
+		}
+		// Push our leftmost elements into the left neighbour's right
+		// shadow, and our rightmost into the right neighbour's left
+		// shadow.
+		if r > 0 {
+			left := r - 1
+			llo, lhi := a.OwnedRange(left)
+			if lhi > llo {
+				dst := a.addr(left, a.w+(lhi-llo)) // start of right shadow
+				src := a.addr(r, a.w)
+				if err := rt.Comm.Put(topology.CellID(left), dst, src, int64(w*8), mc.NoFlag, mc.NoFlag, true); err != nil {
+					return err
+				}
+			}
+		}
+		if r < a.np-1 {
+			right := r + 1
+			rlo, rhi := a.OwnedRange(right)
+			if rhi > rlo {
+				dst := a.addr(right, a.w-w) // end of left shadow
+				src := a.addr(r, a.w+own-w)
+				if err := rt.Comm.Put(topology.CellID(right), dst, src, int64(w*8), mc.NoFlag, mc.NoFlag, true); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	rt.Comm.AckWait()
+	rt.Barrier()
+	return nil
+}
+
+// SpreadMove1D copies count elements from src[srcLo...] into
+// dst[dstLo...], both global arrays, asynchronously: each cell PUTs
+// the pieces it owns toward the destination owners. The returned Move
+// must be waited on (MOVEWAIT) before the data is used.
+func (rt *Runtime) SpreadMove1D(dst *Array1D, dstLo int, src *Array1D, srcLo, count int) (*Move, error) {
+	if count < 0 || srcLo < 0 || srcLo+count > src.n || dstLo < 0 || dstLo+count > dst.n {
+		return nil, fmt.Errorf("vpp: spread move out of range")
+	}
+	r := rt.Rank()
+	mylo, myhi := src.OwnedRange(r)
+	// Intersect [srcLo, srcLo+count) with our ownership.
+	lo := max(srcLo, mylo)
+	hi := min(srcLo+count, myhi)
+	for lo < hi {
+		di := dstLo + (lo - srcLo)
+		owner := dst.OwnerOf(di)
+		olo, ohi := dst.OwnedRange(owner)
+		// Run length limited by the destination owner's block.
+		run := min(hi-lo, (ohi-olo)-(di-olo))
+		_, daddr := dst.AddrOfGlobal(di)
+		saddr := src.addr(r, src.w+(lo-mylo))
+		if err := rt.Comm.Put(topology.CellID(owner), daddr, saddr, int64(run*8), mc.NoFlag, mc.NoFlag, true); err != nil {
+			return nil, err
+		}
+		lo += run
+	}
+	return &Move{rt: rt}, nil
+}
+
+// Move is an in-flight SPREAD MOVE.
+type Move struct{ rt *Runtime }
+
+// Wait is MOVEWAIT: it blocks until every PUT of the move has been
+// acknowledged on this cell, then synchronizes all cells, after which
+// the moved data is globally visible.
+func (m *Move) Wait() {
+	m.rt.Comm.AckWait()
+	m.rt.Barrier()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Broadcast distributes root's vec to every cell over the B-net (the
+// "data distribution" role of the broadcast network, §4): root stages
+// and broadcasts; everyone copies the payload into vec. tag must be
+// unique among concurrently outstanding broadcasts.
+func (rt *Runtime) Broadcast(root int, vec []float64, tag int64) error {
+	if len(vec) == 0 {
+		return nil
+	}
+	if err := rt.ensureBcast(len(vec)); err != nil {
+		return err
+	}
+	if rt.Rank() == root {
+		copy(rt.bcastData, vec)
+		if err := rt.cell.Broadcast(rt.bcastSeg.Base(), int64(len(vec))*8, tag); err != nil {
+			return err
+		}
+	}
+	p := rt.cell.RecvBroadcast(tag)
+	vals, ok := p.Float64s()
+	if !ok || len(vals) != len(vec) {
+		return fmt.Errorf("vpp: broadcast payload mismatch (%d elements, want %d)", len(vals), len(vec))
+	}
+	copy(vec, vals)
+	return nil
+}
+
+func (rt *Runtime) ensureBcast(n int) error {
+	if rt.bcastData != nil && len(rt.bcastData) >= n {
+		return nil
+	}
+	seg, data, err := rt.cell.AllocFloat64(fmt.Sprintf("vpp.bcast%d", n), n)
+	if err != nil {
+		return err
+	}
+	rt.bcastSeg, rt.bcastData = seg, data
+	return nil
+}

@@ -1,0 +1,448 @@
+package vpp
+
+import (
+	"math"
+	"testing"
+
+	"ap1000plus/internal/machine"
+	"ap1000plus/internal/topology"
+	"ap1000plus/internal/trace"
+)
+
+type fixture struct {
+	m   *machine.Machine
+	rts []*Runtime
+}
+
+func newFixture(t testing.TB, w, h int, traceApp string) *fixture {
+	t.Helper()
+	m, err := machine.New(machine.Config{Width: w, Height: h, MemoryPerCell: 1 << 23, TraceApp: traceApp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fixture{m: m}
+	for id := 0; id < m.Cells(); id++ {
+		rt, err := NewRuntime(m.Cell(topology.CellID(id)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.rts = append(f.rts, rt)
+	}
+	return f
+}
+
+func TestBlockRange(t *testing.T) {
+	cases := []struct {
+		n, np, r, lo, hi int
+	}{
+		{100, 4, 0, 0, 25},
+		{100, 4, 3, 75, 100},
+		{10, 4, 0, 0, 3},
+		{10, 4, 3, 9, 10},
+		{3, 4, 3, 3, 3}, // empty tail block
+		{257, 16, 0, 0, 17},
+		{257, 16, 15, 255, 257},
+	}
+	for _, c := range cases {
+		lo, hi := blockRange(c.n, c.np, c.r)
+		if lo != c.lo || hi != c.hi {
+			t.Errorf("blockRange(%d,%d,%d) = [%d,%d), want [%d,%d)", c.n, c.np, c.r, lo, hi, c.lo, c.hi)
+		}
+	}
+}
+
+func TestArray1DOwnership(t *testing.T) {
+	f := newFixture(t, 2, 2, "")
+	a, err := NewArray1D(f.m, "a", 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 100 || a.Overlap() != 1 {
+		t.Fatalf("shape wrong")
+	}
+	covered := 0
+	for r := 0; r < 4; r++ {
+		lo, hi := a.OwnedRange(r)
+		covered += hi - lo
+		for i := lo; i < hi; i++ {
+			if a.OwnerOf(i) != r {
+				t.Fatalf("OwnerOf(%d) = %d, want %d", i, a.OwnerOf(i), r)
+			}
+		}
+		if len(a.Owned(r)) != hi-lo {
+			t.Fatalf("Owned(%d) len %d", r, len(a.Owned(r)))
+		}
+	}
+	if covered != 100 {
+		t.Fatalf("coverage = %d", covered)
+	}
+}
+
+func TestOverlapFix1D(t *testing.T) {
+	f := newFixture(t, 2, 2, "")
+	a, err := NewArray1D(f.m, "a", 40, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = f.m.Run(func(c *machine.Cell) error {
+		rt := f.rts[c.ID()]
+		r := rt.Rank()
+		lo, hi := a.OwnedRange(r)
+		own := a.Owned(r)
+		for i := range own {
+			own[i] = float64(lo + i)
+		}
+		if err := rt.OverlapFix1D(a); err != nil {
+			return err
+		}
+		local := a.Local(r)
+		// Left shadow holds global [lo-2, lo); right shadow [hi, hi+2).
+		if r > 0 {
+			for k := 0; k < 2; k++ {
+				want := float64(lo - 2 + k)
+				if local[k] != want {
+					t.Errorf("rank %d left shadow[%d] = %v, want %v", r, k, local[k], want)
+				}
+			}
+		}
+		if r < 3 {
+			base := a.Overlap() + (hi - lo)
+			for k := 0; k < 2; k++ {
+				want := float64(hi + k)
+				if local[base+k] != want {
+					t.Errorf("rank %d right shadow[%d] = %v, want %v", r, k, local[base+k], want)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpreadMove1DRealign(t *testing.T) {
+	// Shifted copy: dst[i] = src[i+10] for 50 elements.
+	f := newFixture(t, 2, 2, "")
+	src, _ := NewArray1D(f.m, "src", 100, 0)
+	dst, _ := NewArray1D(f.m, "dst", 100, 0)
+	err := f.m.Run(func(c *machine.Cell) error {
+		rt := f.rts[c.ID()]
+		r := rt.Rank()
+		lo, _ := src.OwnedRange(r)
+		own := src.Owned(r)
+		for i := range own {
+			own[i] = 1000 + float64(lo+i)
+		}
+		rt.Barrier()
+		mv, err := rt.SpreadMove1D(dst, 0, src, 10, 50)
+		if err != nil {
+			return err
+		}
+		mv.Wait()
+		dlo, dhi := dst.OwnedRange(r)
+		down := dst.Owned(r)
+		for i := dlo; i < dhi && i < 50; i++ {
+			want := 1000 + float64(i+10)
+			if down[i-dlo] != want {
+				t.Errorf("rank %d dst[%d] = %v, want %v", r, i, down[i-dlo], want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArray2DShape(t *testing.T) {
+	f := newFixture(t, 2, 2, "")
+	a, err := NewArray2D(f.m, "c", 8, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rows() != 8 || a.Cols() != 20 || a.LocalWidth() != 5+2 {
+		t.Fatalf("shape: rows=%d cols=%d width=%d", a.Rows(), a.Cols(), a.LocalWidth())
+	}
+	for j := 0; j < 20; j++ {
+		r := a.OwnerOfCol(j)
+		lo, hi := a.OwnedCols(r)
+		if j < lo || j >= hi {
+			t.Fatalf("col %d owner %d range [%d,%d)", j, r, lo, hi)
+		}
+	}
+}
+
+func TestOverlapFix2DStrideAndNoStride(t *testing.T) {
+	for _, useStride := range []bool{true, false} {
+		f := newFixture(t, 2, 2, "")
+		const rows, cols = 6, 12
+		a, err := NewArray2D(f.m, "c", rows, cols, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = f.m.Run(func(c *machine.Cell) error {
+			rt := f.rts[c.ID()]
+			r := rt.Rank()
+			lo, hi := a.OwnedCols(r)
+			for row := 0; row < rows; row++ {
+				for j := lo; j < hi; j++ {
+					a.Set(r, row, a.LocalCol(r, j), float64(row*100+j))
+				}
+			}
+			if err := rt.OverlapFix2D(a, useStride); err != nil {
+				return err
+			}
+			// Check shadows: local col 0 = global lo-1; local col
+			// w+own = global hi.
+			own := hi - lo
+			for row := 0; row < rows; row++ {
+				if r > 0 {
+					want := float64(row*100 + lo - 1)
+					if got := a.At(r, row, 0); got != want {
+						t.Errorf("stride=%v rank %d row %d left shadow = %v, want %v", useStride, r, row, got, want)
+					}
+				}
+				if r < 3 {
+					want := float64(row*100 + hi)
+					if got := a.At(r, row, 1+own); got != want {
+						t.Errorf("stride=%v rank %d row %d right shadow = %v, want %v", useStride, r, row, got, want)
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestStrideVsNoStrideMessageCounts verifies the S5.4 TOMCATV
+// arithmetic: without stride hardware the PUT count multiplies by the
+// row count and the message size divides by it.
+func TestStrideVsNoStrideMessageCounts(t *testing.T) {
+	const rows, cols = 16, 12
+	rowsOf := func(useStride bool) trace.Table3Row {
+		f := newFixture(t, 2, 2, "tc")
+		a, err := NewArray2D(f.m, "c", rows, cols, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = f.m.Run(func(c *machine.Cell) error {
+			return f.rts[c.ID()].OverlapFix2D(a, useStride)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return trace.Stats(f.m.Trace())
+	}
+	st := rowsOf(true)
+	nost := rowsOf(false)
+	if st.PutS == 0 || st.Put != 0 {
+		t.Errorf("stride mode: %+v", st)
+	}
+	if nost.Put == 0 || nost.PutS != 0 {
+		t.Errorf("no-stride mode: %+v", nost)
+	}
+	if nost.Put != st.PutS*rows {
+		t.Errorf("no-stride PUTs = %v, want %v x %d", nost.Put, st.PutS, rows)
+	}
+	if st.MsgSize != nost.MsgSize*rows {
+		t.Errorf("stride msg %v vs no-stride %v", st.MsgSize, nost.MsgSize)
+	}
+}
+
+func TestMoveColTo1D(t *testing.T) {
+	for _, useStride := range []bool{true, false} {
+		f := newFixture(t, 2, 2, "")
+		const rows, cols, k = 20, 8, 5
+		b, _ := NewArray2D(f.m, "b", rows, cols, 0)
+		a, _ := NewArray1D(f.m, "a", rows, 0)
+		err := f.m.Run(func(c *machine.Cell) error {
+			rt := f.rts[c.ID()]
+			r := rt.Rank()
+			lo, hi := b.OwnedCols(r)
+			for row := 0; row < rows; row++ {
+				for j := lo; j < hi; j++ {
+					b.Set(r, row, b.LocalCol(r, j), float64(row)*10+float64(j))
+				}
+			}
+			rt.Barrier()
+			mv, err := rt.MoveColTo1D(a, b, k, useStride)
+			if err != nil {
+				return err
+			}
+			mv.Wait()
+			alo, ahi := a.OwnedRange(r)
+			own := a.Owned(r)
+			for i := alo; i < ahi; i++ {
+				want := float64(i)*10 + k
+				if own[i-alo] != want {
+					t.Errorf("stride=%v rank %d a[%d] = %v, want %v", useStride, r, i, own[i-alo], want)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMoveRowTo1D(t *testing.T) {
+	f := newFixture(t, 2, 2, "")
+	const rows, cols, k = 6, 40, 2
+	b, _ := NewArray2D(f.m, "b", rows, cols, 0)
+	a, _ := NewArray1D(f.m, "a", cols, 0)
+	err := f.m.Run(func(c *machine.Cell) error {
+		rt := f.rts[c.ID()]
+		r := rt.Rank()
+		lo, hi := b.OwnedCols(r)
+		for row := 0; row < rows; row++ {
+			for j := lo; j < hi; j++ {
+				b.Set(r, row, b.LocalCol(r, j), float64(row)*1000+float64(j))
+			}
+		}
+		rt.Barrier()
+		mv, err := rt.MoveRowTo1D(a, b, k)
+		if err != nil {
+			return err
+		}
+		mv.Wait()
+		alo, ahi := a.OwnedRange(r)
+		own := a.Owned(r)
+		for i := alo; i < ahi; i++ {
+			want := float64(k)*1000 + float64(i)
+			if own[i-alo] != want {
+				t.Errorf("rank %d a[%d] = %v, want %v", r, i, own[i-alo], want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRuntimeCollectives(t *testing.T) {
+	f := newFixture(t, 2, 2, "")
+	err := f.m.Run(func(c *machine.Cell) error {
+		rt := f.rts[c.ID()]
+		x := float64(rt.Rank() + 1)
+		if got := rt.GlobalSum(x); got != 10 {
+			t.Errorf("sum = %v", got)
+		}
+		if got := rt.GlobalMax(x); got != 4 {
+			t.Errorf("max = %v", got)
+		}
+		if got := rt.GlobalMin(x); got != 1 {
+			t.Errorf("min = %v", got)
+		}
+		v := []float64{x, 2 * x}
+		if err := rt.GlobalSumVec(v); err != nil {
+			return err
+		}
+		if v[0] != 10 || v[1] != 20 {
+			t.Errorf("vec = %v", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpreadMoveValidation(t *testing.T) {
+	f := newFixture(t, 2, 2, "")
+	src, _ := NewArray1D(f.m, "s", 10, 0)
+	dst, _ := NewArray1D(f.m, "d", 10, 0)
+	err := f.m.Run(func(c *machine.Cell) error {
+		rt := f.rts[c.ID()]
+		if _, err := rt.SpreadMove1D(dst, 5, src, 0, 6); err == nil {
+			t.Error("dst overrun accepted")
+		}
+		if _, err := rt.SpreadMove1D(dst, 0, src, 8, 6); err == nil {
+			t.Error("src overrun accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTomcatvShapedCounts drives the 257x257 Figure-2 configuration on
+// 16 cells for one exchange and checks the Table 3 proportions: with
+// stride, 2056-byte messages; without, 257x as many 8-byte ones.
+func TestTomcatvShapedCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	const n = 257
+	run := func(useStride bool) trace.Table3Row {
+		f := newFixture(t, 4, 4, "tomcatv")
+		a, err := NewArray2D(f.m, "x", n, n, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = f.m.Run(func(c *machine.Cell) error {
+			return f.rts[c.ID()].OverlapFix2D(a, useStride)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return trace.Stats(f.m.Trace())
+	}
+	st := run(true)
+	if st.MsgSize != 2056 {
+		t.Errorf("stride msg size = %v, want 2056 (Table 3)", st.MsgSize)
+	}
+	nost := run(false)
+	if nost.MsgSize != 8 {
+		t.Errorf("no-stride msg size = %v, want 8 (Table 3)", nost.MsgSize)
+	}
+	if math.Abs(nost.Put-257*st.PutS) > 1e-9 {
+		t.Errorf("no-stride PUT = %v, want 257 x %v", nost.Put, st.PutS)
+	}
+}
+
+func TestBroadcastOverBnet(t *testing.T) {
+	f := newFixture(t, 2, 2, "")
+	err := f.m.Run(func(c *machine.Cell) error {
+		rt := f.rts[c.ID()]
+		vec := make([]float64, 10)
+		if rt.Rank() == 2 {
+			for i := range vec {
+				vec[i] = float64(i) * 3
+			}
+		}
+		if err := rt.Broadcast(2, vec, 77); err != nil {
+			return err
+		}
+		for i := range vec {
+			if vec[i] != float64(i)*3 {
+				t.Errorf("rank %d vec[%d] = %v", rt.Rank(), i, vec[i])
+				return nil
+			}
+		}
+		// A second broadcast from a different root, different tag.
+		vec2 := []float64{float64(rt.Rank())}
+		if rt.Rank() != 0 {
+			vec2[0] = -1
+		}
+		if err := rt.Broadcast(0, vec2, 78); err != nil {
+			return err
+		}
+		if vec2[0] != 0 {
+			t.Errorf("rank %d second broadcast = %v", rt.Rank(), vec2[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.m.BNetStats().Broadcasts != 2 {
+		t.Errorf("bnet broadcasts = %d", f.m.BNetStats().Broadcasts)
+	}
+}
