@@ -1,0 +1,37 @@
+# The verify target is the full correctness gate: compile, go vet,
+# the repo's own static checker (cmd/apvet), and the test suite under
+# the Go race detector. CI and pre-commit should run `make verify`.
+
+GO ?= go
+
+.PHONY: all build test verify apvet bench fuzz
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# apvet enforces the simulator's communication discipline: no raw
+# DRAM writes behind the MSC+, every PUT/GET flag waited on, no
+# blocking calls in delivery handlers, no microsecond/nanosecond unit
+# mixing. See cmd/apvet and the "Correctness tooling" section of
+# DESIGN.md.
+apvet:
+	$(GO) run ./cmd/apvet ./...
+
+verify:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) run ./cmd/apvet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' ./...
+
+# Short fuzz pass over the trace codec (corpus seeds under
+# internal/trace/testdata/fuzz are always exercised by plain go test).
+fuzz:
+	$(GO) test -fuzz FuzzRead -fuzztime 30s ./internal/trace/

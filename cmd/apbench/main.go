@@ -31,7 +31,9 @@ func main() {
 	size := flag.Int64("size", 1024, "message size for fig7")
 	distance := flag.Int("distance", 3, "routing distance for fig7")
 	only := flag.String("app", "", "restrict table2/table3/fig8 to one application (e.g. CG)")
+	sanitize := flag.Bool("sanitize", false, "run every application under the apsan race detector")
 	flag.Parse()
+	apps.Sanitize = *sanitize
 
 	if err := run(*experiment, *quick, *size, *distance, *only); err != nil {
 		fmt.Fprintln(os.Stderr, "apbench:", err)

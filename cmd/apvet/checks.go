@@ -1,0 +1,397 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// hasDirSuffix reports whether the package directory ends with the
+// given slash-separated path (e.g. "internal/mem").
+func hasDirSuffix(p *pkg, suffix string) bool {
+	return p.dir == suffix || strings.HasSuffix(p.dir, "/"+suffix)
+}
+
+// calleeName returns the bare name of a call's callee: "Copy" for
+// mem.Copy(...), "Wait" for c.Flags.Wait(...), "f" for f(...).
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// calleeReceiver returns the textual receiver of a selector call:
+// "mem" for mem.Copy(...), "" for plain calls. Only the innermost
+// identifier matters for our package-qualified patterns.
+func calleeReceiver(call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if id, ok := sel.X.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// argName returns the identifier behind a flag/ack argument:
+// "readyFlag" for both readyFlag and k.readyFlag, "" for anything
+// that is not a plain name.
+func argName(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return v.Sel.Name
+	}
+	return ""
+}
+
+// isNoFlag reports whether a flag argument is the "no flag" sentinel:
+// the literal 0, or any identifier/selector named NoFlag.
+func isNoFlag(e ast.Expr) bool {
+	if lit, ok := e.(*ast.BasicLit); ok {
+		return lit.Kind == token.INT && lit.Value == "0"
+	}
+	return argName(e) == "NoFlag"
+}
+
+// ---------------------------------------------------------------------------
+// rawmem: simulated DRAM may only be touched by the machine's own
+// DMA/delivery engines. Application code going through mem.Copy,
+// mem.CopyStride, mem.CapturePayload or Payload.Deliver bypasses the
+// MSC+ command queues — and with them the sanitizer, the timing model
+// and the trace — so the write is invisible to every tool downstream.
+// ---------------------------------------------------------------------------
+
+var rawMemAllow = []string{
+	"internal/mem",      // defines the primitives
+	"internal/machine",  // the MSC+/MC engines themselves
+	"internal/dsm",      // page-transfer engine
+	"internal/sendrecv", // message-buffer delivery engine
+}
+
+func checkRawMem(p *pkg) []Finding {
+	for _, dir := range rawMemAllow {
+		if hasDirSuffix(p, dir) {
+			return nil
+		}
+	}
+	var out []Finding
+	for _, f := range p.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := calleeName(call)
+			switch {
+			case calleeReceiver(call) == "mem" &&
+				(name == "Copy" || name == "CopyStride" || name == "CapturePayload"):
+			case name == "Deliver":
+			default:
+				return true
+			}
+			out = append(out, Finding{
+				Pos:   p.fset.Position(call.Pos()),
+				Check: "rawmem",
+				Msg: fmt.Sprintf("mem.%s bypasses the MSC+ command queues; issue a PUT/GET/SEND instead",
+					name),
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// flagwait: a PUT/GET flag that nobody ever waits on is a silent
+// race — the paper's whole synchronization story is "flag rises when
+// the DMA completes, reader waits on the flag". The check is
+// package-scoped and name-based: every non-NoFlag flag identifier
+// passed to Put/PutStride/Get/GetStride must appear in some
+// WaitFlag/Wait call in the same package, and any ack=true PUT needs
+// an AckWait somewhere in the package.
+// ---------------------------------------------------------------------------
+
+// putGetShape describes where the flag and ack arguments sit for each
+// Comm method (see internal/core: put(node,raddr,laddr,size,
+// send_flag,recv_flag,ack) and friends).
+var putGetShape = map[string]struct {
+	nargs int
+	flags []int
+	ack   int // -1 if the method takes no ack argument
+}{
+	"Put":       {7, []int{4, 5}, 6},
+	"PutStride": {8, []int{3, 4}, 5},
+	"Get":       {6, []int{4, 5}, -1},
+	"GetStride": {7, []int{3, 4}, -1},
+}
+
+func checkFlagWait(p *pkg) []Finding {
+	// internal/core implements the interface; its flag arguments are
+	// forwarded, not consumed.
+	if hasDirSuffix(p, "internal/core") {
+		return nil
+	}
+	type use struct {
+		pos  token.Pos
+		verb string
+	}
+	flagUses := map[string][]use{} // flag identifier -> where it's set by a Put/Get
+	waited := map[string]bool{}    // flag identifiers that appear in a wait
+	var ackUses []token.Pos
+	ackWaited := false
+
+	for _, f := range p.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := calleeName(call)
+			if shape, ok := putGetShape[name]; ok && len(call.Args) == shape.nargs {
+				for _, i := range shape.flags {
+					if isNoFlag(call.Args[i]) {
+						continue
+					}
+					if id := argName(call.Args[i]); id != "" {
+						flagUses[id] = append(flagUses[id], use{call.Pos(), name})
+					}
+				}
+				if shape.ack >= 0 {
+					if id, ok := call.Args[shape.ack].(*ast.Ident); ok && id.Name == "true" {
+						ackUses = append(ackUses, call.Pos())
+					}
+				}
+				return true
+			}
+			switch name {
+			case "WaitFlag", "Wait":
+				if len(call.Args) >= 1 {
+					if id := argName(call.Args[0]); id != "" {
+						waited[id] = true
+					}
+				}
+			case "AckWait":
+				ackWaited = true
+			}
+			return true
+		})
+	}
+
+	var out []Finding
+	var names []string
+	for id := range flagUses {
+		if !waited[id] {
+			names = append(names, id)
+		}
+	}
+	sort.Strings(names)
+	for _, id := range names {
+		for _, u := range flagUses[id] {
+			out = append(out, Finding{
+				Pos:   p.fset.Position(u.pos),
+				Check: "flagwait",
+				Msg: fmt.Sprintf("%s raises flag %q but no WaitFlag/Wait on %q exists in this package (unsynchronized transfer)",
+					u.verb, id, id),
+			})
+		}
+	}
+	if !ackWaited {
+		for _, pos := range ackUses {
+			out = append(out, Finding{
+				Pos:   p.fset.Position(pos),
+				Check: "flagwait",
+				Msg:   "PUT with ack=true but no AckWait in this package (acknowledgements accumulate unconsumed)",
+			})
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// handlerblock: T-net delivery is synchronous — tnet.Send runs the
+// destination cell's receive handler on the *sender's* controller
+// goroutine. A handler that blocks (flag wait, p-bit creg load,
+// barrier, channel receive) therefore stalls a foreign controller and
+// can deadlock the whole machine. Handlers must only post work:
+// stores, flag increments, queue pushes and channel sends are fine.
+// ---------------------------------------------------------------------------
+
+var handlerDirs = []string{
+	"internal/machine", "internal/sendrecv", "internal/tnet", "internal/bnet",
+}
+
+// handlerNames are the functions that execute on a controller
+// goroutine during delivery.
+var handlerNames = map[string]bool{
+	"receive": true, "receiveBroadcast": true, "sink": true,
+	"deliver": true, "deliverCreg": true, "completeLoad": true,
+	"process": true, "sendData": true, "reply": true, "loadReply": true,
+}
+
+// blockingCalls can sleep waiting for another goroutine's progress.
+// Load32/Load64 are the p-bit blocking creg reads (TryLoad32 and the
+// stores are fine); Consume is the blocking message-buffer read.
+var blockingCalls = map[string]bool{
+	"Wait": true, "WaitFlag": true,
+	"Load32": true, "Load64": true, "LoadCreg32": true, "LoadCreg64": true,
+	"Recv": true, "RecvAny": true, "RecvBroadcast": true, "Consume": true,
+	"RemoteLoad": true, "AckWait": true,
+	"Arrive": true, "HWBarrier": true, "Barrier": true,
+}
+
+func checkHandlerBlock(p *pkg) []Finding {
+	inScope := false
+	for _, dir := range handlerDirs {
+		if hasDirSuffix(p, dir) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !handlerNames[fn.Name.Name] {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch v := n.(type) {
+				case *ast.GoStmt:
+					// Work handed to a fresh goroutine may block.
+					return false
+				case *ast.UnaryExpr:
+					if v.Op == token.ARROW {
+						out = append(out, Finding{
+							Pos:   p.fset.Position(v.Pos()),
+							Check: "handlerblock",
+							Msg: fmt.Sprintf("channel receive inside handler %s (runs on a foreign controller goroutine; must not block)",
+								fn.Name.Name),
+						})
+					}
+				case *ast.CallExpr:
+					if name := calleeName(v); blockingCalls[name] {
+						out = append(out, Finding{
+							Pos:   p.fset.Position(v.Pos()),
+							Check: "handlerblock",
+							Msg: fmt.Sprintf("blocking call %s inside handler %s (runs on a foreign controller goroutine; post work instead)",
+								name, fn.Name.Name),
+						})
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// units: event.Time is integer nanoseconds; the machine parameter
+// files (internal/params) are float64 microseconds, as in the paper's
+// tables. A direct event.Time(x) conversion of a float loses the
+// thousandfold scale silently. The sanctioned conversion is
+// event.Microseconds. The check is syntactic: a conversion whose
+// argument mentions a float literal or a known float64 Params/Features
+// field is flagged; integer expressions (literals, len, int counters)
+// pass.
+// ---------------------------------------------------------------------------
+
+// paramFloatFields collects the float64 field names of every struct
+// type named Params or Features in the parsed set, so the units check
+// needs no type information.
+func paramFloatFields(pkgs []*pkg) map[string]bool {
+	fields := map[string]bool{}
+	for _, p := range pkgs {
+		for _, f := range p.files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSpec)
+				if !ok || (ts.Name.Name != "Params" && ts.Name.Name != "Features") {
+					return true
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				for _, fld := range st.Fields.List {
+					if id, ok := fld.Type.(*ast.Ident); !ok || id.Name != "float64" {
+						continue
+					}
+					for _, name := range fld.Names {
+						fields[name.Name] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return fields
+}
+
+func checkUnits(p *pkg, floats map[string]bool) []Finding {
+	var out []Finding
+	for _, f := range p.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Time" {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); !ok || id.Name != "event" {
+				return true
+			}
+			if why := floatEvidence(call.Args[0], floats); why != "" {
+				out = append(out, Finding{
+					Pos:   p.fset.Position(call.Pos()),
+					Check: "units",
+					Msg: fmt.Sprintf("event.Time(...) of %s mixes microsecond parameters into nanosecond time; use event.Microseconds",
+						why),
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// floatEvidence reports why an expression looks like a float64
+// microsecond quantity, or "" if it looks integral.
+func floatEvidence(e ast.Expr, floats map[string]bool) string {
+	why := ""
+	ast.Inspect(e, func(n ast.Node) bool {
+		if why != "" {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.BasicLit:
+			if v.Kind == token.FLOAT {
+				why = fmt.Sprintf("float literal %s", v.Value)
+			}
+		case *ast.Ident:
+			if floats[v.Name] {
+				why = fmt.Sprintf("parameter field %s", v.Name)
+			}
+		case *ast.SelectorExpr:
+			if floats[v.Sel.Name] {
+				why = fmt.Sprintf("parameter field %s", v.Sel.Name)
+				return false
+			}
+		}
+		return true
+	})
+	return why
+}

@@ -1,0 +1,168 @@
+// Command apvet is a static checker for AP1000+ simulator code: it
+// enforces the communication discipline the machine cannot check at
+// compile time. Stdlib-only (go/parser + go/ast); no type
+// information is needed because the rules are about the shape of the
+// code, not its types.
+//
+// Checks:
+//
+//   - rawmem: application code must not touch simulated DRAM behind
+//     the MSC+'s back (mem.Copy / mem.CopyStride / mem.CapturePayload
+//     / payload.Deliver) — only the machine's own engines may.
+//   - flagwait: every Put/Get flag argument must have a matching
+//     flag wait somewhere in the package, and every ack=true PUT an
+//     AckWait; a flag nobody waits on is a silent race.
+//   - handlerblock: receive/delivery handlers run on another cell's
+//     controller goroutine and must never block (no flag waits,
+//     p-bit loads, barriers, or channel receives).
+//   - units: event.Time is integer nanoseconds while machine
+//     parameters are float64 microseconds; a direct event.Time(x)
+//     conversion of a parameter-like value must go through
+//     event.Microseconds instead.
+//
+// Usage:
+//
+//	go run ./cmd/apvet ./...
+//
+// Exits 0 when the tree is clean, 1 when any check fires.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation.
+type Finding struct {
+	Pos   token.Position
+	Check string
+	Msg   string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Check, f.Msg)
+}
+
+// pkg is one parsed directory of non-test Go files.
+type pkg struct {
+	dir   string // slash-separated, relative to the scan root
+	fset  *token.FileSet
+	files []*ast.File
+}
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	var dirs []string
+	for _, a := range args {
+		expanded, err := expand(a)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "apvet:", err)
+			os.Exit(2)
+		}
+		dirs = append(dirs, expanded...)
+	}
+	pkgs, err := parseDirs(dirs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apvet:", err)
+		os.Exit(2)
+	}
+	findings := Check(pkgs)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "apvet: %d problem(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// expand resolves a package pattern to directories: "dir/..." walks,
+// anything else is taken literally. testdata and hidden directories
+// are skipped, as the go tool does.
+func expand(pattern string) ([]string, error) {
+	root, recursive := pattern, false
+	if strings.HasSuffix(pattern, "/...") {
+		root, recursive = strings.TrimSuffix(pattern, "/..."), true
+	}
+	if root == "" {
+		root = "."
+	}
+	if !recursive {
+		return []string{root}, nil
+	}
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	return dirs, err
+}
+
+// parseDirs parses every non-test .go file of each directory.
+// Directories without Go files are dropped.
+func parseDirs(dirs []string) ([]*pkg, error) {
+	var pkgs []*pkg
+	for _, dir := range dirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		p := &pkg{dir: filepath.ToSlash(filepath.Clean(dir)), fset: token.NewFileSet()}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			f, err := parser.ParseFile(p.fset, filepath.Join(dir, name), nil, 0)
+			if err != nil {
+				return nil, err
+			}
+			p.files = append(p.files, f)
+		}
+		if len(p.files) > 0 {
+			pkgs = append(pkgs, p)
+		}
+	}
+	return pkgs, nil
+}
+
+// Check runs every rule over the parsed packages and returns findings
+// sorted by position.
+func Check(pkgs []*pkg) []Finding {
+	floats := paramFloatFields(pkgs)
+	var out []Finding
+	for _, p := range pkgs {
+		out = append(out, checkRawMem(p)...)
+		out = append(out, checkFlagWait(p)...)
+		out = append(out, checkHandlerBlock(p)...)
+		out = append(out, checkUnits(p, floats)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return out
+}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// checkDir parses one testdata directory and returns the findings.
+func checkDir(t *testing.T, dir string) []Finding {
+	t.Helper()
+	pkgs, err := parseDirs([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Check(pkgs)
+}
+
+func countCheck(fs []Finding, check string) int {
+	n := 0
+	for _, f := range fs {
+		if f.Check == check {
+			n++
+		}
+	}
+	return n
+}
+
+// The repository itself must be clean: apvet's rules describe
+// invariants the tree actually upholds.
+func TestTreeIsClean(t *testing.T) {
+	dirs, err := expand("../../...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := parseDirs(dirs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range Check(pkgs) {
+		t.Errorf("unexpected finding on the tree: %s", f)
+	}
+}
+
+func TestRawMem(t *testing.T) {
+	fs := checkDir(t, "testdata/rawmem")
+	if got := countCheck(fs, "rawmem"); got != 2 {
+		t.Fatalf("rawmem findings = %d, want 2 (mem.Copy and Deliver): %v", got, fs)
+	}
+	if len(fs) != 2 {
+		t.Fatalf("unexpected extra findings: %v", fs)
+	}
+}
+
+// The same primitives are legal inside the machine's own engines.
+func TestRawMemAllowlist(t *testing.T) {
+	for _, dir := range []string{
+		"../../internal/mem", "../../internal/machine",
+		"../../internal/dsm", "../../internal/sendrecv",
+	} {
+		if fs := checkDir(t, dir); countCheck(fs, "rawmem") != 0 {
+			t.Errorf("%s: rawmem fired inside the allowlist: %v", dir, fs)
+		}
+	}
+}
+
+func TestFlagWait(t *testing.T) {
+	fs := checkDir(t, "testdata/flagwait")
+	if got := countCheck(fs, "flagwait"); got != 2 {
+		t.Fatalf("flagwait findings = %d, want 2 (lostFlag and the ack): %v", got, fs)
+	}
+	var sawLost, sawAck bool
+	for _, f := range fs {
+		if strings.Contains(f.Msg, "lostFlag") {
+			sawLost = true
+		}
+		if strings.Contains(f.Msg, "AckWait") {
+			sawAck = true
+		}
+		if strings.Contains(f.Msg, "goodFlag") {
+			t.Errorf("goodFlag is waited on and must not be reported: %s", f)
+		}
+	}
+	if !sawLost || !sawAck {
+		t.Fatalf("missing expected findings (lostFlag=%v ack=%v): %v", sawLost, sawAck, fs)
+	}
+}
+
+func TestHandlerBlock(t *testing.T) {
+	fs := checkDir(t, "testdata/handlerblock/internal/machine")
+	if got := countCheck(fs, "handlerblock"); got != 3 {
+		t.Fatalf("handlerblock findings = %d, want 3 (Wait, Load32, <-ch): %v", got, fs)
+	}
+	for _, want := range []string{"Wait", "Load32", "channel receive"} {
+		found := false
+		for _, f := range fs {
+			if strings.Contains(f.Msg, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no finding mentioning %q: %v", want, fs)
+		}
+	}
+}
+
+func TestUnits(t *testing.T) {
+	fs := checkDir(t, "testdata/units")
+	if got := countCheck(fs, "units"); got != 3 {
+		t.Fatalf("units findings = %d, want 3: %v", got, fs)
+	}
+	for _, f := range fs {
+		if !strings.Contains(f.Msg, "event.Microseconds") {
+			t.Errorf("units finding should point at event.Microseconds: %s", f)
+		}
+	}
+}
+
+// expand must skip testdata (so the tree run stays clean) but keep
+// ordinary nested packages.
+func TestExpandSkipsTestdata(t *testing.T) {
+	dirs, err := expand("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dirs {
+		if strings.Contains(d, "testdata") {
+			t.Fatalf("expand returned a testdata dir: %s", d)
+		}
+	}
+	if len(dirs) != 1 {
+		t.Fatalf("expand('./...') = %v, want just the package dir", dirs)
+	}
+}

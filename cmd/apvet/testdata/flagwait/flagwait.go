@@ -1,0 +1,23 @@
+// Package app is apvet testdata for the flagwait check: goodFlag is
+// waited on and must pass; lostFlag is raised by a PUT but never
+// waited on; the ack=true PUT has no AckWait anywhere in the package.
+package app
+
+type comm interface {
+	Put(dst int, raddr, laddr uint64, size int64, sendFlag, recvFlag int32, ack bool) error
+	Get(dst int, raddr, laddr uint64, size int64, sendFlag, recvFlag int32) error
+	WaitFlag(flag int32, target int64)
+}
+
+const NoFlag = 0
+
+func exchange(c comm, goodFlag, lostFlag int32) error {
+	if err := c.Put(1, 0x1000, 0x1000, 64, NoFlag, goodFlag, false); err != nil {
+		return err
+	}
+	c.WaitFlag(goodFlag, 1)
+	if err := c.Put(1, 0x2000, 0x2000, 64, NoFlag, lostFlag, false); err != nil { // want flagwait
+		return err
+	}
+	return c.Put(1, 0x3000, 0x3000, 64, NoFlag, NoFlag, true) // want flagwait (no AckWait)
+}

@@ -1,0 +1,31 @@
+// Package machine is apvet testdata for the handlerblock check: a
+// delivery handler that waits on a flag, performs a p-bit creg load
+// and receives from a channel — three ways to stall the foreign
+// controller goroutine that delivery runs on.
+package machine
+
+type flags interface {
+	Wait(id int32, target int64)
+	Inc(id int32)
+}
+
+type cregs interface {
+	Load32(idx int) uint32
+	Store32(idx int, v uint32)
+}
+
+type cell struct {
+	flags flags
+	cregs cregs
+	ch    chan int
+}
+
+func (c *cell) receive(flag int32) {
+	c.flags.Wait(flag, 1)  // want handlerblock
+	_ = c.cregs.Load32(0)  // want handlerblock
+	<-c.ch                 // want handlerblock
+	c.flags.Inc(flag)      // fine: non-blocking post
+	c.cregs.Store32(0, 1)  // fine: store never blocks
+	c.ch <- 1              // fine: channel send is allowed
+	go func() { <-c.ch }() // fine: fresh goroutine may block
+}

@@ -1,0 +1,13 @@
+// Package app is apvet testdata: application code writing simulated
+// DRAM directly instead of issuing MSC+ commands. Both calls below
+// must be flagged by the rawmem check.
+package app
+
+import (
+	"ap1000plus/internal/mem"
+)
+
+func smuggle(dst, src *mem.Memory, payload *mem.Payload) {
+	mem.Copy(dst, 0x1000, src, 0x2000, 64) // want rawmem
+	payload.Deliver(dst, 0x3000)           // want rawmem
+}

@@ -1,0 +1,26 @@
+// Package app is apvet testdata for the units check: Params fields
+// are float64 microseconds; converting them to event.Time (integer
+// nanoseconds) directly drops the thousandfold scale.
+package app
+
+import (
+	"ap1000plus/internal/event"
+)
+
+// Params mirrors the shape of internal/params.Params: float64
+// microsecond quantities.
+type Params struct {
+	PutSetupTime float64
+	LineTime     float64
+}
+
+func schedule(p *Params, msgs []int) []event.Time {
+	return []event.Time{
+		event.Time(p.PutSetupTime),                 // want units
+		event.Time(1.5),                            // want units
+		event.Time(p.PutSetupTime + p.LineTime*64), // want units
+		event.Time(0),                              // fine: integer literal
+		event.Time(len(msgs)),                      // fine: integral expression
+		event.Microseconds(p.PutSetupTime),         // fine: sanctioned conversion
+	}
+}

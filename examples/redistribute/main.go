@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -15,7 +16,9 @@ import (
 const n = 1000
 
 func main() {
-	m, err := ap1000plus.NewMachine(ap1000plus.Config{Width: 2, Height: 2})
+	sanitize := flag.Bool("sanitize", false, "run with the apsan communication race detector")
+	flag.Parse()
+	m, err := ap1000plus.NewMachine(ap1000plus.Config{Width: 2, Height: 2, Sanitize: *sanitize})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -78,6 +81,9 @@ func main() {
 		return nil
 	})
 	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.SanitizeErr(); err != nil {
 		log.Fatal(err)
 	}
 	st := m.TNetStats()

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -14,6 +15,10 @@ import (
 )
 
 func main() {
+	sanitize := flag.Bool("sanitize", false, "run with the apsan communication race detector")
+	flag.Parse()
+	apps.Sanitize = *sanitize
+
 	run := func(stride bool) (*ap1000plus.TraceSet, error) {
 		cfg := apps.TestTomcatv(stride)
 		cfg.N = 129 // a bit larger than the test size, still quick

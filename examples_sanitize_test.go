@@ -1,0 +1,29 @@
+package ap1000plus_test
+
+import (
+	"os/exec"
+	"testing"
+)
+
+// Every machine-running example must execute cleanly under -sanitize:
+// the examples are the documentation of correct flag/ack/barrier
+// discipline, so a race report in one of them is a release blocker.
+// The latency example runs no machine (pure MLSim) and has no
+// -sanitize flag.
+func TestExamplesSanitizerClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("go run per example is slow; skipped with -short")
+	}
+	examples := []string{
+		"quickstart", "matmul", "stencil", "redistribute", "dsmcounter", "tomcatv",
+	}
+	for _, ex := range examples {
+		t.Run(ex, func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", "./examples/"+ex, "-sanitize").CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s under -sanitize failed: %v\n%s", ex, err, out)
+			}
+		})
+	}
+}

@@ -35,6 +35,11 @@ type Instance struct {
 	Verify func() error
 }
 
+// Sanitize, when set before building an instance, runs every
+// application machine with the apsan race detector enabled. Run
+// fails if the detector reports anything.
+var Sanitize bool
+
 // newInstance builds a machine with cells cells (squarish torus),
 // tracing under name, and a runtime per cell.
 func newInstance(name string, cells int, memPerCell int64) (*Instance, error) {
@@ -45,6 +50,7 @@ func newInstance(name string, cells int, memPerCell int64) (*Instance, error) {
 	m, err := machine.New(machine.Config{
 		Width: tor.Width(), Height: tor.Height(),
 		MemoryPerCell: memPerCell, TraceApp: name,
+		Sanitize: Sanitize,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("apps: %s: %w", name, err)
@@ -66,6 +72,9 @@ func (in *Instance) Run() (*trace.TraceSet, error) {
 	if err := in.Machine.Run(func(c *machine.Cell) error {
 		return in.Program(in.RTs[c.ID()])
 	}); err != nil {
+		return nil, fmt.Errorf("apps: %s: %w", in.Name, err)
+	}
+	if err := in.Machine.SanitizeErr(); err != nil {
 		return nil, fmt.Errorf("apps: %s: %w", in.Name, err)
 	}
 	if in.Verify != nil {

@@ -1,0 +1,40 @@
+package apps
+
+import "testing"
+
+// Every kernel must run clean under the apsan race detector: the
+// paper's flag/ack/barrier discipline, as implemented by the vpp
+// runtime and the collective library, is exactly what apsan models,
+// so a report here is either a kernel bug or a sanitizer bug.
+func TestKernelsSanitizerClean(t *testing.T) {
+	Sanitize = true
+	defer func() { Sanitize = false }()
+
+	builds := []struct {
+		name  string
+		build func() (*Instance, error)
+	}{
+		{"EP", func() (*Instance, error) { return NewEP(TestEP()) }},
+		{"CG", func() (*Instance, error) { return NewCG(TestCG()) }},
+		{"FT", func() (*Instance, error) { return NewFT(TestFT()) }},
+		{"SP", func() (*Instance, error) { return NewSP(TestSP()) }},
+		{"TC st", func() (*Instance, error) { return NewTomcatv(TestTomcatv(true)) }},
+		{"TC no st", func() (*Instance, error) { return NewTomcatv(TestTomcatv(false)) }},
+		{"MatMul", func() (*Instance, error) { return NewMatMul(TestMatMul()) }},
+		{"SCG", func() (*Instance, error) { return NewSCG(TestSCG()) }},
+	}
+	for _, b := range builds {
+		t.Run(b.name, func(t *testing.T) {
+			in, err := b.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if in.Machine.Sanitizer() == nil {
+				t.Fatal("Sanitize option did not reach the machine")
+			}
+			if _, err := in.Run(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,475 @@
+// Package apsan is a happens-before race detector for the simulated
+// AP1000+ — a sanitizer for the machine's PUT/GET communication, not
+// for the Go program running it (go test -race covers that).
+//
+// The paper's interface is deliberately unsafe: PUT and GET are
+// non-blocking, remote writes land whenever the network delivers
+// them, and the only ordering tools a program has are flag
+// increments, the acknowledge chain, communication-register p-bits,
+// barrier episodes, and message receipt. A program that reads a
+// buffer an in-flight PUT is still overwriting is silently wrong on
+// the real machine; apsan makes it loudly wrong on the simulator.
+//
+// Model. Every cell contributes two logical threads: its CPU (the
+// SPMD program goroutine) and its MSC+ controller (the send/receive
+// DMA engine). Each thread carries a vector clock. Synchronization
+// operations move clocks between threads:
+//
+//   - command issue: the CPU's clock rides the queued command and is
+//     acquired by the controller that pops it;
+//   - flag increment -> flag wait: the incrementing controller
+//     releases into the flag, the waiting CPU acquires (S4.1 "flag
+//     update combined with data transfer");
+//   - S-net barrier: an episode joins every arriving CPU's clock and
+//     every departure acquires the join (S4.4);
+//   - communication-register store -> p-bit load (S4.4);
+//   - message payloads: SEND/broadcast/remote-load-reply payloads
+//     carry the producer's clock to whoever consumes them (S4.3).
+//
+// DMA accesses are stamped with the *controller's* clock, never the
+// issuing CPU's. That is the load-bearing choice: it encodes that a
+// barrier alone does NOT order an in-flight PUT — only a flag
+// increment, acknowledgement, or receipt publishes DMA completion,
+// which is exactly the Ack & Barrier motivation of S2.2.
+//
+// Shadow state is kept per 8-byte granule of simulated DRAM (the
+// machine's traffic is float64s and page-aligned buffers, so false
+// sharing below 8 bytes does not occur in practice). Communication
+// registers are treated as pure synchronization, not data locations.
+// Direct Go-slice access to segment backing arrays is invisible to
+// the sanitizer; only simulated accesses (DMA captures/deliveries
+// and the hooks library code places on its CPU-side copies) are
+// checked.
+//
+// The package is dependency-free (plain ints and uint64s) so that
+// low-level packages (msc, mem, tnet) can carry its tokens as opaque
+// `any` fields without import cycles.
+package apsan
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// granuleBytes is the shadow-memory resolution.
+const granuleBytes = 8
+
+// maxReports bounds stored reports; further races are counted only.
+const maxReports = 64
+
+// Site describes one side of a conflicting access pair.
+type Site struct {
+	// Cell is the cell whose memory engine performed the access.
+	Cell int
+	// Tid is the logical thread (see CPU/Ctl).
+	Tid int
+	// Op names the user-visible operation ("PUT receive DMA", "GET
+	// reply read", "RECEIVE copy", "DSM load", ...).
+	Op string
+	// Addr/Size give the full simulated address range of the access
+	// on the cell named by MemCell.
+	Addr uint64
+	Size int64
+	// MemCell is the cell whose DRAM was accessed (for remote writes
+	// this differs from Cell).
+	MemCell int
+}
+
+func (s Site) String() string {
+	kind := "cpu"
+	if s.Tid%2 == 1 {
+		kind = "msc"
+	}
+	return fmt.Sprintf("cell %d (%s) %s @ cell %d [%#x,+%d)",
+		s.Cell, kind, s.Op, s.MemCell, s.Addr, s.Size)
+}
+
+// Report is one detected race: two accesses to an overlapping
+// simulated address range, at least one a write, with no
+// happens-before edge between them.
+type Report struct {
+	// Prior is the access recorded earlier in shadow memory; Access
+	// is the one that detected the conflict.
+	Prior, Access Site
+	// Lo and Hi bound the conflicting granules ([Lo, Hi+8)).
+	Lo, Hi uint64
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("apsan: unsynchronized conflicting accesses to cell %d memory [%#x,%#x):\n  earlier: %s\n  current: %s",
+		r.Prior.MemCell, r.Lo, r.Hi+granuleBytes, r.Prior, r.Access)
+}
+
+// epoch stamps one shadow entry: thread tid at clock, on behalf of
+// site.
+type epoch struct {
+	tid   int
+	clock uint64
+	site  *Site
+}
+
+// granule is the shadow state of 8 bytes of one cell's DRAM.
+type granule struct {
+	w      epoch   // last write (site == nil when none yet)
+	rd     []epoch // reads since the last write, at most one per tid
+	rdView []epoch // scratch to avoid realloc (unused slots)
+}
+
+// token is a released clock snapshot carried by commands/payloads.
+type token struct{ vc []uint64 }
+
+// episode is one all-cells barrier generation.
+type episode struct {
+	vc     []uint64
+	joined int
+}
+
+// Sanitizer is the machine-wide detector. All methods are safe for
+// concurrent use; a single mutex serializes them (sanitized runs
+// trade speed for checking).
+type Sanitizer struct {
+	mu     sync.Mutex
+	cells  int
+	clocks [][]uint64 // per tid
+
+	flags map[uint64][]uint64 // (cell, flag)  -> released clock
+	cregs map[uint64][]uint64 // (cell, index) -> released clock
+	bar   *episode
+
+	shadow map[uint64]*granule
+
+	// parked holds tokens released through ReleaseHandle, so carriers
+	// that must stay pointer-free (the MSC+ command words) can refer
+	// to them by a compact id instead of an interface.
+	parked     map[int64]*token
+	nextHandle int64
+
+	reports    []Report
+	suppressed int
+	seen       map[string]bool
+
+	// OnReport, when non-nil, is invoked (under the sanitizer lock)
+	// for every recorded report; the machine uses it to raise an OS
+	// interrupt on the detecting cell.
+	OnReport func(Report)
+}
+
+// New builds a sanitizer for a machine of the given cell count.
+func New(cells int) *Sanitizer {
+	n := 2 * cells
+	s := &Sanitizer{
+		cells:  cells,
+		clocks: make([][]uint64, n),
+		flags:  make(map[uint64][]uint64),
+		cregs:  make(map[uint64][]uint64),
+		shadow: make(map[uint64]*granule),
+		parked: make(map[int64]*token),
+		seen:   make(map[string]bool),
+	}
+	for t := range s.clocks {
+		s.clocks[t] = make([]uint64, n)
+		s.clocks[t][t] = 1
+	}
+	return s
+}
+
+// CPU returns the logical thread id of a cell's program goroutine.
+func (s *Sanitizer) CPU(cell int) int { return 2 * cell }
+
+// Ctl returns the logical thread id of a cell's MSC+ controller.
+func (s *Sanitizer) Ctl(cell int) int { return 2*cell + 1 }
+
+func join(dst, src []uint64) {
+	for i, v := range src {
+		if v > dst[i] {
+			dst[i] = v
+		}
+	}
+}
+
+// Release snapshots tid's clock into an opaque token (for a command,
+// payload, or packet to carry) and advances the thread so later
+// events are not covered by the snapshot.
+func (s *Sanitizer) Release(tid int) any {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.releaseLocked(tid)
+}
+
+func (s *Sanitizer) releaseLocked(tid int) *token {
+	vc := make([]uint64, len(s.clocks[tid]))
+	copy(vc, s.clocks[tid])
+	s.clocks[tid][tid]++
+	return &token{vc: vc}
+}
+
+// ReleaseHandle is Release for carriers that must stay pointer-free:
+// the token is parked inside the sanitizer and identified by a
+// non-zero id the carrier stores as a plain integer. Keeping pointers
+// out of msc.Command matters even with the sanitizer off — the field
+// type alone would make every queued command GC-scannable.
+func (s *Sanitizer) ReleaseHandle(tid int) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextHandle++
+	s.parked[s.nextHandle] = s.releaseLocked(tid)
+	return s.nextHandle
+}
+
+// AcquireHandle joins the token parked under h into tid's clock and
+// frees it. Handle 0 (an unsanitized producer) is a no-op.
+func (s *Sanitizer) AcquireHandle(tid int, h int64) {
+	if h == 0 {
+		return
+	}
+	s.mu.Lock()
+	if t := s.parked[h]; t != nil {
+		join(s.clocks[tid], t.vc)
+		delete(s.parked, h)
+	}
+	s.mu.Unlock()
+}
+
+// Acquire joins a previously released token into tid's clock. A nil
+// token (unsanitized producer) is a no-op.
+func (s *Sanitizer) Acquire(tid int, h any) {
+	if h == nil {
+		return
+	}
+	t, ok := h.(*token)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	join(s.clocks[tid], t.vc)
+	s.mu.Unlock()
+}
+
+func flagKey(cell int, flag int32) uint64 {
+	return uint64(cell)<<32 | uint64(uint32(flag))
+}
+
+// FlagInc records that tid is about to increment (cell, flag): the
+// thread's clock is released into the flag. Call BEFORE the actual
+// mc.Flags.Inc so a waiter can never observe the increment first.
+// Flag 0 (NoFlag) is a no-op, like the hardware.
+func (s *Sanitizer) FlagInc(tid, cell int, flag int32) {
+	if flag == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := flagKey(cell, flag)
+	vc := s.flags[k]
+	if vc == nil {
+		vc = make([]uint64, len(s.clocks))
+		s.flags[k] = vc
+	}
+	join(vc, s.clocks[tid])
+	s.clocks[tid][tid]++
+}
+
+// FlagWaited records that tid's wait on (cell, flag) completed: the
+// flag's accumulated releases are acquired. Call AFTER the wait
+// returns.
+func (s *Sanitizer) FlagWaited(tid, cell int, flag int32) {
+	if flag == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if vc := s.flags[flagKey(cell, flag)]; vc != nil {
+		join(s.clocks[tid], vc)
+	}
+}
+
+// CregStore records a store (with p-bit set) to communication
+// register idx of cell; widthWords is 1 or 2. Call BEFORE the store.
+func (s *Sanitizer) CregStore(tid, cell, idx, widthWords int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for w := 0; w < widthWords; w++ {
+		k := flagKey(cell, int32(idx+w))
+		vc := s.cregs[k]
+		if vc == nil {
+			vc = make([]uint64, len(s.clocks))
+			s.cregs[k] = vc
+		}
+		join(vc, s.clocks[tid])
+	}
+	s.clocks[tid][tid]++
+}
+
+// CregLoaded records a completed p-bit load of register idx on cell.
+// Call AFTER the blocking load returns.
+func (s *Sanitizer) CregLoaded(tid, cell, idx, widthWords int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for w := 0; w < widthWords; w++ {
+		if vc := s.cregs[flagKey(cell, int32(idx+w))]; vc != nil {
+			join(s.clocks[tid], vc)
+		}
+	}
+}
+
+// BarrierArrive joins tid into the current S-net episode and returns
+// an opaque episode token. Call BEFORE snet.Arrive. Because Arrive
+// blocks until every cell joined, the token's clock is complete by
+// the time any BarrierDone runs.
+func (s *Sanitizer) BarrierArrive(tid int) any {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.bar == nil {
+		s.bar = &episode{vc: make([]uint64, len(s.clocks))}
+	}
+	join(s.bar.vc, s.clocks[tid])
+	s.clocks[tid][tid]++
+	tok := s.bar
+	s.bar.joined++
+	if s.bar.joined == s.cells {
+		s.bar = nil // next episode starts fresh
+	}
+	return tok
+}
+
+// BarrierDone acquires the episode joined by BarrierArrive. Call
+// AFTER snet.Arrive returns.
+func (s *Sanitizer) BarrierDone(tid int, tok any) {
+	ep, ok := tok.(*episode)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	join(s.clocks[tid], ep.vc)
+	s.mu.Unlock()
+}
+
+func shadowKey(cell int, gaddr uint64) uint64 {
+	return uint64(cell)<<40 | gaddr/granuleBytes
+}
+
+// Access checks and records one simulated memory access by tid: a
+// stride pattern of count items of itemSize bytes starting at addr in
+// memCell's DRAM, with skip bytes between items. op labels the
+// user-visible operation for reports. write distinguishes receive-DMA
+// stores from capture reads.
+func (s *Sanitizer) Access(tid, cell int, write bool, memCell int, addr uint64, itemSize, count, skip int64, op string) {
+	if count <= 0 || itemSize <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	vc := s.clocks[tid]
+	site := &Site{Cell: cell, Tid: tid, Op: op, Addr: addr, Size: itemSize * count, MemCell: memCell}
+	now := epoch{tid: tid, clock: vc[tid], site: site}
+
+	type rng struct{ lo, hi uint64 }
+	conflicts := map[*Site]*rng{}
+	note := func(prior *Site, g uint64) {
+		r := conflicts[prior]
+		if r == nil {
+			conflicts[prior] = &rng{lo: g, hi: g}
+			return
+		}
+		if g < r.lo {
+			r.lo = g
+		}
+		if g > r.hi {
+			r.hi = g
+		}
+	}
+	ordered := func(e epoch) bool { return vc[e.tid] >= e.clock }
+
+	for i := int64(0); i < count; i++ {
+		base := addr + uint64(i)*uint64(itemSize+skip)
+		for g := base &^ (granuleBytes - 1); g < base+uint64(itemSize); g += granuleBytes {
+			k := shadowKey(memCell, g)
+			gr := s.shadow[k]
+			if gr == nil {
+				gr = &granule{}
+				s.shadow[k] = gr
+			}
+			if write {
+				if gr.w.site != nil && gr.w.tid != tid && !ordered(gr.w) {
+					note(gr.w.site, g)
+				}
+				for _, r := range gr.rd {
+					if r.tid != tid && !ordered(r) {
+						note(r.site, g)
+					}
+				}
+				gr.w = now
+				gr.rd = gr.rd[:0]
+			} else {
+				if gr.w.site != nil && gr.w.tid != tid && !ordered(gr.w) {
+					note(gr.w.site, g)
+				}
+				found := false
+				for j := range gr.rd {
+					if gr.rd[j].tid == tid {
+						gr.rd[j] = now
+						found = true
+						break
+					}
+				}
+				if !found {
+					gr.rd = append(gr.rd, now)
+				}
+			}
+		}
+	}
+
+	// Deterministic report order within one access.
+	var priors []*Site
+	for p := range conflicts {
+		priors = append(priors, p)
+	}
+	sort.Slice(priors, func(i, j int) bool {
+		a, b := conflicts[priors[i]], conflicts[priors[j]]
+		return a.lo < b.lo
+	})
+	for _, prior := range priors {
+		r := conflicts[prior]
+		s.report(Report{Prior: *prior, Access: *site, Lo: r.lo, Hi: r.hi})
+	}
+}
+
+// report dedups by access-pair identity and stores/bounds reports.
+// Called with s.mu held.
+func (s *Sanitizer) report(r Report) {
+	key := fmt.Sprintf("%d/%s/%d|%d/%s/%d", r.Prior.Tid, r.Prior.Op, r.Prior.Addr, r.Access.Tid, r.Access.Op, r.Access.Addr)
+	if s.seen[key] {
+		return
+	}
+	s.seen[key] = true
+	if len(s.reports) >= maxReports {
+		s.suppressed++
+		return
+	}
+	s.reports = append(s.reports, r)
+	if s.OnReport != nil {
+		s.OnReport(r)
+	}
+}
+
+// Reports returns the recorded races.
+func (s *Sanitizer) Reports() []Report {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Report, len(s.reports))
+	copy(out, s.reports)
+	return out
+}
+
+// Err returns nil when the run was race-free, or an error detailing
+// the first report and the total count.
+func (s *Sanitizer) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.reports) == 0 {
+		return nil
+	}
+	total := len(s.reports) + s.suppressed
+	return fmt.Errorf("%s\n(%d race report(s) total)", s.reports[0], total)
+}

@@ -1,0 +1,148 @@
+package apsan
+
+import (
+	"strings"
+	"testing"
+)
+
+// Two writes to the same granule from different threads with no edge
+// between them must be reported; with a release/acquire edge they
+// must not.
+func TestUnorderedWritesReported(t *testing.T) {
+	s := New(2)
+	a, b := s.CPU(0), s.CPU(1)
+	s.Access(a, 0, true, 0, 0x1000, 8, 1, 0, "write A")
+	s.Access(b, 1, true, 0, 0x1000, 8, 1, 0, "write B")
+	if err := s.Err(); err == nil {
+		t.Fatal("unordered conflicting writes not reported")
+	} else if !strings.Contains(err.Error(), "write A") {
+		t.Errorf("report does not name the earlier site: %v", err)
+	}
+}
+
+func TestReleaseAcquireOrders(t *testing.T) {
+	s := New(2)
+	a, b := s.CPU(0), s.CPU(1)
+	s.Access(a, 0, true, 0, 0x1000, 8, 1, 0, "write A")
+	tok := s.Release(a)
+	s.Acquire(b, tok)
+	s.Access(b, 1, true, 0, 0x1000, 8, 1, 0, "write B")
+	if err := s.Err(); err != nil {
+		t.Fatalf("ordered writes reported as race: %v", err)
+	}
+}
+
+func TestReleaseDoesNotCoverLaterAccesses(t *testing.T) {
+	s := New(2)
+	a, b := s.CPU(0), s.CPU(1)
+	tok := s.Release(a)
+	s.Access(a, 0, true, 0, 0x1000, 8, 1, 0, "write after release")
+	s.Acquire(b, tok)
+	s.Access(b, 1, false, 0, 0x1000, 8, 1, 0, "read B")
+	if s.Err() == nil {
+		t.Fatal("write made after the release must not be ordered by it")
+	}
+}
+
+func TestFlagEdge(t *testing.T) {
+	s := New(2)
+	ctl, cpu := s.Ctl(0), s.CPU(1)
+	s.Access(ctl, 0, true, 1, 0x2000, 8, 4, 0, "PUT receive DMA write")
+	s.FlagInc(ctl, 1, 7)
+	s.FlagWaited(cpu, 1, 7)
+	s.Access(cpu, 1, false, 1, 0x2000, 8, 4, 0, "read")
+	if err := s.Err(); err != nil {
+		t.Fatalf("flag-ordered read flagged: %v", err)
+	}
+	// NoFlag must be inert.
+	s2 := New(2)
+	s2.Access(s2.Ctl(0), 0, true, 1, 0x2000, 8, 1, 0, "w")
+	s2.FlagInc(s2.Ctl(0), 1, 0)
+	s2.FlagWaited(s2.CPU(1), 1, 0)
+	s2.Access(s2.CPU(1), 1, false, 1, 0x2000, 8, 1, 0, "r")
+	if s2.Err() == nil {
+		t.Fatal("NoFlag created a happens-before edge")
+	}
+}
+
+// A barrier orders CPU work against CPU work, but must NOT order a
+// DMA write the issuing CPU never awaited — the Ack & Barrier rule.
+func TestBarrierOrdersCPUsNotInflightDMA(t *testing.T) {
+	s := New(2)
+	cpu0, cpu1, ctl0 := s.CPU(0), s.CPU(1), s.Ctl(0)
+
+	// CPU-side write, then barrier: ordered.
+	s.Access(cpu0, 0, true, 0, 0x3000, 8, 1, 0, "cpu write")
+	tok0 := s.BarrierArrive(cpu0)
+	tok1 := s.BarrierArrive(cpu1)
+	s.BarrierDone(cpu0, tok0)
+	s.BarrierDone(cpu1, tok1)
+	s.Access(cpu1, 1, false, 0, 0x3000, 8, 1, 0, "cpu read")
+	if err := s.Err(); err != nil {
+		t.Fatalf("barrier-ordered accesses flagged: %v", err)
+	}
+
+	// DMA write by the controller, unacknowledged, then barrier: the
+	// controller's clock never reached the episode, so a read after
+	// the barrier still races.
+	s.Access(ctl0, 0, true, 1, 0x4000, 8, 1, 0, "PUT receive DMA write")
+	tok0 = s.BarrierArrive(cpu0)
+	tok1 = s.BarrierArrive(cpu1)
+	s.BarrierDone(cpu0, tok0)
+	s.BarrierDone(cpu1, tok1)
+	s.Access(cpu1, 1, false, 1, 0x4000, 8, 1, 0, "read after barrier")
+	if s.Err() == nil {
+		t.Fatal("barrier must not order an in-flight DMA write (Ack & Barrier)")
+	}
+}
+
+func TestStridePrecision(t *testing.T) {
+	s := New(2)
+	a, b := s.Ctl(0), s.Ctl(1)
+	// Interleaved combs: a writes granules 0,2,4..., b writes 1,3,5...
+	// (redistribute's block<->cyclic pattern). Disjoint, so clean.
+	s.Access(a, 0, true, 0, 0x5000, 8, 4, 8, "stride A")
+	s.Access(b, 1, true, 0, 0x5008, 8, 4, 8, "stride B")
+	if err := s.Err(); err != nil {
+		t.Fatalf("disjoint interleaved strides flagged: %v", err)
+	}
+	// Shift b onto a's granules: must be reported.
+	s.Access(b, 1, true, 0, 0x5010, 8, 2, 8, "stride B overlap")
+	if s.Err() == nil {
+		t.Fatal("overlapping strides not reported")
+	}
+}
+
+func TestCregHandshake(t *testing.T) {
+	s := New(2)
+	ctl0, cpu1 := s.Ctl(0), s.CPU(1)
+	s.Access(ctl0, 0, true, 0, 0x6000, 8, 1, 0, "w")
+	s.CregStore(ctl0, 1, 4, 2)
+	s.CregLoaded(cpu1, 1, 4, 2)
+	s.Access(cpu1, 1, false, 0, 0x6000, 8, 1, 0, "r")
+	if err := s.Err(); err != nil {
+		t.Fatalf("creg-ordered accesses flagged: %v", err)
+	}
+}
+
+func TestReportsDedupAndSites(t *testing.T) {
+	s := New(2)
+	a, b := s.CPU(0), s.CPU(1)
+	s.Access(a, 0, true, 0, 0x7000, 8, 4, 0, "writer")
+	s.Access(b, 1, false, 0, 0x7000, 8, 4, 0, "reader")
+	s.Access(b, 1, false, 0, 0x7000, 8, 4, 0, "reader")
+	reports := s.Reports()
+	if len(reports) != 1 {
+		t.Fatalf("want 1 deduplicated report, got %d", len(reports))
+	}
+	r := reports[0]
+	if r.Prior.Op != "writer" || r.Access.Op != "reader" {
+		t.Errorf("sites mislabeled: %+v", r)
+	}
+	if r.Lo != 0x7000 || r.Hi != 0x7018 {
+		t.Errorf("conflict range [%#x,%#x] wrong", r.Lo, r.Hi)
+	}
+	if r.Prior.MemCell != 0 {
+		t.Errorf("memory cell %d, want 0", r.Prior.MemCell)
+	}
+}

@@ -76,6 +76,7 @@ func (s *Sync) fence() { s.cell.FenceRemoteStores() }
 // reg of cell dst, via the scratch slot.
 func (s *Sync) storeRemoteF64(dst topology.CellID, reg int, v float64) {
 	s.f64Scratch[0] = v
+	s.cell.SanWrite(s.f64Seg.Base(), mem.Contiguous(8), "reduction scratch write")
 	s.cell.RemoteStore(dst, machine.CregAddr(reg), s.f64Seg.Base(), 8)
 	s.fence() // scratch has one slot; serialize captures
 }
@@ -115,15 +116,17 @@ func (s *Sync) Barrier(gid trace.GroupID) {
 	}
 	base := regBase(gid)
 	me := s.cell.ID()
-	// Up phase: wait for children's tokens, then notify parent.
+	// Up phase: wait for children's tokens, then notify parent. The
+	// p-bit loads go through the cell so the sanitizer sees the
+	// handshake edges.
 	for i := range g.BinaryTreeChildren(me) {
-		s.cell.Cregs.Load32(base + 6 + i)
+		s.cell.LoadCreg32(base + 6 + i)
 	}
 	if rank != 0 {
 		slot := (rank - 1) % 2 // which child of the parent am I
 		s.storeRemoteToken(g.BinaryTreeParent(me), base+6+slot)
 		// Down phase: wait for release token.
-		s.cell.Cregs.Load32(base + 8)
+		s.cell.LoadCreg32(base + 8)
 	}
 	// Release children.
 	for _, child := range g.BinaryTreeChildren(me) {
@@ -167,14 +170,14 @@ func (s *Sync) Reduce(gid trace.GroupID, op trace.ReduceOp, x float64) float64 {
 	// Up phase: combine children's partials (blocking p-bit loads on
 	// our own registers).
 	for i := range g.BinaryTreeChildren(me) {
-		bits := s.cell.Cregs.Load64(base + 2*i)
+		bits := s.cell.LoadCreg64(base + 2*i)
 		acc = combine(op, acc, f64FromBits(bits))
 	}
 	if rank != 0 {
 		slot := (rank - 1) % 2
 		s.storeRemoteF64(g.BinaryTreeParent(me), base+2*slot, acc)
 		// Down phase: the final value arrives in the down pair.
-		acc = f64FromBits(s.cell.Cregs.Load64(base + 4))
+		acc = f64FromBits(s.cell.LoadCreg64(base + 4))
 	}
 	for _, child := range g.BinaryTreeChildren(me) {
 		s.storeRemoteF64(child, base+4, acc)
@@ -223,7 +226,7 @@ func (s *Sync) ReduceVec(gid trace.GroupID, op trace.ReduceOp, vec []float64) er
 		}
 	}
 	if rank < g.Size()-1 {
-		copy(s.vecData, vec)
+		s.stageVec(vec)
 		if err := s.ep.Send(next, s.vecSeg.Base(), size, false); err != nil {
 			return err
 		}
@@ -242,7 +245,7 @@ func (s *Sync) ReduceVec(gid trace.GroupID, op trace.ReduceOp, vec []float64) er
 		}
 		copy(vec, vals)
 		if next != g.Members()[g.Size()-1] { // don't return it to the owner
-			copy(s.vecData, vec)
+			s.stageVec(vec)
 			if err := s.ep.Send(next, s.vecSeg.Base(), size, false); err != nil {
 				return err
 			}
@@ -251,7 +254,7 @@ func (s *Sync) ReduceVec(gid trace.GroupID, op trace.ReduceOp, vec []float64) er
 	}
 	// Last member owns the result; distribute it.
 	if gid == trace.AllGroup {
-		copy(s.vecData, vec)
+		s.stageVec(vec)
 		if err := s.cell.Broadcast(s.vecSeg.Base(), size, tag); err != nil {
 			return err
 		}
@@ -261,6 +264,14 @@ func (s *Sync) ReduceVec(gid trace.GroupID, op trace.ReduceOp, vec []float64) er
 	}
 	copy(s.vecData, vec)
 	return s.ep.Send(next, s.vecSeg.Base(), size, false)
+}
+
+// stageVec copies the working vector into the send staging segment.
+// The sanitizer write hook makes scratch reuse checkable: staging is
+// only safe because Send waits for the capture's send flag.
+func (s *Sync) stageVec(vec []float64) {
+	copy(s.vecData, vec)
+	s.cell.SanWrite(s.vecSeg.Base(), mem.Contiguous(int64(len(vec))*8), "reduction vector stage write")
 }
 
 func (s *Sync) ensureVec(n int) error {

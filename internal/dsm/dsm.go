@@ -161,6 +161,7 @@ func (d *DSM) Load(ga GAddr, size int64) (*mem.Payload, error) {
 		return nil, err
 	}
 	if cell == d.cell.ID() {
+		d.cell.SanRead(laddr, mem.Contiguous(size), "DSM local load")
 		return mem.CapturePayload(d.cell.Mem, laddr, mem.Contiguous(size))
 	}
 	if p, ok := d.cacheRead(ga, size); ok {
@@ -203,6 +204,8 @@ func (d *DSM) Store(ga GAddr, laddr mem.Addr, size int64) error {
 	}
 	d.cacheInvalidate(ga, size)
 	if cell == d.cell.ID() {
+		d.cell.SanRead(laddr, mem.Contiguous(size), "DSM local store source")
+		d.cell.SanWrite(raddr, mem.Contiguous(size), "DSM local store")
 		return mem.Copy(d.cell.Mem, raddr, d.cell.Mem, laddr, size)
 	}
 	d.cell.RemoteStore(cell, raddr, laddr, size)
@@ -213,10 +216,14 @@ func (d *DSM) Store(ga GAddr, laddr mem.Addr, size int64) error {
 }
 
 // StoreF64 writes one float64 to shared space via the scratch slot.
-// It fences before rewriting the scratch, so repeated stores are safe.
+// It fences before rewriting the scratch, so repeated stores are safe
+// — and the sanitizer write hook below proves it: remove the fence
+// and the CPU's scratch rewrite conflicts with the previous store's
+// in-flight send-DMA capture read.
 func (d *DSM) StoreF64(ga GAddr, v float64) error {
 	d.cell.FenceRemoteStores()
 	d.scratch[0] = v
+	d.cell.SanWrite(d.scratchSeg.Base(), mem.Contiguous(8), "DSM StoreF64 scratch write")
 	return d.Store(ga, d.scratchSeg.Base(), 8)
 }
 

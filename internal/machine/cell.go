@@ -95,6 +95,14 @@ func newCell(m *Machine, id topology.CellID) (*Cell, error) {
 	if m.ts != nil {
 		c.rec = trace.NewRecorder()
 	}
+	if s := m.san; s != nil {
+		// Flag waits run on the owning cell's program goroutine; a
+		// satisfied wait acquires everything released into the flag.
+		cpu := s.CPU(int(id))
+		c.Flags.SetWaitObserver(func(f mc.FlagID) {
+			s.FlagWaited(cpu, int(id), int32(f))
+		})
+	}
 	return c, nil
 }
 
@@ -162,7 +170,16 @@ func (c *Cell) SetMessageSink(s MessageSink) {
 }
 
 // HWBarrier arrives at the S-net all-cells hardware barrier.
-func (c *Cell) HWBarrier() { c.machine.snet.Arrive() }
+func (c *Cell) HWBarrier() {
+	if s := c.machine.san; s != nil {
+		cpu := s.CPU(int(c.id))
+		tok := s.BarrierArrive(cpu)
+		c.machine.snet.Arrive()
+		s.BarrierDone(cpu, tok)
+		return
+	}
+	c.machine.snet.Arrive()
+}
 
 // push routes a command into this cell's MSC, tracking it for drain.
 func (c *Cell) push(kind queueKind, cmd msc.Command) {
@@ -191,11 +208,20 @@ const (
 	qRloadReply
 )
 
+// sanIssue attaches the issuing CPU's released clock to a command
+// about to be queued. No-op (one nil check) when unsanitized.
+func (c *Cell) sanIssue(cmd *msc.Command) {
+	if s := c.machine.san; s != nil {
+		cmd.San = s.ReleaseHandle(s.CPU(int(c.id)))
+	}
+}
+
 // PushUser submits a user-level PUT/GET/SEND command — the paper's
 // "write the parameters one-by-one to the special address" interface.
 // The call never blocks: queue overflow spills to DRAM.
 func (c *Cell) PushUser(cmd msc.Command) {
 	cmd.Src = c.id
+	c.sanIssue(&cmd)
 	c.push(qUser, cmd)
 }
 
@@ -203,6 +229,7 @@ func (c *Cell) PushUser(cmd msc.Command) {
 // system queue.
 func (c *Cell) PushSystem(cmd msc.Command) {
 	cmd.Src = c.id
+	c.sanIssue(&cmd)
 	c.push(qSystem, cmd)
 }
 
@@ -237,14 +264,17 @@ func (c *Cell) RemoteLoad(dst topology.CellID, raddr mem.Addr, size int64) (*mem
 		return nil, fmt.Errorf("machine: remote load of %d bytes", size)
 	}
 	tag, ch := c.newLoadWaiter()
-	c.push(qRemote, msc.Command{
+	cmd := msc.Command{
 		Op: msc.OpRemoteLoad, Src: c.id, Dst: dst,
 		RAddr: raddr, RStride: mem.Contiguous(size), Tag: tag,
-	})
+	}
+	c.sanIssue(&cmd)
+	c.push(qRemote, cmd)
 	p := <-ch
 	if p == nil {
 		return nil, fmt.Errorf("machine: remote load %d<-%d @%#x faulted", c.id, dst, raddr)
 	}
+	c.SanAcquirePayload(p)
 	return p, nil
 }
 
@@ -253,19 +283,25 @@ func (c *Cell) RemoteLoad(dst topology.CellID, raddr mem.Addr, size int64) (*mem
 // automatically; completion is observed on the cell's AckFlag.
 func (c *Cell) RemoteStore(dst topology.CellID, raddr, laddr mem.Addr, size int64) {
 	c.rstores.Add(1)
-	c.push(qRemote, msc.Command{
+	cmd := msc.Command{
 		Op: msc.OpRemoteStore, Src: c.id, Dst: dst,
 		RAddr: raddr, LAddr: laddr,
 		RStride: mem.Contiguous(size), LStride: mem.Contiguous(size),
-	})
+	}
+	c.sanIssue(&cmd)
+	c.push(qRemote, cmd)
 }
 
 // Broadcast sends the local range over the B-net to every cell's
 // broadcast inbox.
 func (c *Cell) Broadcast(laddr mem.Addr, size int64, tag int64) error {
+	c.SanRead(laddr, mem.Contiguous(size), "BROADCAST source read")
 	p, err := mem.CapturePayload(c.Mem, laddr, mem.Contiguous(size))
 	if err != nil {
 		return err
+	}
+	if s := c.machine.san; s != nil {
+		p.SetSan(s.Release(s.CPU(int(c.id))))
 	}
 	c.machine.bnet.Broadcast(bnet.Message{Src: c.id, Payload: p, Tag: tag})
 	return nil
@@ -280,6 +316,7 @@ func (c *Cell) RecvBroadcast(tag int64) *mem.Payload {
 		for i, b := range c.bcasts {
 			if b.tag == tag {
 				c.bcasts = append(c.bcasts[:i], c.bcasts[i+1:]...)
+				c.SanAcquirePayload(b.payload)
 				return b.payload
 			}
 		}
@@ -296,4 +333,57 @@ func (c *Cell) RemoteStoresIssued() int64 { return c.rstores.Load() }
 // cell so far has been acknowledged by its destination MSC+.
 func (c *Cell) FenceRemoteStores() {
 	c.Flags.Wait(mc.RemoteAckFlagID, c.rstores.Load())
+}
+
+// SanRead records a CPU-context read of local memory with the
+// sanitizer; library code (dsm, barrier, sendrecv) calls it on the
+// accesses it performs on the program's behalf. No-op when the
+// machine is unsanitized.
+func (c *Cell) SanRead(addr mem.Addr, pat mem.Stride, op string) {
+	if s := c.machine.san; s != nil {
+		id := int(c.id)
+		s.Access(s.CPU(id), id, false, id, uint64(addr), pat.ItemSize, pat.Count, pat.Skip, op)
+	}
+}
+
+// SanWrite records a CPU-context write of local memory with the
+// sanitizer.
+func (c *Cell) SanWrite(addr mem.Addr, pat mem.Stride, op string) {
+	if s := c.machine.san; s != nil {
+		id := int(c.id)
+		s.Access(s.CPU(id), id, true, id, uint64(addr), pat.ItemSize, pat.Count, pat.Skip, op)
+	}
+}
+
+// SanAcquirePayload acquires the sanitizer clock a payload carries
+// (SEND ring delivery, broadcast, remote-load reply) into this
+// cell's CPU thread. No-op when unsanitized or the payload carries
+// no token.
+func (c *Cell) SanAcquirePayload(p *mem.Payload) {
+	if s := c.machine.san; s != nil {
+		s.Acquire(s.CPU(int(c.id)), p.San())
+	}
+}
+
+// LoadCreg32 performs a blocking p-bit load of communication register
+// idx, acquiring the storing thread's sanitizer clock. Synchronization
+// protocols (group barriers, register reductions) should load through
+// this instead of Cregs.Load32 so the sanitizer sees the handshake.
+func (c *Cell) LoadCreg32(idx int) uint32 {
+	v := c.Cregs.Load32(idx)
+	if s := c.machine.san; s != nil {
+		id := int(c.id)
+		s.CregLoaded(s.CPU(id), id, idx, 1)
+	}
+	return v
+}
+
+// LoadCreg64 is LoadCreg32 for an aligned 8-byte register pair.
+func (c *Cell) LoadCreg64(idx int) uint64 {
+	v := c.Cregs.Load64(idx)
+	if s := c.machine.san; s != nil {
+		id := int(c.id)
+		s.CregLoaded(s.CPU(id), id, idx, 2)
+	}
+	return v
 }

@@ -25,27 +25,67 @@ func (m *Machine) controller(c *Cell) {
 	}
 }
 
-// process executes one command popped from c's queues.
+// process executes one command popped from c's queues. When the
+// machine is sanitized, the controller thread first acquires the
+// clock the issuer released into the command; everything downstream
+// of this call — including synchronous packet delivery on the
+// destination cell — executes as this controller's logical thread.
 func (m *Machine) process(c *Cell, cmd msc.Command) {
+	exec := -1
+	if s := m.san; s != nil {
+		exec = s.Ctl(int(c.id))
+		s.AcquireHandle(exec, cmd.San)
+	}
 	switch cmd.Op {
 	case msc.OpPut, msc.OpSend, msc.OpRemoteStore:
-		m.sendData(c, cmd)
+		m.sendData(c, cmd, exec)
 	case msc.OpGet, msc.OpRemoteLoad:
 		// Request messages carry no payload; route them out.
-		m.tnet.Send(tnet.Packet{Head: cmd})
+		m.tnet.Send(tnet.Packet{Head: cmd, SanTid: exec})
 	case msc.OpGetReply:
-		m.reply(c, cmd)
+		m.reply(c, cmd, exec)
 	case msc.OpRemoteLoadReply:
-		m.loadReply(c, cmd)
+		m.loadReply(c, cmd, exec)
 	default:
 		c.OS.fault(fmt.Errorf("machine: cell %d: unknown command %v", c.id, cmd))
 	}
 }
 
+// sanAccess stamps one DMA access with the executing controller's
+// clock. No-op when exec < 0 (unsanitized).
+func (m *Machine) sanAccess(exec int, write bool, memCell int, addr mem.Addr, pat mem.Stride, op string) {
+	if s := m.san; s != nil && exec >= 0 {
+		s.Access(exec, exec/2, write, memCell, uint64(addr), pat.ItemSize, pat.Count, pat.Skip, op)
+	}
+}
+
+// sanFlagInc releases exec's clock into (cell, flag) ahead of the
+// actual increment.
+func (m *Machine) sanFlagInc(exec int, cell int, flag mc.FlagID) {
+	if s := m.san; s != nil && exec >= 0 {
+		s.FlagInc(exec, cell, int32(flag))
+	}
+}
+
+// sendReadLabel names the send-DMA source read of a data-bearing
+// command for sanitizer reports. The labels are constants: sendData
+// evaluates this with the sanitizer off too, so it must not allocate.
+func sendReadLabel(op msc.Op) string {
+	switch op {
+	case msc.OpPut:
+		return "PUT source read (send DMA)"
+	case msc.OpSend:
+		return "SEND source read (send DMA)"
+	case msc.OpRemoteStore:
+		return "remote store source read (send DMA)"
+	}
+	return "source read (send DMA)"
+}
+
 // sendData runs the send DMA for a data-bearing command: translate
 // the local address, capture the payload, raise the send flag, and
 // inject the packet.
-func (m *Machine) sendData(c *Cell, cmd msc.Command) {
+func (m *Machine) sendData(c *Cell, cmd msc.Command, exec int) {
 	var payload *mem.Payload
 	if cmd.LAddr != 0 && cmd.LStride.Total() > 0 {
 		if _, err := c.MMU.Translate(cmd.LAddr, cmd.LStride.Extent()); err != nil {
@@ -56,24 +96,31 @@ func (m *Machine) sendData(c *Cell, cmd msc.Command) {
 			c.OS.fault(fmt.Errorf("machine: cell %d: send DMA: %w", c.id, err))
 			return
 		}
+		m.sanAccess(exec, false, int(c.id), cmd.LAddr, cmd.LStride, sendReadLabel(cmd.Op))
 		p, err := mem.CapturePayload(c.Mem, cmd.LAddr, cmd.LStride)
 		if err != nil {
 			c.OS.fault(fmt.Errorf("machine: cell %d: send DMA: %w", c.id, err))
 			return
 		}
 		payload = p
+		if s := m.san; s != nil && cmd.Op == msc.OpSend {
+			// SEND payloads park in the destination's ring buffer and
+			// hop to its CPU asynchronously; carry the clock along.
+			payload.SetSan(s.Release(exec))
+		}
 	}
 	// Send DMA complete: the MSC+ asks the MC to increment the send
 	// flag (S4.1, "flag update combined with data transfer").
+	m.sanFlagInc(exec, int(c.id), cmd.SendFlag)
 	c.Flags.Inc(cmd.SendFlag)
-	m.tnet.Send(tnet.Packet{Head: cmd, Payload: payload})
+	m.tnet.Send(tnet.Packet{Head: cmd, Payload: payload, SanTid: exec})
 }
 
 // reply serves a queued GET request: capture the requested range from
 // local memory and send it back to the requester. The data-sending
 // side's flag (cmd.SendFlag, a flag on THIS cell chosen by the
 // requester) rises when the reply DMA completes.
-func (m *Machine) reply(c *Cell, cmd msc.Command) {
+func (m *Machine) reply(c *Cell, cmd msc.Command, exec int) {
 	var payload *mem.Payload
 	if cmd.RAddr != 0 {
 		if _, err := c.MMU.Translate(cmd.RAddr, cmd.RStride.Extent()); err != nil {
@@ -81,6 +128,7 @@ func (m *Machine) reply(c *Cell, cmd msc.Command) {
 			c.OS.fault(fmt.Errorf("machine: cell %d: GET reply: %w", c.id, err))
 			return
 		}
+		m.sanAccess(exec, false, int(c.id), cmd.RAddr, cmd.RStride, "GET reply read (send DMA)")
 		p, err := mem.CapturePayload(c.Mem, cmd.RAddr, cmd.RStride)
 		if err != nil {
 			c.OS.fault(fmt.Errorf("machine: cell %d: GET reply: %w", c.id, err))
@@ -88,15 +136,16 @@ func (m *Machine) reply(c *Cell, cmd msc.Command) {
 		}
 		payload = p
 	}
+	m.sanFlagInc(exec, int(c.id), cmd.SendFlag)
 	c.Flags.Inc(cmd.SendFlag)
 	out := cmd
 	out.Src = c.id
 	out.Dst = cmd.Src // back to the requester
-	m.tnet.Send(tnet.Packet{Head: out, Payload: payload})
+	m.tnet.Send(tnet.Packet{Head: out, Payload: payload, SanTid: exec})
 }
 
 // loadReply serves a queued remote load.
-func (m *Machine) loadReply(c *Cell, cmd msc.Command) {
+func (m *Machine) loadReply(c *Cell, cmd msc.Command, exec int) {
 	var payload *mem.Payload
 	if _, err := c.MMU.Translate(cmd.RAddr, cmd.RStride.Extent()); err != nil {
 		c.OS.interrupt(IntrPageFault)
@@ -105,12 +154,18 @@ func (m *Machine) loadReply(c *Cell, cmd msc.Command) {
 	} else if p, err := mem.CapturePayload(c.Mem, cmd.RAddr, cmd.RStride); err != nil {
 		c.OS.fault(fmt.Errorf("machine: cell %d: remote load: %w", c.id, err))
 	} else {
+		m.sanAccess(exec, false, int(c.id), cmd.RAddr, cmd.RStride, "remote load read")
 		payload = p
+		if s := m.san; s != nil {
+			// The reply payload crosses to the loading CPU through a
+			// channel; carry the clock with it.
+			payload.SetSan(s.Release(exec))
+		}
 	}
 	out := cmd
 	out.Src = c.id
 	out.Dst = cmd.Src
-	m.tnet.Send(tnet.Packet{Head: out, Payload: payload})
+	m.tnet.Send(tnet.Packet{Head: out, Payload: payload, SanTid: exec})
 }
 
 // receive is the cell's T-net receive controller (the MSC+ of the
@@ -118,12 +173,16 @@ func (m *Machine) loadReply(c *Cell, cmd msc.Command) {
 // activates the receive DMA to write the data directly" (S4.1).
 // It runs on the sending controller's goroutine; all state it touches
 // is monitor-protected or owned by flag discipline, like real DMA.
+// Sanitizer-wise the packet's SanTid carries that controller's
+// logical thread through the delivery.
 func (c *Cell) receive(p tnet.Packet) {
 	m := c.machine
 	cmd := p.Head
+	exec := p.SanTid
 	switch cmd.Op {
 	case msc.OpPut:
-		if c.deliver(cmd, p.Payload) {
+		if c.deliver(cmd, p.Payload, exec, "PUT receive DMA write") {
+			m.sanFlagInc(exec, int(c.id), cmd.RecvFlag)
 			c.Flags.Inc(cmd.RecvFlag)
 		}
 
@@ -143,26 +202,36 @@ func (c *Cell) receive(p tnet.Packet) {
 		// entry is the reply to produce.
 		req := cmd
 		req.Op = msc.OpGetReply
+		if s := m.san; s != nil {
+			// The reply runs later on THIS cell's controller; hand the
+			// requesting chain's clock across the queue boundary.
+			req.San = s.ReleaseHandle(exec)
+		}
 		c.push(qGetReply, req)
 
 	case msc.OpGetReply:
-		if c.deliver(cmd, p.Payload) {
+		if c.deliver(cmd, p.Payload, exec, "GET receive DMA write") {
+			m.sanFlagInc(exec, int(c.id), cmd.RecvFlag)
 			c.Flags.Inc(cmd.RecvFlag)
 		}
 
 	case msc.OpRemoteStore:
-		if c.deliver(remoteStoreAsPut(cmd), p.Payload) {
+		if c.deliver(remoteStoreAsPut(cmd), p.Payload, exec, "remote store receive DMA write") {
 			// Acknowledge automatically (S4.2).
 			ack := msc.Command{Op: msc.OpRemoteStoreAck, Src: c.id, Dst: cmd.Src}
-			m.tnet.Send(tnet.Packet{Head: ack})
+			m.tnet.Send(tnet.Packet{Head: ack, SanTid: exec})
 		}
 
 	case msc.OpRemoteStoreAck:
+		m.sanFlagInc(exec, int(c.id), mc.RemoteAckFlagID)
 		c.Flags.Inc(mc.RemoteAckFlagID)
 
 	case msc.OpRemoteLoad:
 		req := cmd
 		req.Op = msc.OpRemoteLoadReply
+		if s := m.san; s != nil {
+			req.San = s.ReleaseHandle(exec)
+		}
 		c.push(qRloadReply, req)
 
 	case msc.OpRemoteLoadReply:
@@ -186,7 +255,7 @@ func remoteStoreAsPut(cmd msc.Command) msc.Command {
 // window land in the MC's register file with p-bit semantics (S4.4:
 // the registers live in shared memory space, so remote stores reach
 // them). It reports whether the DMA completed.
-func (c *Cell) deliver(cmd msc.Command, payload *mem.Payload) bool {
+func (c *Cell) deliver(cmd msc.Command, payload *mem.Payload, exec int, op string) bool {
 	// Choose the destination side: PUT writes at RAddr on this cell;
 	// GET replies write at LAddr on this (requesting) cell.
 	addr := cmd.RAddr
@@ -199,7 +268,7 @@ func (c *Cell) deliver(cmd msc.Command, payload *mem.Payload) bool {
 		return true // pure flag/ack message
 	}
 	if addr >= CregSpaceBase {
-		return c.deliverCreg(addr, payload)
+		return c.deliverCreg(addr, payload, exec)
 	}
 	if _, err := c.MMU.Translate(addr, pat.Extent()); err != nil {
 		// "If a page fault happens in a remote cell during message
@@ -209,6 +278,7 @@ func (c *Cell) deliver(cmd msc.Command, payload *mem.Payload) bool {
 		c.OS.fault(fmt.Errorf("machine: cell %d: receive DMA: %w", c.id, err))
 		return false
 	}
+	c.machine.sanAccess(exec, true, int(c.id), addr, pat, op)
 	if err := payload.Deliver(c.Mem, addr, pat); err != nil {
 		c.OS.fault(fmt.Errorf("machine: cell %d: receive DMA: %w", c.id, err))
 		return false

@@ -27,14 +27,22 @@ func CregAddr(idx int) mem.Addr {
 }
 
 // deliverCreg writes an arriving 4- or 8-byte payload into the
-// communication register file, setting p-bits.
-func (c *Cell) deliverCreg(addr mem.Addr, payload *mem.Payload) bool {
+// communication register file, setting p-bits. The sanitizer treats
+// registers as pure synchronization: the executing thread's clock is
+// released into the register's p-bit channel ahead of the store, and
+// a LoadCreg acquires it — the store/load handshake of S4.4.
+func (c *Cell) deliverCreg(addr mem.Addr, payload *mem.Payload, exec int) bool {
 	off := addr - CregSpaceBase
 	if off%4 != 0 || off/4 >= mc.NumCommRegs {
 		c.OS.fault(fmt.Errorf("machine: cell %d: bad communication register address %#x", c.id, addr))
 		return false
 	}
 	idx := int(off / 4)
+	sanStore := func(width int) {
+		if s := c.machine.san; s != nil && exec >= 0 {
+			s.CregStore(exec, int(c.id), idx, width)
+		}
+	}
 	size := payload.Size()
 	switch size {
 	case 4:
@@ -43,14 +51,17 @@ func (c *Cell) deliverCreg(addr mem.Addr, payload *mem.Payload) bool {
 			c.OS.fault(fmt.Errorf("machine: cell %d: 4-byte register store needs byte data", c.id))
 			return false
 		}
+		sanStore(1)
 		c.Cregs.Store32(idx, binary.LittleEndian.Uint32(data))
 		return true
 	case 8:
 		if vals, ok := payload.Float64s(); ok {
+			sanStore(2)
 			c.Cregs.Store64(idx, math.Float64bits(vals[0]))
 			return true
 		}
 		if data, ok := payload.Bytes(); ok {
+			sanStore(2)
 			c.Cregs.Store64(idx, binary.LittleEndian.Uint64(data))
 			return true
 		}

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"ap1000plus/internal/apsan"
 	"ap1000plus/internal/bnet"
 	"ap1000plus/internal/msc"
 	"ap1000plus/internal/snet"
@@ -65,6 +66,11 @@ type Config struct {
 	// TraceApp, when non-empty, enables trace recording under this
 	// application name.
 	TraceApp string
+	// Sanitize enables the apsan communication race detector: every
+	// DMA access is checked against a happens-before model of flags,
+	// barriers, acknowledgements and message receipt. Costs time and
+	// memory; near-zero cost when off.
+	Sanitize bool
 }
 
 func (c *Config) fill() error {
@@ -92,6 +98,7 @@ type Machine struct {
 	inflight atomic.Int64 // commands pushed but not fully processed
 	ran      atomic.Bool
 	ts       *trace.TraceSet
+	san      *apsan.Sanitizer
 
 	groupMu sync.Mutex
 	groups  []*topology.Group // index = trace.GroupID
@@ -117,6 +124,12 @@ func New(cfg Config) (*Machine, error) {
 	m.groups = []*topology.Group{topology.AllCells(torus)}
 	if cfg.TraceApp != "" {
 		m.ts = trace.New(cfg.TraceApp, cfg.Width, cfg.Height)
+	}
+	if cfg.Sanitize {
+		m.san = apsan.New(torus.Cells())
+		m.san.OnReport = func(r apsan.Report) {
+			m.cells[r.Access.Cell].OS.interrupt(IntrSanitizer)
+		}
 	}
 	for id := 0; id < torus.Cells(); id++ {
 		c, err := newCell(m, topology.CellID(id))
@@ -147,6 +160,20 @@ func (m *Machine) BNetStats() bnet.Stats { return m.bnet.Stats() }
 
 // Barriers reports how many all-cell hardware barriers completed.
 func (m *Machine) Barriers() int64 { return m.snet.Count() }
+
+// Sanitizer returns the race detector, or nil when Config.Sanitize
+// was off.
+func (m *Machine) Sanitizer() *apsan.Sanitizer { return m.san }
+
+// SanitizeErr reports the first detected communication race, or nil
+// when the machine is unsanitized or the run was clean. Check it
+// after Run.
+func (m *Machine) SanitizeErr() error {
+	if m.san == nil {
+		return nil
+	}
+	return m.san.Err()
+}
 
 // DefineGroup registers a cell group machine-wide and returns its
 // trace GroupID. Groups must be defined before Run (SPMD prologue).

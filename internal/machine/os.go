@@ -14,6 +14,9 @@ const (
 	// IntrRingBufferFull: a ring buffer filled and the OS allocated a
 	// new one (S4.3).
 	IntrRingBufferFull
+	// IntrSanitizer: the apsan race detector recorded a report whose
+	// detecting access ran on this cell (sanitized machines only).
+	IntrSanitizer
 
 	numInterruptCauses
 )
@@ -26,6 +29,8 @@ func (c InterruptCause) String() string {
 		return "page-fault"
 	case IntrRingBufferFull:
 		return "ring-buffer-full"
+	case IntrSanitizer:
+		return "sanitizer-report"
 	}
 	return "unknown"
 }

@@ -1,0 +1,6 @@
+//go:build !race
+
+package machine_test
+
+// raceDetectorEnabled: see race_on_test.go.
+const raceDetectorEnabled = false

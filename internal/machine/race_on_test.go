@@ -1,0 +1,12 @@
+//go:build race
+
+package machine_test
+
+// raceDetectorEnabled reports whether this test binary was built with
+// the Go race detector. The seeded-race sanitizer tests run genuinely
+// conflicting DMA accesses on two controller goroutines — exactly the
+// races apsan exists to catch — and the Go race detector, being a
+// happens-before checker too, would (correctly) flag them. Those
+// tests skip themselves under -race; apsan's detection is asserted by
+// plain `go test`.
+const raceDetectorEnabled = true

@@ -42,6 +42,17 @@ type Flags struct {
 	next FlagID
 	// incs counts total increments, for statistics.
 	incs int64
+	// waitObs, when set, runs after every satisfied Wait, outside the
+	// monitor lock — the sanitizer's flag-acquire hook.
+	waitObs func(FlagID)
+}
+
+// SetWaitObserver installs a callback invoked after each Wait call is
+// satisfied. Install before traffic flows (machine construction).
+func (f *Flags) SetWaitObserver(fn func(FlagID)) {
+	f.mu.Lock()
+	f.waitObs = fn
+	f.mu.Unlock()
 }
 
 // NewFlags returns an empty flag file.
@@ -129,7 +140,11 @@ func (f *Flags) Wait(id FlagID, target int64) {
 	for f.vals[id] < target {
 		f.cond.Wait()
 	}
+	obs := f.waitObs
 	f.mu.Unlock()
+	if obs != nil {
+		obs(id)
+	}
 }
 
 // Increments reports the total number of increments performed, a

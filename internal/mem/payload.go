@@ -10,6 +10,25 @@ type Payload struct {
 	space *Space
 	base  Addr
 	size  int64
+	// san carries the producer's released sanitizer clock for
+	// payloads that hop threads asynchronously (SEND ring buffers,
+	// broadcasts, remote-load replies); nil when not sanitized.
+	san any
+}
+
+// SetSan attaches a sanitizer release token to the payload.
+func (p *Payload) SetSan(tok any) {
+	if p != nil {
+		p.san = tok
+	}
+}
+
+// San returns the attached sanitizer token, if any.
+func (p *Payload) San() any {
+	if p == nil {
+		return nil
+	}
+	return p.san
 }
 
 // Size reports the payload length in bytes.

@@ -90,6 +90,15 @@ type Command struct {
 	Port int32
 	// Tag carries an opaque correlation token (remote load waiters).
 	Tag int64
+	// San identifies the issuing thread's released sanitizer clock
+	// (an apsan handle) when the machine runs with Sanitize; 0
+	// otherwise. The controller that pops the command acquires it,
+	// modeling the store-buffer ordering between the CPU's
+	// command-word stores and the MSC+ reading them. A plain integer
+	// rather than a pointer so Command stays GC-transparent: the
+	// queues copy and store these structs on the simulator's hottest
+	// path.
+	San int64
 }
 
 func (c Command) String() string {

@@ -148,6 +148,10 @@ func (e *Endpoint) Recv(src topology.CellID, laddr mem.Addr, max int64) (int64, 
 	if n > max {
 		return 0, fmt.Errorf("sendrecv: %d-byte message exceeds %d-byte receive area", n, max)
 	}
+	// Receipt orders the sender's capture before this CPU's use of the
+	// data; the copy into the user area is a CPU-context write.
+	e.cell.SanAcquirePayload(m.payload)
+	e.cell.SanWrite(laddr, mem.Contiguous(n), "RECEIVE copy")
 	if err := m.payload.Deliver(e.cell.Mem, laddr, mem.Contiguous(n)); err != nil {
 		return 0, err
 	}
@@ -164,6 +168,8 @@ func (e *Endpoint) RecvAny(laddr mem.Addr, max int64) (topology.CellID, int64, e
 	if n > max {
 		return m.src, 0, fmt.Errorf("sendrecv: %d-byte message exceeds %d-byte receive area", n, max)
 	}
+	e.cell.SanAcquirePayload(m.payload)
+	e.cell.SanWrite(laddr, mem.Contiguous(n), "RECEIVE copy")
 	if err := m.payload.Deliver(e.cell.Mem, laddr, mem.Contiguous(n)); err != nil {
 		return m.src, 0, err
 	}
@@ -176,6 +182,7 @@ func (e *Endpoint) RecvAny(laddr mem.Addr, max int64) (topology.CellID, int64, e
 // the library boundary.
 func (e *Endpoint) Consume(src topology.CellID) *mem.Payload {
 	m := e.take(src)
+	e.cell.SanAcquirePayload(m.payload)
 	e.mu.Lock()
 	e.stats.InPlace++
 	e.mu.Unlock()

@@ -30,6 +30,10 @@ const LinkBandwidth = 25 << 20
 type Packet struct {
 	Head    msc.Command
 	Payload *mem.Payload
+	// SanTid identifies the sanitizer thread executing this packet's
+	// delivery (the sending controller — delivery is synchronous on
+	// its goroutine). -1 when the machine is not sanitized.
+	SanTid int
 }
 
 // Handler consumes a packet at its destination cell — the receive
