@@ -1,6 +1,9 @@
 # The verify target is the full correctness gate: compile, go vet,
 # the repo's own static checker (cmd/apvet), and the test suite under
-# the Go race detector. CI and pre-commit should run `make verify`.
+# the Go race detector, plus two guards that only mean anything
+# without -race: the zero-allocation PUT issue path (sync.Pool drops
+# items under the race detector) and the deterministic table golden.
+# CI and pre-commit should run `make verify`.
 
 GO ?= go
 
@@ -27,9 +30,15 @@ verify:
 	$(GO) vet ./...
 	$(GO) run ./cmd/apvet ./...
 	$(GO) test -race ./...
+	$(GO) test -run TestPutIssueZeroAllocUnobserved .
+	$(GO) test -run TestTablesDeterministicOrder ./internal/stats/
 
+# bench also regenerates BENCH_obs.json: the Table 2 functional runs'
+# full machine counter report (per-app, per-cell), for diffing
+# communication behaviour across changes.
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./...
+	$(GO) run ./cmd/apbench -experiment table2 -metrics-json BENCH_obs.json > /dev/null
 
 # Short fuzz pass over the trace codec (corpus seeds under
 # internal/trace/testdata/fuzz are always exercised by plain go test).

@@ -41,6 +41,7 @@ import (
 	"ap1000plus/internal/mc"
 	"ap1000plus/internal/mem"
 	"ap1000plus/internal/mlsim"
+	"ap1000plus/internal/obs"
 	"ap1000plus/internal/params"
 	"ap1000plus/internal/sendrecv"
 	"ap1000plus/internal/topology"
@@ -156,6 +157,18 @@ func NewCyclicArray1D(m *Machine, name string, n int) (*CyclicArray1D, error) {
 func NewBlock2D(m *Machine, name string, rows, cols, overlap int) (*Block2D, error) {
 	return vpp.NewBlock2D(m, name, rows, cols, overlap)
 }
+
+// Observability (Config.Observe / Config.Timeline).
+type (
+	// Metrics is a machine-wide counter snapshot; see Machine.Metrics.
+	Metrics = machine.Metrics
+	// Timeline collects Chrome trace-event / Perfetto JSON; attach one
+	// via Config.Timeline and write it with Timeline.WriteJSON.
+	Timeline = obs.Timeline
+)
+
+// NewTimeline returns an empty Perfetto timeline collector.
+func NewTimeline() *Timeline { return obs.NewTimeline() }
 
 // Evaluation toolchain.
 type (

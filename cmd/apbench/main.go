@@ -9,9 +9,15 @@
 //	apbench -experiment all            # everything at paper scale
 //	apbench -experiment table2 -quick  # reduced problem sizes
 //	apbench -experiment fig7 -size 1024 -distance 3
+//	apbench -experiment table2 -quick -metrics -timeline t.json
+//
+// -metrics prints each application's machine counter report; -metrics-json
+// writes them as JSON (for make bench / BENCH_obs.json). -timeline
+// writes a merged Chrome trace-event file loadable at ui.perfetto.dev.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +26,7 @@ import (
 	"ap1000plus/internal/apps"
 	"ap1000plus/internal/machine"
 	"ap1000plus/internal/mlsim"
+	"ap1000plus/internal/obs"
 	"ap1000plus/internal/params"
 	"ap1000plus/internal/stats"
 )
@@ -32,13 +39,59 @@ func main() {
 	distance := flag.Int("distance", 3, "routing distance for fig7")
 	only := flag.String("app", "", "restrict table2/table3/fig8 to one application (e.g. CG)")
 	sanitize := flag.Bool("sanitize", false, "run every application under the apsan race detector")
+	metrics := flag.Bool("metrics", false, "print each application's machine counter report")
+	metricsJSON := flag.String("metrics-json", "", "write per-application metrics as JSON to this file")
+	timeline := flag.String("timeline", "", "write a merged Perfetto timeline of the functional runs to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 	apps.Sanitize = *sanitize
+	apps.Observe = *metrics || *metricsJSON != ""
 
-	if err := run(*experiment, *quick, *size, *distance, *only); err != nil {
+	stopProf, err := obs.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "apbench:", err)
 		os.Exit(1)
 	}
+
+	var parts []obs.Part
+	if *timeline != "" {
+		apps.TimelineFor = func(name string) *obs.Timeline {
+			tl := obs.NewTimeline()
+			parts = append(parts, obs.Part{Label: name, TL: tl})
+			return tl
+		}
+	}
+
+	err = run(*experiment, *quick, *size, *distance, *only, *metrics, *metricsJSON)
+	if err == nil && *timeline != "" {
+		err = writeTimeline(*timeline, parts)
+	}
+	if perr := stopProf(); err == nil {
+		err = perr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apbench:", err)
+		os.Exit(1)
+	}
+}
+
+// writeTimeline writes all collected per-app timelines as one merged
+// Perfetto file.
+func writeTimeline(path string, parts []obs.Part) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteMergedJSON(f, parts); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote timeline %s (%d parts); load at ui.perfetto.dev\n", path, len(parts))
+	return nil
 }
 
 func hottestCount(r *mlsim.ContentionReport) int64 {
@@ -48,7 +101,13 @@ func hottestCount(r *mlsim.ContentionReport) int64 {
 	return r.Hottest[0].Messages
 }
 
-func run(experiment string, quick bool, size int64, distance int, only string) error {
+// appMetrics is one entry of the -metrics-json output.
+type appMetrics struct {
+	App     string
+	Metrics *machine.Metrics
+}
+
+func run(experiment string, quick bool, size int64, distance int, only string, metrics bool, metricsJSON string) error {
 	needApps := false
 	switch experiment {
 	case "table2", "table3", "fig8", "stride", "contention", "all":
@@ -169,6 +228,35 @@ func run(experiment string, quick bool, size int64, distance int, only string) e
 				e.App, rep.Slowdown(), rep.MeanDelay, hottestCount(rep))
 		}
 		fmt.Fprintln(w)
+	}
+	if metrics && len(exps) > 0 {
+		fmt.Fprintln(w, "Machine counter reports (functional runs):")
+		if err := stats.WriteMetrics(w, exps); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if metricsJSON != "" {
+		var out []appMetrics
+		for _, e := range exps {
+			if e.Metrics != nil {
+				out = append(out, appMetrics{App: e.App, Metrics: e.Metrics})
+			}
+		}
+		f, err := os.Create(metricsJSON)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote metrics %s (%d apps)\n", metricsJSON, len(out))
 	}
 	switch experiment {
 	case "specs", "params", "fig7", "table2", "table3", "fig8", "stride", "contention", "all":

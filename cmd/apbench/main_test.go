@@ -8,26 +8,26 @@ import (
 // covered at -quick scale.
 func TestRunCheapExperiments(t *testing.T) {
 	for _, exp := range []string{"specs", "params", "fig7"} {
-		if err := run(exp, true, 256, 2, ""); err != nil {
+		if err := run(exp, true, 256, 2, "", false, ""); err != nil {
 			t.Errorf("run(%s): %v", exp, err)
 		}
 	}
 }
 
 func TestRunQuickTable2SingleApp(t *testing.T) {
-	if err := run("table2", true, 0, 0, "EP"); err != nil {
+	if err := run("table2", true, 0, 0, "EP", false, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunQuickStride(t *testing.T) {
-	if err := run("stride", true, 0, 0, ""); err != nil {
+	if err := run("stride", true, 0, 0, "", false, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("bogus", true, 0, 0, ""); err == nil {
+	if err := run("bogus", true, 0, 0, "", false, ""); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }

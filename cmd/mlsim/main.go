@@ -10,6 +10,7 @@
 //	mlsim -trace cg.trace -model ap1000
 //	mlsim -trace cg.trace -params my-model.conf # Figure 6 file
 //	mlsim -trace cg.trace -compare              # all three models
+//	mlsim -trace cg.trace -timeline cg.json     # Perfetto timeline
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"os"
 
 	"ap1000plus/internal/mlsim"
+	"ap1000plus/internal/obs"
 	"ap1000plus/internal/params"
 	"ap1000plus/internal/trace"
 )
@@ -28,15 +30,27 @@ func main() {
 	paramFile := flag.String("params", "", "parameter file overriding the model (Figure 6 format)")
 	compare := flag.Bool("compare", false, "replay under all three built-in models")
 	perPE := flag.Bool("per-pe", false, "print the per-PE breakdown")
+	timeline := flag.String("timeline", "", "write a simulated-time Perfetto timeline to this file (one part per model)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	if err := run(*traceFile, *model, *paramFile, *compare, *perPE); err != nil {
+	stopProf, err := obs.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mlsim:", err)
+		os.Exit(1)
+	}
+	err = run(*traceFile, *model, *paramFile, *compare, *perPE, *timeline)
+	if perr := stopProf(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mlsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(traceFile, model, paramFile string, compare, perPE bool) error {
+func run(traceFile, model, paramFile string, compare, perPE bool, timeline string) error {
 	if traceFile == "" {
 		return fmt.Errorf("missing -trace")
 	}
@@ -75,8 +89,17 @@ func run(traceFile, model, paramFile string, compare, perPE bool) error {
 	}
 
 	var results []*mlsim.Result
+	var parts []obs.Part
 	for _, p := range models {
-		res, err := mlsim.Run(ts, p)
+		var res *mlsim.Result
+		var err error
+		if timeline != "" {
+			tl := obs.NewTimeline()
+			parts = append(parts, obs.Part{Label: p.Name, TL: tl})
+			res, err = mlsim.RunWithTimeline(ts, p, tl)
+		} else {
+			res, err = mlsim.Run(ts, p)
+		}
 		if err != nil {
 			return err
 		}
@@ -101,6 +124,21 @@ func run(traceFile, model, paramFile string, compare, perPE bool) error {
 	if compare && len(results) == 3 {
 		fmt.Printf("\nspeedup vs AP1000: AP1000+ %.2fx, AP1000x8 %.2fx\n",
 			results[1].SpeedupVs(results[0]), results[2].SpeedupVs(results[0]))
+	}
+	if timeline != "" {
+		f, err := os.Create(timeline)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteMergedJSON(f, parts); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote timeline %s (%d models); load at ui.perfetto.dev\n",
+			timeline, len(parts))
 	}
 	return nil
 }

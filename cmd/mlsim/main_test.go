@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -33,14 +34,35 @@ func writeTempTrace(t *testing.T) string {
 
 func TestRunSingleModel(t *testing.T) {
 	path := writeTempTrace(t)
-	if err := run(path, "ap1000+", "", false, true); err != nil {
+	if err := run(path, "ap1000+", "", false, true, ""); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunCompareWritesTimeline(t *testing.T) {
+	path := writeTempTrace(t)
+	out := filepath.Join(t.TempDir(), "tl.json")
+	if err := run(path, "", "", true, false, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatalf("timeline not valid trace JSON: %v", err)
+	}
+	if len(f.TraceEvents) == 0 {
+		t.Fatal("timeline empty")
 	}
 }
 
 func TestRunCompare(t *testing.T) {
 	path := writeTempTrace(t)
-	if err := run(path, "", "", true, false); err != nil {
+	if err := run(path, "", "", true, false, ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -51,23 +73,23 @@ func TestRunWithParamFile(t *testing.T) {
 	if err := os.WriteFile(pf, []byte("put_prolog_time 2.5\nname custom\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, "ap1000", pf, false, false); err != nil {
+	if err := run(path, "ap1000", pf, false, false, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", "ap1000+", "", false, false); err == nil {
+	if err := run("", "ap1000+", "", false, false, ""); err == nil {
 		t.Error("missing trace accepted")
 	}
-	if err := run("/nonexistent.trace", "ap1000+", "", false, false); err == nil {
+	if err := run("/nonexistent.trace", "ap1000+", "", false, false, ""); err == nil {
 		t.Error("nonexistent trace accepted")
 	}
 	path := writeTempTrace(t)
-	if err := run(path, "cm5", "", false, false); err == nil {
+	if err := run(path, "cm5", "", false, false, ""); err == nil {
 		t.Error("unknown model accepted")
 	}
-	if err := run(path, "ap1000+", "/nonexistent.conf", false, false); err == nil {
+	if err := run(path, "ap1000+", "/nonexistent.conf", false, false, ""); err == nil {
 		t.Error("nonexistent param file accepted")
 	}
 }

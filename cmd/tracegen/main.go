@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"ap1000plus/internal/apps"
+	"ap1000plus/internal/obs"
 	"ap1000plus/internal/stats"
 	"ap1000plus/internal/trace"
 )
@@ -27,6 +28,10 @@ func main() {
 	quick := flag.Bool("quick", false, "use the reduced problem size")
 	list := flag.Bool("list", false, "list available applications")
 	dump := flag.Int("dump", 0, "also print the first N events per PE")
+	metrics := flag.Bool("metrics", false, "print the machine counter report after the run")
+	timeline := flag.String("timeline", "", "write a Perfetto timeline of the functional run to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	if *list {
@@ -35,13 +40,22 @@ func main() {
 		}
 		return
 	}
-	if err := run(*app, *out, *quick, *dump); err != nil {
+	stopProf, err := obs.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	err = run(*app, *out, *quick, *dump, *metrics, *timeline)
+	if perr := stopProf(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(app, out string, quick bool, dumpN int) error {
+func run(app, out string, quick bool, dumpN int, metrics bool, timeline string) error {
 	if app == "" {
 		return fmt.Errorf("missing -app (use -list to see choices)")
 	}
@@ -61,6 +75,13 @@ func run(app, out string, quick bool, dumpN int) error {
 	}
 	if build == nil {
 		return fmt.Errorf("unknown application %q", app)
+	}
+	apps.Observe = metrics || timeline != ""
+	var tl *obs.Timeline
+	apps.TimelineFor = nil
+	if timeline != "" {
+		tl = obs.NewTimeline()
+		apps.TimelineFor = func(string) *obs.Timeline { return tl }
 	}
 	in, err := build()
 	if err != nil {
@@ -86,6 +107,26 @@ func run(app, out string, quick bool, dumpN int) error {
 	fmt.Fprintln(os.Stderr, trace.Table3Header)
 	fmt.Fprintln(os.Stderr, row.Format())
 	fmt.Fprintf(os.Stderr, "wrote %s (%d events)\n", out, ts.Events())
+	if metrics {
+		mt := in.Machine.Metrics()
+		if err := mt.Format(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if timeline != "" {
+		tf, err := os.Create(timeline)
+		if err != nil {
+			return err
+		}
+		if err := tl.WriteJSON(tf); err != nil {
+			tf.Close()
+			return err
+		}
+		if err := tf.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote timeline %s; load at ui.perfetto.dev\n", timeline)
+	}
 	if dumpN > 0 {
 		return trace.Dump(os.Stdout, ts, dumpN)
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -11,7 +12,7 @@ import (
 func TestRunWritesReadableTrace(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "ep.trace")
-	if err := run("EP", out, true, 0); err != nil {
+	if err := run("EP", out, true, 0, false, ""); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -28,14 +29,36 @@ func TestRunWritesReadableTrace(t *testing.T) {
 	}
 }
 
+func TestRunWithMetricsAndTimeline(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "ep.trace")
+	tlPath := filepath.Join(dir, "tl.json")
+	if err := run("EP", out, true, 0, true, tlPath); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(tlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatalf("timeline not valid trace JSON: %v", err)
+	}
+	if len(f.TraceEvents) == 0 {
+		t.Fatal("timeline empty")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run("", "x.trace", true, 0); err == nil {
+	if err := run("", "x.trace", true, 0, false, ""); err == nil {
 		t.Error("missing app accepted")
 	}
-	if err := run("NOPE", "x.trace", true, 0); err == nil {
+	if err := run("NOPE", "x.trace", true, 0, false, ""); err == nil {
 		t.Error("unknown app accepted")
 	}
-	if err := run("EP", "/nonexistent-dir/x.trace", true, 0); err == nil {
+	if err := run("EP", "/nonexistent-dir/x.trace", true, 0, false, ""); err == nil {
 		t.Error("unwritable path accepted")
 	}
 }

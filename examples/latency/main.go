@@ -1,17 +1,23 @@
 // Latency: sweep the Figure 7 PUT model across message sizes and
 // print the latency/sender-CPU curves for both machine generations —
 // the quantitative story behind the paper's "the overhead of PUT/GET
-// is the time for 8 store instructions".
+// is the time for 8 store instructions". A small functional-machine
+// ping-pong runs afterwards (under the race detector with -sanitize)
+// so the modeled numbers sit next to an executed exchange.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"log"
 
 	"ap1000plus"
 	"ap1000plus/internal/mlsim"
 )
 
 func main() {
+	sanitize := flag.Bool("sanitize", false, "run the functional ping-pong under the apsan communication race detector")
+	flag.Parse()
 	models := []*ap1000plus.Params{ap1000plus.AP1000(), ap1000plus.AP1000Plus()}
 	fmt.Printf("%10s | %22s | %22s\n", "", "latency (us)", "sender CPU (us)")
 	fmt.Printf("%10s | %10s %11s | %10s %11s\n", "size", models[0].Name, models[1].Name, models[0].Name, models[1].Name)
@@ -27,4 +33,58 @@ func main() {
 	fmt.Println()
 	fmt.Println("The AP1000+ sender cost never grows: the MSC+ takes over after the")
 	fmt.Println("8 command-word stores, so communication overlaps computation (S3.1).")
+	fmt.Println()
+	if err := pingPong(*sanitize); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// pingPong executes one acknowledged PUT round trip between two cells
+// of the functional machine — the exchange the model above prices.
+func pingPong(sanitize bool) error {
+	m, err := ap1000plus.NewMachine(ap1000plus.Config{Width: 2, Height: 2, Sanitize: sanitize})
+	if err != nil {
+		return err
+	}
+	const n = 128
+	segs := make([]*ap1000plus.Segment, m.Cells())
+	datas := make([][]float64, m.Cells())
+	for id := 0; id < m.Cells(); id++ {
+		seg, data, err := m.Cell(ap1000plus.CellID(id)).AllocFloat64("buf", n)
+		if err != nil {
+			return err
+		}
+		segs[id], datas[id] = seg, data
+	}
+	there := m.Cell(1).Flags.Alloc() // rises on cell 1 when the ping lands
+	back := m.Cell(0).Flags.Alloc()  // rises on cell 0 when the pong lands
+	err = m.Run(func(c *ap1000plus.Cell) error {
+		comm := ap1000plus.NewComm(c)
+		switch c.ID() {
+		case 0:
+			for i := range datas[0] {
+				datas[0][i] = float64(i)
+			}
+			if err := comm.Put(1, segs[1].Base(), segs[0].Base(), n*8,
+				ap1000plus.NoFlag, there, false); err != nil {
+				return err
+			}
+			comm.WaitFlag(back, 1)
+		case 1:
+			comm.WaitFlag(there, 1)
+			if err := comm.Put(0, segs[0].Base(), segs[1].Base(), n*8,
+				ap1000plus.NoFlag, back, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if err := m.SanitizeErr(); err != nil {
+		return err
+	}
+	fmt.Printf("functional ping-pong (%d bytes each way): %+v\n", n*8, m.TNetStats())
+	return nil
 }

@@ -8,14 +8,13 @@ import (
 // Every machine-running example must execute cleanly under -sanitize:
 // the examples are the documentation of correct flag/ack/barrier
 // discipline, so a race report in one of them is a release blocker.
-// The latency example runs no machine (pure MLSim) and has no
-// -sanitize flag.
 func TestExamplesSanitizerClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("go run per example is slow; skipped with -short")
 	}
 	examples := []string{
 		"quickstart", "matmul", "stencil", "redistribute", "dsmcounter", "tomcatv",
+		"latency",
 	}
 	for _, ex := range examples {
 		t.Run(ex, func(t *testing.T) {

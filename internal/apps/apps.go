@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"ap1000plus/internal/machine"
+	"ap1000plus/internal/obs"
 	"ap1000plus/internal/topology"
 	"ap1000plus/internal/trace"
 	"ap1000plus/internal/vpp"
@@ -40,6 +41,16 @@ type Instance struct {
 // fails if the detector reports anything.
 var Sanitize bool
 
+// Observe, when set before building an instance, enables the obs
+// counter layer on every application machine, so Machine.Metrics()
+// reports PUT/GET issue counts, bytes moved and stall times.
+var Observe bool
+
+// TimelineFor, when non-nil, is called with the app name before each
+// machine is built; a non-nil return attaches that Perfetto timeline
+// collector to the machine (implies Observe for that machine).
+var TimelineFor func(name string) *obs.Timeline
+
 // newInstance builds a machine with cells cells (squarish torus),
 // tracing under name, and a runtime per cell.
 func newInstance(name string, cells int, memPerCell int64) (*Instance, error) {
@@ -47,10 +58,15 @@ func newInstance(name string, cells int, memPerCell int64) (*Instance, error) {
 	if err != nil {
 		return nil, fmt.Errorf("apps: %s: %w", name, err)
 	}
+	var tl *obs.Timeline
+	if TimelineFor != nil {
+		tl = TimelineFor(name)
+	}
 	m, err := machine.New(machine.Config{
 		Width: tor.Width(), Height: tor.Height(),
 		MemoryPerCell: memPerCell, TraceApp: name,
 		Sanitize: Sanitize,
+		Observe:  Observe, Timeline: tl,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("apps: %s: %w", name, err)

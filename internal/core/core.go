@@ -103,9 +103,9 @@ func (c *Comm) PutStride(dst topology.CellID, raddr, laddr mem.Addr, sendFlag, r
 		return fmt.Errorf("core: put payload mismatch: send %d bytes, recv %d", sendPat.Total(), recvPat.Total())
 	}
 	if rec := c.cell.Recorder(); rec != nil {
-		items := int32(sendPat.Count)
+		items := sendPat.Count
 		if recvPat.Count > sendPat.Count {
-			items = int32(recvPat.Count)
+			items = recvPat.Count
 		}
 		rec.Put(dst, sendPat.Total(), items, trace.FlagID(sendFlag), trace.FlagID(recvFlag), ack, c.rts)
 	}
@@ -154,9 +154,9 @@ func (c *Comm) GetStride(dst topology.CellID, raddr, laddr mem.Addr, sendFlag, r
 		return fmt.Errorf("core: get payload mismatch: send %d bytes, recv %d", sendPat.Total(), recvPat.Total())
 	}
 	if rec := c.cell.Recorder(); rec != nil {
-		items := int32(sendPat.Count)
+		items := sendPat.Count
 		if recvPat.Count > sendPat.Count {
-			items = int32(recvPat.Count)
+			items = recvPat.Count
 		}
 		rec.Get(dst, sendPat.Total(), items, trace.FlagID(sendFlag), trace.FlagID(recvFlag), c.rts)
 	}

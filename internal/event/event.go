@@ -101,6 +101,17 @@ type Kernel struct {
 	seq    uint64
 	q      queue
 	events int64 // total events executed, for statistics
+	// observer, when set, runs after each executed event — the
+	// observability layer's progress hook (timeline heartbeat,
+	// event-rate metrics). It must not schedule or cancel events.
+	observer func(now Time, executed int64, pending int)
+}
+
+// SetObserver installs a callback invoked after every executed event
+// with the current time, the cumulative executed-event count, and the
+// remaining queue length. Pass nil to remove it.
+func (k *Kernel) SetObserver(fn func(now Time, executed int64, pending int)) {
+	k.observer = fn
 }
 
 // Now reports the current simulation time.
@@ -153,6 +164,9 @@ func (k *Kernel) Step() bool {
 	k.now = it.at
 	k.events++
 	it.handler(k.now)
+	if k.observer != nil {
+		k.observer(k.now, k.events, len(k.q))
+	}
 	return true
 }
 

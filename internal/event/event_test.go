@@ -230,3 +230,38 @@ func BenchmarkKernelScheduleRun(b *testing.B) {
 		k.Run()
 	}
 }
+
+// The kernel observer fires once per executed event with monotonic
+// time and an accurate executed count — the contract the timeline
+// layer relies on.
+func TestKernelObserver(t *testing.T) {
+	var k Kernel
+	var calls int64
+	last := Time(-1)
+	k.SetObserver(func(now Time, executed int64, pending int) {
+		calls++
+		if executed != calls {
+			t.Fatalf("executed = %d after %d calls", executed, calls)
+		}
+		if now < last {
+			t.Fatalf("observer time went backwards: %v < %v", now, last)
+		}
+		if pending != k.Pending() {
+			t.Fatalf("pending = %d, kernel says %d", pending, k.Pending())
+		}
+		last = now
+	})
+	for i := 0; i < 10; i++ {
+		k.At(Time(i%3), func(Time) {})
+	}
+	k.Run()
+	if calls != 10 {
+		t.Fatalf("observer called %d times, want 10", calls)
+	}
+	k.SetObserver(nil)
+	k.At(k.Now(), func(Time) {})
+	k.Run()
+	if calls != 10 {
+		t.Fatal("observer fired after removal")
+	}
+}

@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ap1000plus/internal/bnet"
 	"ap1000plus/internal/mc"
 	"ap1000plus/internal/mem"
 	"ap1000plus/internal/msc"
+	"ap1000plus/internal/obs"
 	"ap1000plus/internal/topology"
 	"ap1000plus/internal/trace"
 )
@@ -103,6 +105,43 @@ func newCell(m *Machine, id topology.CellID) (*Cell, error) {
 			s.FlagWaited(cpu, int(id), int32(f))
 		})
 	}
+	if o := m.obs; o != nil {
+		cc := o.Cell(int(id))
+		pid := int(id)
+		// Stall timing: the span starts only when a Wait actually
+		// blocks, so uncontended flag checks cost nothing extra.
+		c.Flags.SetWaitSpan(func(f mc.FlagID) func() {
+			start := time.Now()
+			return func() {
+				d := time.Since(start)
+				cc.FlagWaits.Add(1)
+				cc.FlagWaitNanos.Add(d.Nanoseconds())
+				if tl := o.Timeline(); tl != nil {
+					end := o.NowUs()
+					tl.Slice(pid, obs.TidCPU, "stall", "flag-wait", end-float64(d.Nanoseconds())/1e3, float64(d.Nanoseconds())/1e3)
+				}
+			}
+		})
+		c.OS.obsHook = func(cause InterruptCause) {
+			cc.Interrupts.Add(1)
+			if tl := o.Timeline(); tl != nil {
+				tl.Instant(pid, obs.TidMSC, "interrupt", cause.String(), o.NowUs())
+			}
+		}
+		c.MSC.SetObserver(
+			func(queue string) {
+				cc.Spills.Add(1)
+				if tl := o.Timeline(); tl != nil {
+					tl.Instant(pid, obs.TidMSC, "queue", "spill:"+queue, o.NowUs())
+				}
+			},
+			func(queue string, n int) {
+				cc.Refills.Add(int64(n))
+				if tl := o.Timeline(); tl != nil {
+					tl.Instant(pid, obs.TidMSC, "queue", "refill:"+queue, o.NowUs())
+				}
+			})
+	}
 	return c, nil
 }
 
@@ -171,14 +210,29 @@ func (c *Cell) SetMessageSink(s MessageSink) {
 
 // HWBarrier arrives at the S-net all-cells hardware barrier.
 func (c *Cell) HWBarrier() {
+	var start time.Time
+	o := c.machine.obs
+	if o != nil {
+		start = time.Now()
+	}
 	if s := c.machine.san; s != nil {
 		cpu := s.CPU(int(c.id))
 		tok := s.BarrierArrive(cpu)
 		c.machine.snet.Arrive()
 		s.BarrierDone(cpu, tok)
-		return
+	} else {
+		c.machine.snet.Arrive()
 	}
-	c.machine.snet.Arrive()
+	if o != nil {
+		d := time.Since(start)
+		cc := o.Cell(int(c.id))
+		cc.Barriers.Add(1)
+		cc.BarrierStallNanos.Add(d.Nanoseconds())
+		if tl := o.Timeline(); tl != nil {
+			end := o.NowUs()
+			tl.Slice(int(c.id), obs.TidCPU, "stall", "barrier", end-float64(d.Nanoseconds())/1e3, float64(d.Nanoseconds())/1e3)
+		}
+	}
 }
 
 // push routes a command into this cell's MSC, tracking it for drain.
@@ -216,12 +270,55 @@ func (c *Cell) sanIssue(cmd *msc.Command) {
 	}
 }
 
+// obsIssue counts a command at its issue point. No-op (one nil check,
+// no allocation) when the machine is unobserved. The zero-address GET
+// the runtime issues behind an acknowledged PUT is counted as AckGet,
+// not Get, so Put/Get totals match trace.Stats, which excludes acks.
+func (c *Cell) obsIssue(cmd *msc.Command) {
+	o := c.machine.obs
+	if o == nil {
+		return
+	}
+	cc := o.Cell(int(c.id))
+	switch cmd.Op {
+	case msc.OpPut:
+		if cmd.LStride.Count > 1 || cmd.RStride.Count > 1 {
+			cc.PutS.Add(1)
+		} else {
+			cc.Put.Add(1)
+		}
+		cc.PutBytes.Add(cmd.LStride.Total())
+	case msc.OpGet:
+		if cmd.RAddr == 0 {
+			cc.AckGet.Add(1)
+		} else {
+			if cmd.LStride.Count > 1 || cmd.RStride.Count > 1 {
+				cc.GetS.Add(1)
+			} else {
+				cc.Get.Add(1)
+			}
+			cc.GetBytes.Add(cmd.RStride.Total())
+		}
+	case msc.OpSend:
+		cc.Send.Add(1)
+		cc.SendBytes.Add(cmd.LStride.Total())
+	case msc.OpRemoteStore:
+		cc.RemoteStore.Add(1)
+	case msc.OpRemoteLoad:
+		cc.RemoteLoad.Add(1)
+	}
+	if tl := o.Timeline(); tl != nil {
+		tl.Instant(int(c.id), obs.TidCPU, "issue", cmd.Op.String(), o.NowUs())
+	}
+}
+
 // PushUser submits a user-level PUT/GET/SEND command — the paper's
 // "write the parameters one-by-one to the special address" interface.
 // The call never blocks: queue overflow spills to DRAM.
 func (c *Cell) PushUser(cmd msc.Command) {
 	cmd.Src = c.id
 	c.sanIssue(&cmd)
+	c.obsIssue(&cmd)
 	c.push(qUser, cmd)
 }
 
@@ -230,6 +327,7 @@ func (c *Cell) PushUser(cmd msc.Command) {
 func (c *Cell) PushSystem(cmd msc.Command) {
 	cmd.Src = c.id
 	c.sanIssue(&cmd)
+	c.obsIssue(&cmd)
 	c.push(qSystem, cmd)
 }
 
@@ -269,6 +367,7 @@ func (c *Cell) RemoteLoad(dst topology.CellID, raddr mem.Addr, size int64) (*mem
 		RAddr: raddr, RStride: mem.Contiguous(size), Tag: tag,
 	}
 	c.sanIssue(&cmd)
+	c.obsIssue(&cmd)
 	c.push(qRemote, cmd)
 	p := <-ch
 	if p == nil {
@@ -289,6 +388,7 @@ func (c *Cell) RemoteStore(dst topology.CellID, raddr, laddr mem.Addr, size int6
 		RStride: mem.Contiguous(size), LStride: mem.Contiguous(size),
 	}
 	c.sanIssue(&cmd)
+	c.obsIssue(&cmd)
 	c.push(qRemote, cmd)
 }
 

@@ -7,6 +7,7 @@ import (
 	"ap1000plus/internal/mc"
 	"ap1000plus/internal/mem"
 	"ap1000plus/internal/msc"
+	"ap1000plus/internal/obs"
 	"ap1000plus/internal/tnet"
 )
 
@@ -31,6 +32,18 @@ func (m *Machine) controller(c *Cell) {
 // of this call — including synchronous packet delivery on the
 // destination cell — executes as this controller's logical thread.
 func (m *Machine) process(c *Cell, cmd msc.Command) {
+	// Only this cell's controller goroutine emits slices on its MSC
+	// track, so the X slices nest cleanly.
+	var tl *obs.Timeline
+	var start float64
+	if o := m.obs; o != nil {
+		if tl = o.Timeline(); tl != nil {
+			start = o.NowUs()
+			defer func() {
+				tl.Slice(int(c.id), obs.TidMSC, "ctl", cmd.Op.String(), start, m.obs.NowUs()-start)
+			}()
+		}
+	}
 	exec := -1
 	if s := m.san; s != nil {
 		exec = s.Ctl(int(c.id))
@@ -114,6 +127,13 @@ func (m *Machine) sendData(c *Cell, cmd msc.Command, exec int) {
 	m.sanFlagInc(exec, int(c.id), cmd.SendFlag)
 	c.Flags.Inc(cmd.SendFlag)
 	m.tnet.Send(tnet.Packet{Head: cmd, Payload: payload, SanTid: exec})
+	// Send delivers synchronously on this goroutine. PUT and remote
+	// store payloads are copied out during delivery, so their buffers
+	// can recycle; SEND payloads park in the destination's ring buffer
+	// and must stay alive.
+	if cmd.Op != msc.OpSend {
+		payload.Release()
+	}
 }
 
 // reply serves a queued GET request: capture the requested range from
@@ -142,6 +162,9 @@ func (m *Machine) reply(c *Cell, cmd msc.Command, exec int) {
 	out.Src = c.id
 	out.Dst = cmd.Src // back to the requester
 	m.tnet.Send(tnet.Packet{Head: out, Payload: payload, SanTid: exec})
+	// The reply was copied into the requester's memory during the
+	// synchronous Send; recycle the buffer.
+	payload.Release()
 }
 
 // loadReply serves a queued remote load.
@@ -285,6 +308,17 @@ func (c *Cell) deliver(cmd msc.Command, payload *mem.Payload, exec int, op strin
 	}
 	// The receive hardware invalidates the cache lines the DMA wrote.
 	c.invalLines.Add((payload.Size() + CacheLineBytes - 1) / CacheLineBytes)
+	if o := c.machine.obs; o != nil {
+		cc := o.Cell(int(c.id))
+		cc.RecvDMAs.Add(1)
+		cc.DeliveredBytes.Add(payload.Size())
+		if tl := o.Timeline(); tl != nil {
+			// Receive DMAs run on the sending controller's goroutine, so
+			// several may overlap on this cell's track: instants, not
+			// slices.
+			tl.Instant(int(c.id), obs.TidMSC, "dma", "recv-dma", o.NowUs())
+		}
+	}
 	return true
 }
 

@@ -19,6 +19,7 @@ import (
 	"ap1000plus/internal/apsan"
 	"ap1000plus/internal/bnet"
 	"ap1000plus/internal/msc"
+	"ap1000plus/internal/obs"
 	"ap1000plus/internal/snet"
 	"ap1000plus/internal/tnet"
 	"ap1000plus/internal/topology"
@@ -71,6 +72,14 @@ type Config struct {
 	// barriers, acknowledgements and message receipt. Costs time and
 	// memory; near-zero cost when off.
 	Sanitize bool
+	// Observe enables the obs counter layer: per-cell atomic counters
+	// for issues, bytes, spills, interrupts and stall time, snapshot
+	// via Metrics. Zero-cost (one nil check per hook) when off.
+	Observe bool
+	// Timeline, when non-nil, additionally collects Chrome
+	// trace-event/Perfetto slices and instants for every cell CPU and
+	// MSC+ controller. Implies Observe.
+	Timeline *obs.Timeline
 }
 
 func (c *Config) fill() error {
@@ -99,6 +108,7 @@ type Machine struct {
 	ran      atomic.Bool
 	ts       *trace.TraceSet
 	san      *apsan.Sanitizer
+	obs      *obs.Observer
 
 	groupMu sync.Mutex
 	groups  []*topology.Group // index = trace.GroupID
@@ -131,6 +141,16 @@ func New(cfg Config) (*Machine, error) {
 			m.cells[r.Access.Cell].OS.interrupt(IntrSanitizer)
 		}
 	}
+	if cfg.Observe || cfg.Timeline != nil {
+		m.obs = obs.NewObserver(torus.Cells(), cfg.Timeline)
+		if tl := cfg.Timeline; tl != nil {
+			for id := 0; id < torus.Cells(); id++ {
+				tl.Process(id, fmt.Sprintf("cell %d", id))
+				tl.Thread(id, obs.TidCPU, "cpu")
+				tl.Thread(id, obs.TidMSC, "msc+")
+			}
+		}
+	}
 	for id := 0; id < torus.Cells(); id++ {
 		c, err := newCell(m, topology.CellID(id))
 		if err != nil {
@@ -160,6 +180,10 @@ func (m *Machine) BNetStats() bnet.Stats { return m.bnet.Stats() }
 
 // Barriers reports how many all-cell hardware barriers completed.
 func (m *Machine) Barriers() int64 { return m.snet.Count() }
+
+// Observer returns the observability context, or nil when neither
+// Config.Observe nor Config.Timeline was set.
+func (m *Machine) Observer() *obs.Observer { return m.obs }
 
 // Sanitizer returns the race detector, or nil when Config.Sanitize
 // was off.

@@ -1,0 +1,149 @@
+package machine
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"ap1000plus/internal/bnet"
+	"ap1000plus/internal/msc"
+	"ap1000plus/internal/obs"
+	"ap1000plus/internal/tnet"
+)
+
+// CellMetrics is the full observability snapshot for one cell: the
+// obs hot-path counters plus the state the hardware already kept
+// (queue statistics, OS interrupt log, flag increments, cache
+// invalidations).
+type CellMetrics struct {
+	obs.CellSnapshot
+	// Queues are the MSC+'s five queue counters, including the
+	// high-water marks of the hardware FIFOs.
+	Queues msc.MSCStats
+	// OSInterrupts counts interrupts by cause name.
+	OSInterrupts map[string]int64
+	// FlagIncrements is the MC's fetch-and-increment total.
+	FlagIncrements int64
+	// CacheInvalidations counts cache lines invalidated by receive DMA.
+	CacheInvalidations int64
+}
+
+// Metrics is a machine-wide observability snapshot, JSON-encodable
+// for tooling and renderable as text via Format.
+type Metrics struct {
+	Cells []CellMetrics
+	TNet  tnet.Stats
+	BNet  bnet.Stats
+	// HWBarriers counts completed all-cell S-net barriers.
+	HWBarriers int64
+	// WallNanos is wall-clock time since machine construction.
+	WallNanos int64
+}
+
+// Metrics snapshots the machine's counters. The obs fields are only
+// populated when the machine was built with Config.Observe (or a
+// Timeline); queue/interrupt/flag state is always available because
+// the hardware models keep it regardless.
+func (m *Machine) Metrics() Metrics {
+	mt := Metrics{
+		Cells:      make([]CellMetrics, len(m.cells)),
+		TNet:       m.tnet.Stats(),
+		BNet:       m.bnet.Stats(),
+		HWBarriers: m.snet.Count(),
+	}
+	if m.obs != nil {
+		mt.WallNanos = time.Since(m.obs.Start()).Nanoseconds()
+	}
+	for i, c := range m.cells {
+		cm := &mt.Cells[i]
+		if m.obs != nil {
+			cm.CellSnapshot = m.obs.Cell(i).Snapshot()
+		}
+		cm.Queues = c.MSC.Stats()
+		cm.OSInterrupts = c.OS.InterruptCounts()
+		cm.FlagIncrements = c.Flags.Increments()
+		cm.CacheInvalidations = c.CacheInvalidations()
+	}
+	return mt
+}
+
+// Totals sums the per-cell obs counters.
+func (mt *Metrics) Totals() obs.CellSnapshot {
+	var t obs.CellSnapshot
+	for i := range mt.Cells {
+		t.Add(mt.Cells[i].CellSnapshot)
+	}
+	return t
+}
+
+// QueueHighWater reports the deepest hardware-FIFO occupancy seen on
+// any queue of any cell.
+func (mt *Metrics) QueueHighWater() int {
+	hw := 0
+	for i := range mt.Cells {
+		q := &mt.Cells[i].Queues
+		for _, s := range []msc.QueueStats{q.UserSend, q.SysSend, q.RemoteAccess, q.GetReply, q.RemoteLoadReply} {
+			if s.MaxDepth > hw {
+				hw = s.MaxDepth
+			}
+		}
+	}
+	return hw
+}
+
+// queueSpills sums DRAM spills across all queues of all cells.
+func (mt *Metrics) queueSpills() (spills, refillIntrs int64) {
+	for i := range mt.Cells {
+		q := &mt.Cells[i].Queues
+		for _, s := range []msc.QueueStats{q.UserSend, q.SysSend, q.RemoteAccess, q.GetReply, q.RemoteLoadReply} {
+			spills += s.Spills
+			refillIntrs += s.Interrupts
+		}
+	}
+	return
+}
+
+// interruptTotals merges the per-cell OS interrupt counts.
+func (mt *Metrics) interruptTotals() map[string]int64 {
+	out := map[string]int64{}
+	for i := range mt.Cells {
+		for k, v := range mt.Cells[i].OSInterrupts {
+			out[k] += v
+		}
+	}
+	return out
+}
+
+// Format renders the counter report as text, machine totals first,
+// in the style of the experiment tables.
+func (mt *Metrics) Format(w io.Writer) error {
+	t := mt.Totals()
+	spills, refillIntrs := mt.queueSpills()
+	intr := mt.interruptTotals()
+	var flagIncs, inval int64
+	for i := range mt.Cells {
+		flagIncs += mt.Cells[i].FlagIncrements
+		inval += mt.Cells[i].CacheInvalidations
+	}
+	p := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := p("machine metrics (%d cells, %.3f ms wall)\n", len(mt.Cells), float64(mt.WallNanos)/1e6); err != nil {
+		return err
+	}
+	p("  issues      PUT=%d PUTS=%d GET=%d GETS=%d ackGET=%d SEND=%d rstore=%d rload=%d\n",
+		t.Put, t.PutS, t.Get, t.GetS, t.AckGet, t.Send, t.RemoteStore, t.RemoteLoad)
+	p("  bytes       put=%d get=%d send=%d delivered=%d (recv DMAs %d)\n",
+		t.PutBytes, t.GetBytes, t.SendBytes, t.DeliveredBytes, t.RecvDMAs)
+	p("  tnet        msgs=%d bytes=%d mean-dist=%.2f hops\n",
+		mt.TNet.Messages, mt.TNet.Bytes, mt.TNet.MeanDistance())
+	p("  bnet        bcasts=%d scatters=%d gathers=%d bytes=%d\n",
+		mt.BNet.Broadcasts, mt.BNet.Scatters, mt.BNet.Gathers, mt.BNet.Bytes)
+	p("  queues      high-water=%d cmds, spills=%d, refill-intrs=%d\n",
+		mt.QueueHighWater(), spills, refillIntrs)
+	p("  interrupts  total=%d %v\n", t.Interrupts, intr)
+	p("  sync        flag-waits=%d (%.3f ms stalled), barriers=%d (%.3f ms stalled), hw-barriers=%d\n",
+		t.FlagWaits, float64(t.FlagWaitNanos)/1e6, t.Barriers, float64(t.BarrierStallNanos)/1e6, mt.HWBarriers)
+	return p("  mc          flag-incs=%d, cache-lines-invalidated=%d\n", flagIncs, inval)
+}

@@ -1,0 +1,217 @@
+package machine
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ap1000plus/internal/mc"
+	"ap1000plus/internal/mem"
+	"ap1000plus/internal/msc"
+	"ap1000plus/internal/obs"
+	"ap1000plus/internal/topology"
+)
+
+// runKnownExchange drives a fixed, fully deterministic communication
+// pattern: cell 0 issues a contiguous PUT (64 B) and a stride PUT
+// (32 B) to cell 1, a GET (32 B) from cell 2, and an acknowledge GET
+// (address 0) behind the PUTs; everyone barriers at the end.
+func runKnownExchange(t *testing.T, m *Machine) {
+	t.Helper()
+	segs := make([]*mem.Segment, 4)
+	for id := 0; id < 4; id++ {
+		seg, data, err := m.Cell(topology.CellID(id)).AllocFloat64("buf", 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range data {
+			data[i] = float64(id*1000 + i)
+		}
+		segs[id] = seg
+	}
+	rf0 := m.Cell(0).Flags.Alloc()
+	rf1 := m.Cell(1).Flags.Alloc()
+	err := m.Run(func(c *Cell) error {
+		if c.ID() == 0 {
+			c.PushUser(msc.Command{
+				Op: msc.OpPut, Dst: 1,
+				RAddr: segs[1].Base(), LAddr: segs[0].Base(),
+				RStride: mem.Contiguous(64), LStride: mem.Contiguous(64),
+				RecvFlag: rf1,
+			})
+			c.PushUser(msc.Command{
+				Op: msc.OpPut, Dst: 1,
+				RAddr: segs[1].Base() + 64, LAddr: segs[0].Base(),
+				RStride: mem.Contiguous(32),
+				LStride:  mem.Stride{ItemSize: 8, Count: 4, Skip: 24},
+				RecvFlag: rf1,
+			})
+			c.PushUser(msc.Command{
+				Op: msc.OpGet, Dst: 2,
+				RAddr: segs[2].Base(), LAddr: segs[0].Base() + 256,
+				RStride: mem.Contiguous(32), LStride: mem.Contiguous(32),
+				RecvFlag: rf0,
+			})
+			c.PushUser(msc.Command{
+				Op: msc.OpGet, Dst: 1,
+				RStride: mem.Contiguous(1), LStride: mem.Contiguous(1),
+				RecvFlag: mc.AckFlagID,
+			})
+			c.Flags.Wait(mc.AckFlagID, 1)
+			c.Flags.Wait(rf0, 1)
+		}
+		if c.ID() == 1 {
+			c.Flags.Wait(rf1, 2)
+		}
+		c.HWBarrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMetricsCountersKnownExchange pins the counter snapshot of the
+// known exchange exactly: every deterministic field, per cell and in
+// total.
+func TestMetricsCountersKnownExchange(t *testing.T) {
+	m := newMachine(t, Config{Observe: true})
+	runKnownExchange(t, m)
+	mt := m.Metrics()
+
+	tot := mt.Totals()
+	if tot.Put != 1 || tot.PutS != 1 || tot.Get != 1 || tot.GetS != 0 || tot.AckGet != 1 {
+		t.Errorf("issue totals = %+v", tot)
+	}
+	if tot.Send != 0 || tot.RemoteStore != 0 || tot.RemoteLoad != 0 {
+		t.Errorf("unexpected send/remote issues: %+v", tot)
+	}
+	if tot.PutBytes != 96 || tot.GetBytes != 32 || tot.SendBytes != 0 {
+		t.Errorf("byte totals = put %d get %d send %d", tot.PutBytes, tot.GetBytes, tot.SendBytes)
+	}
+	// Three data-bearing deliveries: two PUTs into cell 1, the GET
+	// reply into cell 0. The acknowledge GET carries no data and must
+	// not count as a receive DMA.
+	if tot.RecvDMAs != 3 || tot.DeliveredBytes != 128 {
+		t.Errorf("recv DMAs = %d (%d bytes), want 3 (128)", tot.RecvDMAs, tot.DeliveredBytes)
+	}
+	if tot.Barriers != 4 {
+		t.Errorf("barrier arrivals = %d, want 4", tot.Barriers)
+	}
+	if tot.Interrupts != 0 || tot.Spills != 0 || tot.Refills != 0 {
+		t.Errorf("interrupts/spills = %+v", tot)
+	}
+
+	// Per-cell attribution.
+	c0, c1, c2 := mt.Cells[0].CellSnapshot, mt.Cells[1].CellSnapshot, mt.Cells[2].CellSnapshot
+	if c0.Put != 1 || c0.PutS != 1 || c0.Get != 1 || c0.AckGet != 1 {
+		t.Errorf("cell 0 issues = %+v", c0)
+	}
+	if c0.RecvDMAs != 1 || c0.DeliveredBytes != 32 {
+		t.Errorf("cell 0 recv = %d DMAs, %d bytes", c0.RecvDMAs, c0.DeliveredBytes)
+	}
+	if c1.RecvDMAs != 2 || c1.DeliveredBytes != 96 {
+		t.Errorf("cell 1 recv = %d DMAs, %d bytes", c1.RecvDMAs, c1.DeliveredBytes)
+	}
+	if c2.Put != 0 || c2.Get != 0 || c2.RecvDMAs != 0 {
+		t.Errorf("cell 2 should only serve the GET: %+v", c2)
+	}
+
+	// Wire accounting: PUT + stride PUT + GET req/reply + ack req/reply.
+	if mt.TNet.Messages != 6 {
+		t.Errorf("tnet messages = %d, want 6", mt.TNet.Messages)
+	}
+	if mt.HWBarriers != 1 {
+		t.Errorf("hw barriers = %d, want 1", mt.HWBarriers)
+	}
+
+	// Counter report renders and mentions the headline numbers.
+	var buf bytes.Buffer
+	if err := mt.Format(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"PUT=1", "PUTS=1", "GET=1", "ackGET=1", "delivered=128", "hw-barriers=1"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestMetricsWithoutObserve: an unobserved machine has a nil Observer
+// and an all-zero obs snapshot, but the hardware-kept state (queue
+// stats, flag increments) is still populated.
+func TestMetricsWithoutObserve(t *testing.T) {
+	m := newMachine(t, Config{})
+	if m.Observer() != nil {
+		t.Fatal("observer must be nil without Config.Observe")
+	}
+	runKnownExchange(t, m)
+	mt := m.Metrics()
+	if tot := mt.Totals(); tot != (obs.CellSnapshot{}) {
+		t.Errorf("unobserved counters non-zero: %+v", tot)
+	}
+	if mt.Cells[0].Queues.UserSend.Pushes != 4 {
+		t.Errorf("queue pushes = %d, want 4", mt.Cells[0].Queues.UserSend.Pushes)
+	}
+	if mt.Cells[1].FlagIncrements == 0 {
+		t.Error("flag increments missing")
+	}
+}
+
+// TestTimelineFromKnownExchange checks the functional machine's
+// timeline: valid trace JSON, metadata for every cell, issue instants
+// and controller slices present, and X slices properly nested per
+// track.
+func TestTimelineFromKnownExchange(t *testing.T) {
+	tl := obs.NewTimeline()
+	m := newMachine(t, Config{Timeline: tl})
+	if m.Observer() == nil {
+		t.Fatal("Timeline must imply Observe")
+	}
+	runKnownExchange(t, m)
+
+	ev := tl.Events()
+	if err := obs.CheckSliceNesting(ev); err != nil {
+		t.Errorf("slice nesting: %v", err)
+	}
+	procs := map[int]bool{}
+	cats := map[string]int{}
+	for _, e := range ev {
+		if e.Ph == "M" && e.Name == "process_name" {
+			procs[e.Pid] = true
+		}
+		cats[e.Cat]++
+	}
+	for id := 0; id < 4; id++ {
+		if !procs[id] {
+			t.Errorf("cell %d has no process metadata", id)
+		}
+	}
+	if cats["issue"] != 4 {
+		t.Errorf("issue instants = %d, want 4", cats["issue"])
+	}
+	// Every processed command emits a controller slice: 4 issued + 2
+	// GET replies served.
+	if cats["ctl"] != 6 {
+		t.Errorf("ctl slices = %d, want 6", cats["ctl"])
+	}
+	if cats["dma"] != 3 {
+		t.Errorf("recv-dma instants = %d, want 3", cats["dma"])
+	}
+
+	var buf bytes.Buffer
+	if err := tl.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []obs.TraceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("timeline JSON invalid: %v", err)
+	}
+	if len(f.TraceEvents) != len(ev) {
+		t.Errorf("JSON has %d events, collector has %d", len(f.TraceEvents), len(ev))
+	}
+}

@@ -43,6 +43,9 @@ type OS struct {
 	mu         sync.Mutex
 	interrupts [numInterruptCauses]int64
 	faults     []error
+	// obsHook, when set, observes every interrupt (obs layer); it runs
+	// outside the OS lock on the interrupted goroutine.
+	obsHook func(InterruptCause)
 }
 
 func newOS() *OS { return &OS{} }
@@ -50,7 +53,11 @@ func newOS() *OS { return &OS{} }
 func (o *OS) interrupt(cause InterruptCause) {
 	o.mu.Lock()
 	o.interrupts[cause]++
+	hook := o.obsHook
 	o.mu.Unlock()
+	if hook != nil {
+		hook(cause)
+	}
 }
 
 func (o *OS) fault(err error) {
@@ -68,6 +75,20 @@ func (o *OS) Interrupts(cause InterruptCause) int64 {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	return o.interrupts[cause]
+}
+
+// InterruptCounts reports all interrupt counters keyed by cause name,
+// in the form the metrics snapshot serializes.
+func (o *OS) InterruptCounts() map[string]int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make(map[string]int64, numInterruptCauses)
+	for c := InterruptCause(0); c < numInterruptCauses; c++ {
+		if o.interrupts[c] != 0 {
+			out[c.String()] = o.interrupts[c]
+		}
+	}
+	return out
 }
 
 // Faults returns a copy of the fault log.

@@ -45,6 +45,12 @@ type Flags struct {
 	// waitObs, when set, runs after every satisfied Wait, outside the
 	// monitor lock — the sanitizer's flag-acquire hook.
 	waitObs func(FlagID)
+	// waitSpan, when set, runs at the start of every Wait that
+	// actually blocks; the returned func runs after the wait is
+	// satisfied, outside the monitor lock — the observability layer's
+	// stall-timing hook. The callback is invoked under the monitor
+	// lock and must not call back into Flags.
+	waitSpan func(FlagID) func()
 }
 
 // SetWaitObserver installs a callback invoked after each Wait call is
@@ -52,6 +58,15 @@ type Flags struct {
 func (f *Flags) SetWaitObserver(fn func(FlagID)) {
 	f.mu.Lock()
 	f.waitObs = fn
+	f.mu.Unlock()
+}
+
+// SetWaitSpan installs a callback invoked when a Wait blocks; the
+// func it returns is invoked once the wait is satisfied. Install
+// before traffic flows (machine construction).
+func (f *Flags) SetWaitSpan(fn func(FlagID) func()) {
+	f.mu.Lock()
+	f.waitSpan = fn
 	f.mu.Unlock()
 }
 
@@ -137,11 +152,18 @@ func (f *Flags) Wait(id FlagID, target int64) {
 		return
 	}
 	f.mu.Lock()
+	var end func()
+	if f.waitSpan != nil && f.vals[id] < target {
+		end = f.waitSpan(id)
+	}
 	for f.vals[id] < target {
 		f.cond.Wait()
 	}
 	obs := f.waitObs
 	f.mu.Unlock()
+	if end != nil {
+		end()
+	}
 	if obs != nil {
 		obs(id)
 	}

@@ -325,8 +325,14 @@ func CopyStride(dst *Space, dstAddr Addr, dstPat Stride, src *Space, srcAddr Add
 	if err != nil {
 		return fmt.Errorf("mem: stride destination: %w", err)
 	}
-	soff := int64(srcAddr - sseg.base)
-	doff := int64(dstAddr - dseg.base)
+	return copyStrideSegs(dseg, int64(dstAddr-dseg.base), dstPat, sseg, int64(srcAddr-sseg.base), srcPat)
+}
+
+// copyStrideSegs is the stride-DMA inner loop over resolved segments:
+// the source pattern at soff within sseg streams into the destination
+// pattern at doff within dseg. Patterns must already be validated and
+// total-matched.
+func copyStrideSegs(dseg *Segment, doff int64, dstPat Stride, sseg *Segment, soff int64, srcPat Stride) error {
 	var (
 		si, di       int64 // item indices
 		sfill, dfill int64 // bytes already consumed/produced in current item

@@ -1,20 +1,33 @@
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Payload is data in flight: the send DMA captures the source pattern
 // into a private buffer at send time (so the sender may reuse the
 // source area as soon as its send flag rises, per S3.1), and the
 // receive DMA delivers it into the destination pattern on arrival.
+//
+// The buffer is owned by the payload itself (no per-message address
+// space), and payloads recycle through a pool so the PUT fast path
+// does not allocate: capture reuses a pooled buffer, and the machine's
+// synchronous delivery paths hand it back with Release.
 type Payload struct {
-	space *Space
-	base  Addr
-	size  int64
+	// seg is the private backing buffer, preserving the source
+	// segment's representation so numeric data never round-trips
+	// through bytes. Its base is always 0.
+	seg  Segment
+	size int64
 	// san carries the producer's released sanitizer clock for
 	// payloads that hop threads asynchronously (SEND ring buffers,
 	// broadcasts, remote-load replies); nil when not sanitized.
 	san any
 }
+
+// payloadPool recycles payload buffers across captures.
+var payloadPool = sync.Pool{New: func() any { return new(Payload) }}
 
 // SetSan attaches a sanitizer release token to the payload.
 func (p *Payload) SetSan(tok any) {
@@ -39,9 +52,50 @@ func (p *Payload) Size() int64 {
 	return p.size
 }
 
-// CapturePayload reads srcPat at (src, addr) into a fresh payload
-// buffer, preserving the source segment's representation so numeric
-// data never round-trips through bytes.
+// reset prepares the payload to hold size bytes of the given kind,
+// reusing buffer capacity from a previous life when possible.
+func (p *Payload) reset(kind Kind, size int64) {
+	p.size = size
+	p.san = nil
+	p.seg.name = "payload"
+	p.seg.base = 0
+	p.seg.size = size
+	p.seg.kind = kind
+	// Grow only the active representation; the other keeps its
+	// capacity for a future capture of that kind.
+	switch kind {
+	case Float64:
+		n := int(size / 8)
+		if cap(p.seg.f64) < n {
+			p.seg.f64 = make([]float64, n)
+		} else {
+			p.seg.f64 = p.seg.f64[:n]
+		}
+	default:
+		if cap(p.seg.bytes) < int(size) {
+			p.seg.bytes = make([]byte, size)
+		} else {
+			p.seg.bytes = p.seg.bytes[:size]
+		}
+	}
+}
+
+// Release returns the payload's buffer to the capture pool. Only a
+// caller that knows the payload is dead may release it: the machine's
+// synchronous delivery paths (PUT, remote store, GET reply) qualify;
+// payloads parked in ring buffers, broadcast inboxes or reply
+// channels must be left to the garbage collector.
+func (p *Payload) Release() {
+	if p == nil {
+		return
+	}
+	p.san = nil
+	payloadPool.Put(p)
+}
+
+// CapturePayload reads srcPat at (src, addr) into a payload buffer,
+// preserving the source segment's representation so numeric data
+// never round-trips through bytes.
 func CapturePayload(src *Space, addr Addr, srcPat Stride) (*Payload, error) {
 	if err := srcPat.Validate(); err != nil {
 		return nil, err
@@ -51,25 +105,19 @@ func CapturePayload(src *Space, addr Addr, srcPat Stride) (*Payload, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mem: capture: %w", err)
 	}
-	staging, err := NewSpace(total + PageSize)
-	if err != nil {
-		return nil, err
-	}
 	kind := seg.Kind()
-	size := total
-	if kind == Float64 && size%8 != 0 {
+	if kind == Float64 && total%8 != 0 {
 		// A sub-element byte transfer from a float segment must fall
 		// back to byte representation.
 		kind = Bytes
 	}
-	pseg, err := staging.Alloc("payload", kind, size)
-	if err != nil {
+	p := payloadPool.Get().(*Payload)
+	p.reset(kind, total)
+	if err := copyStrideSegs(&p.seg, 0, Contiguous(total), seg, int64(addr-seg.base), srcPat); err != nil {
+		p.Release()
 		return nil, err
 	}
-	if err := CopyStride(staging, pseg.Base(), Contiguous(total), src, addr, srcPat); err != nil {
-		return nil, err
-	}
-	return &Payload{space: staging, base: pseg.Base(), size: total}, nil
+	return p, nil
 }
 
 // Deliver writes the payload into dstPat at (dst, addr) — the receive
@@ -78,37 +126,34 @@ func (p *Payload) Deliver(dst *Space, addr Addr, dstPat Stride) error {
 	if p == nil {
 		return nil
 	}
+	if err := dstPat.Validate(); err != nil {
+		return err
+	}
 	if dstPat.Total() != p.size {
 		return fmt.Errorf("mem: deliver: pattern wants %d bytes, payload has %d", dstPat.Total(), p.size)
 	}
-	return CopyStride(dst, addr, dstPat, p.space, p.base, Contiguous(p.size))
+	dseg, err := dst.Resolve(addr, dstPat.Extent())
+	if err != nil {
+		return fmt.Errorf("mem: deliver: %w", err)
+	}
+	return copyStrideSegs(dseg, int64(addr-dseg.base), dstPat, &p.seg, 0, Contiguous(p.size))
 }
 
 // Float64s returns the payload as float64 values when it was captured
 // from a Float64 segment; ok reports whether that representation is
 // available. Used by reduction operators that combine in-flight data.
 func (p *Payload) Float64s() (vals []float64, ok bool) {
-	if p == nil {
+	if p == nil || p.seg.kind != Float64 {
 		return nil, false
 	}
-	seg, err := p.space.Resolve(p.base, p.size)
-	if err != nil || seg.Kind() != Float64 {
-		return nil, false
-	}
-	off := int64(p.base-seg.Base()) / 8
-	return seg.Float64Data()[off : off+p.size/8], true
+	return p.seg.f64[:p.size/8], true
 }
 
 // Bytes returns the payload as raw bytes when it was captured from a
 // Bytes segment.
 func (p *Payload) Bytes() (data []byte, ok bool) {
-	if p == nil {
+	if p == nil || p.seg.kind != Bytes {
 		return nil, false
 	}
-	seg, err := p.space.Resolve(p.base, p.size)
-	if err != nil || seg.Kind() != Bytes {
-		return nil, false
-	}
-	off := int64(p.base - seg.Base())
-	return seg.BytesData()[off : off+p.size], true
+	return p.seg.bytes[:p.size], true
 }

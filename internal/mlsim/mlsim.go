@@ -20,6 +20,7 @@ import (
 	"sort"
 
 	"ap1000plus/internal/event"
+	"ap1000plus/internal/obs"
 	"ap1000plus/internal/params"
 	"ap1000plus/internal/topology"
 	"ap1000plus/internal/trace"
@@ -164,6 +165,10 @@ type Sim struct {
 	msgLog      []Message
 	// queues carries the per-PE queue-occupancy extension state.
 	queues []*queueModel
+	// tl, when non-nil, collects a Perfetto timeline of the replay in
+	// simulated time: one slice per executed trace event on each PE's
+	// CPU track, async spans for wire/DMA activity on the MSC track.
+	tl *obs.Timeline
 }
 
 // Message is one logged network message: who sent what where, and
@@ -208,6 +213,20 @@ func New(ts *trace.TraceSet, p *params.Params) (*Sim, error) {
 	return s, nil
 }
 
+// AttachTimeline directs the replay to emit Perfetto trace events
+// (in simulated time) into tl. Call before run.
+func (s *Sim) AttachTimeline(tl *obs.Timeline) {
+	s.tl = tl
+	if tl == nil {
+		return
+	}
+	for id := 0; id < s.ts.Meta.PEs; id++ {
+		tl.Process(id, fmt.Sprintf("PE %d", id))
+		tl.Thread(id, obs.TidCPU, "cpu")
+		tl.Thread(id, obs.TidMSC, "wire/dma")
+	}
+}
+
 // Run replays the whole trace and returns the result. The replay is
 // deterministic: PEs advance round-robin, each as far as its
 // dependencies allow.
@@ -216,6 +235,17 @@ func Run(ts *trace.TraceSet, p *params.Params) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return s.run()
+}
+
+// RunWithTimeline replays the trace while collecting a simulated-time
+// Perfetto timeline into tl.
+func RunWithTimeline(ts *trace.TraceSet, p *params.Params, tl *obs.Timeline) (*Result, error) {
+	s, err := New(ts, p)
+	if err != nil {
+		return nil, err
+	}
+	s.AttachTimeline(tl)
 	return s.run()
 }
 
@@ -299,8 +329,62 @@ func (pe *pe) idleUntil(at event.Time) {
 	}
 }
 
-// step tries to execute one event; false means blocked.
+// step tries to execute one event; false means blocked. With a
+// timeline attached it wraps the execution in a CPU-track slice.
 func (s *Sim) step(pe *pe, e *trace.Event) bool {
+	if s.tl == nil {
+		return s.stepExec(pe, e)
+	}
+	t0 := pe.now
+	intr := pe.pendingIntr
+	ok := s.stepExec(pe, e)
+	if ok && pe.now > t0 {
+		// pe.now only moves forward, and only this step call moves it,
+		// so the per-PE CPU slices are sequential and nest trivially.
+		cat, name := sliceKind(e)
+		s.tl.Slice(pe.id, obs.TidCPU, cat, name, t0.Us(), (pe.now - t0).Us())
+		if intr > 0 && pe.pendingIntr < intr {
+			// applyIntr folded the pending handler time at the start of
+			// this event's span; show it as a nested sub-slice.
+			s.tl.Slice(pe.id, obs.TidCPU, "intr", "intr-handler", t0.Us(), intr.Us())
+		}
+	}
+	return ok
+}
+
+// sliceKind maps a trace event to its timeline category and label.
+func sliceKind(e *trace.Event) (cat, name string) {
+	switch e.Kind {
+	case trace.KindCompute:
+		return "compute", "compute"
+	case trace.KindPut:
+		if e.Items > 1 {
+			return "issue", "puts"
+		}
+		return "issue", "put"
+	case trace.KindGet:
+		if e.Items > 1 {
+			return "issue", "gets"
+		}
+		return "issue", "get"
+	case trace.KindSend:
+		return "issue", "send"
+	case trace.KindRecv:
+		return "stall", "recv"
+	case trace.KindFlagWait:
+		return "stall", "flag-wait"
+	case trace.KindBarrier:
+		return "stall", "barrier"
+	case trace.KindGopScalar:
+		return "stall", "gop"
+	case trace.KindGopVector:
+		return "stall", "vgop"
+	}
+	return "event", e.Kind.String()
+}
+
+// stepExec executes one event; false means blocked.
+func (s *Sim) stepExec(pe *pe, e *trace.Event) bool {
 	switch e.Kind {
 	case trace.KindCompute:
 		pe.applyIntr()
@@ -413,6 +497,9 @@ func (s *Sim) chargeQueue(pe *pe, size int64) {
 	occupy := s.dmaLaunch() + us(s.p.PutMsgTime*float64(size))
 	intr := us(s.p.IntrRtcTime + s.p.RecvDmaSetTime)
 	if charge := s.queues[pe.id].push(pe.now, occupy, intr); charge > 0 {
+		if s.tl != nil {
+			s.tl.Instant(pe.id, obs.TidMSC, "interrupt", "queue-refill", pe.now.Us())
+		}
 		pe.charge(&pe.stats.Overhead, charge)
 	}
 }
@@ -489,6 +576,9 @@ func (s *Sim) doPut(pe *pe, e *trace.Event) {
 	depart := pe.now + s.dmaLaunch()
 	s.logMessage(pe.id, dst, depart, e.Size)
 	arrive := depart + s.wireTime(e.Size, dist)
+	if s.tl != nil {
+		s.tl.Async(pe.id, obs.TidMSC, "wire", "put-wire", depart.Us(), arrive.Us())
+	}
 	lat, cpu := s.recvHandling(e.Size)
 	s.pes[dst].pendingIntr += cpu + pack
 	ready := arrive + lat + pack
@@ -507,6 +597,9 @@ func (s *Sim) doPut(pe *pe, e *trace.Event) {
 			s.account(dst, pe.id, 0)
 			s.logMessage(dst, pe.id, lastArrive+us(s.p.PutDmaSetTime), 0)
 			ackArrive := lastArrive + us(s.p.PutDmaSetTime) + s.wireTime(0, dist)
+			if s.tl != nil {
+				s.tl.Async(pe.id, obs.TidMSC, "wire", "direct-ack", lastArrive.Us(), ackArrive.Us())
+			}
 			s.incFlag(pe.id, trace.AckFlag, ackArrive+us(s.p.RecvCompleteFlagTime))
 			return
 		}
@@ -528,6 +621,9 @@ func (s *Sim) doPut(pe *pe, e *trace.Event) {
 		s.logMessage(dst, pe.id, reqArrive, 0)
 		turn := us(s.p.RecvDmaSetTime + s.p.PutDmaSetTime)
 		ackArrive := reqArrive + turn + s.wireTime(0, dist)
+		if s.tl != nil {
+			s.tl.Async(pe.id, obs.TidMSC, "wire", "ack-get", (pe.now + s.dmaLaunch()).Us(), ackArrive.Us())
+		}
 		s.incFlag(pe.id, trace.AckFlag, ackArrive+us(s.p.RecvCompleteFlagTime))
 	}
 }
@@ -561,6 +657,10 @@ func (s *Sim) doGet(pe *pe, e *trace.Event) {
 	s.account(dst, pe.id, e.Size)
 	s.logMessage(dst, pe.id, reqArrive+replyDelay+pack, e.Size)
 	replyArrive := reqArrive + replyDelay + pack + s.wireTime(e.Size, dist)
+	if s.tl != nil {
+		s.tl.Async(pe.id, obs.TidMSC, "wire", "get-req", (pe.now + s.dmaLaunch()).Us(), reqArrive.Us())
+		s.tl.Async(pe.id, obs.TidMSC, "wire", "get-reply", (reqArrive + replyDelay + pack).Us(), replyArrive.Us())
+	}
 	lat, cpu := s.recvHandling(e.Size)
 	pe.pendingIntr += cpu + pack
 	s.incFlag(dst, e.SendFlag, reqArrive+replyDelay+pack)
@@ -579,6 +679,9 @@ func (s *Sim) doSend(pe *pe, e *trace.Event) {
 	wire := s.wireTime(e.Size, dist)
 	pe.idleUntil(depart + us(s.p.PutMsgTime*float64(e.Size)))
 	arrive := depart + wire
+	if s.tl != nil {
+		s.tl.Async(pe.id, obs.TidMSC, "wire", "send-wire", depart.Us(), arrive.Us())
+	}
 	lat, cpu := s.recvHandling(e.Size)
 	s.pes[int(e.Peer)].pendingIntr += cpu
 	key := [2]int{pe.id, int(e.Peer)}

@@ -36,7 +36,7 @@ func randomTrace(seed int64, pes int) *trace.TraceSet {
 				counts[dst]++
 			case 2:
 				dst := topology.CellID(rng.Intn(pes))
-				r.Put(dst, int64(8+rng.Intn(1024)), int32(2+rng.Intn(64)), trace.NoFlag, 5, false, true)
+				r.Put(dst, int64(8+rng.Intn(1024)), int64(2+rng.Intn(64)), trace.NoFlag, 5, false, true)
 				counts[dst]++
 			case 3:
 				r.Get(topology.CellID(rng.Intn(pes)), int64(1+rng.Intn(2048)), 1, trace.NoFlag, trace.NoFlag, false)

@@ -1,0 +1,111 @@
+package mlsim
+
+import (
+	"testing"
+
+	"ap1000plus/internal/obs"
+	"ap1000plus/internal/params"
+	"ap1000plus/internal/trace"
+)
+
+// timelineExchange is a small deterministic program: PE0 computes and
+// PUTs to PE1, which waits on the flag; everyone barriers.
+func timelineExchange() *trace.TraceSet {
+	return synthetic("tl", func(pe int, r *trace.Recorder) {
+		switch pe {
+		case 0:
+			r.Compute(50)
+			r.Put(1, 1024, 1, 0, 7, false, false)
+		case 1:
+			r.FlagWait(7, 1)
+		}
+		r.Barrier(trace.AllGroup)
+	})
+}
+
+// TestRunWithTimelineMatchesRun: collecting a timeline must not
+// change the simulation result — same elapsed time, same per-PE
+// breakdown.
+func TestRunWithTimelineMatchesRun(t *testing.T) {
+	ts := timelineExchange()
+	plain := mustRun(t, ts, params.AP1000Plus())
+	tl := obs.NewTimeline()
+	timed, err := RunWithTimeline(ts, params.AP1000Plus(), tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if timed.Elapsed != plain.Elapsed {
+		t.Errorf("elapsed with timeline %v, without %v", timed.Elapsed, plain.Elapsed)
+	}
+	for pe := range plain.PE {
+		if timed.PE[pe] != plain.PE[pe] {
+			t.Errorf("PE %d stats diverge: %+v vs %+v", pe, timed.PE[pe], plain.PE[pe])
+		}
+	}
+	if tl.Len() == 0 {
+		t.Fatal("timeline empty")
+	}
+}
+
+// TestMLSimTimelineShape validates the emitted events: simulated-time
+// CPU slices that nest per track, named processes for every PE, and
+// balanced async wire spans on the MSC track.
+func TestMLSimTimelineShape(t *testing.T) {
+	ts := timelineExchange()
+	tl := obs.NewTimeline()
+	if _, err := RunWithTimeline(ts, params.AP1000Plus(), tl); err != nil {
+		t.Fatal(err)
+	}
+	ev := tl.Events()
+	if err := obs.CheckSliceNesting(ev); err != nil {
+		t.Errorf("slice nesting: %v", err)
+	}
+	procs := map[int]bool{}
+	cats := map[string]int{}
+	begins, ends := 0, 0
+	var computeSlice *obs.TraceEvent
+	for i := range ev {
+		e := &ev[i]
+		switch e.Ph {
+		case "M":
+			if e.Name == "process_name" {
+				procs[e.Pid] = true
+			}
+			continue
+		case "b":
+			begins++
+		case "e":
+			ends++
+		case "X":
+			if e.Tid != obs.TidCPU {
+				t.Errorf("X slice off the CPU track: %+v", *e)
+			}
+			if e.Cat == "compute" && e.Pid == 0 {
+				computeSlice = e
+			}
+		}
+		cats[e.Cat]++
+	}
+	for pe := 0; pe < 4; pe++ {
+		if !procs[pe] {
+			t.Errorf("PE %d has no process metadata", pe)
+		}
+	}
+	if begins == 0 || begins != ends {
+		t.Errorf("async spans unbalanced: %d begins, %d ends", begins, ends)
+	}
+	for _, cat := range []string{"compute", "issue", "stall", "wire"} {
+		if cats[cat] == 0 {
+			t.Errorf("no %q events emitted", cat)
+		}
+	}
+	// Simulated time: Compute(50) is recorded in base-SPARC µs and the
+	// AP1000+ model's 8x compute factor scales it to 50/8 µs, starting
+	// at t=0.
+	if computeSlice == nil {
+		t.Fatal("PE0 compute slice missing")
+	}
+	if computeSlice.TS != 0 || computeSlice.Dur != 50.0/8 {
+		t.Errorf("compute slice at %v for %v µs, want 0 for %v", computeSlice.TS, computeSlice.Dur, 50.0/8)
+	}
+}

@@ -125,9 +125,22 @@ type QueueStats struct {
 type Queue struct {
 	name     string
 	capacity int // commands (QueueWords / CommandWords)
-	hw       []Command
-	spill    []Command
-	stats    QueueStats
+	// hw is the fixed hardware FIFO, a ring of capacity entries
+	// (allocated on first use, never grown — this is the steady-state
+	// hot path and must not allocate per command).
+	hw     []Command
+	hwHead int
+	hwLen  int
+	// spill is the DRAM overflow buffer: appended at the tail,
+	// consumed from spillHead, storage reused once drained.
+	spill     []Command
+	spillHead int
+	stats     QueueStats
+	// onSpill/onRefill, when set, observe DRAM spills and OS refill
+	// interrupts (observability layer). Called with the owner's lock
+	// held; they must not call back into the queue.
+	onSpill  func(queue string)
+	onRefill func(queue string, n int)
 }
 
 // NewQueue builds a queue holding capacityWords of commands.
@@ -138,35 +151,51 @@ func NewQueue(name string, capacityWords int) *Queue {
 	return &Queue{name: name, capacity: capacityWords / CommandWords}
 }
 
+// spillLen reports pending commands in the DRAM buffer.
+func (q *Queue) spillLen() int { return len(q.spill) - q.spillHead }
+
+// hwPush appends to the hardware ring; the caller checked capacity.
+func (q *Queue) hwPush(c Command) {
+	if q.hw == nil {
+		q.hw = make([]Command, q.capacity)
+	}
+	q.hw[(q.hwHead+q.hwLen)%q.capacity] = c
+	q.hwLen++
+	if q.hwLen > q.stats.MaxDepth {
+		q.stats.MaxDepth = q.hwLen
+	}
+}
+
 // Push appends a command. It never rejects: overflow goes to the DRAM
 // spill buffer exactly like the hardware.
 func (q *Queue) Push(c Command) {
 	q.stats.Pushes++
-	if len(q.spill) > 0 || len(q.hw) >= q.capacity {
+	if q.spillLen() > 0 || q.hwLen >= q.capacity {
 		q.spill = append(q.spill, c)
 		q.stats.Spills++
+		if q.onSpill != nil {
+			q.onSpill(q.name)
+		}
 		return
 	}
-	q.hw = append(q.hw, c)
-	if len(q.hw) > q.stats.MaxDepth {
-		q.stats.MaxDepth = len(q.hw)
-	}
+	q.hwPush(c)
 }
 
 // Pop removes the oldest command. When the hardware queue drains and
 // spilled commands exist, the MSC+ interrupts the OS, which refills
 // the queue from DRAM.
 func (q *Queue) Pop() (Command, bool) {
-	if len(q.hw) == 0 {
-		if len(q.spill) == 0 {
+	if q.hwLen == 0 {
+		if q.spillLen() == 0 {
 			return Command{}, false
 		}
 		q.refill()
 	}
-	c := q.hw[0]
-	q.hw = q.hw[1:]
+	c := q.hw[q.hwHead]
+	q.hwHead = (q.hwHead + 1) % q.capacity
+	q.hwLen--
 	q.stats.Pops++
-	if len(q.hw) == 0 && len(q.spill) > 0 {
+	if q.hwLen == 0 && q.spillLen() > 0 {
 		q.refill()
 	}
 	return c, true
@@ -174,20 +203,27 @@ func (q *Queue) Pop() (Command, bool) {
 
 func (q *Queue) refill() {
 	q.stats.Interrupts++
-	n := q.capacity
-	if n > len(q.spill) {
-		n = len(q.spill)
+	n := q.capacity - q.hwLen
+	if l := q.spillLen(); n > l {
+		n = l
 	}
-	q.hw = append(q.hw, q.spill[:n]...)
-	q.spill = q.spill[n:]
+	for i := 0; i < n; i++ {
+		q.hwPush(q.spill[q.spillHead+i])
+	}
+	q.spillHead += n
+	if q.spillHead == len(q.spill) {
+		// Fully drained: reuse the buffer's storage from the start.
+		q.spill = q.spill[:0]
+		q.spillHead = 0
+	}
 	q.stats.Refills += int64(n)
-	if len(q.hw) > q.stats.MaxDepth {
-		q.stats.MaxDepth = len(q.hw)
+	if q.onRefill != nil {
+		q.onRefill(q.name, n)
 	}
 }
 
 // Len reports queued commands (hardware + spill).
-func (q *Queue) Len() int { return len(q.hw) + len(q.spill) }
+func (q *Queue) Len() int { return q.hwLen + q.spillLen() }
 
 // Stats returns a snapshot of activity counters.
 func (q *Queue) Stats() QueueStats { return q.stats }
@@ -313,6 +349,18 @@ func (m *MSC) Close() {
 	m.closed = true
 	m.mu.Unlock()
 	m.cond.Broadcast()
+}
+
+// SetObserver installs spill/refill observers on all five queues
+// (observability layer). Install before traffic flows; the callbacks
+// run with the MSC lock held and must not call back into the MSC.
+func (m *MSC) SetObserver(onSpill func(queue string), onRefill func(queue string, n int)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, q := range []*Queue{m.userSend, m.sysSend, m.remoteAcc, m.getReply, m.rloadReply} {
+		q.onSpill = onSpill
+		q.onRefill = onRefill
+	}
 }
 
 // MSCStats aggregates the five queues' statistics.

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSnapshotCopiesEveryField bumps each counter a distinct amount
+// and checks the snapshot via reflection, so a field added to
+// CellCounters without a matching Snapshot line fails here.
+func TestSnapshotCopiesEveryField(t *testing.T) {
+	var c CellCounters
+	cv := reflect.ValueOf(&c).Elem()
+	bump := map[string]int64{}
+	n := int64(1)
+	for i := 0; i < cv.NumField(); i++ {
+		name := cv.Type().Field(i).Name
+		a := cv.Field(i).Addr().Interface().(interface{ Add(int64) int64 })
+		a.Add(n)
+		bump[name] = n
+		n++
+	}
+	s := c.Snapshot()
+	sv := reflect.ValueOf(s)
+	if sv.NumField() != cv.NumField() {
+		t.Fatalf("CellSnapshot has %d fields, CellCounters has %d", sv.NumField(), cv.NumField())
+	}
+	for i := 0; i < sv.NumField(); i++ {
+		name := sv.Type().Field(i).Name
+		want, ok := bump[name]
+		if !ok {
+			t.Errorf("snapshot field %s has no counter", name)
+			continue
+		}
+		if got := sv.Field(i).Int(); got != want {
+			t.Errorf("snapshot.%s = %d, want %d", name, got, want)
+		}
+	}
+}
+
+// TestSnapshotAddSumsEveryField relies on the same reflection trick:
+// Add must accumulate every field, none skipped.
+func TestSnapshotAddSumsEveryField(t *testing.T) {
+	var a, b CellSnapshot
+	av := reflect.ValueOf(&a).Elem()
+	bv := reflect.ValueOf(&b).Elem()
+	for i := 0; i < av.NumField(); i++ {
+		av.Field(i).SetInt(int64(i + 1))
+		bv.Field(i).SetInt(int64(100 * (i + 1)))
+	}
+	a.Add(b)
+	for i := 0; i < av.NumField(); i++ {
+		want := int64(i+1) + int64(100*(i+1))
+		if got := av.Field(i).Int(); got != want {
+			t.Errorf("Add: field %s = %d, want %d", av.Type().Field(i).Name, got, want)
+		}
+	}
+}
+
+func TestObserverCells(t *testing.T) {
+	o := NewObserver(4, nil)
+	if o.Timeline() != nil {
+		t.Fatal("nil timeline expected")
+	}
+	o.Cell(2).Put.Add(7)
+	snaps := o.Snapshot()
+	if len(snaps) != 4 {
+		t.Fatalf("snapshot has %d cells, want 4", len(snaps))
+	}
+	if snaps[2].Put != 7 || snaps[0].Put != 0 {
+		t.Fatalf("per-cell isolation broken: %+v", snaps)
+	}
+	if us := o.NowUs(); us < 0 {
+		t.Fatalf("NowUs went backwards: %f", us)
+	}
+}

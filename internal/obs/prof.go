@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles starts the standard pprof profiles requested by a
+// CLI's -cpuprofile/-memprofile flags (either may be empty). The
+// returned stop function finishes the CPU profile and writes the
+// heap profile; call it exactly once, before exiting.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			runtime.GC() // get up-to-date heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+		return nil
+	}, nil
+}

@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Track thread ids within a cell's process. Each cell is one Perfetto
+// process; its CPU (program goroutine) and its MSC+ controller are
+// the two threads of that process, mirroring Figure 1's cell diagram.
+const (
+	TidCPU = 0
+	TidMSC = 1
+)
+
+// TraceEvent is one Chrome trace-event record. The subset emitted
+// here ("X" complete slices, "i" instants, "b"/"e" async pairs, "M"
+// metadata) loads in Perfetto and chrome://tracing.
+type TraceEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat,omitempty"`
+	Ph   string  `json:"ph"`
+	TS   float64 `json:"ts"`
+	Dur  float64 `json:"dur,omitempty"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+	// ID correlates async begin/end pairs ("b"/"e").
+	ID int64 `json:"id,omitempty"`
+	// Scope is required alongside ID for async events in Perfetto.
+	Scope string         `json:"scope,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// Timeline collects trace events from many goroutines. It is only
+// ever non-nil when the user asked for a timeline (-timeline), so a
+// mutex per event is acceptable; the unobserved path never reaches
+// this code.
+type Timeline struct {
+	mu      sync.Mutex
+	events  []TraceEvent
+	asyncID int64
+}
+
+// NewTimeline returns an empty collector.
+func NewTimeline() *Timeline { return &Timeline{} }
+
+func (t *Timeline) add(e TraceEvent) {
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// Process names a Perfetto process (one per cell / PE).
+func (t *Timeline) Process(pid int, name string) {
+	t.add(TraceEvent{Name: "process_name", Ph: "M", Pid: pid, Args: map[string]any{"name": name}})
+}
+
+// Thread names a track within a process (CPU vs MSC+ controller).
+func (t *Timeline) Thread(pid, tid int, name string) {
+	t.add(TraceEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: tid, Args: map[string]any{"name": name}})
+}
+
+// Slice records a complete ("X") duration slice. Timestamps and
+// durations are microseconds.
+func (t *Timeline) Slice(pid, tid int, cat, name string, startUs, durUs float64) {
+	if durUs < 0 {
+		durUs = 0
+	}
+	t.add(TraceEvent{Name: name, Cat: cat, Ph: "X", TS: startUs, Dur: durUs, Pid: pid, Tid: tid})
+}
+
+// SliceArgs is Slice with an args payload (e.g. payload size).
+func (t *Timeline) SliceArgs(pid, tid int, cat, name string, startUs, durUs float64, args map[string]any) {
+	if durUs < 0 {
+		durUs = 0
+	}
+	t.add(TraceEvent{Name: name, Cat: cat, Ph: "X", TS: startUs, Dur: durUs, Pid: pid, Tid: tid, Args: args})
+}
+
+// Instant records a zero-duration marker ("i") on a track.
+func (t *Timeline) Instant(pid, tid int, cat, name string, tsUs float64) {
+	t.add(TraceEvent{Name: name, Cat: cat, Ph: "i", TS: tsUs, Pid: pid, Tid: tid, Scope: "t"})
+}
+
+// Async records a begin/end pair ("b"/"e") for spans that may overlap
+// on the same track — in-flight DMA and wire transfers do, so they
+// cannot be X slices without breaking nesting.
+func (t *Timeline) Async(pid, tid int, cat, name string, startUs, endUs float64) {
+	if endUs < startUs {
+		endUs = startUs
+	}
+	t.mu.Lock()
+	t.asyncID++
+	id := t.asyncID
+	t.events = append(t.events,
+		TraceEvent{Name: name, Cat: cat, Ph: "b", TS: startUs, Pid: pid, Tid: tid, ID: id, Scope: cat},
+		TraceEvent{Name: name, Cat: cat, Ph: "e", TS: endUs, Pid: pid, Tid: tid, ID: id, Scope: cat})
+	t.mu.Unlock()
+}
+
+// Events returns a copy of the collected events, metadata first, then
+// by ascending timestamp (a stable order for tests and diffs).
+func (t *Timeline) Events() []TraceEvent {
+	t.mu.Lock()
+	out := make([]TraceEvent, len(t.events))
+	copy(out, t.events)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		mi, mj := out[i].Ph == "M", out[j].Ph == "M"
+		if mi != mj {
+			return mi
+		}
+		if out[i].TS != out[j].TS {
+			return out[i].TS < out[j].TS
+		}
+		return false
+	})
+	return out
+}
+
+// Len reports how many events have been collected.
+func (t *Timeline) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// CheckSliceNesting validates that the complete ("X") slices on each
+// (pid, tid) track are properly nested: any two slices are either
+// disjoint or one contains the other. Perfetto renders partially
+// overlapping X slices misleadingly, so the emitters keep overlap on
+// async ("b"/"e") tracks; this is the test-time guard for that rule.
+func CheckSliceNesting(events []TraceEvent) error {
+	type key struct{ pid, tid int }
+	type span struct{ start, end float64 }
+	tracks := map[key][]span{}
+	for _, e := range events {
+		if e.Ph != "X" {
+			continue
+		}
+		k := key{e.Pid, e.Tid}
+		tracks[k] = append(tracks[k], span{e.TS, e.TS + e.Dur})
+	}
+	for k, spans := range tracks {
+		sort.Slice(spans, func(i, j int) bool {
+			if spans[i].start != spans[j].start {
+				return spans[i].start < spans[j].start
+			}
+			return spans[i].end > spans[j].end // containers before contents
+		})
+		var stack []span
+		for _, s := range spans {
+			for len(stack) > 0 && stack[len(stack)-1].end <= s.start {
+				stack = stack[:len(stack)-1]
+			}
+			if len(stack) > 0 && s.end > stack[len(stack)-1].end {
+				return fmt.Errorf("obs: track pid=%d tid=%d: slice [%g,%g) partially overlaps [%g,%g)",
+					k.pid, k.tid, s.start, s.end, stack[len(stack)-1].start, stack[len(stack)-1].end)
+			}
+			stack = append(stack, s)
+		}
+	}
+	return nil
+}
+
+// WriteJSON emits the Chrome trace-event JSON object form, loadable
+// in Perfetto (ui.perfetto.dev) and chrome://tracing.
+func (t *Timeline) WriteJSON(w io.Writer) error {
+	return writeJSON(w, t.Events())
+}
+
+// Part labels one timeline inside a merged file.
+type Part struct {
+	Label string
+	TL    *Timeline
+}
+
+// PidStride separates the pid spaces of merged timeline parts; 4096
+// leaves room for a 64x64 torus per part.
+const PidStride = 4096
+
+// WriteMergedJSON merges several timelines (e.g. one per benchmark
+// app) into a single trace file, offsetting pids per part and
+// prefixing process names with the part label.
+func WriteMergedJSON(w io.Writer, parts []Part) error {
+	var all []TraceEvent
+	for i, p := range parts {
+		for _, e := range p.TL.Events() {
+			e.Pid += i * PidStride
+			if e.Ph == "M" && e.Name == "process_name" {
+				if n, ok := e.Args["name"].(string); ok {
+					e.Args = map[string]any{"name": p.Label + "/" + n}
+				}
+			}
+			all = append(all, e)
+		}
+	}
+	return writeJSON(w, all)
+}
+
+func writeJSON(w io.Writer, events []TraceEvent) error {
+	if _, err := io.WriteString(w, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	for i, e := range events {
+		if i > 0 {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		if err := encodeEvent(w, enc, e); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]}\n")
+	return err
+}
+
+func encodeEvent(w io.Writer, enc *json.Encoder, e TraceEvent) error {
+	// json.Encoder appends a newline after each value, which keeps the
+	// file diffable: one event per line.
+	if err := enc.Encode(e); err != nil {
+		return fmt.Errorf("obs: encoding trace event: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// traceFile mirrors the Chrome trace-event object form for decoding
+// in tests.
+type traceFile struct {
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+}
+
+func buildSample() *Timeline {
+	tl := NewTimeline()
+	tl.Process(0, "PE 0")
+	tl.Thread(0, TidCPU, "cpu")
+	tl.Thread(0, TidMSC, "wire/dma")
+	tl.Slice(0, TidCPU, "compute", "compute", 10, 5)
+	tl.Slice(0, TidCPU, "issue", "put", 15, 2)
+	tl.Instant(0, TidMSC, "interrupt", "queue-refill", 16)
+	tl.Async(0, TidMSC, "wire", "put-wire", 15.5, 18)
+	tl.Async(0, TidMSC, "wire", "put-wire", 16, 17) // overlapping span
+	return tl
+}
+
+func TestWriteJSONIsValidTraceFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildSample().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f traceFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if f.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", f.DisplayTimeUnit)
+	}
+	if len(f.TraceEvents) != 10 { // 3 M + 2 X + 1 i + 2x(b+e)
+		t.Fatalf("got %d events, want 10", len(f.TraceEvents))
+	}
+	for _, e := range f.TraceEvents {
+		switch e.Ph {
+		case "M", "X", "i", "b", "e":
+		default:
+			t.Errorf("unexpected phase %q", e.Ph)
+		}
+		if e.Ph == "i" && e.Scope != "t" {
+			t.Errorf("instant without thread scope: %+v", e)
+		}
+		if (e.Ph == "b" || e.Ph == "e") && (e.ID == 0 || e.Scope == "") {
+			t.Errorf("async event missing id/scope: %+v", e)
+		}
+	}
+}
+
+func TestEventsMetadataFirstThenByTime(t *testing.T) {
+	tl := NewTimeline()
+	tl.Slice(0, TidCPU, "c", "late", 100, 1)
+	tl.Process(0, "PE 0") // metadata added after events must still sort first
+	tl.Slice(0, TidCPU, "c", "early", 1, 1)
+	ev := tl.Events()
+	if ev[0].Ph != "M" {
+		t.Fatalf("first event %+v, want metadata", ev[0])
+	}
+	for i := 2; i < len(ev); i++ {
+		if ev[i-1].Ph != "M" && ev[i].TS < ev[i-1].TS {
+			t.Fatalf("events out of time order at %d: %v after %v", i, ev[i].TS, ev[i-1].TS)
+		}
+	}
+	if tl.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tl.Len())
+	}
+}
+
+func TestSliceClampsNegativeDuration(t *testing.T) {
+	tl := NewTimeline()
+	tl.Slice(0, 0, "c", "s", 5, -1)
+	tl.Async(0, 1, "w", "a", 10, 8) // end before start clamps to start
+	ev := tl.Events()
+	if ev[0].Dur != 0 {
+		t.Errorf("negative duration not clamped: %+v", ev[0])
+	}
+	if ev[2].TS < ev[1].TS {
+		t.Errorf("async end precedes begin: %+v %+v", ev[1], ev[2])
+	}
+}
+
+func TestAsyncPairsShareUniqueIDs(t *testing.T) {
+	tl := NewTimeline()
+	for i := 0; i < 5; i++ {
+		tl.Async(0, TidMSC, "wire", "span", float64(i), float64(i)+1)
+	}
+	begins := map[int64]int{}
+	ends := map[int64]int{}
+	for _, e := range tl.Events() {
+		switch e.Ph {
+		case "b":
+			begins[e.ID]++
+		case "e":
+			ends[e.ID]++
+		}
+	}
+	if len(begins) != 5 || len(ends) != 5 {
+		t.Fatalf("want 5 distinct async ids, got %d begins / %d ends", len(begins), len(ends))
+	}
+	for id, n := range begins {
+		if n != 1 || ends[id] != 1 {
+			t.Fatalf("async id %d not paired exactly once (b=%d e=%d)", id, n, ends[id])
+		}
+	}
+}
+
+func TestWriteMergedJSONOffsetsPidsAndLabels(t *testing.T) {
+	a, b := NewTimeline(), NewTimeline()
+	a.Process(0, "PE 0")
+	a.Slice(0, TidCPU, "c", "s", 1, 1)
+	b.Process(0, "PE 0")
+	b.Slice(0, TidCPU, "c", "s", 1, 1)
+	var buf bytes.Buffer
+	err := WriteMergedJSON(&buf, []Part{{Label: "EP", TL: a}, {Label: "CG", TL: b}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f traceFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	pids := map[int]bool{}
+	var names []string
+	for _, e := range f.TraceEvents {
+		pids[e.Pid] = true
+		if e.Ph == "M" && e.Name == "process_name" {
+			names = append(names, e.Args["name"].(string))
+		}
+	}
+	if !pids[0] || !pids[PidStride] {
+		t.Fatalf("merged pids %v, want 0 and %d", pids, PidStride)
+	}
+	want := []string{"EP/PE 0", "CG/PE 0"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("process names %v, want %v", names, want)
+	}
+}
+
+// TestSlicesNestWithinTrack is the schema guard the MLSim emitter
+// relies on: X slices on one (pid,tid) track must either nest or not
+// overlap at all — Perfetto renders anything else misleadingly.
+func TestSlicesNestWithinTrack(t *testing.T) {
+	tl := NewTimeline()
+	tl.Slice(0, TidCPU, "c", "outer", 0, 10)
+	tl.Slice(0, TidCPU, "c", "inner", 2, 3)
+	tl.Slice(0, TidCPU, "c", "next", 10, 5)
+	if err := CheckSliceNesting(tl.Events()); err != nil {
+		t.Fatalf("well-nested timeline rejected: %v", err)
+	}
+	bad := NewTimeline()
+	bad.Slice(0, TidCPU, "c", "a", 0, 10)
+	bad.Slice(0, TidCPU, "c", "b", 5, 10) // partial overlap
+	if err := CheckSliceNesting(bad.Events()); err == nil {
+		t.Fatal("partially overlapping slices accepted")
+	}
+}

@@ -7,12 +7,46 @@ package stats
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"ap1000plus/internal/apps"
+	"ap1000plus/internal/machine"
 	"ap1000plus/internal/mlsim"
 	"ap1000plus/internal/params"
 	"ap1000plus/internal/trace"
 )
+
+// AppOrder is the paper's fixed application ordering, the row order
+// of Table 2 and Table 3. All table writers sort by it so output is
+// byte-identical run to run regardless of the order experiments
+// completed in.
+var AppOrder = []string{"EP", "CG", "FT", "SP", "TC st", "TC no st", "MatMul", "SCG"}
+
+// appRank places an app in AppOrder; unknown apps sort after all
+// known ones.
+func appRank(name string) int {
+	for i, n := range AppOrder {
+		if n == name {
+			return i
+		}
+	}
+	return len(AppOrder)
+}
+
+// sortExperiments returns a copy of exps in the paper's app order
+// (unknown apps after, alphabetically).
+func sortExperiments(exps []*Experiment) []*Experiment {
+	out := make([]*Experiment, len(exps))
+	copy(out, exps)
+	sort.SliceStable(out, func(i, j int) bool {
+		ri, rj := appRank(out[i].App), appRank(out[j].App)
+		if ri != rj {
+			return ri < rj
+		}
+		return out[i].App < out[j].App
+	})
+	return out
+}
 
 // PaperTable2 holds the published Table 2 speedups (vs the AP1000).
 var PaperTable2 = map[string][2]float64{
@@ -46,6 +80,9 @@ type Experiment struct {
 	// Base, Plus, X8 are the three machine-model replays: AP1000,
 	// AP1000+, and AP1000-with-SuperSPARC.
 	Base, Plus, X8 *mlsim.Result
+	// Metrics is the functional machine's counter snapshot, captured
+	// when the run was observed (apps.Observe); nil otherwise.
+	Metrics *machine.Metrics
 }
 
 // RunExperiment executes one application and replays its trace under
@@ -60,6 +97,10 @@ func RunExperiment(name string, build apps.Builder) (*Experiment, error) {
 		return nil, err
 	}
 	e := &Experiment{App: name, Trace: ts}
+	if in.Machine.Observer() != nil {
+		m := in.Machine.Metrics()
+		e.Metrics = &m
+	}
 	if e.Base, err = mlsim.Run(ts, params.AP1000()); err != nil {
 		return nil, fmt.Errorf("%s on AP1000: %w", name, err)
 	}
@@ -86,7 +127,7 @@ func WriteTable2(w io.Writer, exps []*Experiment) error {
 		return err
 	}
 	fmt.Fprintf(w, "%-10s %10s %10s   %14s %14s\n", "App", "AP1000+", "AP1000x8", "paper AP1000+", "paper AP1000x8")
-	for _, e := range exps {
+	for _, e := range sortExperiments(exps) {
 		paper, ok := PaperTable2[e.App]
 		paperS := [2]string{"-", "-"}
 		if ok {
@@ -105,7 +146,7 @@ func WriteTable2(w io.Writer, exps []*Experiment) error {
 func WriteTable3(w io.Writer, exps []*Experiment) error {
 	fmt.Fprintln(w, "Table 3: Application statistics (measured, then paper)")
 	fmt.Fprintln(w, trace.Table3Header)
-	for _, e := range exps {
+	for _, e := range sortExperiments(exps) {
 		row := trace.Stats(e.Trace)
 		row.App = e.App
 		fmt.Fprintln(w, row.Format())
@@ -173,7 +214,7 @@ func WriteFig8(w io.Writer, exps []*Experiment) error {
 		}
 		return out
 	}
-	for _, e := range exps {
+	for _, e := range sortExperiments(exps) {
 		row := Fig8(e)
 		fmt.Fprintf(w, "%-10s %8.1f %8.1f %8.1f %8.1f %8.1f |%s\n",
 			e.App+" +", row.Plus.Exec, row.Plus.RTS, row.Plus.Overhead, row.Plus.Idle, row.Plus.Total,
@@ -181,6 +222,24 @@ func WriteFig8(w io.Writer, exps []*Experiment) error {
 		fmt.Fprintf(w, "%-10s %8.1f %8.1f %8.1f %8.1f %8.1f |%s\n",
 			e.App+" x8", row.X8.Exec, row.X8.RTS, row.X8.Overhead, row.X8.Idle, row.X8.Total,
 			bar(comps(row.X8)))
+	}
+	return nil
+}
+
+// WriteMetrics renders the functional machine counter reports of
+// observed experiments, in the paper's app order. Experiments that
+// ran unobserved (Metrics == nil) are skipped.
+func WriteMetrics(w io.Writer, exps []*Experiment) error {
+	for _, e := range sortExperiments(exps) {
+		if e.Metrics == nil {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s: ", e.App); err != nil {
+			return err
+		}
+		if err := e.Metrics.Format(w); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"ap1000plus/internal/event"
+	"ap1000plus/internal/mlsim"
+	"ap1000plus/internal/trace"
+)
+
+// fakeExperiment builds a synthetic experiment with known elapsed
+// times so the speedup columns are exact.
+func fakeExperiment(app string, baseUs, plusUs, x8Us float64) *Experiment {
+	mk := func(us float64) *mlsim.Result {
+		t := event.Microseconds(us)
+		return &mlsim.Result{
+			App: app, PEs: 1,
+			PE:      []mlsim.PEStats{{Exec: t, End: t}},
+			Elapsed: t,
+		}
+	}
+	return &Experiment{
+		App:   app,
+		Trace: trace.New(app, 1, 1),
+		Base:  mk(baseUs), Plus: mk(plusUs), X8: mk(x8Us),
+	}
+}
+
+// TestTablesDeterministicOrder feeds the writers experiments in a
+// scrambled order and checks the rows come out in the paper's fixed
+// app order, byte-identical across repeated renders.
+func TestTablesDeterministicOrder(t *testing.T) {
+	// Deliberately NOT the paper order, plus one unknown app.
+	scrambled := []*Experiment{
+		fakeExperiment("SCG", 800, 100, 160),
+		fakeExperiment("EP", 800, 100, 100),
+		fakeExperiment("ZZZ-custom", 500, 250, 250),
+		fakeExperiment("CG", 956, 200, 280),
+	}
+	var t2 strings.Builder
+	if err := WriteTable2(&t2, scrambled); err != nil {
+		t.Fatal(err)
+	}
+	const wantTable2 = `Table 2: Performance simulation: compared to AP1000
+App           AP1000+   AP1000x8    paper AP1000+ paper AP1000x8
+EP               8.00       8.00             8.00           8.00
+CG               4.78       3.41             4.78           3.42
+SCG              8.00       5.00             7.96           5.17
+ZZZ-custom       2.00       2.00                -              -
+`
+	if t2.String() != wantTable2 {
+		t.Errorf("WriteTable2 mismatch:\ngot:\n%s\nwant:\n%s", t2.String(), wantTable2)
+	}
+
+	// Repeat renders must be byte-identical (no map-order leakage).
+	for i := 0; i < 3; i++ {
+		var again strings.Builder
+		if err := WriteTable2(&again, scrambled); err != nil {
+			t.Fatal(err)
+		}
+		if again.String() != t2.String() {
+			t.Fatalf("render %d differs from first render", i)
+		}
+	}
+
+	var t3 strings.Builder
+	if err := WriteTable3(&t3, scrambled); err != nil {
+		t.Fatal(err)
+	}
+	rows := appRowsIn(t3.String())
+	want := []string{"EP", "CG", "SCG", "ZZZ-custom"}
+	if strings.Join(rows, ",") != strings.Join(want, ",") {
+		t.Errorf("WriteTable3 row order = %v, want %v", rows, want)
+	}
+
+	var f8 strings.Builder
+	if err := WriteFig8(&f8, scrambled); err != nil {
+		t.Fatal(err)
+	}
+	rows = appRowsIn(f8.String())
+	want = []string{"EP", "EP", "CG", "CG", "SCG", "SCG", "ZZZ-custom", "ZZZ-custom"}
+	if strings.Join(rows, ",") != strings.Join(want, ",") {
+		t.Errorf("WriteFig8 row order = %v, want %v", rows, want)
+	}
+
+	// The writers must not reorder the caller's slice.
+	if scrambled[0].App != "SCG" || scrambled[3].App != "CG" {
+		t.Error("writer mutated the caller's experiment slice")
+	}
+}
+
+// appRowsIn extracts the app name from each table row that starts
+// with a known or synthetic app name.
+func appRowsIn(out string) []string {
+	var rows []string
+	names := append(append([]string{}, AppOrder...), "ZZZ-custom")
+	for _, line := range strings.Split(out, "\n") {
+		for _, n := range names {
+			if strings.HasPrefix(line, n+" ") || strings.HasPrefix(line, n+"\t") {
+				rows = append(rows, n)
+				break
+			}
+		}
+	}
+	return rows
+}
+
+func TestAppRank(t *testing.T) {
+	for i, n := range AppOrder {
+		if got := appRank(n); got != i {
+			t.Errorf("appRank(%q) = %d, want %d", n, got, i)
+		}
+	}
+	if got := appRank("nope"); got != len(AppOrder) {
+		t.Errorf("appRank(unknown) = %d, want %d", got, len(AppOrder))
+	}
+}

@@ -14,15 +14,29 @@ import (
 //
 //	magic "APTR" | version u16 | app string | PEs, W, H u32
 //	groups u32 | per group: len u32, members []u32
-//	per PE: count u32, events (fixed 40-byte records)
+//	per PE: count u32, events (fixed-size records)
 //
 // All integers little-endian. Strings are u16 length + bytes.
+//
+// Version history:
+//
+//	v1: 40-byte event records; Items, SendFlag, RecvFlag, and the
+//	    Flag/Group word were truncated to 32 bits on the wire.
+//	v2: 56-byte event records; Items, SendFlag, RecvFlag, and
+//	    Flag/Group are full 64-bit fields. Write always emits v2;
+//	    Read accepts both.
 
 var magic = [4]byte{'A', 'P', 'T', 'R'}
 
-const version = 1
+const (
+	version1 = 1
+	version  = 2
+)
 
-const eventSize = 1 + 1 + 1 + 1 + 4 + 8 + 8 + 4 + 4 + 4 + 4 // = 40 bytes
+const (
+	eventSizeV1 = 1 + 1 + 1 + 1 + 4 + 8 + 8 + 4 + 4 + 4 + 4 // = 40 bytes
+	eventSize   = 1 + 1 + 1 + 1 + 4 + 8 + 8 + 8 + 8 + 8 + 8 // = 56 bytes
+)
 
 func putEvent(b []byte, e *Event) {
 	b[0] = byte(e.Kind)
@@ -39,18 +53,18 @@ func putEvent(b []byte, e *Event) {
 	binary.LittleEndian.PutUint32(b[4:], uint32(int32(e.Peer)))
 	binary.LittleEndian.PutUint64(b[8:], math.Float64bits(e.Dur))
 	binary.LittleEndian.PutUint64(b[16:], uint64(e.Size))
-	binary.LittleEndian.PutUint32(b[24:], uint32(e.Items))
-	binary.LittleEndian.PutUint32(b[28:], uint32(e.SendFlag))
-	binary.LittleEndian.PutUint32(b[32:], uint32(e.RecvFlag))
+	binary.LittleEndian.PutUint64(b[24:], uint64(e.Items))
+	binary.LittleEndian.PutUint64(b[32:], uint64(e.SendFlag))
+	binary.LittleEndian.PutUint64(b[40:], uint64(e.RecvFlag))
 	// Flag/Target/Group share the tail: FlagWait uses Flag+Target,
 	// group ops use Group. Pack Flag and Group in one word and Target
 	// in Size (FlagWait carries no size).
 	switch e.Kind {
 	case KindFlagWait:
-		binary.LittleEndian.PutUint32(b[36:], uint32(e.Flag))
+		binary.LittleEndian.PutUint64(b[48:], uint64(e.Flag))
 		binary.LittleEndian.PutUint64(b[16:], uint64(e.Target))
 	default:
-		binary.LittleEndian.PutUint32(b[36:], uint32(e.Group))
+		binary.LittleEndian.PutUint64(b[48:], uint64(int64(e.Group)))
 	}
 }
 
@@ -65,7 +79,38 @@ func getEvent(b []byte) (Event, error) {
 	e.RTS = b[2]&2 != 0
 	e.Peer = topology.CellID(int32(binary.LittleEndian.Uint32(b[4:])))
 	e.Dur = math.Float64frombits(binary.LittleEndian.Uint64(b[8:]))
-	e.Items = int32(binary.LittleEndian.Uint32(b[24:]))
+	e.Items = int64(binary.LittleEndian.Uint64(b[24:]))
+	e.SendFlag = FlagID(binary.LittleEndian.Uint64(b[32:]))
+	e.RecvFlag = FlagID(binary.LittleEndian.Uint64(b[40:]))
+	switch e.Kind {
+	case KindFlagWait:
+		e.Flag = FlagID(binary.LittleEndian.Uint64(b[48:]))
+		e.Target = int64(binary.LittleEndian.Uint64(b[16:]))
+	default:
+		e.Size = int64(binary.LittleEndian.Uint64(b[16:]))
+		g := int64(binary.LittleEndian.Uint64(b[48:]))
+		if g < math.MinInt32 || g > math.MaxInt32 {
+			return e, fmt.Errorf("trace: group id %d out of range", g)
+		}
+		e.Group = GroupID(g)
+	}
+	return e, nil
+}
+
+// getEventV1 decodes the legacy 40-byte v1 record. Items and the flag
+// words were written as 32-bit values; sign-extend them back.
+func getEventV1(b []byte) (Event, error) {
+	var e Event
+	e.Kind = Kind(b[0])
+	if e.Kind >= numKinds {
+		return e, fmt.Errorf("trace: bad event kind %d", b[0])
+	}
+	e.Op = ReduceOp(b[1])
+	e.Ack = b[2]&1 != 0
+	e.RTS = b[2]&2 != 0
+	e.Peer = topology.CellID(int32(binary.LittleEndian.Uint32(b[4:])))
+	e.Dur = math.Float64frombits(binary.LittleEndian.Uint64(b[8:]))
+	e.Items = int64(int32(binary.LittleEndian.Uint32(b[24:])))
 	e.SendFlag = FlagID(int32(binary.LittleEndian.Uint32(b[28:])))
 	e.RecvFlag = FlagID(int32(binary.LittleEndian.Uint32(b[32:])))
 	switch e.Kind {
@@ -143,7 +188,12 @@ func Read(r io.Reader) (*TraceSet, error) {
 	if err != nil {
 		return nil, err
 	}
-	if ver != version {
+	evSize, decode := eventSize, getEvent
+	switch ver {
+	case version:
+	case version1:
+		evSize, decode = eventSizeV1, getEventV1
+	default:
 		return nil, fmt.Errorf("trace: unsupported version %d", ver)
 	}
 	nameLen, err := readU16()
@@ -213,10 +263,10 @@ func Read(r io.Reader) (*TraceSet, error) {
 		}
 		evs := make([]Event, 0, prealloc)
 		for i := uint32(0); i < count; i++ {
-			if _, err := io.ReadFull(br, buf[:]); err != nil {
+			if _, err := io.ReadFull(br, buf[:evSize]); err != nil {
 				return nil, fmt.Errorf("trace: pe %d event %d: %w", pe, i, err)
 			}
-			e, err := getEvent(buf[:])
+			e, err := decode(buf[:evSize])
 			if err != nil {
 				return nil, fmt.Errorf("trace: pe %d event %d: %w", pe, i, err)
 			}

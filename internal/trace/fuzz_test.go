@@ -22,6 +22,9 @@ func FuzzRead(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(seed.Bytes())
+	// A legacy v1 encoding of the same trace exercises the
+	// backward-compat decoder path.
+	f.Add(encodeV1(ts))
 	f.Add([]byte("APTR"))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -54,9 +57,11 @@ func FuzzRoundTrip(f *testing.F) {
 				case 0:
 					r.Compute(float64(next(1000)) / 8)
 				case 1:
-					r.Put(topology.CellID(next(4)), int64(next(1<<16)), int32(1+next(50)), FlagID(next(8)), FlagID(next(8)), next(2) == 0, next(2) == 0)
+					// Item counts straddle 2^31: the v2 format must
+					// carry 64-bit counts without truncation.
+					r.Put(topology.CellID(next(4)), int64(next(1<<16)), int64(1)<<31+int64(next(50))-25, FlagID(next(8)), FlagID(next(8)), next(2) == 0, next(2) == 0)
 				case 2:
-					r.Get(topology.CellID(next(4)), int64(next(1<<16)), int32(1+next(50)), FlagID(next(8)), FlagID(next(8)), next(2) == 0)
+					r.Get(topology.CellID(next(4)), int64(next(1<<16)), 1+int64(next(50))*int64(1)<<28, FlagID(next(8))<<33, FlagID(next(8)), next(2) == 0)
 				case 3:
 					r.Send(topology.CellID(next(4)), int64(1+next(4096)), false)
 				case 4:

@@ -59,8 +59,10 @@ func (k Kind) String() string {
 
 // FlagID names a synchronization flag local to one PE. Flags are the
 // "normal variables specified in the user programs" (S4.1) that the
-// MC increments when a transfer completes.
-type FlagID int32
+// MC increments when a transfer completes. Flag identifiers are
+// memory addresses in the paper's model, so the trace format carries
+// them at full 64-bit width.
+type FlagID int64
 
 const (
 	// NoFlag means "do not update a flag" — the paper's address-0
@@ -112,7 +114,9 @@ type Event struct {
 	Size int64
 	// Items is the stride item count; 1 for contiguous transfers.
 	// Items > 1 classifies a put/get as PUTS/GETS in Table 3 terms.
-	Items int32
+	// Paper-size redistributions can exceed 2^31 elements, so the
+	// count is 64-bit end to end (wire format v2).
+	Items int64
 	// SendFlag and RecvFlag identify the flags a put/get increments on
 	// the sending and receiving side (S3.1).
 	SendFlag FlagID
@@ -292,7 +296,7 @@ func (r *Recorder) Compute(dur float64) {
 
 // Put records a PUT of size bytes to peer; items > 1 makes it a
 // stride PUT.
-func (r *Recorder) Put(peer topology.CellID, size int64, items int32, sendFlag, recvFlag FlagID, ack, rts bool) {
+func (r *Recorder) Put(peer topology.CellID, size, items int64, sendFlag, recvFlag FlagID, ack, rts bool) {
 	r.events = append(r.events, Event{
 		Kind: KindPut, Peer: peer, Size: size, Items: items,
 		SendFlag: sendFlag, RecvFlag: recvFlag, Ack: ack, RTS: rts,
@@ -301,7 +305,7 @@ func (r *Recorder) Put(peer topology.CellID, size int64, items int32, sendFlag, 
 
 // Get records a GET of size bytes from peer; items > 1 makes it a
 // stride GET.
-func (r *Recorder) Get(peer topology.CellID, size int64, items int32, sendFlag, recvFlag FlagID, rts bool) {
+func (r *Recorder) Get(peer topology.CellID, size, items int64, sendFlag, recvFlag FlagID, rts bool) {
 	r.events = append(r.events, Event{
 		Kind: KindGet, Peer: peer, Size: size, Items: items,
 		SendFlag: sendFlag, RecvFlag: recvFlag, RTS: rts,

@@ -2,6 +2,8 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
+	"math"
 	"math/rand"
 	"reflect"
 	"strings"
@@ -114,9 +116,9 @@ func TestCodecRoundTripProperty(t *testing.T) {
 		case 0:
 			return Event{Kind: KindCompute, Dur: float64(rng.Intn(1000)) / 4}
 		case 1:
-			return Event{Kind: KindPut, Peer: topology.CellID(rng.Intn(4)), Size: int64(rng.Intn(1 << 20)), Items: int32(1 + rng.Intn(100)), SendFlag: FlagID(rng.Intn(10)), RecvFlag: FlagID(rng.Intn(10)), Ack: rng.Intn(2) == 0, RTS: rng.Intn(2) == 0}
+			return Event{Kind: KindPut, Peer: topology.CellID(rng.Intn(4)), Size: int64(rng.Intn(1 << 20)), Items: 1 + rng.Int63n(1<<33), SendFlag: FlagID(rng.Intn(10)), RecvFlag: FlagID(rng.Intn(10)), Ack: rng.Intn(2) == 0, RTS: rng.Intn(2) == 0}
 		case 2:
-			return Event{Kind: KindGet, Peer: topology.CellID(rng.Intn(4)), Size: int64(rng.Intn(1 << 20)), Items: int32(1 + rng.Intn(100)), RecvFlag: FlagID(rng.Intn(10))}
+			return Event{Kind: KindGet, Peer: topology.CellID(rng.Intn(4)), Size: int64(rng.Intn(1 << 20)), Items: 1 + rng.Int63n(1<<33), RecvFlag: FlagID(rng.Intn(10))}
 		case 3:
 			return Event{Kind: KindSend, Peer: topology.CellID(rng.Intn(4)), Size: int64(rng.Intn(65536))}
 		case 4:
@@ -156,6 +158,102 @@ func TestCodecRoundTripProperty(t *testing.T) {
 					t.Fatalf("trial %d pe %d event %d:\n got %+v\nwant %+v", trial, pe, i, got.PE[pe][i], ts.PE[pe][i])
 				}
 			}
+		}
+	}
+}
+
+// TestCodecWideFields covers the v1→v2 wire-format fix: item counts
+// and flag identifiers beyond 2^31 must round-trip bit-exactly
+// (paper-size FT/MatMul redistributions exceed 32-bit item counts).
+func TestCodecWideFields(t *testing.T) {
+	ts := New("wide", 2, 2)
+	wide := []Event{
+		{Kind: KindPut, Peer: 1, Size: 1 << 40, Items: int64(1)<<31 + 7, SendFlag: FlagID(1)<<40 + 3, RecvFlag: FlagID(1)<<33 + 1},
+		{Kind: KindGet, Peer: 2, Size: 4, Items: int64(1)<<62 + 11, SendFlag: -FlagID(1) << 35, RecvFlag: 2},
+		{Kind: KindFlagWait, Flag: FlagID(1)<<34 + 5, Target: int64(1)<<33 + 9},
+	}
+	ts.PE[0] = wide
+	var buf bytes.Buffer
+	if err := Write(&buf, ts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.PE[0], wide) {
+		t.Fatalf("wide fields truncated:\n got %+v\nwant %+v", got.PE[0], wide)
+	}
+}
+
+// encodeV1 writes a trace in the legacy 40-byte v1 record format, for
+// backward-compatibility testing of the reader.
+func encodeV1(ts *TraceSet) []byte {
+	var buf bytes.Buffer
+	buf.WriteString("APTR")
+	w32 := func(v uint32) { binary.Write(&buf, binary.LittleEndian, v) }
+	binary.Write(&buf, binary.LittleEndian, uint16(1)) // version
+	binary.Write(&buf, binary.LittleEndian, uint16(len(ts.Meta.App)))
+	buf.WriteString(ts.Meta.App)
+	w32(uint32(ts.Meta.PEs))
+	w32(uint32(ts.Meta.Width))
+	w32(uint32(ts.Meta.Height))
+	w32(uint32(len(ts.Meta.Groups)))
+	for _, g := range ts.Meta.Groups {
+		w32(uint32(len(g)))
+		for _, m := range g {
+			w32(uint32(int32(m)))
+		}
+	}
+	var b [40]byte
+	for _, evs := range ts.PE {
+		w32(uint32(len(evs)))
+		for i := range evs {
+			e := &evs[i]
+			for j := range b {
+				b[j] = 0
+			}
+			b[0] = byte(e.Kind)
+			b[1] = byte(e.Op)
+			if e.Ack {
+				b[2] |= 1
+			}
+			if e.RTS {
+				b[2] |= 2
+			}
+			binary.LittleEndian.PutUint32(b[4:], uint32(int32(e.Peer)))
+			binary.LittleEndian.PutUint64(b[8:], math.Float64bits(e.Dur))
+			binary.LittleEndian.PutUint64(b[16:], uint64(e.Size))
+			binary.LittleEndian.PutUint32(b[24:], uint32(e.Items))
+			binary.LittleEndian.PutUint32(b[28:], uint32(e.SendFlag))
+			binary.LittleEndian.PutUint32(b[32:], uint32(e.RecvFlag))
+			switch e.Kind {
+			case KindFlagWait:
+				binary.LittleEndian.PutUint32(b[36:], uint32(e.Flag))
+				binary.LittleEndian.PutUint64(b[16:], uint64(e.Target))
+			default:
+				binary.LittleEndian.PutUint32(b[36:], uint32(e.Group))
+			}
+			buf.Write(b[:])
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestReadLegacyV1 keeps the v1 reader honest: traces captured before
+// the format widening must still decode exactly.
+func TestReadLegacyV1(t *testing.T) {
+	ts := sampleTrace()
+	got, err := Read(bytes.NewReader(encodeV1(ts)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Meta, ts.Meta) {
+		t.Fatalf("v1 meta mismatch:\n got %+v\nwant %+v", got.Meta, ts.Meta)
+	}
+	for pe := range ts.PE {
+		if !reflect.DeepEqual(got.PE[pe], ts.PE[pe]) {
+			t.Fatalf("v1 pe %d mismatch:\n got %+v\nwant %+v", pe, got.PE[pe], ts.PE[pe])
 		}
 	}
 }

@@ -1,0 +1,132 @@
+package ap1000plus
+
+import (
+	"math"
+	"testing"
+
+	"ap1000plus/internal/trace"
+)
+
+// TestCountersMatchTraceStats runs the same program under tracing and
+// observation at once and cross-checks the two accountings: the obs
+// counters must agree with trace.Stats on every operation class, with
+// acknowledge GETs visible only on the counter side (the trace
+// excludes them, like the paper's Table 3).
+func TestCountersMatchTraceStats(t *testing.T) {
+	m, err := NewMachine(Config{
+		Width: 2, Height: 2, MemoryPerCell: 1 << 20,
+		TraceApp: "obs-consistency", Observe: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := make([]*Segment, 4)
+	for id := 0; id < 4; id++ {
+		segs[id], _, err = m.Cell(CellID(id)).AllocFloat64("buf", 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	rf := m.Cell(0).Flags.Alloc()
+	err = m.Run(func(c *Cell) error {
+		comm := NewComm(c)
+		me := int(c.ID())
+		next := (me + 1) % 4
+		// One acknowledged 64 B PUT per cell: the trace records one
+		// PUT; the counters additionally see the ack GET behind it.
+		if err := comm.Put(CellID(next), segs[next].Base(), segs[me].Base(), 64, NoFlag, NoFlag, true); err != nil {
+			return err
+		}
+		comm.AckWait()
+		if me == 0 {
+			// One stride GET, recorded as GETS on both sides.
+			err := comm.GetStride(2, segs[2].Base(), segs[0].Base()+256, NoFlag, rf,
+				Stride{ItemSize: 8, Count: 4, Skip: 24}, Contiguous(32))
+			if err != nil {
+				return err
+			}
+			comm.WaitFlag(rf, 1)
+		}
+		comm.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ts := m.Trace()
+	if ts == nil {
+		t.Fatal("trace missing")
+	}
+	row := trace.Stats(ts)
+	mt := m.Metrics()
+	tot := mt.Totals()
+	n := float64(m.Cells())
+
+	// Operation classes: trace averages per PE, counters are totals.
+	if got, want := tot.Put, int64(math.Round(row.Put*n)); got != want || got != 4 {
+		t.Errorf("PUT: counters %d, trace %d", got, want)
+	}
+	if got, want := tot.GetS, int64(math.Round(row.GetS*n)); got != want || got != 1 {
+		t.Errorf("GETS: counters %d, trace %d", got, want)
+	}
+	if tot.PutS != 0 || row.PutS != 0 || tot.Get != 0 || row.Get != 0 {
+		t.Errorf("unexpected PUTS/GET: counters %+v, trace %+v", tot, row)
+	}
+	if got, want := tot.Barriers, int64(math.Round(row.Sync*n)); got != want || got != 4 {
+		t.Errorf("barriers: counters %d, trace %d", got, want)
+	}
+	// Ack GETs appear only in the counters.
+	if tot.AckGet != 4 {
+		t.Errorf("ack GETs = %d, want 4", tot.AckGet)
+	}
+	// Payload accounting: the trace's mean message size covers the
+	// same bytes the counters attribute to PUT and GET issues.
+	ops := math.Round((row.Put + row.PutS + row.Get + row.GetS) * n)
+	traceBytes := int64(math.Round(row.MsgSize * ops))
+	if counterBytes := tot.PutBytes + tot.GetBytes; counterBytes != traceBytes || counterBytes != 288 {
+		t.Errorf("bytes: counters %d, trace %d", counterBytes, traceBytes)
+	}
+}
+
+// TestPutIssueZeroAllocUnobserved is the regression guard for the
+// zero-cost-when-disabled contract: with Observe off, an acknowledged
+// PUT round trip allocates nothing on the issue path once the payload
+// pool is warm.
+func TestPutIssueZeroAllocUnobserved(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("sync.Pool drops items under -race; zero-alloc not measurable")
+	}
+	m, err := NewMachine(Config{Width: 2, Height: 2, MemoryPerCell: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := make([]*Segment, 4)
+	for id := 0; id < 4; id++ {
+		segs[id], _, _ = m.Cell(CellID(id)).AllocFloat64("b", 64)
+	}
+	var allocs float64
+	err = m.Run(func(c *Cell) error {
+		if c.ID() != 0 {
+			return nil
+		}
+		comm := NewComm(c)
+		op := func() {
+			if err := comm.Put(1, segs[1].Base(), segs[0].Base(), 8, NoFlag, NoFlag, true); err != nil {
+				t.Error(err)
+			}
+			comm.AckWait()
+		}
+		for i := 0; i < 100; i++ {
+			op() // warm the payload pool, queues, and scheduler
+		}
+		allocs = testing.AllocsPerRun(200, op)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs != 0 {
+		t.Errorf("PUT issue path allocates %.2f objects/op with Observe:false, want 0", allocs)
+	}
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package ap1000plus
+
+// raceDetectorEnabled: see race_on_test.go.
+const raceDetectorEnabled = false
