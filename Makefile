@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify apvet bench fuzz
+.PHONY: all build test verify apvet bench fuzz chaos
 
 all: verify
 
@@ -32,6 +32,17 @@ verify:
 	$(GO) test -race ./...
 	$(GO) test -run TestPutIssueZeroAllocUnobserved .
 	$(GO) test -run TestTablesDeterministicOrder ./internal/stats/
+	$(MAKE) chaos
+
+# chaos is the fault-injection gate: the seeded chaos kernels and the
+# random-workload property tests under the race detector (retransmit,
+# dedup and limbo-release paths are concurrency-heavy), plus short
+# fuzz passes over the fault-plan parser and the trace codec's
+# corrupted-wire seeds.
+chaos:
+	$(GO) test -race -run 'TestChaos|TestFaultProperty' .
+	$(GO) test -fuzz FuzzPlan -fuzztime 5s ./internal/fault/
+	$(GO) test -fuzz FuzzRead -fuzztime 5s ./internal/trace/
 
 # bench also regenerates BENCH_obs.json: the Table 2 functional runs'
 # full machine counter report (per-app, per-cell), for diffing

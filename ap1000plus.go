@@ -37,6 +37,7 @@ import (
 	"ap1000plus/internal/barrier"
 	"ap1000plus/internal/core"
 	"ap1000plus/internal/dsm"
+	"ap1000plus/internal/fault"
 	"ap1000plus/internal/machine"
 	"ap1000plus/internal/mc"
 	"ap1000plus/internal/mem"
@@ -169,6 +170,20 @@ type (
 
 // NewTimeline returns an empty Perfetto timeline collector.
 func NewTimeline() *Timeline { return obs.NewTimeline() }
+
+// Fault injection (Config.Fault).
+type (
+	// FaultPlan is a deterministic, seedable wire-fault plan; attach
+	// one via Config.Fault to run over a lossy network with the MSC+'s
+	// reliable-delivery path armed. Check Machine.FaultErr after Run.
+	FaultPlan = fault.Plan
+	// CellFault reports a transfer abandoned after the retry budget.
+	CellFault = machine.CellFault
+)
+
+// ParseFaultPlan parses a fault plan spec like
+// "drop=0.05,dup=0.02,seed=42"; see fault.Parse for the grammar.
+func ParseFaultPlan(spec string) (*FaultPlan, error) { return fault.Parse(spec) }
 
 // Evaluation toolchain.
 type (

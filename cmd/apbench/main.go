@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"ap1000plus/internal/apps"
+	"ap1000plus/internal/fault"
 	"ap1000plus/internal/machine"
 	"ap1000plus/internal/mlsim"
 	"ap1000plus/internal/obs"
@@ -39,6 +40,8 @@ func main() {
 	distance := flag.Int("distance", 3, "routing distance for fig7")
 	only := flag.String("app", "", "restrict table2/table3/fig8 to one application (e.g. CG)")
 	sanitize := flag.Bool("sanitize", false, "run every application under the apsan race detector")
+	faultSpec := flag.String("fault", "", "fault plan spec (e.g. drop=0.05,dup=0.02,seed=42): run every application over a lossy wire with reliable delivery")
+	faultSeed := flag.Int64("fault-seed", 0, "override the fault plan's seed")
 	metrics := flag.Bool("metrics", false, "print each application's machine counter report")
 	metricsJSON := flag.String("metrics-json", "", "write per-application metrics as JSON to this file")
 	timeline := flag.String("timeline", "", "write a merged Perfetto timeline of the functional runs to this file")
@@ -47,6 +50,17 @@ func main() {
 	flag.Parse()
 	apps.Sanitize = *sanitize
 	apps.Observe = *metrics || *metricsJSON != ""
+	if *faultSpec != "" {
+		plan, err := fault.Parse(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "apbench:", err)
+			os.Exit(1)
+		}
+		if *faultSeed != 0 {
+			plan.Seed = *faultSeed
+		}
+		apps.Fault = plan
+	}
 
 	stopProf, err := obs.StartProfiles(*cpuprofile, *memprofile)
 	if err != nil {

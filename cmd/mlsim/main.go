@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 
+	"ap1000plus/internal/fault"
 	"ap1000plus/internal/mlsim"
 	"ap1000plus/internal/obs"
 	"ap1000plus/internal/params"
@@ -30,6 +31,8 @@ func main() {
 	paramFile := flag.String("params", "", "parameter file overriding the model (Figure 6 format)")
 	compare := flag.Bool("compare", false, "replay under all three built-in models")
 	perPE := flag.Bool("per-pe", false, "print the per-PE breakdown")
+	faultSpec := flag.String("fault", "", "fault plan spec (e.g. drop=0.05,dup=0.02,seed=42): model reliable-delivery recovery time on every wire leg")
+	faultSeed := flag.Int64("fault-seed", 0, "override the fault plan's seed")
 	timeline := flag.String("timeline", "", "write a simulated-time Perfetto timeline to this file (one part per model)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -40,7 +43,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mlsim:", err)
 		os.Exit(1)
 	}
-	err = run(*traceFile, *model, *paramFile, *compare, *perPE, *timeline)
+	plan, err := parseFault(*faultSpec, *faultSeed)
+	if err == nil {
+		err = run(*traceFile, *model, *paramFile, *compare, *perPE, *timeline, plan)
+	}
 	if perr := stopProf(); err == nil {
 		err = perr
 	}
@@ -50,7 +56,22 @@ func main() {
 	}
 }
 
-func run(traceFile, model, paramFile string, compare, perPE bool, timeline string) error {
+// parseFault builds the fault plan from the -fault / -fault-seed flags.
+func parseFault(spec string, seed int64) (*fault.Plan, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	plan, err := fault.Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	if seed != 0 {
+		plan.Seed = seed
+	}
+	return plan, nil
+}
+
+func run(traceFile, model, paramFile string, compare, perPE bool, timeline string, plan *fault.Plan) error {
 	if traceFile == "" {
 		return fmt.Errorf("missing -trace")
 	}
@@ -91,15 +112,19 @@ func run(traceFile, model, paramFile string, compare, perPE bool, timeline strin
 	var results []*mlsim.Result
 	var parts []obs.Part
 	for _, p := range models {
-		var res *mlsim.Result
-		var err error
+		s, err := mlsim.New(ts, p)
+		if err != nil {
+			return err
+		}
+		if err := s.SetFault(plan); err != nil {
+			return err
+		}
 		if timeline != "" {
 			tl := obs.NewTimeline()
 			parts = append(parts, obs.Part{Label: p.Name, TL: tl})
-			res, err = mlsim.RunWithTimeline(ts, p, tl)
-		} else {
-			res, err = mlsim.Run(ts, p)
+			s.AttachTimeline(tl)
 		}
+		res, err := s.Run()
 		if err != nil {
 			return err
 		}
@@ -114,6 +139,10 @@ func run(traceFile, model, paramFile string, compare, perPE bool, timeline strin
 		fmt.Printf("  messages       %14d (%d bytes, mean distance %.2f hops)\n",
 			res.Messages, res.Bytes, res.MeanDistance)
 		fmt.Printf("  load imbalance %14.3f (max end / mean end)\n", res.LoadImbalance())
+		if fr := res.Fault; fr != nil {
+			fmt.Printf("  fault          retransmits=%d dedups=%d corrupt-drops=%d cell-faults=%d recovery=%.1fus\n",
+				fr.Retransmits, fr.Dedups, fr.CorruptDetected, fr.CellFaults, float64(fr.ExtraNanos)/1e3)
+		}
 		if perPE {
 			for i, pe := range res.PE {
 				fmt.Printf("  pe%-4d exec=%s rts=%s ovhd=%s idle=%s end=%s\n",

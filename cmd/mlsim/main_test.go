@@ -34,7 +34,7 @@ func writeTempTrace(t *testing.T) string {
 
 func TestRunSingleModel(t *testing.T) {
 	path := writeTempTrace(t)
-	if err := run(path, "ap1000+", "", false, true, ""); err != nil {
+	if err := run(path, "ap1000+", "", false, true, "", nil); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -42,7 +42,7 @@ func TestRunSingleModel(t *testing.T) {
 func TestRunCompareWritesTimeline(t *testing.T) {
 	path := writeTempTrace(t)
 	out := filepath.Join(t.TempDir(), "tl.json")
-	if err := run(path, "", "", true, false, out); err != nil {
+	if err := run(path, "", "", true, false, out, nil); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -62,7 +62,7 @@ func TestRunCompareWritesTimeline(t *testing.T) {
 
 func TestRunCompare(t *testing.T) {
 	path := writeTempTrace(t)
-	if err := run(path, "", "", true, false, ""); err != nil {
+	if err := run(path, "", "", true, false, "", nil); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -73,23 +73,40 @@ func TestRunWithParamFile(t *testing.T) {
 	if err := os.WriteFile(pf, []byte("put_prolog_time 2.5\nname custom\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, "ap1000", pf, false, false, ""); err != nil {
+	if err := run(path, "ap1000", pf, false, false, "", nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithFaultPlan(t *testing.T) {
+	path := writeTempTrace(t)
+	plan, err := parseFault("drop=0.2,dup=0.1", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Seed != 7 {
+		t.Fatalf("seed override: got %d", plan.Seed)
+	}
+	if err := run(path, "ap1000+", "", false, false, "", plan); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", "ap1000+", "", false, false, ""); err == nil {
+	if _, err := parseFault("drop=nope", 0); err == nil {
+		t.Error("bad fault spec accepted")
+	}
+	if err := run("", "ap1000+", "", false, false, "", nil); err == nil {
 		t.Error("missing trace accepted")
 	}
-	if err := run("/nonexistent.trace", "ap1000+", "", false, false, ""); err == nil {
+	if err := run("/nonexistent.trace", "ap1000+", "", false, false, "", nil); err == nil {
 		t.Error("nonexistent trace accepted")
 	}
 	path := writeTempTrace(t)
-	if err := run(path, "cm5", "", false, false, ""); err == nil {
+	if err := run(path, "cm5", "", false, false, "", nil); err == nil {
 		t.Error("unknown model accepted")
 	}
-	if err := run(path, "ap1000+", "/nonexistent.conf", false, false, ""); err == nil {
+	if err := run(path, "ap1000+", "/nonexistent.conf", false, false, "", nil); err == nil {
 		t.Error("nonexistent param file accepted")
 	}
 }

@@ -17,7 +17,16 @@ import (
 
 func main() {
 	sanitize := flag.Bool("sanitize", false, "run the functional ping-pong under the apsan communication race detector")
+	faultSpec := flag.String("fault", "", "fault plan spec (e.g. drop=0.05,dup=0.02,seed=42): run the ping-pong over a lossy wire with reliable delivery")
 	flag.Parse()
+	var plan *ap1000plus.FaultPlan
+	if *faultSpec != "" {
+		p, err := ap1000plus.ParseFaultPlan(*faultSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plan = p
+	}
 	models := []*ap1000plus.Params{ap1000plus.AP1000(), ap1000plus.AP1000Plus()}
 	fmt.Printf("%10s | %22s | %22s\n", "", "latency (us)", "sender CPU (us)")
 	fmt.Printf("%10s | %10s %11s | %10s %11s\n", "size", models[0].Name, models[1].Name, models[0].Name, models[1].Name)
@@ -34,15 +43,15 @@ func main() {
 	fmt.Println("The AP1000+ sender cost never grows: the MSC+ takes over after the")
 	fmt.Println("8 command-word stores, so communication overlaps computation (S3.1).")
 	fmt.Println()
-	if err := pingPong(*sanitize); err != nil {
+	if err := pingPong(*sanitize, plan); err != nil {
 		log.Fatal(err)
 	}
 }
 
 // pingPong executes one acknowledged PUT round trip between two cells
 // of the functional machine — the exchange the model above prices.
-func pingPong(sanitize bool) error {
-	m, err := ap1000plus.NewMachine(ap1000plus.Config{Width: 2, Height: 2, Sanitize: sanitize})
+func pingPong(sanitize bool, plan *ap1000plus.FaultPlan) error {
+	m, err := ap1000plus.NewMachine(ap1000plus.Config{Width: 2, Height: 2, Sanitize: sanitize, Fault: plan})
 	if err != nil {
 		return err
 	}
@@ -83,6 +92,9 @@ func pingPong(sanitize bool) error {
 		return err
 	}
 	if err := m.SanitizeErr(); err != nil {
+		return err
+	}
+	if err := m.FaultErr(); err != nil {
 		return err
 	}
 	fmt.Printf("functional ping-pong (%d bytes each way): %+v\n", n*8, m.TNetStats())

@@ -21,8 +21,17 @@ const (
 
 func main() {
 	sanitize := flag.Bool("sanitize", false, "run with the apsan communication race detector")
+	faultSpec := flag.String("fault", "", "fault plan spec (e.g. drop=0.05,dup=0.02,seed=42): run over a lossy wire with reliable delivery")
 	flag.Parse()
-	m, err := ap1000plus.NewMachine(ap1000plus.Config{Width: 2, Height: 2, Sanitize: *sanitize})
+	var plan *ap1000plus.FaultPlan
+	if *faultSpec != "" {
+		p, err := ap1000plus.ParseFaultPlan(*faultSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plan = p
+	}
+	m, err := ap1000plus.NewMachine(ap1000plus.Config{Width: 2, Height: 2, Sanitize: *sanitize, Fault: plan})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -112,6 +121,9 @@ func main() {
 		log.Fatal(err)
 	}
 	if err := m.SanitizeErr(); err != nil {
+		log.Fatal(err)
+	}
+	if err := m.FaultErr(); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("network: %d messages, %d bytes\n", m.TNetStats().Messages, m.TNetStats().Bytes)

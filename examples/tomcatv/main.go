@@ -16,8 +16,16 @@ import (
 
 func main() {
 	sanitize := flag.Bool("sanitize", false, "run with the apsan communication race detector")
+	faultSpec := flag.String("fault", "", "fault plan spec (e.g. drop=0.05,dup=0.02,seed=42): run over a lossy wire with reliable delivery")
 	flag.Parse()
 	apps.Sanitize = *sanitize
+	if *faultSpec != "" {
+		plan, err := ap1000plus.ParseFaultPlan(*faultSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		apps.Fault = plan
+	}
 
 	run := func(stride bool) (*ap1000plus.TraceSet, error) {
 		cfg := apps.TestTomcatv(stride)

@@ -26,3 +26,29 @@ func TestExamplesSanitizerClean(t *testing.T) {
 		})
 	}
 }
+
+// The same examples must survive a lossy wire: drop and duplicate
+// faults with the reliable-delivery path armed, still under the race
+// detector. Reordering is left to the chaos suite — the examples'
+// flag discipline assumes in-order per-stream delivery of distinct
+// transfers, which retransmit-after-reorder preserves only per
+// (src,dst,op) stream.
+func TestExamplesSanitizerCleanUnderFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("go run per example is slow; skipped with -short")
+	}
+	examples := []string{
+		"quickstart", "matmul", "stencil", "redistribute", "dsmcounter", "tomcatv",
+		"latency",
+	}
+	for _, ex := range examples {
+		t.Run(ex, func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", "./examples/"+ex,
+				"-sanitize", "-fault", "drop=0.03,dup=0.02,seed=11").CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s under -sanitize -fault failed: %v\n%s", ex, err, out)
+			}
+		})
+	}
+}

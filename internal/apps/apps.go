@@ -15,6 +15,7 @@ package apps
 import (
 	"fmt"
 
+	"ap1000plus/internal/fault"
 	"ap1000plus/internal/machine"
 	"ap1000plus/internal/obs"
 	"ap1000plus/internal/topology"
@@ -51,6 +52,12 @@ var Observe bool
 // collector to the machine (implies Observe for that machine).
 var TimelineFor func(name string) *obs.Timeline
 
+// Fault, when non-nil before building an instance, runs every
+// application machine under this seeded fault plan with the MSC+'s
+// reliable-delivery path armed. Run fails if a retry budget was
+// exhausted (the numerics could be short a transfer).
+var Fault *fault.Plan
+
 // newInstance builds a machine with cells cells (squarish torus),
 // tracing under name, and a runtime per cell.
 func newInstance(name string, cells int, memPerCell int64) (*Instance, error) {
@@ -67,6 +74,7 @@ func newInstance(name string, cells int, memPerCell int64) (*Instance, error) {
 		MemoryPerCell: memPerCell, TraceApp: name,
 		Sanitize: Sanitize,
 		Observe:  Observe, Timeline: tl,
+		Fault: Fault,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("apps: %s: %w", name, err)
@@ -91,6 +99,9 @@ func (in *Instance) Run() (*trace.TraceSet, error) {
 		return nil, fmt.Errorf("apps: %s: %w", in.Name, err)
 	}
 	if err := in.Machine.SanitizeErr(); err != nil {
+		return nil, fmt.Errorf("apps: %s: %w", in.Name, err)
+	}
+	if err := in.Machine.FaultErr(); err != nil {
 		return nil, fmt.Errorf("apps: %s: %w", in.Name, err)
 	}
 	if in.Verify != nil {

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sync"
 
+	"ap1000plus/internal/fault"
 	"ap1000plus/internal/mem"
 	"ap1000plus/internal/topology"
 )
@@ -37,6 +38,12 @@ type Stats struct {
 	Scatters   int64
 	Gathers    int64
 	Bytes      int64
+	// Retries counts bus-level redeliveries under a fault plan (a
+	// snooping BIF that missed or corrupted a broadcast re-reads it
+	// from the medium); Failed counts per-cell deliveries abandoned
+	// after the retry budget.
+	Retries int64
+	Failed  int64
 }
 
 // Network is the broadcast bus.
@@ -45,6 +52,12 @@ type Network struct {
 	mu       sync.Mutex
 	handlers []Handler
 	stats    Stats
+	// Fault layer: the bus is a single globally-ordered medium, so
+	// only drop and corrupt apply (a duplicate or reordered snoop is
+	// structurally impossible); both are retried at bus level.
+	inj      *fault.Injector
+	class    int
+	attempts int
 }
 
 // New builds a B-net for n cells.
@@ -71,19 +84,59 @@ func (n *Network) Attach(id topology.CellID, h Handler) {
 	n.handlers[id] = h
 }
 
+// SetFault installs the fault injector for the bus. class is the
+// injector's class ID for broadcast traffic, attempts the per-cell
+// delivery budget. Install before traffic flows.
+func (n *Network) SetFault(inj *fault.Injector, class, attempts int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.inj = inj
+	n.class = class
+	n.attempts = attempts
+}
+
 // Broadcast delivers m to every cell (including the sender, matching
 // the bus: every BIF snoops the medium). Broadcasts are globally
-// ordered — the bus carries one message at a time.
-func (n *Network) Broadcast(m Message) {
+// ordered — the bus carries one message at a time. It returns the
+// number of cells the message could NOT be delivered to within the
+// retry budget: always 0 without a fault plan.
+func (n *Network) Broadcast(m Message) int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.stats.Broadcasts++
 	n.stats.Bytes += m.Payload.Size()
+	failed := 0
 	for id, h := range n.handlers {
 		if h == nil {
 			panic(fmt.Sprintf("bnet: cell %d has no handler", id))
 		}
-		h(m)
+		if n.inj == nil {
+			h(m)
+			continue
+		}
+		if !n.deliverFaulty(h, m, id) {
+			failed++
+			n.stats.Failed++
+		}
+	}
+	return failed
+}
+
+// deliverFaulty attempts one cell's snoop of a broadcast under the
+// fault plan, retrying dropped or corrupted snoops at bus level up to
+// the budget. Duplicate and reorder fates cannot occur on the ordered
+// single-medium bus and deliver normally.
+func (n *Network) deliverFaulty(h Handler, m Message, dst int) bool {
+	for attempt := 1; ; attempt++ {
+		fate := n.inj.Decide(int(m.Src), dst, n.class)
+		if fate.Kind != fault.KindDrop && fate.Kind != fault.KindCorrupt {
+			h(m)
+			return true
+		}
+		if attempt >= n.attempts {
+			return false
+		}
+		n.stats.Retries++
 	}
 }
 

@@ -1,0 +1,526 @@
+// Package fault is a deterministic, seedable fault injector for the
+// simulator's wire and delivery layers. A Plan expresses drop,
+// duplicate, reorder, delay and corrupt probabilities — or exact
+// scheduled injections for reproducible tests — per link and per
+// message class; Build compiles it into an Injector the networks
+// consult on every transmission attempt.
+//
+// Determinism is the whole point: the fate of a transmission is a pure
+// hash of (seed, src, dst, class, stream index), where the stream
+// index counts transmission attempts on that (src, dst, class) stream.
+// Every stream is driven by a single goroutine in the functional
+// machine (each cell's send controller processes its commands FIFO,
+// and reply/ack streams mirror the requesting controller's FIFO), so
+// the per-stream index sequence — and therefore every fate — is
+// reproducible run to run even though the global goroutine
+// interleaving is not. Identical plans yield identical fault
+// schedules, retransmit counts and dedup counts.
+//
+// Like the obs.Observer pattern, a nil *Plan (and nil *Injector) means
+// the feature is off and costs one nil check at each hook site.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// Kind classifies one injected fault.
+type Kind uint8
+
+const (
+	// KindNone delivers cleanly (useful in Injections to pin a
+	// transmission that a probability would otherwise disturb).
+	KindNone Kind = iota
+	// KindDrop loses the packet on the wire.
+	KindDrop
+	// KindDup delivers the packet twice.
+	KindDup
+	// KindReorder holds the packet and delivers it after later traffic
+	// on its stream.
+	KindReorder
+	// KindDelay delivers the packet late. The functional machine is
+	// untimed, so there it is a clean delivery that only the counters
+	// see; MLSim charges DelayNanos of simulated time.
+	KindDelay
+	// KindCorrupt flips one payload bit (or poisons the checksum of a
+	// payloadless packet) on the delivered copy.
+	KindCorrupt
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{"none", "drop", "dup", "reorder", "delay", "corrupt"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// parseKind resolves a fault kind name.
+func parseKind(s string) (Kind, error) {
+	for k, name := range kindNames {
+		if s == name {
+			return Kind(k), nil
+		}
+	}
+	return KindNone, fmt.Errorf("fault: unknown kind %q", s)
+}
+
+// Rates are per-transmission fault probabilities, each in [0, 1]. The
+// rolls are independent and checked in severity order (drop, corrupt,
+// dup, reorder, delay): a transmission suffers at most one fault.
+type Rates struct {
+	Drop    float64
+	Dup     float64
+	Reorder float64
+	Delay   float64
+	Corrupt float64
+}
+
+// zero reports whether no fault can fire under these rates.
+func (r Rates) zero() bool { return r == Rates{} }
+
+func (r Rates) validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{{"drop", r.Drop}, {"dup", r.Dup}, {"reorder", r.Reorder}, {"delay", r.Delay}, {"corrupt", r.Corrupt}} {
+		if f.v < 0 || f.v > 1 || f.v != f.v {
+			return fmt.Errorf("fault: rate %s=%v outside [0,1]", f.name, f.v)
+		}
+	}
+	return nil
+}
+
+// Link identifies a directed (src, dst) cell pair.
+type Link struct {
+	Src, Dst int
+}
+
+// Injection schedules one exact fault: the Index'th transmission
+// attempt on the (Src, Dst, Class) stream suffers Kind, regardless of
+// the probabilistic rates.
+type Injection struct {
+	Src, Dst int
+	Class    string
+	Index    uint64
+	Kind     Kind
+}
+
+// Default protocol parameters, used when the Plan leaves them zero.
+const (
+	// DefaultMaxAttempts bounds the reliable layer's retry budget
+	// (first transmission included).
+	DefaultMaxAttempts = 8
+	// DefaultBackoffNanos is the base of the exponential retransmit
+	// backoff, in simulated nanoseconds.
+	DefaultBackoffNanos = 2000
+	// DefaultDelayNanos is the simulated lateness of a KindDelay (and
+	// the modeled lateness of a reordered packet in MLSim).
+	DefaultDelayNanos = 5000
+)
+
+// Plan is a complete fault-injection configuration. The zero value
+// (with all rates zero and no injections) is a valid plan that injects
+// nothing — useful for exercising the reliable-delivery machinery
+// without loss.
+type Plan struct {
+	// Seed drives every probabilistic decision. Two runs with the same
+	// plan (seed included) make identical decisions.
+	Seed int64
+	// Rates apply machine-wide unless overridden.
+	Rates Rates
+	// PerClass overrides the rates for one message class (msc op
+	// names: "put", "get", "get-reply", "rstore", "rstore-ack",
+	// "rload", "rload-reply", "send", plus "bcast" for the B-net). An
+	// override replaces the whole rate set for matching traffic.
+	PerClass map[string]Rates
+	// PerLink overrides the rates for one directed link; it takes
+	// precedence over PerClass. Links outside the built machine are
+	// ignored, so a plan can be reused across machine sizes.
+	PerLink map[Link]Rates
+	// Injections schedule exact faults; they take precedence over all
+	// rates.
+	Injections []Injection
+	// MaxAttempts is the retry budget per packet, first transmission
+	// included; 0 means DefaultMaxAttempts.
+	MaxAttempts int
+	// BackoffNanos is the base simulated retransmit backoff (doubled
+	// per retry); 0 means DefaultBackoffNanos.
+	BackoffNanos int64
+	// DelayNanos is the simulated lateness of delayed/reordered
+	// deliveries; 0 means DefaultDelayNanos.
+	DelayNanos int64
+}
+
+// Clone deep-copies the plan.
+func (p *Plan) Clone() *Plan {
+	if p == nil {
+		return nil
+	}
+	q := *p
+	if p.PerClass != nil {
+		q.PerClass = make(map[string]Rates, len(p.PerClass))
+		for k, v := range p.PerClass {
+			q.PerClass[k] = v
+		}
+	}
+	if p.PerLink != nil {
+		q.PerLink = make(map[Link]Rates, len(p.PerLink))
+		for k, v := range p.PerLink {
+			q.PerLink[k] = v
+		}
+	}
+	q.Injections = append([]Injection(nil), p.Injections...)
+	return &q
+}
+
+// Validate checks every rate and parameter.
+func (p *Plan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	if err := p.Rates.validate(); err != nil {
+		return err
+	}
+	for class, r := range p.PerClass {
+		if class == "" {
+			return fmt.Errorf("fault: empty class name in PerClass")
+		}
+		if err := r.validate(); err != nil {
+			return fmt.Errorf("class %s: %w", class, err)
+		}
+	}
+	for l, r := range p.PerLink {
+		if l.Src < 0 || l.Dst < 0 {
+			return fmt.Errorf("fault: negative cell in link %d:%d", l.Src, l.Dst)
+		}
+		if err := r.validate(); err != nil {
+			return fmt.Errorf("link %d:%d: %w", l.Src, l.Dst, err)
+		}
+	}
+	for _, inj := range p.Injections {
+		if inj.Src < 0 || inj.Dst < 0 {
+			return fmt.Errorf("fault: negative cell in injection %+v", inj)
+		}
+		if inj.Class == "" {
+			return fmt.Errorf("fault: injection without class: %+v", inj)
+		}
+		if int(inj.Kind) >= int(numKinds) {
+			return fmt.Errorf("fault: injection with invalid kind %d", inj.Kind)
+		}
+	}
+	if p.MaxAttempts < 0 {
+		return fmt.Errorf("fault: negative retry budget %d", p.MaxAttempts)
+	}
+	if p.BackoffNanos < 0 || p.DelayNanos < 0 {
+		return fmt.Errorf("fault: negative backoff/delay")
+	}
+	return nil
+}
+
+// maxAttempts resolves the retry budget.
+func (p *Plan) maxAttempts() int {
+	if p == nil || p.MaxAttempts == 0 {
+		return DefaultMaxAttempts
+	}
+	return p.MaxAttempts
+}
+
+// backoffNanos resolves the base backoff.
+func (p *Plan) backoffNanos() int64 {
+	if p == nil || p.BackoffNanos == 0 {
+		return DefaultBackoffNanos
+	}
+	return p.BackoffNanos
+}
+
+// delayNanos resolves the delay lateness.
+func (p *Plan) delayNanos() int64 {
+	if p == nil || p.DelayNanos == 0 {
+		return DefaultDelayNanos
+	}
+	return p.DelayNanos
+}
+
+// Fate is the decided outcome of one transmission attempt.
+type Fate struct {
+	Kind Kind
+	// Index is the attempt's position on its (src, dst, class) stream.
+	Index uint64
+	// DelayNanos is the simulated lateness for KindDelay/KindReorder.
+	DelayNanos int64
+	// CorruptBit selects the payload bit to flip for KindCorrupt.
+	CorruptBit uint64
+}
+
+// Stats is a snapshot of the injector's decision counters.
+type Stats struct {
+	// Decisions counts transmission attempts consulted.
+	Decisions int64
+	// One counter per fault kind actually injected.
+	Drops, Dups, Reorders, Delays, Corrupts int64
+	// Injected counts fates forced by exact Injections (also counted
+	// under their kind).
+	Injected int64
+}
+
+// injKey addresses one exact injection.
+type injKey struct {
+	src, dst, class int
+	index           uint64
+}
+
+// Injector is a compiled Plan bound to a machine size and class
+// vocabulary. Decide is safe for concurrent use; decisions on distinct
+// streams are independent.
+type Injector struct {
+	seed       uint64
+	cells, nc  int
+	global     Rates
+	classRates []*Rates        // per-class override or nil
+	linkRates  map[Link]Rates  // nil when no link overrides
+	inject     map[injKey]Kind // nil when no exact injections
+	budget     int
+	backoffNs  int64
+	delayNs    int64
+	classes    map[string]int
+	classNames []string
+
+	// idx holds the next transmission index of every (src, dst, class)
+	// stream: cells*cells*nc counters. ~8 B per stream; a 64-cell,
+	// 9-class machine uses ~300 KB.
+	idx []atomic.Uint64
+
+	decisions                               atomic.Int64
+	drops, dups, reorders, delays, corrupts atomic.Int64
+	injected                                atomic.Int64
+}
+
+// Build compiles the plan for a machine of `cells` cells whose message
+// classes are named by `classes` (the msc op vocabulary, plus "bcast"
+// for the broadcast net). A nil plan builds a nil injector.
+func (p *Plan) Build(cells int, classes []string) (*Injector, error) {
+	if p == nil {
+		return nil, nil
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if cells <= 0 {
+		return nil, fmt.Errorf("fault: build for %d cells", cells)
+	}
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("fault: build with no message classes")
+	}
+	in := &Injector{
+		seed:       uint64(p.Seed),
+		cells:      cells,
+		nc:         len(classes),
+		global:     p.Rates,
+		classRates: make([]*Rates, len(classes)),
+		budget:     p.maxAttempts(),
+		backoffNs:  p.backoffNanos(),
+		delayNs:    p.delayNanos(),
+		classes:    make(map[string]int, len(classes)),
+		classNames: append([]string(nil), classes...),
+		idx:        make([]atomic.Uint64, cells*cells*len(classes)),
+	}
+	for i, name := range classes {
+		if _, dup := in.classes[name]; dup {
+			return nil, fmt.Errorf("fault: duplicate class %q", name)
+		}
+		in.classes[name] = i
+	}
+	for class, r := range p.PerClass {
+		id, ok := in.classes[class]
+		if !ok {
+			return nil, fmt.Errorf("fault: plan names unknown class %q (have %v)", class, classes)
+		}
+		rr := r
+		in.classRates[id] = &rr
+	}
+	for l, r := range p.PerLink {
+		if l.Src >= cells || l.Dst >= cells {
+			continue // plan reused on a smaller machine
+		}
+		if in.linkRates == nil {
+			in.linkRates = make(map[Link]Rates, len(p.PerLink))
+		}
+		in.linkRates[l] = r
+	}
+	for _, inj := range p.Injections {
+		id, ok := in.classes[inj.Class]
+		if !ok {
+			return nil, fmt.Errorf("fault: injection names unknown class %q", inj.Class)
+		}
+		if inj.Src >= cells || inj.Dst >= cells {
+			continue
+		}
+		if in.inject == nil {
+			in.inject = make(map[injKey]Kind, len(p.Injections))
+		}
+		in.inject[injKey{inj.Src, inj.Dst, id, inj.Index}] = inj.Kind
+	}
+	return in, nil
+}
+
+// ClassID resolves a class name; -1 when unknown.
+func (in *Injector) ClassID(name string) int {
+	if id, ok := in.classes[name]; ok {
+		return id
+	}
+	return -1
+}
+
+// Classes returns the class vocabulary the injector was built with.
+func (in *Injector) Classes() []string { return append([]string(nil), in.classNames...) }
+
+// MaxAttempts is the resolved retry budget (first transmission
+// included).
+func (in *Injector) MaxAttempts() int { return in.budget }
+
+// BackoffNanos is the resolved base retransmit backoff.
+func (in *Injector) BackoffNanos() int64 { return in.backoffNs }
+
+// DelayNanos is the resolved delivery lateness for delayed/reordered
+// packets.
+func (in *Injector) DelayNanos() int64 { return in.delayNs }
+
+// Backoff returns the simulated backoff before retry `attempt` (the
+// attempt that failed, 1-based), with the exponential shift capped so
+// it cannot overflow.
+func (in *Injector) Backoff(attempt int) int64 {
+	shift := attempt - 1
+	if shift > 20 {
+		shift = 20
+	}
+	if shift < 0 {
+		shift = 0
+	}
+	return in.backoffNs << uint(shift)
+}
+
+// splitmix is the splitmix64 finalizer: a high-quality 64-bit mix.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Decide rolls the fate of the next transmission attempt on the
+// (src, dst, class) stream and advances the stream index. A nil
+// injector always answers "deliver cleanly".
+func (in *Injector) Decide(src, dst, class int) Fate {
+	if in == nil {
+		return Fate{}
+	}
+	slot := (src*in.cells+dst)*in.nc + class
+	i := in.idx[slot].Add(1) - 1
+	in.decisions.Add(1)
+	if in.inject != nil {
+		if k, ok := in.inject[injKey{src, dst, class, i}]; ok {
+			in.injected.Add(1)
+			return in.fate(k, slot, i)
+		}
+	}
+	r := in.global
+	if cr := in.classRates[class]; cr != nil {
+		r = *cr
+	}
+	if in.linkRates != nil {
+		if lr, ok := in.linkRates[Link{src, dst}]; ok {
+			r = lr
+		}
+	}
+	if r.zero() {
+		return Fate{Index: i}
+	}
+	h := splitmix(in.seed ^ uint64(slot)*0x9e3779b97f4a7c15)
+	h = splitmix(h ^ i)
+	roll := func() float64 {
+		h = splitmix(h)
+		return float64(h>>11) / (1 << 53)
+	}
+	// Independent rolls, consumed unconditionally so a stream's random
+	// sequence depends only on (seed, slot, index).
+	d, c, u, o, l := roll(), roll(), roll(), roll(), roll()
+	switch {
+	case d < r.Drop:
+		return in.fate(KindDrop, slot, i)
+	case c < r.Corrupt:
+		return in.fate(KindCorrupt, slot, i)
+	case u < r.Dup:
+		return in.fate(KindDup, slot, i)
+	case o < r.Reorder:
+		return in.fate(KindReorder, slot, i)
+	case l < r.Delay:
+		return in.fate(KindDelay, slot, i)
+	}
+	return Fate{Index: i}
+}
+
+// fate assembles the Fate for an injected kind and counts it.
+func (in *Injector) fate(k Kind, slot int, i uint64) Fate {
+	f := Fate{Kind: k, Index: i}
+	switch k {
+	case KindDrop:
+		in.drops.Add(1)
+	case KindDup:
+		in.dups.Add(1)
+	case KindReorder:
+		in.reorders.Add(1)
+		f.DelayNanos = in.delayNs
+	case KindDelay:
+		in.delays.Add(1)
+		f.DelayNanos = in.delayNs
+	case KindCorrupt:
+		in.corrupts.Add(1)
+		f.CorruptBit = splitmix(in.seed ^ uint64(slot)<<32 ^ i ^ 0xc0ffee)
+	}
+	return f
+}
+
+// Stats snapshots the decision counters. Safe on a nil injector.
+func (in *Injector) Stats() Stats {
+	if in == nil {
+		return Stats{}
+	}
+	return Stats{
+		Decisions: in.decisions.Load(),
+		Drops:     in.drops.Load(),
+		Dups:      in.dups.Load(),
+		Reorders:  in.reorders.Load(),
+		Delays:    in.delays.Load(),
+		Corrupts:  in.corrupts.Load(),
+		Injected:  in.injected.Load(),
+	}
+}
+
+// sortedInjections returns the plan's injections in canonical order
+// (src, dst, class, index, kind) for formatting.
+func (p *Plan) sortedInjections() []Injection {
+	out := append([]Injection(nil), p.Injections...)
+	sort.Slice(out, func(a, b int) bool {
+		x, y := out[a], out[b]
+		if x.Src != y.Src {
+			return x.Src < y.Src
+		}
+		if x.Dst != y.Dst {
+			return x.Dst < y.Dst
+		}
+		if x.Class != y.Class {
+			return x.Class < y.Class
+		}
+		if x.Index != y.Index {
+			return x.Index < y.Index
+		}
+		return x.Kind < y.Kind
+	})
+	return out
+}

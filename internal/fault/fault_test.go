@@ -1,0 +1,284 @@
+package fault
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+var testClasses = []string{"put", "get", "get-reply", "rstore", "rstore-ack", "rload", "rload-reply", "send", "bcast"}
+
+// TestDecideDeterministic is the core contract: two injectors built
+// from the same plan make identical decisions on every stream, in any
+// interleaving of streams.
+func TestDecideDeterministic(t *testing.T) {
+	plan := &Plan{
+		Seed:  42,
+		Rates: Rates{Drop: 0.2, Dup: 0.1, Reorder: 0.05, Delay: 0.05, Corrupt: 0.1},
+	}
+	a, err := plan.Build(4, testClasses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := plan.Build(4, testClasses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive b's streams in a different global order than a's: fates
+	// must match per stream regardless.
+	type key struct{ src, dst, class int }
+	fatesA := map[key][]Fate{}
+	for i := 0; i < 50; i++ {
+		for src := 0; src < 4; src++ {
+			for dst := 0; dst < 4; dst++ {
+				for class := 0; class < len(testClasses); class++ {
+					k := key{src, dst, class}
+					fatesA[k] = append(fatesA[k], a.Decide(src, dst, class))
+				}
+			}
+		}
+	}
+	for class := len(testClasses) - 1; class >= 0; class-- {
+		for dst := 3; dst >= 0; dst-- {
+			for src := 3; src >= 0; src-- {
+				k := key{src, dst, class}
+				for i := 0; i < 50; i++ {
+					got := b.Decide(src, dst, class)
+					if want := fatesA[k][i]; got != want {
+						t.Fatalf("stream %v index %d: %+v != %+v", k, i, got, want)
+					}
+				}
+			}
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	if a.Stats().Decisions != 50*4*4*int64(len(testClasses)) {
+		t.Fatalf("decisions = %d", a.Stats().Decisions)
+	}
+}
+
+// TestDecidePrecedence checks the override chain: exact injection >
+// link rates > class rates > global rates.
+func TestDecidePrecedence(t *testing.T) {
+	plan := &Plan{
+		Seed:  7,
+		Rates: Rates{Drop: 1},
+		PerClass: map[string]Rates{
+			"get": {}, // GETs fault-free despite the global drop
+		},
+		PerLink: map[Link]Rates{
+			{Src: 1, Dst: 2}: {Dup: 1}, // link 1->2 duplicates instead
+		},
+		Injections: []Injection{
+			{Src: 0, Dst: 1, Class: "put", Index: 2, Kind: KindCorrupt},
+			{Src: 1, Dst: 2, Class: "put", Index: 0, Kind: KindNone},
+		},
+	}
+	in, err := plan.Build(4, testClasses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	put, get := in.ClassID("put"), in.ClassID("get")
+	if f := in.Decide(0, 1, put); f.Kind != KindDrop {
+		t.Errorf("global drop: got %v", f.Kind)
+	}
+	if f := in.Decide(0, 1, put); f.Kind != KindDrop {
+		t.Errorf("global drop: got %v", f.Kind)
+	}
+	if f := in.Decide(0, 1, put); f.Kind != KindCorrupt || f.Index != 2 {
+		t.Errorf("injection at index 2: got %+v", f)
+	}
+	if f := in.Decide(0, 1, get); f.Kind != KindNone {
+		t.Errorf("class override: got %v", f.Kind)
+	}
+	if f := in.Decide(1, 2, put); f.Kind != KindNone {
+		t.Errorf("KindNone injection overrides link rates: got %v", f.Kind)
+	}
+	if f := in.Decide(1, 2, put); f.Kind != KindDup {
+		t.Errorf("link override: got %v", f.Kind)
+	}
+	st := in.Stats()
+	if st.Injected != 2 || st.Drops != 2 || st.Dups != 1 || st.Corrupts != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+// TestDecideRates sanity-checks that a 30% drop plan drops roughly 30%
+// over many streams (the hash must not be pathologically biased).
+func TestDecideRates(t *testing.T) {
+	plan := &Plan{Seed: 3, Rates: Rates{Drop: 0.3}}
+	in, err := plan.Build(8, testClasses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drops, total := 0, 0
+	for src := 0; src < 8; src++ {
+		for dst := 0; dst < 8; dst++ {
+			for i := 0; i < 100; i++ {
+				total++
+				if in.Decide(src, dst, 0).Kind == KindDrop {
+					drops++
+				}
+			}
+		}
+	}
+	frac := float64(drops) / float64(total)
+	if frac < 0.25 || frac > 0.35 {
+		t.Errorf("drop fraction %.3f, want ~0.30", frac)
+	}
+}
+
+// TestNilInjector: the off state delivers everything cleanly.
+func TestNilInjector(t *testing.T) {
+	var in *Injector
+	if f := in.Decide(0, 1, 0); f != (Fate{}) {
+		t.Errorf("nil injector decided %+v", f)
+	}
+	if in.Stats() != (Stats{}) {
+		t.Errorf("nil injector has stats")
+	}
+	var p *Plan
+	built, err := p.Build(4, testClasses)
+	if err != nil || built != nil {
+		t.Errorf("nil plan built %v, %v", built, err)
+	}
+}
+
+// TestBackoff: exponential growth from the base with a capped shift.
+func TestBackoff(t *testing.T) {
+	in, err := (&Plan{BackoffNanos: 100}).Build(2, testClasses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for attempt, want := range map[int]int64{1: 100, 2: 200, 3: 400, 8: 12800} {
+		if got := in.Backoff(attempt); got != want {
+			t.Errorf("Backoff(%d) = %d, want %d", attempt, got, want)
+		}
+	}
+	if a, b := in.Backoff(21), in.Backoff(100); a != b {
+		t.Errorf("backoff shift not capped: %d vs %d", a, b)
+	}
+	if in.MaxAttempts() != DefaultMaxAttempts {
+		t.Errorf("default budget = %d", in.MaxAttempts())
+	}
+	if in.DelayNanos() != DefaultDelayNanos {
+		t.Errorf("default delay = %d", in.DelayNanos())
+	}
+}
+
+// TestSpecRoundTrip: Parse -> String -> Parse is the identity on the
+// canonical form, and the parsed plans are semantically equal.
+func TestSpecRoundTrip(t *testing.T) {
+	specs := []string{
+		"",
+		"drop=0.05,dup=0.02,seed=42",
+		"seed=-9,reorder=0.125,delay=0.25,corrupt=0.5,budget=3,backoff=1500,delayns=7000",
+		"class:put:drop=0.1,class:put:dup=0.2,class:get-reply:corrupt=1",
+		"link:0:1:drop=1 link:3:2:dup=0.5",
+		"class:send:drop=0", // all-zero override must survive
+		"inject:0:1:put:3=drop,inject:1:0:get:0=none,inject:2:2:bcast:7=corrupt",
+		"drop=0.05;dup=0.02\nseed=11\tlink:1:1:reorder=1",
+	}
+	for _, spec := range specs {
+		p1, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		canon := p1.String()
+		p2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("Parse(%q) [canonical of %q]: %v", canon, spec, err)
+		}
+		if got := p2.String(); got != canon {
+			t.Errorf("round trip of %q: %q -> %q", spec, canon, got)
+		}
+		n1, n2 := normalize(p1), normalize(p2)
+		if !reflect.DeepEqual(n1, n2) {
+			t.Errorf("semantic drift for %q: %+v vs %+v", spec, n1, n2)
+		}
+	}
+}
+
+// normalize nils out empty maps/slices so DeepEqual compares meaning.
+func normalize(p *Plan) *Plan {
+	q := p.Clone()
+	if len(q.PerClass) == 0 {
+		q.PerClass = nil
+	}
+	if len(q.PerLink) == 0 {
+		q.PerLink = nil
+	}
+	if len(q.Injections) == 0 {
+		q.Injections = nil
+	}
+	return q
+}
+
+// TestParseErrors: malformed specs are rejected with the offending
+// entry named.
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"drop",                     // not key=value
+		"drop=x",                   // not a number
+		"drop=1.5",                 // out of range
+		"drop=-0.1",                // negative
+		"frobnicate=1",             // unknown key
+		"class:put=0.1",            // missing rate
+		"class:put:zap=0.1",        // unknown rate
+		"link:0:1=1",               // missing rate
+		"link:a:b:drop=1",          // non-numeric cells
+		"link:-1:0:drop=1",         // negative cell
+		"inject:0:1:put=drop",      // missing index
+		"inject:0:1:put:x=drop",    // bad index
+		"inject:0:1:put:0=explode", // unknown kind
+		"inject:0:1::0=drop",       // empty class
+		"budget=-2",                // negative budget
+		"backoff=-1",               // negative backoff
+	}
+	for _, spec := range bad {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+// TestBuildErrors: unknown classes are caught at Build; out-of-range
+// links are tolerated so one plan serves several machine sizes.
+func TestBuildErrors(t *testing.T) {
+	if _, err := (&Plan{PerClass: map[string]Rates{"warp": {Drop: 1}}}).Build(4, testClasses); err == nil || !strings.Contains(err.Error(), "warp") {
+		t.Errorf("unknown class: err = %v", err)
+	}
+	if _, err := (&Plan{Injections: []Injection{{Src: 0, Dst: 1, Class: "warp"}}}).Build(4, testClasses); err == nil {
+		t.Errorf("unknown injection class accepted")
+	}
+	p := &Plan{
+		Rates:      Rates{Drop: 1},
+		PerLink:    map[Link]Rates{{Src: 99, Dst: 0}: {}},
+		Injections: []Injection{{Src: 99, Dst: 0, Class: "put", Index: 0, Kind: KindDrop}},
+	}
+	in, err := p.Build(4, testClasses)
+	if err != nil {
+		t.Fatalf("out-of-range link/injection should be ignored: %v", err)
+	}
+	if f := in.Decide(0, 1, 0); f.Kind != KindDrop {
+		t.Errorf("global rates lost: %v", f.Kind)
+	}
+}
+
+// TestClone: mutating a clone leaves the original untouched.
+func TestClone(t *testing.T) {
+	p, err := Parse("drop=0.1,class:put:dup=0.5,link:0:1:drop=1,inject:0:1:put:0=drop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := p.Clone()
+	q.Rates.Drop = 0.9
+	q.PerClass["put"] = Rates{Corrupt: 1}
+	q.PerLink[Link{0, 1}] = Rates{}
+	q.Injections[0].Kind = KindDup
+	if p.Rates.Drop != 0.1 || p.PerClass["put"].Dup != 0.5 || p.PerLink[Link{0, 1}].Drop != 1 || p.Injections[0].Kind != KindDrop {
+		t.Errorf("clone aliases original: %+v", p)
+	}
+}

@@ -1,0 +1,57 @@
+package fault
+
+import "testing"
+
+// FuzzPlan fuzzes the plan parser: any accepted spec must canonicalize
+// to a stable fixed point (Parse -> String -> Parse -> String is the
+// identity), survive Validate, and build cleanly for a small machine
+// whenever its vocabulary is the standard one.
+func FuzzPlan(f *testing.F) {
+	f.Add("")
+	f.Add("drop=0.05,dup=0.02,seed=42")
+	f.Add("seed=-1,reorder=1,budget=3,backoff=100,delayns=200")
+	f.Add("class:put:drop=0.5,class:get-reply:corrupt=0.25")
+	f.Add("link:0:1:drop=1,link:1:0:dup=1")
+	f.Add("inject:0:1:put:3=drop,inject:1:0:get:0=none")
+	f.Add("class:send:drop=0")
+	f.Add("drop=1e-10;dup=0.9999999999999999\nseed=9223372036854775807")
+	f.Fuzz(func(t *testing.T, spec string) {
+		p1, err := Parse(spec)
+		if err != nil {
+			return // rejected inputs are fine; they must just not panic
+		}
+		if err := p1.Validate(); err != nil {
+			t.Fatalf("Parse(%q) accepted an invalid plan: %v", spec, err)
+		}
+		canon := p1.String()
+		p2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canon, spec, err)
+		}
+		if got := p2.String(); got != canon {
+			t.Fatalf("canonical form unstable: %q -> %q", canon, got)
+		}
+		// Plans whose classes are all standard must build; plans naming
+		// other classes must fail Build without panicking.
+		if _, err := p2.Build(4, testClasses); err != nil {
+			known := map[string]bool{}
+			for _, c := range testClasses {
+				known[c] = true
+			}
+			legit := false
+			for c := range p2.PerClass {
+				if !known[c] {
+					legit = true
+				}
+			}
+			for _, inj := range p2.Injections {
+				if !known[inj.Class] {
+					legit = true
+				}
+			}
+			if !legit {
+				t.Fatalf("Build failed on a standard-vocabulary plan %q: %v", canon, err)
+			}
+		}
+	})
+}

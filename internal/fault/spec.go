@@ -1,0 +1,241 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The text form of a Plan is a list of key=value entries separated by
+// commas, semicolons, or whitespace (so the same spec works as a CLI
+// flag and as a file):
+//
+//	seed=42,drop=0.05,dup=0.02,budget=8
+//	class:get-reply:corrupt=0.01
+//	link:0:1:drop=1
+//	inject:0:1:put:3=drop
+//
+// Global keys: seed, drop, dup, reorder, delay, corrupt, budget,
+// backoff (ns), delayns. Class and link overrides replace the whole
+// rate set for matching traffic; fields they leave unset are zero.
+// String renders the canonical form: sorted, minimal, and stable —
+// Parse(p.String()).String() == p.String().
+
+// rateOrder fixes the canonical rate-key order.
+var rateOrder = []string{"drop", "dup", "reorder", "delay", "corrupt"}
+
+// rateField returns a pointer to the named rate within r, or nil.
+func rateField(r *Rates, key string) *float64 {
+	switch key {
+	case "drop":
+		return &r.Drop
+	case "dup":
+		return &r.Dup
+	case "reorder":
+		return &r.Reorder
+	case "delay":
+		return &r.Delay
+	case "corrupt":
+		return &r.Corrupt
+	}
+	return nil
+}
+
+// Parse builds a Plan from its text form. An empty spec is the empty
+// plan (reliable delivery exercised, nothing injected).
+func Parse(spec string) (*Plan, error) {
+	p := &Plan{}
+	entries := strings.FieldsFunc(spec, func(r rune) bool {
+		return r == ',' || r == ';' || r == ' ' || r == '\t' || r == '\n' || r == '\r'
+	})
+	for _, e := range entries {
+		key, val, ok := strings.Cut(e, "=")
+		if !ok {
+			return nil, fmt.Errorf("fault: entry %q is not key=value", e)
+		}
+		if err := p.apply(key, val); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// apply sets one parsed entry on the plan.
+func (p *Plan) apply(key, val string) error {
+	parts := strings.Split(key, ":")
+	switch parts[0] {
+	case "seed":
+		return parseInto(key, val, &p.Seed)
+	case "budget":
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("fault: %s=%q: %v", key, val, err)
+		}
+		p.MaxAttempts = n
+		return nil
+	case "backoff":
+		return parseInto(key, val, &p.BackoffNanos)
+	case "delayns":
+		return parseInto(key, val, &p.DelayNanos)
+	case "class":
+		if len(parts) != 3 {
+			return fmt.Errorf("fault: class key %q wants class:<name>:<rate>", key)
+		}
+		f, err := parseRate(key, val)
+		if err != nil {
+			return err
+		}
+		if p.PerClass == nil {
+			p.PerClass = map[string]Rates{}
+		}
+		r := p.PerClass[parts[1]]
+		fp := rateField(&r, parts[2])
+		if fp == nil {
+			return fmt.Errorf("fault: unknown rate %q in %q", parts[2], key)
+		}
+		*fp = f
+		p.PerClass[parts[1]] = r
+		return nil
+	case "link":
+		if len(parts) != 4 {
+			return fmt.Errorf("fault: link key %q wants link:<src>:<dst>:<rate>", key)
+		}
+		src, err1 := strconv.Atoi(parts[1])
+		dst, err2 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil || src < 0 || dst < 0 {
+			return fmt.Errorf("fault: bad link cells in %q", key)
+		}
+		f, err := parseRate(key, val)
+		if err != nil {
+			return err
+		}
+		if p.PerLink == nil {
+			p.PerLink = map[Link]Rates{}
+		}
+		l := Link{src, dst}
+		r := p.PerLink[l]
+		fp := rateField(&r, parts[3])
+		if fp == nil {
+			return fmt.Errorf("fault: unknown rate %q in %q", parts[3], key)
+		}
+		*fp = f
+		p.PerLink[l] = r
+		return nil
+	case "inject":
+		if len(parts) != 5 {
+			return fmt.Errorf("fault: inject key %q wants inject:<src>:<dst>:<class>:<index>", key)
+		}
+		src, err1 := strconv.Atoi(parts[1])
+		dst, err2 := strconv.Atoi(parts[2])
+		idx, err3 := strconv.ParseUint(parts[4], 10, 64)
+		if err1 != nil || err2 != nil || err3 != nil || src < 0 || dst < 0 {
+			return fmt.Errorf("fault: bad injection key %q", key)
+		}
+		if parts[3] == "" {
+			return fmt.Errorf("fault: injection key %q has empty class", key)
+		}
+		k, err := parseKind(val)
+		if err != nil {
+			return err
+		}
+		p.Injections = append(p.Injections, Injection{Src: src, Dst: dst, Class: parts[3], Index: idx, Kind: k})
+		return nil
+	default:
+		if len(parts) == 1 {
+			if fp := rateField(&p.Rates, key); fp != nil {
+				f, err := parseRate(key, val)
+				if err != nil {
+					return err
+				}
+				*fp = f
+				return nil
+			}
+		}
+		return fmt.Errorf("fault: unknown key %q", key)
+	}
+}
+
+func parseRate(key, val string) (float64, error) {
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return 0, fmt.Errorf("fault: %s=%q: %v", key, val, err)
+	}
+	return f, nil
+}
+
+func parseInto(key, val string, dst *int64) error {
+	n, err := strconv.ParseInt(val, 10, 64)
+	if err != nil {
+		return fmt.Errorf("fault: %s=%q: %v", key, val, err)
+	}
+	*dst = n
+	return nil
+}
+
+// String renders the canonical text form: minimal (zero/default fields
+// omitted, except that an all-zero class or link override keeps one
+// explicit zero entry to preserve its existence) and deterministically
+// ordered.
+func (p *Plan) String() string {
+	if p == nil {
+		return ""
+	}
+	var out []string
+	add := func(format string, args ...any) {
+		out = append(out, fmt.Sprintf(format, args...))
+	}
+	if p.Seed != 0 {
+		add("seed=%d", p.Seed)
+	}
+	appendRates := func(prefix string, r Rates) {
+		emitted := false
+		for _, key := range rateOrder {
+			if v := *rateField(&r, key); v != 0 {
+				add("%s%s=%s", prefix, key, strconv.FormatFloat(v, 'g', -1, 64))
+				emitted = true
+			}
+		}
+		if !emitted && prefix != "" {
+			add("%sdrop=0", prefix)
+		}
+	}
+	appendRates("", p.Rates)
+	if p.MaxAttempts != 0 {
+		add("budget=%d", p.MaxAttempts)
+	}
+	if p.BackoffNanos != 0 {
+		add("backoff=%d", p.BackoffNanos)
+	}
+	if p.DelayNanos != 0 {
+		add("delayns=%d", p.DelayNanos)
+	}
+	classes := make([]string, 0, len(p.PerClass))
+	for class := range p.PerClass {
+		classes = append(classes, class)
+	}
+	sort.Strings(classes)
+	for _, class := range classes {
+		appendRates("class:"+class+":", p.PerClass[class])
+	}
+	links := make([]Link, 0, len(p.PerLink))
+	for l := range p.PerLink {
+		links = append(links, l)
+	}
+	sort.Slice(links, func(a, b int) bool {
+		if links[a].Src != links[b].Src {
+			return links[a].Src < links[b].Src
+		}
+		return links[a].Dst < links[b].Dst
+	})
+	for _, l := range links {
+		appendRates(fmt.Sprintf("link:%d:%d:", l.Src, l.Dst), p.PerLink[l])
+	}
+	for _, inj := range p.sortedInjections() {
+		add("inject:%d:%d:%s:%d=%s", inj.Src, inj.Dst, inj.Class, inj.Index, inj.Kind)
+	}
+	return strings.Join(out, ",")
+}

@@ -403,7 +403,8 @@ func (c *Cell) Broadcast(laddr mem.Addr, size int64, tag int64) error {
 	if s := c.machine.san; s != nil {
 		p.SetSan(s.Release(s.CPU(int(c.id))))
 	}
-	c.machine.bnet.Broadcast(bnet.Message{Src: c.id, Payload: p, Tag: tag})
+	failed := c.machine.bnet.Broadcast(bnet.Message{Src: c.id, Payload: p, Tag: tag})
+	c.machine.broadcastFault(c, failed)
 	return nil
 }
 

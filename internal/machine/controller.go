@@ -54,7 +54,7 @@ func (m *Machine) process(c *Cell, cmd msc.Command) {
 		m.sendData(c, cmd, exec)
 	case msc.OpGet, msc.OpRemoteLoad:
 		// Request messages carry no payload; route them out.
-		m.tnet.Send(tnet.Packet{Head: cmd, SanTid: exec})
+		m.xmit(c, tnet.Packet{Head: cmd, SanTid: exec})
 	case msc.OpGetReply:
 		m.reply(c, cmd, exec)
 	case msc.OpRemoteLoadReply:
@@ -126,12 +126,13 @@ func (m *Machine) sendData(c *Cell, cmd msc.Command, exec int) {
 	// flag (S4.1, "flag update combined with data transfer").
 	m.sanFlagInc(exec, int(c.id), cmd.SendFlag)
 	c.Flags.Inc(cmd.SendFlag)
-	m.tnet.Send(tnet.Packet{Head: cmd, Payload: payload, SanTid: exec})
+	m.xmit(c, tnet.Packet{Head: cmd, Payload: payload, SanTid: exec})
 	// Send delivers synchronously on this goroutine. PUT and remote
 	// store payloads are copied out during delivery, so their buffers
 	// can recycle; SEND payloads park in the destination's ring buffer
-	// and must stay alive.
-	if cmd.Op != msc.OpSend {
+	// and must stay alive. Under a fault plan a copy may still sit in
+	// the reorder limbo, so the buffer is left to the GC.
+	if cmd.Op != msc.OpSend && m.rel == nil {
 		payload.Release()
 	}
 }
@@ -161,10 +162,13 @@ func (m *Machine) reply(c *Cell, cmd msc.Command, exec int) {
 	out := cmd
 	out.Src = c.id
 	out.Dst = cmd.Src // back to the requester
-	m.tnet.Send(tnet.Packet{Head: out, Payload: payload, SanTid: exec})
+	m.xmit(c, tnet.Packet{Head: out, Payload: payload, SanTid: exec})
 	// The reply was copied into the requester's memory during the
-	// synchronous Send; recycle the buffer.
-	payload.Release()
+	// synchronous Send; recycle the buffer (unless a fault plan may
+	// still be holding a copy in limbo).
+	if m.rel == nil {
+		payload.Release()
+	}
 }
 
 // loadReply serves a queued remote load.
@@ -188,7 +192,7 @@ func (m *Machine) loadReply(c *Cell, cmd msc.Command, exec int) {
 	out := cmd
 	out.Src = c.id
 	out.Dst = cmd.Src
-	m.tnet.Send(tnet.Packet{Head: out, Payload: payload, SanTid: exec})
+	m.xmit(c, tnet.Packet{Head: out, Payload: payload, SanTid: exec})
 }
 
 // receive is the cell's T-net receive controller (the MSC+ of the
@@ -197,17 +201,32 @@ func (m *Machine) loadReply(c *Cell, cmd msc.Command, exec int) {
 // It runs on the sending controller's goroutine; all state it touches
 // is monitor-protected or owned by flag discipline, like real DMA.
 // Sanitizer-wise the packet's SanTid carries that controller's
-// logical thread through the delivery.
-func (c *Cell) receive(p tnet.Packet) {
+// logical thread through the delivery. It reports whether the packet
+// was accepted; under a fault plan, false makes the sender retransmit.
+func (c *Cell) receive(p tnet.Packet) bool {
 	m := c.machine
+	if r := m.rel; r != nil {
+		// Reliable-delivery gate: a damaged packet is rejected before
+		// it can touch memory or the dedup window; a duplicate is
+		// acknowledged without re-running the DMA, the flag increment
+		// or the sanitizer hooks — the effects fire exactly once.
+		switch r.admit(c, p) {
+		case admitReject:
+			return false
+		case admitDup:
+			return true
+		}
+	}
 	cmd := p.Head
 	exec := p.SanTid
 	switch cmd.Op {
 	case msc.OpPut:
-		if c.deliver(cmd, p.Payload, exec, "PUT receive DMA write") {
-			m.sanFlagInc(exec, int(c.id), cmd.RecvFlag)
-			c.Flags.Inc(cmd.RecvFlag)
+		if !c.deliver(cmd, p.Payload, exec, "PUT receive DMA write") {
+			return false
 		}
+		m.sanFlagInc(exec, int(c.id), cmd.RecvFlag)
+		c.Flags.Inc(cmd.RecvFlag)
+		return true
 
 	case msc.OpSend:
 		c.sinkMu.RLock()
@@ -215,9 +234,10 @@ func (c *Cell) receive(p tnet.Packet) {
 		c.sinkMu.RUnlock()
 		if sink == nil {
 			c.OS.fault(fmt.Errorf("machine: cell %d: SEND arrived with no ring buffer", c.id))
-			return
+			return true
 		}
 		sink(cmd.Port, cmd.Src, p.Payload)
+		return true
 
 	case msc.OpGet:
 		// The MSC+ "analyzes the GET request message and enters it
@@ -231,23 +251,29 @@ func (c *Cell) receive(p tnet.Packet) {
 			req.San = s.ReleaseHandle(exec)
 		}
 		c.push(qGetReply, req)
+		return true
 
 	case msc.OpGetReply:
-		if c.deliver(cmd, p.Payload, exec, "GET receive DMA write") {
-			m.sanFlagInc(exec, int(c.id), cmd.RecvFlag)
-			c.Flags.Inc(cmd.RecvFlag)
+		if !c.deliver(cmd, p.Payload, exec, "GET receive DMA write") {
+			return false
 		}
+		m.sanFlagInc(exec, int(c.id), cmd.RecvFlag)
+		c.Flags.Inc(cmd.RecvFlag)
+		return true
 
 	case msc.OpRemoteStore:
-		if c.deliver(remoteStoreAsPut(cmd), p.Payload, exec, "remote store receive DMA write") {
-			// Acknowledge automatically (S4.2).
-			ack := msc.Command{Op: msc.OpRemoteStoreAck, Src: c.id, Dst: cmd.Src}
-			m.tnet.Send(tnet.Packet{Head: ack, SanTid: exec})
+		if !c.deliver(remoteStoreAsPut(cmd), p.Payload, exec, "remote store receive DMA write") {
+			return false
 		}
+		// Acknowledge automatically (S4.2).
+		ack := msc.Command{Op: msc.OpRemoteStoreAck, Src: c.id, Dst: cmd.Src}
+		m.xmit(c, tnet.Packet{Head: ack, SanTid: exec})
+		return true
 
 	case msc.OpRemoteStoreAck:
 		m.sanFlagInc(exec, int(c.id), mc.RemoteAckFlagID)
 		c.Flags.Inc(mc.RemoteAckFlagID)
+		return true
 
 	case msc.OpRemoteLoad:
 		req := cmd
@@ -256,12 +282,15 @@ func (c *Cell) receive(p tnet.Packet) {
 			req.San = s.ReleaseHandle(exec)
 		}
 		c.push(qRloadReply, req)
+		return true
 
 	case msc.OpRemoteLoadReply:
 		c.completeLoad(cmd.Tag, p.Payload)
+		return true
 
 	default:
 		c.OS.fault(fmt.Errorf("machine: cell %d: unknown packet %v", c.id, cmd))
+		return true
 	}
 }
 

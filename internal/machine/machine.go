@@ -18,6 +18,7 @@ import (
 
 	"ap1000plus/internal/apsan"
 	"ap1000plus/internal/bnet"
+	"ap1000plus/internal/fault"
 	"ap1000plus/internal/msc"
 	"ap1000plus/internal/obs"
 	"ap1000plus/internal/snet"
@@ -80,6 +81,14 @@ type Config struct {
 	// trace-event/Perfetto slices and instants for every cell CPU and
 	// MSC+ controller. Implies Observe.
 	Timeline *obs.Timeline
+	// Fault, when non-nil, injects deterministic seeded wire faults
+	// (drop/duplicate/reorder/delay/corrupt) into the T-net and B-net
+	// and arms the MSC+'s reliable-delivery path: sequence numbers,
+	// end-to-end checksums, retransmit with exponential backoff and a
+	// bounded retry budget, receive-side dedup. Implies Observe (the
+	// fault counters ride the obs layer). Nil costs one pointer check
+	// per send — the wire is trusted, exactly the pre-fault machine.
+	Fault *fault.Plan
 }
 
 func (c *Config) fill() error {
@@ -109,6 +118,7 @@ type Machine struct {
 	ts       *trace.TraceSet
 	san      *apsan.Sanitizer
 	obs      *obs.Observer
+	rel      *relay // reliable delivery; nil without Config.Fault
 
 	groupMu sync.Mutex
 	groups  []*topology.Group // index = trace.GroupID
@@ -141,7 +151,7 @@ func New(cfg Config) (*Machine, error) {
 			m.cells[r.Access.Cell].OS.interrupt(IntrSanitizer)
 		}
 	}
-	if cfg.Observe || cfg.Timeline != nil {
+	if cfg.Observe || cfg.Timeline != nil || cfg.Fault != nil {
 		m.obs = obs.NewObserver(torus.Cells(), cfg.Timeline)
 		if tl := cfg.Timeline; tl != nil {
 			for id := 0; id < torus.Cells(); id++ {
@@ -150,6 +160,17 @@ func New(cfg Config) (*Machine, error) {
 				tl.Thread(id, obs.TidMSC, "msc+")
 			}
 		}
+	}
+	if cfg.Fault != nil {
+		// Class IDs match msc.Op values; broadcasts ride the extra
+		// "bcast" class.
+		inj, err := cfg.Fault.Build(torus.Cells(), append(msc.OpNames(), "bcast"))
+		if err != nil {
+			return nil, err
+		}
+		m.rel = newRelay(m, inj)
+		m.tnet.SetFault(inj)
+		m.bnet.SetFault(inj, inj.ClassID("bcast"), inj.MaxAttempts())
 	}
 	for id := 0; id < torus.Cells(); id++ {
 		c, err := newCell(m, topology.CellID(id))
@@ -271,9 +292,17 @@ func (m *Machine) Run(program func(c *Cell) error) error {
 	cpuWG.Wait()
 
 	// Drain: wait for all queued and chained commands to complete,
-	// then stop the controllers.
-	for m.inflight.Load() != 0 {
-		runtime.Gosched()
+	// then stop the controllers. Under a fault plan, reordered packets
+	// held in limbo are flushed once the machine is quiescent; a flush
+	// can queue new commands (a late GET request), so drain again until
+	// nothing is held.
+	for {
+		for m.inflight.Load() != 0 {
+			runtime.Gosched()
+		}
+		if m.rel == nil || m.tnet.FlushHeld() == 0 {
+			break
+		}
 	}
 	for _, c := range m.cells {
 		c.MSC.Close()

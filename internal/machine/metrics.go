@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ap1000plus/internal/bnet"
+	"ap1000plus/internal/fault"
 	"ap1000plus/internal/msc"
 	"ap1000plus/internal/obs"
 	"ap1000plus/internal/tnet"
@@ -38,6 +39,22 @@ type Metrics struct {
 	HWBarriers int64
 	// WallNanos is wall-clock time since machine construction.
 	WallNanos int64
+	// Fault summarizes fault injection and the reliable-delivery
+	// response; nil when the machine ran without a fault plan (so the
+	// snapshot's shape is unchanged for fault-free machines).
+	Fault *FaultMetrics
+}
+
+// FaultMetrics aggregates the fault layer machine-wide: the injector's
+// decision counters plus the reliable-delivery totals accumulated in
+// the per-cell obs counters.
+type FaultMetrics struct {
+	fault.Stats
+	Retransmits     int64
+	BackoffNanos    int64
+	Dedups          int64
+	CorruptDetected int64
+	CellFaults      int64
 }
 
 // Metrics snapshots the machine's counters. The obs fields are only
@@ -63,6 +80,17 @@ func (m *Machine) Metrics() Metrics {
 		cm.OSInterrupts = c.OS.InterruptCounts()
 		cm.FlagIncrements = c.Flags.Increments()
 		cm.CacheInvalidations = c.CacheInvalidations()
+	}
+	if m.rel != nil {
+		t := mt.Totals()
+		mt.Fault = &FaultMetrics{
+			Stats:           m.rel.inj.Stats(),
+			Retransmits:     t.Retransmits,
+			BackoffNanos:    t.BackoffNanos,
+			Dedups:          t.Dedups,
+			CorruptDetected: t.CorruptDetected,
+			CellFaults:      t.CellFaults,
+		}
 	}
 	return mt
 }
@@ -145,5 +173,11 @@ func (mt *Metrics) Format(w io.Writer) error {
 	p("  interrupts  total=%d %v\n", t.Interrupts, intr)
 	p("  sync        flag-waits=%d (%.3f ms stalled), barriers=%d (%.3f ms stalled), hw-barriers=%d\n",
 		t.FlagWaits, float64(t.FlagWaitNanos)/1e6, t.Barriers, float64(t.BarrierStallNanos)/1e6, mt.HWBarriers)
-	return p("  mc          flag-incs=%d, cache-lines-invalidated=%d\n", flagIncs, inval)
+	if err := p("  mc          flag-incs=%d, cache-lines-invalidated=%d\n", flagIncs, inval); err != nil || mt.Fault == nil {
+		return err
+	}
+	f := mt.Fault
+	return p("  fault       drops=%d dups=%d reorders=%d corrupts=%d delays=%d | retransmits=%d (%.3f ms backoff) dedups=%d corrupt-drops=%d cell-faults=%d\n",
+		f.Drops, f.Dups, f.Reorders, f.Corrupts, f.Delays,
+		f.Retransmits, float64(f.BackoffNanos)/1e6, f.Dedups, f.CorruptDetected, f.CellFaults)
 }

@@ -43,7 +43,7 @@ func runKnownExchange(t *testing.T, m *Machine) {
 			c.PushUser(msc.Command{
 				Op: msc.OpPut, Dst: 1,
 				RAddr: segs[1].Base() + 64, LAddr: segs[0].Base(),
-				RStride: mem.Contiguous(32),
+				RStride:  mem.Contiguous(32),
 				LStride:  mem.Stride{ItemSize: 8, Count: 4, Skip: 24},
 				RecvFlag: rf1,
 			})

@@ -17,6 +17,10 @@ const (
 	// IntrSanitizer: the apsan race detector recorded a report whose
 	// detecting access ran on this cell (sanitized machines only).
 	IntrSanitizer
+	// IntrCellFault: a reliable-delivery retry budget was exhausted
+	// and the MSC+ abandoned the transfer (fault-injected machines
+	// only).
+	IntrCellFault
 
 	numInterruptCauses
 )
@@ -31,6 +35,8 @@ func (c InterruptCause) String() string {
 		return "ring-buffer-full"
 	case IntrSanitizer:
 		return "sanitizer-report"
+	case IntrCellFault:
+		return "cell-fault"
 	}
 	return "unknown"
 }

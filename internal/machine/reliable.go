@@ -1,0 +1,268 @@
+package machine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ap1000plus/internal/fault"
+	"ap1000plus/internal/mem"
+	"ap1000plus/internal/msc"
+	"ap1000plus/internal/obs"
+	"ap1000plus/internal/tnet"
+	"ap1000plus/internal/topology"
+)
+
+// CellFault reports a transfer the MSC+ abandoned after exhausting its
+// reliable-delivery retry budget: the unrecoverable end of graceful
+// degradation under a fault plan. It lands in the source cell's OS
+// fault log and is surfaced machine-wide through Machine.FaultErr.
+type CellFault struct {
+	Cell     topology.CellID // the cell that gave up
+	Dst      topology.CellID
+	Op       msc.Op
+	Seq      uint64
+	Attempts int
+}
+
+func (f *CellFault) Error() string {
+	return fmt.Sprintf("machine: cell %d: %s to cell %d (seq %d) undeliverable after %d attempts",
+		f.Cell, f.Op, f.Dst, f.Seq, f.Attempts)
+}
+
+// relay is the machine's reliable-delivery layer, active only when the
+// machine was built with a fault plan. It gives every T-net packet a
+// per-link sequence number and an end-to-end checksum, retransmits on
+// rejected delivery with simulated exponential backoff, and dedups on
+// the receive side so retried or duplicated packets take effect
+// exactly once (the MC's flag fetch-and-increment must not double
+// fire). A nil *relay is the off state: Seq and Sum stay zero and the
+// wire is trusted, exactly the pre-fault machine.
+type relay struct {
+	m     *Machine
+	inj   *fault.Injector
+	cells int
+	links []relLink // [src*cells+dst]
+
+	mu     sync.Mutex
+	faults []error
+}
+
+// relLink is one directed (src, dst) link's reliable-delivery state:
+// the sender-side sequence counter and the receiver-side dedup window.
+// Several controller goroutines can transmit on one link (a cell's own
+// commands, its GET replies, remote-store acks executing on other
+// controllers), so both sides are under the link mutex.
+type relLink struct {
+	mu      sync.Mutex
+	nextSeq uint64
+	// contig is the receive watermark: every seq <= contig has been
+	// accepted. seen holds accepted seqs above the watermark (holes
+	// from reordering), collapsed back into contig as they fill.
+	contig uint64
+	seen   map[uint64]bool
+}
+
+// see records seq as received and reports whether it was a duplicate.
+func (l *relLink) see(seq uint64) (dup bool) {
+	if seq <= l.contig || l.seen[seq] {
+		return true
+	}
+	if seq == l.contig+1 {
+		l.contig++
+		for l.seen[l.contig+1] {
+			delete(l.seen, l.contig+1)
+			l.contig++
+		}
+		return false
+	}
+	if l.seen == nil {
+		l.seen = make(map[uint64]bool)
+	}
+	l.seen[seq] = true
+	return false
+}
+
+func newRelay(m *Machine, inj *fault.Injector) *relay {
+	cells := m.torus.Cells()
+	return &relay{m: m, inj: inj, cells: cells, links: make([]relLink, cells*cells)}
+}
+
+// packetSum is the end-to-end checksum the MSC+ stamps into Sum at
+// transmit and verifies on receive: FNV-1a over the header words that
+// route and apply the packet, extended with the payload hash. The Sum
+// field itself is excluded (it is the digest).
+func packetSum(h msc.Command, payload *mem.Payload) uint64 {
+	const prime = 1099511628211
+	s := payload.Sum64()
+	for _, w := range [...]uint64{
+		uint64(h.Op), uint64(h.Src), uint64(h.Dst),
+		uint64(h.RAddr), uint64(h.LAddr),
+		uint64(h.RStride.ItemSize), uint64(h.RStride.Count), uint64(h.RStride.Skip),
+		uint64(h.LStride.ItemSize), uint64(h.LStride.Count), uint64(h.LStride.Skip),
+		uint64(h.SendFlag), uint64(h.RecvFlag),
+		uint64(h.Port), uint64(h.Tag), h.Seq,
+	} {
+		for i := 0; i < 64; i += 8 {
+			s = (s ^ (w >> i & 0xff)) * prime
+		}
+	}
+	return s
+}
+
+// xmit routes a packet out of cell c. Without a fault plan it is a
+// plain tnet.Send; with one, the relay stamps the reliable-delivery
+// header and retries rejected deliveries up to the budget, charging
+// simulated backoff to c's counters. It reports whether the packet was
+// eventually accepted.
+func (m *Machine) xmit(c *Cell, p tnet.Packet) bool {
+	r := m.rel
+	if r == nil {
+		return m.tnet.Send(p)
+	}
+	link := &r.links[int(p.Head.Src)*r.cells+int(p.Head.Dst)]
+	link.mu.Lock()
+	link.nextSeq++
+	p.Head.Seq = link.nextSeq
+	link.mu.Unlock()
+	p.Head.Sum = packetSum(p.Head, p.Payload)
+
+	var cc *obs.CellCounters
+	var tl *obs.Timeline
+	o := m.obs
+	if o != nil {
+		cc = o.Cell(int(c.id))
+		tl = o.Timeline()
+	}
+	max := r.inj.MaxAttempts()
+	for attempt := 1; attempt <= max; attempt++ {
+		if attempt > 1 {
+			// Ack timeout: charge the exponential backoff as simulated
+			// time (the functional machine is untimed; sleeping here
+			// would only slow the host) and let other controllers run.
+			if cc != nil {
+				cc.Retransmits.Add(1)
+				cc.BackoffNanos.Add(r.inj.Backoff(attempt - 1))
+				if tl != nil {
+					tl.Instant(int(c.id), obs.TidMSC, "fault", "retransmit", o.NowUs())
+				}
+			}
+			runtime.Gosched()
+		}
+		if m.tnet.Send(p) {
+			return true
+		}
+	}
+	cf := &CellFault{Cell: c.id, Dst: p.Head.Dst, Op: p.Head.Op, Seq: p.Head.Seq, Attempts: max}
+	r.record(cf)
+	c.OS.interrupt(IntrCellFault)
+	c.OS.fault(cf)
+	if cc != nil {
+		cc.CellFaults.Add(1)
+		if tl != nil {
+			tl.Instant(int(c.id), obs.TidMSC, "fault", "cell-fault", o.NowUs())
+		}
+	}
+	return false
+}
+
+// admitVerdict classifies an arriving packet at the receive controller.
+type admitVerdict uint8
+
+const (
+	admitFresh  admitVerdict = iota // process normally
+	admitDup                        // already applied: ack, do nothing
+	admitReject                     // damaged: drop, force retransmit
+)
+
+// admit runs the receive-side reliable-delivery checks on cell c:
+// checksum first (a damaged packet must not touch the dedup window),
+// then the per-link sequence dedup.
+func (r *relay) admit(c *Cell, p tnet.Packet) admitVerdict {
+	o := r.m.obs
+	if p.Head.Sum != packetSum(p.Head, p.Payload) {
+		if o != nil {
+			o.Cell(int(c.id)).CorruptDetected.Add(1)
+			if tl := o.Timeline(); tl != nil {
+				tl.Instant(int(c.id), obs.TidMSC, "fault", "corrupt-drop", o.NowUs())
+			}
+		}
+		return admitReject
+	}
+	link := &r.links[int(p.Head.Src)*r.cells+int(p.Head.Dst)]
+	link.mu.Lock()
+	dup := link.see(p.Head.Seq)
+	link.mu.Unlock()
+	if dup {
+		if o != nil {
+			o.Cell(int(c.id)).Dedups.Add(1)
+			if tl := o.Timeline(); tl != nil {
+				tl.Instant(int(c.id), obs.TidMSC, "fault", "dedup", o.NowUs())
+			}
+		}
+		return admitDup
+	}
+	return admitFresh
+}
+
+func (r *relay) record(err error) {
+	r.mu.Lock()
+	r.faults = append(r.faults, err)
+	r.mu.Unlock()
+}
+
+// broadcastFault records n failed B-net snoops of a broadcast
+// originated by c (cells whose bus-level retries all failed).
+func (m *Machine) broadcastFault(c *Cell, n int) {
+	r := m.rel
+	if r == nil || n == 0 {
+		return
+	}
+	err := fmt.Errorf("machine: cell %d: broadcast undeliverable to %d cells after %d attempts",
+		c.id, n, r.inj.MaxAttempts())
+	r.record(err)
+	c.OS.interrupt(IntrCellFault)
+	c.OS.fault(err)
+	if o := m.obs; o != nil {
+		o.Cell(int(c.id)).CellFaults.Add(int64(n))
+		if tl := o.Timeline(); tl != nil {
+			tl.Instant(int(c.id), obs.TidMSC, "fault", "cell-fault", o.NowUs())
+		}
+	}
+}
+
+// FaultErr reports the first transfer abandoned under the fault plan's
+// retry budget, or nil when the machine ran without a plan or every
+// transfer was eventually delivered. Check it after Run, like
+// SanitizeErr.
+func (m *Machine) FaultErr() error {
+	if m.rel == nil {
+		return nil
+	}
+	m.rel.mu.Lock()
+	defer m.rel.mu.Unlock()
+	if len(m.rel.faults) == 0 {
+		return nil
+	}
+	return m.rel.faults[0]
+}
+
+// CellFaultErrs returns a copy of every retry-budget exhaustion
+// recorded under the fault plan.
+func (m *Machine) CellFaultErrs() []error {
+	if m.rel == nil {
+		return nil
+	}
+	m.rel.mu.Lock()
+	defer m.rel.mu.Unlock()
+	return append([]error(nil), m.rel.faults...)
+}
+
+// FaultStats reports the fault injector's decision counters; zero when
+// the machine runs without a plan.
+func (m *Machine) FaultStats() fault.Stats {
+	if m.rel == nil {
+		return fault.Stats{}
+	}
+	return m.rel.inj.Stats()
+}

@@ -2,6 +2,7 @@ package mem
 
 import (
 	"fmt"
+	"math"
 	"sync"
 )
 
@@ -91,6 +92,57 @@ func (p *Payload) Release() {
 	}
 	p.san = nil
 	payloadPool.Put(p)
+}
+
+// Sum64 hashes the payload contents (FNV-1a over the in-flight
+// bytes) for the reliable-delivery checksum. A nil or empty payload
+// hashes to the FNV offset basis. Allocation-free.
+func (p *Payload) Sum64() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	if p == nil {
+		return h
+	}
+	if p.seg.kind == Float64 {
+		for _, v := range p.seg.f64[:p.size/8] {
+			b := math.Float64bits(v)
+			for s := 0; s < 64; s += 8 {
+				h = (h ^ (b >> s & 0xff)) * prime
+			}
+		}
+		return h
+	}
+	for _, b := range p.seg.bytes[:p.size] {
+		h = (h ^ uint64(b)) * prime
+	}
+	return h
+}
+
+// CorruptClone returns a fresh copy of the payload with one bit
+// flipped, selected by bit modulo the payload length. The original is
+// untouched (the fault layer delivers the corrupted clone and keeps
+// the pristine payload for retransmission). The clone is heap-fresh,
+// never pooled: its lifetime belongs to the delivery that rejects it.
+func (p *Payload) CorruptClone(bit uint64) *Payload {
+	if p == nil || p.size == 0 {
+		return nil
+	}
+	q := new(Payload)
+	q.reset(p.seg.kind, p.size)
+	q.san = p.san
+	if p.seg.kind == Float64 {
+		copy(q.seg.f64, p.seg.f64[:p.size/8])
+		i := bit % uint64(p.size*8)
+		q.seg.f64[i/64] = math.Float64frombits(math.Float64bits(q.seg.f64[i/64]) ^ 1<<(i%64))
+		return q
+	}
+	copy(q.seg.bytes, p.seg.bytes[:p.size])
+	i := bit % uint64(p.size*8)
+	q.seg.bytes[i/8] ^= 1 << (i % 8)
+	return q
 }
 
 // CapturePayload reads srcPat at (src, addr) into a payload buffer,

@@ -1,0 +1,103 @@
+package mlsim
+
+import (
+	"ap1000plus/internal/event"
+	"ap1000plus/internal/fault"
+	"ap1000plus/internal/msc"
+	"ap1000plus/internal/params"
+	"ap1000plus/internal/trace"
+)
+
+// FaultResult summarizes the fault layer's effect on a timed replay:
+// how often the reliable-delivery model retransmitted, deduplicated,
+// rejected a damaged packet or exhausted its budget, and how much
+// simulated time the recovery added to wire legs.
+type FaultResult struct {
+	fault.Stats
+	Retransmits     int64
+	Dedups          int64
+	CorruptDetected int64
+	CellFaults      int64
+	// ExtraNanos is the total simulated recovery time added across all
+	// wire legs (backoff on retransmits, lateness on delayed or
+	// reordered packets).
+	ExtraNanos int64
+}
+
+// SetFault arms the timing model's fault layer: every wire leg asks
+// the injector for a fate, and dropped or corrupted legs pay the
+// reliable-delivery recovery cost (exponential backoff per retransmit)
+// while delayed or reordered legs arrive late. The same deterministic
+// per-stream fate sequences drive the functional machine, so a plan's
+// seed means the same faults in both simulators. Call before run.
+func (s *Sim) SetFault(plan *fault.Plan) error {
+	if plan == nil {
+		return nil
+	}
+	inj, err := plan.Build(s.ts.Meta.PEs, append(msc.OpNames(), "bcast"))
+	if err != nil {
+		return err
+	}
+	s.finj = inj
+	s.fres = &FaultResult{}
+	return nil
+}
+
+// wireFault models the reliable-delivery recovery of one wire leg from
+// src to dst and returns the extra latency the leg suffers. A leg that
+// exhausts the retry budget is delivered anyway — the timing replay
+// must preserve the trace's dependencies — but counted as a cell
+// fault, mirroring the functional machine's graceful degradation.
+func (s *Sim) wireFault(src, dst, class int) event.Time {
+	if s.finj == nil {
+		return 0
+	}
+	max := s.finj.MaxAttempts()
+	var extra event.Time
+	for attempt := 1; ; attempt++ {
+		f := s.finj.Decide(src, dst, class)
+		switch f.Kind {
+		case fault.KindDrop, fault.KindCorrupt:
+			if f.Kind == fault.KindCorrupt {
+				s.fres.CorruptDetected++
+			}
+			if attempt >= max {
+				s.fres.CellFaults++
+				s.fres.ExtraNanos += int64(extra)
+				return extra
+			}
+			s.fres.Retransmits++
+			extra += event.Time(s.finj.Backoff(attempt))
+		case fault.KindDup:
+			// The duplicate is absorbed by receive-side dedup; no extra
+			// latency, one discarded copy.
+			s.fres.Dedups++
+			s.fres.ExtraNanos += int64(extra)
+			return extra
+		case fault.KindDelay, fault.KindReorder:
+			// The packet (or its in-order successor) arrives late.
+			extra += event.Time(f.DelayNanos)
+			if f.DelayNanos == 0 {
+				extra += event.Time(s.finj.DelayNanos())
+			}
+			s.fres.ExtraNanos += int64(extra)
+			return extra
+		default:
+			s.fres.ExtraNanos += int64(extra)
+			return extra
+		}
+	}
+}
+
+// RunFault replays the trace under a fault plan and returns the result
+// with its FaultResult attached.
+func RunFault(ts *trace.TraceSet, p *params.Params, plan *fault.Plan) (*Result, error) {
+	s, err := New(ts, p)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.SetFault(plan); err != nil {
+		return nil, err
+	}
+	return s.run()
+}

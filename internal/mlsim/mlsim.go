@@ -20,6 +20,8 @@ import (
 	"sort"
 
 	"ap1000plus/internal/event"
+	"ap1000plus/internal/fault"
+	"ap1000plus/internal/msc"
 	"ap1000plus/internal/obs"
 	"ap1000plus/internal/params"
 	"ap1000plus/internal/topology"
@@ -62,6 +64,9 @@ type Result struct {
 	// Queue reports the queue-occupancy extension's counters
 	// (all-zero unless Features.ModelQueueOverflow is set).
 	Queue QueueStats
+	// Fault reports the fault layer's counters and recovery time; nil
+	// when the replay ran without a fault plan.
+	Fault *FaultResult
 }
 
 // Breakdown reports the mean per-PE components in microseconds.
@@ -169,6 +174,9 @@ type Sim struct {
 	// simulated time: one slice per executed trace event on each PE's
 	// CPU track, async spans for wire/DMA activity on the MSC track.
 	tl *obs.Timeline
+	// finj/fres carry the fault layer (SetFault); nil without a plan.
+	finj *fault.Injector
+	fres *FaultResult
 }
 
 // Message is one logged network message: who sent what where, and
@@ -249,6 +257,10 @@ func RunWithTimeline(ts *trace.TraceSet, p *params.Params, tl *obs.Timeline) (*R
 	return s.run()
 }
 
+// Run replays the configured simulation (after optional AttachTimeline
+// / SetFault) and returns the result. Call once.
+func (s *Sim) Run() (*Result, error) { return s.run() }
+
 func (s *Sim) run() (*Result, error) {
 	for {
 		progressed := false
@@ -284,6 +296,10 @@ func (s *Sim) run() (*Result, error) {
 		if qs.MaxDepth > res.Queue.MaxDepth {
 			res.Queue.MaxDepth = qs.MaxDepth
 		}
+	}
+	if s.fres != nil {
+		s.fres.Stats = s.finj.Stats()
+		res.Fault = s.fres
 	}
 	return res, nil
 }
@@ -575,7 +591,7 @@ func (s *Sim) doPut(pe *pe, e *trace.Event) {
 	dist := s.account(pe.id, dst, e.Size)
 	depart := pe.now + s.dmaLaunch()
 	s.logMessage(pe.id, dst, depart, e.Size)
-	arrive := depart + s.wireTime(e.Size, dist)
+	arrive := depart + s.wireTime(e.Size, dist) + s.wireFault(pe.id, dst, int(msc.OpPut))
 	if s.tl != nil {
 		s.tl.Async(pe.id, obs.TidMSC, "wire", "put-wire", depart.Us(), arrive.Us())
 	}
@@ -650,13 +666,13 @@ func (s *Sim) doGet(pe *pe, e *trace.Event) {
 	pe.charge(&pe.stats.Overhead, s.sendOverhead(0, pe.inBurst))
 	s.chargeQueue(pe, 0)
 	dist := s.account(pe.id, dst, 0)
-	reqArrive := pe.now + s.dmaLaunch() + s.wireTime(0, dist)
+	reqArrive := pe.now + s.dmaLaunch() + s.wireTime(0, dist) + s.wireFault(pe.id, dst, int(msc.OpGet))
 	s.logMessage(pe.id, dst, pe.now+s.dmaLaunch(), 0)
 	replyDelay, remoteCPU := s.getServeCost(e.Size)
 	s.pes[dst].pendingIntr += remoteCPU + pack
 	s.account(dst, pe.id, e.Size)
 	s.logMessage(dst, pe.id, reqArrive+replyDelay+pack, e.Size)
-	replyArrive := reqArrive + replyDelay + pack + s.wireTime(e.Size, dist)
+	replyArrive := reqArrive + replyDelay + pack + s.wireTime(e.Size, dist) + s.wireFault(dst, pe.id, int(msc.OpGetReply))
 	if s.tl != nil {
 		s.tl.Async(pe.id, obs.TidMSC, "wire", "get-req", (pe.now + s.dmaLaunch()).Us(), reqArrive.Us())
 		s.tl.Async(pe.id, obs.TidMSC, "wire", "get-reply", (reqArrive + replyDelay + pack).Us(), replyArrive.Us())
@@ -676,7 +692,7 @@ func (s *Sim) doSend(pe *pe, e *trace.Event) {
 	depart := pe.now + s.dmaLaunch()
 	s.logMessage(pe.id, int(e.Peer), depart, e.Size)
 	// SEND blocks until the data has left the source buffer.
-	wire := s.wireTime(e.Size, dist)
+	wire := s.wireTime(e.Size, dist) + s.wireFault(pe.id, int(e.Peer), int(msc.OpSend))
 	pe.idleUntil(depart + us(s.p.PutMsgTime*float64(e.Size)))
 	arrive := depart + wire
 	if s.tl != nil {

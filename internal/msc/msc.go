@@ -54,6 +54,13 @@ func (o Op) String() string {
 	return fmt.Sprintf("op(%d)", uint8(o))
 }
 
+// OpNames returns the operation names indexed by Op — the canonical
+// message-class vocabulary of the fault layer (the networks key their
+// per-class fault streams by these names).
+func OpNames() []string {
+	return append([]string(nil), opNames[:]...)
+}
+
 // CommandWords is the parameter count of a PUT/GET command: "PUT/GET
 // operations require 8-word parameters, the overhead of PUT/GET is
 // the time for 8 store instructions" (S4.1).
@@ -90,6 +97,13 @@ type Command struct {
 	Port int32
 	// Tag carries an opaque correlation token (remote load waiters).
 	Tag int64
+	// Seq and Sum are the reliable-delivery header (fault layer): Seq
+	// is the packet's sequence number on its (Src, Dst) link, Sum the
+	// end-to-end checksum over header and payload. Both stay zero when
+	// the machine runs without a fault plan; plain integers so the
+	// command remains GC-transparent and the queues allocation-free.
+	Seq uint64
+	Sum uint64
 	// San identifies the issuing thread's released sanitizer clock
 	// (an apsan handle) when the machine runs with Sanitize; 0
 	// otherwise. The controller that pops the command acquires it,

@@ -45,8 +45,18 @@ type CellCounters struct {
 
 	// Synchronization stalls: blocking flag waits and barrier
 	// arrivals, with the wall-clock nanoseconds spent blocked.
-	FlagWaits, FlagWaitNanos     atomic.Int64
-	Barriers, BarrierStallNanos  atomic.Int64
+	FlagWaits, FlagWaitNanos    atomic.Int64
+	Barriers, BarrierStallNanos atomic.Int64
+
+	// Reliable-delivery activity under a fault plan (all zero
+	// otherwise). Retransmits counts extra wire attempts this cell's
+	// controller made; BackoffNanos the simulated backoff it charged.
+	// Dedups counts duplicate packets this cell's receive side
+	// discarded, CorruptDetected checksum rejections, CellFaults
+	// deliveries abandoned after the retry budget.
+	Retransmits, BackoffNanos atomic.Int64
+	Dedups, CorruptDetected   atomic.Int64
+	CellFaults                atomic.Int64
 }
 
 // CellSnapshot is the plain-integer copy of a CellCounters block,
@@ -61,6 +71,9 @@ type CellSnapshot struct {
 	Interrupts                    int64
 	FlagWaits, FlagWaitNanos      int64
 	Barriers, BarrierStallNanos   int64
+	Retransmits, BackoffNanos     int64
+	Dedups, CorruptDetected       int64
+	CellFaults                    int64
 }
 
 // Snapshot copies the counters at a point in time.
@@ -76,6 +89,9 @@ func (c *CellCounters) Snapshot() CellSnapshot {
 		Interrupts: c.Interrupts.Load(),
 		FlagWaits:  c.FlagWaits.Load(), FlagWaitNanos: c.FlagWaitNanos.Load(),
 		Barriers: c.Barriers.Load(), BarrierStallNanos: c.BarrierStallNanos.Load(),
+		Retransmits: c.Retransmits.Load(), BackoffNanos: c.BackoffNanos.Load(),
+		Dedups: c.Dedups.Load(), CorruptDetected: c.CorruptDetected.Load(),
+		CellFaults: c.CellFaults.Load(),
 	}
 }
 
@@ -101,6 +117,11 @@ func (s *CellSnapshot) Add(o CellSnapshot) {
 	s.FlagWaitNanos += o.FlagWaitNanos
 	s.Barriers += o.Barriers
 	s.BarrierStallNanos += o.BarrierStallNanos
+	s.Retransmits += o.Retransmits
+	s.BackoffNanos += o.BackoffNanos
+	s.Dedups += o.Dedups
+	s.CorruptDetected += o.CorruptDetected
+	s.CellFaults += o.CellFaults
 }
 
 // Observer is a machine-wide observation context: one counter block

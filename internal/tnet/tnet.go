@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sync"
 
+	"ap1000plus/internal/fault"
 	"ap1000plus/internal/mem"
 	"ap1000plus/internal/msc"
 	"ap1000plus/internal/topology"
@@ -37,8 +38,11 @@ type Packet struct {
 }
 
 // Handler consumes a packet at its destination cell — the receive
-// controller of the destination's MSC+.
-type Handler func(Packet)
+// controller of the destination's MSC+. It reports whether the packet
+// was accepted (checksum verified, fresh or duplicate, DMA succeeded);
+// the reliable layer retransmits on false. Without a fault plan the
+// return value is unused.
+type Handler func(Packet) bool
 
 // Stats aggregates network traffic.
 type Stats struct {
@@ -63,6 +67,20 @@ type Network struct {
 	mu       sync.Mutex
 	handlers []Handler
 	stats    Stats
+	// inj, when non-nil, decides a wire fate for every transmission
+	// attempt (fault layer). limbo holds reordered packets per
+	// (src, dst, class) stream; a held packet is released — late, hence
+	// the reorder — right after the next delivered packet of its own
+	// stream, which keeps every release on the stream's single sending
+	// goroutine (or in FlushHeld's quiescent drain).
+	inj   *fault.Injector
+	limbo map[streamKey][]Packet
+}
+
+// streamKey identifies one (src, dst, class) wire stream.
+type streamKey struct {
+	src, dst topology.CellID
+	op       msc.Op
 }
 
 // New builds a T-net over the torus.
@@ -90,17 +108,33 @@ func (n *Network) Attach(id topology.CellID, h Handler) {
 	n.handlers[id] = h
 }
 
+// SetFault installs the fault injector; every subsequent Send asks it
+// for a wire fate. Install before traffic flows.
+func (n *Network) SetFault(inj *fault.Injector) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.inj = inj
+	if inj != nil && n.limbo == nil {
+		n.limbo = make(map[streamKey][]Packet)
+	}
+}
+
 // Send routes a packet to its destination and runs the destination's
 // receive controller on the calling goroutine. Ordering guarantee:
 // calls from the same goroutine to the same destination are processed
-// in call order (static routing, in-order links).
-func (n *Network) Send(p Packet) {
+// in call order (static routing, in-order links). It reports whether
+// the destination accepted the packet; with a fault plan installed the
+// packet may instead be dropped, corrupted, duplicated or held back,
+// and the reliable layer reads false as "retransmit". Every call
+// counts as one wire message (attempts, not unique packets).
+func (n *Network) Send(p Packet) bool {
 	dst := p.Head.Dst
 	if !n.torus.Valid(dst) {
 		panic(fmt.Sprintf("tnet: send to invalid cell %d", dst))
 	}
 	n.mu.Lock()
 	h := n.handlers[dst]
+	inj := n.inj
 	n.stats.Messages++
 	n.stats.Bytes += p.Payload.Size()
 	n.stats.HopsTotal += int64(n.torus.Distance(p.Head.Src, dst))
@@ -111,7 +145,97 @@ func (n *Network) Send(p Packet) {
 	if h == nil {
 		panic(fmt.Sprintf("tnet: cell %d has no receive controller", dst))
 	}
-	h(p)
+	if inj == nil {
+		return h(p)
+	}
+	return n.faultySend(inj, h, p)
+}
+
+// faultySend applies the injected wire fate to one transmission
+// attempt. Held (reordered) packets of the same stream are released
+// after any delivered attempt of that stream, so a held packet always
+// arrives later than a successor from its own stream — an observable
+// reorder that the receive-side dedup then collapses.
+func (n *Network) faultySend(inj *fault.Injector, h Handler, p Packet) bool {
+	key := streamKey{p.Head.Src, p.Head.Dst, p.Head.Op}
+	fate := inj.Decide(int(p.Head.Src), int(p.Head.Dst), int(p.Head.Op))
+	switch fate.Kind {
+	case fault.KindDrop:
+		return false
+	case fault.KindReorder:
+		n.mu.Lock()
+		n.limbo[key] = append(n.limbo[key], p)
+		n.mu.Unlock()
+		// The sender sees a timeout and retransmits; the held copy
+		// arrives later as a duplicate.
+		return false
+	case fault.KindCorrupt:
+		ok := h(corruptPacket(p, fate.CorruptBit))
+		n.releaseHeld(key, h)
+		return ok
+	case fault.KindDup:
+		ok := h(p)
+		h(p)
+		n.releaseHeld(key, h)
+		return ok
+	default: // KindNone, KindDelay (the functional net is untimed)
+		ok := h(p)
+		n.releaseHeld(key, h)
+		return ok
+	}
+}
+
+// corruptPacket damages the delivered copy of a packet: one payload
+// bit flips, or — for a payloadless packet — the checksum itself is
+// poisoned. The caller's packet (and payload) stay pristine for
+// retransmission.
+func corruptPacket(p Packet, bit uint64) Packet {
+	if clone := p.Payload.CorruptClone(bit); clone != nil {
+		p.Payload = clone
+	} else {
+		p.Head.Sum ^= 1 << (bit % 64)
+	}
+	return p
+}
+
+// releaseHeld delivers every packet held on the stream, after the
+// in-flight delivery that triggered the release. The caller is the
+// stream's single sending goroutine, so a held packet can never race
+// its own retransmission.
+func (n *Network) releaseHeld(key streamKey, h Handler) {
+	n.mu.Lock()
+	held := n.limbo[key]
+	if held == nil {
+		n.mu.Unlock()
+		return
+	}
+	delete(n.limbo, key)
+	n.mu.Unlock()
+	for _, q := range held {
+		h(q)
+	}
+}
+
+// FlushHeld delivers every packet still held in limbo and reports how
+// many it released. The machine calls it at drain time, when all
+// controllers are quiescent; a flushed packet that was retransmitted
+// successfully dedups away, one whose retransmissions all failed
+// finally lands.
+func (n *Network) FlushHeld() int {
+	n.mu.Lock()
+	var all []Packet
+	for key, held := range n.limbo {
+		all = append(all, held...)
+		delete(n.limbo, key)
+	}
+	n.mu.Unlock()
+	for _, p := range all {
+		n.mu.Lock()
+		h := n.handlers[p.Head.Dst]
+		n.mu.Unlock()
+		h(p)
+	}
+	return len(all)
 }
 
 // Stats snapshots traffic counters.

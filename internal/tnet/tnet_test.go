@@ -34,10 +34,11 @@ func TestSendDelivers(t *testing.T) {
 	var got []Packet
 	for id := 0; id < 4; id++ {
 		id := topology.CellID(id)
-		n.Attach(id, func(p Packet) {
+		n.Attach(id, func(p Packet) bool {
 			if id == 2 {
 				got = append(got, p)
 			}
+			return true
 		})
 	}
 	n.Send(Packet{Head: msc.Command{Op: msc.OpPut, Src: 0, Dst: 2}, Payload: payload(t, 16)})
@@ -51,7 +52,7 @@ func TestSendOrderingSameSender(t *testing.T) {
 	var seen []int64
 	for id := 0; id < 4; id++ {
 		id := topology.CellID(id)
-		n.Attach(id, func(p Packet) { seen = append(seen, p.Head.Tag) })
+		n.Attach(id, func(p Packet) bool { seen = append(seen, p.Head.Tag); return true })
 	}
 	for i := 0; i < 10; i++ {
 		n.Send(Packet{Head: msc.Command{Op: msc.OpPut, Src: 0, Dst: 1, Tag: int64(i)}})
@@ -67,7 +68,7 @@ func TestStats(t *testing.T) {
 	n, tor := newNet(t)
 	var mu sync.Mutex
 	for id := 0; id < 4; id++ {
-		n.Attach(topology.CellID(id), func(Packet) { mu.Lock(); mu.Unlock() })
+		n.Attach(topology.CellID(id), func(Packet) bool { mu.Lock(); mu.Unlock(); return true })
 	}
 	n.Send(Packet{Head: msc.Command{Op: msc.OpPut, Src: 0, Dst: 3}, Payload: payload(t, 100)})
 	n.Send(Packet{Head: msc.Command{Op: msc.OpGet, Src: 1, Dst: 2}})
@@ -89,11 +90,11 @@ func TestStats(t *testing.T) {
 
 func TestAttachErrors(t *testing.T) {
 	n, _ := newNet(t)
-	n.Attach(0, func(Packet) {})
+	n.Attach(0, func(Packet) bool { return true })
 	for _, f := range []func(){
-		func() { n.Attach(0, func(Packet) {}) },  // duplicate
-		func() { n.Attach(99, func(Packet) {}) }, // invalid cell
-		func() { n.Attach(1, nil) },              // nil handler
+		func() { n.Attach(0, func(Packet) bool { return true }) },  // duplicate
+		func() { n.Attach(99, func(Packet) bool { return true }) }, // invalid cell
+		func() { n.Attach(1, nil) },                                // nil handler
 		func() { n.Send(Packet{Head: msc.Command{Dst: 99}}) },
 		func() { n.Send(Packet{Head: msc.Command{Dst: 1}}) }, // unattached
 	} {
@@ -113,10 +114,11 @@ func TestConcurrentSenders(t *testing.T) {
 	var mu sync.Mutex
 	count := 0
 	for id := 0; id < 4; id++ {
-		n.Attach(topology.CellID(id), func(Packet) {
+		n.Attach(topology.CellID(id), func(Packet) bool {
 			mu.Lock()
 			count++
 			mu.Unlock()
+			return true
 		})
 	}
 	var wg sync.WaitGroup

@@ -27,6 +27,18 @@ func FuzzRead(f *testing.F) {
 	f.Add(encodeV1(ts))
 	f.Add([]byte("APTR"))
 	f.Add([]byte{})
+	// A corrupted-wire seed: the valid encoding with bits flipped
+	// through the events region, the shape of damage the fault
+	// injector's corrupt mode produces. The codec has no checksum, so
+	// the reader may accept or reject it — but it must never panic and
+	// never return a trace that fails Validate.
+	for _, bit := range []int{0, 3, 7} {
+		corrupted := append([]byte(nil), seed.Bytes()...)
+		for i := len(corrupted) / 2; i < len(corrupted); i += 5 {
+			corrupted[i] ^= 1 << ((bit + i) % 8)
+		}
+		f.Add(corrupted)
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := Read(bytes.NewReader(data))
 		if err != nil {
