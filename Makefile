@@ -30,7 +30,7 @@ verify:
 	$(GO) vet ./...
 	$(GO) run ./cmd/apvet ./...
 	$(GO) test -race ./...
-	$(GO) test -run TestPutIssueZeroAllocUnobserved .
+	$(GO) test -run 'TestPutIssueZeroAllocUnobserved|TestBatchIssueZeroAllocUnobserved' .
 	$(GO) test -run TestTablesDeterministicOrder ./internal/stats/
 	$(MAKE) chaos
 
@@ -40,16 +40,20 @@ verify:
 # fuzz passes over the fault-plan parser and the trace codec's
 # corrupted-wire seeds.
 chaos:
-	$(GO) test -race -run 'TestChaos|TestFaultProperty' .
+	$(GO) test -race -run 'TestChaos|TestFaultProperty|TestBatchMatchesSingleIssue' .
 	$(GO) test -fuzz FuzzPlan -fuzztime 5s ./internal/fault/
 	$(GO) test -fuzz FuzzRead -fuzztime 5s ./internal/trace/
 
-# bench also regenerates BENCH_obs.json: the Table 2 functional runs'
-# full machine counter report (per-app, per-cell), for diffing
-# communication behaviour across changes.
+# bench also regenerates BENCH_obs.json — the Table 2 functional runs'
+# full machine counter report (per-app, per-cell) — and
+# BENCH_batch.json, the single-vs-batched command-issue comparison
+# (commands issued, T-net messages, ns/step for the stencil,
+# redistribute and matmul workloads), for diffing communication
+# behaviour across changes.
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./...
 	$(GO) run ./cmd/apbench -experiment table2 -metrics-json BENCH_obs.json > /dev/null
+	$(GO) run ./cmd/apbench -experiment batch -batch-json BENCH_batch.json > /dev/null
 
 # Short fuzz pass over the trace codec (corpus seeds under
 # internal/trace/testdata/fuzz are always exercised by plain go test).

@@ -17,11 +17,18 @@
 //	m.Run(func(c *ap1000plus.Cell) error {
 //		comm := ap1000plus.NewComm(c)
 //		if c.ID() == 0 {
-//			// put(node_id, raddr, laddr, size, send_flag, recv_flag, ack)
-//			return comm.Put(1, segs[1].Base(), segs[0].Base(), 64, 0, 0, true)
+//			// put(node_id, raddr, laddr, size, ack)
+//			return comm.Put(ap1000plus.Transfer{
+//				To: 1, Remote: segs[1].Base(), Local: segs[0].Base(),
+//				Size: 64, Ack: true,
+//			})
 //		}
 //		return nil
 //	})
+//
+// A burst of transfers can be batched into one doorbell — and
+// optionally coalesced into fewer stride commands — with
+// comm.Batch().Coalesce(), appending transfers and calling Commit.
 //
 // The architecture lives in internal packages, re-exported here:
 //
@@ -84,10 +91,30 @@ func Table1() machine.Spec { return machine.Table1() }
 type (
 	// Comm is a cell's PUT/GET endpoint.
 	Comm = core.Comm
+	// Transfer describes one PUT or GET (destination, addresses, size,
+	// flags, acknowledgement).
+	Transfer = core.Transfer
+	// CommandList is a batch of transfers issued with a single Commit
+	// (one MSC+ doorbell), optionally coalescing adjacent transfers.
+	CommandList = core.CommandList
 )
 
 // NewComm builds the PUT/GET interface for a cell.
 func NewComm(c *Cell) *Comm { return core.New(c) }
+
+// Typed issue errors, for errors.Is against validation and delivery
+// failures.
+var (
+	// ErrBadAddress reports a transfer to an invalid cell or address.
+	ErrBadAddress = core.ErrBadAddress
+	// ErrBadStride reports an invalid or oversized stride pattern.
+	ErrBadStride = core.ErrBadStride
+	// ErrQueueFull reports an overfull command queue or CommandList.
+	ErrQueueFull = core.ErrQueueFull
+	// ErrRetryBudget reports a transfer abandoned by reliable delivery;
+	// CellFault wraps it.
+	ErrRetryBudget = core.ErrRetryBudget
+)
 
 // Flag constants.
 const (

@@ -301,33 +301,59 @@ func BenchmarkAblationQueueDepth(b *testing.B) {
 }
 
 // BenchmarkPutIssueOverhead measures the user-level issue path of a
-// PUT through the facade — the operation S4.1 prices at 8 stores.
+// PUT through the facade — the operation S4.1 prices at 8 stores —
+// per doorbell (single) and staged on a reused CommandList with one
+// doorbell per 8 commands — the hardware queue's depth, so the batch
+// lands in the ring without forcing a DRAM spill (batched).
 func BenchmarkPutIssueOverhead(b *testing.B) {
-	m, err := NewMachine(Config{Width: 2, Height: 2, MemoryPerCell: 1 << 20})
-	if err != nil {
-		b.Fatal(err)
-	}
-	segs := make([]*Segment, 4)
-	for id := 0; id < 4; id++ {
-		segs[id], _, _ = m.Cell(CellID(id)).AllocFloat64("b", 64)
-	}
-	b.ReportAllocs()
-	err = m.Run(func(c *Cell) error {
-		if c.ID() != 0 {
-			return nil
+	bench := func(b *testing.B, body func(comm *Comm, segs []*Segment) error) {
+		b.Helper()
+		m, err := NewMachine(Config{Width: 2, Height: 2, MemoryPerCell: 1 << 20})
+		if err != nil {
+			b.Fatal(err)
 		}
-		comm := NewComm(c)
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			if err := comm.Put(1, segs[1].Base(), segs[0].Base(), 8, NoFlag, NoFlag, false); err != nil {
-				return err
+		segs := make([]*Segment, 4)
+		for id := 0; id < 4; id++ {
+			segs[id], _, _ = m.Cell(CellID(id)).AllocFloat64("b", 64)
+		}
+		b.ReportAllocs()
+		err = m.Run(func(c *Cell) error {
+			if c.ID() != 0 {
+				return nil
 			}
+			comm := NewComm(c)
+			b.ResetTimer()
+			return body(comm, segs)
+		})
+		if err != nil {
+			b.Fatal(err)
 		}
-		return nil
-	})
-	if err != nil {
-		b.Fatal(err)
 	}
+	b.Run("single", func(b *testing.B) {
+		bench(b, func(comm *Comm, segs []*Segment) error {
+			for i := 0; i < b.N; i++ {
+				if err := comm.Put(Transfer{To: 1, Remote: segs[1].Base(), Local: segs[0].Base(), Size: 8}); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	})
+	b.Run("batched", func(b *testing.B) {
+		bench(b, func(comm *Comm, segs []*Segment) error {
+			for i := 0; i < b.N; {
+				cl := comm.Batch()
+				for k := 0; k < 8 && i < b.N; k++ {
+					cl.Put(Transfer{To: 1, Remote: segs[1].Base(), Local: segs[0].Base(), Size: 8})
+					i++
+				}
+				if err := cl.Commit(); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	})
 }
 
 // BenchmarkReductionScalar and BenchmarkReductionVector cover S4.5's
@@ -410,7 +436,7 @@ func TestFacadeQuickstart(t *testing.T) {
 	err = m.Run(func(c *Cell) error {
 		comm := NewComm(c)
 		if c.ID() == 0 {
-			if err := comm.Put(1, segs[1].Base(), segs[0].Base(), 64, NoFlag, NoFlag, true); err != nil {
+			if err := comm.Put(Transfer{To: 1, Remote: segs[1].Base(), Local: segs[0].Base(), Size: 64, Ack: true}); err != nil {
 				return err
 			}
 			comm.AckWait()

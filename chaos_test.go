@@ -85,8 +85,12 @@ func chaosMatMul(t *testing.T, plan *FaultPlan) ([]float64, Metrics) {
 			olo, ohi := owner*n/np, (owner+1)*n/np
 			if step < np-1 {
 				for i := 0; i < ohi-olo; i++ {
-					if err := comm.Put(CellID(next), segs[nxt][next].Base()+Addr(i*n*8),
-						segs[cur][r].Base()+Addr(i*n*8), int64(n*8), sendFlag, recvFlag, false); err != nil {
+					if err := comm.Put(Transfer{
+						To:     CellID(next),
+						Remote: segs[nxt][next].Base() + Addr(i*n*8),
+						Local:  segs[cur][r].Base() + Addr(i*n*8),
+						Size:   int64(n * 8), SendFlag: sendFlag, RecvFlag: recvFlag,
+					}); err != nil {
 						return err
 					}
 				}
@@ -369,7 +373,7 @@ func TestChaosBudgetExhaustion(t *testing.T) {
 			return nil
 		}
 		comm := NewComm(c)
-		return comm.Put(1, segs[1].Base(), segs[0].Base(), 64, NoFlag, NoFlag, false)
+		return comm.Put(Transfer{To: 1, Remote: segs[1].Base(), Local: segs[0].Base(), Size: 64})
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -14,6 +14,9 @@
 // -metrics prints each application's machine counter report; -metrics-json
 // writes them as JSON (for make bench / BENCH_obs.json). -timeline
 // writes a merged Chrome trace-event file loadable at ui.perfetto.dev.
+// -experiment batch compares single vs batched command issue on the
+// stencil, redistribute and matmul workloads; -batch-json writes that
+// report (for make bench / BENCH_batch.json).
 package main
 
 import (
@@ -34,7 +37,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"specs|params|fig7|table2|table3|fig8|stride|contention|all")
+		"specs|params|fig7|table2|table3|fig8|stride|contention|batch|all")
 	quick := flag.Bool("quick", false, "use reduced problem sizes")
 	size := flag.Int64("size", 1024, "message size for fig7")
 	distance := flag.Int("distance", 3, "routing distance for fig7")
@@ -45,6 +48,7 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print each application's machine counter report")
 	metricsJSON := flag.String("metrics-json", "", "write per-application metrics as JSON to this file")
 	timeline := flag.String("timeline", "", "write a merged Perfetto timeline of the functional runs to this file")
+	batchJSON := flag.String("batch-json", "", "write the batched-issue report as JSON to this file (experiment batch)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -77,7 +81,7 @@ func main() {
 		}
 	}
 
-	err = run(*experiment, *quick, *size, *distance, *only, *metrics, *metricsJSON)
+	err = run(*experiment, *quick, *size, *distance, *only, *metrics, *metricsJSON, *batchJSON)
 	if err == nil && *timeline != "" {
 		err = writeTimeline(*timeline, parts)
 	}
@@ -121,7 +125,10 @@ type appMetrics struct {
 	Metrics *machine.Metrics
 }
 
-func run(experiment string, quick bool, size int64, distance int, only string, metrics bool, metricsJSON string) error {
+func run(experiment string, quick bool, size int64, distance int, only string, metrics bool, metricsJSON, batchJSON string) error {
+	if experiment == "batch" {
+		return runBatch(os.Stdout, quick, batchJSON)
+	}
 	needApps := false
 	switch experiment {
 	case "table2", "table3", "fig8", "stride", "contention", "all":

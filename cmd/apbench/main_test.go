@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"testing"
 )
 
@@ -8,26 +10,55 @@ import (
 // covered at -quick scale.
 func TestRunCheapExperiments(t *testing.T) {
 	for _, exp := range []string{"specs", "params", "fig7"} {
-		if err := run(exp, true, 256, 2, "", false, ""); err != nil {
+		if err := run(exp, true, 256, 2, "", false, "", ""); err != nil {
 			t.Errorf("run(%s): %v", exp, err)
 		}
 	}
 }
 
 func TestRunQuickTable2SingleApp(t *testing.T) {
-	if err := run("table2", true, 0, 0, "EP", false, ""); err != nil {
+	if err := run("table2", true, 0, 0, "EP", false, "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunQuickStride(t *testing.T) {
-	if err := run("stride", true, 0, 0, "", false, ""); err != nil {
+	if err := run("stride", true, 0, 0, "", false, "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("bogus", true, 0, 0, "", false, ""); err == nil {
+	if err := run("bogus", true, 0, 0, "", false, "", ""); err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// TestRunQuickBatch covers the batched-issue experiment end to end,
+// including the JSON report.
+func TestRunQuickBatch(t *testing.T) {
+	path := t.TempDir() + "/batch.json"
+	if err := run("batch", true, 0, 0, "", false, "", path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []batchRow
+	if err := json.Unmarshal(data, &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	for i := 0; i+1 < len(rows); i += 2 {
+		s, b := rows[i], rows[i+1]
+		if s.Workload != b.Workload || s.Mode != "single" || b.Mode != "batched" {
+			t.Fatalf("row pairing broken: %+v / %+v", s, b)
+		}
+		if b.Commands >= s.Commands {
+			t.Errorf("%s: batched issued %d commands, single %d — no drop", s.Workload, b.Commands, s.Commands)
+		}
 	}
 }

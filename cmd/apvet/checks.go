@@ -120,18 +120,50 @@ func checkRawMem(p *pkg) []Finding {
 // an AckWait somewhere in the package.
 // ---------------------------------------------------------------------------
 
-// putGetShape describes where the flag and ack arguments sit for each
-// Comm method (see internal/core: put(node,raddr,laddr,size,
-// send_flag,recv_flag,ack) and friends).
+// putGetShape describes where the flag and ack arguments sit for the
+// positional Comm methods (PutStride/GetStride, and the deprecated
+// PutArgs/GetArgs wrappers of the old positional Put/Get). The modern
+// Put/Get — and the CommandList appenders — take a Transfer struct
+// instead; their flags are read out of the composite literal.
 var putGetShape = map[string]struct {
 	nargs int
 	flags []int
 	ack   int // -1 if the method takes no ack argument
 }{
-	"Put":       {7, []int{4, 5}, 6},
+	"PutArgs":   {7, []int{4, 5}, 6},
 	"PutStride": {8, []int{3, 4}, 5},
-	"Get":       {6, []int{4, 5}, -1},
+	"GetArgs":   {6, []int{4, 5}, -1},
 	"GetStride": {7, []int{3, 4}, -1},
+}
+
+// transferMethods take a Transfer struct as their first argument:
+// Comm.Put/Get and the CommandList appenders (whose stride variants
+// carry the patterns positionally after the Transfer).
+var transferMethods = map[string]bool{
+	"Put": true, "Get": true, "PutStride": true, "GetStride": true,
+}
+
+// transferArg returns the Transfer composite literal passed as a
+// call's first argument, or nil.
+func transferArg(call *ast.CallExpr) *ast.CompositeLit {
+	if len(call.Args) == 0 {
+		return nil
+	}
+	lit, ok := call.Args[0].(*ast.CompositeLit)
+	if !ok {
+		return nil
+	}
+	switch t := lit.Type.(type) {
+	case *ast.Ident:
+		if t.Name == "Transfer" {
+			return lit
+		}
+	case *ast.SelectorExpr:
+		if t.Sel.Name == "Transfer" {
+			return lit
+		}
+	}
+	return nil
 }
 
 func checkFlagWait(p *pkg) []Finding {
@@ -156,9 +188,44 @@ func checkFlagWait(p *pkg) []Finding {
 				return true
 			}
 			name := calleeName(call)
+			if transferMethods[name] {
+				if lit := transferArg(call); lit != nil {
+					for _, el := range lit.Elts {
+						kv, ok := el.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						key, ok := kv.Key.(*ast.Ident)
+						if !ok {
+							continue
+						}
+						switch key.Name {
+						case "SendFlag", "RecvFlag":
+							if isNoFlag(kv.Value) {
+								continue
+							}
+							if id := argName(kv.Value); id != "" {
+								flagUses[id] = append(flagUses[id], use{call.Pos(), name})
+							}
+						case "Ack":
+							if id, ok := kv.Value.(*ast.Ident); ok && id.Name == "true" {
+								ackUses = append(ackUses, call.Pos())
+							}
+						}
+					}
+					return true
+				}
+			}
 			if shape, ok := putGetShape[name]; ok && len(call.Args) == shape.nargs {
 				for _, i := range shape.flags {
 					if isNoFlag(call.Args[i]) {
+						continue
+					}
+					// t.SendFlag / t.RecvFlag is a Transfer field being
+					// forwarded to a positional method, not a flag this
+					// package raises.
+					if sel, ok := call.Args[i].(*ast.SelectorExpr); ok &&
+						(sel.Sel.Name == "SendFlag" || sel.Sel.Name == "RecvFlag") {
 						continue
 					}
 					if id := argName(call.Args[i]); id != "" {
@@ -364,6 +431,58 @@ func checkUnits(p *pkg, floats map[string]bool) []Finding {
 			}
 			return true
 		})
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// batchissue: the positional PutArgs/GetArgs wrappers exist only to
+// ease migration — new code states its transfer as a Transfer struct
+// (or stages it on a CommandList). And a CommandList that is opened
+// with Batch() but never Commit()ed issues nothing: the staged
+// commands silently evaporate. Like flagwait, the Commit search is
+// package-scoped, so helpers that open in one function and commit in
+// another stay clean.
+// ---------------------------------------------------------------------------
+
+func checkBatchIssue(p *pkg) []Finding {
+	// internal/core defines the API, including the deprecated wrappers.
+	if hasDirSuffix(p, "internal/core") {
+		return nil
+	}
+	var out []Finding
+	var batchPos []token.Pos
+	committed := false
+	for _, f := range p.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch name := calleeName(call); name {
+			case "PutArgs", "GetArgs":
+				out = append(out, Finding{
+					Pos:   p.fset.Position(call.Pos()),
+					Check: "batchissue",
+					Msg: fmt.Sprintf("deprecated positional %s; pass a Transfer to %s or stage it on a CommandList",
+						name, strings.TrimSuffix(name, "Args")),
+				})
+			case "Batch":
+				batchPos = append(batchPos, call.Pos())
+			case "Commit":
+				committed = true
+			}
+			return true
+		})
+	}
+	if !committed {
+		for _, pos := range batchPos {
+			out = append(out, Finding{
+				Pos:   p.fset.Position(pos),
+				Check: "batchissue",
+				Msg:   "Batch() without a Commit in this package (staged commands are never issued)",
+			})
+		}
 	}
 	return out
 }

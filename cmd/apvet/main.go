@@ -19,6 +19,11 @@
 //     parameters are float64 microseconds; a direct event.Time(x)
 //     conversion of a parameter-like value must go through
 //     event.Microseconds instead.
+//   - batchissue: no new uses of the deprecated positional
+//     PutArgs/GetArgs wrappers (state the transfer as a Transfer
+//     struct, or batch it on a CommandList), and no Batch() whose
+//     package never calls Commit (staged commands are silently
+//     dropped).
 //
 // Usage:
 //
@@ -156,6 +161,7 @@ func Check(pkgs []*pkg) []Finding {
 		out = append(out, checkFlagWait(p)...)
 		out = append(out, checkHandlerBlock(p)...)
 		out = append(out, checkUnits(p, floats)...)
+		out = append(out, checkBatchIssue(p)...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Pos, out[j].Pos

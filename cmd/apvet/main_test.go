@@ -65,23 +65,51 @@ func TestRawMemAllowlist(t *testing.T) {
 
 func TestFlagWait(t *testing.T) {
 	fs := checkDir(t, "testdata/flagwait")
-	if got := countCheck(fs, "flagwait"); got != 2 {
-		t.Fatalf("flagwait findings = %d, want 2 (lostFlag and the ack): %v", got, fs)
+	if got := countCheck(fs, "flagwait"); got != 3 {
+		t.Fatalf("flagwait findings = %d, want 3 (lostFlag via Transfer and PutArgs, plus the ack): %v", got, fs)
 	}
-	var sawLost, sawAck bool
+	var lost, acks int
 	for _, f := range fs {
+		if f.Check != "flagwait" {
+			continue
+		}
 		if strings.Contains(f.Msg, "lostFlag") {
-			sawLost = true
+			lost++
 		}
 		if strings.Contains(f.Msg, "AckWait") {
-			sawAck = true
+			acks++
 		}
 		if strings.Contains(f.Msg, "goodFlag") {
 			t.Errorf("goodFlag is waited on and must not be reported: %s", f)
 		}
 	}
-	if !sawLost || !sawAck {
-		t.Fatalf("missing expected findings (lostFlag=%v ack=%v): %v", sawLost, sawAck, fs)
+	if lost != 2 || acks != 1 {
+		t.Fatalf("missing expected findings (lostFlag=%d ack=%d): %v", lost, acks, fs)
+	}
+}
+
+func TestBatchIssue(t *testing.T) {
+	fs := checkDir(t, "testdata/batchissue")
+	if got := countCheck(fs, "batchissue"); got != 3 {
+		t.Fatalf("batchissue findings = %d, want 3 (PutArgs, GetArgs, uncommitted Batch): %v", got, fs)
+	}
+	var deprecated, uncommitted int
+	for _, f := range fs {
+		if f.Check != "batchissue" {
+			continue
+		}
+		if strings.Contains(f.Msg, "deprecated positional") {
+			deprecated++
+		}
+		if strings.Contains(f.Msg, "without a Commit") {
+			uncommitted++
+		}
+	}
+	if deprecated != 2 || uncommitted != 1 {
+		t.Fatalf("deprecated=%d uncommitted=%d: %v", deprecated, uncommitted, fs)
+	}
+	if got := countCheck(fs, "flagwait"); got != 0 {
+		t.Fatalf("flagwait must stay quiet on the batchissue fixture: %v", fs)
 	}
 }
 

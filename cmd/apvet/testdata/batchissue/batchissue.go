@@ -1,0 +1,42 @@
+// Package app is apvet testdata for the batchissue check: the
+// PutArgs/GetArgs calls are deprecated positional issue, and the
+// Batch() here is never Commit()ed anywhere in the package.
+package app
+
+type Transfer struct {
+	To            int
+	Remote, Local uint64
+	Size          int64
+	Ack           bool
+}
+
+type list interface {
+	Put(t Transfer) list
+}
+
+type comm interface {
+	Put(t Transfer) error
+	PutArgs(dst int, raddr, laddr uint64, size int64, sendFlag, recvFlag int32, ack bool) error
+	GetArgs(dst int, raddr, laddr uint64, size int64, sendFlag, recvFlag int32) error
+	Batch() list
+	WaitFlag(flag int32, target int64)
+	AckWait()
+}
+
+func legacy(c comm, f int32) error {
+	if err := c.PutArgs(1, 0x1000, 0x1000, 64, 0, f, false); err != nil { // want batchissue
+		return err
+	}
+	c.WaitFlag(f, 1)
+	return c.GetArgs(1, 0x2000, 0x2000, 64, 0, 0) // want batchissue
+}
+
+func modern(c comm) error {
+	return c.Put(Transfer{To: 1, Remote: 0x1000, Local: 0x1000, Size: 64, Ack: true})
+}
+
+func leaky(c comm) {
+	b := c.Batch() // want batchissue (no Commit in this package)
+	b.Put(Transfer{To: 1, Remote: 0x3000, Local: 0x3000, Size: 8, Ack: true})
+	c.AckWait()
+}

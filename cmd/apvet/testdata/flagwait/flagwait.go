@@ -1,23 +1,42 @@
 // Package app is apvet testdata for the flagwait check: goodFlag is
 // waited on and must pass; lostFlag is raised by a PUT but never
 // waited on; the ack=true PUT has no AckWait anywhere in the package.
+// Both the Transfer-struct style and the positional stride/deprecated
+// styles are covered.
 package app
 
+// Transfer mirrors core.Transfer for the composite-literal shape.
+type Transfer struct {
+	To            int
+	Remote, Local uint64
+	Size          int64
+	SendFlag      int32
+	RecvFlag      int32
+	Ack           bool
+}
+
 type comm interface {
-	Put(dst int, raddr, laddr uint64, size int64, sendFlag, recvFlag int32, ack bool) error
-	Get(dst int, raddr, laddr uint64, size int64, sendFlag, recvFlag int32) error
+	Put(t Transfer) error
+	Get(t Transfer) error
+	PutArgs(dst int, raddr, laddr uint64, size int64, sendFlag, recvFlag int32, ack bool) error
 	WaitFlag(flag int32, target int64)
 }
 
 const NoFlag = 0
 
 func exchange(c comm, goodFlag, lostFlag int32) error {
-	if err := c.Put(1, 0x1000, 0x1000, 64, NoFlag, goodFlag, false); err != nil {
+	if err := c.Put(Transfer{To: 1, Remote: 0x1000, Local: 0x1000, Size: 64, RecvFlag: goodFlag}); err != nil {
 		return err
 	}
 	c.WaitFlag(goodFlag, 1)
-	if err := c.Put(1, 0x2000, 0x2000, 64, NoFlag, lostFlag, false); err != nil { // want flagwait
+	if err := c.Put(Transfer{To: 1, Remote: 0x2000, Local: 0x2000, Size: 64, RecvFlag: lostFlag}); err != nil { // want flagwait
 		return err
 	}
-	return c.Put(1, 0x3000, 0x3000, 64, NoFlag, NoFlag, true) // want flagwait (no AckWait)
+	return c.Put(Transfer{To: 1, Remote: 0x3000, Local: 0x3000, Size: 64, Ack: true}) // want flagwait (no AckWait)
+}
+
+// legacy raises lostFlag through the deprecated positional wrapper;
+// the flag is still tracked (and batchissue flags the call itself).
+func legacy(c comm, lostFlag int32) error {
+	return c.PutArgs(1, 0x4000, 0x4000, 64, NoFlag, lostFlag, false) // want flagwait
 }

@@ -74,15 +74,19 @@ func pingPong(sanitize bool, plan *ap1000plus.FaultPlan) error {
 			for i := range datas[0] {
 				datas[0][i] = float64(i)
 			}
-			if err := comm.Put(1, segs[1].Base(), segs[0].Base(), n*8,
-				ap1000plus.NoFlag, there, false); err != nil {
+			if err := comm.Put(ap1000plus.Transfer{
+				To: 1, Remote: segs[1].Base(), Local: segs[0].Base(),
+				Size: n * 8, RecvFlag: there,
+			}); err != nil {
 				return err
 			}
 			comm.WaitFlag(back, 1)
 		case 1:
 			comm.WaitFlag(there, 1)
-			if err := comm.Put(0, segs[0].Base(), segs[1].Base(), n*8,
-				ap1000plus.NoFlag, back, false); err != nil {
+			if err := comm.Put(ap1000plus.Transfer{
+				To: 0, Remote: segs[0].Base(), Local: segs[1].Base(),
+				Size: n * 8, RecvFlag: back,
+			}); err != nil {
 				return err
 			}
 		}

@@ -57,31 +57,38 @@ func main() {
 			for i := range datas[0] {
 				datas[0][i] = float64(i + 1)
 			}
-			// put(node, raddr, laddr, size, send_flag, recv_flag, ack):
-			// non-blocking; cell 1's readyFlag rises when its receive
-			// DMA completes.
-			if err := comm.Put(1, segs[1].Base(), segs[0].Base(), n*8,
-				ap1000plus.NoFlag, readyFlag, false); err != nil {
+			// PUT is non-blocking; cell 1's readyFlag rises when its
+			// receive DMA completes.
+			if err := comm.Put(ap1000plus.Transfer{
+				To: 1, Remote: segs[1].Base(), Local: segs[0].Base(),
+				Size: n * 8, RecvFlag: readyFlag,
+			}); err != nil {
 				return err
 			}
 			// Cell 1 doubles the values and raises our resultFlag
 			// with a data-less PUT; then we GET the result back.
 			comm.WaitFlag(resultFlag, 1)
-			if err := comm.Get(1, segs[1].Base(), segs[0].Base(), n*8,
-				ap1000plus.NoFlag, resultFlag); err != nil {
+			if err := comm.Get(ap1000plus.Transfer{
+				To: 1, Remote: segs[1].Base(), Local: segs[0].Base(),
+				Size: n * 8, RecvFlag: resultFlag,
+			}); err != nil {
 				return err
 			}
 			comm.WaitFlag(resultFlag, 2)
 			fmt.Println("cell 0 received:", datas[0])
 			// Tell cell 1 we are done (pure flag message: address 0).
-			return comm.Put(1, 0, segs[0].Base(), 8, ap1000plus.NoFlag, doneFlag, false)
+			return comm.Put(ap1000plus.Transfer{
+				To: 1, Local: segs[0].Base(), Size: 8, RecvFlag: doneFlag,
+			})
 		case 1:
 			comm.WaitFlag(readyFlag, 1)
 			for i := range datas[1] {
 				datas[1][i] *= 2
 			}
 			// Raise cell 0's resultFlag with a zero-copy notification.
-			if err := comm.Put(0, 0, segs[1].Base(), 8, ap1000plus.NoFlag, resultFlag, false); err != nil {
+			if err := comm.Put(ap1000plus.Transfer{
+				To: 0, Local: segs[1].Base(), Size: 8, RecvFlag: resultFlag,
+			}); err != nil {
 				return err
 			}
 			comm.WaitFlag(doneFlag, 1)

@@ -98,17 +98,21 @@ func propRun(t *testing.T, plan *FaultPlan, ops [][]propOp, putsInto, getsBy []i
 		c.HWBarrier() // every out buffer initialized before any GET reads it
 		for k, op := range ops[id] {
 			if op.get {
-				if err := comm.Get(CellID(op.dst),
-					outS[op.dst].Base()+Addr(op.slot*8),
-					ginS[id].Base()+Addr((op.dst*propPerCell+k)*8),
-					8, NoFlag, getFlags[id]); err != nil {
+				if err := comm.Get(Transfer{
+					To:     CellID(op.dst),
+					Remote: outS[op.dst].Base() + Addr(op.slot*8),
+					Local:  ginS[id].Base() + Addr((op.dst*propPerCell+k)*8),
+					Size:   8, RecvFlag: getFlags[id],
+				}); err != nil {
 					return err
 				}
 			} else {
-				if err := comm.Put(CellID(op.dst),
-					inS[op.dst].Base()+Addr((id*propPerCell+k)*8),
-					outS[id].Base()+Addr(op.slot*8),
-					8, NoFlag, recvFlags[op.dst], false); err != nil {
+				if err := comm.Put(Transfer{
+					To:     CellID(op.dst),
+					Remote: inS[op.dst].Base() + Addr((id*propPerCell+k)*8),
+					Local:  outS[id].Base() + Addr(op.slot*8),
+					Size:   8, RecvFlag: recvFlags[op.dst],
+				}); err != nil {
 					return err
 				}
 			}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"ap1000plus/internal/core"
 	"ap1000plus/internal/mc"
 	"ap1000plus/internal/mem"
 	"ap1000plus/internal/topology"
@@ -231,9 +232,11 @@ func NewFT(cfg FTConfig) (*Instance, error) {
 						continue
 					}
 					for y0 := 0; y0 < cfg.Ny; y0 += chunk {
-						if err := rt.Comm.Get(topology.CellID(s),
-							xslab.addr(s, srcOff+y0*nxL*2), line.addr(r, 0),
-							int64(chunk*nxL*16), mc.NoFlag, recvFlag); err != nil {
+						if err := rt.Comm.Get(core.Transfer{
+							To:     topology.CellID(s),
+							Remote: xslab.addr(s, srcOff+y0*nxL*2), Local: line.addr(r, 0),
+							Size: int64(chunk * nxL * 16), RecvFlag: recvFlag,
+						}); err != nil {
 							return err
 						}
 						gets++

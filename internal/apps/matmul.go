@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"ap1000plus/internal/core"
 	"ap1000plus/internal/topology"
 	"ap1000plus/internal/vpp"
 )
@@ -97,9 +98,11 @@ func NewMatMul(cfg MatMulConfig) (*Instance, error) {
 			// transfer overlaps the multiply (the paper's C apps
 			// "overlap communication and computation").
 			if step < np-1 {
-				if err := rt.Comm.Put(topology.CellID(next),
-					nxt.addr(next, 0), cur.addr(r, 0),
-					int64((ohi-olo)*n)*8, sflag, flag, false); err != nil {
+				if err := rt.Comm.Put(core.Transfer{
+					To:     topology.CellID(next),
+					Remote: nxt.addr(next, 0), Local: cur.addr(r, 0),
+					Size: int64((ohi-olo)*n) * 8, SendFlag: sflag, RecvFlag: flag,
+				}); err != nil {
 					return err
 				}
 			}

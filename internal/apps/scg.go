@@ -5,7 +5,7 @@ import (
 	"math"
 	"sync"
 
-	"ap1000plus/internal/mc"
+	"ap1000plus/internal/core"
 	"ap1000plus/internal/topology"
 	"ap1000plus/internal/vpp"
 )
@@ -116,9 +116,11 @@ func NewSCG(cfg SCGConfig) (*Instance, error) {
 		// mixed usage that gives SCG equal PUT and SEND counts).
 		exchange := func(buf *perCellBuf) error {
 			if r < np-1 {
-				if err := rt.Comm.Put(topology.CellID(r+1),
-					buf.addr(r+1, 0), buf.addr(r, rows*g),
-					int64(g)*8, mc.NoFlag, haloFlag, true); err != nil {
+				if err := rt.Comm.Put(core.Transfer{
+					To:     topology.CellID(r + 1),
+					Remote: buf.addr(r+1, 0), Local: buf.addr(r, rows*g),
+					Size: int64(g) * 8, RecvFlag: haloFlag, Ack: true,
+				}); err != nil {
 					return err
 				}
 			}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"ap1000plus/internal/core"
 	"ap1000plus/internal/mc"
 	"ap1000plus/internal/mem"
 	"ap1000plus/internal/topology"
@@ -170,16 +171,20 @@ func NewSP(cfg SPConfig) (*Instance, error) {
 			// the upper neighbour's haloLo, bottom plane to the lower
 			// neighbour's haloHi.
 			if r < np-1 {
-				if err := rt.Comm.Put(topology.CellID(r+1),
-					haloLo.addr(r+1, 0), u.addr(r, (nzL-1)*plane),
-					int64(plane)*8, mc.NoFlag, haloFlag, true); err != nil {
+				if err := rt.Comm.Put(core.Transfer{
+					To:     topology.CellID(r + 1),
+					Remote: haloLo.addr(r+1, 0), Local: u.addr(r, (nzL-1)*plane),
+					Size: int64(plane) * 8, RecvFlag: haloFlag, Ack: true,
+				}); err != nil {
 					return err
 				}
 			}
 			if r > 0 {
-				if err := rt.Comm.Put(topology.CellID(r-1),
-					haloHi.addr(r-1, 0), u.addr(r, 0),
-					int64(plane)*8, mc.NoFlag, haloFlag, true); err != nil {
+				if err := rt.Comm.Put(core.Transfer{
+					To:     topology.CellID(r - 1),
+					Remote: haloHi.addr(r-1, 0), Local: u.addr(r, 0),
+					Size: int64(plane) * 8, RecvFlag: haloFlag, Ack: true,
+				}); err != nil {
 					return err
 				}
 			}
@@ -298,9 +303,11 @@ func NewSP(cfg SPConfig) (*Instance, error) {
 						}
 						continue
 					}
-					if err := rt.Comm.Get(topology.CellID(s),
-						pencil.addr(s, srcOff), stageLine.addr(r, 0),
-						int64(n*nxL)*8, mc.NoFlag, recvFlag); err != nil {
+					if err := rt.Comm.Get(core.Transfer{
+						To:     topology.CellID(s),
+						Remote: pencil.addr(s, srcOff), Local: stageLine.addr(r, 0),
+						Size: int64(n*nxL) * 8, RecvFlag: recvFlag,
+					}); err != nil {
 						return err
 					}
 					gets++

@@ -5,7 +5,7 @@ import (
 	"math"
 	"sync"
 
-	"ap1000plus/internal/mc"
+	"ap1000plus/internal/core"
 	"ap1000plus/internal/topology"
 	"ap1000plus/internal/vpp"
 )
@@ -177,13 +177,17 @@ func NewTomcatv(cfg TomcatvConfig) (*Instance, error) {
 			fetch := func(peer topology.CellID, srcOff, dstOff int) error {
 				if cfg.Stride {
 					gets++
-					return rt.Comm.Get(peer, edges.addr(int(peer), srcOff), inbox.addr(r, dstOff),
-						int64(n)*8, mc.NoFlag, getFlag)
+					return rt.Comm.Get(core.Transfer{
+						To: peer, Remote: edges.addr(int(peer), srcOff), Local: inbox.addr(r, dstOff),
+						Size: int64(n) * 8, RecvFlag: getFlag,
+					})
 				}
 				for row := 0; row < n; row++ {
 					gets++
-					if err := rt.Comm.Get(peer, edges.addr(int(peer), srcOff+row), inbox.addr(r, dstOff+row),
-						8, mc.NoFlag, getFlag); err != nil {
+					if err := rt.Comm.Get(core.Transfer{
+						To: peer, Remote: edges.addr(int(peer), srcOff+row), Local: inbox.addr(r, dstOff+row),
+						Size: 8, RecvFlag: getFlag,
+					}); err != nil {
 						return err
 					}
 				}

@@ -1,0 +1,377 @@
+// Batched command issue: the descriptor-ring idiom on top of the
+// MSC+. A CommandList collects PUT/GET entries the way a NIC driver
+// builds a descriptor ring, then Commit reserves queue space once and
+// rings the doorbell once (one MSC+ lock acquisition, one condition
+// signal) for the whole run — so a compiler-generated burst of
+// transfers pays issue overhead once, not per command.
+//
+// With Coalesce enabled the list additionally merges adjacent
+// same-destination PUTs into single stride commands (the hand
+// optimization of S5.4, applied mechanically) and collapses the
+// acknowledgement traffic to one ack GET per destination per batch —
+// sound because the T-net delivers each (src, dst) stream in order,
+// so one trailing zero-address GET acknowledges every PUT ahead of it.
+package core
+
+import (
+	"fmt"
+
+	"ap1000plus/internal/mc"
+	"ap1000plus/internal/mem"
+	"ap1000plus/internal/msc"
+	"ap1000plus/internal/topology"
+	"ap1000plus/internal/trace"
+)
+
+// MaxBatch bounds the staged commands of one CommandList. Exceeding
+// it sets the list's sticky ErrQueueFull; the cap keeps a runaway
+// append loop from hiding an unbounded buffer behind one doorbell.
+const MaxBatch = 1024
+
+// pending is one staged command plus its acknowledgement request
+// (materialized as a trailing zero-address GET at Commit, so staged
+// PUTs stay adjacent for coalescing).
+type pending struct {
+	cmd msc.Command
+	ack bool
+}
+
+// CommandList is a batch of PUT/GET commands built by the program and
+// issued with a single Commit. Append methods are chainable and
+// validation errors are sticky: the first one is reported by Commit
+// (or Err) and nothing is issued. A CommandList belongs to the
+// program goroutine of the cell that built it; it is not safe for
+// concurrent use.
+type CommandList struct {
+	comm     *Comm
+	open     bool
+	coalesce bool
+	err      error
+	entries  []pending
+	// last maps a destination to its most recent staged entry — the
+	// only legal merge candidate, so merging never reorders commands
+	// within one (src, dst) in-order stream.
+	last map[topology.CellID]int
+	// out is the commit expansion buffer; storage persists across
+	// commits for allocation-free steady state.
+	out    []msc.Command
+	merged int64
+}
+
+// Batch opens the cell's reusable CommandList. While it is open a
+// nested Batch call returns a fresh independent list (the common case
+// reuses one list per Comm and stays allocation-free).
+func (c *Comm) Batch() *CommandList {
+	b := &c.batch
+	if b.open {
+		b = &CommandList{}
+	}
+	b.comm = c
+	b.open = true
+	b.coalesce = false
+	b.err = nil
+	b.entries = b.entries[:0]
+	b.merged = 0
+	if b.last == nil {
+		b.last = make(map[topology.CellID]int)
+	} else {
+		clear(b.last)
+	}
+	return b
+}
+
+// Coalesce enables transfer merging for this batch: adjacent
+// same-destination flagless PUTs combine into single stride commands
+// when their address patterns allow, and acknowledgements collapse to
+// one ack GET per destination. Merging never crosses a flagged
+// command or a GET to the same destination, never merges self-sends,
+// and never grows a command past MaxTransfer — so memory contents and
+// user-flag counts are exactly those of the unmerged batch.
+func (b *CommandList) Coalesce() *CommandList {
+	b.coalesce = true
+	return b
+}
+
+// Err reports the list's sticky error, nil while the batch is viable.
+func (b *CommandList) Err() error { return b.err }
+
+// Len reports the staged command count (after any coalescing, before
+// acknowledgement expansion).
+func (b *CommandList) Len() int { return len(b.entries) }
+
+// Merged reports how many appended transfers were absorbed into an
+// earlier staged command by coalescing.
+func (b *CommandList) Merged() int64 { return b.merged }
+
+// Put stages a contiguous PUT described by t.
+func (b *CommandList) Put(t Transfer) *CommandList {
+	return b.PutStride(t, mem.Contiguous(t.Size), mem.Contiguous(t.Size))
+}
+
+// PutStride stages a PUT with explicit send (local) and receive
+// (remote) stride patterns; t.Size is ignored.
+func (b *CommandList) PutStride(t Transfer, sendPat, recvPat mem.Stride) *CommandList {
+	if !b.ready() {
+		return b
+	}
+	if err := b.comm.validate(t.To, sendPat); err != nil {
+		b.err = err
+		return b
+	}
+	if err := recvPat.Validate(); err != nil {
+		b.err = fmt.Errorf("core: %w: %v", ErrBadStride, err)
+		return b
+	}
+	if sendPat.Total() != recvPat.Total() {
+		b.err = fmt.Errorf("core: put payload mismatch: send %d bytes, recv %d: %w", sendPat.Total(), recvPat.Total(), ErrBadStride)
+		return b
+	}
+	b.stage(msc.Command{
+		Op: msc.OpPut, Dst: t.To,
+		RAddr: t.Remote, LAddr: t.Local,
+		RStride: recvPat, LStride: sendPat,
+		SendFlag: t.SendFlag, RecvFlag: t.RecvFlag,
+	}, t.Ack)
+	return b
+}
+
+// Get stages a contiguous GET described by t (t.Ack is ignored).
+func (b *CommandList) Get(t Transfer) *CommandList {
+	return b.GetStride(t, mem.Contiguous(t.Size), mem.Contiguous(t.Size))
+}
+
+// GetStride stages a GET with explicit send (remote) and receive
+// (local) stride patterns; t.Size is ignored.
+func (b *CommandList) GetStride(t Transfer, sendPat, recvPat mem.Stride) *CommandList {
+	if !b.ready() {
+		return b
+	}
+	if err := b.comm.validate(t.To, sendPat); err != nil {
+		b.err = err
+		return b
+	}
+	if err := recvPat.Validate(); err != nil {
+		b.err = fmt.Errorf("core: %w: %v", ErrBadStride, err)
+		return b
+	}
+	if sendPat.Total() != recvPat.Total() {
+		b.err = fmt.Errorf("core: get payload mismatch: send %d bytes, recv %d: %w", sendPat.Total(), recvPat.Total(), ErrBadStride)
+		return b
+	}
+	b.stage(msc.Command{
+		Op: msc.OpGet, Dst: t.To,
+		RAddr: t.Remote, LAddr: t.Local,
+		RStride: sendPat, LStride: recvPat,
+		SendFlag: t.SendFlag, RecvFlag: t.RecvFlag,
+	}, false)
+	return b
+}
+
+func (b *CommandList) ready() bool {
+	if b.err != nil {
+		return false
+	}
+	if !b.open {
+		b.err = fmt.Errorf("core: append to a CommandList without an open Batch")
+		return false
+	}
+	return true
+}
+
+// stage appends a validated command, first offering it to the latest
+// same-destination staged command for merging when coalescing is on.
+func (b *CommandList) stage(cmd msc.Command, ack bool) {
+	if b.coalesce && cmd.Op == msc.OpPut && cmd.Dst != b.comm.cell.ID() {
+		if i, ok := b.last[cmd.Dst]; ok {
+			if e := &b.entries[i]; e.cmd.Op == msc.OpPut && mergePut(&e.cmd, &cmd) {
+				e.ack = e.ack || ack
+				b.merged++
+				return
+			}
+		}
+	}
+	if len(b.entries) >= MaxBatch {
+		b.err = fmt.Errorf("core: CommandList exceeds %d staged commands: %w", MaxBatch, ErrQueueFull)
+		return
+	}
+	b.entries = append(b.entries, pending{cmd: cmd, ack: ack})
+	if b.coalesce {
+		// Every staged op — including a GET or a flagged PUT — becomes
+		// the destination's latest entry, so it acts as a merge barrier
+		// for anything that must not be reordered past it.
+		b.last[cmd.Dst] = len(b.entries) - 1
+	}
+}
+
+// Commit issues the whole batch: expand acknowledgements, record the
+// trace, and push every command into the MSC+ user queue under one
+// doorbell. The list closes and its buffers are retained for the next
+// Batch. On a sticky error nothing is issued and the error returns.
+func (b *CommandList) Commit() error {
+	if !b.open {
+		if b.err != nil {
+			return b.err
+		}
+		return fmt.Errorf("core: Commit on a CommandList without an open Batch")
+	}
+	b.open = false
+	if b.err != nil {
+		err := b.err
+		b.entries = b.entries[:0]
+		return err
+	}
+	c := b.comm
+	out := b.out[:0]
+	acks := 0
+	if b.coalesce {
+		for i := range b.entries {
+			out = append(out, b.entries[i].cmd)
+		}
+		// One trailing ack GET per acknowledged destination: the
+		// in-order (src, dst) stream means the single reply confirms
+		// every PUT queued ahead of it.
+		clear(b.last)
+		for i := range b.entries {
+			e := &b.entries[i]
+			if e.ack {
+				if _, seen := b.last[e.cmd.Dst]; !seen {
+					b.last[e.cmd.Dst] = i
+					out = append(out, ackCommand(e.cmd.Dst))
+					acks++
+				}
+			}
+		}
+	} else {
+		for i := range b.entries {
+			e := &b.entries[i]
+			out = append(out, e.cmd)
+			if e.ack {
+				out = append(out, ackCommand(e.cmd.Dst))
+				acks++
+			}
+		}
+	}
+	if rec := c.cell.Recorder(); rec != nil {
+		b.record(rec)
+	}
+	c.acks += int64(acks)
+	if len(out) > 0 {
+		c.cell.PushUserBatch(out)
+	}
+	b.out = out
+	b.entries = b.entries[:0]
+	return nil
+}
+
+// record writes the batch's trace events at issue time (Commit), one
+// per staged command, mirroring what the machine actually executes.
+func (b *CommandList) record(rec *trace.Recorder) {
+	for i := range b.entries {
+		e := &b.entries[i]
+		items := e.cmd.LStride.Count
+		if e.cmd.RStride.Count > items {
+			items = e.cmd.RStride.Count
+		}
+		switch e.cmd.Op {
+		case msc.OpPut:
+			rec.Put(e.cmd.Dst, e.cmd.LStride.Total(), items,
+				trace.FlagID(e.cmd.SendFlag), trace.FlagID(e.cmd.RecvFlag), e.ack, b.comm.rts)
+		case msc.OpGet:
+			rec.Get(e.cmd.Dst, e.cmd.RStride.Total(), items,
+				trace.FlagID(e.cmd.SendFlag), trace.FlagID(e.cmd.RecvFlag), b.comm.rts)
+		}
+	}
+}
+
+// mergePut tries to absorb next into prev, growing prev's stride
+// patterns. Only flagless, payload-bearing PUTs merge, and only when
+// both the local and the remote byte streams of next continue prev's
+// in append order (or interleave item-by-item on both sides at once),
+// so the merged DMA writes exactly the bytes the two commands would
+// have. Reports whether the merge happened.
+func mergePut(prev, next *msc.Command) bool {
+	if prev.SendFlag != mc.NoFlag || prev.RecvFlag != mc.NoFlag ||
+		next.SendFlag != mc.NoFlag || next.RecvFlag != mc.NoFlag {
+		return false
+	}
+	if prev.RAddr == 0 || next.RAddr == 0 || prev.LAddr == 0 || next.LAddr == 0 {
+		return false // pure flag messages carry no coalescible payload
+	}
+	if prev.LStride.Total()+next.LStride.Total() > MaxTransfer {
+		return false
+	}
+	if l, ok := sideAppend(prev.LAddr, prev.LStride, next.LAddr, next.LStride); ok {
+		if r, ok := sideAppend(prev.RAddr, prev.RStride, next.RAddr, next.RStride); ok {
+			prev.LStride, prev.RStride = l, r
+			return true
+		}
+	}
+	// Interleaving reorders the byte stream per item, so the local and
+	// remote chunk boundaries must coincide: both sides of each command
+	// need the same item size and count for the merged streams to stay
+	// aligned.
+	if prev.LStride.ItemSize == prev.RStride.ItemSize && prev.LStride.Count == prev.RStride.Count &&
+		next.LStride.ItemSize == next.RStride.ItemSize && next.LStride.Count == next.RStride.Count {
+		if l, ok := sideInterleave(prev.LAddr, prev.LStride, next.LAddr, next.LStride); ok {
+			if r, ok := sideInterleave(prev.RAddr, prev.RStride, next.RAddr, next.RStride); ok {
+				prev.LStride, prev.RStride = l, r
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// sideAppend reports whether pattern pn at an continues pattern pp at
+// ap in byte-stream order on one side of a transfer, returning the
+// combined pattern: exact contiguous extension, two equal pieces at a
+// constant gap forming a new stride, or more items appended to an
+// existing stride.
+func sideAppend(ap mem.Addr, pp mem.Stride, an mem.Addr, pn mem.Stride) (mem.Stride, bool) {
+	if pp.Count == 1 && pn.Count == 1 && an == ap+mem.Addr(pp.ItemSize) {
+		return mem.Stride{ItemSize: pp.ItemSize + pn.ItemSize, Count: 1}, true
+	}
+	if pn.ItemSize != pp.ItemSize {
+		return mem.Stride{}, false
+	}
+	s := pp.ItemSize
+	if pp.Count == 1 {
+		if pn.Count != 1 {
+			return mem.Stride{}, false
+		}
+		gap := int64(an) - int64(ap) - s
+		if gap < 0 {
+			return mem.Stride{}, false
+		}
+		return mem.Stride{ItemSize: s, Count: 2, Skip: gap}, true
+	}
+	step := s + pp.Skip
+	if int64(an) != int64(ap)+pp.Count*step {
+		return mem.Stride{}, false
+	}
+	if pn.Count > 1 && pn.Skip != pp.Skip {
+		return mem.Stride{}, false
+	}
+	return mem.Stride{ItemSize: s, Count: pp.Count + pn.Count, Skip: pp.Skip}, true
+}
+
+// sideInterleave reports whether pn at an fills the gaps of pp at ap
+// item-by-item — adjacent columns of a row-major block — returning
+// the widened stride. Callers must apply it to both sides of a
+// transfer or not at all: it reorders the byte stream per item.
+func sideInterleave(ap mem.Addr, pp mem.Stride, an mem.Addr, pn mem.Stride) (mem.Stride, bool) {
+	if pp.Count < 2 || pn.Count != pp.Count {
+		return mem.Stride{}, false
+	}
+	if an != ap+mem.Addr(pp.ItemSize) {
+		return mem.Stride{}, false
+	}
+	if pn.ItemSize+pn.Skip != pp.ItemSize+pp.Skip {
+		return mem.Stride{}, false
+	}
+	skip := pp.Skip - pn.ItemSize
+	if skip < 0 {
+		return mem.Stride{}, false
+	}
+	return mem.Stride{ItemSize: pp.ItemSize + pn.ItemSize, Count: pp.Count, Skip: skip}, true
+}

@@ -37,6 +37,48 @@ import (
 // "from 1 word (4 byte) to 1 megaword (4 megabytes)" (S4.1).
 const MaxTransfer = 4 << 20
 
+// Typed sentinel errors, re-exported from machine so users of the
+// PUT/GET interface branch with errors.Is without importing the
+// machine package.
+var (
+	// ErrBadAddress marks an invalid destination cell.
+	ErrBadAddress = machine.ErrBadAddress
+	// ErrBadStride marks an invalid transfer shape: malformed stride,
+	// mismatched payload totals, or a transfer over MaxTransfer.
+	ErrBadStride = machine.ErrBadStride
+	// ErrQueueFull marks a CommandList that outgrew MaxBatch.
+	ErrQueueFull = machine.ErrQueueFull
+	// ErrRetryBudget marks a transfer abandoned under a fault plan's
+	// retry budget (machine.CellFault wraps it).
+	ErrRetryBudget = machine.ErrRetryBudget
+)
+
+// Transfer describes one PUT or GET in options-struct form — the
+// paper's positional put(node_id, raddr, laddr, size, send_flag,
+// recv_flag, ack) with the parameters named, so call sites read like
+// the figure instead of a run of bare integers.
+type Transfer struct {
+	// To is the destination cell (the data holder for a GET).
+	To topology.CellID
+	// Remote is the address on To (PUT destination, GET source).
+	Remote mem.Addr
+	// Local is the address on the issuing cell (PUT source, GET
+	// destination).
+	Local mem.Addr
+	// Size is the contiguous transfer length in bytes. Ignored by the
+	// stride forms, which take explicit patterns.
+	Size int64
+	// SendFlag is incremented on the data-sending cell when its send
+	// DMA completes; RecvFlag on the data-receiving cell when its
+	// receive DMA completes.
+	SendFlag mc.FlagID
+	RecvFlag mc.FlagID
+	// Ack requests the S4.1 acknowledgement round trip for a PUT (the
+	// implicit acknowledge flag rises when the destination consumed
+	// the data). Ignored by GET, whose reply is its own completion.
+	Ack bool
+}
+
 // Comm is one cell's PUT/GET endpoint.
 type Comm struct {
 	cell *machine.Cell
@@ -48,6 +90,10 @@ type Comm struct {
 	// rrFlag serializes blocking ReadRemote calls.
 	rrFlag  mc.FlagID
 	rrCount int64
+	// batch is the cell's reusable CommandList (Batch); its buffers
+	// persist across commits so steady-state batched issue does not
+	// allocate.
+	batch CommandList
 }
 
 // New builds the PUT/GET interface for a cell.
@@ -68,25 +114,31 @@ func (c *Comm) Cell() *machine.Cell { return c.cell }
 
 func (c *Comm) validate(dst topology.CellID, pat mem.Stride) error {
 	if !c.cell.Machine().Torus().Valid(dst) {
-		return fmt.Errorf("core: invalid destination cell %d", dst)
+		return fmt.Errorf("core: invalid destination cell %d: %w", dst, ErrBadAddress)
 	}
 	if err := pat.Validate(); err != nil {
-		return err
+		return fmt.Errorf("core: %w: %v", ErrBadStride, err)
 	}
 	if pat.Total() > MaxTransfer {
-		return fmt.Errorf("core: transfer of %d bytes exceeds the %d-byte DMA limit", pat.Total(), MaxTransfer)
+		return fmt.Errorf("core: transfer of %d bytes exceeds the %d-byte DMA limit: %w", pat.Total(), MaxTransfer, ErrBadStride)
 	}
 	return nil
 }
 
-// Put copies size bytes from laddr in local memory to raddr on dst.
-// It returns as soon as the command is queued (a few stores into the
-// MSC+). sendFlag is incremented locally when the send DMA completes
-// (the source area may then be reused); recvFlag is incremented on
-// dst when the receive DMA completes. With ack, the cell's implicit
-// acknowledge flag rises when the destination has consumed the data.
-func (c *Comm) Put(dst topology.CellID, raddr, laddr mem.Addr, size int64, sendFlag, recvFlag mc.FlagID, ack bool) error {
-	return c.PutStride(dst, raddr, laddr, sendFlag, recvFlag, ack, mem.Contiguous(size), mem.Contiguous(size))
+// Put copies t.Size bytes from t.Local in local memory to t.Remote on
+// t.To. It returns as soon as the command is queued (a few stores
+// into the MSC+); the flags in t signal DMA completion on each side.
+func (c *Comm) Put(t Transfer) error {
+	return c.PutStride(t.To, t.Remote, t.Local, t.SendFlag, t.RecvFlag, t.Ack, mem.Contiguous(t.Size), mem.Contiguous(t.Size))
+}
+
+// PutArgs is the paper's positional put(node_id, raddr, laddr, size,
+// send_flag, recv_flag, ack) spelling.
+//
+// Deprecated: use Put with a Transfer, or a CommandList for batched
+// issue. Kept as a thin wrapper for the positional idiom.
+func (c *Comm) PutArgs(dst topology.CellID, raddr, laddr mem.Addr, size int64, sendFlag, recvFlag mc.FlagID, ack bool) error {
+	return c.Put(Transfer{To: dst, Remote: raddr, Local: laddr, Size: size, SendFlag: sendFlag, RecvFlag: recvFlag, Ack: ack})
 }
 
 // PutStride is Put with independent one-dimensional stride patterns
@@ -100,7 +152,7 @@ func (c *Comm) PutStride(dst topology.CellID, raddr, laddr mem.Addr, sendFlag, r
 		return err
 	}
 	if sendPat.Total() != recvPat.Total() {
-		return fmt.Errorf("core: put payload mismatch: send %d bytes, recv %d", sendPat.Total(), recvPat.Total())
+		return fmt.Errorf("core: put payload mismatch: send %d bytes, recv %d: %w", sendPat.Total(), recvPat.Total(), ErrBadStride)
 	}
 	if rec := c.cell.Recorder(); rec != nil {
 		items := sendPat.Count
@@ -121,24 +173,39 @@ func (c *Comm) PutStride(dst topology.CellID, raddr, laddr mem.Addr, sendFlag, r
 	return nil
 }
 
-// pushAckGet issues the S4.1 acknowledge: a GET to address 0 behind
-// the PUT on the same in-order channel. The reply bumps the implicit
-// acknowledge flag.
-func (c *Comm) pushAckGet(dst topology.CellID) {
-	c.acks++
-	c.cell.PushUser(msc.Command{
+// ackCommand builds the S4.1 acknowledge: a GET to address 0 behind
+// the PUT(s) on the same in-order channel. The reply bumps the
+// implicit acknowledge flag.
+func ackCommand(dst topology.CellID) msc.Command {
+	return msc.Command{
 		Op: msc.OpGet, Dst: dst,
 		RAddr: 0, LAddr: 0,
 		RStride: mem.Contiguous(1), LStride: mem.Contiguous(1),
 		RecvFlag: mc.AckFlagID,
-	})
+	}
 }
 
-// Get retrieves size bytes from raddr on dst into laddr locally.
-// sendFlag names a flag on dst (incremented when dst's reply DMA
-// completes); recvFlag is incremented locally when the data arrived.
-func (c *Comm) Get(dst topology.CellID, raddr, laddr mem.Addr, size int64, sendFlag, recvFlag mc.FlagID) error {
-	return c.GetStride(dst, raddr, laddr, sendFlag, recvFlag, mem.Contiguous(size), mem.Contiguous(size))
+func (c *Comm) pushAckGet(dst topology.CellID) {
+	c.acks++
+	c.cell.PushUser(ackCommand(dst))
+}
+
+// Get retrieves t.Size bytes from t.Remote on t.To into t.Local
+// locally. t.SendFlag names a flag on the remote cell (incremented
+// when its reply DMA completes); t.RecvFlag is incremented locally
+// when the data arrived. t.Ack is ignored: the reply is a GET's own
+// completion signal.
+func (c *Comm) Get(t Transfer) error {
+	return c.GetStride(t.To, t.Remote, t.Local, t.SendFlag, t.RecvFlag, mem.Contiguous(t.Size), mem.Contiguous(t.Size))
+}
+
+// GetArgs is the paper's positional get(node_id, raddr, laddr, size,
+// send_flag, recv_flag) spelling.
+//
+// Deprecated: use Get with a Transfer, or a CommandList for batched
+// issue. Kept as a thin wrapper for the positional idiom.
+func (c *Comm) GetArgs(dst topology.CellID, raddr, laddr mem.Addr, size int64, sendFlag, recvFlag mc.FlagID) error {
+	return c.Get(Transfer{To: dst, Remote: raddr, Local: laddr, Size: size, SendFlag: sendFlag, RecvFlag: recvFlag})
 }
 
 // GetStride is Get with stride patterns: sendPat describes the layout
@@ -151,7 +218,7 @@ func (c *Comm) GetStride(dst topology.CellID, raddr, laddr mem.Addr, sendFlag, r
 		return err
 	}
 	if sendPat.Total() != recvPat.Total() {
-		return fmt.Errorf("core: get payload mismatch: send %d bytes, recv %d", sendPat.Total(), recvPat.Total())
+		return fmt.Errorf("core: get payload mismatch: send %d bytes, recv %d: %w", sendPat.Total(), recvPat.Total(), ErrBadStride)
 	}
 	if rec := c.cell.Recorder(); rec != nil {
 		items := sendPat.Count
@@ -194,7 +261,7 @@ func (c *Comm) AckWait() {
 // (S2.2): a PUT with an acknowledgement and no user flags. Completion
 // of all writes is observed with AckWait before a barrier.
 func (c *Comm) WriteRemote(dst topology.CellID, raddr, laddr mem.Addr, size int64) error {
-	return c.Put(dst, raddr, laddr, size, mc.NoFlag, mc.NoFlag, true)
+	return c.Put(Transfer{To: dst, Remote: raddr, Local: laddr, Size: size, Ack: true})
 }
 
 // ReadRemote is the translator's blocking direct remote read (S2.2):
@@ -202,7 +269,7 @@ func (c *Comm) WriteRemote(dst topology.CellID, raddr, laddr mem.Addr, size int6
 // the completion of readRemote is easy, because reply data returns
 // and update the flag."
 func (c *Comm) ReadRemote(dst topology.CellID, raddr, laddr mem.Addr, size int64) error {
-	if err := c.Get(dst, raddr, laddr, size, mc.NoFlag, c.rrFlag); err != nil {
+	if err := c.Get(Transfer{To: dst, Remote: raddr, Local: laddr, Size: size, RecvFlag: c.rrFlag}); err != nil {
 		return err
 	}
 	c.rrCount++

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -47,7 +48,7 @@ func TestPutWithFlags(t *testing.T) {
 			for i := range f.datas[0] {
 				f.datas[0][i] = float64(i) + 0.5
 			}
-			if err := c.Put(1, f.segs[1].Base(), f.segs[0].Base(), 64, sf, rf, false); err != nil {
+			if err := c.Put(Transfer{To: 1, Remote: f.segs[1].Base(), Local: f.segs[0].Base(), Size: 64, SendFlag: sf, RecvFlag: rf}); err != nil {
 				return err
 			}
 			c.WaitFlag(sf, 1)
@@ -190,19 +191,22 @@ func TestValidationErrors(t *testing.T) {
 		cases := []struct {
 			name string
 			err  error
+			want error
 		}{
-			{"bad dst", c.Put(99, f.segs[0].Base(), f.segs[0].Base(), 8, 0, 0, false)},
-			{"zero size", c.Put(1, f.segs[1].Base(), f.segs[0].Base(), 0, 0, 0, false)},
-			{"negative size", c.Put(1, f.segs[1].Base(), f.segs[0].Base(), -8, 0, 0, false)},
-			{"huge", c.Put(1, f.segs[1].Base(), f.segs[0].Base(), MaxTransfer+1, 0, 0, false)},
+			{"bad dst", c.Put(Transfer{To: 99, Remote: f.segs[0].Base(), Local: f.segs[0].Base(), Size: 8}), ErrBadAddress},
+			{"zero size", c.Put(Transfer{To: 1, Remote: f.segs[1].Base(), Local: f.segs[0].Base(), Size: 0}), ErrBadStride},
+			{"negative size", c.Put(Transfer{To: 1, Remote: f.segs[1].Base(), Local: f.segs[0].Base(), Size: -8}), ErrBadStride},
+			{"huge", c.Put(Transfer{To: 1, Remote: f.segs[1].Base(), Local: f.segs[0].Base(), Size: MaxTransfer + 1}), ErrBadStride},
 			{"mismatch", c.PutStride(1, f.segs[1].Base(), f.segs[0].Base(), 0, 0, false,
-				mem.Contiguous(16), mem.Contiguous(32))},
+				mem.Contiguous(16), mem.Contiguous(32)), ErrBadStride},
 			{"get mismatch", c.GetStride(1, f.segs[1].Base(), f.segs[0].Base(), 0, 0,
-				mem.Contiguous(16), mem.Contiguous(32))},
+				mem.Contiguous(16), mem.Contiguous(32)), ErrBadStride},
 		}
 		for _, tc := range cases {
 			if tc.err == nil {
 				t.Errorf("%s: expected error", tc.name)
+			} else if !errors.Is(tc.err, tc.want) {
+				t.Errorf("%s: err %v is not %v", tc.name, tc.err, tc.want)
 			}
 		}
 		return nil
@@ -220,7 +224,7 @@ func TestTraceAttribution(t *testing.T) {
 		}
 		user := New(cell)
 		rts := NewRTS(cell)
-		if err := user.Put(1, f.segs[1].Base(), f.segs[0].Base(), 8, 0, 0, false); err != nil {
+		if err := user.Put(Transfer{To: 1, Remote: f.segs[1].Base(), Local: f.segs[0].Base(), Size: 8}); err != nil {
 			return err
 		}
 		if err := rts.PutStride(1, f.segs[1].Base(), f.segs[0].Base(), 0, 0, true,
@@ -289,7 +293,7 @@ func TestManySmallPutsOverflowQueue(t *testing.T) {
 				raddr := f.segs[2].Base() + mem.Addr((i%1024)*8)
 				laddr := f.segs[0].Base() + mem.Addr((i%1024)*8)
 				f.datas[0][i%1024] = float64(i)
-				if err := c.Put(2, raddr, laddr, 8, mc.NoFlag, rf, false); err != nil {
+				if err := c.Put(Transfer{To: 2, Remote: raddr, Local: laddr, Size: 8, RecvFlag: rf}); err != nil {
 					return err
 				}
 			}
@@ -311,9 +315,12 @@ func TestErrorMentionsCore(t *testing.T) {
 	f := newFixture(t, "", 8)
 	_ = f.m.Run(func(cell *machine.Cell) error {
 		if cell.ID() == 0 {
-			err := New(cell).Put(99, 0, 0, 8, 0, 0, false)
+			err := New(cell).Put(Transfer{To: 99, Size: 8})
 			if err == nil || !strings.Contains(err.Error(), "core:") {
 				t.Errorf("err = %v", err)
+			}
+			if !errors.Is(err, ErrBadAddress) {
+				t.Errorf("err %v is not ErrBadAddress", err)
 			}
 		}
 		return nil
@@ -332,7 +339,7 @@ func BenchmarkPutIssue(b *testing.B) {
 		b.ResetTimer()
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if err := c.Put(1, f.segs[1].Base(), f.segs[0].Base(), 8, mc.NoFlag, mc.NoFlag, false); err != nil {
+			if err := c.Put(Transfer{To: 1, Remote: f.segs[1].Base(), Local: f.segs[0].Base(), Size: 8}); err != nil {
 				return err
 			}
 		}

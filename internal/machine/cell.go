@@ -129,8 +129,8 @@ func newCell(m *Machine, id topology.CellID) (*Cell, error) {
 			}
 		}
 		c.MSC.SetObserver(
-			func(queue string) {
-				cc.Spills.Add(1)
+			func(queue string, n int) {
+				cc.Spills.Add(int64(n))
 				if tl := o.Timeline(); tl != nil {
 					tl.Instant(pid, obs.TidMSC, "queue", "spill:"+queue, o.NowUs())
 				}
@@ -320,6 +320,94 @@ func (c *Cell) PushUser(cmd msc.Command) {
 	c.sanIssue(&cmd)
 	c.obsIssue(&cmd)
 	c.push(qUser, cmd)
+}
+
+// PushUserBatch submits a run of user commands with one doorbell: the
+// source stamp, the sanitizer release, the observability counters, the
+// drain accounting and the MSC+ lock are each paid once per batch
+// instead of once per command. Semantically identical to calling
+// PushUser for each command in order.
+func (c *Cell) PushUserBatch(cmds []msc.Command) {
+	if len(cmds) == 0 {
+		return
+	}
+	for i := range cmds {
+		cmds[i].Src = c.id
+	}
+	if s := c.machine.san; s != nil {
+		// One released clock covers the whole batch: every command in
+		// it is popped by this cell's single controller goroutine, whose
+		// first acquire joins the issuing CPU's clock. The rest carry
+		// the same handle; acquiring an already-consumed handle is a
+		// no-op, and clocks only grow, so ordering is preserved.
+		h := s.ReleaseHandle(s.CPU(int(c.id)))
+		for i := range cmds {
+			cmds[i].San = h
+		}
+	}
+	c.obsIssueBatch(cmds)
+	c.machine.inflight.Add(int64(len(cmds)))
+	c.MSC.PushUserBatch(cmds)
+}
+
+// obsIssueBatch is obsIssue amortized over a batch: counters
+// accumulate in locals and flush with one atomic add per class, and
+// the timeline gets a single issue instant for the whole batch.
+func (c *Cell) obsIssueBatch(cmds []msc.Command) {
+	o := c.machine.obs
+	if o == nil {
+		return
+	}
+	var put, putS, putBytes int64
+	var get, getS, ackGet, getBytes int64
+	var send, sendBytes, rStore, rLoad int64
+	for i := range cmds {
+		cmd := &cmds[i]
+		switch cmd.Op {
+		case msc.OpPut:
+			if cmd.LStride.Count > 1 || cmd.RStride.Count > 1 {
+				putS++
+			} else {
+				put++
+			}
+			putBytes += cmd.LStride.Total()
+		case msc.OpGet:
+			if cmd.RAddr == 0 {
+				ackGet++
+			} else {
+				if cmd.LStride.Count > 1 || cmd.RStride.Count > 1 {
+					getS++
+				} else {
+					get++
+				}
+				getBytes += cmd.RStride.Total()
+			}
+		case msc.OpSend:
+			send++
+			sendBytes += cmd.LStride.Total()
+		case msc.OpRemoteStore:
+			rStore++
+		case msc.OpRemoteLoad:
+			rLoad++
+		}
+	}
+	cc := o.Cell(int(c.id))
+	for _, u := range [...]struct {
+		ctr *atomic.Int64
+		n   int64
+	}{
+		{&cc.Put, put}, {&cc.PutS, putS}, {&cc.PutBytes, putBytes},
+		{&cc.Get, get}, {&cc.GetS, getS}, {&cc.AckGet, ackGet}, {&cc.GetBytes, getBytes},
+		{&cc.Send, send}, {&cc.SendBytes, sendBytes},
+		{&cc.RemoteStore, rStore}, {&cc.RemoteLoad, rLoad},
+	} {
+		if u.n != 0 {
+			u.ctr.Add(u.n)
+		}
+	}
+	if tl := o.Timeline(); tl != nil {
+		tl.Instant(int(c.id), obs.TidCPU, "issue", "batch", o.NowUs())
+	}
 }
 
 // PushSystem submits a system-level command through the separate

@@ -11,18 +11,29 @@ import (
 	"ap1000plus/internal/tnet"
 )
 
+// drainBatch is how many commands the controller pops per activation:
+// large enough to amortize the queue lock and priority scan over a
+// committed CommandList, small enough that an arriving reply never
+// waits behind more than one batch.
+const drainBatch = 16
+
 // controller is the per-cell MSC+ send controller loop: it drains the
 // cell's queues in hardware priority order and executes each command.
 // "Message handling must be independent of processor execution"
-// (S3.2) — this goroutine is that independence.
+// (S3.2) — this goroutine is that independence. Commands are popped a
+// batch at a time (NextBatch), so a committed CommandList costs one
+// queue transaction on the drain side too.
 func (m *Machine) controller(c *Cell) {
+	var buf [drainBatch]msc.Command
 	for {
-		cmd, ok := c.MSC.Next()
+		n, ok := c.MSC.NextBatch(buf[:])
 		if !ok {
 			return
 		}
-		m.process(c, cmd)
-		m.inflight.Add(-1)
+		for i := 0; i < n; i++ {
+			m.process(c, buf[i])
+			m.inflight.Add(-1)
+		}
 	}
 }
 

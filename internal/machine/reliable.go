@@ -30,6 +30,11 @@ func (f *CellFault) Error() string {
 		f.Cell, f.Op, f.Dst, f.Seq, f.Attempts)
 }
 
+// Unwrap ties every retry-budget exhaustion to the ErrRetryBudget
+// sentinel, so callers test errors.Is(err, ErrRetryBudget) instead of
+// matching the message.
+func (f *CellFault) Unwrap() error { return ErrRetryBudget }
+
 // relay is the machine's reliable-delivery layer, active only when the
 // machine was built with a fault plan. It gives every T-net packet a
 // per-link sequence number and an end-to-end checksum, retransmits on

@@ -152,8 +152,10 @@ type Queue struct {
 	stats     QueueStats
 	// onSpill/onRefill, when set, observe DRAM spills and OS refill
 	// interrupts (observability layer). Called with the owner's lock
-	// held; they must not call back into the queue.
-	onSpill  func(queue string)
+	// held; they must not call back into the queue. onSpill fires once
+	// per Push/PushBatch with the number of commands that overflowed,
+	// so a batch costs one observer event, not one per command.
+	onSpill  func(queue string, n int)
 	onRefill func(queue string, n int)
 }
 
@@ -188,11 +190,35 @@ func (q *Queue) Push(c Command) {
 		q.spill = append(q.spill, c)
 		q.stats.Spills++
 		if q.onSpill != nil {
-			q.onSpill(q.name)
+			q.onSpill(q.name, 1)
 		}
 		return
 	}
 	q.hwPush(c)
+}
+
+// PushBatch appends a run of commands back-to-back: the capacity check
+// and the spill observer fire per batch instead of per command. The
+// overflow semantics are identical to len(cmds) Push calls — commands
+// fill the hardware ring until it is full, the rest spill to DRAM in
+// order.
+func (q *Queue) PushBatch(cmds []Command) {
+	q.stats.Pushes += int64(len(cmds))
+	spilled := 0
+	for _, c := range cmds {
+		if q.spillLen() > 0 || q.hwLen >= q.capacity {
+			q.spill = append(q.spill, c)
+			spilled++
+			continue
+		}
+		q.hwPush(c)
+	}
+	if spilled > 0 {
+		q.stats.Spills += int64(spilled)
+		if q.onSpill != nil {
+			q.onSpill(q.name, spilled)
+		}
+	}
 }
 
 // Pop removes the oldest command. When the hardware queue drains and
@@ -317,6 +343,25 @@ func (m *MSC) push(q *Queue, c Command) {
 	m.cond.Signal()
 }
 
+// PushUserBatch enqueues a run of user commands under one lock
+// acquisition and one doorbell (condition signal) — the descriptor-ring
+// NIC pattern: the CPU builds the whole command list in memory, then
+// rings the doorbell once. One signal suffices because each MSC has a
+// single send controller; it re-scans every queue before sleeping.
+func (m *MSC) PushUserBatch(cmds []Command) {
+	if len(cmds) == 0 {
+		return
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		panic("msc: push after Close")
+	}
+	m.userSend.PushBatch(cmds)
+	m.mu.Unlock()
+	m.cond.Signal()
+}
+
 // Next pops the highest-priority pending command, blocking until one
 // arrives or the MSC is closed. Priority: remote-load replies, then
 // GET replies, then remote access, then system sends, then user
@@ -332,6 +377,45 @@ func (m *MSC) Next() (Command, bool) {
 		}
 		if m.closed {
 			return Command{}, false
+		}
+		m.cond.Wait()
+	}
+}
+
+// NextBatch fills buf with up to len(buf) pending commands under a
+// single lock acquisition, blocking until at least one arrives or the
+// MSC is closed. Commands come out in the same priority order Next
+// uses, evaluated once per activation: the controller drains a whole
+// run per doorbell instead of paying the lock and the priority scan
+// per command. A reply that arrives while the controller works through
+// a batch waits at most one batch — the hardware's own queue-service
+// granularity trade.
+func (m *MSC) NextBatch(buf []Command) (int, bool) {
+	if len(buf) == 0 {
+		panic("msc: NextBatch with empty buffer")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		n := 0
+		for _, q := range []*Queue{m.rloadReply, m.getReply, m.remoteAcc, m.sysSend, m.userSend} {
+			for n < len(buf) {
+				c, ok := q.Pop()
+				if !ok {
+					break
+				}
+				buf[n] = c
+				n++
+			}
+			if n == len(buf) {
+				break
+			}
+		}
+		if n > 0 {
+			return n, true
+		}
+		if m.closed {
+			return 0, false
 		}
 		m.cond.Wait()
 	}
@@ -368,7 +452,8 @@ func (m *MSC) Close() {
 // SetObserver installs spill/refill observers on all five queues
 // (observability layer). Install before traffic flows; the callbacks
 // run with the MSC lock held and must not call back into the MSC.
-func (m *MSC) SetObserver(onSpill func(queue string), onRefill func(queue string, n int)) {
+// Both receive the command count of the triggering push or refill.
+func (m *MSC) SetObserver(onSpill func(queue string, n int), onRefill func(queue string, n int)) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for _, q := range []*Queue{m.userSend, m.sysSend, m.remoteAcc, m.getReply, m.rloadReply} {

@@ -273,3 +273,76 @@ func BenchmarkMSCPushPop(b *testing.B) {
 		m.Next()
 	}
 }
+
+// TestQueuePushBatchOrderAndSpill reserves ring space for a whole
+// batch at once: commands beyond the hardware capacity spill to DRAM
+// in one accounting step, and FIFO order survives the refill.
+func TestQueuePushBatchOrderAndSpill(t *testing.T) {
+	q := NewQueue("q", QueueWords)
+	batch := make([]Command, 13)
+	for i := range batch {
+		batch[i] = cmd(i)
+	}
+	q.PushBatch(batch)
+	s := q.Stats()
+	if s.Pushes != 13 || s.Spills != 5 {
+		t.Fatalf("stats after 13-command batch into an 8-deep ring: %+v", s)
+	}
+	for i := 0; i < 13; i++ {
+		c, ok := q.Pop()
+		if !ok || c.Tag != int64(i) {
+			t.Fatalf("pop %d = %+v, %v", i, c, ok)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("queue should be empty")
+	}
+}
+
+// TestQueuePushBatchAfterSpillStaysOrdered mixes a single push that
+// already spilled with a following batch: the batch must queue behind
+// the spilled command, never overtake it.
+func TestQueuePushBatchAfterSpillStaysOrdered(t *testing.T) {
+	q := NewQueue("q", QueueWords)
+	for i := 0; i < 9; i++ { // 9th spills
+		q.Push(cmd(i))
+	}
+	q.PushBatch([]Command{cmd(9), cmd(10)})
+	for i := 0; i < 11; i++ {
+		c, ok := q.Pop()
+		if !ok || c.Tag != int64(i) {
+			t.Fatalf("pop %d = %+v, %v", i, c, ok)
+		}
+	}
+}
+
+// TestMSCPushUserBatchSingleWakeup delivers a whole batch to a
+// blocked consumer with one Signal, preserving order, and an empty
+// batch is a no-op even on a closed MSC.
+func TestMSCPushUserBatchSingleWakeup(t *testing.T) {
+	m := New()
+	done := make(chan []int64)
+	go func() {
+		var tags []int64
+		for i := 0; i < 4; i++ {
+			c, ok := m.Next()
+			if !ok {
+				break
+			}
+			tags = append(tags, c.Tag)
+		}
+		done <- tags
+	}()
+	m.PushUserBatch([]Command{cmd(0), cmd(1), cmd(2), cmd(3)})
+	tags := <-done
+	for i, tag := range tags {
+		if tag != int64(i) {
+			t.Fatalf("tags = %v", tags)
+		}
+	}
+	if len(tags) != 4 {
+		t.Fatalf("got %d commands, want 4", len(tags))
+	}
+	m.Close()
+	m.PushUserBatch(nil) // must not panic: empty batches never touch the queue
+}

@@ -3,8 +3,8 @@ package vpp
 import (
 	"fmt"
 
+	"ap1000plus/internal/core"
 	"ap1000plus/internal/machine"
-	"ap1000plus/internal/mc"
 	"ap1000plus/internal/mem"
 	"ap1000plus/internal/topology"
 )
@@ -116,6 +116,7 @@ func (rt *Runtime) OverlapFix2D(a *Array2D, useStride bool) error {
 		if w > own {
 			w = own
 		}
+		is := rt.issuer()
 		for k := 0; k < w; k++ {
 			// Our k-th owned column from the left goes to the left
 			// neighbour's right shadow; symmetric on the right.
@@ -125,7 +126,7 @@ func (rt *Runtime) OverlapFix2D(a *Array2D, useStride bool) error {
 				if lhi > llo {
 					srcCol := a.w + k
 					dstCol := a.w + (lhi - llo) + k
-					if err := rt.putColumn(a, left, dstCol, r, srcCol, useStride); err != nil {
+					if err := rt.putColumn(is, a, left, dstCol, r, srcCol, useStride); err != nil {
 						return err
 					}
 				}
@@ -136,11 +137,14 @@ func (rt *Runtime) OverlapFix2D(a *Array2D, useStride bool) error {
 				if rhi > rlo {
 					srcCol := a.w + own - w + k
 					dstCol := k
-					if err := rt.putColumn(a, right, dstCol, r, srcCol, useStride); err != nil {
+					if err := rt.putColumn(is, a, right, dstCol, r, srcCol, useStride); err != nil {
 						return err
 					}
 				}
 			}
+		}
+		if err := is.flush(); err != nil {
+			return err
 		}
 	}
 	rt.Comm.AckWait()
@@ -149,23 +153,31 @@ func (rt *Runtime) OverlapFix2D(a *Array2D, useStride bool) error {
 }
 
 // putColumn transfers one full column of a from (srcRank, srcCol) to
-// (dstRank, dstCol), either as a single stride PUT or as per-row
-// 8-byte PUTs.
-func (rt *Runtime) putColumn(a *Array2D, dstRank, dstCol, srcRank, srcCol int, useStride bool) error {
+// (dstRank, dstCol), either as a single stride PUT (batched through
+// is) or as per-row 8-byte PUTs.
+func (rt *Runtime) putColumn(is issuer, a *Array2D, dstRank, dstCol, srcRank, srcCol int, useStride bool) error {
 	if useStride {
-		return rt.Comm.PutStride(topology.CellID(dstRank),
-			a.addr(dstRank, 0, dstCol), a.addr(srcRank, 0, srcCol),
-			mc.NoFlag, mc.NoFlag, true,
-			a.colPattern(), a.colPattern())
+		return is.putStride(core.Transfer{
+			To:     topology.CellID(dstRank),
+			Remote: a.addr(dstRank, 0, dstCol),
+			Local:  a.addr(srcRank, 0, srcCol),
+			Ack:    true,
+		}, a.colPattern(), a.colPattern())
 	}
 	for row := 0; row < a.rows; row++ {
 		// S5.4: "Current implementation of the VPP Fortran run-time
 		// system requires an acknowledgment for every put()" — the
 		// improved last-put-only scheme was future work, so we model
-		// the measured system.
-		if err := rt.Comm.Put(topology.CellID(dstRank),
-			a.addr(dstRank, row, dstCol), a.addr(srcRank, row, srcCol),
-			8, mc.NoFlag, mc.NoFlag, true); err != nil {
+		// the measured system. Always single issue, never coalesced:
+		// batching this path away would erase the x257 message-count
+		// effect the ablation quantifies.
+		if err := rt.Comm.Put(core.Transfer{
+			To:     topology.CellID(dstRank),
+			Remote: a.addr(dstRank, row, dstCol),
+			Local:  a.addr(srcRank, row, srcCol),
+			Size:   8,
+			Ack:    true,
+		}); err != nil {
 			return err
 		}
 	}
@@ -183,6 +195,7 @@ func (rt *Runtime) MoveColTo1D(dst *Array1D, src *Array2D, k int, useStride bool
 	r := rt.Rank()
 	if src.OwnerOfCol(k) == r {
 		localCol := src.LocalCol(r, k)
+		is := rt.issuer()
 		for dr := 0; dr < dst.np; dr++ {
 			lo, hi := dst.OwnedRange(dr)
 			if hi <= lo {
@@ -193,19 +206,29 @@ func (rt *Runtime) MoveColTo1D(dst *Array1D, src *Array2D, k int, useStride bool
 			saddr := src.addr(r, lo, localCol)
 			srcPat := mem.Stride{ItemSize: 8, Count: int64(n), Skip: int64((src.width - 1) * 8)}
 			if useStride {
-				if err := rt.Comm.PutStride(topology.CellID(dr), daddr, saddr,
-					mc.NoFlag, mc.NoFlag, true, srcPat, mem.Contiguous(int64(n*8))); err != nil {
+				if err := is.putStride(core.Transfer{
+					To: topology.CellID(dr), Remote: daddr, Local: saddr, Ack: true,
+				}, srcPat, mem.Contiguous(int64(n*8))); err != nil {
 					return nil, err
 				}
 			} else {
+				// The per-element ablation stays single issue (see
+				// putColumn).
 				for i := 0; i < n; i++ {
-					if err := rt.Comm.Put(topology.CellID(dr),
-						daddr+mem.Addr(i*8), src.addr(r, lo+i, localCol),
-						8, mc.NoFlag, mc.NoFlag, true); err != nil {
+					if err := rt.Comm.Put(core.Transfer{
+						To:     topology.CellID(dr),
+						Remote: daddr + mem.Addr(i*8),
+						Local:  src.addr(r, lo+i, localCol),
+						Size:   8,
+						Ack:    true,
+					}); err != nil {
 						return nil, err
 					}
 				}
 			}
+		}
+		if err := is.flush(); err != nil {
+			return nil, err
 		}
 	}
 	return &Move{rt: rt}, nil
@@ -220,6 +243,7 @@ func (rt *Runtime) MoveRowTo1D(dst *Array1D, src *Array2D, k int) (*Move, error)
 	}
 	r := rt.Rank()
 	lo, hi := src.OwnedCols(r)
+	is := rt.issuer()
 	j := lo
 	for j < hi {
 		owner := dst.OwnerOf(j)
@@ -227,11 +251,16 @@ func (rt *Runtime) MoveRowTo1D(dst *Array1D, src *Array2D, k int) (*Move, error)
 		run := min(hi-j, ohi-j)
 		_, daddr := dst.AddrOfGlobal(j)
 		saddr := src.addr(r, k, src.LocalCol(r, j))
-		if err := rt.Comm.Put(topology.CellID(owner), daddr, saddr,
-			int64(run*8), mc.NoFlag, mc.NoFlag, true); err != nil {
+		if err := is.put(core.Transfer{
+			To: topology.CellID(owner), Remote: daddr, Local: saddr,
+			Size: int64(run * 8), Ack: true,
+		}); err != nil {
 			return nil, err
 		}
 		j += run
+	}
+	if err := is.flush(); err != nil {
+		return nil, err
 	}
 	return &Move{rt: rt}, nil
 }

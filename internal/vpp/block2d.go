@@ -3,8 +3,8 @@ package vpp
 import (
 	"fmt"
 
+	"ap1000plus/internal/core"
 	"ap1000plus/internal/machine"
-	"ap1000plus/internal/mc"
 	"ap1000plus/internal/mem"
 	"ap1000plus/internal/topology"
 	"ap1000plus/internal/trace"
@@ -161,48 +161,71 @@ func (rt *Runtime) OverlapFixBlock2D(a *Block2D) error {
 	w := a.w
 
 	// North/south: our first/last w owned rows into the vertical
-	// neighbours' facing shadows (contiguous PUT per row).
-	for k := 0; k < minInt(w, ownRows); k++ {
+	// neighbours' facing shadows (contiguous PUT per row; batched, the
+	// per-row PUTs to one neighbour coalesce into a single stride PUT
+	// because consecutive rows sit width*8 apart on both ends).
+	is := rt.issuer()
+	nr := minInt(w, ownRows)
+	for k := 0; k < nr; k++ {
 		if up, ok := a.neighborRank(r, 0, -1); ok {
 			// Our top row rlo+k lands in up's bottom shadow.
-			if err := rt.Comm.Put(topology.CellID(up),
-				a.addr(up, rlo+k, clo), a.addr(r, rlo+k, clo),
-				int64(ownCols)*8, mc.NoFlag, mc.NoFlag, true); err != nil {
+			if err := is.put(core.Transfer{
+				To:     topology.CellID(up),
+				Remote: a.addr(up, rlo+k, clo), Local: a.addr(r, rlo+k, clo),
+				Size: int64(ownCols) * 8, Ack: true,
+			}); err != nil {
 				return err
 			}
 		}
 		if down, ok := a.neighborRank(r, 0, +1); ok {
-			row := rhi - 1 - k
-			if err := rt.Comm.Put(topology.CellID(down),
-				a.addr(down, row, clo), a.addr(r, row, clo),
-				int64(ownCols)*8, mc.NoFlag, mc.NoFlag, true); err != nil {
+			// Ascending row order so successive rows extend one stride.
+			row := rhi - nr + k
+			if err := is.put(core.Transfer{
+				To:     topology.CellID(down),
+				Remote: a.addr(down, row, clo), Local: a.addr(r, row, clo),
+				Size: int64(ownCols) * 8, Ack: true,
+			}); err != nil {
 				return err
 			}
 		}
+	}
+	if err := is.flush(); err != nil {
+		return err
 	}
 	rt.Comm.AckWait()
 	rt.Sync.Barrier(a.ColGroup(r)) // vertical exchange: column group
 
 	// East/west: our first/last w owned columns (strided) into the
-	// horizontal neighbours' facing shadows.
+	// horizontal neighbours' facing shadows (batched; adjacent columns
+	// to one neighbour interleave into a single wider stride PUT).
 	colPat := mem.Stride{ItemSize: 8, Count: int64(ownRows), Skip: int64((a.width - 1) * 8)}
-	for k := 0; k < minInt(w, ownCols); k++ {
+	is = rt.issuer()
+	nc := minInt(w, ownCols)
+	for k := 0; k < nc; k++ {
 		if left, ok := a.neighborRank(r, -1, 0); ok {
 			col := clo + k
-			if err := rt.Comm.PutStride(topology.CellID(left),
-				a.addr(left, rlo, col), a.addr(r, rlo, col),
-				mc.NoFlag, mc.NoFlag, true, colPat, colPat); err != nil {
+			if err := is.putStride(core.Transfer{
+				To:     topology.CellID(left),
+				Remote: a.addr(left, rlo, col), Local: a.addr(r, rlo, col),
+				Ack:    true,
+			}, colPat, colPat); err != nil {
 				return err
 			}
 		}
 		if right, ok := a.neighborRank(r, +1, 0); ok {
-			col := chi - 1 - k
-			if err := rt.Comm.PutStride(topology.CellID(right),
-				a.addr(right, rlo, col), a.addr(r, rlo, col),
-				mc.NoFlag, mc.NoFlag, true, colPat, colPat); err != nil {
+			// Ascending column order so adjacent columns interleave.
+			col := chi - nc + k
+			if err := is.putStride(core.Transfer{
+				To:     topology.CellID(right),
+				Remote: a.addr(right, rlo, col), Local: a.addr(r, rlo, col),
+				Ack:    true,
+			}, colPat, colPat); err != nil {
 				return err
 			}
 		}
+	}
+	if err := is.flush(); err != nil {
+		return err
 	}
 	rt.Comm.AckWait()
 	rt.Sync.Barrier(a.RowGroup(r)) // horizontal exchange: row group

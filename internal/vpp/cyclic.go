@@ -3,8 +3,8 @@ package vpp
 import (
 	"fmt"
 
+	"ap1000plus/internal/core"
 	"ap1000plus/internal/machine"
-	"ap1000plus/internal/mc"
 	"ap1000plus/internal/mem"
 	"ap1000plus/internal/topology"
 )
@@ -79,6 +79,7 @@ func (rt *Runtime) RedistributeBlockToCyclic(dst *CyclicArray1D, src *Array1D) (
 	r := rt.Rank()
 	np := rt.NP()
 	lo, hi := src.OwnedRange(r)
+	is := rt.issuer()
 	for s := 0; s < np; s++ {
 		// Global indices i in [lo,hi) with i % np == s.
 		first := lo + ((s-lo)%np+np)%np
@@ -90,11 +91,14 @@ func (rt *Runtime) RedistributeBlockToCyclic(dst *CyclicArray1D, src *Array1D) (
 		// Destination: consecutive local slots starting at first/np.
 		dstAddr := dst.addr(s, first/np)
 		srcAddr := src.addr(r, src.Overlap()+(first-lo))
-		if err := rt.Comm.PutStride(topology.CellID(s), dstAddr, srcAddr,
-			mc.NoFlag, mc.NoFlag, true,
-			srcPat, mem.Contiguous(int64(count)*8)); err != nil {
+		if err := is.putStride(core.Transfer{
+			To: topology.CellID(s), Remote: dstAddr, Local: srcAddr, Ack: true,
+		}, srcPat, mem.Contiguous(int64(count)*8)); err != nil {
 			return nil, err
 		}
+	}
+	if err := is.flush(); err != nil {
+		return nil, err
 	}
 	return &Move{rt: rt}, nil
 }
@@ -109,6 +113,7 @@ func (rt *Runtime) RedistributeCyclicToBlock(dst *Array1D, src *CyclicArray1D) (
 	r := rt.Rank()
 	np := rt.NP()
 	owned := src.OwnedCount(r)
+	is := rt.issuer()
 	k := 0
 	for k < owned {
 		i := k*np + r // global index of local element k
@@ -126,13 +131,16 @@ func (rt *Runtime) RedistributeCyclicToBlock(dst *Array1D, src *CyclicArray1D) (
 		}
 		_, first := dst.AddrOfGlobal(i)
 		dstPat := mem.Stride{ItemSize: 8, Count: int64(count), Skip: int64((np - 1) * 8)}
-		if err := rt.Comm.PutStride(topology.CellID(owner), first, src.addr(r, k),
-			mc.NoFlag, mc.NoFlag, true,
-			mem.Contiguous(int64(count)*8), dstPat); err != nil {
+		if err := is.putStride(core.Transfer{
+			To: topology.CellID(owner), Remote: first, Local: src.addr(r, k), Ack: true,
+		}, mem.Contiguous(int64(count)*8), dstPat); err != nil {
 			return nil, err
 		}
 		k += count
 		_ = olo
+	}
+	if err := is.flush(); err != nil {
+		return nil, err
 	}
 	return &Move{rt: rt}, nil
 }

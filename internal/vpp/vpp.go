@@ -24,7 +24,6 @@ import (
 	"ap1000plus/internal/barrier"
 	"ap1000plus/internal/core"
 	"ap1000plus/internal/machine"
-	"ap1000plus/internal/mc"
 	"ap1000plus/internal/mem"
 	"ap1000plus/internal/sendrecv"
 	"ap1000plus/internal/topology"
@@ -41,8 +40,61 @@ type Runtime struct {
 	// EP is the SEND/RECEIVE endpoint (vector reductions).
 	EP *sendrecv.Endpoint
 
+	// single disables batched issue: every collective falls back to
+	// one MSC+ doorbell per transfer, the pre-CommandList behaviour.
+	// The ablation knob for measuring what batching and coalescing buy.
+	single bool
+
 	bcastSeg  *mem.Segment
 	bcastData []float64
+}
+
+// SetBatching selects between batched issue (the default: each
+// collective stages its transfers in one coalescing CommandList and
+// commits once) and single issue (one doorbell per transfer). The
+// S5.4 no-stride ablation paths always issue singly regardless — they
+// model the measured per-put system, and coalescing them away would
+// erase the effect the ablation exists to show.
+func (rt *Runtime) SetBatching(on bool) { rt.single = !on }
+
+// issuer routes a collective's transfers either straight to the Comm
+// (single issue) or into one coalescing CommandList per collective
+// step (batched issue).
+type issuer struct {
+	rt *Runtime
+	b  *core.CommandList // nil in single-issue mode
+}
+
+func (rt *Runtime) issuer() issuer {
+	if rt.single {
+		return issuer{rt: rt}
+	}
+	return issuer{rt: rt, b: rt.Comm.Batch().Coalesce()}
+}
+
+func (is issuer) put(t core.Transfer) error {
+	if is.b == nil {
+		return is.rt.Comm.Put(t)
+	}
+	is.b.Put(t)
+	return is.b.Err()
+}
+
+func (is issuer) putStride(t core.Transfer, sendPat, recvPat mem.Stride) error {
+	if is.b == nil {
+		return is.rt.Comm.PutStride(t.To, t.Remote, t.Local, t.SendFlag, t.RecvFlag, t.Ack, sendPat, recvPat)
+	}
+	is.b.PutStride(t, sendPat, recvPat)
+	return is.b.Err()
+}
+
+// flush commits the batch (one doorbell for everything staged); a
+// no-op in single-issue mode.
+func (is issuer) flush() error {
+	if is.b == nil {
+		return nil
+	}
+	return is.b.Commit()
 }
 
 // NewRuntime builds the run-time system for one cell.
@@ -193,6 +245,7 @@ func (rt *Runtime) OverlapFix1D(a *Array1D) error {
 		if w > own {
 			w = own
 		}
+		is := rt.issuer()
 		// Push our leftmost elements into the left neighbour's right
 		// shadow, and our rightmost into the right neighbour's left
 		// shadow.
@@ -202,7 +255,7 @@ func (rt *Runtime) OverlapFix1D(a *Array1D) error {
 			if lhi > llo {
 				dst := a.addr(left, a.w+(lhi-llo)) // start of right shadow
 				src := a.addr(r, a.w)
-				if err := rt.Comm.Put(topology.CellID(left), dst, src, int64(w*8), mc.NoFlag, mc.NoFlag, true); err != nil {
+				if err := is.put(core.Transfer{To: topology.CellID(left), Remote: dst, Local: src, Size: int64(w * 8), Ack: true}); err != nil {
 					return err
 				}
 			}
@@ -213,10 +266,13 @@ func (rt *Runtime) OverlapFix1D(a *Array1D) error {
 			if rhi > rlo {
 				dst := a.addr(right, a.w-w) // end of left shadow
 				src := a.addr(r, a.w+own-w)
-				if err := rt.Comm.Put(topology.CellID(right), dst, src, int64(w*8), mc.NoFlag, mc.NoFlag, true); err != nil {
+				if err := is.put(core.Transfer{To: topology.CellID(right), Remote: dst, Local: src, Size: int64(w * 8), Ack: true}); err != nil {
 					return err
 				}
 			}
+		}
+		if err := is.flush(); err != nil {
+			return err
 		}
 	}
 	rt.Comm.AckWait()
@@ -237,6 +293,7 @@ func (rt *Runtime) SpreadMove1D(dst *Array1D, dstLo int, src *Array1D, srcLo, co
 	// Intersect [srcLo, srcLo+count) with our ownership.
 	lo := max(srcLo, mylo)
 	hi := min(srcLo+count, myhi)
+	is := rt.issuer()
 	for lo < hi {
 		di := dstLo + (lo - srcLo)
 		owner := dst.OwnerOf(di)
@@ -245,10 +302,13 @@ func (rt *Runtime) SpreadMove1D(dst *Array1D, dstLo int, src *Array1D, srcLo, co
 		run := min(hi-lo, (ohi-olo)-(di-olo))
 		_, daddr := dst.AddrOfGlobal(di)
 		saddr := src.addr(r, src.w+(lo-mylo))
-		if err := rt.Comm.Put(topology.CellID(owner), daddr, saddr, int64(run*8), mc.NoFlag, mc.NoFlag, true); err != nil {
+		if err := is.put(core.Transfer{To: topology.CellID(owner), Remote: daddr, Local: saddr, Size: int64(run * 8), Ack: true}); err != nil {
 			return nil, err
 		}
 		lo += run
+	}
+	if err := is.flush(); err != nil {
+		return nil, err
 	}
 	return &Move{rt: rt}, nil
 }

@@ -34,7 +34,7 @@ func TestCountersMatchTraceStats(t *testing.T) {
 		next := (me + 1) % 4
 		// One acknowledged 64 B PUT per cell: the trace records one
 		// PUT; the counters additionally see the ack GET behind it.
-		if err := comm.Put(CellID(next), segs[next].Base(), segs[me].Base(), 64, NoFlag, NoFlag, true); err != nil {
+		if err := comm.Put(Transfer{To: CellID(next), Remote: segs[next].Base(), Local: segs[me].Base(), Size: 64, Ack: true}); err != nil {
 			return err
 		}
 		comm.AckWait()
@@ -112,7 +112,7 @@ func TestPutIssueZeroAllocUnobserved(t *testing.T) {
 		}
 		comm := NewComm(c)
 		op := func() {
-			if err := comm.Put(1, segs[1].Base(), segs[0].Base(), 8, NoFlag, NoFlag, true); err != nil {
+			if err := comm.Put(Transfer{To: 1, Remote: segs[1].Base(), Local: segs[0].Base(), Size: 8, Ack: true}); err != nil {
 				t.Error(err)
 			}
 			comm.AckWait()
@@ -128,5 +128,51 @@ func TestPutIssueZeroAllocUnobserved(t *testing.T) {
 	}
 	if allocs != 0 {
 		t.Errorf("PUT issue path allocates %.2f objects/op with Observe:false, want 0", allocs)
+	}
+}
+
+// TestBatchIssueZeroAllocUnobserved extends the zero-cost contract to
+// the batched path: once the Comm's reusable CommandList and the
+// payload pool are warm, staging and committing a whole acknowledged
+// batch allocates nothing.
+func TestBatchIssueZeroAllocUnobserved(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("sync.Pool drops items under -race; zero-alloc not measurable")
+	}
+	m, err := NewMachine(Config{Width: 2, Height: 2, MemoryPerCell: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := make([]*Segment, 4)
+	for id := 0; id < 4; id++ {
+		segs[id], _, _ = m.Cell(CellID(id)).AllocFloat64("b", 64)
+	}
+	var allocs float64
+	err = m.Run(func(c *Cell) error {
+		if c.ID() != 0 {
+			return nil
+		}
+		comm := NewComm(c)
+		op := func() {
+			b := comm.Batch().Coalesce()
+			for k := 0; k < 8; k++ {
+				b.Put(Transfer{To: 1, Remote: segs[1].Base() + Addr(k*8), Local: segs[0].Base() + Addr(k*8), Size: 8, Ack: true})
+			}
+			if err := b.Commit(); err != nil {
+				t.Error(err)
+			}
+			comm.AckWait()
+		}
+		for i := 0; i < 100; i++ {
+			op() // warm the CommandList, payload pool, queues, scheduler
+		}
+		allocs = testing.AllocsPerRun(200, op)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs != 0 {
+		t.Errorf("batched issue path allocates %.2f objects/op with Observe:false, want 0", allocs)
 	}
 }
