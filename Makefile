@@ -31,6 +31,7 @@ verify:
 	$(GO) run ./cmd/apvet ./...
 	$(GO) test -race ./...
 	$(GO) test -run 'TestPutIssueZeroAllocUnobserved|TestBatchIssueZeroAllocUnobserved' .
+	$(GO) test -run TestDSMCacheHitZeroAlloc ./internal/dsm/
 	$(GO) test -run TestTablesDeterministicOrder ./internal/stats/
 	$(MAKE) chaos
 
@@ -48,12 +49,15 @@ chaos:
 # full machine counter report (per-app, per-cell) — and
 # BENCH_batch.json, the single-vs-batched command-issue comparison
 # (commands issued, T-net messages, ns/step for the stencil,
-# redistribute and matmul workloads), for diffing communication
-# behaviour across changes.
+# redistribute and matmul workloads), and BENCH_dsmcache.json, the
+# coherent DSM page cache vs plain blocking remote loads (hit rate,
+# message counts and wall-clock speedup on the gather kernel), for
+# diffing communication behaviour across changes.
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./...
 	$(GO) run ./cmd/apbench -experiment table2 -metrics-json BENCH_obs.json > /dev/null
 	$(GO) run ./cmd/apbench -experiment batch -batch-json BENCH_batch.json > /dev/null
+	$(GO) run ./cmd/apbench -experiment dsmcache -dsmcache-json BENCH_dsmcache.json > /dev/null
 
 # Short fuzz pass over the trace codec (corpus seeds under
 # internal/trace/testdata/fuzz are always exercised by plain go test).

@@ -16,7 +16,10 @@
 // writes a merged Chrome trace-event file loadable at ui.perfetto.dev.
 // -experiment batch compares single vs batched command issue on the
 // stencil, redistribute and matmul workloads; -batch-json writes that
-// report (for make bench / BENCH_batch.json).
+// report (for make bench / BENCH_batch.json). -experiment dsmcache
+// compares the coherent DSM page cache against plain blocking remote
+// loads on the gather kernel; -dsmcache-json writes that report (for
+// make bench / BENCH_dsmcache.json).
 package main
 
 import (
@@ -37,7 +40,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"specs|params|fig7|table2|table3|fig8|stride|contention|batch|all")
+		"specs|params|fig7|table2|table3|fig8|stride|contention|batch|dsmcache|all")
 	quick := flag.Bool("quick", false, "use reduced problem sizes")
 	size := flag.Int64("size", 1024, "message size for fig7")
 	distance := flag.Int("distance", 3, "routing distance for fig7")
@@ -49,6 +52,7 @@ func main() {
 	metricsJSON := flag.String("metrics-json", "", "write per-application metrics as JSON to this file")
 	timeline := flag.String("timeline", "", "write a merged Perfetto timeline of the functional runs to this file")
 	batchJSON := flag.String("batch-json", "", "write the batched-issue report as JSON to this file (experiment batch)")
+	dsmCacheJSON := flag.String("dsmcache-json", "", "write the DSM page-cache report as JSON to this file (experiment dsmcache)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -81,7 +85,7 @@ func main() {
 		}
 	}
 
-	err = run(*experiment, *quick, *size, *distance, *only, *metrics, *metricsJSON, *batchJSON)
+	err = run(*experiment, *quick, *size, *distance, *only, *metrics, *metricsJSON, *batchJSON, *dsmCacheJSON)
 	if err == nil && *timeline != "" {
 		err = writeTimeline(*timeline, parts)
 	}
@@ -125,9 +129,12 @@ type appMetrics struct {
 	Metrics *machine.Metrics
 }
 
-func run(experiment string, quick bool, size int64, distance int, only string, metrics bool, metricsJSON, batchJSON string) error {
+func run(experiment string, quick bool, size int64, distance int, only string, metrics bool, metricsJSON, batchJSON, dsmCacheJSON string) error {
 	if experiment == "batch" {
 		return runBatch(os.Stdout, quick, batchJSON)
+	}
+	if experiment == "dsmcache" {
+		return runDSMCache(os.Stdout, quick, dsmCacheJSON)
 	}
 	needApps := false
 	switch experiment {

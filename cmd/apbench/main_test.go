@@ -10,27 +10,58 @@ import (
 // covered at -quick scale.
 func TestRunCheapExperiments(t *testing.T) {
 	for _, exp := range []string{"specs", "params", "fig7"} {
-		if err := run(exp, true, 256, 2, "", false, "", ""); err != nil {
+		if err := run(exp, true, 256, 2, "", false, "", "", ""); err != nil {
 			t.Errorf("run(%s): %v", exp, err)
 		}
 	}
 }
 
 func TestRunQuickTable2SingleApp(t *testing.T) {
-	if err := run("table2", true, 0, 0, "EP", false, "", ""); err != nil {
+	if err := run("table2", true, 0, 0, "EP", false, "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunQuickStride(t *testing.T) {
-	if err := run("stride", true, 0, 0, "", false, "", ""); err != nil {
+	if err := run("stride", true, 0, 0, "", false, "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("bogus", true, 0, 0, "", false, "", ""); err == nil {
+	if err := run("bogus", true, 0, 0, "", false, "", "", ""); err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// TestRunQuickDSMCache covers the page-cache experiment end to end:
+// the cached row must clear a 90% hit rate and carry fewer T-net
+// messages than the uncached baseline.
+func TestRunQuickDSMCache(t *testing.T) {
+	path := t.TempDir() + "/dsmcache.json"
+	if err := run("dsmcache", true, 0, 0, "", false, "", "", path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []dsmCacheRow
+	if err := json.Unmarshal(data, &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Mode != "uncached" || rows[1].Mode != "cached" {
+		t.Fatalf("rows = %+v, want [uncached cached]", rows)
+	}
+	u, c := rows[0], rows[1]
+	if c.HitRate < 0.9 {
+		t.Errorf("cached hit rate = %.3f, want >= 0.9", c.HitRate)
+	}
+	if c.Messages >= u.Messages {
+		t.Errorf("cached carried %d messages, uncached %d — cache saved nothing", c.Messages, u.Messages)
+	}
+	if c.Loads != u.Loads {
+		t.Errorf("cached served %d loads, uncached %d — same program must issue the same loads", c.Loads, u.Loads)
 	}
 }
 
@@ -38,7 +69,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 // including the JSON report.
 func TestRunQuickBatch(t *testing.T) {
 	path := t.TempDir() + "/batch.json"
-	if err := run("batch", true, 0, 0, "", false, "", path); err != nil {
+	if err := run("batch", true, 0, 0, "", false, "", path, ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"go/ast"
+	"go/printer"
 	"go/token"
 	"sort"
 	"strings"
@@ -481,6 +483,104 @@ func checkBatchIssue(p *pkg) []Finding {
 				Pos:   p.fset.Position(pos),
 				Check: "batchissue",
 				Msg:   "Batch() without a Commit in this package (staged commands are never issued)",
+			})
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// dsmfence: a DSM remote store is non-blocking — it is acknowledged
+// (and its cache invalidations applied) only once Fence returns. A
+// Store to a shared address followed by a Load of the same address
+// with no Fence in between reads whatever happened to arrive first.
+// The check is file-scoped and shape-based: only files importing the
+// dsm package (or the facade) are examined, and the store/load pair
+// must match the DSM API arity — Store(ga, laddr, size)/StoreF64(ga,
+// v) against Load(ga, size)/LoadF64(ga) on the same receiver with the
+// same first-argument expression, statement order, reset by Fence.
+// ---------------------------------------------------------------------------
+
+// importsDSM reports whether a file imports the dsm package or the
+// module facade that re-exports it.
+func importsDSM(f *ast.File) bool {
+	for _, imp := range f.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		if path == "ap1000plus" || path == "dsm" || strings.HasSuffix(path, "/dsm") {
+			return true
+		}
+	}
+	return false
+}
+
+// dsmStoreShape / dsmLoadShape map DSM method names to their argument
+// counts, so a sync.Map's Store(k, v) or an atomic's Load() never
+// matches.
+var dsmStoreShape = map[string]int{"Store": 3, "StoreF64": 2}
+var dsmLoadShape = map[string]int{"Load": 2, "LoadF64": 1}
+
+// exprText renders an expression as source text for the textual
+// same-address comparison.
+func exprText(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return ""
+	}
+	return buf.String()
+}
+
+func checkDSMFence(p *pkg) []Finding {
+	// internal/dsm defines the API (and its own Store/Load bodies).
+	if hasDirSuffix(p, "internal/dsm") {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.files {
+		if !importsDSM(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			// pending[receiver][address-expression] = position of the
+			// unfenced store.
+			pending := map[string]map[string]token.Pos{}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				name := sel.Sel.Name
+				recv := exprText(p.fset, sel.X)
+				storeArity, isStore := dsmStoreShape[name]
+				loadArity, isLoad := dsmLoadShape[name]
+				switch {
+				case isStore && storeArity == len(call.Args):
+					addr := exprText(p.fset, call.Args[0])
+					if pending[recv] == nil {
+						pending[recv] = map[string]token.Pos{}
+					}
+					pending[recv][addr] = call.Pos()
+				case name == "Fence" && len(call.Args) == 0:
+					delete(pending, recv)
+				case isLoad && loadArity == len(call.Args):
+					addr := exprText(p.fset, call.Args[0])
+					if _, unfenced := pending[recv][addr]; unfenced {
+						out = append(out, Finding{
+							Pos:   p.fset.Position(call.Pos()),
+							Check: "dsmfence",
+							Msg: fmt.Sprintf("%s.%s(%s, ...) after an unfenced %s.Store to the same address; call %s.Fence() between them",
+								recv, name, addr, recv, recv),
+						})
+					}
+				}
+				return true
 			})
 		}
 	}

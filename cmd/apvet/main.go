@@ -24,6 +24,9 @@
 //     struct, or batch it on a CommandList), and no Batch() whose
 //     package never calls Commit (staged commands are silently
 //     dropped).
+//   - dsmfence: DSM remote stores are non-blocking; a Store to a
+//     shared address followed by a Load of the same address without
+//     an intervening Fence on that DSM races the store's delivery.
 //
 // Usage:
 //
@@ -162,6 +165,7 @@ func Check(pkgs []*pkg) []Finding {
 		out = append(out, checkHandlerBlock(p)...)
 		out = append(out, checkUnits(p, floats)...)
 		out = append(out, checkBatchIssue(p)...)
+		out = append(out, checkDSMFence(p)...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Pos, out[j].Pos

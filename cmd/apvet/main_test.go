@@ -143,6 +143,21 @@ func TestUnits(t *testing.T) {
 	}
 }
 
+func TestDSMFence(t *testing.T) {
+	fs := checkDir(t, "testdata/dsmfence")
+	if got := countCheck(fs, "dsmfence"); got != 2 {
+		t.Fatalf("dsmfence findings = %d, want 2 (unfenced LoadF64 and Load): %v", got, fs)
+	}
+	if len(fs) != 2 {
+		t.Fatalf("unexpected extra findings: %v", fs)
+	}
+	for _, f := range fs {
+		if !strings.Contains(f.Msg, "Fence()") {
+			t.Errorf("dsmfence finding should point at Fence(): %s", f)
+		}
+	}
+}
+
 // expand must skip testdata (so the tree run stays clean) but keep
 // ordinary nested packages.
 func TestExpandSkipsTestdata(t *testing.T) {

@@ -1,0 +1,39 @@
+// Package app is apvet testdata: DSM store/load fence discipline.
+// Two unfenced store-then-load pairs below must be flagged by the
+// dsmfence check; the fenced pair and the disjoint-address pair are
+// clean.
+package app
+
+import (
+	"ap1000plus/internal/dsm"
+	"ap1000plus/internal/mem"
+)
+
+func unfencedF64(d *dsm.DSM, ga dsm.GAddr) (float64, error) {
+	if err := d.StoreF64(ga, 1.5); err != nil {
+		return 0, err
+	}
+	return d.LoadF64(ga) // want dsmfence
+}
+
+func unfencedRaw(d *dsm.DSM, ga dsm.GAddr, laddr mem.Addr) (*mem.Payload, error) {
+	if err := d.Store(ga, laddr, 8); err != nil {
+		return nil, err
+	}
+	return d.Load(ga, 8) // want dsmfence
+}
+
+func fenced(d *dsm.DSM, ga dsm.GAddr) (float64, error) {
+	if err := d.StoreF64(ga, 1.5); err != nil {
+		return 0, err
+	}
+	d.Fence()
+	return d.LoadF64(ga) // clean: the fence ordered the store
+}
+
+func disjoint(d *dsm.DSM, ga, other dsm.GAddr) (float64, error) {
+	if err := d.StoreF64(ga, 1.5); err != nil {
+		return 0, err
+	}
+	return d.LoadF64(other) // clean: different address expression
+}

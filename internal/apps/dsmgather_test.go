@@ -1,0 +1,52 @@
+package apps
+
+import "testing"
+
+// TestDSMGatherCachedMatchesUncached runs the gather kernel with and
+// without the page cache. Verify() holds both times (the numerics are
+// modelled analytically), the cached run must actually hit the cache,
+// and every invalidation the owners sent must have been applied.
+func TestDSMGatherCachedMatchesUncached(t *testing.T) {
+	obsWas := Observe
+	Observe = true
+	defer func() { Observe = obsWas }()
+
+	cfg := TestDSMGather()
+	cached, err := NewDSMGather(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cached.Run(); err != nil {
+		t.Fatal(err)
+	}
+	tot := cached.Machine.Metrics()
+	ct := tot.Totals()
+	if ct.DSMHits == 0 {
+		t.Error("cached gather never hit the page cache")
+	}
+	if ct.DSMInvalsSent == 0 {
+		t.Error("updates sent no invalidations")
+	}
+	if ct.DSMInvalsSent != ct.DSMInvalsRecv {
+		t.Errorf("invalidations sent=%d received=%d, want equal", ct.DSMInvalsSent, ct.DSMInvalsRecv)
+	}
+
+	cfg.Cache = false
+	uncached, err := NewDSMGather(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := uncached.Run(); err != nil {
+		t.Fatal(err)
+	}
+	umt := uncached.Machine.Metrics()
+	ut := umt.Totals()
+	if ut.DSMHits != 0 || ut.DSMInvalsSent != 0 {
+		t.Errorf("uncached gather touched the cache: hits=%d invals=%d", ut.DSMHits, ut.DSMInvalsSent)
+	}
+	// The cached run replaces most remote loads with local hits.
+	if ct.RemoteLoad >= ut.RemoteLoad {
+		t.Errorf("cached run issued %d remote loads, uncached %d; cache saved nothing",
+			ct.RemoteLoad, ut.RemoteLoad)
+	}
+}

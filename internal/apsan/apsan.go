@@ -435,6 +435,34 @@ func (s *Sanitizer) Access(tid, cell int, write bool, memCell int, addr uint64, 
 	}
 }
 
+// CoherenceViolation files a report for a DSM cache hit on a page that
+// a remote write-through store invalidated while invalidation handling
+// was disabled on the reading cell: the load observably returned stale
+// bytes. This is not a happens-before race in the vector-clock sense —
+// the directory protocol delivered the invalidation, the cache chose
+// to ignore it — so it is reported directly rather than through the
+// shadow-memory check. cell is the reader, owner the cell whose shared
+// block holds the page, writer the cell whose store invalidated it.
+func (s *Sanitizer) CoherenceViolation(cell, owner, writer int, addr uint64, size int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prior := Site{
+		Cell: writer, Tid: s.CPU(writer),
+		Op:   "DSM write-through store (page invalidated)",
+		Addr: addr, Size: size, MemCell: owner,
+	}
+	acc := Site{
+		Cell: cell, Tid: s.CPU(cell),
+		Op:   "DSM cached load of a stale page (invalidation disabled)",
+		Addr: addr, Size: size, MemCell: owner,
+	}
+	s.report(Report{
+		Prior: prior, Access: acc,
+		Lo: addr &^ (granuleBytes - 1),
+		Hi: (addr + uint64(size) - 1) &^ (granuleBytes - 1),
+	})
+}
+
 // report dedups by access-pair identity and stores/bounds reports.
 // Called with s.mu held.
 func (s *Sanitizer) report(r Report) {

@@ -1,0 +1,498 @@
+package dsm
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ap1000plus/internal/fault"
+	"ap1000plus/internal/machine"
+	"ap1000plus/internal/mem"
+	"ap1000plus/internal/topology"
+)
+
+// TestCachePartialPageFill is the regression test for the seed code's
+// partial-page bug: a fill installed a zeroed full page with only the
+// loaded bytes copied in, so a later load at a DIFFERENT offset of
+// the same page "hit" and returned zeros. Valid-range tracking must
+// treat the unfetched offset as a miss and fetch it.
+func TestCachePartialPageFill(t *testing.T) {
+	f := newFixture(t)
+	f.data[2][0] = 7.0
+	f.data[2][9] = 9.0
+	err := f.m.Run(func(c *machine.Cell) error {
+		if c.ID() != 0 {
+			return nil
+		}
+		d := f.ds[0]
+		d.EnableWriteThroughPages()
+		v0, err := d.LoadF64(f.ga(t, d, 2, 0))
+		if err != nil {
+			return err
+		}
+		if v0 != 7.0 {
+			t.Errorf("first offset = %v, want 7", v0)
+		}
+		// Element 9 lives in the same page but was never fetched: the
+		// seed code returned 0 here.
+		v9, err := d.LoadF64(f.ga(t, d, 2, 9))
+		if err != nil {
+			return err
+		}
+		if v9 != 9.0 {
+			t.Errorf("disjoint offset in cached page = %v, want 9 (stale zero-fill bug)", v9)
+		}
+		cs := d.CacheStats()
+		if cs.Hits != 0 || cs.Misses != 2 {
+			t.Errorf("cache stats = %+v, want 2 misses (unfetched bytes must not hit)", cs)
+		}
+		// Now both spans are valid; each re-load is a true hit.
+		for i, want := range map[int]float64{0: 7.0, 9: 9.0} {
+			v, err := d.LoadF64(f.ga(t, d, 2, i))
+			if err != nil {
+				return err
+			}
+			if v != want {
+				t.Errorf("re-load [%d] = %v, want %v", i, v, want)
+			}
+		}
+		if cs := d.CacheStats(); cs.Hits != 2 {
+			t.Errorf("after re-loads: %+v, want 2 hits", cs)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheCrossCellStaleness is the regression test for the seed
+// code's missing coherence: cell 0 caches a page of cell 2's block,
+// cell 1 writes through to it, and without directory invalidation
+// cell 0's next load returned the stale cached value.
+func TestCacheCrossCellStaleness(t *testing.T) {
+	f := newFixture(t)
+	f.data[2][5] = 1.0
+	err := f.m.Run(func(c *machine.Cell) error {
+		d := f.ds[c.ID()]
+		if c.ID() == 0 {
+			d.EnableWriteThroughPages()
+			v, err := d.LoadF64(f.ga(t, d, 2, 5))
+			if err != nil {
+				return err
+			}
+			if v != 1.0 {
+				t.Errorf("initial load = %v, want 1", v)
+			}
+		}
+		c.HWBarrier()
+		if c.ID() == 1 {
+			if err := d.StoreF64(f.ga(t, d, 2, 5), 2.0); err != nil {
+				return err
+			}
+			// The owner invalidates sharers before acknowledging, so
+			// the fence implies cell 0's copy is gone.
+			d.Fence()
+		}
+		c.HWBarrier()
+		if c.ID() == 0 {
+			v, err := d.LoadF64(f.ga(t, d, 2, 5))
+			if err != nil {
+				return err
+			}
+			if v != 2.0 {
+				t.Errorf("load after remote write-through = %v, want 2 (stale cache)", v)
+			}
+			cs := d.CacheStats()
+			if cs.InvalsReceived == 0 {
+				t.Errorf("no invalidation received: %+v", cs)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs := f.ds[2].CacheStats(); cs.InvalsSent == 0 {
+		t.Errorf("owner sent no invalidation: %+v", cs)
+	}
+}
+
+// TestCacheStalenessFlaggedWhenInvalidationDisabled reproduces the
+// seed behaviour on demand: with invalidation handling disabled the
+// reader keeps its stale copy — and a sanitized run must flag the
+// stale hit as a coherence violation.
+func TestCacheStalenessFlaggedWhenInvalidationDisabled(t *testing.T) {
+	m, err := machine.New(machine.Config{Width: 2, Height: 2, MemoryPerCell: 1 << 22, Sanitize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := make([]*DSM, 4)
+	segs := make([]*mem.Segment, 4)
+	for id := 0; id < 4; id++ {
+		cell := m.Cell(topology.CellID(id))
+		if ds[id], err = New(cell); err != nil {
+			t.Fatal(err)
+		}
+		seg, data, err := cell.AllocFloat64("shared", 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		segs[id] = seg
+		if id == 2 {
+			data[5] = 1.0
+		}
+	}
+	addr := func(d *DSM) GAddr {
+		a, err := d.Space().Global(2, segs[2].Base()+5*8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	err = m.Run(func(c *machine.Cell) error {
+		d := ds[c.ID()]
+		if c.ID() == 0 {
+			d.EnableWriteThroughPages()
+			d.DisableInvalidation()
+			if _, err := d.LoadF64(addr(d)); err != nil {
+				return err
+			}
+		}
+		c.HWBarrier()
+		if c.ID() == 1 {
+			if err := d.StoreF64(addr(d), 2.0); err != nil {
+				return err
+			}
+			d.Fence()
+		}
+		c.HWBarrier()
+		if c.ID() == 0 {
+			v, err := d.LoadF64(addr(d))
+			if err != nil {
+				return err
+			}
+			// Invalidation was ignored, so the stale value survives —
+			// that is the demonstrated bug, and the sanitizer sees it.
+			if v != 1.0 {
+				t.Errorf("expected the stale value 1 with invalidation disabled, got %v", v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serr := m.SanitizeErr()
+	if serr == nil {
+		t.Fatal("sanitizer missed the stale cached load")
+	}
+	if !strings.Contains(serr.Error(), "stale page") {
+		t.Errorf("unexpected sanitizer report: %v", serr)
+	}
+}
+
+// TestCacheLRUEviction bounds the cache at one page and walks two
+// owners' pages: every alternation evicts, and the obs counters agree
+// with the cache's own statistics.
+func TestCacheLRUEviction(t *testing.T) {
+	m, err := machine.New(machine.Config{Width: 2, Height: 2, MemoryPerCell: 1 << 22, Observe: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := make([]*DSM, 4)
+	segs := make([]*mem.Segment, 4)
+	for id := 0; id < 4; id++ {
+		cell := m.Cell(topology.CellID(id))
+		if ds[id], err = New(cell); err != nil {
+			t.Fatal(err)
+		}
+		seg, data, err := cell.AllocFloat64("shared", 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		segs[id] = seg
+		data[0] = float64(10 + id)
+	}
+	err = m.Run(func(c *machine.Cell) error {
+		if c.ID() != 0 {
+			return nil
+		}
+		d := ds[0]
+		d.EnableWriteThroughPages()
+		d.SetCacheCapacity(1)
+		load := func(owner topology.CellID) error {
+			a, err := d.Space().Global(owner, segs[owner].Base())
+			if err != nil {
+				return err
+			}
+			v, err := d.LoadF64(a)
+			if err != nil {
+				return err
+			}
+			if v != float64(10+int(owner)) {
+				t.Errorf("owner %d = %v", owner, v)
+			}
+			return nil
+		}
+		// A miss, A hit, B miss (evicts A), A miss (evicts B).
+		for _, owner := range []topology.CellID{2, 2, 3, 2} {
+			if err := load(owner); err != nil {
+				return err
+			}
+		}
+		cs := d.CacheStats()
+		if cs.Hits != 1 || cs.Misses != 3 || cs.Evictions != 2 {
+			t.Errorf("cache stats = %+v, want 1 hit / 3 misses / 2 evictions", cs)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot := func() (s struct{ h, m, e int64 }) {
+		mt := m.Metrics()
+		t := mt.Totals()
+		s.h, s.m, s.e = t.DSMHits, t.DSMMisses, t.DSMEvictions
+		return
+	}()
+	if tot.h != 1 || tot.m != 3 || tot.e != 2 {
+		t.Errorf("obs counters = %+v, want 1/3/2", tot)
+	}
+}
+
+// lcg is a tiny deterministic generator so both runs of the property
+// workload see identical address/value sequences.
+type lcg uint64
+
+func (r *lcg) next() uint64 {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	return uint64(*r)
+}
+
+// coherenceRun executes the multi-cell store/load/fence workload once
+// and returns each cell's load log, the final shared memory, and the
+// cache statistics.
+func coherenceRun(t *testing.T, cached, sanitize bool, spec string) (logs [][]float64, memOut [][]float64, stats []CacheStats) {
+	t.Helper()
+	var plan *fault.Plan
+	if spec != "" {
+		p, err := fault.Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan = p
+	}
+	m, err := machine.New(machine.Config{
+		Width: 2, Height: 2, MemoryPerCell: 1 << 22,
+		Sanitize: sanitize, Fault: plan,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := make([]*DSM, 4)
+	segs := make([]*mem.Segment, 4)
+	data := make([][]float64, 4)
+	for id := 0; id < 4; id++ {
+		cell := m.Cell(topology.CellID(id))
+		if ds[id], err = New(cell); err != nil {
+			t.Fatal(err)
+		}
+		if segs[id], data[id], err = cell.AllocFloat64("shared", 64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	logs = make([][]float64, 4)
+	const rounds = 6
+	err = m.Run(func(c *machine.Cell) error {
+		me := int(c.ID())
+		d := ds[me]
+		if cached {
+			d.EnableWriteThroughPages()
+			d.SetCacheCapacity(8)
+		}
+		for r := 0; r < rounds; r++ {
+			writer := (r*3 + 1) % 4
+			if me == writer {
+				// One writer per round stores into every cell's block
+				// (including its own — the local-store invalidation
+				// path), then fences.
+				seq := lcg(r + 1)
+				for owner := 0; owner < 4; owner++ {
+					for k := 0; k < 3; k++ {
+						idx := int(seq.next() % 64)
+						ga, err := d.Space().Global(topology.CellID(owner), segs[owner].Base()+mem.Addr(idx*8))
+						if err != nil {
+							return err
+						}
+						if err := d.StoreF64(ga, float64(r*1000+owner*100+idx)+0.5); err != nil {
+							return err
+						}
+					}
+				}
+				d.Fence()
+			}
+			c.HWBarrier()
+			// Every cell reads a deterministic mix of written and
+			// unwritten slots from every block, twice — the second
+			// sweep is where a cached run hits.
+			for rep := 0; rep < 2; rep++ {
+				seq := lcg(r + 101)
+				for owner := 0; owner < 4; owner++ {
+					for k := 0; k < 5; k++ {
+						idx := int(seq.next() % 64)
+						ga, err := d.Space().Global(topology.CellID(owner), segs[owner].Base()+mem.Addr(idx*8))
+						if err != nil {
+							return err
+						}
+						v, err := d.LoadF64(ga)
+						if err != nil {
+							return err
+						}
+						logs[me] = append(logs[me], v)
+					}
+				}
+			}
+			c.HWBarrier()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SanitizeErr(); err != nil {
+		t.Fatalf("sanitizer: %v", err)
+	}
+	if err := m.FaultErr(); err != nil {
+		t.Fatalf("fault: %v", err)
+	}
+	memOut = make([][]float64, 4)
+	for id := 0; id < 4; id++ {
+		memOut[id] = append([]float64(nil), data[id]...)
+	}
+	for id := 0; id < 4; id++ {
+		stats = append(stats, ds[id].CacheStats())
+	}
+	return logs, memOut, stats
+}
+
+// TestDSMCacheCoherenceProperty runs the seeded store/load/fence
+// workload cached and uncached — plain, sanitized, and under a
+// drop+dup fault plan — and requires bit-identical loads and memory,
+// with invalidations delivered exactly once.
+func TestDSMCacheCoherenceProperty(t *testing.T) {
+	for _, variant := range []struct {
+		name     string
+		sanitize bool
+		spec     string
+	}{
+		{"plain", false, ""},
+		{"sanitize", true, ""},
+		{"drop+dup", false, "drop=0.05,dup=0.05,seed=42"},
+	} {
+		t.Run(variant.name, func(t *testing.T) {
+			baseLogs, baseMem, _ := coherenceRun(t, false, variant.sanitize, variant.spec)
+			logs, memOut, stats := coherenceRun(t, true, variant.sanitize, variant.spec)
+			for id := 0; id < 4; id++ {
+				if len(logs[id]) != len(baseLogs[id]) {
+					t.Fatalf("cell %d: %d loads cached vs %d uncached", id, len(logs[id]), len(baseLogs[id]))
+				}
+				for i := range logs[id] {
+					if math.Float64bits(logs[id][i]) != math.Float64bits(baseLogs[id][i]) {
+						t.Errorf("cell %d load %d: cached %v, uncached %v", id, i, logs[id][i], baseLogs[id][i])
+					}
+				}
+				for i := range memOut[id] {
+					if math.Float64bits(memOut[id][i]) != math.Float64bits(baseMem[id][i]) {
+						t.Errorf("cell %d mem[%d]: cached %v, uncached %v", id, i, memOut[id][i], baseMem[id][i])
+					}
+				}
+			}
+			var hits, sent, recv int64
+			for _, cs := range stats {
+				hits += cs.Hits
+				sent += cs.InvalsSent
+				recv += cs.InvalsReceived
+			}
+			if hits == 0 {
+				t.Error("workload never hit the cache")
+			}
+			if sent == 0 {
+				t.Error("workload never exercised invalidation")
+			}
+			if sent != recv {
+				t.Errorf("invalidations sent %d != received %d (exactly-once violated)", sent, recv)
+			}
+		})
+	}
+}
+
+// TestDSMCacheHitZeroAlloc guards the zero-allocation hit path: a
+// cache hit returns a payload view over the cached page and must not
+// allocate. Wired into make verify next to the PUT-issue guard.
+func TestDSMCacheHitZeroAlloc(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("race instrumentation changes allocation behaviour")
+	}
+	f := newFixture(t)
+	f.data[2][3] = 6.25
+	var allocs float64
+	err := f.m.Run(func(c *machine.Cell) error {
+		if c.ID() != 0 {
+			return nil
+		}
+		d := f.ds[0]
+		d.EnableWriteThroughPages()
+		addr, err := d.Space().Global(2, f.segs[2].Base()+3*8)
+		if err != nil {
+			return err
+		}
+		if _, err := d.LoadF64(addr); err != nil {
+			return err
+		}
+		allocs = testing.AllocsPerRun(200, func() {
+			v, err := d.LoadF64(addr)
+			if err != nil || v != 6.25 {
+				t.Errorf("hit: v=%v err=%v", v, err)
+			}
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs != 0 {
+		t.Errorf("cache hit allocates %v per op, want 0", allocs)
+	}
+}
+
+// BenchmarkDSMCacheHit measures the cached load fast path.
+func BenchmarkDSMCacheHit(b *testing.B) {
+	f := newFixture(b)
+	f.data[2][3] = 6.25
+	err := f.m.Run(func(c *machine.Cell) error {
+		if c.ID() != 0 {
+			return nil
+		}
+		d := f.ds[0]
+		d.EnableWriteThroughPages()
+		addr, err := d.Space().Global(2, f.segs[2].Base()+3*8)
+		if err != nil {
+			return err
+		}
+		if _, err := d.LoadF64(addr); err != nil {
+			return err
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := d.LoadF64(addr); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package dsm
+
+// raceDetectorEnabled: see race_on_test.go.
+const raceDetectorEnabled = false

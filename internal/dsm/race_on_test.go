@@ -1,0 +1,10 @@
+//go:build race
+
+package dsm
+
+// raceDetectorEnabled reports whether this test binary was built with
+// the Go race detector. The zero-alloc guard skips under -race
+// (instrumentation changes allocation behaviour), and the seeded
+// staleness demonstration runs a genuine data race that the Go race
+// detector would correctly flag.
+const raceDetectorEnabled = true

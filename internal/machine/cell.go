@@ -55,6 +55,11 @@ type Cell struct {
 
 	rstores atomic.Int64 // remote stores issued (for fencing)
 
+	// dsmHooks connects the cell's MSC+ to the DSM page-cache
+	// directory when write-through paging is enabled (nil otherwise,
+	// which keeps the remote-access paths hook-free).
+	dsmHooks atomic.Pointer[DSMHooks]
+
 	// invalLines counts cache lines invalidated by message reception:
 	// "Invalidation of cache is done at the time of message
 	// reception. This means that data reception from a network does
@@ -446,6 +451,19 @@ func (c *Cell) completeLoad(tag int64, p *mem.Payload) {
 // dst, through the privileged remote-access queue (S4.2: "remote load
 // is blocking"). It returns the loaded payload.
 func (c *Cell) RemoteLoad(dst topology.CellID, raddr mem.Addr, size int64) (*mem.Payload, error) {
+	return c.remoteLoad(dst, raddr, size, false)
+}
+
+// RemoteLoadCaching is RemoteLoad with the command's cache-fill bit
+// set: the owning cell's MSC+ registers this cell as a sharer of the
+// loaded page before capturing the reply, so a later write-through
+// store to the page invalidates this cell's cached copy. Only the DSM
+// page cache issues these.
+func (c *Cell) RemoteLoadCaching(dst topology.CellID, raddr mem.Addr, size int64) (*mem.Payload, error) {
+	return c.remoteLoad(dst, raddr, size, true)
+}
+
+func (c *Cell) remoteLoad(dst topology.CellID, raddr mem.Addr, size int64, caching bool) (*mem.Payload, error) {
 	if size <= 0 {
 		return nil, fmt.Errorf("machine: remote load of %d bytes", size)
 	}
@@ -453,6 +471,7 @@ func (c *Cell) RemoteLoad(dst topology.CellID, raddr mem.Addr, size int64) (*mem
 	cmd := msc.Command{
 		Op: msc.OpRemoteLoad, Src: c.id, Dst: dst,
 		RAddr: raddr, RStride: mem.Contiguous(size), Tag: tag,
+		CacheFill: caching,
 	}
 	c.sanIssue(&cmd)
 	c.obsIssue(&cmd)

@@ -9,6 +9,7 @@ import (
 	"ap1000plus/internal/msc"
 	"ap1000plus/internal/obs"
 	"ap1000plus/internal/tnet"
+	"ap1000plus/internal/topology"
 )
 
 // drainBatch is how many commands the controller pops per activation:
@@ -189,15 +190,26 @@ func (m *Machine) loadReply(c *Cell, cmd msc.Command, exec int) {
 		c.OS.interrupt(IntrPageFault)
 		c.OS.fault(fmt.Errorf("machine: cell %d: remote load: %w", c.id, err))
 		// Reply with no payload so the loader unblocks with an error.
-	} else if p, err := mem.CapturePayload(c.Mem, cmd.RAddr, cmd.RStride); err != nil {
-		c.OS.fault(fmt.Errorf("machine: cell %d: remote load: %w", c.id, err))
 	} else {
-		m.sanAccess(exec, false, int(c.id), cmd.RAddr, cmd.RStride, "remote load read")
-		payload = p
-		if s := m.san; s != nil {
-			// The reply payload crosses to the loading CPU through a
-			// channel; carry the clock with it.
-			payload.SetSan(s.Release(exec))
+		if cmd.CacheFill {
+			// Directory registration happens BEFORE the reply is
+			// captured: a store landing after this point invalidates the
+			// copy the requester is about to receive, so the requester
+			// never holds an untracked page.
+			if h := c.dsmHooks.Load(); h != nil && h.Shared != nil {
+				h.Shared(cmd.Src, cmd.RAddr, cmd.RStride.Total())
+			}
+		}
+		if p, err := mem.CapturePayload(c.Mem, cmd.RAddr, cmd.RStride); err != nil {
+			c.OS.fault(fmt.Errorf("machine: cell %d: remote load: %w", c.id, err))
+		} else {
+			m.sanAccess(exec, false, int(c.id), cmd.RAddr, cmd.RStride, "remote load read")
+			payload = p
+			if s := m.san; s != nil {
+				// The reply payload crosses to the loading CPU through a
+				// channel; carry the clock with it.
+				payload.SetSan(s.Release(exec))
+			}
 		}
 	}
 	out := cmd
@@ -276,6 +288,14 @@ func (c *Cell) receive(p tnet.Packet) bool {
 		if !c.deliver(remoteStoreAsPut(cmd), p.Payload, exec, "remote store receive DMA write") {
 			return false
 		}
+		// Directory coherence: invalidate every registered sharer of
+		// the written pages BEFORE acknowledging the store, so the
+		// writer's fence implies all invalidations have been applied.
+		// The dedup gate above makes this fire exactly once per store
+		// even when the fault plan duplicates the packet.
+		if h := c.dsmHooks.Load(); h != nil && h.Stored != nil {
+			h.Stored(cmd.Src, cmd.RAddr, cmd.RStride.Total())
+		}
 		// Acknowledge automatically (S4.2).
 		ack := msc.Command{Op: msc.OpRemoteStoreAck, Src: c.id, Dst: cmd.Src}
 		m.xmit(c, tnet.Packet{Head: ack, SanTid: exec})
@@ -297,6 +317,18 @@ func (c *Cell) receive(p tnet.Packet) bool {
 
 	case msc.OpRemoteLoadReply:
 		c.completeLoad(cmd.Tag, p.Payload)
+		return true
+
+	case msc.OpDSMInval:
+		if h := c.dsmHooks.Load(); h != nil && h.Inval != nil {
+			h.Inval(cmd.Src, cmd.RAddr, topology.CellID(cmd.Tag))
+		}
+		if o := m.obs; o != nil {
+			o.Cell(int(c.id)).DSMInvalsRecv.Add(1)
+			if tl := o.Timeline(); tl != nil {
+				tl.Instant(int(c.id), obs.TidMSC, "dsm", "inval-recv", o.NowUs())
+			}
+		}
 		return true
 
 	default:

@@ -173,6 +173,10 @@ func (mt *Metrics) Format(w io.Writer) error {
 	p("  interrupts  total=%d %v\n", t.Interrupts, intr)
 	p("  sync        flag-waits=%d (%.3f ms stalled), barriers=%d (%.3f ms stalled), hw-barriers=%d\n",
 		t.FlagWaits, float64(t.FlagWaitNanos)/1e6, t.Barriers, float64(t.BarrierStallNanos)/1e6, mt.HWBarriers)
+	if t.DSMHits|t.DSMMisses|t.DSMEvictions|t.DSMInvalsSent|t.DSMInvalsRecv != 0 {
+		p("  dsm-cache   hits=%d misses=%d evictions=%d invals-sent=%d invals-recv=%d\n",
+			t.DSMHits, t.DSMMisses, t.DSMEvictions, t.DSMInvalsSent, t.DSMInvalsRecv)
+	}
 	if err := p("  mc          flag-incs=%d, cache-lines-invalidated=%d\n", flagIncs, inval); err != nil || mt.Fault == nil {
 		return err
 	}

@@ -107,12 +107,20 @@ func packetSum(h msc.Command, payload *mem.Payload) uint64 {
 		uint64(h.LStride.ItemSize), uint64(h.LStride.Count), uint64(h.LStride.Skip),
 		uint64(h.SendFlag), uint64(h.RecvFlag),
 		uint64(h.Port), uint64(h.Tag), h.Seq,
+		b2u64(h.CacheFill),
 	} {
 		for i := 0; i < 64; i += 8 {
 			s = (s ^ (w >> i & 0xff)) * prime
 		}
 	}
 	return s
+}
+
+func b2u64(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // xmit routes a packet out of cell c. Without a fault plan it is a

@@ -191,6 +191,22 @@ func (p *Payload) Deliver(dst *Space, addr Addr, dstPat Stride) error {
 	return copyStrideSegs(dseg, int64(addr-dseg.base), dstPat, &p.seg, 0, Contiguous(p.size))
 }
 
+// SetView repoints the payload at caller-owned bytes without copying —
+// the DSM page cache's zero-allocation hit path. The payload must be a
+// long-lived value the caller owns (never pooled, never Released): the
+// view aliases b, so it is only valid until the caller mutates or
+// replaces the backing bytes.
+func (p *Payload) SetView(b []byte) {
+	p.size = int64(len(b))
+	p.san = nil
+	p.seg.name = "view"
+	p.seg.base = 0
+	p.seg.size = int64(len(b))
+	p.seg.kind = Bytes
+	p.seg.bytes = b
+	p.seg.f64 = nil
+}
+
 // Float64s returns the payload as float64 values when it was captured
 // from a Float64 segment; ok reports whether that representation is
 // available. Used by reduction operators that combine in-flight data.

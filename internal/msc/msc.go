@@ -39,12 +39,24 @@ const (
 	// OpSend appends a message to the destination's ring buffer
 	// (the SEND/RECEIVE model, S4.3).
 	OpSend
+	// OpDSMInval invalidates a shared-space page cached by the
+	// destination cell: the page's owner sends it when a write-through
+	// store lands on a page with registered sharers, before the store
+	// is acknowledged (the DSM directory protocol). It carries no
+	// payload; RAddr is the owner-local page address and Tag the
+	// writing cell.
+	OpDSMInval
 
 	numOps
 )
 
+// NumOps is the number of operation codes — the size any per-op
+// statistics array must have.
+const NumOps = int(numOps)
+
 var opNames = [numOps]string{
 	"put", "get", "get-reply", "rstore", "rstore-ack", "rload", "rload-reply", "send",
+	"dsm-inval",
 }
 
 func (o Op) String() string {
@@ -95,8 +107,14 @@ type Command struct {
 	Ack bool
 	// Port selects the destination ring buffer for OpSend.
 	Port int32
-	// Tag carries an opaque correlation token (remote load waiters).
+	// Tag carries an opaque correlation token (remote load waiters;
+	// the writing cell on a DSM invalidation).
 	Tag int64
+	// CacheFill marks a remote load issued to fill a DSM page cache:
+	// the owning cell's MSC+ registers the requester in its sharer
+	// directory before capturing the reply, so a later write-through
+	// store invalidates the requester's copy.
+	CacheFill bool
 	// Seq and Sum are the reliable-delivery header (fault layer): Seq
 	// is the packet's sequence number on its (Src, Dst) link, Sum the
 	// end-to-end checksum over header and payload. Both stay zero when

@@ -57,6 +57,14 @@ type CellCounters struct {
 	Retransmits, BackoffNanos atomic.Int64
 	Dedups, CorruptDetected   atomic.Int64
 	CellFaults                atomic.Int64
+
+	// DSM page-cache activity on this cell (all zero unless the cell's
+	// DSM enables write-through paging). Hits/Misses/Evictions are
+	// local cache events; DSMInvalsSent counts invalidations this
+	// cell's MSC+ issued as a page owner, DSMInvalsRecv invalidations
+	// applied to this cell's cache as a sharer.
+	DSMHits, DSMMisses, DSMEvictions atomic.Int64
+	DSMInvalsSent, DSMInvalsRecv     atomic.Int64
 }
 
 // CellSnapshot is the plain-integer copy of a CellCounters block,
@@ -71,9 +79,11 @@ type CellSnapshot struct {
 	Interrupts                    int64
 	FlagWaits, FlagWaitNanos      int64
 	Barriers, BarrierStallNanos   int64
-	Retransmits, BackoffNanos     int64
-	Dedups, CorruptDetected       int64
-	CellFaults                    int64
+	Retransmits, BackoffNanos        int64
+	Dedups, CorruptDetected          int64
+	CellFaults                       int64
+	DSMHits, DSMMisses, DSMEvictions int64
+	DSMInvalsSent, DSMInvalsRecv     int64
 }
 
 // Snapshot copies the counters at a point in time.
@@ -92,6 +102,9 @@ func (c *CellCounters) Snapshot() CellSnapshot {
 		Retransmits: c.Retransmits.Load(), BackoffNanos: c.BackoffNanos.Load(),
 		Dedups: c.Dedups.Load(), CorruptDetected: c.CorruptDetected.Load(),
 		CellFaults: c.CellFaults.Load(),
+		DSMHits:    c.DSMHits.Load(), DSMMisses: c.DSMMisses.Load(),
+		DSMEvictions:  c.DSMEvictions.Load(),
+		DSMInvalsSent: c.DSMInvalsSent.Load(), DSMInvalsRecv: c.DSMInvalsRecv.Load(),
 	}
 }
 
@@ -122,6 +135,11 @@ func (s *CellSnapshot) Add(o CellSnapshot) {
 	s.Dedups += o.Dedups
 	s.CorruptDetected += o.CorruptDetected
 	s.CellFaults += o.CellFaults
+	s.DSMHits += o.DSMHits
+	s.DSMMisses += o.DSMMisses
+	s.DSMEvictions += o.DSMEvictions
+	s.DSMInvalsSent += o.DSMInvalsSent
+	s.DSMInvalsRecv += o.DSMInvalsRecv
 }
 
 // Observer is a machine-wide observation context: one counter block

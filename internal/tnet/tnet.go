@@ -50,7 +50,7 @@ type Stats struct {
 	Bytes     int64 // payload bytes
 	HopsTotal int64 // sum of routing distances, for mean distance
 	// PerOp counts messages by operation.
-	PerOp [8]int64
+	PerOp [msc.NumOps]int64
 }
 
 // MeanDistance reports the average routing distance in hops.
