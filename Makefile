@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify apvet bench fuzz chaos
+.PHONY: all build test verify apvet apvet-baseline bench fuzz chaos
 
 all: verify
 
@@ -18,17 +18,25 @@ test:
 	$(GO) test ./...
 
 # apvet enforces the simulator's communication discipline: no raw
-# DRAM writes behind the MSC+, every PUT/GET flag waited on, no
-# blocking calls in delivery handlers, no microsecond/nanosecond unit
-# mixing. See cmd/apvet and the "Correctness tooling" section of
-# DESIGN.md.
+# DRAM writes behind the MSC+, every PUT/GET flag waited on and
+# balanced against its wait threshold, no blocking calls in delivery
+# handlers (direct or through helpers), no microsecond/nanosecond unit
+# mixing. Test files are scanned too. apvet.json is the machine-
+# readable report of the latest run. See cmd/apvet and the "Typed
+# static analysis" section of DESIGN.md.
 apvet:
-	$(GO) run ./cmd/apvet ./...
+	$(GO) run ./cmd/apvet -json ./... > apvet.json
+
+# apvet-baseline diffs the current report against the committed
+# apvet.baseline.json, so a PR that introduces a new finding (or a new
+# suppression) shows up as a diff even when the finding is suppressed.
+apvet-baseline: apvet
+	diff -u apvet.baseline.json apvet.json
 
 verify:
 	$(GO) build ./...
 	$(GO) vet ./...
-	$(GO) run ./cmd/apvet ./...
+	$(GO) run ./cmd/apvet -json ./... > apvet.json
 	$(GO) test -race ./...
 	$(GO) test -run 'TestPutIssueZeroAllocUnobserved|TestBatchIssueZeroAllocUnobserved' .
 	$(GO) test -run TestDSMCacheHitZeroAlloc ./internal/dsm/

@@ -1,0 +1,1066 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"ap1000plus/cmd/apvet/internal/load"
+)
+
+// ---------------------------------------------------------------------------
+// Polynomials over the cell count. Flag-balance arithmetic is linear
+// in P = the machine's cell count: a raise executed once per
+// iteration of a NumCells()-bounded loop contributes P increments,
+// constant-bounded loops contribute constants, anything else is
+// unknown.
+// ---------------------------------------------------------------------------
+
+// poly is c + p·P, or unknown.
+type poly struct {
+	c, p int64
+	unk  bool
+}
+
+var unknownPoly = poly{unk: true}
+var onePoly = poly{c: 1}
+
+func constPoly(c int64) poly { return poly{c: c} }
+
+func (a poly) known() bool { return !a.unk }
+func (a poly) isOne() bool { return !a.unk && a.c == 1 && a.p == 0 }
+
+func (a poly) add(b poly) poly {
+	if a.unk || b.unk {
+		return unknownPoly
+	}
+	return poly{c: a.c + b.c, p: a.p + b.p}
+}
+
+func (a poly) sub(b poly) poly {
+	if a.unk || b.unk {
+		return unknownPoly
+	}
+	return poly{c: a.c - b.c, p: a.p - b.p}
+}
+
+func (a poly) mul(b poly) poly {
+	if a.unk || b.unk {
+		return unknownPoly
+	}
+	// P² has no representation; one side must be constant.
+	if a.p != 0 && b.p != 0 {
+		return unknownPoly
+	}
+	if a.p != 0 {
+		a, b = b, a
+	}
+	return poly{c: a.c * b.c, p: a.c * b.p}
+}
+
+func (a poly) neg() poly {
+	if a.unk {
+		return a
+	}
+	return poly{c: -a.c, p: -a.p}
+}
+
+// eval computes the value at a concrete cell count.
+func (a poly) eval(cells int64) int64 { return a.c + a.p*cells }
+
+func (a poly) String() string {
+	if a.unk {
+		return "unknown"
+	}
+	switch {
+	case a.p == 0:
+		return fmt.Sprintf("%d", a.c)
+	case a.c == 0 && a.p == 1:
+		return "P"
+	case a.c == 0:
+		return fmt.Sprintf("%d*P", a.p)
+	case a.p == 1 && a.c < 0:
+		return fmt.Sprintf("P-%d", -a.c)
+	case a.p == 1:
+		return fmt.Sprintf("P+%d", a.c)
+	default:
+		return fmt.Sprintf("%d*P%+d", a.p, a.c)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Flag references. Every flag argument resolves to one of: a concrete
+// program object (local variable, package variable, struct field), a
+// parameter of the enclosing function (substituted at call sites), a
+// field of a core.Transfer-typed parameter, the implicit ack flag,
+// the NoFlag sentinel, or unknown.
+// ---------------------------------------------------------------------------
+
+type refKind int
+
+const (
+	refNone          refKind = iota // NoFlag / absent: no event
+	refObj                          // a concrete variable or field
+	refParam                        // parameter #param of the enclosing function
+	refTransferField                // field of a core.Transfer-typed parameter
+	refAck                          // the implicit acknowledge flag
+	refUnknown                      // unresolvable: poisons counting
+)
+
+type flagRef struct {
+	kind  refKind
+	key   string // canonical object key for refObj
+	param int
+	field string // SendFlag / RecvFlag / Ack for refTransferField
+	name  string // display name for findings
+}
+
+// objKey canonicalizes an object across independently typechecked
+// instances of the same package (a unit loaded with its test files
+// and the same package imported as a dependency are distinct
+// types.Package values): declaration position plus name.
+func (pr *program) objKey(obj types.Object) string {
+	pos := pr.fset.Position(obj.Pos())
+	file := pos.Filename
+	if abs, err := filepath.Abs(file); err == nil {
+		file = abs
+	}
+	return fmt.Sprintf("%s:%d:%d/%s", file, pos.Line, pos.Column, obj.Name())
+}
+
+// ---------------------------------------------------------------------------
+// Events and summaries.
+// ---------------------------------------------------------------------------
+
+// raiseEvent is one PUT/GET flag-increment site, multiplied by its
+// enclosing loops.
+type raiseEvent struct {
+	ref  flagRef
+	n    poly
+	cond bool // under a conditional: count uncertain
+	site token.Pos
+	prim token.Pos
+	verb string
+}
+
+// waitEvent is one WaitFlag/Flags.Wait site.
+type waitEvent struct {
+	ref    flagRef
+	target poly
+	cond   bool
+	site   token.Pos
+	prim   token.Pos
+}
+
+// ackEvent is one acknowledged PUT (raise) or AckWait. A raise with a
+// refTransferField ref is conditional on the caller's Ack field.
+type ackEvent struct {
+	ref  flagRef
+	site token.Pos
+	prim token.Pos
+}
+
+// blockSite is one potentially blocking operation.
+type blockSite struct {
+	what string
+	pos  token.Pos
+}
+
+// edge is a static call to another module function.
+type edge struct {
+	callee string // full name
+	args   []ast.Expr
+	pos    token.Pos
+	mul    poly
+	cond   bool
+	inGo   bool
+}
+
+type summary struct {
+	raises   []raiseEvent
+	waits    []waitEvent
+	ackRaise []ackEvent
+	ackWait  []ackEvent
+	// resets records Flags.Reset calls: a reset flag restarts its
+	// count mid-phase, so flag-balance must not total across it.
+	resets []raiseEvent
+	// lossy marks a summary that dropped a raise it could not
+	// attribute to an object; flag-balance must not trust counts
+	// under a lossy root.
+	lossy bool
+}
+
+// fnode is one function with a body in the loaded program.
+type fnode struct {
+	full string
+	obj  *types.Func
+	decl *ast.FuncDecl
+	unit *load.Package
+
+	paramIdx map[*types.Var]int
+
+	// direct results of scanning the body.
+	sum          *summary
+	edges        []edge
+	directBlocks []blockSite
+	scanned      bool
+
+	// defs maps single-assignment locals to their defining
+	// expression; reassigned locals are excluded from chasing.
+	defs       map[*types.Var]ast.Expr
+	reassigned map[*types.Var]bool
+
+	// resolved summary (callee summaries substituted in).
+	resolved  *summary
+	resolving bool
+
+	// blockprop fixpoint state.
+	blocks   *blockSite
+	blockVia string // callee full name the block flows through ("" = direct)
+}
+
+// program is the analysis universe: every loaded unit plus the call
+// graph over their function bodies.
+type program struct {
+	fset  *token.FileSet
+	pkgs  []*load.Package
+	funcs map[string]*fnode
+	names []string // sorted fnode keys, for deterministic iteration
+
+	// analyzedFiles maps position filenames of analyzed units to
+	// their unit; findings outside are dropped.
+	analyzedFiles map[string]*load.Package
+}
+
+func newProgram(res *load.Result) *program {
+	pr := &program{
+		fset:          res.Fset,
+		pkgs:          res.Pkgs,
+		funcs:         map[string]*fnode{},
+		analyzedFiles: map[string]*load.Package{},
+	}
+	for _, u := range res.Pkgs {
+		for _, f := range u.Files {
+			if u.Analyzed {
+				pr.analyzedFiles[pr.fset.Position(f.Package).Filename] = u
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := u.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				full := obj.FullName()
+				if isModeledPrim(full) {
+					continue
+				}
+				if old, ok := pr.funcs[full]; ok && old.unit.Analyzed && !u.Analyzed {
+					continue // prefer the analyzed instance
+				}
+				pr.funcs[full] = &fnode{full: full, obj: obj, decl: fd, unit: u}
+			}
+		}
+	}
+	for name := range pr.funcs {
+		pr.names = append(pr.names, name)
+	}
+	sort.Strings(pr.names)
+	for _, name := range pr.names {
+		pr.scan(pr.funcs[name])
+	}
+	pr.propagateBlocking()
+	return pr
+}
+
+// analyzedPos reports whether a position lies in an analyzed unit.
+func (pr *program) analyzedPos(pos token.Pos) bool {
+	_, ok := pr.analyzedFiles[pr.fset.Position(pos).Filename]
+	return ok
+}
+
+func (pr *program) unitOf(pos token.Pos) *load.Package {
+	return pr.analyzedFiles[pr.fset.Position(pos).Filename]
+}
+
+// calleeOf resolves a call's static callee, or nil for indirect
+// calls, builtins and conversions.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// exprText renders an expression as source text for display.
+func (pr *program) exprText(e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, pr.fset, e); err != nil {
+		return "?"
+	}
+	return buf.String()
+}
+
+// ---------------------------------------------------------------------------
+// Body scanning: one pass per function, collecting events, call
+// edges and blocking sites with loop-multiplier/conditional context.
+// Function literals are counted where they are written — the SPMD
+// convention: a kernel literal handed to Machine.Run executes once
+// per cell, which is exactly the per-cell frame the flag protocol is
+// stated in.
+// ---------------------------------------------------------------------------
+
+type sctx struct {
+	mul  poly
+	cond bool
+	inGo bool
+}
+
+func (pr *program) scan(fn *fnode) {
+	if fn.scanned {
+		return
+	}
+	fn.scanned = true
+	fn.sum = &summary{}
+	fn.paramIdx = map[*types.Var]int{}
+	sig := fn.obj.Type().(*types.Signature)
+	for i := 0; i < sig.Params().Len(); i++ {
+		fn.paramIdx[sig.Params().At(i)] = i
+	}
+	pr.collectLocals(fn)
+	pr.walk(fn, fn.decl.Body, sctx{mul: onePoly})
+}
+
+// collectLocals records single-assignment local definitions for the
+// light value chasing that evalPoly and flagRefOf perform.
+func (pr *program) collectLocals(fn *fnode) {
+	info := fn.unit.Info
+	fn.defs = map[*types.Var]ast.Expr{}
+	fn.reassigned = map[*types.Var]bool{}
+	mark := func(lhs ast.Expr) {
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			if v, ok := info.ObjectOf(id).(*types.Var); ok {
+				fn.reassigned[v] = true
+			}
+		}
+	}
+	ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			if v.Tok == token.DEFINE && len(v.Lhs) == len(v.Rhs) {
+				for i, lhs := range v.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						if vr, ok := info.Defs[id].(*types.Var); ok {
+							if _, dup := fn.defs[vr]; dup {
+								fn.reassigned[vr] = true
+							} else {
+								fn.defs[vr] = v.Rhs[i]
+							}
+							continue
+						}
+					}
+					mark(lhs)
+				}
+			} else {
+				for _, lhs := range v.Lhs {
+					mark(lhs)
+				}
+			}
+		case *ast.IncDecStmt:
+			mark(v.X)
+		case *ast.RangeStmt:
+			if v.Key != nil {
+				mark(v.Key)
+			}
+			if v.Value != nil {
+				mark(v.Value)
+			}
+		case *ast.UnaryExpr:
+			if v.Op == token.AND {
+				mark(v.X)
+			}
+		}
+		return true
+	})
+}
+
+// walk traverses a subtree, dispatching control-flow constructs to
+// context-adjusting handlers. Handlers never pass their own node back
+// into walk, so each node is processed exactly once.
+func (pr *program) walk(fn *fnode, root ast.Node, ctx sctx) {
+	if root == nil {
+		return
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.ForStmt:
+			pr.walk(fn, v.Init, ctx)
+			pr.walk(fn, v.Cond, ctx)
+			pr.walk(fn, v.Post, ctx)
+			trip := pr.tripCount(fn, v)
+			pr.walk(fn, v.Body, sctx{mul: ctx.mul.mul(trip), cond: ctx.cond, inGo: ctx.inGo})
+			return false
+		case *ast.RangeStmt:
+			pr.walk(fn, v.X, ctx)
+			trip := unknownPoly
+			if tv, ok := fn.unit.Info.Types[v.X]; ok && tv.Type != nil {
+				if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+					trip = pr.evalPoly(fn, v.X, 0)
+				}
+			}
+			pr.walk(fn, v.Body, sctx{mul: ctx.mul.mul(trip), cond: ctx.cond, inGo: ctx.inGo})
+			return false
+		case *ast.IfStmt:
+			pr.walk(fn, v.Init, ctx)
+			pr.walk(fn, v.Cond, ctx)
+			inner := sctx{mul: ctx.mul, cond: true, inGo: ctx.inGo}
+			pr.walk(fn, v.Body, inner)
+			pr.walk(fn, v.Else, inner)
+			return false
+		case *ast.SwitchStmt:
+			pr.walk(fn, v.Init, ctx)
+			pr.walk(fn, v.Tag, ctx)
+			pr.walk(fn, v.Body, sctx{mul: ctx.mul, cond: true, inGo: ctx.inGo})
+			return false
+		case *ast.TypeSwitchStmt:
+			pr.walk(fn, v.Init, ctx)
+			pr.walk(fn, v.Assign, ctx)
+			pr.walk(fn, v.Body, sctx{mul: ctx.mul, cond: true, inGo: ctx.inGo})
+			return false
+		case *ast.SelectStmt:
+			pr.walk(fn, v.Body, sctx{mul: ctx.mul, cond: true, inGo: ctx.inGo})
+			return false
+		case *ast.GoStmt:
+			pr.walkCall(fn, v.Call, sctx{mul: ctx.mul, cond: ctx.cond, inGo: true})
+			return false
+		case *ast.CallExpr:
+			pr.walkCall(fn, v, ctx)
+			return false
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW && !ctx.inGo {
+				fn.directBlocks = append(fn.directBlocks, blockSite{what: "channel receive", pos: v.Pos()})
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// walkCall classifies one call — primitive events, a call-graph edge,
+// a blocking site, or nothing — then descends into the callee
+// expression and the arguments (which may hold calls and literals of
+// their own).
+func (pr *program) walkCall(fn *fnode, call *ast.CallExpr, ctx sctx) {
+	info := fn.unit.Info
+	if callee := calleeOf(info, call); callee != nil {
+		full := callee.FullName()
+		pr.primEvents(fn, call, full, ctx)
+		what, blocking := blockingPrims[full]
+		if blocking && !ctx.inGo {
+			fn.directBlocks = append(fn.directBlocks, blockSite{what: what, pos: call.Pos()})
+		}
+		if !isModeledPrim(full) && !blocking {
+			if _, isNode := pr.funcs[full]; isNode {
+				fn.edges = append(fn.edges, edge{
+					callee: full, args: call.Args, pos: call.Pos(),
+					mul: ctx.mul, cond: ctx.cond, inGo: ctx.inGo,
+				})
+			}
+		}
+	}
+	pr.walk(fn, call.Fun, ctx)
+	for _, arg := range call.Args {
+		pr.walk(fn, arg, ctx)
+	}
+}
+
+// primEvents emits the flag events of a modeled primitive call.
+func (pr *program) primEvents(fn *fnode, call *ast.CallExpr, full string, ctx sctx) {
+	sum := fn.sum
+	switch {
+	case transferPrims[full] != "":
+		if len(call.Args) == 0 {
+			return
+		}
+		pr.transferEvents(fn, call.Args[0], call.Pos(), transferPrims[full], ctx)
+	case waitPrims[full]:
+		if len(call.Args) < 2 {
+			return
+		}
+		ref := pr.flagRefOf(fn, call.Args[0])
+		target := pr.evalPoly(fn, call.Args[1], 0)
+		if !ctx.mul.isOne() {
+			// A wait inside a loop re-tests a moving threshold; the
+			// static balance cannot capture that.
+			target = unknownPoly
+		}
+		switch ref.kind {
+		case refNone:
+		case refAck:
+			sum.ackWait = append(sum.ackWait, ackEvent{site: call.Pos(), prim: call.Pos()})
+		default:
+			sum.waits = append(sum.waits, waitEvent{ref: ref, target: target, cond: ctx.cond, site: call.Pos(), prim: call.Pos()})
+		}
+	case ackWaitPrims[full]:
+		sum.ackWait = append(sum.ackWait, ackEvent{site: call.Pos(), prim: call.Pos()})
+	case ackRaisePrims[full]:
+		sum.ackRaise = append(sum.ackRaise, ackEvent{site: call.Pos(), prim: call.Pos()})
+	case full == flagResetPrim:
+		if len(call.Args) < 1 {
+			return
+		}
+		ref := pr.flagRefOf(fn, call.Args[0])
+		switch ref.kind {
+		case refNone, refAck:
+		case refUnknown:
+			sum.lossy = true
+		default:
+			sum.resets = append(sum.resets, raiseEvent{ref: ref, n: ctx.mul, cond: ctx.cond, site: call.Pos(), prim: call.Pos(), verb: "Reset"})
+		}
+	default:
+		if shape, ok := positionalPrims[full]; ok {
+			for _, i := range shape.flags {
+				if i >= len(call.Args) {
+					continue
+				}
+				pr.raise(fn, pr.flagRefOf(fn, call.Args[i]), call.Pos(), call.Pos(), shape.verb, ctx)
+			}
+			if shape.ack >= 0 && shape.ack < len(call.Args) {
+				if pr.constBool(fn, call.Args[shape.ack]) == trueConst {
+					sum.ackRaise = append(sum.ackRaise, ackEvent{site: call.Pos(), prim: call.Pos()})
+				}
+			}
+		}
+	}
+}
+
+// raise appends one raise event, tracking lossiness for unknowns.
+func (pr *program) raise(fn *fnode, ref flagRef, site, prim token.Pos, verb string, ctx sctx) {
+	switch ref.kind {
+	case refNone, refAck:
+		return
+	case refUnknown:
+		fn.sum.lossy = true
+		return
+	}
+	fn.sum.raises = append(fn.sum.raises, raiseEvent{ref: ref, n: ctx.mul, cond: ctx.cond, site: site, prim: prim, verb: verb})
+}
+
+// transferEvents emits the events of a Transfer-struct primitive.
+func (pr *program) transferEvents(fn *fnode, arg ast.Expr, pos token.Pos, verb string, ctx sctx) {
+	sum := fn.sum
+	lit, param := pr.transferValOf(fn, arg)
+	switch {
+	case lit != nil:
+		for _, el := range lit.Elts {
+			kv, ok := el.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			switch key.Name {
+			case "SendFlag", "RecvFlag":
+				pr.raise(fn, pr.flagRefOf(fn, kv.Value), pos, pos, verb, ctx)
+			case "Ack":
+				if pr.constBool(fn, kv.Value) == trueConst {
+					sum.ackRaise = append(sum.ackRaise, ackEvent{site: pos, prim: pos})
+				}
+			}
+		}
+	case param >= 0:
+		for _, f := range []string{"SendFlag", "RecvFlag"} {
+			sum.raises = append(sum.raises, raiseEvent{
+				ref: flagRef{kind: refTransferField, param: param, field: f, name: "t." + f},
+				n:   ctx.mul, cond: ctx.cond, site: pos, prim: pos, verb: verb,
+			})
+		}
+		sum.ackRaise = append(sum.ackRaise, ackEvent{
+			ref: flagRef{kind: refTransferField, param: param, field: "Ack"}, site: pos, prim: pos,
+		})
+	default:
+		// A transfer we cannot see into may raise anything.
+		sum.lossy = true
+	}
+}
+
+// transferValOf resolves an expression of type core.Transfer to a
+// composite literal or a parameter index (-1 if neither).
+func (pr *program) transferValOf(fn *fnode, e ast.Expr) (*ast.CompositeLit, int) {
+	e = ast.Unparen(e)
+	switch v := e.(type) {
+	case *ast.CompositeLit:
+		return v, -1
+	case *ast.Ident:
+		if vr, ok := fn.unit.Info.ObjectOf(v).(*types.Var); ok {
+			if i, ok := fn.paramIdx[vr]; ok {
+				return nil, i
+			}
+			if def, ok := fn.defs[vr]; ok && !fn.reassigned[vr] {
+				if lit, ok := ast.Unparen(def).(*ast.CompositeLit); ok {
+					return lit, -1
+				}
+			}
+		}
+	}
+	return nil, -1
+}
+
+type triBool int
+
+const (
+	unknownConst triBool = iota
+	trueConst
+	falseConst
+)
+
+// constBool evaluates a boolean expression, chasing single-assignment
+// locals.
+func (pr *program) constBool(fn *fnode, e ast.Expr) triBool {
+	e = ast.Unparen(e)
+	if tv, ok := fn.unit.Info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.Bool {
+		if constant.BoolVal(tv.Value) {
+			return trueConst
+		}
+		return falseConst
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if vr, ok := fn.unit.Info.ObjectOf(id).(*types.Var); ok {
+			if def, ok := fn.defs[vr]; ok && !fn.reassigned[vr] {
+				return pr.constBool(fn, def)
+			}
+		}
+	}
+	return unknownConst
+}
+
+// isTransferType reports whether t (possibly behind a pointer) is
+// core.Transfer.
+func isTransferType(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Transfer" && obj.Pkg() != nil && obj.Pkg().Path() == corePkg
+}
+
+// flagRefOf resolves a flag argument to its identity.
+func (pr *program) flagRefOf(fn *fnode, e ast.Expr) flagRef {
+	e = ast.Unparen(e)
+	info := fn.unit.Info
+	// Constants first: NoFlag (0), AckFlagID (-1); anything else
+	// hard-coded is untrackable.
+	if tv, ok := info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+		if v, ok := constant.Int64Val(tv.Value); ok {
+			switch v {
+			case 0:
+				return flagRef{kind: refNone}
+			case -1:
+				return flagRef{kind: refAck}
+			}
+		}
+		return flagRef{kind: refUnknown}
+	}
+	switch v := e.(type) {
+	case *ast.CallExpr:
+		// A conversion like mc.FlagID(x) passes through; a true call
+		// (Flags.Alloc() used inline) is untrackable.
+		if tv, ok := info.Types[v.Fun]; ok && tv.IsType() && len(v.Args) == 1 {
+			return pr.flagRefOf(fn, v.Args[0])
+		}
+		return flagRef{kind: refUnknown}
+	case *ast.Ident:
+		if vr, ok := info.ObjectOf(v).(*types.Var); ok {
+			if i, ok := fn.paramIdx[vr]; ok {
+				return flagRef{kind: refParam, param: i, name: v.Name}
+			}
+			if def, ok := fn.defs[vr]; ok && !fn.reassigned[vr] {
+				switch r := pr.flagRefOf(fn, def); r.kind {
+				case refObj, refParam, refTransferField, refNone, refAck:
+					return r
+				}
+			}
+			return flagRef{kind: refObj, key: pr.objKey(vr), name: v.Name}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[v]; ok && sel.Kind() == types.FieldVal {
+			if isTransferType(sel.Recv()) {
+				// A core.Transfer field read forwards someone else's
+				// flag rather than raising a new one — unless the
+				// transfer value is resolvable right here.
+				lit, param := pr.transferValOf(fn, v.X)
+				switch {
+				case lit != nil:
+					for _, el := range lit.Elts {
+						if kv, ok := el.(*ast.KeyValueExpr); ok {
+							if key, ok := kv.Key.(*ast.Ident); ok && key.Name == v.Sel.Name {
+								return pr.flagRefOf(fn, kv.Value)
+							}
+						}
+					}
+					return flagRef{kind: refNone} // absent field: zero value
+				case param >= 0:
+					return flagRef{kind: refTransferField, param: param, field: v.Sel.Name, name: pr.exprText(v)}
+				default:
+					return flagRef{kind: refNone} // genuine forward
+				}
+			}
+			return flagRef{kind: refObj, key: pr.objKey(sel.Obj()), name: pr.exprText(v)}
+		}
+		// Package-qualified variable (pkg.SomeFlag).
+		if vr, ok := info.Uses[v.Sel].(*types.Var); ok {
+			return flagRef{kind: refObj, key: pr.objKey(vr), name: pr.exprText(v)}
+		}
+	}
+	return flagRef{kind: refUnknown}
+}
+
+// ---------------------------------------------------------------------------
+// evalPoly: linear arithmetic over constants and the cell count.
+// ---------------------------------------------------------------------------
+
+func (pr *program) evalPoly(fn *fnode, e ast.Expr, depth int) poly {
+	if depth > 10 || e == nil {
+		return unknownPoly
+	}
+	e = ast.Unparen(e)
+	info := fn.unit.Info
+	if tv, ok := info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+		if v, ok := constant.Int64Val(tv.Value); ok {
+			return constPoly(v)
+		}
+		return unknownPoly
+	}
+	switch v := e.(type) {
+	case *ast.CallExpr:
+		if tv, ok := info.Types[v.Fun]; ok && tv.IsType() && len(v.Args) == 1 {
+			// Integer conversion: int64(x).
+			if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+				return pr.evalPoly(fn, v.Args[0], depth+1)
+			}
+			return unknownPoly
+		}
+		if callee := calleeOf(info, v); callee != nil && cellCountPrims[callee.FullName()] {
+			return poly{p: 1}
+		}
+		return unknownPoly
+	case *ast.Ident:
+		if vr, ok := info.ObjectOf(v).(*types.Var); ok {
+			if def, ok := fn.defs[vr]; ok && !fn.reassigned[vr] {
+				return pr.evalPoly(fn, def, depth+1)
+			}
+		}
+		return unknownPoly
+	case *ast.BinaryExpr:
+		a := pr.evalPoly(fn, v.X, depth+1)
+		b := pr.evalPoly(fn, v.Y, depth+1)
+		switch v.Op {
+		case token.ADD:
+			return a.add(b)
+		case token.SUB:
+			return a.sub(b)
+		case token.MUL:
+			return a.mul(b)
+		}
+		return unknownPoly
+	case *ast.UnaryExpr:
+		if v.Op == token.SUB {
+			return pr.evalPoly(fn, v.X, depth+1).neg()
+		}
+	}
+	return unknownPoly
+}
+
+// tripCount recognizes `for i := a; i < b; i++` (and <=) with linear
+// bounds.
+func (pr *program) tripCount(fn *fnode, v *ast.ForStmt) poly {
+	init, ok := v.Init.(*ast.AssignStmt)
+	if !ok || init.Tok != token.DEFINE || len(init.Lhs) != 1 || len(init.Rhs) != 1 {
+		return unknownPoly
+	}
+	iv, ok := init.Lhs[0].(*ast.Ident)
+	if !ok {
+		return unknownPoly
+	}
+	cond, ok := v.Cond.(*ast.BinaryExpr)
+	if !ok || (cond.Op != token.LSS && cond.Op != token.LEQ) {
+		return unknownPoly
+	}
+	cv, ok := ast.Unparen(cond.X).(*ast.Ident)
+	if !ok || cv.Name != iv.Name {
+		return unknownPoly
+	}
+	post, ok := v.Post.(*ast.IncDecStmt)
+	if !ok || post.Tok != token.INC {
+		return unknownPoly
+	}
+	pv, ok := ast.Unparen(post.X).(*ast.Ident)
+	if !ok || pv.Name != iv.Name {
+		return unknownPoly
+	}
+	a := pr.evalPoly(fn, init.Rhs[0], 0)
+	b := pr.evalPoly(fn, cond.Y, 0)
+	trip := b.sub(a)
+	if cond.Op == token.LEQ {
+		trip = trip.add(onePoly)
+	}
+	if trip.known() && trip.p == 0 && trip.c <= 0 {
+		return unknownPoly
+	}
+	return trip
+}
+
+// ---------------------------------------------------------------------------
+// Resolution: substitute callee summaries into callers.
+// ---------------------------------------------------------------------------
+
+func (pr *program) resolve(fn *fnode) *summary {
+	if fn.resolved != nil {
+		return fn.resolved
+	}
+	if fn.resolving {
+		return fn.sum // recursion: direct events only
+	}
+	fn.resolving = true
+	out := &summary{lossy: fn.sum.lossy}
+	out.raises = append(out.raises, fn.sum.raises...)
+	out.waits = append(out.waits, fn.sum.waits...)
+	out.ackRaise = append(out.ackRaise, fn.sum.ackRaise...)
+	out.ackWait = append(out.ackWait, fn.sum.ackWait...)
+	out.resets = append(out.resets, fn.sum.resets...)
+	for _, e := range fn.edges {
+		callee, ok := pr.funcs[e.callee]
+		if !ok {
+			continue
+		}
+		cs := pr.resolve(callee)
+		if cs.lossy {
+			out.lossy = true
+		}
+		for _, r := range cs.raises {
+			ref := pr.substRef(fn, e, r.ref)
+			switch ref.kind {
+			case refNone, refAck:
+				continue
+			case refUnknown:
+				out.lossy = true
+				continue
+			}
+			out.raises = append(out.raises, raiseEvent{
+				ref: ref, n: r.n.mul(e.mul), cond: r.cond || e.cond,
+				site: e.pos, prim: r.prim, verb: r.verb,
+			})
+		}
+		for _, w := range cs.waits {
+			ref := pr.substRef(fn, e, w.ref)
+			switch ref.kind {
+			case refNone, refUnknown:
+				continue
+			case refAck:
+				out.ackWait = append(out.ackWait, ackEvent{site: e.pos, prim: w.prim})
+				continue
+			}
+			target := w.target
+			if !e.mul.isOne() {
+				target = unknownPoly
+			}
+			out.waits = append(out.waits, waitEvent{ref: ref, target: target, cond: w.cond || e.cond, site: e.pos, prim: w.prim})
+		}
+		for _, a := range cs.ackRaise {
+			switch a.ref.kind {
+			case refNone:
+				out.ackRaise = append(out.ackRaise, ackEvent{site: e.pos, prim: a.prim})
+			case refTransferField:
+				if a.ref.param < len(e.args) {
+					if pr.transferFieldBool(fn, e.args[a.ref.param], "Ack") == trueConst {
+						out.ackRaise = append(out.ackRaise, ackEvent{site: e.pos, prim: a.prim})
+					}
+				}
+			}
+		}
+		for _, a := range cs.ackWait {
+			out.ackWait = append(out.ackWait, ackEvent{site: e.pos, prim: a.prim})
+		}
+		for _, r := range cs.resets {
+			ref := pr.substRef(fn, e, r.ref)
+			switch ref.kind {
+			case refNone, refAck:
+				continue
+			case refUnknown:
+				out.lossy = true
+				continue
+			}
+			out.resets = append(out.resets, raiseEvent{ref: ref, n: r.n.mul(e.mul), cond: r.cond || e.cond, site: e.pos, prim: r.prim, verb: "Reset"})
+		}
+	}
+	fn.resolving = false
+	fn.resolved = out
+	return out
+}
+
+// substRef maps a callee-level flag reference to the caller's frame.
+func (pr *program) substRef(fn *fnode, e edge, ref flagRef) flagRef {
+	switch ref.kind {
+	case refObj, refAck, refNone, refUnknown:
+		return ref
+	case refParam:
+		if ref.param >= len(e.args) {
+			return flagRef{kind: refUnknown}
+		}
+		return pr.flagRefOf(fn, e.args[ref.param])
+	case refTransferField:
+		if ref.param >= len(e.args) {
+			return flagRef{kind: refUnknown}
+		}
+		lit, param := pr.transferValOf(fn, e.args[ref.param])
+		switch {
+		case lit != nil:
+			for _, el := range lit.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					if key, ok := kv.Key.(*ast.Ident); ok && key.Name == ref.field {
+						return pr.flagRefOf(fn, kv.Value)
+					}
+				}
+			}
+			return flagRef{kind: refNone} // absent field: zero value
+		case param >= 0:
+			return flagRef{kind: refTransferField, param: param, field: ref.field, name: ref.name}
+		default:
+			return flagRef{kind: refUnknown}
+		}
+	}
+	return flagRef{kind: refUnknown}
+}
+
+// transferFieldBool reads a boolean field out of a Transfer argument.
+func (pr *program) transferFieldBool(fn *fnode, arg ast.Expr, field string) triBool {
+	lit, _ := pr.transferValOf(fn, arg)
+	if lit == nil {
+		return unknownConst
+	}
+	for _, el := range lit.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			if key, ok := kv.Key.(*ast.Ident); ok && key.Name == field {
+				return pr.constBool(fn, kv.Value)
+			}
+		}
+	}
+	return falseConst
+}
+
+// ---------------------------------------------------------------------------
+// May-block propagation (blockprop): a function blocks if it performs
+// a blocking primitive or synchronously calls one that does.
+// ---------------------------------------------------------------------------
+
+func (pr *program) propagateBlocking() {
+	for _, name := range pr.names {
+		fn := pr.funcs[name]
+		if len(fn.directBlocks) > 0 {
+			first := fn.directBlocks[0]
+			for _, b := range fn.directBlocks[1:] {
+				if b.pos < first.pos {
+					first = b
+				}
+			}
+			fn.blocks = &first
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, name := range pr.names {
+			fn := pr.funcs[name]
+			if fn.blocks != nil {
+				continue
+			}
+			for _, e := range fn.edges {
+				if e.inGo {
+					continue
+				}
+				callee, ok := pr.funcs[e.callee]
+				if !ok || callee.blocks == nil {
+					continue
+				}
+				fn.blocks = &blockSite{what: callee.blocks.what, pos: e.pos}
+				fn.blockVia = e.callee
+				changed = true
+				break
+			}
+		}
+	}
+}
+
+// blockChain renders the call chain from a function down to the
+// blocking primitive, e.g. "drainAll → helperWait → Flags.Wait".
+func (pr *program) blockChain(name string) string {
+	var parts []string
+	seen := map[string]bool{}
+	for name != "" && !seen[name] {
+		seen[name] = true
+		fn, ok := pr.funcs[name]
+		if !ok || fn.blocks == nil {
+			break
+		}
+		parts = append(parts, shortFuncName(name))
+		if fn.blockVia == "" {
+			parts = append(parts, fn.blocks.what)
+			break
+		}
+		name = fn.blockVia
+	}
+	return strings.Join(parts, " → ")
+}
+
+// shortFuncName strips package paths from a full function name:
+// "(*ap1000plus/internal/mc.Flags).Wait" → "Flags.Wait",
+// "ap1000plus/internal/vpp.helper" → "helper".
+func shortFuncName(full string) string {
+	if strings.HasPrefix(full, "(") {
+		inner := strings.TrimPrefix(strings.TrimPrefix(full, "("), "*")
+		if closeIdx := strings.Index(inner, ")"); closeIdx >= 0 {
+			recv, method := inner[:closeIdx], inner[closeIdx+1:]
+			if i := strings.LastIndex(recv, "."); i >= 0 {
+				recv = recv[i+1:]
+			}
+			return recv + method
+		}
+	}
+	if i := strings.LastIndex(full, "/"); i >= 0 {
+		full = full[i+1:]
+	}
+	if i := strings.Index(full, "."); i >= 0 {
+		return full[i+1:]
+	}
+	return full
+}
+
+// hasDirSuffix reports whether a unit's directory ends with the given
+// slash-separated path.
+func hasDirSuffix(u *load.Package, suffix string) bool {
+	return u.Dir == suffix || strings.HasSuffix(u.Dir, "/"+suffix)
+}

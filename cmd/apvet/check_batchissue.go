@@ -1,0 +1,59 @@
+package main
+
+// batchissue: the positional PutArgs/GetArgs wrappers exist only to
+// ease migration — new code states its transfer as a Transfer struct
+// (or stages it on a CommandList). And a CommandList opened with
+// Batch() but never Commit()ed issues nothing: the staged commands
+// silently evaporate. The Commit search stays package-scoped, so
+// helpers that open in one function and commit in another are clean.
+// Callees resolve through go/types: only core's real Batch/Commit
+// methods count, never a local function that shares the name.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+func (pr *program) checkBatchIssue() []Finding {
+	var out []Finding
+	for _, u := range pr.pkgs {
+		if !u.Analyzed || u.Path == corePkg || u.Path == corePkg+"_test" {
+			continue
+		}
+		var batchPos []token.Pos
+		committed := false
+		for _, f := range u.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeOf(u.Info, call)
+				if callee == nil {
+					return true
+				}
+				switch full := callee.FullName(); {
+				case deprecatedPrims[full]:
+					name := callee.Name()
+					out = append(out, pr.finding(call.Pos(), "batchissue",
+						fmt.Sprintf("deprecated positional %s; pass a Transfer to %s or stage it on a CommandList",
+							name, strings.TrimSuffix(name, "Args"))))
+				case full == batchOpenPrim:
+					batchPos = append(batchPos, call.Pos())
+				case full == batchCommitPrim:
+					committed = true
+				}
+				return true
+			})
+		}
+		if !committed {
+			for _, pos := range batchPos {
+				out = append(out, pr.finding(pos, "batchissue",
+					"Batch() without a Commit in this package (staged commands are never issued)"))
+			}
+		}
+	}
+	return out
+}

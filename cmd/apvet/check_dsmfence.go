@@ -1,0 +1,71 @@
+package main
+
+// dsmfence: a DSM remote store is non-blocking — it is acknowledged
+// (and its cache invalidations applied) only once Fence returns. A
+// Store to a shared address followed by a Load of the same address
+// with no Fence in between reads whatever happened to arrive first.
+// Receivers resolve through go/types: only *dsm.DSM methods match, so
+// a sync.Map's Store or an atomic's Load can never be confused with
+// the DSM API. Same-address comparison stays textual — exact aliasing
+// is undecidable and the textual match catches the idiomatic
+// store-then-reload bug.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+func (pr *program) checkDSMFence() []Finding {
+	var out []Finding
+	for _, u := range pr.pkgs {
+		if !u.Analyzed || hasDirSuffix(u, "internal/dsm") {
+			continue
+		}
+		for _, f := range u.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				// pending[receiver][address-expression] = position of
+				// the unfenced store.
+				pending := map[string]map[string]token.Pos{}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					callee := calleeOf(u.Info, call)
+					if callee == nil {
+						return true
+					}
+					sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					recv := pr.exprText(sel.X)
+					switch full := callee.FullName(); {
+					case dsmStorePrims[full] && len(call.Args) >= 1:
+						addr := pr.exprText(call.Args[0])
+						if pending[recv] == nil {
+							pending[recv] = map[string]token.Pos{}
+						}
+						pending[recv][addr] = call.Pos()
+					case full == dsmFencePrim:
+						delete(pending, recv)
+					case dsmLoadPrims[full] && len(call.Args) >= 1:
+						addr := pr.exprText(call.Args[0])
+						if _, unfenced := pending[recv][addr]; unfenced {
+							out = append(out, pr.finding(call.Pos(), "dsmfence",
+								fmt.Sprintf("%s.%s(%s, ...) after an unfenced %s.Store to the same address; call %s.Fence() between them",
+									recv, callee.Name(), addr, recv, recv)))
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,250 @@
+package main
+
+// flagbalance: flow-insensitive interprocedural flag counting. For
+// every flag object the analysis totals the SendFlag/RecvFlag
+// increments the program issues (loop-multiplied where the trip count
+// is a recognizable constant or cell-count expression) and compares
+// them against the WaitFlag thresholds. A wait above the total can
+// never be satisfied (deadlock); a wait below it unblocks while
+// transfers are still landing (race on the buffer's reuse).
+//
+// The verdict is only issued when the whole protocol for a flag is
+// visible from a single "top" function — one that no other function
+// with events on the same flag calls. Conditional raises, unknown
+// loop bounds, Flags.Reset phases and lossy summaries all downgrade
+// the flag to a skip, recorded in the balance table for inspection.
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// balanceInfo is one row of the balance table: what the analysis
+// concluded about one flag object, verdict or skip reason.
+type balanceInfo struct {
+	flag    string // display name
+	key     string
+	top     string // full name of the top function ("" if skipped earlier)
+	raises  string
+	waitMax string
+	verdict string // "balanced", "deadlock", "race", or "skip: <reason>"
+}
+
+func (pr *program) checkFlagBalance() ([]Finding, []balanceInfo) {
+	// Which functions have events on which flag objects.
+	involved := map[string]map[string]bool{} // key -> set of func full names
+	names := map[string]string{}             // key -> display name
+	note := func(key, name, fn string) {
+		if involved[key] == nil {
+			involved[key] = map[string]bool{}
+		}
+		involved[key][fn] = true
+		if names[key] == "" {
+			names[key] = name
+		}
+	}
+	for _, name := range pr.names {
+		fn := pr.funcs[name]
+		rs := pr.resolve(fn)
+		for _, r := range rs.raises {
+			if r.ref.kind == refObj {
+				note(r.ref.key, r.ref.name, name)
+			}
+		}
+		for _, w := range rs.waits {
+			if w.ref.kind == refObj {
+				note(w.ref.key, w.ref.name, name)
+			}
+		}
+		for _, r := range rs.resets {
+			if r.ref.kind == refObj {
+				note(r.ref.key, r.ref.name, name)
+			}
+		}
+	}
+
+	// Transitive reachability over call edges, memoized.
+	reach := map[string]map[string]bool{}
+	var reachable func(string) map[string]bool
+	reachable = func(name string) map[string]bool {
+		if r, ok := reach[name]; ok {
+			return r
+		}
+		r := map[string]bool{}
+		reach[name] = r // break cycles: partial set during DFS
+		fn := pr.funcs[name]
+		if fn == nil {
+			return r
+		}
+		for _, e := range fn.edges {
+			if r[e.callee] {
+				continue
+			}
+			r[e.callee] = true
+			for sub := range reachable(e.callee) {
+				r[sub] = true
+			}
+		}
+		return r
+	}
+
+	var out []Finding
+	var infos []balanceInfo
+	var keys []string
+	for key := range involved {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		info := balanceInfo{flag: names[key], key: key}
+		var funcs []string
+		for f := range involved[key] {
+			funcs = append(funcs, f)
+		}
+		sort.Strings(funcs)
+		var tops []string
+		for _, f := range funcs {
+			isTop := true
+			for _, g := range funcs {
+				if g != f && reachable(g)[f] {
+					isTop = false
+					break
+				}
+			}
+			if isTop {
+				tops = append(tops, f)
+			}
+		}
+		if len(tops) != 1 {
+			info.verdict = fmt.Sprintf("skip: %d top functions share the flag", len(tops))
+			infos = append(infos, info)
+			continue
+		}
+		top := tops[0]
+		info.top = top
+		rs := pr.resolve(pr.funcs[top])
+		if rs.lossy {
+			info.verdict = "skip: lossy summary (an untracked raise reaches this scope)"
+			infos = append(infos, info)
+			continue
+		}
+		reset := false
+		for _, r := range rs.resets {
+			if r.ref.kind == refObj && r.ref.key == key {
+				reset = true
+				break
+			}
+		}
+		if reset {
+			info.verdict = "skip: Flags.Reset splits the count into phases"
+			infos = append(infos, info)
+			continue
+		}
+
+		// Total the raises.
+		total := poly{}
+		nRaises, unknownCount, condRaise := 0, 0, false
+		for _, r := range rs.raises {
+			if r.ref.kind != refObj || r.ref.key != key {
+				continue
+			}
+			nRaises++
+			if r.cond {
+				condRaise = true
+			}
+			if r.n.unk {
+				unknownCount++
+			} else {
+				total = total.add(r.n)
+			}
+		}
+		if nRaises == 0 {
+			info.verdict = "skip: no raises in scope (flagwait territory)"
+			infos = append(infos, info)
+			continue
+		}
+		if unknownCount > 0 {
+			info.raises = fmt.Sprintf("unknown ×%d", unknownCount)
+			if !total.isZero() {
+				info.raises = fmt.Sprintf("%s + unknown ×%d", total, unknownCount)
+			}
+			info.verdict = "skip: unrecognized loop bound"
+			infos = append(infos, info)
+			continue
+		}
+		info.raises = total.String()
+		if condRaise {
+			info.verdict = "skip: conditional raise"
+			infos = append(infos, info)
+			continue
+		}
+
+		// Find the strongest wait.
+		var wmax poly
+		var wpos token.Pos
+		haveWait, condWait, unkWait := false, false, false
+		for _, w := range rs.waits {
+			if w.ref.kind != refObj || w.ref.key != key {
+				continue
+			}
+			if w.cond {
+				condWait = true
+			}
+			if w.target.unk {
+				unkWait = true
+				continue
+			}
+			if !haveWait || w.target.eval(4096) > wmax.eval(4096) {
+				wmax, wpos = w.target, w.prim
+				if !pr.analyzedPos(wpos) {
+					wpos = w.site
+				}
+			}
+			haveWait = true
+		}
+		switch {
+		case unkWait:
+			info.verdict = "skip: unrecognized wait target"
+		case condWait:
+			info.verdict = "skip: conditional wait"
+		case !haveWait:
+			info.verdict = "skip: no wait in scope (flagwait territory)"
+		}
+		if info.verdict != "" {
+			infos = append(infos, info)
+			continue
+		}
+		info.waitMax = wmax.String()
+
+		// Compare at two cell counts so P-linear terms are ordered
+		// consistently; a crossover means the sign depends on the
+		// machine size and no static verdict holds.
+		d2 := wmax.eval(2) - total.eval(2)
+		d4096 := wmax.eval(4096) - total.eval(4096)
+		switch {
+		case d2 == 0 && d4096 == 0:
+			info.verdict = "balanced"
+		case d2 > 0 && d4096 > 0:
+			info.verdict = "deadlock"
+			if pr.analyzedPos(wpos) {
+				out = append(out, pr.finding(wpos, "flagbalance",
+					fmt.Sprintf("wait on flag %q for %s but only %s raises are issued (deadlock: the wait can never be satisfied)",
+						info.flag, info.waitMax, info.raises)))
+			}
+		case d2 < 0 && d4096 < 0:
+			info.verdict = "race"
+			if pr.analyzedPos(wpos) {
+				out = append(out, pr.finding(wpos, "flagbalance",
+					fmt.Sprintf("wait on flag %q for %s but %s raises are issued (race: transfers still land after the wait unblocks)",
+						info.flag, info.waitMax, info.raises)))
+			}
+		default:
+			info.verdict = "skip: balance depends on the cell count"
+		}
+		infos = append(infos, info)
+	}
+	return out, infos
+}
+
+func (a poly) isZero() bool { return !a.unk && a.c == 0 && a.p == 0 }

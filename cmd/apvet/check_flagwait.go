@@ -1,0 +1,119 @@
+package main
+
+// flagwait: a PUT/GET flag that nobody ever waits on is a silent
+// race — the paper's synchronization story is "flag rises when the
+// DMA completes, reader waits on the flag". With the call graph the
+// check is object-global: a raise on flag object O is clean if any
+// function in the loaded program waits on O, including waits reached
+// through helper-function parameters. Flags forwarded out of a
+// core.Transfer value are the forwarding layer's pass-through, not a
+// new raise, and never fire here — but same-named fields of other
+// struct types do.
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+func (pr *program) checkFlagWait() []Finding {
+	// Every flag object somebody waits on, program-wide.
+	waited := map[string]bool{}
+	for _, name := range pr.names {
+		for _, w := range pr.resolve(pr.funcs[name]).waits {
+			if w.ref.kind == refObj {
+				waited[w.ref.key] = true
+			}
+		}
+	}
+
+	// Raises appear in the resolved summary of every (transitive)
+	// caller; dedupe by the primitive call position and keep the best
+	// reporting site: the primitive itself if it is in an analyzed
+	// file, else the outermost analyzed call site.
+	type raiseSite struct {
+		pos  token.Pos
+		verb string
+		name string
+	}
+	best := map[string]map[token.Pos]raiseSite{} // key -> prim -> site
+	for _, name := range pr.names {
+		for _, r := range pr.resolve(pr.funcs[name]).raises {
+			if r.ref.kind != refObj || waited[r.ref.key] {
+				continue
+			}
+			rep := token.NoPos
+			switch {
+			case pr.analyzedPos(r.prim):
+				rep = r.prim
+			case pr.analyzedPos(r.site):
+				rep = r.site
+			default:
+				continue
+			}
+			m := best[r.ref.key]
+			if m == nil {
+				m = map[token.Pos]raiseSite{}
+				best[r.ref.key] = m
+			}
+			if cur, ok := m[r.prim]; !ok || rep < cur.pos {
+				m[r.prim] = raiseSite{pos: rep, verb: r.verb, name: r.ref.name}
+			}
+		}
+	}
+
+	var out []Finding
+	var keys []string
+	for key := range best {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		var prims []token.Pos
+		for prim := range best[key] {
+			prims = append(prims, prim)
+		}
+		sort.Slice(prims, func(i, j int) bool { return prims[i] < prims[j] })
+		for _, prim := range prims {
+			s := best[key][prim]
+			out = append(out, pr.finding(s.pos, "flagwait",
+				fmt.Sprintf("%s raises flag %q but no WaitFlag/Wait on %q exists anywhere in the program (unsynchronized transfer)",
+					s.verb, s.name, s.name)))
+		}
+	}
+
+	// The acknowledgement side stays package-scoped and uses direct
+	// events only: an ack=true PUT needs an AckWait in its package.
+	ackRaises := map[string][]token.Pos{} // unit path -> sites
+	ackWaited := map[string]bool{}
+	for _, name := range pr.names {
+		fn := pr.funcs[name]
+		if !fn.unit.Analyzed {
+			continue
+		}
+		for _, a := range fn.sum.ackRaise {
+			if a.ref.kind == refNone {
+				ackRaises[fn.unit.Path] = append(ackRaises[fn.unit.Path], a.site)
+			}
+		}
+		if len(fn.sum.ackWait) > 0 {
+			ackWaited[fn.unit.Path] = true
+		}
+	}
+	var paths []string
+	for path := range ackRaises {
+		if !ackWaited[path] {
+			paths = append(paths, path)
+		}
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		sites := ackRaises[path]
+		sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+		for _, pos := range sites {
+			out = append(out, pr.finding(pos, "flagwait",
+				"PUT with ack=true but no AckWait in this package (acknowledgements accumulate unconsumed)"))
+		}
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package main
+
+// handlerblock / blockprop: T-net delivery is synchronous — tnet.Send
+// runs the destination cell's receive handler on the *sender's*
+// controller goroutine. A handler that blocks (flag wait, p-bit creg
+// load, barrier, channel receive) stalls a foreign controller and can
+// deadlock the whole machine. handlerblock reports blocking
+// primitives called directly in a handler body; blockprop propagates
+// a may-block bit through the call graph and reports handlers that
+// block through helper functions, with the witness chain.
+
+import (
+	"fmt"
+)
+
+var handlerDirs = []string{
+	"internal/machine", "internal/sendrecv", "internal/tnet", "internal/bnet",
+}
+
+// handlerNames are the functions that execute on a controller
+// goroutine during delivery.
+var handlerNames = map[string]bool{
+	"receive": true, "receiveBroadcast": true, "sink": true,
+	"deliver": true, "deliverCreg": true, "completeLoad": true,
+	"process": true, "sendData": true, "reply": true, "loadReply": true,
+}
+
+func (pr *program) checkHandlerBlock() []Finding {
+	var out []Finding
+	for _, name := range pr.names {
+		fn := pr.funcs[name]
+		if !fn.unit.Analyzed || !handlerNames[fn.obj.Name()] {
+			continue
+		}
+		inScope := false
+		for _, dir := range handlerDirs {
+			if hasDirSuffix(fn.unit, dir) {
+				inScope = true
+				break
+			}
+		}
+		if !inScope {
+			continue
+		}
+		for _, b := range fn.directBlocks {
+			msg := fmt.Sprintf("blocking call %s inside handler %s (runs on a foreign controller goroutine; post work instead)",
+				b.what, fn.obj.Name())
+			if b.what == "channel receive" {
+				msg = fmt.Sprintf("channel receive inside handler %s (runs on a foreign controller goroutine; must not block)",
+					fn.obj.Name())
+			}
+			out = append(out, pr.finding(b.pos, "handlerblock", msg))
+		}
+		// Helper-mediated blocking: every synchronous call into a
+		// may-block function. Calls to other handlers are skipped —
+		// the callee gets its own findings.
+		for _, e := range fn.edges {
+			if e.inGo {
+				continue
+			}
+			callee, ok := pr.funcs[e.callee]
+			if !ok || callee.blocks == nil || handlerNames[callee.obj.Name()] {
+				continue
+			}
+			out = append(out, pr.finding(e.pos, "blockprop",
+				fmt.Sprintf("handler %s may block via %s → %s; handlers must not block",
+					fn.obj.Name(), shortFuncName(fn.full), pr.blockChain(e.callee))))
+		}
+	}
+	return out
+}

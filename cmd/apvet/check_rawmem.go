@@ -1,0 +1,56 @@
+package main
+
+// rawmem: simulated DRAM may only be touched by the machine's own
+// DMA/delivery engines. Application code going through mem.Copy,
+// mem.CopyStride, mem.CapturePayload or Payload.Deliver bypasses the
+// MSC+ command queues — and with them the sanitizer, the timing model
+// and the trace — so the write is invisible to every tool downstream.
+// Callees resolve through go/types, so a local function named Copy or
+// Deliver never matches.
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+var rawMemAllow = []string{
+	"internal/mem",      // defines the primitives
+	"internal/machine",  // the MSC+/MC engines themselves
+	"internal/dsm",      // page-transfer engine
+	"internal/sendrecv", // message-buffer delivery engine
+}
+
+func (pr *program) checkRawMem() []Finding {
+	var out []Finding
+	for _, u := range pr.pkgs {
+		if !u.Analyzed {
+			continue
+		}
+		allowed := false
+		for _, dir := range rawMemAllow {
+			if hasDirSuffix(u, dir) {
+				allowed = true
+				break
+			}
+		}
+		if allowed {
+			continue
+		}
+		for _, f := range u.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := calleeOf(u.Info, call); callee != nil {
+					if name, hit := rawMemPrims[callee.FullName()]; hit {
+						out = append(out, pr.finding(call.Pos(), "rawmem",
+							fmt.Sprintf("%s bypasses the MSC+ command queues; issue a PUT/GET/SEND instead", name)))
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}

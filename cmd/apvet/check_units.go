@@ -1,0 +1,78 @@
+package main
+
+// units: event.Time is integer nanoseconds; the machine parameter
+// files (internal/params) are float64 microseconds, as in the paper's
+// tables. A direct event.Time(x) conversion of a float-valued
+// expression loses the thousandfold scale silently; the sanctioned
+// conversion is event.Microseconds. Under go/types the evidence is
+// exact: any float-typed subexpression inside the conversion argument
+// fires. The event package itself — which defines the sanctioned
+// conversion — is exempt.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"ap1000plus/cmd/apvet/internal/load"
+)
+
+func (pr *program) checkUnits() []Finding {
+	var out []Finding
+	for _, u := range pr.pkgs {
+		if !u.Analyzed || u.Path == eventPkg || u.Path == eventPkg+"_test" {
+			continue
+		}
+		for _, f := range u.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) != 1 {
+					return true
+				}
+				tv, ok := u.Info.Types[call.Fun]
+				if !ok || !tv.IsType() {
+					return true
+				}
+				named, ok := tv.Type.(*types.Named)
+				if !ok {
+					return true
+				}
+				obj := named.Obj()
+				if obj.Name() != "Time" || obj.Pkg() == nil || obj.Pkg().Path() != eventPkg {
+					return true
+				}
+				if why := pr.floatEvidence(u, call.Args[0]); why != "" {
+					out = append(out, pr.finding(call.Pos(), "units",
+						fmt.Sprintf("event.Time(...) of %s mixes microsecond parameters into nanosecond time; use event.Microseconds", why)))
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// floatEvidence returns a description of the outermost float-typed
+// subexpression of e, or "" if everything is integral.
+func (pr *program) floatEvidence(u *load.Package, e ast.Expr) string {
+	why := ""
+	ast.Inspect(e, func(n ast.Node) bool {
+		if why != "" {
+			return false
+		}
+		expr, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		tv, ok := u.Info.Types[expr]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+			why = fmt.Sprintf("float expression %s", pr.exprText(expr))
+			return false
+		}
+		return true
+	})
+	return why
+}

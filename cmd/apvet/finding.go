@@ -1,0 +1,170 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"io"
+	"sort"
+	"strings"
+
+	"ap1000plus/cmd/apvet/internal/load"
+)
+
+// Finding is one diagnostic. Suppressed findings stay in the list
+// (and in -json output) so pragma use remains auditable; they just
+// don't fail the run.
+type Finding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Check      string `json:"check"`
+	Msg        string `json:"msg"`
+	Suppressed bool   `json:"suppressed,omitempty"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+func (f Finding) String() string {
+	s := fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Check, f.Msg)
+	if f.Suppressed {
+		s += fmt.Sprintf(" (suppressed: %s)", f.Reason)
+	}
+	return s
+}
+
+// pragma is one //apvet:ignore directive.
+type pragma struct {
+	check  string
+	reason string
+	line   int
+	file   string
+	used   bool
+}
+
+const pragmaPrefix = "//apvet:ignore"
+
+// collectPragmas walks the comments of every analyzed file and
+// indexes //apvet:ignore directives by file and line. A directive
+// suppresses matching findings on its own line and on the line
+// directly below (the comment-above-the-statement style).
+func collectPragmas(fset *token.FileSet, pkgs []*load.Package) map[string][]*pragma {
+	out := map[string][]*pragma{}
+	for _, u := range pkgs {
+		if !u.Analyzed {
+			continue
+		}
+		for _, f := range u.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(c.Text)
+					if !strings.HasPrefix(text, pragmaPrefix) {
+						continue
+					}
+					rest := strings.TrimSpace(strings.TrimPrefix(text, pragmaPrefix))
+					check, reason, _ := strings.Cut(rest, " ")
+					pos := fset.Position(c.Pos())
+					out[pos.Filename] = append(out[pos.Filename], &pragma{
+						check:  check,
+						reason: strings.TrimSpace(reason),
+						line:   pos.Line,
+						file:   pos.Filename,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// applyPragmas marks findings covered by an ignore directive as
+// suppressed and reports directives that are malformed (no reason) or
+// unused. It returns the final finding list, sorted.
+func applyPragmas(findings []Finding, pragmas map[string][]*pragma) []Finding {
+	for i := range findings {
+		f := &findings[i]
+		for _, p := range pragmas[f.File] {
+			if p.check != f.Check {
+				continue
+			}
+			if p.line != f.Line && p.line != f.Line-1 {
+				continue
+			}
+			p.used = true
+			if p.reason == "" {
+				continue // a reasonless pragma never suppresses
+			}
+			f.Suppressed = true
+			f.Reason = p.reason
+		}
+	}
+	var files []string
+	for file := range pragmas {
+		files = append(files, file)
+	}
+	sort.Strings(files)
+	for _, file := range files {
+		for _, p := range pragmas[file] {
+			if p.reason == "" {
+				findings = append(findings, Finding{
+					File: p.file, Line: p.line, Col: 1, Check: "pragma",
+					Msg: fmt.Sprintf("apvet:ignore %s has no reason; suppressions must be justified", p.check),
+				})
+			} else if !p.used {
+				findings = append(findings, Finding{
+					File: p.file, Line: p.line, Col: 1, Check: "pragma",
+					Msg: fmt.Sprintf("apvet:ignore %s matches no finding; remove the stale pragma", p.check),
+				})
+			}
+		}
+	}
+	sortFindings(findings)
+	return findings
+}
+
+// sortFindings orders findings deterministically: file, line, column,
+// check, message.
+func sortFindings(findings []Finding) {
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Msg < b.Msg
+	})
+}
+
+// writeJSON emits the deterministic machine-readable report.
+func writeJSON(w io.Writer, findings []Finding) error {
+	if findings == nil {
+		findings = []Finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(findings)
+}
+
+// finding builds a Finding at a token position.
+func (pr *program) finding(pos token.Pos, check, msg string) Finding {
+	p := pr.fset.Position(pos)
+	return Finding{File: p.Filename, Line: p.Line, Col: p.Column, Check: check, Msg: msg}
+}
+
+// fileOf returns the *ast.File of an analyzed unit containing pos.
+func fileOf(fset *token.FileSet, u *load.Package, pos token.Pos) *ast.File {
+	for _, f := range u.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,380 @@
+// Package load is apvet's typed loader: it expands package patterns,
+// parses every package in the scan set (optionally including _test.go
+// files), and typechecks them with go/types — stdlib-only, using the
+// source importer for standard-library dependencies and loading
+// module-internal imports straight from the repository tree, so the
+// checker resolves callees by object identity instead of bare names.
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build/constraint"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one typechecked unit: a package in the scan set
+// (Analyzed) or a module-internal dependency pulled in by an import.
+// Analyzed units include in-package _test.go files when requested;
+// external test packages (package foo_test) become their own unit.
+type Package struct {
+	// Dir is the package directory as given on the command line
+	// (slash-separated), or the module-relative directory for
+	// dependency units.
+	Dir string
+	// Path is the import path ("ap1000plus/internal/core"); external
+	// test packages carry the "_test" suffix Go gives them.
+	Path string
+	// Pkg and Info hold the type-checked package and its resolution
+	// maps (Uses, Defs, Selections, Types).
+	Pkg  *types.Package
+	Info *types.Info
+	// Files are the parsed source files of the unit.
+	Files []*ast.File
+	// Analyzed marks packages named by the command-line patterns;
+	// findings are only reported for these. Dependency units exist so
+	// the call graph has bodies for helper functions.
+	Analyzed bool
+	// Test marks an external _test package.
+	Test bool
+}
+
+// Result is a loaded program slice.
+type Result struct {
+	Fset       *token.FileSet
+	Pkgs       []*Package
+	ModulePath string
+	ModuleRoot string
+}
+
+// Load expands the patterns (relative to the current directory),
+// locates the enclosing module, and typechecks every matched package.
+// With tests set, _test.go files are included: in-package test files
+// join their package's unit and external test packages get a unit of
+// their own.
+func Load(patterns []string, tests bool) (*Result, error) {
+	modRoot, modPath, err := findModule(".")
+	if err != nil {
+		return nil, err
+	}
+	var dirs []string
+	for _, pat := range patterns {
+		expanded, err := Expand(pat)
+		if err != nil {
+			return nil, err
+		}
+		dirs = append(dirs, expanded...)
+	}
+	fset := token.NewFileSet()
+	im := &moduleImporter{
+		fset:    fset,
+		modPath: modPath,
+		modRoot: modRoot,
+		std:     importer.ForCompiler(fset, "source", nil),
+		cache:   map[string]*Package{},
+		loading: map[string]bool{},
+	}
+	res := &Result{Fset: fset, ModulePath: modPath, ModuleRoot: modRoot}
+	for _, dir := range dirs {
+		units, err := loadDir(fset, im, dir, tests)
+		if err != nil {
+			return nil, err
+		}
+		res.Pkgs = append(res.Pkgs, units...)
+	}
+	// Module-internal dependencies that were typechecked along the
+	// way ride along un-analyzed, so callers can summarize helper
+	// bodies outside the scan set.
+	seen := map[string]bool{}
+	for _, p := range res.Pkgs {
+		seen[p.Path] = true
+	}
+	var deps []string
+	for path := range im.cache {
+		if !seen[path] {
+			deps = append(deps, path)
+		}
+	}
+	sort.Strings(deps)
+	for _, path := range deps {
+		res.Pkgs = append(res.Pkgs, im.cache[path])
+	}
+	return res, nil
+}
+
+// Expand resolves a package pattern to directories: "dir/..." walks,
+// anything else is taken literally. testdata and hidden directories
+// are skipped, as the go tool does.
+func Expand(pattern string) ([]string, error) {
+	root, recursive := pattern, false
+	if strings.HasSuffix(pattern, "/...") {
+		root, recursive = strings.TrimSuffix(pattern, "/..."), true
+	}
+	if root == "" {
+		root = "."
+	}
+	if !recursive {
+		return []string{root}, nil
+	}
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	return dirs, err
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns
+// the module root directory and module path.
+func findModule(dir string) (root, path string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(abs, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return abs, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("load: no module line in %s/go.mod", abs)
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", "", fmt.Errorf("load: no go.mod above %s", dir)
+		}
+		abs = parent
+	}
+}
+
+// newInfo returns a fully populated types.Info.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// parseDir parses the .go files of one directory into three groups:
+// the primary package files, its in-package test files, and external
+// (package foo_test) test files.
+func parseDir(fset *token.FileSet, dir string) (prim, primTest, extTest []*ast.File, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	// The primary package name is the majority name among non-test
+	// files (directories hold at most one non-test package).
+	primName := ""
+	var files []*ast.File
+	var kept []string
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if !buildOK(f) {
+			continue
+		}
+		files = append(files, f)
+		kept = append(kept, name)
+		if !strings.HasSuffix(name, "_test.go") && primName == "" {
+			primName = f.Name.Name
+		}
+	}
+	for i, name := range kept {
+		f := files[i]
+		switch {
+		case !strings.HasSuffix(name, "_test.go"):
+			prim = append(prim, f)
+		case primName != "" && f.Name.Name == primName:
+			primTest = append(primTest, f)
+		default:
+			extTest = append(extTest, f)
+		}
+	}
+	return prim, primTest, extTest, nil
+}
+
+// buildOK evaluates a file's //go:build (or legacy +build) constraint
+// against the default tag set: the current GOOS/GOARCH and go1.*
+// release tags are true, custom tags like "race" are false.
+func buildOK(f *ast.File) bool {
+	sat := func(tag string) bool {
+		return tag == runtime.GOOS || tag == runtime.GOARCH || strings.HasPrefix(tag, "go1")
+	}
+	for _, cg := range f.Comments {
+		if cg.Pos() > f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if constraint.IsGoBuild(c.Text) || constraint.IsPlusBuild(c.Text) {
+				expr, err := constraint.Parse(c.Text)
+				if err != nil {
+					continue
+				}
+				if !expr.Eval(sat) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// loadDir typechecks one scan-set directory into its analyzed units.
+func loadDir(fset *token.FileSet, im *moduleImporter, dir string, tests bool) ([]*Package, error) {
+	prim, primTest, extTest, err := parseDir(fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	path := im.pathFor(dir)
+	var units []*Package
+	if len(prim) > 0 || (tests && len(primTest) > 0) {
+		files := prim
+		if tests {
+			files = append(append([]*ast.File{}, prim...), primTest...)
+		}
+		u, err := im.check(path, dir, files)
+		if err != nil {
+			return nil, err
+		}
+		u.Analyzed = true
+		units = append(units, u)
+	}
+	if tests && len(extTest) > 0 {
+		u, err := im.check(path+"_test", dir, extTest)
+		if err != nil {
+			return nil, err
+		}
+		u.Analyzed = true
+		u.Test = true
+		units = append(units, u)
+	}
+	return units, nil
+}
+
+// moduleImporter resolves module-internal imports from the source
+// tree and everything else through the stdlib source importer. It
+// caches module packages so shared dependencies typecheck once.
+type moduleImporter struct {
+	fset             *token.FileSet
+	modPath, modRoot string
+	std              types.Importer
+	cache            map[string]*Package
+	loading          map[string]bool
+}
+
+// pathFor maps a scan directory to its import path. Directories
+// outside the module (testdata fixtures run by tests) synthesize a
+// path from the directory name.
+func (im *moduleImporter) pathFor(dir string) string {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return dir
+	}
+	rel, err := filepath.Rel(im.modRoot, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return dir
+	}
+	rel = filepath.ToSlash(rel)
+	if rel == "." {
+		return im.modPath
+	}
+	return im.modPath + "/" + rel
+}
+
+// check typechecks one set of files as a package.
+func (im *moduleImporter) check(path, dir string, files []*ast.File) (*Package, error) {
+	info := newInfo()
+	var errs []error
+	cfg := types.Config{
+		Importer: im,
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	pkg, _ := cfg.Check(path, im.fset, files, info)
+	if len(errs) > 0 {
+		if len(errs) > 5 {
+			errs = errs[:5]
+		}
+		msgs := make([]string, len(errs))
+		for i, e := range errs {
+			msgs[i] = e.Error()
+		}
+		return nil, fmt.Errorf("load: typecheck %s:\n\t%s", path, strings.Join(msgs, "\n\t"))
+	}
+	return &Package{Dir: filepath.ToSlash(filepath.Clean(dir)), Path: path, Pkg: pkg, Info: info, Files: files}, nil
+}
+
+// Import implements types.Importer.
+func (im *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == im.modPath || strings.HasPrefix(path, im.modPath+"/") {
+		u, err := im.importModule(path)
+		if err != nil {
+			return nil, err
+		}
+		return u.Pkg, nil
+	}
+	return im.std.Import(path)
+}
+
+// importModule typechecks a module-internal package (non-test files
+// only) from its source directory.
+func (im *moduleImporter) importModule(path string) (*Package, error) {
+	if u, ok := im.cache[path]; ok {
+		return u, nil
+	}
+	if im.loading[path] {
+		return nil, fmt.Errorf("load: import cycle through %s", path)
+	}
+	im.loading[path] = true
+	defer delete(im.loading, path)
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, im.modPath), "/")
+	dir := filepath.Join(im.modRoot, filepath.FromSlash(rel))
+	prim, _, _, err := parseDir(im.fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(prim) == 0 {
+		return nil, fmt.Errorf("load: no Go files in %s", dir)
+	}
+	u, err := im.check(path, dir, prim)
+	if err != nil {
+		return nil, err
+	}
+	im.cache[path] = u
+	return u, nil
+}

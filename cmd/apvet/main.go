@@ -1,178 +1,119 @@
 // Command apvet is a static checker for AP1000+ simulator code: it
 // enforces the communication discipline the machine cannot check at
-// compile time. Stdlib-only (go/parser + go/ast); no type
-// information is needed because the rules are about the shape of the
-// code, not its types.
+// compile time. Stdlib-only, but type-aware: packages are typechecked
+// with go/types (standard-library imports resolve through the source
+// importer, module-internal imports straight from the tree), callees
+// resolve by object identity rather than bare name, and an
+// intra-module call graph carries flag identities and a may-block bit
+// across function boundaries. _test.go files are scanned by default —
+// chaos and property tests issue real PUTs too.
 //
 // Checks:
 //
 //   - rawmem: application code must not touch simulated DRAM behind
 //     the MSC+'s back (mem.Copy / mem.CopyStride / mem.CapturePayload
-//     / payload.Deliver) — only the machine's own engines may.
-//   - flagwait: every Put/Get flag argument must have a matching
-//     flag wait somewhere in the package, and every ack=true PUT an
-//     AckWait; a flag nobody waits on is a silent race.
+//     / Payload.Deliver) — only the machine's own engines may.
+//   - flagwait: every PUT/GET flag must have a matching flag wait
+//     somewhere in the program — through helper parameters and
+//     wrapper functions included — and every ack=true PUT an AckWait
+//     in its package; a flag nobody waits on is a silent race.
+//   - flagbalance: interprocedural flag counting — the total
+//     SendFlag/RecvFlag increments issued for a flag (with constant
+//     and cell-count loop multipliers) must match the WaitFlag
+//     threshold; wait > raises deadlocks, wait < raises races.
 //   - handlerblock: receive/delivery handlers run on another cell's
 //     controller goroutine and must never block (no flag waits,
 //     p-bit loads, barriers, or channel receives).
+//   - blockprop: the may-block bit propagated through the call graph;
+//     catches handlers that block via helper functions, with the
+//     witness chain in the message.
 //   - units: event.Time is integer nanoseconds while machine
-//     parameters are float64 microseconds; a direct event.Time(x)
-//     conversion of a parameter-like value must go through
+//     parameters are float64 microseconds; converting a float-typed
+//     expression with event.Time(x) must go through
 //     event.Microseconds instead.
 //   - batchissue: no new uses of the deprecated positional
-//     PutArgs/GetArgs wrappers (state the transfer as a Transfer
-//     struct, or batch it on a CommandList), and no Batch() whose
-//     package never calls Commit (staged commands are silently
-//     dropped).
+//     PutArgs/GetArgs wrappers, and no Batch() whose package never
+//     calls Commit (staged commands are silently dropped).
 //   - dsmfence: DSM remote stores are non-blocking; a Store to a
 //     shared address followed by a Load of the same address without
 //     an intervening Fence on that DSM races the store's delivery.
 //
+// A finding can be suppressed with a pragma on the same line or the
+// line above:
+//
+//	//apvet:ignore <check> <reason>
+//
+// The reason is mandatory — a reasonless pragma is itself a finding —
+// and suppressed findings still appear in the output (and in -json)
+// marked suppressed, so the suppression stays auditable.
+//
 // Usage:
 //
-//	go run ./cmd/apvet ./...
+//	go run ./cmd/apvet [-json] [-tests=false] ./...
 //
-// Exits 0 when the tree is clean, 1 when any check fires.
+// Exits 0 when the tree is clean (suppressed findings allowed), 1
+// when any unsuppressed finding fires, 2 on load errors.
 package main
 
 import (
+	"flag"
 	"fmt"
-	"go/ast"
-	"go/parser"
-	"go/token"
-	"io/fs"
 	"os"
-	"path/filepath"
-	"sort"
-	"strings"
+
+	"ap1000plus/cmd/apvet/internal/load"
 )
 
-// Finding is one rule violation.
-type Finding struct {
-	Pos   token.Position
-	Check string
-	Msg   string
-}
-
-func (f Finding) String() string {
-	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Check, f.Msg)
-}
-
-// pkg is one parsed directory of non-test Go files.
-type pkg struct {
-	dir   string // slash-separated, relative to the scan root
-	fset  *token.FileSet
-	files []*ast.File
-}
-
 func main() {
-	args := os.Args[1:]
-	if len(args) == 0 {
-		args = []string{"./..."}
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array (deterministic order)")
+	tests := flag.Bool("tests", true, "scan _test.go files too")
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
 	}
-	var dirs []string
-	for _, a := range args {
-		expanded, err := expand(a)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "apvet:", err)
-			os.Exit(2)
-		}
-		dirs = append(dirs, expanded...)
-	}
-	pkgs, err := parseDirs(dirs)
+	findings, err := run(patterns, *tests)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "apvet:", err)
 		os.Exit(2)
 	}
-	findings := Check(pkgs)
-	for _, f := range findings {
-		fmt.Println(f)
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "apvet:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "apvet: %d problem(s)\n", len(findings))
+	live := 0
+	for _, f := range findings {
+		if !f.Suppressed {
+			live++
+		}
+	}
+	if live > 0 {
+		fmt.Fprintf(os.Stderr, "apvet: %d problem(s)\n", live)
 		os.Exit(1)
 	}
 }
 
-// expand resolves a package pattern to directories: "dir/..." walks,
-// anything else is taken literally. testdata and hidden directories
-// are skipped, as the go tool does.
-func expand(pattern string) ([]string, error) {
-	root, recursive := pattern, false
-	if strings.HasSuffix(pattern, "/...") {
-		root, recursive = strings.TrimSuffix(pattern, "/..."), true
+// run loads the patterns, builds the typed program, and applies every
+// analyzer. The returned findings are sorted and pragma-annotated.
+func run(patterns []string, tests bool) ([]Finding, error) {
+	res, err := load.Load(patterns, tests)
+	if err != nil {
+		return nil, err
 	}
-	if root == "" {
-		root = "."
-	}
-	if !recursive {
-		return []string{root}, nil
-	}
-	var dirs []string
-	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if !d.IsDir() {
-			return nil
-		}
-		name := d.Name()
-		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
-			return filepath.SkipDir
-		}
-		dirs = append(dirs, path)
-		return nil
-	})
-	return dirs, err
-}
-
-// parseDirs parses every non-test .go file of each directory.
-// Directories without Go files are dropped.
-func parseDirs(dirs []string) ([]*pkg, error) {
-	var pkgs []*pkg
-	for _, dir := range dirs {
-		entries, err := os.ReadDir(dir)
-		if err != nil {
-			return nil, err
-		}
-		p := &pkg{dir: filepath.ToSlash(filepath.Clean(dir)), fset: token.NewFileSet()}
-		for _, e := range entries {
-			name := e.Name()
-			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
-				continue
-			}
-			f, err := parser.ParseFile(p.fset, filepath.Join(dir, name), nil, 0)
-			if err != nil {
-				return nil, err
-			}
-			p.files = append(p.files, f)
-		}
-		if len(p.files) > 0 {
-			pkgs = append(pkgs, p)
-		}
-	}
-	return pkgs, nil
-}
-
-// Check runs every rule over the parsed packages and returns findings
-// sorted by position.
-func Check(pkgs []*pkg) []Finding {
-	floats := paramFloatFields(pkgs)
-	var out []Finding
-	for _, p := range pkgs {
-		out = append(out, checkRawMem(p)...)
-		out = append(out, checkFlagWait(p)...)
-		out = append(out, checkHandlerBlock(p)...)
-		out = append(out, checkUnits(p, floats)...)
-		out = append(out, checkBatchIssue(p)...)
-		out = append(out, checkDSMFence(p)...)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i].Pos, out[j].Pos
-		if a.Filename != b.Filename {
-			return a.Filename < b.Filename
-		}
-		return a.Line < b.Line
-	})
-	return out
+	pr := newProgram(res)
+	var findings []Finding
+	findings = append(findings, pr.checkRawMem()...)
+	findings = append(findings, pr.checkFlagWait()...)
+	balance, _ := pr.checkFlagBalance()
+	findings = append(findings, balance...)
+	findings = append(findings, pr.checkHandlerBlock()...)
+	findings = append(findings, pr.checkUnits()...)
+	findings = append(findings, pr.checkBatchIssue()...)
+	findings = append(findings, pr.checkDSMFence()...)
+	return applyPragmas(findings, collectPragmas(res.Fset, res.Pkgs)), nil
 }

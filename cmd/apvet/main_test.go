@@ -1,176 +1,276 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
+
+	"ap1000plus/cmd/apvet/internal/load"
 )
 
-// checkDir parses one testdata directory and returns the findings.
-func checkDir(t *testing.T, dir string) []Finding {
+// knownChecks gates the "// want <check>" expectation comments in the
+// fixture sources.
+var knownChecks = map[string]bool{
+	"rawmem": true, "flagwait": true, "flagbalance": true,
+	"handlerblock": true, "blockprop": true, "units": true,
+	"batchissue": true, "dsmfence": true, "pragma": true,
+}
+
+// parseWants scans every .go file under root for "// want <check>"
+// comments and returns the expected findings as "file:line:check"
+// occurrence counts.
+func parseWants(t *testing.T, root string) map[string]int {
 	t.Helper()
-	pkgs, err := parseDirs([]string{dir})
-	if err != nil {
-		t.Fatal(err)
-	}
-	return Check(pkgs)
-}
-
-func countCheck(fs []Finding, check string) int {
-	n := 0
-	for _, f := range fs {
-		if f.Check == check {
-			n++
+	wants := map[string]int{}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
 		}
-	}
-	return n
-}
-
-// The repository itself must be clean: apvet's rules describe
-// invariants the tree actually upholds.
-func TestTreeIsClean(t *testing.T) {
-	dirs, err := expand("../../...")
-	if err != nil {
-		t.Fatal(err)
-	}
-	pkgs, err := parseDirs(dirs)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, f := range Check(pkgs) {
-		t.Errorf("unexpected finding on the tree: %s", f)
-	}
-}
-
-func TestRawMem(t *testing.T) {
-	fs := checkDir(t, "testdata/rawmem")
-	if got := countCheck(fs, "rawmem"); got != 2 {
-		t.Fatalf("rawmem findings = %d, want 2 (mem.Copy and Deliver): %v", got, fs)
-	}
-	if len(fs) != 2 {
-		t.Fatalf("unexpected extra findings: %v", fs)
-	}
-}
-
-// The same primitives are legal inside the machine's own engines.
-func TestRawMemAllowlist(t *testing.T) {
-	for _, dir := range []string{
-		"../../internal/mem", "../../internal/machine",
-		"../../internal/dsm", "../../internal/sendrecv",
-	} {
-		if fs := checkDir(t, dir); countCheck(fs, "rawmem") != 0 {
-			t.Errorf("%s: rawmem fired inside the allowlist: %v", dir, fs)
+		f, err := os.Open(path)
+		if err != nil {
+			return err
 		}
-	}
-}
-
-func TestFlagWait(t *testing.T) {
-	fs := checkDir(t, "testdata/flagwait")
-	if got := countCheck(fs, "flagwait"); got != 3 {
-		t.Fatalf("flagwait findings = %d, want 3 (lostFlag via Transfer and PutArgs, plus the ack): %v", got, fs)
-	}
-	var lost, acks int
-	for _, f := range fs {
-		if f.Check != "flagwait" {
-			continue
-		}
-		if strings.Contains(f.Msg, "lostFlag") {
-			lost++
-		}
-		if strings.Contains(f.Msg, "AckWait") {
-			acks++
-		}
-		if strings.Contains(f.Msg, "goodFlag") {
-			t.Errorf("goodFlag is waited on and must not be reported: %s", f)
-		}
-	}
-	if lost != 2 || acks != 1 {
-		t.Fatalf("missing expected findings (lostFlag=%d ack=%d): %v", lost, acks, fs)
-	}
-}
-
-func TestBatchIssue(t *testing.T) {
-	fs := checkDir(t, "testdata/batchissue")
-	if got := countCheck(fs, "batchissue"); got != 3 {
-		t.Fatalf("batchissue findings = %d, want 3 (PutArgs, GetArgs, uncommitted Batch): %v", got, fs)
-	}
-	var deprecated, uncommitted int
-	for _, f := range fs {
-		if f.Check != "batchissue" {
-			continue
-		}
-		if strings.Contains(f.Msg, "deprecated positional") {
-			deprecated++
-		}
-		if strings.Contains(f.Msg, "without a Commit") {
-			uncommitted++
-		}
-	}
-	if deprecated != 2 || uncommitted != 1 {
-		t.Fatalf("deprecated=%d uncommitted=%d: %v", deprecated, uncommitted, fs)
-	}
-	if got := countCheck(fs, "flagwait"); got != 0 {
-		t.Fatalf("flagwait must stay quiet on the batchissue fixture: %v", fs)
-	}
-}
-
-func TestHandlerBlock(t *testing.T) {
-	fs := checkDir(t, "testdata/handlerblock/internal/machine")
-	if got := countCheck(fs, "handlerblock"); got != 3 {
-		t.Fatalf("handlerblock findings = %d, want 3 (Wait, Load32, <-ch): %v", got, fs)
-	}
-	for _, want := range []string{"Wait", "Load32", "channel receive"} {
-		found := false
-		for _, f := range fs {
-			if strings.Contains(f.Msg, want) {
-				found = true
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			_, after, ok := strings.Cut(sc.Text(), "// want ")
+			if !ok {
+				continue
+			}
+			for _, check := range strings.Fields(after) {
+				if !knownChecks[check] {
+					t.Fatalf("%s:%d: unknown check %q in want comment", path, line, check)
+				}
+				wants[key(filepath.ToSlash(path), line, check)]++
 			}
 		}
-		if !found {
-			t.Errorf("no finding mentioning %q: %v", want, fs)
+		return sc.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wants
+}
+
+func key(file string, line int, check string) string {
+	return file + ":" + strconv.Itoa(line) + ":" + check
+}
+
+// checkGolden runs apvet over a fixture tree and requires the
+// unsuppressed findings to match the want comments exactly.
+func checkGolden(t *testing.T, pattern string) []Finding {
+	t.Helper()
+	findings, err := run([]string{pattern}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := strings.TrimSuffix(pattern, "/...")
+	wants := parseWants(t, root)
+	got := map[string]int{}
+	for _, f := range findings {
+		if f.Suppressed {
+			continue
+		}
+		got[key(filepath.ToSlash(f.File), f.Line, f.Check)]++
+	}
+	for k, n := range wants {
+		if got[k] != n {
+			t.Errorf("want %d finding(s) at %s, got %d", n, k, got[k])
+		}
+	}
+	for k, n := range got {
+		if wants[k] != n {
+			t.Errorf("unexpected finding(s) at %s (%d)", k, n)
+		}
+	}
+	if t.Failed() {
+		for _, f := range findings {
+			t.Logf("finding: %s", f)
+		}
+	}
+	return findings
+}
+
+func TestRawMemGolden(t *testing.T)      { checkGolden(t, "testdata/rawmem") }
+func TestUnitsGolden(t *testing.T)       { checkGolden(t, "testdata/units") }
+func TestDSMFenceGolden(t *testing.T)    { checkGolden(t, "testdata/dsmfence") }
+func TestBatchIssueGolden(t *testing.T)  { checkGolden(t, "testdata/batchissue") }
+func TestFlagWaitGolden(t *testing.T)    { checkGolden(t, "testdata/flagwait") }
+func TestSameNameGolden(t *testing.T)    { checkGolden(t, "testdata/samename") }
+func TestTransferFwdGolden(t *testing.T) { checkGolden(t, "testdata/transferfwd") }
+func TestFlagFwdGolden(t *testing.T)     { checkGolden(t, "testdata/flagfwd") }
+func TestFlagBalanceGolden(t *testing.T) { checkGolden(t, "testdata/flagbalance") }
+
+func TestBlockPropGolden(t *testing.T) {
+	findings := checkGolden(t, "testdata/blockprop/...")
+	for _, f := range findings {
+		if f.Check == "blockprop" {
+			if !strings.Contains(f.Msg, "deliver") || !strings.Contains(f.Msg, "drain") {
+				t.Errorf("blockprop message lacks the witness chain: %s", f.Msg)
+			}
+			return
+		}
+	}
+	t.Error("no blockprop finding")
+}
+
+// TestFlagBalanceTable checks the analysis rows behind the verdicts:
+// loop multipliers resolve to P, unknown bounds downgrade to a skip.
+func TestFlagBalanceTable(t *testing.T) {
+	res, err := load.Load([]string{"testdata/flagbalance"}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, infos := newProgram(res).checkFlagBalance()
+	rows := map[string]balanceInfo{}
+	for _, in := range infos {
+		rows[in.flag] = in
+	}
+	assert := func(flag, verdict, raises string) {
+		t.Helper()
+		in, ok := rows[flag]
+		if !ok {
+			t.Errorf("no balance row for flag %q (rows: %v)", flag, rows)
+			return
+		}
+		if in.verdict != verdict {
+			t.Errorf("flag %q: verdict %q, want %q", flag, in.verdict, verdict)
+		}
+		if raises != "" && in.raises != raises {
+			t.Errorf("flag %q: raises %q, want %q", flag, in.raises, raises)
+		}
+	}
+	assert("balanced", "balanced", "2")
+	assert("overwait", "deadlock", "1")
+	assert("underwait", "race", "2")
+	assert("loopmult", "balanced", "P")
+	assert("loopover", "deadlock", "P")
+	assert("unknown", "skip: unrecognized loop bound", "unknown ×1")
+}
+
+// TestPragmas exercises the suppression grammar end to end: reasoned
+// pragmas suppress but stay visible, reasonless and stale pragmas are
+// findings of their own.
+func TestPragmas(t *testing.T) {
+	findings, err := run([]string{"testdata/ignore"}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var suppressed, live, noReason, stale int
+	for _, f := range findings {
+		switch {
+		case f.Check == "rawmem" && f.Suppressed:
+			suppressed++
+			if f.Reason != "fixture exercising the suppression path" {
+				t.Errorf("suppression reason = %q", f.Reason)
+			}
+		case f.Check == "rawmem":
+			live++
+		case f.Check == "pragma" && strings.Contains(f.Msg, "no reason"):
+			noReason++
+		case f.Check == "pragma" && strings.Contains(f.Msg, "stale"):
+			stale++
+		default:
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	if suppressed != 1 || live != 1 || noReason != 1 || stale != 1 {
+		t.Errorf("suppressed=%d live=%d noReason=%d stale=%d, want 1 each (findings: %v)",
+			suppressed, live, noReason, stale, findings)
+	}
+}
+
+// TestTreeClean is the self-check: apvet over the whole repository
+// must report nothing unsuppressed, and every suppression must carry
+// a reason.
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-tree typecheck is slow")
+	}
+	findings, err := run([]string{"../../..."}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if !f.Suppressed {
+			t.Errorf("unsuppressed finding in the tree: %s", f)
+		} else if f.Reason == "" {
+			t.Errorf("suppressed without reason: %s", f)
 		}
 	}
 }
 
-func TestUnits(t *testing.T) {
-	fs := checkDir(t, "testdata/units")
-	if got := countCheck(fs, "units"); got != 3 {
-		t.Fatalf("units findings = %d, want 3: %v", got, fs)
-	}
-	for _, f := range fs {
-		if !strings.Contains(f.Msg, "event.Microseconds") {
-			t.Errorf("units finding should point at event.Microseconds: %s", f)
+// TestJSONDeterministic runs the same scan twice through fresh loads
+// and requires byte-identical -json output.
+func TestJSONDeterministic(t *testing.T) {
+	emit := func() []byte {
+		findings, err := run([]string{"testdata/rawmem", "testdata/units", "testdata/ignore"}, true)
+		if err != nil {
+			t.Fatal(err)
 		}
+		var buf bytes.Buffer
+		if err := writeJSON(&buf, findings); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := emit(), emit()
+	if !bytes.Equal(a, b) {
+		t.Errorf("JSON output not deterministic:\n%s\n-- vs --\n%s", a, b)
 	}
 }
 
-func TestDSMFence(t *testing.T) {
-	fs := checkDir(t, "testdata/dsmfence")
-	if got := countCheck(fs, "dsmfence"); got != 2 {
-		t.Fatalf("dsmfence findings = %d, want 2 (unfenced LoadF64 and Load): %v", got, fs)
-	}
-	if len(fs) != 2 {
-		t.Fatalf("unexpected extra findings: %v", fs)
-	}
-	for _, f := range fs {
-		if !strings.Contains(f.Msg, "Fence()") {
-			t.Errorf("dsmfence finding should point at Fence(): %s", f)
-		}
-	}
-}
-
-// expand must skip testdata (so the tree run stays clean) but keep
-// ordinary nested packages.
+// TestExpandSkipsTestdata keeps the fixture packages out of pattern
+// walks, so the self-check never scans them.
 func TestExpandSkipsTestdata(t *testing.T) {
-	dirs, err := expand("./...")
+	dirs, err := load.Expand("./...")
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, d := range dirs {
-		if strings.Contains(d, "testdata") {
-			t.Fatalf("expand returned a testdata dir: %s", d)
+		if strings.Contains(filepath.ToSlash(d), "testdata") {
+			t.Errorf("Expand walked into %s", d)
 		}
 	}
-	if len(dirs) != 1 {
-		t.Fatalf("expand('./...') = %v, want just the package dir", dirs)
+}
+
+// TestTestFilesScanned proves _test.go files are part of the scan set
+// by default and excluded with tests=false.
+func TestTestFilesScanned(t *testing.T) {
+	res, err := load.Load([]string{"../../internal/bnet"}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, u := range res.Pkgs {
+		if !u.Analyzed {
+			continue
+		}
+		for _, f := range u.Files {
+			if strings.HasSuffix(res.Fset.Position(f.Package).Filename, "_test.go") {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("no _test.go files in the analyzed units")
+	}
+	res, err = load.Load([]string{"../../internal/bnet"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range res.Pkgs {
+		if !u.Analyzed {
+			continue
+		}
+		for _, f := range u.Files {
+			if strings.HasSuffix(res.Fset.Position(f.Package).Filename, "_test.go") {
+				t.Error("tests=false still loaded a _test.go file")
+			}
+		}
 	}
 }

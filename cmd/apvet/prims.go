@@ -1,0 +1,155 @@
+package main
+
+// The primitive tables: the module functions whose *meaning* the
+// analyzers know, keyed by go/types full names so a local function
+// that happens to share a name (Put, WaitFlag, Copy, ...) never
+// matches. Functions listed here are modeled, not scanned — their
+// bodies implement the protocol the checks enforce on everyone else.
+
+const (
+	corePkg     = "ap1000plus/internal/core"
+	mcPkg       = "ap1000plus/internal/mc"
+	memPkg      = "ap1000plus/internal/mem"
+	machinePkg  = "ap1000plus/internal/machine"
+	vppPkg      = "ap1000plus/internal/vpp"
+	dsmPkg      = "ap1000plus/internal/dsm"
+	eventPkg    = "ap1000plus/internal/event"
+	topoPkg     = "ap1000plus/internal/topology"
+	sendrecvPkg = "ap1000plus/internal/sendrecv"
+	barrierPkg  = "ap1000plus/internal/barrier"
+)
+
+// transferPrims issue one transfer described by a core.Transfer first
+// argument; the value is the verb used in findings.
+var transferPrims = map[string]string{
+	"(*" + corePkg + ".Comm).Put":               "Put",
+	"(*" + corePkg + ".Comm).Get":               "Get",
+	"(*" + corePkg + ".CommandList).Put":        "Put",
+	"(*" + corePkg + ".CommandList).Get":        "Get",
+	"(*" + corePkg + ".CommandList).PutStride":  "PutStride",
+	"(*" + corePkg + ".CommandList).GetStride":  "GetStride",
+}
+
+// positionalPrims issue one transfer with positional flag/ack
+// arguments (index into the argument list, receiver excluded).
+var positionalPrims = map[string]struct {
+	verb  string
+	flags []int
+	ack   int // -1 if no ack argument
+}{
+	"(*" + corePkg + ".Comm).PutStride": {"PutStride", []int{3, 4}, 5},
+	"(*" + corePkg + ".Comm).GetStride": {"GetStride", []int{3, 4}, -1},
+	"(*" + corePkg + ".Comm).PutArgs":   {"PutArgs", []int{4, 5}, 6},
+	"(*" + corePkg + ".Comm).GetArgs":   {"GetArgs", []int{4, 5}, -1},
+}
+
+// waitPrims block until a flag (arg 0) reaches a target (arg 1).
+var waitPrims = map[string]bool{
+	"(*" + corePkg + ".Comm).WaitFlag": true,
+	"(*" + mcPkg + ".Flags).Wait":      true,
+}
+
+// ackRaisePrims request the S4.1 acknowledgement round trip
+// unconditionally (the Transfer{Ack: true} case is read out of the
+// literal instead).
+var ackRaisePrims = map[string]bool{
+	"(*" + corePkg + ".Comm).WriteRemote": true,
+}
+
+// ackWaitPrims consume all outstanding acknowledgements.
+var ackWaitPrims = map[string]bool{
+	"(*" + corePkg + ".Comm).AckWait": true,
+}
+
+// selfSyncPrims issue and wait internally; they produce no flag
+// events but must not be scanned as ordinary bodies either.
+var selfSyncPrims = map[string]bool{
+	"(*" + corePkg + ".Comm).ReadRemote": true,
+	"(*" + corePkg + ".Comm).Barrier":    true,
+}
+
+// blockingPrims can sleep waiting for another goroutine's progress —
+// the set handlerblock forbids on delivery paths. The value is the
+// short name used in findings.
+var blockingPrims = map[string]string{
+	"(*" + mcPkg + ".Flags).Wait":              "Flags.Wait",
+	"(*" + mcPkg + ".CommRegs).Load32":         "CommRegs.Load32",
+	"(*" + mcPkg + ".CommRegs).Load64":         "CommRegs.Load64",
+	"(*" + corePkg + ".Comm).WaitFlag":         "Comm.WaitFlag",
+	"(*" + corePkg + ".Comm).AckWait":          "Comm.AckWait",
+	"(*" + corePkg + ".Comm).ReadRemote":       "Comm.ReadRemote",
+	"(*" + corePkg + ".Comm).Barrier":          "Comm.Barrier",
+	"(*" + machinePkg + ".Cell).LoadCreg32":    "Cell.LoadCreg32",
+	"(*" + machinePkg + ".Cell).LoadCreg64":    "Cell.LoadCreg64",
+	"(*" + machinePkg + ".Cell).HWBarrier":     "Cell.HWBarrier",
+	"(*" + machinePkg + ".Cell).RemoteLoad":    "Cell.RemoteLoad",
+	"(*" + machinePkg + ".Cell).RemoteLoadCaching": "Cell.RemoteLoadCaching",
+	"(*" + machinePkg + ".Cell).RecvBroadcast":     "Cell.RecvBroadcast",
+	"(*" + machinePkg + ".Cell).FenceRemoteStores": "Cell.FenceRemoteStores",
+	"(*" + sendrecvPkg + ".Endpoint).Recv":         "Endpoint.Recv",
+	"(*" + sendrecvPkg + ".Endpoint).RecvAny":      "Endpoint.RecvAny",
+	"(*" + sendrecvPkg + ".Endpoint).Consume":      "Endpoint.Consume",
+	"(*" + barrierPkg + ".Sync).Barrier":           "Sync.Barrier",
+	"(*" + barrierPkg + ".Sync).Reduce":            "Sync.Reduce",
+	"(*" + barrierPkg + ".Sync).ReduceVec":         "Sync.ReduceVec",
+	"(*" + dsmPkg + ".DSM).Load":                   "DSM.Load",
+	"(*" + dsmPkg + ".DSM).LoadF64":                "DSM.LoadF64",
+	"(*" + dsmPkg + ".DSM).Fence":                  "DSM.Fence",
+}
+
+// cellCountPrims return the machine's cell count — the P of the
+// flag-balance polynomials.
+var cellCountPrims = map[string]bool{
+	"(*" + machinePkg + ".Machine).Cells": true,
+	"(*" + machinePkg + ".Cell).N":        true,
+	"(*" + vppPkg + ".Runtime).NP":        true,
+	"(*" + topoPkg + ".Torus).Cells":      true,
+}
+
+// rawMemPrims bypass the MSC+ command queues.
+var rawMemPrims = map[string]string{
+	memPkg + ".Copy":                     "mem.Copy",
+	memPkg + ".CopyStride":               "mem.CopyStride",
+	memPkg + ".CapturePayload":           "mem.CapturePayload",
+	"(*" + memPkg + ".Payload).Deliver":  "Payload.Deliver",
+}
+
+// deprecatedPrims are the positional wrappers batchissue retires.
+var deprecatedPrims = map[string]bool{
+	"(*" + corePkg + ".Comm).PutArgs": true,
+	"(*" + corePkg + ".Comm).GetArgs": true,
+}
+
+// batchOpen/batchCommit bracket a CommandList's lifetime.
+const (
+	batchOpenPrim   = "(*" + corePkg + ".Comm).Batch"
+	batchCommitPrim = "(*" + corePkg + ".CommandList).Commit"
+)
+
+// dsm store/load/fence methods for the fence-discipline check.
+var dsmStorePrims = map[string]bool{
+	"(*" + dsmPkg + ".DSM).Store":    true,
+	"(*" + dsmPkg + ".DSM).StoreF64": true,
+}
+var dsmLoadPrims = map[string]bool{
+	"(*" + dsmPkg + ".DSM).Load":    true,
+	"(*" + dsmPkg + ".DSM).LoadF64": true,
+}
+
+const dsmFencePrim = "(*" + dsmPkg + ".DSM).Fence"
+
+// flagResetPrim restarts a flag's count between communication phases;
+// flag-balance cannot total across it.
+const flagResetPrim = "(*" + mcPkg + ".Flags).Reset"
+
+// isModeledPrim reports whether a function's body is modeled by the
+// tables above and must not be scanned or summarized from source.
+func isModeledPrim(full string) bool {
+	if _, ok := transferPrims[full]; ok {
+		return true
+	}
+	if _, ok := positionalPrims[full]; ok {
+		return true
+	}
+	return waitPrims[full] || ackRaisePrims[full] || ackWaitPrims[full] || selfSyncPrims[full]
+}

@@ -1,42 +1,33 @@
 // Package app is apvet testdata for the batchissue check: the
 // PutArgs/GetArgs calls are deprecated positional issue, and the
-// Batch() here is never Commit()ed anywhere in the package.
+// Batch() here is never Commit()ed anywhere in the package. Both
+// resolve through go/types against core's real methods.
 package app
 
-type Transfer struct {
-	To            int
-	Remote, Local uint64
-	Size          int64
-	Ack           bool
-}
+import (
+	"ap1000plus/internal/core"
+	"ap1000plus/internal/mc"
+)
 
-type list interface {
-	Put(t Transfer) list
-}
+var bflag = mc.FlagID(7)
 
-type comm interface {
-	Put(t Transfer) error
-	PutArgs(dst int, raddr, laddr uint64, size int64, sendFlag, recvFlag int32, ack bool) error
-	GetArgs(dst int, raddr, laddr uint64, size int64, sendFlag, recvFlag int32) error
-	Batch() list
-	WaitFlag(flag int32, target int64)
-	AckWait()
-}
-
-func legacy(c comm, f int32) error {
-	if err := c.PutArgs(1, 0x1000, 0x1000, 64, 0, f, false); err != nil { // want batchissue
+func legacy(c *core.Comm) error {
+	if err := c.PutArgs(1, 0x1000, 0x1000, 64, mc.NoFlag, bflag, false); err != nil { // want batchissue
 		return err
 	}
-	c.WaitFlag(f, 1)
-	return c.GetArgs(1, 0x2000, 0x2000, 64, 0, 0) // want batchissue
+	c.WaitFlag(bflag, 1)
+	return c.GetArgs(1, 0x2000, 0x2000, 64, mc.NoFlag, mc.NoFlag) // want batchissue
 }
 
-func modern(c comm) error {
-	return c.Put(Transfer{To: 1, Remote: 0x1000, Local: 0x1000, Size: 64, Ack: true})
-}
-
-func leaky(c comm) {
-	b := c.Batch() // want batchissue (no Commit in this package)
-	b.Put(Transfer{To: 1, Remote: 0x3000, Local: 0x3000, Size: 8, Ack: true})
+func modern(c *core.Comm) error {
+	if err := c.Put(core.Transfer{To: 1, Remote: 0x1000, Local: 0x1000, Size: 64, Ack: true}); err != nil {
+		return err
+	}
 	c.AckWait()
+	return nil
+}
+
+func leaky(c *core.Comm) {
+	b := c.Batch() // want batchissue
+	b.Put(core.Transfer{To: 1, Remote: 0x3000, Local: 0x3000, Size: 8})
 }

@@ -1,0 +1,41 @@
+// Package machine is apvet testdata for the handlerblock and
+// blockprop checks: delivery handlers run on a foreign controller
+// goroutine and must not block — neither directly (flag wait, channel
+// receive) nor through a helper function, which only the call-graph
+// propagation can see.
+package machine
+
+import (
+	"ap1000plus/internal/mc"
+)
+
+type endpoint struct {
+	flags *mc.Flags
+	ch    chan int
+}
+
+// drain is an ordinary helper; blocking here is fine on a goroutine
+// of its own, but any handler calling it synchronously inherits the
+// block.
+func (e *endpoint) drain() {
+	e.flags.Wait(1, 1)
+}
+
+// deliver blocks only through the helper — the blockprop check must
+// walk the call graph to see it.
+func (e *endpoint) deliver() {
+	e.drain() // want blockprop
+}
+
+// receive blocks directly: a flag wait and a channel receive.
+func (e *endpoint) receive() {
+	e.flags.Wait(2, 1) // want handlerblock
+	<-e.ch             // want handlerblock
+	e.flags.Inc(2)     // fine: non-blocking post
+	e.ch <- 1          // fine: channel send
+}
+
+// sink hands the blocking work to a fresh goroutine — clean.
+func (e *endpoint) sink() {
+	go e.drain()
+}

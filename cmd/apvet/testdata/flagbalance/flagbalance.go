@@ -1,0 +1,88 @@
+// Package app is apvet testdata for the flagbalance check: the total
+// raises issued for a flag must match the WaitFlag threshold. The
+// balanced pair and the NumCells-bounded loop are clean; waiting
+// above the total deadlocks, waiting below it races; a loop whose
+// bound the analysis cannot read downgrades to a skip, never a
+// verdict.
+package app
+
+import (
+	"ap1000plus/internal/core"
+	"ap1000plus/internal/machine"
+	"ap1000plus/internal/mc"
+	"ap1000plus/internal/topology"
+)
+
+var balanced = mc.FlagID(10)
+var overwait = mc.FlagID(11)
+var underwait = mc.FlagID(12)
+var loopmult = mc.FlagID(13)
+var loopover = mc.FlagID(14)
+var unknown = mc.FlagID(15)
+
+func balancedPair(c *core.Comm) error {
+	if err := c.Put(core.Transfer{To: 1, Remote: 0x100, Local: 0x200, Size: 8, SendFlag: balanced}); err != nil {
+		return err
+	}
+	if err := c.Put(core.Transfer{To: 2, Remote: 0x100, Local: 0x200, Size: 8, SendFlag: balanced}); err != nil {
+		return err
+	}
+	c.WaitFlag(balanced, 2) // clean: 2 raises, wait for 2
+	return nil
+}
+
+func overWait(c *core.Comm) error {
+	if err := c.Put(core.Transfer{To: 1, Remote: 0x100, Local: 0x200, Size: 8, SendFlag: overwait}); err != nil {
+		return err
+	}
+	c.WaitFlag(overwait, 2) // want flagbalance
+	return nil
+}
+
+func underWait(c *core.Comm) error {
+	if err := c.Put(core.Transfer{To: 1, Remote: 0x100, Local: 0x200, Size: 8, SendFlag: underwait}); err != nil {
+		return err
+	}
+	if err := c.Put(core.Transfer{To: 2, Remote: 0x100, Local: 0x200, Size: 8, SendFlag: underwait}); err != nil {
+		return err
+	}
+	c.WaitFlag(underwait, 1) // want flagbalance
+	return nil
+}
+
+// loopKernel is the SPMD all-to-all shape: one PUT per cell, wait for
+// the cell count. The trip count and the wait target both resolve to
+// P, so the protocol balances at every machine size.
+func loopKernel(c *core.Comm, cell *machine.Cell) error {
+	np := cell.N()
+	for i := 0; i < np; i++ {
+		if err := c.Put(core.Transfer{To: topology.CellID(i), Remote: 0x100, Local: 0x200, Size: 8, SendFlag: loopmult}); err != nil {
+			return err
+		}
+	}
+	c.WaitFlag(loopmult, int64(np)) // clean: P raises, wait for P
+	return nil
+}
+
+func loopOver(c *core.Comm, cell *machine.Cell) error {
+	np := cell.N()
+	for i := 0; i < np; i++ {
+		if err := c.Put(core.Transfer{To: topology.CellID(i), Remote: 0x100, Local: 0x200, Size: 8, SendFlag: loopover}); err != nil {
+			return err
+		}
+	}
+	c.WaitFlag(loopover, int64(np)+1) // want flagbalance
+	return nil
+}
+
+// unknownKernel's loop bound is an opaque parameter: the analysis
+// must record "unknown ×1" raises and skip, not guess a verdict.
+func unknownKernel(c *core.Comm, n int) error {
+	for i := 0; i < n; i++ {
+		if err := c.Put(core.Transfer{To: 1, Remote: 0x100, Local: 0x200, Size: 8, SendFlag: unknown}); err != nil {
+			return err
+		}
+	}
+	c.WaitFlag(unknown, int64(n)) // clean: no verdict without a bound
+	return nil
+}

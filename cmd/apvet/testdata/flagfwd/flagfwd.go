@@ -1,0 +1,30 @@
+// Package app is apvet testdata for flags forwarded through helper
+// parameters: the call graph substitutes arguments for parameters, so
+// a wait in the caller satisfies a raise inside the helper — and an
+// orphan flag is reported even though its raise is buried in the
+// helper, at the primitive call site.
+package app
+
+import (
+	"ap1000plus/internal/core"
+	"ap1000plus/internal/mc"
+)
+
+var done = mc.FlagID(5)
+var orphan = mc.FlagID(6)
+
+func doPut(c *core.Comm, flag mc.FlagID) error {
+	return c.Put(core.Transfer{To: 1, Remote: 0x100, Local: 0x200, Size: 8, SendFlag: flag}) // want flagwait
+}
+
+func viaHelper(c *core.Comm) error {
+	if err := doPut(c, done); err != nil {
+		return err
+	}
+	c.WaitFlag(done, 1) // clean: the raise inside doPut resolves to done
+	return nil
+}
+
+func orphanHelper(c *core.Comm) error {
+	return doPut(c, orphan) // nothing anywhere waits on orphan
+}

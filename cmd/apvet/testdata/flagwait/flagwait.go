@@ -1,42 +1,33 @@
-// Package app is apvet testdata for the flagwait check: goodFlag is
-// waited on and must pass; lostFlag is raised by a PUT but never
-// waited on; the ack=true PUT has no AckWait anywhere in the package.
-// Both the Transfer-struct style and the positional stride/deprecated
-// styles are covered.
+// Package app is apvet testdata for the flagwait check: every raised
+// flag needs a wait somewhere in the program, and every ack=true PUT
+// an AckWait in its package. Three findings are expected: two raises
+// of the never-waited flag and one unconsumed acknowledgement.
 package app
 
-// Transfer mirrors core.Transfer for the composite-literal shape.
-type Transfer struct {
-	To            int
-	Remote, Local uint64
-	Size          int64
-	SendFlag      int32
-	RecvFlag      int32
-	Ack           bool
-}
+import (
+	"ap1000plus/internal/core"
+	"ap1000plus/internal/mc"
+	"ap1000plus/internal/mem"
+)
 
-type comm interface {
-	Put(t Transfer) error
-	Get(t Transfer) error
-	PutArgs(dst int, raddr, laddr uint64, size int64, sendFlag, recvFlag int32, ack bool) error
-	WaitFlag(flag int32, target int64)
-}
+var lost = mc.FlagID(3)
+var synced = mc.FlagID(4)
 
-const NoFlag = 0
-
-func exchange(c comm, goodFlag, lostFlag int32) error {
-	if err := c.Put(Transfer{To: 1, Remote: 0x1000, Local: 0x1000, Size: 64, RecvFlag: goodFlag}); err != nil {
+func lostPut(c *core.Comm) error {
+	if err := c.Put(core.Transfer{To: 1, Remote: 0x100, Local: 0x200, Size: 8, SendFlag: lost}); err != nil { // want flagwait
 		return err
 	}
-	c.WaitFlag(goodFlag, 1)
-	if err := c.Put(Transfer{To: 1, Remote: 0x2000, Local: 0x2000, Size: 64, RecvFlag: lostFlag}); err != nil { // want flagwait
-		return err
-	}
-	return c.Put(Transfer{To: 1, Remote: 0x3000, Local: 0x3000, Size: 64, Ack: true}) // want flagwait (no AckWait)
+	return c.PutStride(1, 0x100, 0x200, lost, mc.NoFlag, false, mem.Contiguous(8), mem.Contiguous(8)) // want flagwait
 }
 
-// legacy raises lostFlag through the deprecated positional wrapper;
-// the flag is still tracked (and batchissue flags the call itself).
-func legacy(c comm, lostFlag int32) error {
-	return c.PutArgs(1, 0x4000, 0x4000, 64, NoFlag, lostFlag, false) // want flagwait
+func ackNoWait(c *core.Comm) error {
+	return c.Put(core.Transfer{To: 2, Remote: 0x100, Local: 0x200, Size: 8, Ack: true}) // want flagwait
+}
+
+func syncedPut(c *core.Comm) error {
+	if err := c.Put(core.Transfer{To: 1, Remote: 0x100, Local: 0x200, Size: 8, SendFlag: synced}); err != nil {
+		return err
+	}
+	c.WaitFlag(synced, 1) // clean: the raise above is matched
+	return nil
 }

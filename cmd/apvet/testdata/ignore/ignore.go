@@ -1,0 +1,22 @@
+// Package app is apvet testdata for the suppression grammar: a
+// reasoned //apvet:ignore suppresses its finding (which stays in the
+// output marked suppressed), a reasonless one suppresses nothing and
+// is itself a finding, and a pragma matching no finding is stale.
+package app
+
+import (
+	"ap1000plus/internal/mem"
+)
+
+func suppressed(dst, src *mem.Space) error {
+	//apvet:ignore rawmem fixture exercising the suppression path
+	return mem.Copy(dst, 0x1000, src, 0x2000, 64)
+}
+
+func reasonless(dst, src *mem.Space) error {
+	//apvet:ignore rawmem
+	return mem.Copy(dst, 0x1000, src, 0x2000, 64)
+}
+
+//apvet:ignore rawmem nothing on the next line can fire
+func stale() {}

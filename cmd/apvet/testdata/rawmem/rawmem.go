@@ -1,13 +1,18 @@
 // Package app is apvet testdata: application code writing simulated
-// DRAM directly instead of issuing MSC+ commands. Both calls below
-// must be flagged by the rawmem check.
+// DRAM directly instead of issuing MSC+ commands. All three calls
+// below must be flagged by the rawmem check.
 package app
 
 import (
 	"ap1000plus/internal/mem"
 )
 
-func smuggle(dst, src *mem.Memory, payload *mem.Payload) {
-	mem.Copy(dst, 0x1000, src, 0x2000, 64) // want rawmem
-	payload.Deliver(dst, 0x3000)           // want rawmem
+func smuggle(dst, src *mem.Space, payload *mem.Payload) error {
+	if err := mem.Copy(dst, 0x1000, src, 0x2000, 64); err != nil { // want rawmem
+		return err
+	}
+	if _, err := mem.CapturePayload(src, 0x2000, mem.Contiguous(64)); err != nil { // want rawmem
+		return err
+	}
+	return payload.Deliver(dst, 0x3000, mem.Contiguous(64)) // want rawmem
 }

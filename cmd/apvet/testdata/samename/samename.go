@@ -1,0 +1,34 @@
+// Package app is apvet testdata proving type-awareness: the local
+// types below share method names with the machine's primitives (Put,
+// WaitFlag, Batch, Copy) and none of them may trip a checker. The one
+// real finding is the real PUT whose flag is only "waited" on by the
+// fake WaitFlag — a name-based scanner would be fooled both ways.
+package app
+
+import (
+	"ap1000plus/internal/core"
+	"ap1000plus/internal/mc"
+)
+
+type fakeComm struct{ log []string }
+
+func (f *fakeComm) Put(s string) error                     { f.log = append(f.log, s); return nil }
+func (f *fakeComm) WaitFlag(flag mc.FlagID, target int64)  {}
+func (f *fakeComm) Batch() *fakeComm                       { return f }
+
+// Copy shadows mem.Copy by name only.
+func Copy(dst, src []byte) int { return copy(dst, src) }
+
+var fake = mc.FlagID(9)
+
+func cleanFakes(f *fakeComm) error {
+	Copy(nil, nil)
+	f.Batch()
+	f.WaitFlag(fake, 1)
+	return f.Put("hello")
+}
+
+func masked(c *core.Comm, f *fakeComm) error {
+	f.WaitFlag(fake, 1) // the fake wait synchronizes nothing
+	return c.Put(core.Transfer{To: 1, Remote: 0x10, Local: 0x20, Size: 8, SendFlag: fake}) // want flagwait
+}

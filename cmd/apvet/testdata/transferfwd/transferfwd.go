@@ -1,0 +1,31 @@
+// Package app is apvet testdata for the Transfer pass-through rule:
+// reading SendFlag off a core.Transfer parameter is the forwarding
+// layer's pass-through — the flag belongs to whoever built the
+// Transfer — and must not count as a raise here. But a same-named
+// field on any other struct type is an ordinary flag source and an
+// unsynchronized raise through it must still be reported.
+package app
+
+import (
+	"ap1000plus/internal/core"
+	"ap1000plus/internal/mc"
+	"ap1000plus/internal/mem"
+)
+
+// forward re-issues a transfer as a stride PUT: every field read is a
+// genuine pass-through, clean even though nothing here waits.
+func forward(c *core.Comm, t core.Transfer) error {
+	return c.PutStride(t.To, t.Remote, t.Local, t.SendFlag, t.RecvFlag, t.Ack,
+		mem.Contiguous(t.Size), mem.Contiguous(t.Size))
+}
+
+// request is NOT core.Transfer; its SendFlag field carries a real
+// flag identity and the unsynchronized raise must fire.
+type request struct {
+	SendFlag mc.FlagID
+}
+
+func issue(c *core.Comm, r request) error {
+	return c.PutStride(1, 0x100, 0x200, r.SendFlag, mc.NoFlag, false, // want flagwait
+		mem.Contiguous(8), mem.Contiguous(8))
+}

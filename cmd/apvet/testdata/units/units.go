@@ -17,7 +17,7 @@ type Params struct {
 func schedule(p *Params, msgs []int) []event.Time {
 	return []event.Time{
 		event.Time(p.PutSetupTime),                 // want units
-		event.Time(1.5),                            // want units
+		event.Time(p.LineTime * 1.5),               // want units
 		event.Time(p.PutSetupTime + p.LineTime*64), // want units
 		event.Time(0),                              // fine: integer literal
 		event.Time(len(msgs)),                      // fine: integral expression

@@ -12,6 +12,7 @@ func payload(t *testing.T, vals ...float64) *mem.Payload {
 	sp, _ := mem.NewSpace(1 << 16)
 	seg, data, _ := sp.AllocFloat64("p", len(vals))
 	copy(data, vals)
+	//apvet:ignore rawmem unit test of the network layer itself; no machine exists to issue a PUT
 	p, err := mem.CapturePayload(sp, seg.Base(), mem.Contiguous(int64(len(vals))*8))
 	if err != nil {
 		t.Fatal(err)

@@ -22,6 +22,7 @@ func payload(t *testing.T, n int) *mem.Payload {
 	for i := range seg.BytesData() {
 		seg.BytesData()[i] = byte(i)
 	}
+	//apvet:ignore rawmem unit test of the network layer itself; no machine exists to issue a PUT
 	p, err := mem.CapturePayload(sp, seg.Base(), mem.Contiguous(int64(n)))
 	if err != nil {
 		t.Fatal(err)
