@@ -66,6 +66,7 @@ bench:
 	$(GO) run ./cmd/apbench -experiment table2 -metrics-json BENCH_obs.json > /dev/null
 	$(GO) run ./cmd/apbench -experiment batch -batch-json BENCH_batch.json > /dev/null
 	$(GO) run ./cmd/apbench -experiment dsmcache -dsmcache-json BENCH_dsmcache.json > /dev/null
+	$(GO) run ./cmd/apbench -experiment atomics -atomics-json BENCH_atomics.json > /dev/null
 
 # Short fuzz pass over the trace codec (corpus seeds under
 # internal/trace/testdata/fuzz are always exercised by plain go test).

@@ -30,6 +30,14 @@
 // optionally coalesced into fewer stride commands — with
 // comm.Batch().Coalesce(), appending transfers and calling Commit.
 //
+// Remote atomics update 8-byte words at their owning cell exactly
+// once: comm.FetchAdd / CompareAndSwap / Swap block for the previous
+// value, while comm.AtomicAdd / AtomicMin / AtomicMax are
+// fire-and-forget, fenced by comm.FenceAtomics. Config{Combining:
+// true} merges same-address combinable atomics inside the T-net, so a
+// hot counter costs O(log n) messages instead of O(n) — with
+// bit-for-bit identical results.
+//
 // The architecture lives in internal packages, re-exported here:
 //
 //   - machine: cells, MSC+ queues, MC flags/MMU/registers, networks
@@ -123,6 +131,9 @@ const (
 	// AckFlagID is the implicit acknowledge flag of the Ack & Barrier
 	// model.
 	AckFlagID = mc.AckFlagID
+	// AtomicAckFlagID is the implicit flag counting non-fetching
+	// remote-atomic acknowledgements; Comm.FenceAtomics waits on it.
+	AtomicAckFlagID = mc.AtomicAckFlagID
 )
 
 // Contiguous returns the stride pattern of a plain transfer.

@@ -1,0 +1,287 @@
+// Remote-atomic chaos and combining-equivalence suite: a hot
+// fetch-and-add counter hammered through the facade must land on
+// exactly P x iters under every seeded fault plan (each intermediate
+// sum observed exactly once), and a combined machine must be
+// indistinguishable from an uncombined one — same totals, same fetch
+// multisets, bit-for-bit identical per-cell results — plain,
+// sanitized, and over a lossy wire.
+package ap1000plus
+
+import (
+	"sync"
+	"testing"
+)
+
+// atomicCounterRun hammers one word on cell 0 with comm.FetchAdd from
+// every cell and returns the final counter, the multiset of fetched
+// values, and the machine metrics.
+func atomicCounterRun(t *testing.T, plan *FaultPlan, combining, sanitize bool, iters int) (uint64, map[int64]int, Metrics) {
+	t.Helper()
+	m, err := NewMachine(Config{
+		Width: 2, Height: 2, Observe: true,
+		Fault: plan, Combining: combining, Sanitize: sanitize,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, _, err := m.Cell(0).AllocFloat64("counter", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	fetched := make(map[int64]int)
+	err = m.Run(func(c *Cell) error {
+		comm := NewComm(c)
+		for i := 0; i < iters; i++ {
+			v, err := comm.FetchAdd(0, seg.Base(), 1)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			fetched[v]++
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.FaultErr(); err != nil {
+		t.Fatalf("fault: %v", err)
+	}
+	if err := m.SanitizeErr(); err != nil {
+		t.Fatalf("sanitizer: %v", err)
+	}
+	total, err := m.Cell(0).Mem.LoadWord8(seg.Base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return total, fetched, m.Metrics()
+}
+
+// TestChaosAtomicCounter runs the hot counter under every seeded fault
+// plan of the chaos suite: the final value must be exactly P x iters
+// and every intermediate sum fetched exactly once — drops must not
+// lose an increment, duplicates must not apply one twice.
+func TestChaosAtomicCounter(t *testing.T) {
+	plans := []struct{ name, spec string }{
+		{"drop", "drop=0.08,seed=42"},
+		{"dup", "dup=0.1,seed=7"},
+		{"drop+dup", "drop=0.05,dup=0.05,seed=42"},
+		{"reorder", "reorder=0.08,seed=13"},
+		{"corrupt", "corrupt=0.06,seed=5"},
+		{"storm", "drop=0.05,dup=0.05,reorder=0.04,corrupt=0.03,seed=99"},
+	}
+	const iters = 120
+	for _, p := range plans {
+		t.Run(p.name, func(t *testing.T) {
+			plan, err := ParseFaultPlan(p.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total, fetched, mt := atomicCounterRun(t, plan, false, false, iters)
+			np := 4
+			if want := uint64(np * iters); total != want {
+				t.Fatalf("final counter = %d, want %d", total, want)
+			}
+			for v := int64(0); v < int64(np*iters); v++ {
+				if fetched[v] != 1 {
+					t.Fatalf("intermediate sum %d fetched %d times, want exactly once", v, fetched[v])
+				}
+			}
+			tot := mt.Totals()
+			if tot.AtomicsExecuted != int64(np*iters) {
+				t.Errorf("AtomicsExecuted = %d, want %d (an RMW was lost or re-applied)",
+					tot.AtomicsExecuted, np*iters)
+			}
+			if mt.Fault == nil {
+				t.Fatal("Metrics().Fault nil on a machine with a fault plan")
+			}
+			if mt.Fault.CellFaults != 0 {
+				t.Fatalf("retry budget exhausted %d times under a recoverable plan", mt.Fault.CellFaults)
+			}
+		})
+	}
+}
+
+// atomicPrivateRun is the deterministic mixed-op workload: cell c owns
+// word c of every cell's block and is its only updater, so every
+// fetched value and every final word is fully determined — any
+// divergence between two runs is a real semantic difference. Returns
+// each cell's fetch log and the final words.
+func atomicPrivateRun(t *testing.T, plan *FaultPlan, combining, sanitize bool) ([][]int64, []uint64) {
+	t.Helper()
+	m, err := NewMachine(Config{
+		Width: 2, Height: 2,
+		Fault: plan, Combining: combining, Sanitize: sanitize,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	np := m.Cells()
+	segs := make([]*Segment, np)
+	for id := 0; id < np; id++ {
+		if segs[id], _, err = m.Cell(CellID(id)).AllocFloat64("words", np); err != nil {
+			t.Fatal(err)
+		}
+	}
+	logs := make([][]int64, np)
+	err = m.Run(func(c *Cell) error {
+		comm := NewComm(c)
+		me := int64(c.ID())
+		slot := func(owner int) Addr { return segs[owner].Base() + Addr(me*8) }
+		for round := 0; round < 8; round++ {
+			for owner := 0; owner < np; owner++ {
+				dst := CellID(owner)
+				v, err := comm.FetchAdd(dst, slot(owner), me*7+int64(round)+1)
+				if err != nil {
+					return err
+				}
+				logs[me] = append(logs[me], v)
+				if err := comm.AtomicMax(dst, slot(owner), me*100+int64(round*3)); err != nil {
+					return err
+				}
+				if round%3 == 2 {
+					old, err := comm.Swap(dst, slot(owner), me*1000+int64(round))
+					if err != nil {
+						return err
+					}
+					logs[me] = append(logs[me], old)
+				}
+			}
+		}
+		comm.FenceAtomics()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.FaultErr(); err != nil {
+		t.Fatalf("fault: %v", err)
+	}
+	if err := m.SanitizeErr(); err != nil {
+		t.Fatalf("sanitizer: %v", err)
+	}
+	words := make([]uint64, 0, np*np)
+	for owner := 0; owner < np; owner++ {
+		for slot := 0; slot < np; slot++ {
+			w, err := m.Cell(CellID(owner)).Mem.LoadWord8(segs[owner].Base() + Addr(slot*8))
+			if err != nil {
+				t.Fatal(err)
+			}
+			words = append(words, w)
+		}
+	}
+	return logs, words
+}
+
+// TestAtomicCombinedEqualsUncombined is the equivalence property:
+// turning on T-net combining changes only the message count, never the
+// results — under a plain run, a sanitized run, and a seeded drop+dup
+// plan. The hot counter compares fetch multisets; the private-word
+// workload compares every fetched value and final word bit for bit.
+func TestAtomicCombinedEqualsUncombined(t *testing.T) {
+	variants := []struct {
+		name     string
+		sanitize bool
+		spec     string
+	}{
+		{"plain", false, ""},
+		{"sanitize", true, ""},
+		{"drop+dup", false, "drop=0.05,dup=0.05,seed=42"},
+	}
+	parse := func(t *testing.T, spec string) *FaultPlan {
+		if spec == "" {
+			return nil
+		}
+		p, err := ParseFaultPlan(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	for _, variant := range variants {
+		t.Run(variant.name, func(t *testing.T) {
+			const iters = 100
+			baseTotal, baseFetched, _ := atomicCounterRun(t, parse(t, variant.spec), false, variant.sanitize, iters)
+			combTotal, combFetched, combM := atomicCounterRun(t, parse(t, variant.spec), true, variant.sanitize, iters)
+			if combTotal != baseTotal {
+				t.Fatalf("hot counter: combined total = %d, uncombined = %d", combTotal, baseTotal)
+			}
+			if len(combFetched) != len(baseFetched) {
+				t.Fatalf("hot counter: combined fetched %d distinct sums, uncombined %d",
+					len(combFetched), len(baseFetched))
+			}
+			for v, n := range baseFetched {
+				if combFetched[v] != n {
+					t.Errorf("hot counter: sum %d fetched %d times combined, %d uncombined",
+						v, combFetched[v], n)
+				}
+			}
+			if variant.spec == "" {
+				if c := combM.Totals().AtomicsCombined; c == 0 {
+					t.Error("combining machine absorbed no requests on a hot counter")
+				}
+			}
+
+			baseLogs, baseWords := atomicPrivateRun(t, parse(t, variant.spec), false, variant.sanitize)
+			combLogs, combWords := atomicPrivateRun(t, parse(t, variant.spec), true, variant.sanitize)
+			for id := range baseLogs {
+				if len(combLogs[id]) != len(baseLogs[id]) {
+					t.Fatalf("cell %d: %d fetches combined vs %d uncombined",
+						id, len(combLogs[id]), len(baseLogs[id]))
+				}
+				for i := range baseLogs[id] {
+					if combLogs[id][i] != baseLogs[id][i] {
+						t.Errorf("cell %d fetch %d: combined %d, uncombined %d",
+							id, i, combLogs[id][i], baseLogs[id][i])
+					}
+				}
+			}
+			for i := range baseWords {
+				if combWords[i] != baseWords[i] {
+					t.Errorf("word %d: combined %#x, uncombined %#x", i, combWords[i], baseWords[i])
+				}
+			}
+		})
+	}
+}
+
+// TestAtomicBatchStaged drives non-fetching atomics through a
+// CommandList: staged adds ride one doorbell, act as merge barriers
+// for coalescing, and are fenced by FenceAtomics like singly-issued
+// ones.
+func TestAtomicBatchStaged(t *testing.T) {
+	m, err := NewMachine(Config{Width: 2, Height: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, _, err := m.Cell(0).AllocFloat64("counter", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const adds = 16
+	err = m.Run(func(c *Cell) error {
+		comm := NewComm(c)
+		b := comm.Batch()
+		for i := 0; i < adds; i++ {
+			b.AtomicAdd(0, seg.Base(), 2)
+		}
+		b.AtomicMax(0, seg.Base(), 1) // no-op once the adds land
+		if err := b.Commit(); err != nil {
+			return err
+		}
+		comm.FenceAtomics()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, err := m.Cell(0).Mem.LoadWord8(seg.Base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(4 * adds * 2); total != want {
+		t.Fatalf("batched adds = %d, want %d", total, want)
+	}
+}

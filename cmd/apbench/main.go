@@ -19,7 +19,10 @@
 // report (for make bench / BENCH_batch.json). -experiment dsmcache
 // compares the coherent DSM page cache against plain blocking remote
 // loads on the gather kernel; -dsmcache-json writes that report (for
-// make bench / BENCH_dsmcache.json).
+// make bench / BENCH_dsmcache.json). -experiment atomics hammers a
+// hot remote fetch-and-add counter with T-net combining off and on;
+// -atomics-json writes that report (for make bench /
+// BENCH_atomics.json).
 package main
 
 import (
@@ -40,7 +43,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"specs|params|fig7|table2|table3|fig8|stride|contention|batch|dsmcache|all")
+		"specs|params|fig7|table2|table3|fig8|stride|contention|batch|dsmcache|atomics|all")
 	quick := flag.Bool("quick", false, "use reduced problem sizes")
 	size := flag.Int64("size", 1024, "message size for fig7")
 	distance := flag.Int("distance", 3, "routing distance for fig7")
@@ -53,6 +56,7 @@ func main() {
 	timeline := flag.String("timeline", "", "write a merged Perfetto timeline of the functional runs to this file")
 	batchJSON := flag.String("batch-json", "", "write the batched-issue report as JSON to this file (experiment batch)")
 	dsmCacheJSON := flag.String("dsmcache-json", "", "write the DSM page-cache report as JSON to this file (experiment dsmcache)")
+	atomicsJSON := flag.String("atomics-json", "", "write the remote-atomic combining report as JSON to this file (experiment atomics)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -85,7 +89,7 @@ func main() {
 		}
 	}
 
-	err = run(*experiment, *quick, *size, *distance, *only, *metrics, *metricsJSON, *batchJSON, *dsmCacheJSON)
+	err = run(*experiment, *quick, *size, *distance, *only, *metrics, *metricsJSON, *batchJSON, *dsmCacheJSON, *atomicsJSON)
 	if err == nil && *timeline != "" {
 		err = writeTimeline(*timeline, parts)
 	}
@@ -129,12 +133,15 @@ type appMetrics struct {
 	Metrics *machine.Metrics
 }
 
-func run(experiment string, quick bool, size int64, distance int, only string, metrics bool, metricsJSON, batchJSON, dsmCacheJSON string) error {
+func run(experiment string, quick bool, size int64, distance int, only string, metrics bool, metricsJSON, batchJSON, dsmCacheJSON, atomicsJSON string) error {
 	if experiment == "batch" {
 		return runBatch(os.Stdout, quick, batchJSON)
 	}
 	if experiment == "dsmcache" {
 		return runDSMCache(os.Stdout, quick, dsmCacheJSON)
+	}
+	if experiment == "atomics" {
+		return runAtomics(os.Stdout, quick, atomicsJSON)
 	}
 	needApps := false
 	switch experiment {

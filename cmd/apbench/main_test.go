@@ -10,26 +10,26 @@ import (
 // covered at -quick scale.
 func TestRunCheapExperiments(t *testing.T) {
 	for _, exp := range []string{"specs", "params", "fig7"} {
-		if err := run(exp, true, 256, 2, "", false, "", "", ""); err != nil {
+		if err := run(exp, true, 256, 2, "", false, "", "", "", ""); err != nil {
 			t.Errorf("run(%s): %v", exp, err)
 		}
 	}
 }
 
 func TestRunQuickTable2SingleApp(t *testing.T) {
-	if err := run("table2", true, 0, 0, "EP", false, "", "", ""); err != nil {
+	if err := run("table2", true, 0, 0, "EP", false, "", "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunQuickStride(t *testing.T) {
-	if err := run("stride", true, 0, 0, "", false, "", "", ""); err != nil {
+	if err := run("stride", true, 0, 0, "", false, "", "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("bogus", true, 0, 0, "", false, "", "", ""); err == nil {
+	if err := run("bogus", true, 0, 0, "", false, "", "", "", ""); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
@@ -39,7 +39,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 // messages than the uncached baseline.
 func TestRunQuickDSMCache(t *testing.T) {
 	path := t.TempDir() + "/dsmcache.json"
-	if err := run("dsmcache", true, 0, 0, "", false, "", "", path); err != nil {
+	if err := run("dsmcache", true, 0, 0, "", false, "", "", path, ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -65,11 +65,50 @@ func TestRunQuickDSMCache(t *testing.T) {
 	}
 }
 
+// TestRunQuickAtomics covers the remote-atomic combining experiment
+// end to end: at every machine size the combined row must carry fewer
+// atomic messages than the uncombined one — and at 64 cells the hot
+// counter must cost well under one wire message per op, the O(n) ->
+// O(log n) reduction the combining tree exists for.
+func TestRunQuickAtomics(t *testing.T) {
+	path := t.TempDir() + "/atomics.json"
+	if err := run("atomics", true, 0, 0, "", false, "", "", "", path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []atomicsRow
+	if err := json.Unmarshal(data, &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for i := 0; i+1 < len(rows); i += 2 {
+		u, c := rows[i], rows[i+1]
+		if u.Mode != "uncombined" || c.Mode != "combined" || u.Cells != c.Cells {
+			t.Fatalf("row pairing broken: %+v / %+v", u, c)
+		}
+		if c.AtomicMsgs >= u.AtomicMsgs {
+			t.Errorf("%d cells: combined carried %d atomic messages, uncombined %d — combining saved nothing",
+				c.Cells, c.AtomicMsgs, u.AtomicMsgs)
+		}
+		if c.Combined == 0 {
+			t.Errorf("%d cells: no requests absorbed into stations", c.Cells)
+		}
+		if c.Cells >= 64 && c.MsgsPerOp >= 1 {
+			t.Errorf("64 cells: combined msgs/op = %.3f, want < 1", c.MsgsPerOp)
+		}
+	}
+}
+
 // TestRunQuickBatch covers the batched-issue experiment end to end,
 // including the JSON report.
 func TestRunQuickBatch(t *testing.T) {
 	path := t.TempDir() + "/batch.json"
-	if err := run("batch", true, 0, 0, "", false, "", path, ""); err != nil {
+	if err := run("batch", true, 0, 0, "", false, "", path, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)

@@ -150,6 +150,8 @@ func TestFlagBalanceTable(t *testing.T) {
 	assert("loopmult", "balanced", "P")
 	assert("loopover", "deadlock", "P")
 	assert("unknown", "skip: unrecognized loop bound", "unknown ×1")
+	assert("atomicmix", "balanced", "2")
+	assert("atomicover", "deadlock", "1")
 }
 
 // TestPragmas exercises the suppression grammar end to end: reasoned

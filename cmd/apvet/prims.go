@@ -95,6 +95,18 @@ var blockingPrims = map[string]string{
 	"(*" + dsmPkg + ".DSM).Load":                   "DSM.Load",
 	"(*" + dsmPkg + ".DSM).LoadF64":                "DSM.LoadF64",
 	"(*" + dsmPkg + ".DSM).Fence":                  "DSM.Fence",
+	// Fetching remote atomics block for the previous value, and the
+	// atomic fence blocks for outstanding acknowledgements; the
+	// non-fetching updates (AtomicAdd/Min/Max) are fire-and-forget and
+	// deliberately absent.
+	"(*" + machinePkg + ".Cell).FetchAdd":          "Cell.FetchAdd",
+	"(*" + machinePkg + ".Cell).CompareAndSwap":    "Cell.CompareAndSwap",
+	"(*" + machinePkg + ".Cell).Swap":              "Cell.Swap",
+	"(*" + machinePkg + ".Cell).FenceAtomics":      "Cell.FenceAtomics",
+	"(*" + corePkg + ".Comm).FetchAdd":             "Comm.FetchAdd",
+	"(*" + corePkg + ".Comm).CompareAndSwap":       "Comm.CompareAndSwap",
+	"(*" + corePkg + ".Comm).Swap":                 "Comm.Swap",
+	"(*" + corePkg + ".Comm).FenceAtomics":         "Comm.FenceAtomics",
 }
 
 // cellCountPrims return the machine's cell count — the P of the

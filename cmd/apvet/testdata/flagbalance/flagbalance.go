@@ -19,6 +19,8 @@ var underwait = mc.FlagID(12)
 var loopmult = mc.FlagID(13)
 var loopover = mc.FlagID(14)
 var unknown = mc.FlagID(15)
+var atomicmix = mc.FlagID(16)
+var atomicover = mc.FlagID(17)
 
 func balancedPair(c *core.Comm) error {
 	if err := c.Put(core.Transfer{To: 1, Remote: 0x100, Local: 0x200, Size: 8, SendFlag: balanced}); err != nil {
@@ -72,6 +74,44 @@ func loopOver(c *core.Comm, cell *machine.Cell) error {
 		}
 	}
 	c.WaitFlag(loopover, int64(np)+1) // want flagbalance
+	return nil
+}
+
+// atomicMix interleaves the remote-atomic suite with a flag protocol:
+// atomics raise no program flags (fetching ones block internally, the
+// non-fetching adds are fenced by FenceAtomics on the implicit ack
+// flag), so the count must still balance around them.
+func atomicMix(c *core.Comm) error {
+	if _, err := c.FetchAdd(1, 0x300, 1); err != nil {
+		return err
+	}
+	if err := c.Put(core.Transfer{To: 1, Remote: 0x100, Local: 0x200, Size: 8, SendFlag: atomicmix}); err != nil {
+		return err
+	}
+	if err := c.AtomicAdd(2, 0x300, 5); err != nil {
+		return err
+	}
+	if _, err := c.CompareAndSwap(2, 0x300, 0, 1); err != nil {
+		return err
+	}
+	if err := c.Put(core.Transfer{To: 2, Remote: 0x100, Local: 0x200, Size: 8, SendFlag: atomicmix}); err != nil {
+		return err
+	}
+	c.FenceAtomics()
+	c.WaitFlag(atomicmix, 2) // clean: atomics contribute no raises
+	return nil
+}
+
+// atomicOverWait still deadlocks with atomics in between — they must
+// not be mistaken for raises that could satisfy the wait.
+func atomicOverWait(c *core.Comm) error {
+	if err := c.Put(core.Transfer{To: 1, Remote: 0x100, Local: 0x200, Size: 8, SendFlag: atomicover}); err != nil {
+		return err
+	}
+	if _, err := c.Swap(1, 0x300, 7); err != nil {
+		return err
+	}
+	c.WaitFlag(atomicover, 2) // want flagbalance
 	return nil
 }
 

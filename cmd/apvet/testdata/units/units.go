@@ -4,6 +4,7 @@
 package app
 
 import (
+	"ap1000plus/internal/core"
 	"ap1000plus/internal/event"
 )
 
@@ -23,4 +24,19 @@ func schedule(p *Params, msgs []int) []event.Time {
 		event.Time(len(msgs)),                      // fine: integral expression
 		event.Microseconds(p.PutSetupTime),         // fine: sanctioned conversion
 	}
+}
+
+// scheduleAtomics models timestamping remote-atomic completions: the
+// fetched previous value is an integer count and converts cleanly, but
+// scaling it by a microsecond parameter reintroduces the float hazard.
+func scheduleAtomics(c *core.Comm, p *Params) ([]event.Time, error) {
+	old, err := c.FetchAdd(1, 0x300, 1)
+	if err != nil {
+		return nil, err
+	}
+	return []event.Time{
+		event.Time(old),                               // fine: integral fetch result
+		event.Time(float64(old) * p.LineTime),         // want units
+		event.Microseconds(float64(old) * p.LineTime), // fine: sanctioned conversion
+	}, nil
 }

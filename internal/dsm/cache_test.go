@@ -466,6 +466,144 @@ func TestDSMCacheHitZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestEvictionNoticeCleansDirectory: when the LRU bound silently drops
+// a page, the sharer's eviction notice must unregister it at the owner
+// — a later store to the evicted page sends ZERO invalidations, while
+// a page still resident draws exactly one. The regression this pins is
+// the owner's directory going stale on silent eviction and spraying
+// spurious invalidations forever after.
+func TestEvictionNoticeCleansDirectory(t *testing.T) {
+	m, err := machine.New(machine.Config{Width: 2, Height: 2, MemoryPerCell: 1 << 22, Observe: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := make([]*DSM, 4)
+	segs := make([]*mem.Segment, 4)
+	for id := 0; id < 4; id++ {
+		cell := m.Cell(topology.CellID(id))
+		if ds[id], err = New(cell); err != nil {
+			t.Fatal(err)
+		}
+		seg, data, err := cell.AllocFloat64("shared", 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		segs[id] = seg
+		data[0] = float64(10 + id)
+	}
+	ga := func(d *DSM, owner topology.CellID) GAddr {
+		a, err := d.Space().Global(owner, segs[owner].Base())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	err = m.Run(func(c *machine.Cell) error {
+		d := ds[c.ID()]
+		if c.ID() == 0 {
+			d.EnableWriteThroughPages()
+			d.SetCacheCapacity(1)
+			// Fill owner 2's page, then owner 3's: the second fill
+			// evicts the first and the eviction notice unregisters
+			// cell 0 at owner 2.
+			for _, owner := range []topology.CellID{2, 3} {
+				v, err := d.LoadF64(ga(d, owner))
+				if err != nil {
+					return err
+				}
+				if v != float64(10+int(owner)) {
+					t.Errorf("owner %d = %v", owner, v)
+				}
+			}
+			if cs := d.CacheStats(); cs.Evictions != 1 {
+				t.Errorf("sharer stats = %+v, want 1 eviction", cs)
+			}
+		}
+		c.HWBarrier()
+		// Owner 2's page was evicted: its store must invalidate nobody.
+		if c.ID() == 2 {
+			if err := d.StoreF64(ga(d, 2), 20.5); err != nil {
+				return err
+			}
+		}
+		// Owner 3's page is still cached: its store invalidates exactly
+		// cell 0's copy.
+		if c.ID() == 3 {
+			if err := d.StoreF64(ga(d, 3), 30.5); err != nil {
+				return err
+			}
+		}
+		c.HWBarrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs := ds[2].CacheStats(); cs.InvalsSent != 0 {
+		t.Errorf("evicted page's owner sent %d invalidations, want 0 (stale directory entry)", cs.InvalsSent)
+	}
+	if cs := ds[3].CacheStats(); cs.InvalsSent != 1 {
+		t.Errorf("resident page's owner sent %d invalidations, want 1", cs.InvalsSent)
+	}
+	if cs := ds[0].CacheStats(); cs.InvalsReceived != 1 {
+		t.Errorf("sharer received %d invalidations, want 1", cs.InvalsReceived)
+	}
+	mt := m.Metrics()
+	if tot := mt.Totals(); tot.DSMInvalsSent != 1 || tot.DSMInvalsRecv != 1 {
+		t.Errorf("obs invals sent/recv = %d/%d, want 1/1", tot.DSMInvalsSent, tot.DSMInvalsRecv)
+	}
+}
+
+// TestStaleEvictNoticeOutranked: an eviction notice that lost a race
+// against a newer caching fill carries an older epoch; the owner must
+// keep the fresher registration, so the sharer still gets its
+// invalidation. (The synchronous test network cannot reorder the
+// notice for real, so the stale notice is issued by hand.)
+func TestStaleEvictNoticeOutranked(t *testing.T) {
+	f := newFixture(t)
+	f.data[2][0] = 1.0
+	page := f.segs[2].Base() &^ mem.Addr(mem.PageSize-1)
+	err := f.m.Run(func(c *machine.Cell) error {
+		d := f.ds[c.ID()]
+		if c.ID() == 0 {
+			d.EnableWriteThroughPages()
+			// Fill registers cell 0 under epoch 1; the hand-built
+			// notice claims an eviction of an older (epoch-0) copy and
+			// must be outranked.
+			if _, err := d.LoadF64(f.ga(t, d, 2, 0)); err != nil {
+				return err
+			}
+			c.SendDSMEvict(2, page, 0)
+		}
+		c.HWBarrier()
+		if c.ID() == 2 {
+			if err := d.StoreF64(f.ga(t, d, 2, 0), 2.0); err != nil {
+				return err
+			}
+		}
+		c.HWBarrier()
+		if c.ID() == 0 {
+			v, err := d.LoadF64(f.ga(t, d, 2, 0))
+			if err != nil {
+				return err
+			}
+			if v != 2.0 {
+				t.Errorf("load after store = %v, want 2 (stale notice unregistered a live sharer)", v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs := f.ds[2].CacheStats(); cs.InvalsSent != 1 {
+		t.Errorf("owner sent %d invalidations, want 1 (registration lost to stale notice)", cs.InvalsSent)
+	}
+	if cs := f.ds[0].CacheStats(); cs.InvalsReceived != 1 {
+		t.Errorf("sharer received %d invalidations, want 1", cs.InvalsReceived)
+	}
+}
+
 // BenchmarkDSMCacheHit measures the cached load fast path.
 func BenchmarkDSMCacheHit(b *testing.B) {
 	f := newFixture(b)

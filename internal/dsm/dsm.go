@@ -144,6 +144,10 @@ type cachePage struct {
 	// pages — they drop them instead.
 	stale  bool
 	writer topology.CellID
+	// epoch is the fill generation this copy was registered under at
+	// the owner; an eviction notice echoes it so the owner can rank the
+	// notice against later re-registrations.
+	epoch int32
 
 	prev, next *cachePage
 }
@@ -173,8 +177,12 @@ type DSM struct {
 	// and the fill installs only if no invalidation arrived in
 	// between — an in-flight fill can never resurrect invalidated
 	// bytes.
-	gens  map[GAddr]uint64
-	stats CacheStats
+	gens map[GAddr]uint64
+	// fillEpoch counts caching fills per page; each fill registers the
+	// sharer at the owner under its epoch so silent-eviction notices
+	// can be ranked against re-fills.
+	fillEpoch map[GAddr]int32
+	stats     CacheStats
 	// view is the reusable payload the hit path returns: a view over
 	// the cached page's bytes, valid until the next operation on this
 	// DSM. Reusing one payload value is what makes hits
@@ -183,11 +191,11 @@ type DSM struct {
 
 	// dirMu guards the owner-side sharer directory: for each page of
 	// THIS cell's shared block (keyed by owner-local page address),
-	// the set of cells holding a cached copy. Lock order is dirMu
-	// before mu when both are needed; nothing sends packets while
-	// holding either.
+	// the cells holding a cached copy with the newest fill epoch each
+	// registered. Lock order is dirMu before mu when both are needed;
+	// nothing sends packets while holding either.
 	dirMu sync.Mutex
-	dir   map[mem.Addr]map[topology.CellID]bool
+	dir   map[mem.Addr]map[topology.CellID]int32
 }
 
 // CacheStats counts write-through-page activity.
@@ -215,9 +223,10 @@ func New(cell *machine.Cell) (*DSM, error) {
 		cell: cell, space: space, scratchSeg: seg, scratch: scratch,
 		coherent: true,
 		capacity: DefaultCachePages,
-		pages:    make(map[GAddr]*cachePage),
-		gens:     make(map[GAddr]uint64),
-		dir:      make(map[mem.Addr]map[topology.CellID]bool),
+		pages:     make(map[GAddr]*cachePage),
+		gens:      make(map[GAddr]uint64),
+		fillEpoch: make(map[GAddr]int32),
+		dir:       make(map[mem.Addr]map[topology.CellID]int32),
 	}
 	if o := cell.Machine().Observer(); o != nil {
 		d.cc = o.Cell(int(cell.ID()))
@@ -228,7 +237,8 @@ func New(cell *machine.Cell) (*DSM, error) {
 		Stored: func(writer topology.CellID, addr mem.Addr, size int64) {
 			d.stored(writer, addr, size)
 		},
-		Inval: d.inval,
+		Inval:   d.inval,
+		Evicted: d.evicted,
 	})
 	return d, nil
 }
@@ -294,15 +304,15 @@ func (d *DSM) Load(ga GAddr, size int64) (*mem.Payload, error) {
 	if p, ok := d.cacheRead(ga, size, cell); ok {
 		return p, nil
 	}
-	caching, gen := d.fillPrep(ga, size)
+	caching, gen, epoch := d.fillPrep(ga, size)
 	if !caching {
 		return d.cell.RemoteLoad(cell, laddr, size)
 	}
-	p, err := d.cell.RemoteLoadCaching(cell, laddr, size)
+	p, err := d.cell.RemoteLoadCaching(cell, laddr, size, epoch)
 	if err != nil {
 		return nil, err
 	}
-	d.cacheFill(ga, cell, p, gen)
+	d.cacheFill(ga, cell, p, gen, epoch)
 	return p, nil
 }
 
@@ -441,24 +451,32 @@ func covered(spans []span, lo, hi int64) bool {
 }
 
 // fillPrep snapshots the page's invalidation generation ahead of a
-// caching remote load; caching is false when the cache is off or the
-// range spans pages (plain remote load, no directory registration).
-func (d *DSM) fillPrep(ga GAddr, size int64) (caching bool, gen uint64) {
+// caching remote load and advances the page's fill epoch (the load
+// registers this cell at the owner under that epoch); caching is false
+// when the cache is off or the range spans pages (plain remote load,
+// no directory registration).
+func (d *DSM) fillPrep(ga GAddr, size int64) (caching bool, gen uint64, epoch int32) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if !d.on || pageOf(ga+GAddr(size)-1) != pageOf(ga) {
-		return false, 0
+		return false, 0, 0
 	}
-	return true, d.gens[pageOf(ga)]
+	pg := pageOf(ga)
+	d.fillEpoch[pg]++
+	return true, d.gens[pg], d.fillEpoch[pg]
 }
 
 // cacheFill installs a loaded payload's bytes into the page cache,
-// unless an invalidation for the page arrived after fillPrep.
-func (d *DSM) cacheFill(ga GAddr, owner topology.CellID, p *mem.Payload, gen uint64) {
+// unless an invalidation for the page arrived after fillPrep. Any
+// pages the capacity bound evicts have their silent-eviction notices
+// sent after the cache lock is released (nothing sends while holding
+// d.mu).
+func (d *DSM) cacheFill(ga GAddr, owner topology.CellID, p *mem.Payload, gen uint64, epoch int32) {
 	pg := pageOf(ga)
+	var evicted []evictNotice
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if !d.on || d.gens[pg] != gen {
+		d.mu.Unlock()
 		return // invalidated while the fill was in flight
 	}
 	cp := d.pages[pg]
@@ -466,21 +484,27 @@ func (d *DSM) cacheFill(ga GAddr, owner topology.CellID, p *mem.Payload, gen uin
 		cp = &cachePage{key: pg, owner: owner, data: make([]byte, mem.PageSize)}
 		d.pages[pg] = cp
 		d.lruFront(cp)
-		d.evictOver()
+		evicted = d.evictOver()
 	} else {
 		d.lruFront(cp)
 	}
+	cp.epoch = epoch
 	lo := int64(ga - pg)
+	installed := false
 	if b, ok := p.Bytes(); ok {
 		copy(cp.data[lo:], b)
+		installed = true
 	} else if vals, ok := p.Float64s(); ok {
 		for i, v := range vals {
 			binary.LittleEndian.PutUint64(cp.data[lo+int64(i)*8:], math.Float64bits(v))
 		}
-	} else {
-		return // nothing installed; leave spans unchanged
+		installed = true
 	}
-	cp.spans = addSpan(cp.spans, lo, lo+p.Size())
+	if installed {
+		cp.spans = addSpan(cp.spans, lo, lo+p.Size())
+	}
+	d.mu.Unlock()
+	d.sendEvictNotices(evicted)
 }
 
 // addSpan merges [lo, hi) into a sorted disjoint span set.
@@ -552,15 +576,30 @@ func (d *DSM) lruRemove(cp *cachePage) {
 	delete(d.pages, cp.key)
 }
 
-// evictOver drops LRU-tail pages until the capacity bound holds.
-// Caller holds d.mu. Eviction is silent: the owner's directory entry
-// goes stale and at worst sends one spurious invalidation, which the
-// sharer ignores.
-func (d *DSM) evictOver() {
+// evictNotice is one pending silent-eviction notification to a page
+// owner, collected under d.mu and sent after it is released.
+type evictNotice struct {
+	owner topology.CellID
+	page  mem.Addr // owner-local page address
+	epoch int32
+}
+
+// evictOver drops LRU-tail pages until the capacity bound holds and
+// returns the eviction notices the caller must send once d.mu is
+// released. Caller holds d.mu. The notice keeps the owner's directory
+// honest: without it every victim's entry would go stale and draw a
+// spurious invalidation on the owner's next store to the page.
+func (d *DSM) evictOver() []evictNotice {
+	var out []evictNotice
 	for len(d.pages) > d.capacity && d.lruTail != nil {
 		victim := d.lruTail
 		d.lruRemove(victim)
 		d.stats.Evictions++
+		out = append(out, evictNotice{
+			owner: victim.owner,
+			page:  mem.Addr(uint64(victim.key) - SharedBase - uint64(victim.owner)*d.space.blockSize),
+			epoch: victim.epoch,
+		})
 		if d.cc != nil {
 			d.cc.DSMEvictions.Add(1)
 		}
@@ -569,6 +608,15 @@ func (d *DSM) evictOver() {
 			o := d.cell.Machine().Observer()
 			d.tl.Instant(int(d.cell.ID()), obs.TidCPU, "dsm", "evict", o.NowUs())
 		}
+	}
+	return out
+}
+
+// sendEvictNotices flushes pending eviction notices. Must be called
+// without d.mu held.
+func (d *DSM) sendEvictNotices(notices []evictNotice) {
+	for _, n := range notices {
+		d.cell.SendDSMEvict(n.owner, n.page, n.epoch)
 	}
 }
 
@@ -592,8 +640,11 @@ func (d *DSM) cacheInvalidate(ga GAddr, size int64) {
 
 // shared is the owner-side directory registration (the machine's
 // Shared hook): sharer is about to hold a cached copy of pages of
-// this cell's block. Runs on a controller goroutine.
-func (d *DSM) shared(sharer topology.CellID, addr mem.Addr, size int64) {
+// this cell's block, filled under the given epoch. Registrations keep
+// the newest epoch seen, so a late-arriving eviction notice for an
+// older copy cannot unregister a fresher one. Runs on a controller
+// goroutine.
+func (d *DSM) shared(sharer topology.CellID, addr mem.Addr, size int64, epoch int32) {
 	if size <= 0 {
 		return
 	}
@@ -603,10 +654,30 @@ func (d *DSM) shared(sharer topology.CellID, addr mem.Addr, size int64) {
 	for pg := first; pg <= last; pg += mem.Addr(mem.PageSize) {
 		set := d.dir[pg]
 		if set == nil {
-			set = make(map[topology.CellID]bool)
+			set = make(map[topology.CellID]int32)
 			d.dir[pg] = set
 		}
-		set[sharer] = true
+		if have, ok := set[sharer]; !ok || have < epoch {
+			set[sharer] = epoch
+		}
+	}
+	d.dirMu.Unlock()
+}
+
+// evicted is the owner-side response to a sharer's silent-eviction
+// notice (the machine's Evicted hook): drop the sharer from the page's
+// set unless a newer fill has re-registered it — the notice raced a
+// re-fill and lost. Runs on a controller goroutine.
+func (d *DSM) evicted(sharer topology.CellID, page mem.Addr, epoch int64) {
+	pg := localPageOf(page)
+	d.dirMu.Lock()
+	if set := d.dir[pg]; set != nil {
+		if have, ok := set[sharer]; ok && int64(have) <= epoch {
+			delete(set, sharer)
+			if len(set) == 0 {
+				delete(d.dir, pg)
+			}
+		}
 	}
 	d.dirMu.Unlock()
 }

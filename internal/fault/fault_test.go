@@ -178,7 +178,9 @@ func TestSpecRoundTrip(t *testing.T) {
 		"class:put:drop=0.1,class:put:dup=0.2,class:get-reply:corrupt=1",
 		"link:0:1:drop=1 link:3:2:dup=0.5",
 		"class:send:drop=0", // all-zero override must survive
+		"class:atomic:drop=0.2,class:atomic-reply:dup=0.1,class:dsm-evict:drop=0.3",
 		"inject:0:1:put:3=drop,inject:1:0:get:0=none,inject:2:2:bcast:7=corrupt",
+		"inject:0:1:atomic:2=dup",
 		"drop=0.05;dup=0.02\nseed=11\tlink:1:1:reorder=1",
 	}
 	for _, spec := range specs {
@@ -234,6 +236,9 @@ func TestParseErrors(t *testing.T) {
 		"inject:0:1:put:x=drop",    // bad index
 		"inject:0:1:put:0=explode", // unknown kind
 		"inject:0:1::0=drop",       // empty class
+		"class:warp:drop=0.1",      // unknown message class
+		"class:puts:drop=0.1",      // near-miss class name
+		"inject:0:1:warp:0=drop",   // unknown injection class
 		"budget=-2",                // negative budget
 		"backoff=-1",               // negative backoff
 	}

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"ap1000plus/internal/msc"
 )
 
 // The text form of a Plan is a list of key=value entries separated by
@@ -24,6 +26,27 @@ import (
 
 // rateOrder fixes the canonical rate-key order.
 var rateOrder = []string{"drop", "dup", "reorder", "delay", "corrupt"}
+
+// wireClasses is the canonical message-class vocabulary a spec may
+// name: the msc op names plus "bcast" for the broadcast net — the same
+// list the machine passes to Build. Checking at Parse time makes a
+// typo'd class a loud CLI error instead of a late Build failure (or,
+// worse, a plan that silently never fires).
+var wireClasses = func() map[string]bool {
+	m := map[string]bool{"bcast": true}
+	for _, name := range msc.OpNames() {
+		m[name] = true
+	}
+	return m
+}()
+
+func checkClass(name, key string) error {
+	if wireClasses[name] {
+		return nil
+	}
+	return fmt.Errorf("fault: unknown message class %q in %q (classes: %s, bcast)",
+		name, key, strings.Join(msc.OpNames(), ", "))
+}
 
 // rateField returns a pointer to the named rate within r, or nil.
 func rateField(r *Rates, key string) *float64 {
@@ -85,6 +108,9 @@ func (p *Plan) apply(key, val string) error {
 		if len(parts) != 3 {
 			return fmt.Errorf("fault: class key %q wants class:<name>:<rate>", key)
 		}
+		if err := checkClass(parts[1], key); err != nil {
+			return err
+		}
 		f, err := parseRate(key, val)
 		if err != nil {
 			return err
@@ -135,8 +161,8 @@ func (p *Plan) apply(key, val string) error {
 		if err1 != nil || err2 != nil || err3 != nil || src < 0 || dst < 0 {
 			return fmt.Errorf("fault: bad injection key %q", key)
 		}
-		if parts[3] == "" {
-			return fmt.Errorf("fault: injection key %q has empty class", key)
+		if err := checkClass(parts[3], key); err != nil {
+			return err
 		}
 		k, err := parseKind(val)
 		if err != nil {

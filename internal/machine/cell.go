@@ -54,6 +54,20 @@ type Cell struct {
 	bcasts    []bcastMsg
 
 	rstores atomic.Int64 // remote stores issued (for fencing)
+	atoms   atomic.Int64 // non-fetching atomics issued (for fencing)
+
+	// atomMu serializes owner-side atomic RMWs on this cell's memory:
+	// requests from several senders' controller goroutines may deliver
+	// concurrently, and the read-modify-write must be indivisible.
+	atomMu sync.Mutex
+
+	// atomicWait holds the pending fetching-atomic completions by tag:
+	// a plain waiter forwards the fetched value to the issuing CPU's
+	// channel, a combining master's waiter de-combines a whole batch.
+	// Tag 0 is reserved for non-fetching updates (no waiter).
+	atomicMu   sync.Mutex
+	atomicSeq  int64
+	atomicWait map[int64]func(val int64, ok bool, exec int)
 
 	// dsmHooks connects the cell's MSC+ to the DSM page-cache
 	// directory when write-through paging is enabled (nil otherwise,
@@ -311,6 +325,8 @@ func (c *Cell) obsIssue(cmd *msc.Command) {
 		cc.RemoteStore.Add(1)
 	case msc.OpRemoteLoad:
 		cc.RemoteLoad.Add(1)
+	case msc.OpAtomic:
+		cc.Atomics.Add(1)
 	}
 	if tl := o.Timeline(); tl != nil {
 		tl.Instant(int(c.id), obs.TidCPU, "issue", cmd.Op.String(), o.NowUs())
@@ -322,6 +338,9 @@ func (c *Cell) obsIssue(cmd *msc.Command) {
 // The call never blocks: queue overflow spills to DRAM.
 func (c *Cell) PushUser(cmd msc.Command) {
 	cmd.Src = c.id
+	if cmd.Op == msc.OpAtomic && cmd.Tag == 0 {
+		c.atoms.Add(1) // non-fetching update: FenceAtomics counts it
+	}
 	c.sanIssue(&cmd)
 	c.obsIssue(&cmd)
 	c.push(qUser, cmd)
@@ -338,6 +357,9 @@ func (c *Cell) PushUserBatch(cmds []msc.Command) {
 	}
 	for i := range cmds {
 		cmds[i].Src = c.id
+		if cmds[i].Op == msc.OpAtomic && cmds[i].Tag == 0 {
+			c.atoms.Add(1)
+		}
 	}
 	if s := c.machine.san; s != nil {
 		// One released clock covers the whole batch: every command in
@@ -365,7 +387,7 @@ func (c *Cell) obsIssueBatch(cmds []msc.Command) {
 	}
 	var put, putS, putBytes int64
 	var get, getS, ackGet, getBytes int64
-	var send, sendBytes, rStore, rLoad int64
+	var send, sendBytes, rStore, rLoad, atoms int64
 	for i := range cmds {
 		cmd := &cmds[i]
 		switch cmd.Op {
@@ -394,6 +416,8 @@ func (c *Cell) obsIssueBatch(cmds []msc.Command) {
 			rStore++
 		case msc.OpRemoteLoad:
 			rLoad++
+		case msc.OpAtomic:
+			atoms++
 		}
 	}
 	cc := o.Cell(int(c.id))
@@ -405,6 +429,7 @@ func (c *Cell) obsIssueBatch(cmds []msc.Command) {
 		{&cc.Get, get}, {&cc.GetS, getS}, {&cc.AckGet, ackGet}, {&cc.GetBytes, getBytes},
 		{&cc.Send, send}, {&cc.SendBytes, sendBytes},
 		{&cc.RemoteStore, rStore}, {&cc.RemoteLoad, rLoad},
+		{&cc.Atomics, atoms},
 	} {
 		if u.n != 0 {
 			u.ctr.Add(u.n)
@@ -451,19 +476,21 @@ func (c *Cell) completeLoad(tag int64, p *mem.Payload) {
 // dst, through the privileged remote-access queue (S4.2: "remote load
 // is blocking"). It returns the loaded payload.
 func (c *Cell) RemoteLoad(dst topology.CellID, raddr mem.Addr, size int64) (*mem.Payload, error) {
-	return c.remoteLoad(dst, raddr, size, false)
+	return c.remoteLoad(dst, raddr, size, false, 0)
 }
 
 // RemoteLoadCaching is RemoteLoad with the command's cache-fill bit
 // set: the owning cell's MSC+ registers this cell as a sharer of the
 // loaded page before capturing the reply, so a later write-through
-// store to the page invalidates this cell's cached copy. Only the DSM
-// page cache issues these.
-func (c *Cell) RemoteLoadCaching(dst topology.CellID, raddr mem.Addr, size int64) (*mem.Payload, error) {
-	return c.remoteLoad(dst, raddr, size, true)
+// store to the page invalidates this cell's cached copy. epoch is the
+// loading cell's fill generation for the page, registered with the
+// sharer entry so a silent-eviction notice can be ranked against
+// later re-fills. Only the DSM page cache issues these.
+func (c *Cell) RemoteLoadCaching(dst topology.CellID, raddr mem.Addr, size int64, epoch int32) (*mem.Payload, error) {
+	return c.remoteLoad(dst, raddr, size, true, epoch)
 }
 
-func (c *Cell) remoteLoad(dst topology.CellID, raddr mem.Addr, size int64, caching bool) (*mem.Payload, error) {
+func (c *Cell) remoteLoad(dst topology.CellID, raddr mem.Addr, size int64, caching bool, epoch int32) (*mem.Payload, error) {
 	if size <= 0 {
 		return nil, fmt.Errorf("machine: remote load of %d bytes", size)
 	}
@@ -471,7 +498,7 @@ func (c *Cell) remoteLoad(dst topology.CellID, raddr mem.Addr, size int64, cachi
 	cmd := msc.Command{
 		Op: msc.OpRemoteLoad, Src: c.id, Dst: dst,
 		RAddr: raddr, RStride: mem.Contiguous(size), Tag: tag,
-		CacheFill: caching,
+		CacheFill: caching, Port: epoch,
 	}
 	c.sanIssue(&cmd)
 	c.obsIssue(&cmd)

@@ -67,6 +67,8 @@ func (m *Machine) process(c *Cell, cmd msc.Command) {
 	case msc.OpGet, msc.OpRemoteLoad:
 		// Request messages carry no payload; route them out.
 		m.xmit(c, tnet.Packet{Head: cmd, SanTid: exec})
+	case msc.OpAtomic:
+		m.routeAtomic(c, cmd, exec)
 	case msc.OpGetReply:
 		m.reply(c, cmd, exec)
 	case msc.OpRemoteLoadReply:
@@ -197,7 +199,7 @@ func (m *Machine) loadReply(c *Cell, cmd msc.Command, exec int) {
 			// copy the requester is about to receive, so the requester
 			// never holds an untracked page.
 			if h := c.dsmHooks.Load(); h != nil && h.Shared != nil {
-				h.Shared(cmd.Src, cmd.RAddr, cmd.RStride.Total())
+				h.Shared(cmd.Src, cmd.RAddr, cmd.RStride.Total(), cmd.Port)
 			}
 		}
 		if p, err := mem.CapturePayload(c.Mem, cmd.RAddr, cmd.RStride); err != nil {
@@ -237,6 +239,12 @@ func (c *Cell) receive(p tnet.Packet) bool {
 		case admitReject:
 			return false
 		case admitDup:
+			if p.Head.Op == msc.OpAtomic {
+				// Exactly-once atomics: a duplicated request must not
+				// re-execute the RMW, but the requester may still need the
+				// result — serve it from the link's replay cache.
+				c.replayAtomic(p)
+			}
 			return true
 		}
 	}
@@ -328,6 +336,50 @@ func (c *Cell) receive(p tnet.Packet) bool {
 			if tl := o.Timeline(); tl != nil {
 				tl.Instant(int(c.id), obs.TidMSC, "dsm", "inval-recv", o.NowUs())
 			}
+		}
+		return true
+
+	case msc.OpDSMEvict:
+		// A sharer silently dropped its cached copy: deregister it so
+		// later stores stop sending it spurious invalidations. Tag
+		// carries the fill epoch of the evicted copy; the hook ignores
+		// notices older than the sharer's current registration.
+		if h := c.dsmHooks.Load(); h != nil && h.Evicted != nil {
+			h.Evicted(cmd.Src, cmd.RAddr, cmd.Tag)
+		}
+		if o := m.obs; o != nil {
+			if tl := o.Timeline(); tl != nil {
+				tl.Instant(int(c.id), obs.TidMSC, "dsm", "evict-recv", o.NowUs())
+			}
+		}
+		return true
+
+	case msc.OpAtomic:
+		// The owner's MC executes the RMW under the dedup gate, so it
+		// fires exactly once per request, and answers inline like a
+		// remote-store ack — no processor involvement.
+		old, faulted := c.execAtomic(cmd)
+		if r := m.rel; r != nil && !faulted {
+			r.noteResult(cmd.Src, cmd.Dst, p.Head.Seq, old)
+		}
+		reply := msc.Command{
+			Op: msc.OpAtomicReply, Src: c.id, Dst: cmd.Src,
+			RAddr: cmd.RAddr, AOp: cmd.AOp, AVal: old, Tag: cmd.Tag,
+		}
+		if faulted {
+			reply.ACmp = 1
+		}
+		m.xmit(c, tnet.Packet{Head: reply, SanTid: exec})
+		return true
+
+	case msc.OpAtomicReply:
+		if cmd.Tag == 0 {
+			// Acknowledgement of a non-fetching update: raise the
+			// implicit fence flag, like a remote-store ack.
+			m.sanFlagInc(exec, int(c.id), mc.AtomicAckFlagID)
+			c.Flags.Inc(mc.AtomicAckFlagID)
+		} else {
+			c.completeAtomic(cmd.Tag, cmd.AVal, cmd.ACmp == 0, exec)
 		}
 		return true
 

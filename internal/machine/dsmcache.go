@@ -22,8 +22,10 @@ type DSMHooks struct {
 	// of [addr, addr+size) of this cell's memory. Called after address
 	// translation and BEFORE the reply payload is captured, so a store
 	// that lands after registration is guaranteed to invalidate the
-	// copy the sharer receives.
-	Shared func(sharer topology.CellID, addr mem.Addr, size int64)
+	// copy the sharer receives. epoch is the sharer's fill generation
+	// for the page, echoed back in eviction notices so the owner can
+	// tell a stale notice from one that outranks the registration.
+	Shared func(sharer topology.CellID, addr mem.Addr, size int64, epoch int32)
 	// Stored fires on the owning cell when a remote store into
 	// [addr, addr+size) of its memory has been delivered, BEFORE the
 	// store is acknowledged: the directory owner invalidates every
@@ -34,6 +36,13 @@ type DSMHooks struct {
 	// at owner-local address page in owner's memory arrives; writer is
 	// the cell whose store triggered it.
 	Inval func(owner topology.CellID, page mem.Addr, writer topology.CellID)
+	// Evicted fires on the owning cell when a sharer reports it has
+	// silently dropped its cached copy of the page at owner-local
+	// address page (capacity eviction). epoch is the fill generation
+	// the sharer registered that copy under: the owner must keep the
+	// registration if it has since re-registered the sharer at a newer
+	// epoch (the notice raced a re-fill).
+	Evicted func(sharer topology.CellID, page mem.Addr, epoch int64)
 }
 
 // SetDSMHooks installs the DSM cache's directory hooks. Installing
@@ -59,6 +68,27 @@ func (c *Cell) SendDSMInval(dst topology.CellID, page mem.Addr, writer topology.
 		o.Cell(int(c.id)).DSMInvalsSent.Add(1)
 		if tl := o.Timeline(); tl != nil {
 			tl.Instant(int(c.id), obs.TidMSC, "dsm", "inval-send", o.NowUs())
+		}
+	}
+	c.machine.xmit(c, tnet.Packet{Head: cmd, SanTid: -1})
+}
+
+// SendDSMEvict notifies the page owner dst that this cell has evicted
+// its cached copy of the page at owner-local address page, registered
+// under fill generation epoch. The owner drops this cell from the
+// page's sharer set (unless a newer registration outranks the notice),
+// so later stores stop sending spurious invalidations. Called by the
+// DSM cache from CPU context after the eviction is already effective
+// locally; losing the notice under a fault plan only costs extra
+// invalidations, never correctness.
+func (c *Cell) SendDSMEvict(dst topology.CellID, page mem.Addr, epoch int32) {
+	cmd := msc.Command{
+		Op: msc.OpDSMEvict, Src: c.id, Dst: dst,
+		RAddr: page, Tag: int64(epoch),
+	}
+	if o := c.machine.obs; o != nil {
+		if tl := o.Timeline(); tl != nil {
+			tl.Instant(int(c.id), obs.TidMSC, "dsm", "evict-send", o.NowUs())
 		}
 	}
 	c.machine.xmit(c, tnet.Packet{Head: cmd, SanTid: -1})

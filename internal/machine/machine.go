@@ -89,6 +89,13 @@ type Config struct {
 	// fault counters ride the obs layer). Nil costs one pointer check
 	// per send — the wire is trusted, exactly the pre-fault machine.
 	Fault *fault.Plan
+	// Combining arms the T-net's in-network combining of same-address
+	// combinable remote atomics (fetch-add, add, min, max): requests
+	// merge at switch-level combining stations on the way to the owner
+	// and the fetch results de-combine on the way down. Purely a
+	// message-count optimization — combined and uncombined runs return
+	// the same results.
+	Combining bool
 }
 
 func (c *Config) fill() error {
@@ -118,7 +125,8 @@ type Machine struct {
 	ts       *trace.TraceSet
 	san      *apsan.Sanitizer
 	obs      *obs.Observer
-	rel      *relay // reliable delivery; nil without Config.Fault
+	rel      *relay         // reliable delivery; nil without Config.Fault
+	comb     *tnet.Combiner // in-network combining; nil without Config.Combining
 
 	groupMu sync.Mutex
 	groups  []*topology.Group // index = trace.GroupID
@@ -142,6 +150,9 @@ func New(cfg Config) (*Machine, error) {
 		snet:  snet.New(torus.Cells()),
 	}
 	m.groups = []*topology.Group{topology.AllCells(torus)}
+	if cfg.Combining {
+		m.comb = tnet.NewCombiner(torus.Cells())
+	}
 	if cfg.TraceApp != "" {
 		m.ts = trace.New(cfg.TraceApp, cfg.Width, cfg.Height)
 	}
@@ -303,6 +314,12 @@ func (m *Machine) Run(program func(c *Cell) error) error {
 		if m.rel == nil || m.tnet.FlushHeld() == 0 {
 			break
 		}
+	}
+	if m.rel != nil {
+		// Quiescent: collapse the dedup holes left by abandoned
+		// (retry-budget-exhausted) packets so the per-link seen windows
+		// drain to empty instead of growing for the rest of the run.
+		m.rel.reconcile()
 	}
 	for _, c := range m.cells {
 		c.MSC.Close()

@@ -177,6 +177,10 @@ func (mt *Metrics) Format(w io.Writer) error {
 		p("  dsm-cache   hits=%d misses=%d evictions=%d invals-sent=%d invals-recv=%d\n",
 			t.DSMHits, t.DSMMisses, t.DSMEvictions, t.DSMInvalsSent, t.DSMInvalsRecv)
 	}
+	if t.Atomics|t.AtomicsExecuted|t.AtomicsCombined|t.AtomicReplays != 0 {
+		p("  atomics     issued=%d executed=%d combined=%d replays=%d\n",
+			t.Atomics, t.AtomicsExecuted, t.AtomicsCombined, t.AtomicReplays)
+	}
 	if err := p("  mc          flag-incs=%d, cache-lines-invalidated=%d\n", flagIncs, inval); err != nil || mt.Fault == nil {
 		return err
 	}

@@ -53,6 +53,13 @@ type relay struct {
 	faults []error
 }
 
+// atomicReplayWindow bounds the per-link result-replay cache: the
+// fetch results of the last atomicReplayWindow executed atomic
+// requests on the link. Duplicates older than the window lose their
+// cached result (the replay degrades to a bare ack), so the cache can
+// never grow with the run length.
+const atomicReplayWindow = 128
+
 // relLink is one directed (src, dst) link's reliable-delivery state:
 // the sender-side sequence counter and the receiver-side dedup window.
 // Several controller goroutines can transmit on one link (a cell's own
@@ -66,6 +73,21 @@ type relLink struct {
 	// from reordering), collapsed back into contig as they fill.
 	contig uint64
 	seen   map[uint64]bool
+	// abandoned holds sender-side sequence numbers whose retry budget
+	// was exhausted. An abandoned seq may never arrive, which would
+	// leave a permanent hole under the receive watermark and let seen
+	// grow without bound; the machine's drain reconciles these holes
+	// (see relay.reconcile). Entries are dropped when the packet lands
+	// late after all (a limbo copy flushed at drain).
+	abandoned map[uint64]bool
+	// results is the atomic result-replay cache: fetch results of
+	// executed OpAtomic requests keyed by seq, bounded to the last
+	// atomicReplayWindow entries FIFO. A duplicated fetch-add must
+	// return the cached old value instead of re-executing — unlike the
+	// idempotent flag increments, a replayed RMW is observable.
+	results    map[uint64]int64
+	resultFifo [atomicReplayWindow]uint64
+	resultPos  int
 }
 
 // see records seq as received and reports whether it was a duplicate.
@@ -73,6 +95,7 @@ func (l *relLink) see(seq uint64) (dup bool) {
 	if seq <= l.contig || l.seen[seq] {
 		return true
 	}
+	delete(l.abandoned, seq) // landed after all (late limbo delivery)
 	if seq == l.contig+1 {
 		l.contig++
 		for l.seen[l.contig+1] {
@@ -86,6 +109,75 @@ func (l *relLink) see(seq uint64) (dup bool) {
 	}
 	l.seen[seq] = true
 	return false
+}
+
+// cacheResult records the fetch result of an executed atomic request,
+// evicting the oldest cached result once the window is full.
+func (l *relLink) cacheResult(seq uint64, val int64) {
+	if l.results == nil {
+		l.results = make(map[uint64]int64, atomicReplayWindow)
+	}
+	if old := l.resultFifo[l.resultPos]; old != 0 {
+		delete(l.results, old)
+	}
+	l.resultFifo[l.resultPos] = seq
+	l.resultPos = (l.resultPos + 1) % atomicReplayWindow
+	l.results[seq] = val
+}
+
+// abandon marks a sender-side seq as permanently undeliverable.
+func (r *relay) abandon(src, dst topology.CellID, seq uint64) {
+	link := &r.links[int(src)*r.cells+int(dst)]
+	link.mu.Lock()
+	if seq > link.contig && !link.seen[seq] {
+		if link.abandoned == nil {
+			link.abandoned = make(map[uint64]bool)
+		}
+		link.abandoned[seq] = true
+	}
+	link.mu.Unlock()
+}
+
+// cachedResult looks up the replay cache for a duplicated atomic
+// request on the (src, dst) link.
+func (r *relay) cachedResult(src, dst topology.CellID, seq uint64) (int64, bool) {
+	link := &r.links[int(src)*r.cells+int(dst)]
+	link.mu.Lock()
+	v, ok := link.results[seq]
+	link.mu.Unlock()
+	return v, ok
+}
+
+// noteResult stores an executed atomic's fetch result in the (src,
+// dst) link's replay cache.
+func (r *relay) noteResult(src, dst topology.CellID, seq uint64, val int64) {
+	link := &r.links[int(src)*r.cells+int(dst)]
+	link.mu.Lock()
+	link.cacheResult(seq, val)
+	link.mu.Unlock()
+}
+
+// reconcile runs once the machine is quiescent (inflight drained,
+// limbo flushed): every abandoned seq that still never arrived is
+// marked received so the holes it left collapse and the dedup windows
+// drain to empty. Without this, a retry-budget exhaustion under a
+// sustained reorder plan grows seen without bound for the rest of the
+// run.
+func (r *relay) reconcile() {
+	for i := range r.links {
+		l := &r.links[i]
+		l.mu.Lock()
+		for len(l.abandoned) > 0 {
+			// Marking one abandoned seq may collapse others; loop until
+			// the set is empty (see deletes entries as they land).
+			for seq := range l.abandoned {
+				delete(l.abandoned, seq)
+				l.see(seq)
+				break
+			}
+		}
+		l.mu.Unlock()
+	}
 }
 
 func newRelay(m *Machine, inj *fault.Injector) *relay {
@@ -108,6 +200,7 @@ func packetSum(h msc.Command, payload *mem.Payload) uint64 {
 		uint64(h.SendFlag), uint64(h.RecvFlag),
 		uint64(h.Port), uint64(h.Tag), h.Seq,
 		b2u64(h.CacheFill),
+		uint64(h.AOp), uint64(h.AVal), uint64(h.ACmp),
 	} {
 		for i := 0; i < 64; i += 8 {
 			s = (s ^ (w >> i & 0xff)) * prime
@@ -167,6 +260,7 @@ func (m *Machine) xmit(c *Cell, p tnet.Packet) bool {
 		}
 	}
 	cf := &CellFault{Cell: c.id, Dst: p.Head.Dst, Op: p.Head.Op, Seq: p.Head.Seq, Attempts: max}
+	r.abandon(p.Head.Src, p.Head.Dst, p.Head.Seq)
 	r.record(cf)
 	c.OS.interrupt(IntrCellFault)
 	c.OS.fault(cf)

@@ -1,0 +1,115 @@
+package mc
+
+import "fmt"
+
+// AtomicOp names a remote read-modify-write operation on one 8-byte
+// cell-memory word — the generalization of the MC's fetch-and-
+// increment flag updater (S4.1) into the remote atomic suite. The
+// operation executes at the owning cell's controller; fetching
+// operations return the old word to the issuer.
+type AtomicOp uint8
+
+const (
+	// AtomicFetchAdd adds the operand and returns the old value.
+	AtomicFetchAdd AtomicOp = iota
+	// AtomicAdd adds the operand without returning a value.
+	AtomicAdd
+	// AtomicCAS stores the operand iff the word equals the compare
+	// value, returning the old value either way.
+	AtomicCAS
+	// AtomicSwap stores the operand and returns the old value.
+	AtomicSwap
+	// AtomicMin lowers the word to the operand if smaller (signed).
+	AtomicMin
+	// AtomicMax raises the word to the operand if larger (signed).
+	AtomicMax
+
+	numAtomicOps
+)
+
+// NumAtomicOps is the number of atomic operation codes.
+const NumAtomicOps = int(numAtomicOps)
+
+var atomicNames = [numAtomicOps]string{
+	"fetch-add", "add", "cas", "swap", "min", "max",
+}
+
+func (o AtomicOp) String() string {
+	if int(o) < len(atomicNames) {
+		return atomicNames[o]
+	}
+	return fmt.Sprintf("atomic-op(%d)", uint8(o))
+}
+
+// Fetching reports whether the operation returns the old word to the
+// issuer (the issuer blocks for the reply; non-fetching updates are
+// fire-and-forget and fenced through AtomicAckFlagID).
+func (o AtomicOp) Fetching() bool {
+	switch o {
+	case AtomicFetchAdd, AtomicCAS, AtomicSwap:
+		return true
+	}
+	return false
+}
+
+// Combinable reports whether two same-address operations of this kind
+// can merge into one inside the network (the Ultracomputer combining
+// rule): adds combine by summing operands, min/max by folding them.
+// CompareAndSwap and Swap depend on interleaving order and never
+// combine.
+func (o AtomicOp) Combinable() bool {
+	switch o {
+	case AtomicFetchAdd, AtomicAdd, AtomicMin, AtomicMax:
+		return true
+	}
+	return false
+}
+
+// ApplyAtomic is the MC's atomic ALU: given the old word, the operand
+// and the compare value it returns the word to store back and the
+// value a fetching operation reports. Addition wraps like the
+// hardware's 64-bit adder, so combining stays exact.
+func ApplyAtomic(op AtomicOp, old, operand, cmp int64) (stored, fetched int64) {
+	switch op {
+	case AtomicFetchAdd, AtomicAdd:
+		return old + operand, old
+	case AtomicCAS:
+		if old == cmp {
+			return operand, old
+		}
+		return old, old
+	case AtomicSwap:
+		return operand, old
+	case AtomicMin:
+		if operand < old {
+			return operand, old
+		}
+		return old, old
+	case AtomicMax:
+		if operand > old {
+			return operand, old
+		}
+		return old, old
+	}
+	panic(fmt.Sprintf("mc: unknown atomic op %d", uint8(op)))
+}
+
+// CombineAtomic folds two operands of one combinable operation into
+// the single operand the combined request carries upward.
+func CombineAtomic(op AtomicOp, a, b int64) int64 {
+	switch op {
+	case AtomicFetchAdd, AtomicAdd:
+		return a + b
+	case AtomicMin:
+		if b < a {
+			return b
+		}
+		return a
+	case AtomicMax:
+		if b > a {
+			return b
+		}
+		return a
+	}
+	panic(fmt.Sprintf("mc: combine of non-combinable atomic op %s", op))
+}

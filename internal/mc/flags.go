@@ -27,6 +27,11 @@ const AckFlagID FlagID = -1
 // PUT-level AckWait.
 const RemoteAckFlagID FlagID = -2
 
+// AtomicAckFlagID is the implicit flag raised by the acknowledgement
+// of a non-fetching remote atomic (Add/Min/Max). Distinct from the
+// other implicit flags so FenceAtomics counts only atomic traffic.
+const AtomicAckFlagID FlagID = -3
+
 // Flags is a cell's flag file. Flags are "normal variables specified
 // in the user programs" (S4.1); the MC increments them atomically
 // when the MSC+ signals DMA completion ("the MC has an incrementer,

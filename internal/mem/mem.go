@@ -183,6 +183,26 @@ func (sp *Space) Resolve(addr Addr, n int64) (*Segment, error) {
 // mutate the slice.
 func (sp *Space) Segments() []*Segment { return sp.segs }
 
+// LoadWord8 reads the 8-byte word at addr — the access width of the
+// remote atomic suite. Float64 segments require 8-alignment; byte
+// segments are read little-endian.
+func (sp *Space) LoadWord8(addr Addr) (uint64, error) {
+	seg, err := sp.Resolve(addr, 8)
+	if err != nil {
+		return 0, err
+	}
+	return readElem8(seg, int64(addr-seg.base))
+}
+
+// StoreWord8 writes the 8-byte word at addr (see LoadWord8).
+func (sp *Space) StoreWord8(addr Addr, v uint64) error {
+	seg, err := sp.Resolve(addr, 8)
+	if err != nil {
+		return err
+	}
+	return writeElem8(seg, int64(addr-seg.base), v)
+}
+
 // readElem8 reads the 8 bytes at byte offset off within seg, which
 // must be 8-aligned for Float64 segments.
 func readElem8(seg *Segment, off int64) (uint64, error) {

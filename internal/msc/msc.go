@@ -46,6 +46,24 @@ const (
 	// payload; RAddr is the owner-local page address and Tag the
 	// writing cell.
 	OpDSMInval
+	// OpAtomic asks the destination's MSC+ to execute a read-modify-
+	// write (the remote atomic suite generalizing the MC's S4.1
+	// fetch-and-increment) on one 8-byte word of cell memory. AOp names
+	// the operation, RAddr the word, AVal the operand and ACmp the
+	// compare value (CompareAndSwap only). Tag correlates the reply for
+	// fetching operations; Tag 0 marks a non-fetching update whose
+	// reply serves only as the fence acknowledgement.
+	OpAtomic
+	// OpAtomicReply carries the fetched old value back (AVal), or the
+	// bare acknowledgement for a non-fetching atomic (Tag 0). ACmp is
+	// nonzero when the owner faulted instead of executing.
+	OpAtomicReply
+	// OpDSMEvict notifies a page's owner that the sender silently
+	// dropped its cached copy (LRU capacity eviction), so the owner can
+	// deregister the sharer instead of sending spurious invalidations.
+	// RAddr is the owner-local page address, Tag the fill epoch of the
+	// evicted copy (stale notices lose to a newer registration).
+	OpDSMEvict
 
 	numOps
 )
@@ -56,7 +74,7 @@ const NumOps = int(numOps)
 
 var opNames = [numOps]string{
 	"put", "get", "get-reply", "rstore", "rstore-ack", "rload", "rload-reply", "send",
-	"dsm-inval",
+	"dsm-inval", "atomic", "atomic-reply", "dsm-evict",
 }
 
 func (o Op) String() string {
@@ -113,8 +131,18 @@ type Command struct {
 	// CacheFill marks a remote load issued to fill a DSM page cache:
 	// the owning cell's MSC+ registers the requester in its sharer
 	// directory before capturing the reply, so a later write-through
-	// store invalidates the requester's copy.
+	// store invalidates the requester's copy. Port doubles as the
+	// sharer's fill epoch on such loads (OpSend and cache fills never
+	// mix on one command).
 	CacheFill bool
+	// AOp, AVal and ACmp are the atomic header (OpAtomic /
+	// OpAtomicReply): the ALU operation, its operand (or the fetched
+	// old value on the reply) and the CompareAndSwap compare value
+	// (re-used as the fault marker on replies). Plain integers so the
+	// command stays GC-transparent.
+	AOp  mc.AtomicOp
+	AVal int64
+	ACmp int64
 	// Seq and Sum are the reliable-delivery header (fault layer): Seq
 	// is the packet's sequence number on its (Src, Dst) link, Sum the
 	// end-to-end checksum over header and payload. Both stay zero when

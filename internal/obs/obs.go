@@ -65,6 +65,15 @@ type CellCounters struct {
 	// applied to this cell's cache as a sharer.
 	DSMHits, DSMMisses, DSMEvictions atomic.Int64
 	DSMInvalsSent, DSMInvalsRecv     atomic.Int64
+
+	// Remote-atomic activity. Atomics counts requests this cell's CPU
+	// issued; AtomicsExecuted RMWs this cell's controller performed as
+	// the word's owner; AtomicsCombined requests absorbed into T-net
+	// combining stations instead of reaching the wire (Config.Combining);
+	// AtomicReplays duplicate requests served from the reliable path's
+	// result-replay cache instead of re-executing.
+	Atomics, AtomicsExecuted       atomic.Int64
+	AtomicsCombined, AtomicReplays atomic.Int64
 }
 
 // CellSnapshot is the plain-integer copy of a CellCounters block,
@@ -84,6 +93,8 @@ type CellSnapshot struct {
 	CellFaults                       int64
 	DSMHits, DSMMisses, DSMEvictions int64
 	DSMInvalsSent, DSMInvalsRecv     int64
+	Atomics, AtomicsExecuted         int64
+	AtomicsCombined, AtomicReplays   int64
 }
 
 // Snapshot copies the counters at a point in time.
@@ -105,6 +116,8 @@ func (c *CellCounters) Snapshot() CellSnapshot {
 		DSMHits:    c.DSMHits.Load(), DSMMisses: c.DSMMisses.Load(),
 		DSMEvictions:  c.DSMEvictions.Load(),
 		DSMInvalsSent: c.DSMInvalsSent.Load(), DSMInvalsRecv: c.DSMInvalsRecv.Load(),
+		Atomics: c.Atomics.Load(), AtomicsExecuted: c.AtomicsExecuted.Load(),
+		AtomicsCombined: c.AtomicsCombined.Load(), AtomicReplays: c.AtomicReplays.Load(),
 	}
 }
 
@@ -140,6 +153,10 @@ func (s *CellSnapshot) Add(o CellSnapshot) {
 	s.DSMEvictions += o.DSMEvictions
 	s.DSMInvalsSent += o.DSMInvalsSent
 	s.DSMInvalsRecv += o.DSMInvalsRecv
+	s.Atomics += o.Atomics
+	s.AtomicsExecuted += o.AtomicsExecuted
+	s.AtomicsCombined += o.AtomicsCombined
+	s.AtomicReplays += o.AtomicReplays
 }
 
 // Observer is a machine-wide observation context: one counter block

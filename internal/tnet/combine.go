@@ -1,0 +1,108 @@
+package tnet
+
+// In-network combining of remote atomics (the Ultracomputer
+// fetch-and-add design, carried to exascale by modern in-network
+// computing): on their way toward the owning cell, same-address
+// combinable operations meet at combining stations — one per T-net
+// switch level of the route's fan-in tree — and merge into a single
+// request. One wire message updates memory once with the folded
+// operand; the reply de-combines on the way down, handing every
+// participant the fetch result it would have seen had the requests
+// executed back-to-back in join order. A hot counter hammered by all
+// n cells costs O(log n)-ish messages instead of O(n).
+//
+// The combiner holds only the tree bookkeeping; the machine layer
+// drives it (Submit) and resolves replies (walking the returned
+// AtomNode). Joining never blocks: a controller either appends to an
+// open station and returns immediately, or becomes the station's
+// master, holds it open for one scheduling quantum so siblings can
+// join, and carries the merged batch up the next level.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ap1000plus/internal/mc"
+	"ap1000plus/internal/mem"
+	"ap1000plus/internal/topology"
+)
+
+// AtomNode is one node of a combining tree. A leaf is one cell's
+// original request (Cell, Tag, its own operand in Delta); an interior
+// node is a closed station batch whose Delta folds the whole
+// subtree's operands in join order (Kids[0] is the master that opened
+// the station).
+type AtomNode struct {
+	Cell  topology.CellID
+	Tag   int64
+	Delta int64
+	Kids  []*AtomNode
+}
+
+// stationKey addresses one combining station: requests meet when they
+// share the switch level, the level's cell group on the way to the
+// owner, the owner, the word address and the operation.
+type stationKey struct {
+	level int
+	group int
+	dst   topology.CellID
+	addr  mem.Addr
+	op    mc.AtomicOp
+}
+
+// Combiner is the network's combining-station state.
+type Combiner struct {
+	levels   int
+	mu       sync.Mutex
+	open     map[stationKey]*AtomNode
+	combined atomic.Int64
+}
+
+// NewCombiner sizes the tree for the machine: ceil(log2(cells))
+// switch levels, so the fan-in halves the contender groups per level.
+func NewCombiner(cells int) *Combiner {
+	levels := 0
+	for n := 1; n < cells; n <<= 1 {
+		levels++
+	}
+	return &Combiner{levels: levels, open: make(map[stationKey]*AtomNode)}
+}
+
+// Submit carries one combinable request up the tree on behalf of cell
+// from. If the request joins an open station it is absorbed — no wire
+// message — and Submit returns (nil, false); the station's master
+// will de-combine this request's result out of its own reply.
+// Otherwise the caller masters a station at every level and Submit
+// returns the root batch the caller must transmit as one combined
+// request (root.Delta is the folded operand).
+func (cb *Combiner) Submit(from, dst topology.CellID, addr mem.Addr, op mc.AtomicOp, tag, delta int64) (*AtomNode, bool) {
+	node := &AtomNode{Cell: from, Tag: tag, Delta: delta}
+	for level := 0; level < cb.levels; level++ {
+		key := stationKey{level, int(from) >> (level + 1), dst, addr, op}
+		cb.mu.Lock()
+		if open := cb.open[key]; open != nil {
+			open.Kids = append(open.Kids, node)
+			open.Delta = mc.CombineAtomic(op, open.Delta, node.Delta)
+			cb.mu.Unlock()
+			cb.combined.Add(1)
+			return nil, false
+		}
+		parent := &AtomNode{Delta: node.Delta, Kids: []*AtomNode{node}}
+		cb.open[key] = parent
+		cb.mu.Unlock()
+		// Hold the station open for one scheduling quantum so sibling
+		// controllers in flight can join; correctness does not depend
+		// on who makes it in.
+		runtime.Gosched()
+		cb.mu.Lock()
+		delete(cb.open, key)
+		cb.mu.Unlock()
+		node = parent
+	}
+	return node, true
+}
+
+// Combined reports how many requests were absorbed into stations
+// (each saved one wire round trip).
+func (cb *Combiner) Combined() int64 { return cb.combined.Load() }
