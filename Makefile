@@ -40,6 +40,7 @@ verify:
 	$(GO) test -race ./...
 	$(GO) test -run 'TestPutIssueZeroAllocUnobserved|TestBatchIssueZeroAllocUnobserved' .
 	$(GO) test -run TestDSMCacheHitZeroAlloc ./internal/dsm/
+	$(GO) test -run TestPGASAggregatedZeroAlloc ./internal/pgas/
 	$(GO) test -run TestTablesDeterministicOrder ./internal/stats/
 	$(MAKE) chaos
 
@@ -49,7 +50,7 @@ verify:
 # fuzz passes over the fault-plan parser and the trace codec's
 # corrupted-wire seeds.
 chaos:
-	$(GO) test -race -run 'TestChaos|TestFaultProperty|TestBatchMatchesSingleIssue' .
+	$(GO) test -race -run 'TestChaos|TestFaultProperty|TestBatchMatchesSingleIssue|TestPGASProperty' .
 	$(GO) test -fuzz FuzzPlan -fuzztime 5s ./internal/fault/
 	$(GO) test -fuzz FuzzRead -fuzztime 5s ./internal/trace/
 
@@ -59,14 +60,17 @@ chaos:
 # (commands issued, T-net messages, ns/step for the stencil,
 # redistribute and matmul workloads), and BENCH_dsmcache.json, the
 # coherent DSM page cache vs plain blocking remote loads (hit rate,
-# message counts and wall-clock speedup on the gather kernel), for
-# diffing communication behaviour across changes.
+# message counts and wall-clock speedup on the gather kernel), and
+# BENCH_pgas.json, the PGAS bale kernels naive vs aggregated (T-net
+# messages per operation on histogram and index-gather), for diffing
+# communication behaviour across changes.
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./...
 	$(GO) run ./cmd/apbench -experiment table2 -metrics-json BENCH_obs.json > /dev/null
 	$(GO) run ./cmd/apbench -experiment batch -batch-json BENCH_batch.json > /dev/null
 	$(GO) run ./cmd/apbench -experiment dsmcache -dsmcache-json BENCH_dsmcache.json > /dev/null
 	$(GO) run ./cmd/apbench -experiment atomics -atomics-json BENCH_atomics.json > /dev/null
+	$(GO) run ./cmd/apbench -experiment pgas -pgas-json BENCH_pgas.json > /dev/null
 
 # Short fuzz pass over the trace codec (corpus seeds under
 # internal/trace/testdata/fuzz are always exercised by plain go test).

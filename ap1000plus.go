@@ -58,6 +58,7 @@ import (
 	"ap1000plus/internal/mem"
 	"ap1000plus/internal/mlsim"
 	"ap1000plus/internal/obs"
+	"ap1000plus/internal/pgas"
 	"ap1000plus/internal/params"
 	"ap1000plus/internal/sendrecv"
 	"ap1000plus/internal/topology"
@@ -195,6 +196,42 @@ func NewCyclicArray1D(m *Machine, name string, n int) (*CyclicArray1D, error) {
 // NewBlock2D allocates a two-dimensionally partitioned global array.
 func NewBlock2D(m *Machine, name string, rows, cols, overlap int) (*Block2D, error) {
 	return vpp.NewBlock2D(m, name, rows, cols, overlap)
+}
+
+// PGAS symmetric heap: round-robin-distributed int64 shared arrays
+// with UPC-style global indexing (element i lives on cell i mod P),
+// fine-grained Get/Put/atomic operations, barriers and reductions —
+// and an exstack-style aggregation mode that buffers fine-grained
+// operations per destination and exchanges them in bulk rounds.
+type (
+	// SymmetricHeap is a heap of round-robin shared arrays; allocate
+	// arrays and per-cell PEs before Machine.Run.
+	SymmetricHeap = pgas.Heap
+	// SharedArray is one distributed array on the symmetric heap.
+	SharedArray = pgas.Shared
+	// PGASLayout is the round-robin global-index mapping.
+	PGASLayout = pgas.Layout
+	// PE is one cell's PGAS handle: naive fine-grained operations.
+	PE = pgas.PE
+	// Aggregator owns the machine-wide exchange buffers for
+	// aggregated mode.
+	Aggregator = pgas.Aggregator
+	// AggPE is one cell's aggregation context: buffered operations
+	// with explicit Advance/Flush exchange rounds.
+	AggPE = pgas.AggPE
+)
+
+// NewSymmetricHeap builds a symmetric heap on the machine.
+func NewSymmetricHeap(m *Machine) (*SymmetricHeap, error) { return pgas.NewHeap(m) }
+
+// NewPE builds one cell's PGAS processing element; construct one per
+// cell, in rank order.
+func NewPE(h *SymmetricHeap, c *Cell) (*PE, error) { return pgas.NewPE(h, c) }
+
+// NewAggregator builds the aggregated-mode exchange buffers; Bind a
+// PE on every cell. packets <= 0 selects the default region capacity.
+func NewAggregator(h *SymmetricHeap, packets int) (*Aggregator, error) {
+	return pgas.NewAggregator(h, packets)
 }
 
 // Observability (Config.Observe / Config.Timeline).

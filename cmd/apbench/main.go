@@ -22,7 +22,9 @@
 // make bench / BENCH_dsmcache.json). -experiment atomics hammers a
 // hot remote fetch-and-add counter with T-net combining off and on;
 // -atomics-json writes that report (for make bench /
-// BENCH_atomics.json).
+// BENCH_atomics.json). -experiment pgas runs the bale histogram and
+// index-gather kernels on the PGAS layer, naive vs aggregated issue;
+// -pgas-json writes that report (for make bench / BENCH_pgas.json).
 package main
 
 import (
@@ -43,7 +45,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"specs|params|fig7|table2|table3|fig8|stride|contention|batch|dsmcache|atomics|all")
+		"specs|params|fig7|table2|table3|fig8|stride|contention|batch|dsmcache|atomics|pgas|all")
 	quick := flag.Bool("quick", false, "use reduced problem sizes")
 	size := flag.Int64("size", 1024, "message size for fig7")
 	distance := flag.Int("distance", 3, "routing distance for fig7")
@@ -57,6 +59,7 @@ func main() {
 	batchJSON := flag.String("batch-json", "", "write the batched-issue report as JSON to this file (experiment batch)")
 	dsmCacheJSON := flag.String("dsmcache-json", "", "write the DSM page-cache report as JSON to this file (experiment dsmcache)")
 	atomicsJSON := flag.String("atomics-json", "", "write the remote-atomic combining report as JSON to this file (experiment atomics)")
+	pgasJSON := flag.String("pgas-json", "", "write the PGAS aggregation report as JSON to this file (experiment pgas)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -89,7 +92,7 @@ func main() {
 		}
 	}
 
-	err = run(*experiment, *quick, *size, *distance, *only, *metrics, *metricsJSON, *batchJSON, *dsmCacheJSON, *atomicsJSON)
+	err = run(*experiment, *quick, *size, *distance, *only, *metrics, *metricsJSON, *batchJSON, *dsmCacheJSON, *atomicsJSON, *pgasJSON)
 	if err == nil && *timeline != "" {
 		err = writeTimeline(*timeline, parts)
 	}
@@ -133,7 +136,7 @@ type appMetrics struct {
 	Metrics *machine.Metrics
 }
 
-func run(experiment string, quick bool, size int64, distance int, only string, metrics bool, metricsJSON, batchJSON, dsmCacheJSON, atomicsJSON string) error {
+func run(experiment string, quick bool, size int64, distance int, only string, metrics bool, metricsJSON, batchJSON, dsmCacheJSON, atomicsJSON, pgasJSON string) error {
 	if experiment == "batch" {
 		return runBatch(os.Stdout, quick, batchJSON)
 	}
@@ -142,6 +145,9 @@ func run(experiment string, quick bool, size int64, distance int, only string, m
 	}
 	if experiment == "atomics" {
 		return runAtomics(os.Stdout, quick, atomicsJSON)
+	}
+	if experiment == "pgas" {
+		return runPGAS(os.Stdout, quick, pgasJSON)
 	}
 	needApps := false
 	switch experiment {

@@ -10,26 +10,26 @@ import (
 // covered at -quick scale.
 func TestRunCheapExperiments(t *testing.T) {
 	for _, exp := range []string{"specs", "params", "fig7"} {
-		if err := run(exp, true, 256, 2, "", false, "", "", "", ""); err != nil {
+		if err := run(exp, true, 256, 2, "", false, "", "", "", "", ""); err != nil {
 			t.Errorf("run(%s): %v", exp, err)
 		}
 	}
 }
 
 func TestRunQuickTable2SingleApp(t *testing.T) {
-	if err := run("table2", true, 0, 0, "EP", false, "", "", "", ""); err != nil {
+	if err := run("table2", true, 0, 0, "EP", false, "", "", "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunQuickStride(t *testing.T) {
-	if err := run("stride", true, 0, 0, "", false, "", "", "", ""); err != nil {
+	if err := run("stride", true, 0, 0, "", false, "", "", "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("bogus", true, 0, 0, "", false, "", "", "", ""); err == nil {
+	if err := run("bogus", true, 0, 0, "", false, "", "", "", "", ""); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
@@ -39,7 +39,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 // messages than the uncached baseline.
 func TestRunQuickDSMCache(t *testing.T) {
 	path := t.TempDir() + "/dsmcache.json"
-	if err := run("dsmcache", true, 0, 0, "", false, "", "", path, ""); err != nil {
+	if err := run("dsmcache", true, 0, 0, "", false, "", "", path, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -72,7 +72,7 @@ func TestRunQuickDSMCache(t *testing.T) {
 // O(log n) reduction the combining tree exists for.
 func TestRunQuickAtomics(t *testing.T) {
 	path := t.TempDir() + "/atomics.json"
-	if err := run("atomics", true, 0, 0, "", false, "", "", "", path); err != nil {
+	if err := run("atomics", true, 0, 0, "", false, "", "", "", path, ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -104,11 +104,43 @@ func TestRunQuickAtomics(t *testing.T) {
 	}
 }
 
+// TestRunQuickPGAS covers the PGAS aggregation experiment end to end:
+// for each kernel the aggregated row must carry at least 5x fewer
+// T-net messages per operation than the naive row — the ratio the
+// exstack exchange exists for.
+func TestRunQuickPGAS(t *testing.T) {
+	path := t.TempDir() + "/pgas.json"
+	if err := run("pgas", true, 0, 0, "", false, "", "", "", "", path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []pgasRow
+	if err := json.Unmarshal(data, &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for i := 0; i+1 < len(rows); i += 2 {
+		n, a := rows[i], rows[i+1]
+		if n.Kernel != a.Kernel || n.Mode != "naive" || a.Mode != "agg" || n.Cells != a.Cells {
+			t.Fatalf("row pairing broken: %+v / %+v", n, a)
+		}
+		if a.MsgsPerOp*5 > n.MsgsPerOp {
+			t.Errorf("%s at %d cells: naive %.3f msgs/op vs aggregated %.3f — less than the 5x aggregation win",
+				n.Kernel, n.Cells, n.MsgsPerOp, a.MsgsPerOp)
+		}
+	}
+}
+
 // TestRunQuickBatch covers the batched-issue experiment end to end,
 // including the JSON report.
 func TestRunQuickBatch(t *testing.T) {
 	path := t.TempDir() + "/batch.json"
-	if err := run("batch", true, 0, 0, "", false, "", path, "", ""); err != nil {
+	if err := run("batch", true, 0, 0, "", false, "", path, "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)

@@ -105,6 +105,8 @@ func TestTransferFwdGolden(t *testing.T) { checkGolden(t, "testdata/transferfwd"
 func TestFlagFwdGolden(t *testing.T)     { checkGolden(t, "testdata/flagfwd") }
 func TestFlagBalanceGolden(t *testing.T) { checkGolden(t, "testdata/flagbalance") }
 
+func TestPGASBlockGolden(t *testing.T) { checkGolden(t, "testdata/pgasblock/...") }
+
 func TestBlockPropGolden(t *testing.T) {
 	findings := checkGolden(t, "testdata/blockprop/...")
 	for _, f := range findings {

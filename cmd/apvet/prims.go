@@ -17,6 +17,7 @@ const (
 	topoPkg     = "ap1000plus/internal/topology"
 	sendrecvPkg = "ap1000plus/internal/sendrecv"
 	barrierPkg  = "ap1000plus/internal/barrier"
+	pgasPkg     = "ap1000plus/internal/pgas"
 )
 
 // transferPrims issue one transfer described by a core.Transfer first
@@ -107,6 +108,31 @@ var blockingPrims = map[string]string{
 	"(*" + corePkg + ".Comm).CompareAndSwap":       "Comm.CompareAndSwap",
 	"(*" + corePkg + ".Comm).Swap":                 "Comm.Swap",
 	"(*" + corePkg + ".Comm).FenceAtomics":         "Comm.FenceAtomics",
+	// PGAS layer: puts can stall on the staging ring, gets and the
+	// fetching atomics wait for the remote word, the bulk movers wait
+	// per chunk, and the collectives are barriers. The aggregated
+	// Put/Add/Min/Max/Get/FetchAdd only queue (split-phase) and are
+	// deliberately absent — Advance and Flush are where they block.
+	"(*" + pgasPkg + ".PE).PutInt64":               "PE.PutInt64",
+	"(*" + pgasPkg + ".PE).GetInt64":               "PE.GetInt64",
+	"(*" + pgasPkg + ".PE).PutMem":                 "PE.PutMem",
+	"(*" + pgasPkg + ".PE).GetMem":                 "PE.GetMem",
+	"(*" + pgasPkg + ".PE).ReadAll":                "PE.ReadAll",
+	"(*" + pgasPkg + ".PE).FetchAdd":               "PE.FetchAdd",
+	"(*" + pgasPkg + ".PE).CompareAndSwap":         "PE.CompareAndSwap",
+	"(*" + pgasPkg + ".PE).Swap":                   "PE.Swap",
+	"(*" + pgasPkg + ".PE).Fence":                  "PE.Fence",
+	"(*" + pgasPkg + ".PE).Barrier":                "PE.Barrier",
+	"(*" + pgasPkg + ".PE).ReduceAdd":              "PE.ReduceAdd",
+	"(*" + pgasPkg + ".PE).ReduceMax":              "PE.ReduceMax",
+	"(*" + pgasPkg + ".PE).ReduceMin":              "PE.ReduceMin",
+	"(*" + pgasPkg + ".PE).ReduceAddInt64":         "PE.ReduceAddInt64",
+	"(*" + pgasPkg + ".PE).ReduceMinInt64":         "PE.ReduceMinInt64",
+	"(*" + pgasPkg + ".PE).ReduceMaxInt64":         "PE.ReduceMaxInt64",
+	"(*" + pgasPkg + ".PE).ScanAddInt64":           "PE.ScanAddInt64",
+	"(*" + pgasPkg + ".PE).Broadcast":              "PE.Broadcast",
+	"(*" + pgasPkg + ".AggPE).Advance":             "AggPE.Advance",
+	"(*" + pgasPkg + ".AggPE).Flush":               "AggPE.Flush",
 }
 
 // cellCountPrims return the machine's cell count — the P of the
@@ -116,6 +142,8 @@ var cellCountPrims = map[string]bool{
 	"(*" + machinePkg + ".Cell).N":        true,
 	"(*" + vppPkg + ".Runtime).NP":        true,
 	"(*" + topoPkg + ".Torus).Cells":      true,
+	"(*" + pgasPkg + ".PE).NP":            true,
+	"(*" + pgasPkg + ".Heap).NP":          true,
 }
 
 // rawMemPrims bypass the MSC+ command queues.

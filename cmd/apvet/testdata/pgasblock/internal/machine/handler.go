@@ -1,0 +1,49 @@
+// Package machine is apvet testdata for the handlerblock and
+// blockprop checks over the PGAS primitives: the fetching atomics,
+// the collectives, and the aggregation exchange all sleep waiting for
+// other cells' progress, so a delivery handler must not call them —
+// while the split-phase aggregated pushes and the fire-and-forget
+// atomics only queue and are fine.
+package machine
+
+import (
+	"ap1000plus/internal/pgas"
+)
+
+type endpoint struct {
+	pe  *pgas.PE
+	agg *pgas.AggPE
+	s   *pgas.Shared
+}
+
+// drain is an ordinary helper; the collective Flush inside it blocks
+// until every cell has advanced, which is fine on a cell goroutine
+// but fatal synchronously inside a handler.
+func (e *endpoint) drain() error {
+	return e.agg.Flush()
+}
+
+// deliver blocks only through the helper — the blockprop check must
+// walk the call graph to see it.
+func (e *endpoint) deliver() error {
+	return e.drain() // want blockprop
+}
+
+// receive blocks directly: a fetching atomic, a collective reduction
+// and the fencing barrier.
+func (e *endpoint) receive() error {
+	if _, err := e.pe.FetchAdd(e.s, 0, 1); err != nil { // want handlerblock
+		return err
+	}
+	e.pe.ReduceAdd(1) // want handlerblock
+	e.pe.Barrier()    // want handlerblock
+	if err := e.pe.AtomicAdd(e.s, 0, 1); err != nil { // fine: fire-and-forget update
+		return err
+	}
+	return e.agg.Add(e.s, 0, 1) // fine: split-phase queue push
+}
+
+// sink hands the blocking work to a fresh goroutine — clean.
+func (e *endpoint) sink() {
+	go func() { _ = e.drain() }()
+}

@@ -6,6 +6,7 @@ package app
 import (
 	"ap1000plus/internal/core"
 	"ap1000plus/internal/event"
+	"ap1000plus/internal/pgas"
 )
 
 // Params mirrors the shape of internal/params.Params: float64
@@ -38,5 +39,20 @@ func scheduleAtomics(c *core.Comm, p *Params) ([]event.Time, error) {
 		event.Time(old),                               // fine: integral fetch result
 		event.Time(float64(old) * p.LineTime),         // want units
 		event.Microseconds(float64(old) * p.LineTime), // fine: sanctioned conversion
+	}, nil
+}
+
+// schedulePGAS models timestamping PGAS fetch-and-add tickets: same
+// rules one layer up — the ticket is integral, scaling it by a
+// microsecond parameter is the hazard.
+func schedulePGAS(pe *pgas.PE, s *pgas.Shared, p *Params) ([]event.Time, error) {
+	ticket, err := pe.FetchAdd(s, 0, 1)
+	if err != nil {
+		return nil, err
+	}
+	return []event.Time{
+		event.Time(ticket),                               // fine: integral fetch result
+		event.Time(float64(ticket) * p.LineTime),         // want units
+		event.Microseconds(float64(ticket) * p.LineTime), // fine: sanctioned conversion
 	}, nil
 }

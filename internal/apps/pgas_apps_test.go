@@ -1,0 +1,71 @@
+package apps
+
+import (
+	"reflect"
+	"testing"
+)
+
+// pgasKernelBuilders enumerates the four bale kernels at test sizes.
+// Each builder captures its snapshot slice so the two modes can be
+// compared bit for bit.
+func pgasKernelBuilders(mode PGASMode, snap *[]int64) map[string]Builder {
+	return map[string]Builder{
+		"histogram": func() (*Instance, error) {
+			return NewPGASHisto(PGASHistoConfig{
+				Cells: 6, Table: 97, OpsPerCell: 300,
+				Mode: mode, Packets: 16, Seed: 42, Snapshot: snap,
+			})
+		},
+		"indexgather": func() (*Instance, error) {
+			return NewPGASIG(PGASIGConfig{
+				Cells: 6, Table: 83, OpsPerCell: 250,
+				Mode: mode, Packets: 16, Seed: 7, Snapshot: snap,
+			})
+		},
+		"transpose": func() (*Instance, error) {
+			return NewPGASTranspose(PGASTransposeConfig{
+				Cells: 6, Rows: 40, Cols: 31, NnzPerRow: 5,
+				Mode: mode, Packets: 16, Seed: 11, Snapshot: snap,
+			})
+		},
+		"toposort": func() (*Instance, error) {
+			return NewPGASToposort(PGASToposortConfig{
+				Cells: 6, N: 48, Extra: 3,
+				Mode: mode, Packets: 16, Seed: 3, Snapshot: snap,
+			})
+		},
+	}
+}
+
+// TestPGASKernels runs every bale kernel in both modes under the race
+// sanitizer; each Verify is analytic, and the aggregated snapshot must
+// be bit-identical to the naive one.
+func TestPGASKernels(t *testing.T) {
+	sanWas := Sanitize
+	Sanitize = true
+	defer func() { Sanitize = sanWas }()
+
+	var naive, agg []int64
+	for name := range pgasKernelBuilders(PGASNaive, nil) {
+		t.Run(name, func(t *testing.T) {
+			for _, m := range []struct {
+				mode PGASMode
+				out  *[]int64
+			}{{PGASNaive, &naive}, {PGASAggregated, &agg}} {
+				in, err := pgasKernelBuilders(m.mode, m.out)[name]()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := in.Run(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if len(naive) == 0 {
+				t.Fatal("empty snapshot")
+			}
+			if !reflect.DeepEqual(naive, agg) {
+				t.Errorf("aggregated snapshot differs from naive (%d words)", len(naive))
+			}
+		})
+	}
+}

@@ -1,0 +1,96 @@
+package apps
+
+import (
+	"fmt"
+
+	"ap1000plus/internal/pgas"
+	"ap1000plus/internal/topology"
+)
+
+// The PGAS kernels port bale's irregular-application suite —
+// histogram, index-gather, sparse transpose, toposort — onto the
+// internal/pgas symmetric heap. Each kernel runs in two modes behind
+// one switch: naive (every fine-grained operation is its own MSC+
+// command) and aggregated (operations buffered per destination and
+// exchanged in bulk rounds). Like DSMGather, they are benchmark
+// drivers with analytic Verify functions, not part of Catalog().
+
+// PGASMode selects how a PGAS kernel issues its fine-grained traffic.
+type PGASMode int
+
+const (
+	// PGASNaive issues one MSC+ command per operation.
+	PGASNaive PGASMode = iota
+	// PGASAggregated buffers operations per destination cell and
+	// exchanges them in bulk rounds (exstack-style).
+	PGASAggregated
+)
+
+func (m PGASMode) String() string {
+	if m == PGASAggregated {
+		return "agg"
+	}
+	return "naive"
+}
+
+// pgasRig is the per-instance heap state: one PE per cell, plus the
+// aggregation contexts in aggregated mode.
+type pgasRig struct {
+	heap *pgas.Heap
+	pes  []*pgas.PE
+	aggs []*pgas.AggPE // nil in naive mode
+}
+
+// newPGASRig builds heap, PEs and (in aggregated mode) the exchange
+// buffers on an instance's machine.
+func newPGASRig(in *Instance, mode PGASMode, packets int) (*pgasRig, error) {
+	h, err := pgas.NewHeap(in.Machine)
+	if err != nil {
+		return nil, fmt.Errorf("apps: %s: %w", in.Name, err)
+	}
+	r := &pgasRig{heap: h, pes: make([]*pgas.PE, in.Machine.Cells())}
+	for id := 0; id < in.Machine.Cells(); id++ {
+		pe, err := pgas.NewPE(h, in.Machine.Cell(topology.CellID(id)))
+		if err != nil {
+			return nil, fmt.Errorf("apps: %s: %w", in.Name, err)
+		}
+		r.pes[id] = pe
+	}
+	if mode == PGASAggregated {
+		ag, err := pgas.NewAggregator(h, packets)
+		if err != nil {
+			return nil, fmt.Errorf("apps: %s: %w", in.Name, err)
+		}
+		r.aggs = make([]*pgas.AggPE, in.Machine.Cells())
+		for id := 0; id < in.Machine.Cells(); id++ {
+			a, err := ag.Bind(r.pes[id])
+			if err != nil {
+				return nil, fmt.Errorf("apps: %s: %w", in.Name, err)
+			}
+			r.aggs[id] = a
+		}
+	}
+	return r, nil
+}
+
+// finish drains one cell's outstanding traffic for its mode: Flush in
+// aggregated mode (collective), then the fencing barrier.
+func (r *pgasRig) finish(rank int) error {
+	if r.aggs != nil {
+		if err := r.aggs[rank].Flush(); err != nil {
+			return err
+		}
+	}
+	r.pes[rank].Barrier()
+	return nil
+}
+
+// pgasSeq returns a deterministic 64-bit stream (Knuth MMIX LCG, top
+// bits), the same generator the DSM gather kernel uses.
+func pgasSeq(seed uint64) func() uint64 {
+	state := seed*6364136223846793005 + 1442695040888963407
+	return func() uint64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return state >> 11
+	}
+}

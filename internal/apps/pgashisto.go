@@ -1,0 +1,86 @@
+package apps
+
+import (
+	"fmt"
+
+	"ap1000plus/internal/vpp"
+)
+
+// PGASHistoConfig sizes the bale histogram kernel: every cell fires
+// OpsPerCell atomic increments at random slots of a shared table —
+// the canonical all-to-all fine-grained update pattern.
+type PGASHistoConfig struct {
+	// Cells is the machine size.
+	Cells int
+	// Table is the shared histogram length.
+	Table int64
+	// OpsPerCell is the number of increments each cell issues.
+	OpsPerCell int
+	// Mode selects naive or aggregated issue.
+	Mode PGASMode
+	// Packets is the aggregated-mode region capacity (0 = default).
+	Packets int
+	// Seed parameterizes the index streams.
+	Seed uint64
+	// Snapshot, when non-nil, receives the final table after Verify —
+	// the chaos suite's bit-identical comparison hook.
+	Snapshot *[]int64
+}
+
+// NewPGASHisto builds a histogram instance.
+func NewPGASHisto(cfg PGASHistoConfig) (*Instance, error) {
+	if cfg.Table <= 0 || cfg.OpsPerCell <= 0 {
+		return nil, fmt.Errorf("apps: PGAS-HG: bad config %+v", cfg)
+	}
+	in, err := newInstance("PGAS-HG "+cfg.Mode.String(), cfg.Cells, 0)
+	if err != nil {
+		return nil, err
+	}
+	rig, err := newPGASRig(in, cfg.Mode, cfg.Packets)
+	if err != nil {
+		return nil, err
+	}
+	counts, err := rig.heap.Alloc("histo", cfg.Table)
+	if err != nil {
+		return nil, err
+	}
+	stream := func(rank int) func() uint64 {
+		return pgasSeq(cfg.Seed + uint64(rank)*0x9E3779B97F4A7C15)
+	}
+	in.Program = func(rt *vpp.Runtime) error {
+		me := rt.Rank()
+		pe := rig.pes[me]
+		seq := stream(me)
+		for k := 0; k < cfg.OpsPerCell; k++ {
+			i := int64(seq() % uint64(cfg.Table))
+			if rig.aggs != nil {
+				if err := rig.aggs[me].Add(counts, i, 1); err != nil {
+					return err
+				}
+			} else if err := pe.AtomicAdd(counts, i, 1); err != nil {
+				return err
+			}
+		}
+		return rig.finish(me)
+	}
+	in.Verify = func() error {
+		want := make([]int64, cfg.Table)
+		for rank := 0; rank < cfg.Cells; rank++ {
+			seq := stream(rank)
+			for k := 0; k < cfg.OpsPerCell; k++ {
+				want[seq()%uint64(cfg.Table)]++
+			}
+		}
+		got := counts.Words()
+		for i, w := range want {
+			if got[i] != w {
+				return fmt.Errorf("histo[%d] = %d, want %d", i, got[i], w)
+			}
+		}
+		if cfg.Snapshot != nil {
+			*cfg.Snapshot = got
+		}
+		return nil
+	}
+	return in, nil
+}

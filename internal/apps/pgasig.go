@@ -1,0 +1,101 @@
+package apps
+
+import (
+	"fmt"
+
+	"ap1000plus/internal/vpp"
+)
+
+// PGASIGConfig sizes the bale index-gather kernel: every cell reads
+// OpsPerCell random elements of a static shared table — the
+// fine-grained random-read pattern (the dual of histogram).
+type PGASIGConfig struct {
+	// Cells is the machine size.
+	Cells int
+	// Table is the shared table length.
+	Table int64
+	// OpsPerCell is the number of gathers each cell performs.
+	OpsPerCell int
+	// Mode selects naive or aggregated issue.
+	Mode PGASMode
+	// Packets is the aggregated-mode region capacity (0 = default).
+	Packets int
+	// Seed parameterizes the index streams.
+	Seed uint64
+	// Snapshot, when non-nil, receives every cell's gathered values in
+	// rank order after Verify.
+	Snapshot *[]int64
+}
+
+// igTableValue is the analytic table content.
+func igTableValue(i int64) int64 { return i*31 + 7 }
+
+// NewPGASIG builds an index-gather instance.
+func NewPGASIG(cfg PGASIGConfig) (*Instance, error) {
+	if cfg.Table <= 0 || cfg.OpsPerCell <= 0 {
+		return nil, fmt.Errorf("apps: PGAS-IG: bad config %+v", cfg)
+	}
+	in, err := newInstance("PGAS-IG "+cfg.Mode.String(), cfg.Cells, 0)
+	if err != nil {
+		return nil, err
+	}
+	rig, err := newPGASRig(in, cfg.Mode, cfg.Packets)
+	if err != nil {
+		return nil, err
+	}
+	table, err := rig.heap.Alloc("igtable", cfg.Table)
+	if err != nil {
+		return nil, err
+	}
+	for i := int64(0); i < cfg.Table; i++ {
+		table.SetWord(i, igTableValue(i))
+	}
+	results := make([][]int64, cfg.Cells)
+	stream := func(rank int) func() uint64 {
+		return pgasSeq(cfg.Seed ^ 0xa5a5a5a5 + uint64(rank)*0x9E3779B97F4A7C15)
+	}
+	in.Program = func(rt *vpp.Runtime) error {
+		me := rt.Rank()
+		pe := rig.pes[me]
+		seq := stream(me)
+		dst := make([]int64, cfg.OpsPerCell)
+		for k := 0; k < cfg.OpsPerCell; k++ {
+			i := int64(seq() % uint64(cfg.Table))
+			if rig.aggs != nil {
+				if err := rig.aggs[me].Get(table, i, &dst[k]); err != nil {
+					return err
+				}
+			} else {
+				v, err := pe.GetInt64(table, i)
+				if err != nil {
+					return err
+				}
+				dst[k] = v
+			}
+		}
+		if err := rig.finish(me); err != nil {
+			return err
+		}
+		results[me] = dst
+		return nil
+	}
+	in.Verify = func() error {
+		var all []int64
+		for rank := 0; rank < cfg.Cells; rank++ {
+			seq := stream(rank)
+			for k := 0; k < cfg.OpsPerCell; k++ {
+				i := int64(seq() % uint64(cfg.Table))
+				if got := results[rank][k]; got != igTableValue(i) {
+					return fmt.Errorf("cell %d gather %d: table[%d] = %d, want %d",
+						rank, k, i, got, igTableValue(i))
+				}
+			}
+			all = append(all, results[rank]...)
+		}
+		if cfg.Snapshot != nil {
+			*cfg.Snapshot = all
+		}
+		return nil
+	}
+	return in, nil
+}

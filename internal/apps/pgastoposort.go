@@ -1,0 +1,273 @@
+package apps
+
+import (
+	"fmt"
+
+	"ap1000plus/internal/vpp"
+)
+
+// PGASToposortConfig sizes the bale toposort kernel: a unit upper
+// triangular matrix is hidden behind random row/column permutations,
+// and the cells recover a triangular ordering level by level — each
+// round, rows with exactly one un-eliminated nonzero claim a pivot,
+// publish it at a position assigned by an exclusive scan, and
+// broadcast decrements through the pivot column. The remaining-column
+// identity is tracked with the classic counter/sum pair: when a row's
+// count hits one, the remaining column id IS the remaining sum.
+type PGASToposortConfig struct {
+	// Cells is the machine size.
+	Cells int
+	// N is the matrix dimension.
+	N int64
+	// Extra is the number of extra nonzeros per row above the
+	// diagonal (row i gets min(Extra, N-1-i)).
+	Extra int
+	// Mode selects naive or aggregated issue.
+	Mode PGASMode
+	// Packets is the aggregated-mode region capacity (0 = default).
+	Packets int
+	// Seed parameterizes the matrix and the permutations.
+	Seed uint64
+	// Snapshot, when non-nil, receives rperm ++ cperm after Verify —
+	// bit-identical across modes and fault plans by construction.
+	Snapshot *[]int64
+}
+
+// toposortMatrix builds the permuted triangular instance: the
+// permuted nonzero structure as row lists, plus the replicated column
+// lists every pivot claimer needs.
+func toposortMatrix(cfg PGASToposortConfig) (rowCols, colRows [][]int64) {
+	seq := pgasSeq(cfg.Seed ^ 0x70b0)
+	perm := func() []int64 {
+		p := make([]int64, cfg.N)
+		for i := range p {
+			p[i] = int64(i)
+		}
+		for i := cfg.N - 1; i > 0; i-- {
+			j := int64(seq() % uint64(i+1))
+			p[i], p[j] = p[j], p[i]
+		}
+		return p
+	}
+	rp, cp := perm(), perm()
+	rowCols = make([][]int64, cfg.N)
+	colRows = make([][]int64, cfg.N)
+	for i := int64(0); i < cfg.N; i++ {
+		cols := map[int64]bool{i: true}
+		for extra := 0; extra < cfg.Extra && int64(len(cols)) < cfg.N-i; {
+			c := i + 1 + int64(seq()%uint64(cfg.N-i))
+			if c < cfg.N && !cols[c] {
+				cols[c] = true
+				extra++
+			}
+		}
+		r := rp[i]
+		for c := range cols {
+			pc := cp[c]
+			rowCols[r] = append(rowCols[r], pc)
+			colRows[pc] = append(colRows[pc], r)
+		}
+	}
+	return rowCols, colRows
+}
+
+// toposortReference runs the level-synchronous claim order
+// sequentially: per level, candidate rows are claimed grouped by
+// owning cell (rank order), ascending row within a cell — exactly the
+// machine's deterministic order.
+func toposortReference(cfg PGASToposortConfig, rowCols [][]int64, colRows [][]int64) (rperm, cperm []int64, err error) {
+	cnt := make([]int64, cfg.N)
+	sum := make([]int64, cfg.N)
+	done := make([]bool, cfg.N)
+	for r := int64(0); r < cfg.N; r++ {
+		cnt[r] = int64(len(rowCols[r]))
+		for _, c := range rowCols[r] {
+			sum[r] += c
+		}
+	}
+	np := int64(cfg.Cells)
+	for int64(len(rperm)) < cfg.N {
+		var rows, cols []int64
+		for rank := int64(0); rank < np; rank++ {
+			for r := rank; r < cfg.N; r += np {
+				if !done[r] && cnt[r] == 1 {
+					rows, cols = append(rows, r), append(cols, sum[r])
+					done[r] = true
+				}
+			}
+		}
+		if len(rows) == 0 {
+			return nil, nil, fmt.Errorf("toposort reference stuck at %d of %d pivots", len(rperm), cfg.N)
+		}
+		for k, c := range cols {
+			for _, r2 := range colRows[c] {
+				cnt[r2]--
+				sum[r2] -= c
+			}
+			rperm, cperm = append(rperm, rows[k]), append(cperm, c)
+		}
+	}
+	return rperm, cperm, nil
+}
+
+// NewPGASToposort builds a toposort instance.
+func NewPGASToposort(cfg PGASToposortConfig) (*Instance, error) {
+	if cfg.N <= 0 || cfg.Extra < 0 {
+		return nil, fmt.Errorf("apps: PGAS-TS: bad config %+v", cfg)
+	}
+	in, err := newInstance("PGAS-TS "+cfg.Mode.String(), cfg.Cells, 0)
+	if err != nil {
+		return nil, err
+	}
+	rig, err := newPGASRig(in, cfg.Mode, cfg.Packets)
+	if err != nil {
+		return nil, err
+	}
+	rowCols, colRows := toposortMatrix(cfg)
+	rowcnt, err := rig.heap.Alloc("ts.rowcnt", cfg.N)
+	if err != nil {
+		return nil, err
+	}
+	rowsum, err := rig.heap.Alloc("ts.rowsum", cfg.N)
+	if err != nil {
+		return nil, err
+	}
+	rperm, err := rig.heap.Alloc("ts.rperm", cfg.N)
+	if err != nil {
+		return nil, err
+	}
+	cperm, err := rig.heap.Alloc("ts.cperm", cfg.N)
+	if err != nil {
+		return nil, err
+	}
+	for r := int64(0); r < cfg.N; r++ {
+		rowcnt.SetWord(r, int64(len(rowCols[r])))
+		var s int64
+		for _, c := range rowCols[r] {
+			s += c
+		}
+		rowsum.SetWord(r, s)
+	}
+	np := int64(cfg.Cells)
+	in.Program = func(rt *vpp.Runtime) error {
+		me := int64(rt.Rank())
+		pe := rig.pes[me]
+		agg := rig.aggs
+		done := make(map[int64]bool)
+		pos := int64(0)
+		claimed := int64(0)
+		for claimed < cfg.N {
+			// My new pivots, ascending row order: a count of one means
+			// the remaining sum is the remaining column.
+			var rows, cols []int64
+			for r := me; r < cfg.N; r += np {
+				if done[r] {
+					continue
+				}
+				c, err := pe.GetInt64(rowcnt, r) // owner-local read
+				if err != nil {
+					return err
+				}
+				if c == 1 {
+					s, err := pe.GetInt64(rowsum, r)
+					if err != nil {
+						return err
+					}
+					rows, cols = append(rows, r), append(cols, s)
+					done[r] = true
+				}
+			}
+			prefix, total, err := pe.ScanAddInt64(int64(len(rows)))
+			if err != nil {
+				return err
+			}
+			if total == 0 {
+				return fmt.Errorf("toposort stuck on cell %d: %d of %d pivots", me, claimed, cfg.N)
+			}
+			for k := range rows {
+				p := pos + prefix + int64(k)
+				r, c := rows[k], cols[k]
+				if agg != nil {
+					a := agg[me]
+					if err := a.Put(rperm, p, r); err != nil {
+						return err
+					}
+					if err := a.Put(cperm, p, c); err != nil {
+						return err
+					}
+					for _, r2 := range colRows[c] {
+						if err := a.Add(rowcnt, r2, -1); err != nil {
+							return err
+						}
+						if err := a.Add(rowsum, r2, -c); err != nil {
+							return err
+						}
+					}
+					continue
+				}
+				if err := pe.PutInt64(rperm, p, r); err != nil {
+					return err
+				}
+				if err := pe.PutInt64(cperm, p, c); err != nil {
+					return err
+				}
+				for _, r2 := range colRows[c] {
+					if err := pe.AtomicAdd(rowcnt, r2, -1); err != nil {
+						return err
+					}
+					if err := pe.AtomicAdd(rowsum, r2, -c); err != nil {
+						return err
+					}
+				}
+			}
+			if err := rig.finish(int(me)); err != nil {
+				return err
+			}
+			pos += total
+			claimed += total
+		}
+		return nil
+	}
+	in.Verify = func() error {
+		wantR, wantC, err := toposortReference(cfg, rowCols, colRows)
+		if err != nil {
+			return err
+		}
+		var snap []int64
+		for k := int64(0); k < cfg.N; k++ {
+			if got := rperm.Word(k); got != wantR[k] {
+				return fmt.Errorf("rperm[%d] = %d, want %d", k, got, wantR[k])
+			}
+			if got := cperm.Word(k); got != wantC[k] {
+				return fmt.Errorf("cperm[%d] = %d, want %d", k, got, wantC[k])
+			}
+		}
+		// Validity: both sequences are permutations and every pivot is
+		// a nonzero of the matrix.
+		seenR := make([]bool, cfg.N)
+		seenC := make([]bool, cfg.N)
+		for k := int64(0); k < cfg.N; k++ {
+			r, c := rperm.Word(k), cperm.Word(k)
+			if r < 0 || r >= cfg.N || c < 0 || c >= cfg.N || seenR[r] || seenC[c] {
+				return fmt.Errorf("pivot %d (%d,%d) breaks the permutation", k, r, c)
+			}
+			seenR[r], seenC[c] = true, true
+			hit := false
+			for _, cc := range rowCols[r] {
+				hit = hit || cc == c
+			}
+			if !hit {
+				return fmt.Errorf("pivot %d (%d,%d) is not a nonzero", k, r, c)
+			}
+			snap = append(snap, r)
+		}
+		for k := int64(0); k < cfg.N; k++ {
+			snap = append(snap, cperm.Word(k))
+		}
+		if cfg.Snapshot != nil {
+			*cfg.Snapshot = snap
+		}
+		return nil
+	}
+	return in, nil
+}

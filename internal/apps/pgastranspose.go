@@ -1,0 +1,194 @@
+package apps
+
+import (
+	"fmt"
+	"sort"
+
+	"ap1000plus/internal/vpp"
+)
+
+// PGASTransposeConfig sizes the bale sparse-transpose kernel: rows of
+// a random CSR matrix are distributed round-robin; transposing it
+// takes a histogram of column counts, an exclusive scan for the
+// transposed offsets, and a scatter through per-column cursors
+// claimed with fetch-and-add — all irregular fine-grained traffic.
+type PGASTransposeConfig struct {
+	// Cells is the machine size.
+	Cells int
+	// Rows and Cols shape the matrix.
+	Rows, Cols int64
+	// NnzPerRow is the number of distinct nonzeros per row.
+	NnzPerRow int
+	// Mode selects naive or aggregated issue.
+	Mode PGASMode
+	// Packets is the aggregated-mode region capacity (0 = default).
+	Packets int
+	// Seed parameterizes the matrix.
+	Seed uint64
+	// Snapshot, when non-nil, receives the canonical transposed image
+	// (per-column sorted (row,val) pairs) after Verify.
+	Snapshot *[]int64
+}
+
+// transposeMatrix builds the deterministic test matrix: per row,
+// NnzPerRow distinct columns. Values encode their coordinate so the
+// verifier can audit the scatter.
+func transposeMatrix(cfg PGASTransposeConfig) [][]int64 {
+	rows := make([][]int64, cfg.Rows)
+	seq := pgasSeq(cfg.Seed ^ 0x7a5a5)
+	for r := int64(0); r < cfg.Rows; r++ {
+		seen := make(map[int64]bool, cfg.NnzPerRow)
+		for len(seen) < cfg.NnzPerRow {
+			seen[int64(seq()%uint64(cfg.Cols))] = true
+		}
+		cols := make([]int64, 0, cfg.NnzPerRow)
+		for c := range seen {
+			cols = append(cols, c)
+		}
+		sort.Slice(cols, func(i, j int) bool { return cols[i] < cols[j] })
+		rows[r] = cols
+	}
+	return rows
+}
+
+// NewPGASTranspose builds a sparse-transpose instance.
+func NewPGASTranspose(cfg PGASTransposeConfig) (*Instance, error) {
+	if cfg.Rows <= 0 || cfg.Cols <= 0 || cfg.NnzPerRow <= 0 || int64(cfg.NnzPerRow) > cfg.Cols {
+		return nil, fmt.Errorf("apps: PGAS-TR: bad config %+v", cfg)
+	}
+	in, err := newInstance("PGAS-TR "+cfg.Mode.String(), cfg.Cells, 0)
+	if err != nil {
+		return nil, err
+	}
+	rig, err := newPGASRig(in, cfg.Mode, cfg.Packets)
+	if err != nil {
+		return nil, err
+	}
+	matrix := transposeMatrix(cfg)
+	nnz := cfg.Rows * int64(cfg.NnzPerRow)
+	colcnt, err := rig.heap.Alloc("tr.colcnt", cfg.Cols)
+	if err != nil {
+		return nil, err
+	}
+	cursor, err := rig.heap.Alloc("tr.cursor", cfg.Cols)
+	if err != nil {
+		return nil, err
+	}
+	trow, err := rig.heap.Alloc("tr.row", nnz)
+	if err != nil {
+		return nil, err
+	}
+	tval, err := rig.heap.Alloc("tr.val", nnz)
+	if err != nil {
+		return nil, err
+	}
+	val := func(r, c int64) int64 { return r*cfg.Cols + c }
+	np := int64(cfg.Cells)
+	in.Program = func(rt *vpp.Runtime) error {
+		me := int64(rt.Rank())
+		pe := rig.pes[me]
+		var agg = rig.aggs // nil in naive mode
+		// Phase 1: histogram the column counts of my rows.
+		for r := me; r < cfg.Rows; r += np {
+			for _, c := range matrix[r] {
+				if agg != nil {
+					if err := agg[me].Add(colcnt, c, 1); err != nil {
+						return err
+					}
+				} else if err := pe.AtomicAdd(colcnt, c, 1); err != nil {
+					return err
+				}
+			}
+		}
+		if err := rig.finish(int(me)); err != nil {
+			return err
+		}
+		// Phase 2: every cell reads the counts and computes the
+		// transposed offsets; each cell seeds the cursors it owns.
+		counts := make([]int64, cfg.Cols)
+		if err := pe.ReadAll(colcnt, counts); err != nil {
+			return err
+		}
+		off := int64(0)
+		for c := int64(0); c < cfg.Cols; c++ {
+			if c%np == me {
+				if err := pe.PutInt64(cursor, c, off); err != nil {
+					return err
+				}
+			}
+			off += counts[c]
+		}
+		pe.Barrier()
+		// Phase 3: scatter every nonzero to its transposed position,
+		// claimed by fetch-and-add on the column cursor.
+		for r := me; r < cfg.Rows; r += np {
+			for _, c := range matrix[r] {
+				rr, cc := r, c
+				if agg != nil {
+					err := agg[me].FetchAdd(cursor, cc, 1, func(pos int64) {
+						_ = agg[me].Put(trow, pos, rr)
+						_ = agg[me].Put(tval, pos, val(rr, cc))
+					})
+					if err != nil {
+						return err
+					}
+					continue
+				}
+				pos, err := pe.FetchAdd(cursor, cc, 1)
+				if err != nil {
+					return err
+				}
+				if err := pe.PutInt64(trow, pos, rr); err != nil {
+					return err
+				}
+				if err := pe.PutInt64(tval, pos, val(rr, cc)); err != nil {
+					return err
+				}
+			}
+		}
+		return rig.finish(int(me))
+	}
+	in.Verify = func() error {
+		// Analytic column structure.
+		wantCols := make([][]int64, cfg.Cols)
+		for r := int64(0); r < cfg.Rows; r++ {
+			for _, c := range matrix[r] {
+				wantCols[c] = append(wantCols[c], r)
+			}
+		}
+		off := int64(0)
+		var canon []int64
+		for c := int64(0); c < cfg.Cols; c++ {
+			cnt := colcnt.Word(c)
+			if cnt != int64(len(wantCols[c])) {
+				return fmt.Errorf("colcnt[%d] = %d, want %d", c, cnt, len(wantCols[c]))
+			}
+			if cur := cursor.Word(c); cur != off+cnt {
+				return fmt.Errorf("cursor[%d] = %d, want %d", c, cur, off+cnt)
+			}
+			// Positions within a column depend on fetch-add arrival
+			// order; sort to canonicalize.
+			got := make([]int64, cnt)
+			for k := int64(0); k < cnt; k++ {
+				r := trow.Word(off + k)
+				if v := tval.Word(off + k); v != val(r, c) {
+					return fmt.Errorf("tval[%d] = %d, want val(%d,%d) = %d", off+k, v, r, c, val(r, c))
+				}
+				got[k] = r
+			}
+			sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+			for k := range got {
+				if got[k] != wantCols[c][k] {
+					return fmt.Errorf("column %d rows = %v, want %v", c, got, wantCols[c])
+				}
+				canon = append(canon, got[k], val(got[k], c))
+			}
+			off += cnt
+		}
+		if cfg.Snapshot != nil {
+			*cfg.Snapshot = canon
+		}
+		return nil
+	}
+	return in, nil
+}

@@ -181,6 +181,10 @@ func (mt *Metrics) Format(w io.Writer) error {
 		p("  atomics     issued=%d executed=%d combined=%d replays=%d\n",
 			t.Atomics, t.AtomicsExecuted, t.AtomicsCombined, t.AtomicReplays)
 	}
+	if t.AggPushes|t.AggPacketsSent|t.AggAdvances|t.AggApplied != 0 {
+		p("  pgas-agg    pushes=%d packets-sent=%d advances=%d applied=%d\n",
+			t.AggPushes, t.AggPacketsSent, t.AggAdvances, t.AggApplied)
+	}
 	if err := p("  mc          flag-incs=%d, cache-lines-invalidated=%d\n", flagIncs, inval); err != nil || mt.Fault == nil {
 		return err
 	}

@@ -1,0 +1,140 @@
+// Quiesce tests for the PGAS aggregation layer, from the machine's
+// vantage point: after Flush returns, no aggregation buffer may hold
+// a queued or outstanding operation, no command-list payload may
+// remain in flight (plain machine), and the reliable-delivery dedup
+// state must have collapsed (faulted machine) — mirroring the
+// reliable_drain_test invariants one layer up.
+package machine_test
+
+import (
+	"fmt"
+	"testing"
+
+	"ap1000plus/internal/fault"
+	"ap1000plus/internal/machine"
+	"ap1000plus/internal/mem"
+	"ap1000plus/internal/pgas"
+	"ap1000plus/internal/topology"
+)
+
+// runAggQuiesceWorkload drives a mixed aggregated workload — puts,
+// adds, gathers, and conveyor-chained fetch-and-adds — with tiny
+// regions (multiple exchange rounds), flushes, and checks the
+// per-cell and whole-aggregator quiesce invariants inside the run.
+func runAggQuiesceWorkload(t *testing.T, plan *fault.Plan) *machine.Machine {
+	t.Helper()
+	m, err := machine.New(machine.Config{Width: 2, Height: 2, Fault: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := pgas.NewHeap(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 37
+	data, err := h.Alloc("q.data", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := h.Alloc("q.tab", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr, err := h.Alloc("q.ctr", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < n; i++ {
+		tab.SetWord(i, i*3+1)
+	}
+	np := m.Cells()
+	pes := make([]*pgas.PE, np)
+	for id := 0; id < np; id++ {
+		if pes[id], err = pgas.NewPE(h, m.Cell(topology.CellID(id))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ag, err := pgas.NewAggregator(h, 8) // tiny regions: many rounds
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggs := make([]*pgas.AggPE, np)
+	for id := 0; id < np; id++ {
+		if aggs[id], err = ag.Bind(pes[id]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err = m.Run(func(c *machine.Cell) error {
+		me := int(c.ID())
+		a := aggs[me]
+		got := make([]int64, 64)
+		for k := 0; k < 64; k++ {
+			i := int64((k*7 + me*13) % n)
+			if err := a.Add(data, i, 1); err != nil {
+				return err
+			}
+			if err := a.Get(tab, i, &got[k]); err != nil {
+				return err
+			}
+			// Conveyor chain: the fetched ticket mints a dependent put,
+			// so responses arriving during Flush push fresh work.
+			if err := a.FetchAdd(ctr, int64(k%2), 1, func(old int64) {
+				_ = a.Put(data, old%n, old)
+			}); err != nil {
+				return err
+			}
+		}
+		if err := a.Flush(); err != nil {
+			return err
+		}
+		if err := a.Quiesced(); err != nil {
+			return fmt.Errorf("cell %d after Flush: %w", me, err)
+		}
+		pes[me].Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.FaultErr(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ag.Quiesced(); err != nil {
+		t.Error(err)
+	}
+	// Bulk-synchronous invariant: every cell ran the same number of
+	// exchange rounds.
+	for id := 1; id < np; id++ {
+		if aggs[id].Rounds() != aggs[0].Rounds() {
+			t.Errorf("cell %d ran %d rounds, cell 0 ran %d", id, aggs[id].Rounds(), aggs[0].Rounds())
+		}
+	}
+	return m
+}
+
+// TestAggQuiesceNoLeakedPayloads: on a plain machine the workload must
+// return every pooled command payload — the in-flight count ends where
+// it started.
+func TestAggQuiesceNoLeakedPayloads(t *testing.T) {
+	before := mem.PayloadsInFlight()
+	runAggQuiesceWorkload(t, nil)
+	if after := mem.PayloadsInFlight(); after != before {
+		t.Errorf("payloads in flight %d -> %d: aggregation leaked %d pooled buffers",
+			before, after, after-before)
+	}
+}
+
+// TestAggQuiesceUnderFaults: under a lossy wire the same workload must
+// still quiesce, and the per-link dedup windows must have collapsed.
+// (Payload counts are not checked here: with a fault plan armed the
+// MSC+ deliberately leaves retransmit buffers to the GC.)
+func TestAggQuiesceUnderFaults(t *testing.T) {
+	plan, err := fault.Parse("drop=0.06,dup=0.06,seed=21")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := runAggQuiesceWorkload(t, plan)
+	if err := m.DrainInvariantErr(); err != nil {
+		t.Error(err)
+	}
+}

@@ -373,3 +373,34 @@ func (m *Machine) FaultStats() fault.Stats {
 	}
 	return m.rel.inj.Stats()
 }
+
+// DrainInvariantErr checks the post-Run reliable-delivery invariant:
+// every per-link dedup window has collapsed into its contiguous
+// watermark (seen empty), no abandoned holes remain, and the atomic
+// result-replay cache respects its bound. Nil when the invariant
+// holds — including trivially, on a machine without a fault plan.
+// Layers built on the MSC+ (the PGAS aggregator in particular) call
+// this from their quiesce tests.
+func (m *Machine) DrainInvariantErr() error {
+	if m.rel == nil {
+		return nil
+	}
+	for i := range m.rel.links {
+		l := &m.rel.links[i]
+		l.mu.Lock()
+		seen, abandoned, results := len(l.seen), len(l.abandoned), len(l.results)
+		l.mu.Unlock()
+		src, dst := i/m.rel.cells, i%m.rel.cells
+		if seen != 0 {
+			return fmt.Errorf("link %d->%d: %d seen entries leaked after drain", src, dst, seen)
+		}
+		if abandoned != 0 {
+			return fmt.Errorf("link %d->%d: %d abandoned entries not reconciled", src, dst, abandoned)
+		}
+		if results > atomicReplayWindow {
+			return fmt.Errorf("link %d->%d: replay cache holds %d results, bound is %d",
+				src, dst, results, atomicReplayWindow)
+		}
+	}
+	return nil
+}

@@ -19,27 +19,12 @@ func mustPlan(t *testing.T, spec string) *fault.Plan {
 	return p
 }
 
-// assertLinksDrained checks the post-Run reliable-delivery invariant:
-// every per-link dedup window has collapsed into its contiguous
-// watermark (seen empty), no abandoned holes remain, and the atomic
-// result-replay cache respects its bound.
+// assertLinksDrained checks the post-Run reliable-delivery invariant
+// via the exported checker (see Machine.DrainInvariantErr).
 func assertLinksDrained(t *testing.T, m *Machine) {
 	t.Helper()
-	for i := range m.rel.links {
-		l := &m.rel.links[i]
-		l.mu.Lock()
-		seen, abandoned, results := len(l.seen), len(l.abandoned), len(l.results)
-		l.mu.Unlock()
-		src, dst := i/m.rel.cells, i%m.rel.cells
-		if seen != 0 {
-			t.Errorf("link %d->%d: %d seen entries leaked after drain", src, dst, seen)
-		}
-		if abandoned != 0 {
-			t.Errorf("link %d->%d: %d abandoned entries not reconciled", src, dst, abandoned)
-		}
-		if results > atomicReplayWindow {
-			t.Errorf("link %d->%d: replay cache holds %d results, bound is %d", src, dst, results, atomicReplayWindow)
-		}
+	if err := m.DrainInvariantErr(); err != nil {
+		t.Error(err)
 	}
 }
 

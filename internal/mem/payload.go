@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 )
 
 // Payload is data in flight: the send DMA captures the source pattern
@@ -25,10 +26,24 @@ type Payload struct {
 	// payloads that hop threads asynchronously (SEND ring buffers,
 	// broadcasts, remote-load replies); nil when not sanitized.
 	san any
+	// pooled marks a payload checked out of the capture pool, so the
+	// in-flight accounting survives a stray Release of a heap-fresh
+	// payload (clones, views) without going negative.
+	pooled bool
 }
 
 // payloadPool recycles payload buffers across captures.
 var payloadPool = sync.Pool{New: func() any { return new(Payload) }}
+
+// inFlight counts pool-backed payloads captured but not yet Released.
+// Quiesce tests use it to assert delivery paths hand every capture
+// back: after a drained run the count must be zero, or a payload
+// leaked out of the pool's custody.
+var inFlight atomic.Int64
+
+// PayloadsInFlight reports the number of pooled payload buffers
+// currently captured and not yet released.
+func PayloadsInFlight() int64 { return inFlight.Load() }
 
 // SetSan attaches a sanitizer release token to the payload.
 func (p *Payload) SetSan(tok any) {
@@ -91,6 +106,10 @@ func (p *Payload) Release() {
 		return
 	}
 	p.san = nil
+	if p.pooled {
+		p.pooled = false
+		inFlight.Add(-1)
+	}
 	payloadPool.Put(p)
 }
 
@@ -164,6 +183,10 @@ func CapturePayload(src *Space, addr Addr, srcPat Stride) (*Payload, error) {
 		kind = Bytes
 	}
 	p := payloadPool.Get().(*Payload)
+	if !p.pooled {
+		p.pooled = true
+		inFlight.Add(1)
+	}
 	p.reset(kind, total)
 	if err := copyStrideSegs(&p.seg, 0, Contiguous(total), seg, int64(addr-seg.base), srcPat); err != nil {
 		p.Release()

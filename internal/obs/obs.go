@@ -74,6 +74,14 @@ type CellCounters struct {
 	// result-replay cache instead of re-executing.
 	Atomics, AtomicsExecuted       atomic.Int64
 	AtomicsCombined, AtomicReplays atomic.Int64
+
+	// PGAS aggregation activity (all zero unless the pgas layer runs
+	// in aggregated mode). AggPushes counts fine-grained operations
+	// buffered instead of issued; AggPacketsSent packets shipped in
+	// exchange rounds; AggAdvances exchange rounds this cell ran;
+	// AggApplied packets applied to this cell's memory as the owner.
+	AggPushes, AggPacketsSent atomic.Int64
+	AggAdvances, AggApplied   atomic.Int64
 }
 
 // CellSnapshot is the plain-integer copy of a CellCounters block,
@@ -95,6 +103,8 @@ type CellSnapshot struct {
 	DSMInvalsSent, DSMInvalsRecv     int64
 	Atomics, AtomicsExecuted         int64
 	AtomicsCombined, AtomicReplays   int64
+	AggPushes, AggPacketsSent        int64
+	AggAdvances, AggApplied          int64
 }
 
 // Snapshot copies the counters at a point in time.
@@ -118,6 +128,8 @@ func (c *CellCounters) Snapshot() CellSnapshot {
 		DSMInvalsSent: c.DSMInvalsSent.Load(), DSMInvalsRecv: c.DSMInvalsRecv.Load(),
 		Atomics: c.Atomics.Load(), AtomicsExecuted: c.AtomicsExecuted.Load(),
 		AtomicsCombined: c.AtomicsCombined.Load(), AtomicReplays: c.AtomicReplays.Load(),
+		AggPushes: c.AggPushes.Load(), AggPacketsSent: c.AggPacketsSent.Load(),
+		AggAdvances: c.AggAdvances.Load(), AggApplied: c.AggApplied.Load(),
 	}
 }
 
@@ -157,6 +169,10 @@ func (s *CellSnapshot) Add(o CellSnapshot) {
 	s.AtomicsExecuted += o.AtomicsExecuted
 	s.AtomicsCombined += o.AtomicsCombined
 	s.AtomicReplays += o.AtomicReplays
+	s.AggPushes += o.AggPushes
+	s.AggPacketsSent += o.AggPacketsSent
+	s.AggAdvances += o.AggAdvances
+	s.AggApplied += o.AggApplied
 }
 
 // Observer is a machine-wide observation context: one counter block

@@ -1,0 +1,56 @@
+// Package pgas layers a UPC/SHMEM-flavored partitioned global address
+// space over the AP1000+ PUT/GET interface: a symmetric heap of
+// round-robin-distributed shared arrays (libgetput's model — element i
+// of an array has affinity to cell i mod P, in local slot i div P),
+// fine-grained naive Get/Put/atomic operations built directly on the
+// MSC+ paths, and an exstack-style aggregation mode that buffers
+// fine-grained operations per destination and exchanges them in bulk
+// rounds, the traffic shape fine-grained PGAS codes need to go fast.
+package pgas
+
+import "fmt"
+
+// Layout is the round-robin distribution of an n-element array over p
+// cells: element i lives on cell i mod p at local slot i div p. The
+// cyclic map is the UPC default layout — consecutive global indices
+// land on consecutive cells, so an index stream with no locality
+// spreads evenly by construction.
+type Layout struct {
+	// N is the global element count.
+	N int64
+	// P is the number of cells.
+	P int64
+}
+
+// Owner returns the cell holding global index i.
+func (l Layout) Owner(i int64) int64 { return i % l.P }
+
+// Slot returns the owner-local slot of global index i.
+func (l Layout) Slot(i int64) int64 { return i / l.P }
+
+// Index is the inverse mapping: the global index stored at (owner,
+// slot).
+func (l Layout) Index(owner, slot int64) int64 { return slot*l.P + owner }
+
+// SlotsPerCell is the symmetric per-cell allocation, ceil(N/P): every
+// cell reserves the same number of slots so the heap stays symmetric
+// even when P does not divide N.
+func (l Layout) SlotsPerCell() int64 { return (l.N + l.P - 1) / l.P }
+
+// SlotsOn is the number of slots actually backed by elements on one
+// cell: the first N mod P cells hold one element more than the rest.
+func (l Layout) SlotsOn(owner int64) int64 {
+	q, r := l.N/l.P, l.N%l.P
+	if owner < r {
+		return q + 1
+	}
+	return q
+}
+
+// Check validates a global index against the layout bounds.
+func (l Layout) Check(i int64) error {
+	if i < 0 || i >= l.N {
+		return fmt.Errorf("pgas: index %d out of range [0,%d)", i, l.N)
+	}
+	return nil
+}

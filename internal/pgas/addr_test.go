@@ -1,0 +1,105 @@
+package pgas
+
+import "testing"
+
+// TestLayoutGolden pins the round-robin mapping at the cell counts
+// the acceptance matrix cares about (P = 1, 2, 3, 64), including
+// array sizes P does not divide: exact (owner, slot) pairs, exact
+// per-cell populations, and the Index inverse.
+func TestLayoutGolden(t *testing.T) {
+	cases := []struct {
+		p, n        int64
+		i           int64
+		owner, slot int64
+	}{
+		// P=1: everything local.
+		{p: 1, n: 7, i: 0, owner: 0, slot: 0},
+		{p: 1, n: 7, i: 6, owner: 0, slot: 6},
+		// P=2, odd size: cell 0 holds one more element.
+		{p: 2, n: 7, i: 0, owner: 0, slot: 0},
+		{p: 2, n: 7, i: 1, owner: 1, slot: 0},
+		{p: 2, n: 7, i: 6, owner: 0, slot: 3},
+		// P=3, n=10: cells hold 4,3,3.
+		{p: 3, n: 10, i: 7, owner: 1, slot: 2},
+		{p: 3, n: 10, i: 9, owner: 0, slot: 3},
+		{p: 3, n: 10, i: 8, owner: 2, slot: 2},
+		// P=64, non-divisible size.
+		{p: 64, n: 1000, i: 999, owner: 39, slot: 15},
+		{p: 64, n: 1000, i: 63, owner: 63, slot: 0},
+		{p: 64, n: 1000, i: 64, owner: 0, slot: 1},
+	}
+	for _, c := range cases {
+		l := Layout{N: c.n, P: c.p}
+		if got := l.Owner(c.i); got != c.owner {
+			t.Errorf("P=%d N=%d: Owner(%d) = %d, want %d", c.p, c.n, c.i, got, c.owner)
+		}
+		if got := l.Slot(c.i); got != c.slot {
+			t.Errorf("P=%d N=%d: Slot(%d) = %d, want %d", c.p, c.n, c.i, got, c.slot)
+		}
+		if got := l.Index(c.owner, c.slot); got != c.i {
+			t.Errorf("P=%d N=%d: Index(%d,%d) = %d, want %d", c.p, c.n, c.owner, c.slot, got, c.i)
+		}
+	}
+}
+
+// TestLayoutRoundTrip sweeps every index of a spread of shapes:
+// Index(Owner(i), Slot(i)) == i, slots stay inside the owner's
+// population, populations sum to N, and no cell exceeds the symmetric
+// per-cell reservation.
+func TestLayoutRoundTrip(t *testing.T) {
+	for _, p := range []int64{1, 2, 3, 64} {
+		for _, n := range []int64{1, 2, 3, 7, 63, 64, 65, 1000} {
+			l := Layout{N: n, P: p}
+			var sum int64
+			for owner := int64(0); owner < p; owner++ {
+				if l.SlotsOn(owner) > l.SlotsPerCell() {
+					t.Fatalf("P=%d N=%d: cell %d holds %d slots, reservation is %d",
+						p, n, owner, l.SlotsOn(owner), l.SlotsPerCell())
+				}
+				sum += l.SlotsOn(owner)
+			}
+			if sum != n {
+				t.Errorf("P=%d N=%d: populations sum to %d", p, n, sum)
+			}
+			for i := int64(0); i < n; i++ {
+				owner, slot := l.Owner(i), l.Slot(i)
+				if slot >= l.SlotsOn(owner) {
+					t.Fatalf("P=%d N=%d: index %d lands at slot %d of cell %d, population %d",
+						p, n, i, slot, owner, l.SlotsOn(owner))
+				}
+				if back := l.Index(owner, slot); back != i {
+					t.Fatalf("P=%d N=%d: index %d round-trips to %d", p, n, i, back)
+				}
+			}
+		}
+	}
+}
+
+// FuzzLayoutInverse fuzzes the mapping inverse: for any in-range
+// index the (owner, slot) pair must round-trip, and for any in-range
+// (owner, slot) pair the index must map back.
+func FuzzLayoutInverse(f *testing.F) {
+	f.Add(int64(3), int64(10), int64(7))
+	f.Add(int64(64), int64(1000), int64(999))
+	f.Add(int64(1), int64(1), int64(0))
+	f.Fuzz(func(t *testing.T, p, n, i int64) {
+		if p < 1 || p > 1<<16 || n < 1 || n > 1<<40 {
+			t.Skip()
+		}
+		l := Layout{N: n, P: p}
+		i = ((i % n) + n) % n
+		owner, slot := l.Owner(i), l.Slot(i)
+		if owner < 0 || owner >= p || slot < 0 || slot >= l.SlotsOn(owner) {
+			t.Fatalf("P=%d N=%d: index %d maps outside the heap: owner %d slot %d", p, n, i, owner, slot)
+		}
+		if back := l.Index(owner, slot); back != i {
+			t.Fatalf("P=%d N=%d: Index(Owner(%d),Slot(%d)) = %d", p, n, i, i, back)
+		}
+		// Inverse direction: the slot'th element of owner is i, so
+		// walking owner's population must hit exactly the indices
+		// congruent to owner.
+		if l.Check(l.Index(owner, slot)) != nil {
+			t.Fatalf("P=%d N=%d: inverse image %d out of range", p, n, l.Index(owner, slot))
+		}
+	})
+}

@@ -1,0 +1,452 @@
+package pgas
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ap1000plus/internal/core"
+	"ap1000plus/internal/mc"
+	"ap1000plus/internal/mem"
+	"ap1000plus/internal/obs"
+	"ap1000plus/internal/topology"
+)
+
+// The aggregation layer is the repo's exstack: fine-grained PGAS
+// operations are not issued one message at a time but packed into
+// per-destination buffers of 3-word packets, and exchanged in bulk
+// synchronous rounds (Advance). One round ships at most one PUT per
+// (src,dst) pair — so a round's wire cost is O(P) messages per cell
+// regardless of how many fine-grained operations it carries — into a
+// per-source mailbox region on the destination, where the owner
+// applies the packets to its partition locally. Fetching operations
+// (Get, FetchAdd) are split-phase: the request travels in one round,
+// the owner pushes the response packet, and it arrives in a later
+// round, completing a caller-registered pointer or callback. Flush
+// keeps advancing until a global reduction shows no cell holds queued
+// or outstanding work.
+//
+// Rounds are collective and deterministically ordered: every cell
+// sends exactly one region to every other cell per round (a count of
+// zero packets still sends the count word, so the receive-flag target
+// is exactly rounds*(P-1)), applies regions in source order, and
+// barriers before the next round may reuse the regions. The final
+// memory image therefore does not depend on wire timing — the
+// property the naive-vs-aggregated conformance suite pins.
+
+// aggregation packet opcodes (w0 bits 0..3).
+const (
+	aopPut = iota + 1
+	aopAdd
+	aopMin
+	aopMax
+	aopGet
+	aopFetchAdd
+	aopResp
+)
+
+// packetWords is the fixed packet size: w0 = op|arr|slot, w1 = value,
+// w2 = response tag.
+const packetWords = 3
+
+// DefaultAggPackets is the default per-destination region capacity.
+const DefaultAggPackets = 256
+
+// slot field bounds: op takes bits 0..3, array id bits 4..15, slot
+// bits 16..63.
+const maxSlot = int64(1) << 47
+
+// Aggregator owns the machine-wide exchange state: the symmetric
+// mailbox segments (P regions per cell, one per source) and the
+// symmetric mailbox flag. Build once after NewHeap, then Bind a PE on
+// every cell.
+type Aggregator struct {
+	h        *Heap
+	packets  int64
+	regBytes int64
+	mailSegs []*mem.Segment
+	mailB    [][]byte
+	mbFlag   mc.FlagID
+	pes      []*AggPE
+}
+
+// NewAggregator builds the exchange buffers: packets is the
+// per-destination region capacity (DefaultAggPackets if <= 0).
+func NewAggregator(h *Heap, packets int) (*Aggregator, error) {
+	if packets <= 0 {
+		packets = DefaultAggPackets
+	}
+	ag := &Aggregator{
+		h: h, packets: int64(packets),
+		regBytes: (1 + packetWords*int64(packets)) * 8,
+		mailSegs: make([]*mem.Segment, h.np),
+		mailB:    make([][]byte, h.np),
+		pes:      make([]*AggPE, h.np),
+	}
+	for id := 0; id < h.np; id++ {
+		cell := h.m.Cell(topology.CellID(id))
+		seg, b, err := cell.AllocBytes("pgas.aggmail", int64(h.np)*ag.regBytes)
+		if err != nil {
+			return nil, fmt.Errorf("pgas: NewAggregator: cell %d: %w", id, err)
+		}
+		ag.mailSegs[id], ag.mailB[id] = seg, b
+		// The mailbox flag must carry the same id on every cell: a
+		// sender raises it by number on the destination. Lockstep
+		// allocation guarantees it as long as heap construction is
+		// itself symmetric.
+		f := cell.Flags.Alloc()
+		if id == 0 {
+			ag.mbFlag = f
+		} else if f != ag.mbFlag {
+			return nil, fmt.Errorf("pgas: NewAggregator: asymmetric flag allocation (cell %d got %d, cell 0 got %d)", id, f, ag.mbFlag)
+		}
+	}
+	return ag, nil
+}
+
+// PE returns rank's bound AggPE, once Bind has run.
+func (ag *Aggregator) PE(rank int) *AggPE { return ag.pes[rank] }
+
+// Quiesced checks every bound AggPE drained (no queued packets, no
+// outstanding fetches, no leaked response tags).
+func (ag *Aggregator) Quiesced() error {
+	for _, a := range ag.pes {
+		if a == nil {
+			continue
+		}
+		if err := a.Quiesced(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// aggWait is a registered completion for a split-phase fetch: exactly
+// one of ptr/fn is set.
+type aggWait struct {
+	ptr *int64
+	fn  func(int64)
+}
+
+// AggPE is one cell's aggregation context. Use it only from that
+// cell's SPMD goroutine; Advance and Flush are collective over all
+// cells.
+type AggPE struct {
+	ag *Aggregator
+	pe *PE
+	me int
+	np int
+
+	outSeg   *mem.Segment
+	outB     []byte
+	sendFlag mc.FlagID
+	rounds   int64
+
+	// Per-destination packet queues (flattened 3-word packets), with
+	// a consumed-word head so a region-full round does not reshuffle
+	// the slice. Push never blocks: overflow simply waits for a later
+	// round.
+	q      [][]uint64
+	qh     []int
+	queued int64
+
+	// Split-phase fetch completions: tab entries addressed by the tag
+	// riding the packet, recycled through a free list.
+	tab         []aggWait
+	free        []int32
+	outstanding int64
+
+	obs      *obs.CellCounters
+	applyErr error
+}
+
+// Bind builds the aggregation context for one PE. Like NewPE, call it
+// for every cell in rank order.
+func (ag *Aggregator) Bind(pe *PE) (*AggPE, error) {
+	a := &AggPE{
+		ag: ag, pe: pe, me: pe.me, np: pe.np,
+		q:  make([][]uint64, pe.np),
+		qh: make([]int, pe.np),
+	}
+	var err error
+	a.outSeg, a.outB, err = pe.cell.AllocBytes("pgas.aggout", int64(pe.np)*ag.regBytes)
+	if err != nil {
+		return nil, fmt.Errorf("pgas: Bind cell %d: %w", pe.me, err)
+	}
+	a.sendFlag = pe.cell.Flags.Alloc()
+	if o := ag.h.m.Observer(); o != nil {
+		a.obs = o.Cell(pe.me)
+	}
+	ag.pes[pe.me] = a
+	return a, nil
+}
+
+// PE returns the underlying naive PE.
+func (a *AggPE) PE() *PE { return a.pe }
+
+// Pending reports buffered packets plus outstanding fetches.
+func (a *AggPE) Pending() int64 { return a.queued + a.outstanding }
+
+// Rounds reports how many exchange rounds this PE has run.
+func (a *AggPE) Rounds() int64 { return a.rounds }
+
+// push buffers one packet for the owner of (s, i).
+func (a *AggPE) push(op uint64, s *Shared, i, val int64, tag uint64) error {
+	if err := s.lay.Check(i); err != nil {
+		return err
+	}
+	slot := s.lay.Slot(i)
+	if slot >= maxSlot {
+		return fmt.Errorf("pgas: %s: slot %d exceeds packet field", s.name, slot)
+	}
+	d := int(s.lay.Owner(i))
+	a.q[d] = append(a.q[d], op|uint64(s.id)<<4|uint64(slot)<<16, uint64(val), tag)
+	a.queued++
+	if a.obs != nil {
+		a.obs.AggPushes.Add(1)
+	}
+	return nil
+}
+
+// Put buffers a store of v into element i.
+func (a *AggPE) Put(s *Shared, i, v int64) error { return a.push(aopPut, s, i, v, 0) }
+
+// Add buffers an atomic add of delta to element i.
+func (a *AggPE) Add(s *Shared, i, delta int64) error { return a.push(aopAdd, s, i, delta, 0) }
+
+// Min buffers an atomic signed min of element i against v.
+func (a *AggPE) Min(s *Shared, i, v int64) error { return a.push(aopMin, s, i, v, 0) }
+
+// Max buffers an atomic signed max of element i against v.
+func (a *AggPE) Max(s *Shared, i, v int64) error { return a.push(aopMax, s, i, v, 0) }
+
+// newTag registers a completion and returns its tag.
+func (a *AggPE) newTag(w aggWait) uint64 {
+	var idx int32
+	if n := len(a.free); n > 0 {
+		idx = a.free[n-1]
+		a.free = a.free[:n-1]
+	} else {
+		idx = int32(len(a.tab))
+		a.tab = append(a.tab, aggWait{})
+	}
+	a.tab[idx] = w
+	a.outstanding++
+	return uint64(idx)
+}
+
+// Get buffers a split-phase load of element i; *dst is filled by the
+// round that carries the response (guaranteed complete after Flush).
+func (a *AggPE) Get(s *Shared, i int64, dst *int64) error {
+	if dst == nil {
+		return fmt.Errorf("pgas: Get %s: nil destination", s.name)
+	}
+	return a.push(aopGet, s, i, 0, a.newTag(aggWait{ptr: dst}))
+}
+
+// FetchAdd buffers a split-phase fetch-and-add of delta to element i;
+// fn runs with the previous value when the response arrives, and may
+// itself push further aggregated operations (the conveyor pattern).
+func (a *AggPE) FetchAdd(s *Shared, i, delta int64, fn func(old int64)) error {
+	if fn == nil {
+		return fmt.Errorf("pgas: FetchAdd %s: nil completion", s.name)
+	}
+	return a.push(aopFetchAdd, s, i, delta, a.newTag(aggWait{fn: fn}))
+}
+
+// respond pushes a response packet back to src's completion tag.
+func (a *AggPE) respond(src int, tag uint64, val int64) {
+	a.q[src] = append(a.q[src], aopResp, uint64(val), tag)
+	a.queued++
+	if a.obs != nil {
+		a.obs.AggPushes.Add(1)
+	}
+}
+
+// fillRegion packs up to the region capacity of dst-bound packets
+// into an out (or self-mailbox) region and returns the packet count.
+func (a *AggPE) fillRegion(reg []byte, d int) int64 {
+	n := int64(len(a.q[d])-a.qh[d]) / packetWords
+	if n > a.ag.packets {
+		n = a.ag.packets
+	}
+	binary.LittleEndian.PutUint64(reg, uint64(n))
+	for k := int64(0); k < n*packetWords; k++ {
+		binary.LittleEndian.PutUint64(reg[8+k*8:], a.q[d][a.qh[d]+int(k)])
+	}
+	a.qh[d] += int(n * packetWords)
+	if a.qh[d] == len(a.q[d]) {
+		a.q[d] = a.q[d][:0]
+		a.qh[d] = 0
+	}
+	a.queued -= n
+	return n
+}
+
+// Advance runs one collective exchange round: pack and ship one
+// region to every destination (one batched doorbell), wait for the
+// round's P-1 arrivals, apply the received packets in source order,
+// and barrier. Every cell must call Advance the same number of times
+// — Flush does this bookkeeping for you.
+func (a *AggPE) Advance() error {
+	if a.applyErr != nil {
+		return a.applyErr
+	}
+	a.rounds++
+	sent := int64(0)
+	b := a.pe.comm.Batch()
+	for d := 0; d < a.np; d++ {
+		if d == a.me {
+			continue
+		}
+		base := int64(d) * a.ag.regBytes
+		reg := a.outB[base : base+a.ag.regBytes]
+		n := a.fillRegion(reg, d)
+		sent += n
+		size := (1 + n*packetWords) * 8
+		a.pe.cell.SanWrite(a.outSeg.Base()+mem.Addr(base), mem.Contiguous(size), "pgas agg pack")
+		b.Put(core.Transfer{
+			To:     topology.CellID(d),
+			Remote: a.ag.mailSegs[d].Base() + mem.Addr(int64(a.me)*a.ag.regBytes),
+			Local:  a.outSeg.Base() + mem.Addr(base),
+			Size:   size, SendFlag: a.sendFlag, RecvFlag: a.ag.mbFlag,
+		})
+	}
+	if err := b.Commit(); err != nil {
+		return err
+	}
+	// My own packets skip the wire: fill the self mailbox region
+	// directly.
+	selfBase := int64(a.me) * a.ag.regBytes
+	a.fillRegion(a.ag.mailB[a.me][selfBase:selfBase+a.ag.regBytes], a.me)
+	// Exact flag accounting: every peer sends exactly one region per
+	// round (empty rounds still ship the count word), so arrival and
+	// send-completion targets are both rounds*(P-1).
+	target := a.rounds * int64(a.np-1)
+	a.pe.comm.WaitFlag(a.ag.mbFlag, target)
+	a.pe.comm.WaitFlag(a.sendFlag, target)
+	applied := int64(0)
+	for src := 0; src < a.np; src++ {
+		applied += a.apply(src)
+	}
+	if a.obs != nil {
+		a.obs.AggAdvances.Add(1)
+		a.obs.AggPacketsSent.Add(sent)
+		a.obs.AggApplied.Add(applied)
+	}
+	// No cell starts the next round (reusing mailbox regions) until
+	// every cell has applied this one.
+	a.pe.comm.Barrier()
+	return a.applyErr
+}
+
+// apply decodes one source's mailbox region and applies its packets
+// to my partition.
+func (a *AggPE) apply(src int) int64 {
+	base := int64(src) * a.ag.regBytes
+	reg := a.ag.mailB[a.me][base:]
+	cnt := int64(binary.LittleEndian.Uint64(reg))
+	a.pe.cell.SanRead(a.ag.mailSegs[a.me].Base()+mem.Addr(base), mem.Contiguous((1+cnt*packetWords)*8), "pgas agg apply")
+	for k := int64(0); k < cnt; k++ {
+		w0 := binary.LittleEndian.Uint64(reg[8+k*packetWords*8:])
+		val := int64(binary.LittleEndian.Uint64(reg[16+k*packetWords*8:]))
+		tag := binary.LittleEndian.Uint64(reg[24+k*packetWords*8:])
+		op := w0 & 0xf
+		if op == aopResp {
+			idx := int32(tag)
+			w := a.tab[idx]
+			a.tab[idx] = aggWait{}
+			a.free = append(a.free, idx)
+			a.outstanding--
+			if w.ptr != nil {
+				*w.ptr = val
+			}
+			if w.fn != nil {
+				w.fn(val)
+			}
+			continue
+		}
+		arr := int(w0 >> 4 & 0xfff)
+		if arr >= len(a.ag.h.arrays) {
+			a.fail(fmt.Errorf("pgas: apply: bad array id %d from cell %d", arr, src))
+			return k
+		}
+		s := a.ag.h.arrays[arr]
+		slot := int64(w0 >> 16)
+		if slot >= s.lay.SlotsOn(int64(a.me)) {
+			a.fail(fmt.Errorf("pgas: apply: %s slot %d out of range on cell %d (from cell %d)", s.name, slot, a.me, src))
+			return k
+		}
+		switch op {
+		case aopPut:
+			a.pe.setLocalWord(s, slot, val)
+		case aopAdd, aopMin, aopMax:
+			old := a.pe.localWord(s, slot)
+			stored, _ := mc.ApplyAtomic(aggAtomicOp(op), old, val, 0)
+			a.pe.setLocalWord(s, slot, stored)
+		case aopGet:
+			a.respond(src, tag, a.pe.localWord(s, slot))
+		case aopFetchAdd:
+			old := a.pe.localWord(s, slot)
+			a.pe.setLocalWord(s, slot, old+val)
+			a.respond(src, tag, old)
+		default:
+			a.fail(fmt.Errorf("pgas: apply: bad opcode %d from cell %d", op, src))
+			return k
+		}
+	}
+	return cnt
+}
+
+// aggAtomicOp maps a non-fetching packet opcode onto the MC's atomic
+// suite, so aggregated updates apply bit-identically to naive ones.
+func aggAtomicOp(op uint64) mc.AtomicOp {
+	switch op {
+	case aopMin:
+		return mc.AtomicMin
+	case aopMax:
+		return mc.AtomicMax
+	default:
+		return mc.AtomicAdd
+	}
+}
+
+// fail latches the first apply error; subsequent Advance calls
+// return it.
+func (a *AggPE) fail(err error) {
+	if a.applyErr == nil {
+		a.applyErr = err
+	}
+}
+
+// Flush advances until a global reduction shows no cell holds queued
+// packets or outstanding fetches — every buffered operation applied,
+// every response delivered. Collective; all cells must call it
+// together.
+func (a *AggPE) Flush() error {
+	for {
+		if err := a.Advance(); err != nil {
+			return err
+		}
+		if a.pe.ReduceAdd(float64(a.queued+a.outstanding)) == 0 {
+			return nil
+		}
+	}
+}
+
+// Quiesced verifies the drained invariant after a Flush: nothing
+// buffered, nothing outstanding, every response tag back on the free
+// list.
+func (a *AggPE) Quiesced() error {
+	if a.queued != 0 || a.outstanding != 0 {
+		return fmt.Errorf("pgas: cell %d not quiesced: %d queued, %d outstanding", a.me, a.queued, a.outstanding)
+	}
+	for d := range a.q {
+		if len(a.q[d]) != 0 || a.qh[d] != 0 {
+			return fmt.Errorf("pgas: cell %d not quiesced: dst %d holds %d words (head %d)", a.me, d, len(a.q[d]), a.qh[d])
+		}
+	}
+	if len(a.free) != len(a.tab) {
+		return fmt.Errorf("pgas: cell %d not quiesced: %d of %d response tags leaked", a.me, len(a.tab)-len(a.free), len(a.tab))
+	}
+	return nil
+}

@@ -1,0 +1,210 @@
+package pgas
+
+import (
+	"testing"
+
+	"ap1000plus/internal/machine"
+)
+
+// aggWorkload drives a mixed put/add/min/max/get/fetchadd stream with
+// a per-cell deterministic LCG. Puts use exclusive per-index writers
+// so the final image is mode-independent.
+func aggWorkload(t *testing.T, r *rig, s *Shared, gets *Shared, iters int) ([][]int64, [][]int64) {
+	t.Helper()
+	np := int64(r.h.NP())
+	n := s.Len()
+	got := make([][]int64, np)     // per-cell Get results
+	fetched := make([][]int64, np) // per-cell FetchAdd previous values
+	r.run(t, func(pe *PE) error {
+		me := int64(pe.Rank())
+		a := r.aggs[pe.Rank()]
+		rng := uint64(me*2654435761 + 12345)
+		next := func() uint64 { rng = rng*6364136223846793005 + 1442695040888963407; return rng >> 11 }
+		dst := make([]int64, iters)
+		for k := 0; k < iters; k++ {
+			i := int64(next() % uint64(n))
+			switch next() % 4 {
+			case 0:
+				// Exclusive writer per index: value depends only on i.
+				if (i*7+3)%np == me {
+					if err := a.Put(s, i, i*3+1); err != nil {
+						return err
+					}
+				}
+			case 1:
+				if err := a.Add(s, i, int64(next()%100)); err != nil {
+					return err
+				}
+			case 2:
+				if err := a.Min(s, i, int64(next()%1000)-500); err != nil {
+					return err
+				}
+			default:
+				if err := a.Get(gets, i%gets.Len(), &dst[k]); err != nil {
+					return err
+				}
+			}
+		}
+		// A chained fetch: the completion pushes a second-hop add, the
+		// conveyor pattern.
+		var olds []int64
+		err := a.FetchAdd(s, me%n, 1, func(old int64) {
+			olds = append(olds, old)
+			_ = a.Add(s, (me+1)%n, 1)
+		})
+		if err != nil {
+			return err
+		}
+		if err := a.Flush(); err != nil {
+			return err
+		}
+		pe.Barrier()
+		got[me], fetched[me] = dst, olds
+		return nil
+	})
+	return got, fetched
+}
+
+// TestAggFlushQuiesces pins the drain invariant: after Flush no AggPE
+// holds queued packets, outstanding fetches or leaked response tags,
+// and the mailbox flag count is exactly rounds*(P-1) on every cell —
+// no stray or missing region arrivals.
+func TestAggFlushQuiesces(t *testing.T) {
+	r := newRig(t, machine.Config{Sanitize: true}, true, 8)
+	s, err := r.h.Alloc("data", 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gets, err := r.h.Alloc("static", 37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < gets.Len(); i++ {
+		gets.SetWord(i, i*11)
+	}
+	aggWorkload(t, r, s, gets, 300)
+	ag := r.aggs[0].ag
+	if err := ag.Quiesced(); err != nil {
+		t.Error(err)
+	}
+	rounds := r.aggs[0].Rounds()
+	if rounds == 0 {
+		t.Fatal("no exchange rounds ran")
+	}
+	for id, a := range r.aggs {
+		if a.Rounds() != rounds {
+			t.Errorf("cell %d ran %d rounds, cell 0 ran %d", id, a.Rounds(), rounds)
+		}
+		flags := r.m.Cell(r.pes[id].cell.ID()).Flags
+		if got, want := flags.Load(ag.mbFlag), rounds*int64(r.h.NP()-1); got != want {
+			t.Errorf("cell %d: mailbox flag = %d, want %d", id, got, want)
+		}
+	}
+}
+
+// TestAggMatchesNaiveSmall is the white-box conformance check: the
+// same mixed workload applied through the aggregator and through the
+// naive PE operations must leave bit-identical memory. (The root
+// pgas_property_test.go drives the full matrix; this one pins the
+// packet encode/decode path in isolation.)
+func TestAggMatchesNaiveSmall(t *testing.T) {
+	run := func(agg bool) []int64 {
+		r := newRig(t, machine.Config{}, true, 16)
+		s, err := r.h.Alloc("m", 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		np := int64(r.h.NP())
+		r.run(t, func(pe *PE) error {
+			me := int64(pe.Rank())
+			a := r.aggs[pe.Rank()]
+			// Index classes keep op kinds disjoint: puts and adds on
+			// one index would not commute, so no phase-free workload
+			// can mix them and stay order-independent.
+			for i := int64(0); i < s.Len(); i++ {
+				switch i % 3 {
+				case 0: // exclusive-writer put
+					if (i*5+1)%np != me {
+						continue
+					}
+					if agg {
+						if err := a.Put(s, i, i+100); err != nil {
+							return err
+						}
+					} else if err := pe.PutInt64(s, i, i+100); err != nil {
+						return err
+					}
+				case 1: // commutative adds from every cell
+					if agg {
+						if err := a.Add(s, i, me+1); err != nil {
+							return err
+						}
+					} else if err := pe.AtomicAdd(s, i, me+1); err != nil {
+						return err
+					}
+				default: // commutative max from every cell
+					if agg {
+						if err := a.Max(s, i, 90+me); err != nil {
+							return err
+						}
+					} else if err := pe.AtomicMax(s, i, 90+me); err != nil {
+						return err
+					}
+				}
+			}
+			if agg {
+				if err := a.Flush(); err != nil {
+					return err
+				}
+			}
+			pe.Barrier()
+			return nil
+		})
+		return s.Words()
+	}
+	// Note: adds and max commute, and each put index has one writer,
+	// so the two modes must agree exactly even though operation order
+	// differs.
+	a, n := run(true), run(false)
+	for i := range a {
+		if a[i] != n[i] {
+			t.Errorf("m[%d]: aggregated %d != naive %d", i, a[i], n[i])
+		}
+	}
+}
+
+// TestPGASAggregatedZeroAlloc guards the aggregated push fast path:
+// after warmup has grown the per-destination queues, buffering a
+// fine-grained operation allocates nothing (the aggregation layer
+// must not trade message count for garbage). Wired into make verify.
+func TestPGASAggregatedZeroAlloc(t *testing.T) {
+	r := newRig(t, machine.Config{}, true, 64)
+	s, err := r.h.Alloc("z", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := r.aggs[0]
+	const ops = 128
+	reset := func() {
+		for d := range a.q {
+			a.q[d] = a.q[d][:0]
+			a.qh[d] = 0
+		}
+		a.queued = 0
+	}
+	body := func() {
+		for k := int64(0); k < ops; k++ {
+			if err := a.Put(s, k%s.Len(), k); err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Add(s, (k*3)%s.Len(), 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		reset()
+	}
+	body() // warmup: grow queue capacity
+	if allocs := testing.AllocsPerRun(20, body); allocs != 0 {
+		t.Errorf("aggregated push path allocates %.1f times per %d ops, want 0", allocs, 2*ops)
+	}
+}

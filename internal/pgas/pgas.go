@@ -1,0 +1,464 @@
+package pgas
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ap1000plus/internal/barrier"
+	"ap1000plus/internal/core"
+	"ap1000plus/internal/machine"
+	"ap1000plus/internal/mc"
+	"ap1000plus/internal/mem"
+	"ap1000plus/internal/topology"
+	"ap1000plus/internal/trace"
+)
+
+const (
+	// stageSlots is the depth of the per-PE staging ring for
+	// fine-grained PutInt64: a put captures its value from a ring slot,
+	// and the slot recycles once the send flag shows the DMA read it
+	// (S3.1's "reuse the source area as soon as the send flag rises").
+	stageSlots = 64
+	// bulkWords sizes the bulk staging buffer used by GetMem/PutMem
+	// chunking and by GetInt64 as the landing area for the reply.
+	bulkWords = 512
+)
+
+// maxArrays bounds the per-heap array count so an array id packs into
+// the aggregation packet header.
+const maxArrays = 1 << 12
+
+// Heap is a symmetric heap of shared arrays: every Alloc reserves the
+// same number of bytes at the same point in every cell's allocation
+// order, so an array is named by one id machine-wide. Allocate before
+// Machine.Run, on the host.
+type Heap struct {
+	m      *machine.Machine
+	np     int
+	arrays []*Shared
+	pes    []*PE
+	// scratch is a P-word shared array backing the exact integer
+	// reductions and scans.
+	scratch *Shared
+}
+
+// NewHeap builds the symmetric heap on a machine. Call once, before
+// constructing PEs.
+func NewHeap(m *machine.Machine) (*Heap, error) {
+	h := &Heap{m: m, np: m.Cells(), pes: make([]*PE, m.Cells())}
+	sc, err := h.Alloc("scratch", int64(m.Cells()))
+	if err != nil {
+		return nil, err
+	}
+	h.scratch = sc
+	return h, nil
+}
+
+// Machine returns the machine the heap lives on.
+func (h *Heap) Machine() *machine.Machine { return h.m }
+
+// NP returns the number of cells.
+func (h *Heap) NP() int { return h.np }
+
+// Alloc reserves an n-element int64 shared array, round-robin
+// distributed: ceil(n/P) slots on every cell.
+func (h *Heap) Alloc(name string, n int64) (*Shared, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("pgas: Alloc %q: size %d", name, n)
+	}
+	if len(h.arrays) >= maxArrays {
+		return nil, fmt.Errorf("pgas: Alloc %q: heap full (%d arrays)", name, maxArrays)
+	}
+	s := &Shared{
+		h: h, id: len(h.arrays), name: name,
+		lay:   Layout{N: n, P: int64(h.np)},
+		segs:  make([]*mem.Segment, h.np),
+		bytes: make([][]byte, h.np),
+	}
+	per := s.lay.SlotsPerCell() * 8
+	for id := 0; id < h.np; id++ {
+		seg, b, err := h.m.Cell(topology.CellID(id)).AllocBytes("pgas."+name, per)
+		if err != nil {
+			return nil, fmt.Errorf("pgas: Alloc %q: cell %d: %w", name, id, err)
+		}
+		s.segs[id], s.bytes[id] = seg, b
+	}
+	h.arrays = append(h.arrays, s)
+	return s, nil
+}
+
+// PE returns the per-cell processing element for rank, once built.
+func (h *Heap) PE(rank int) *PE { return h.pes[rank] }
+
+// Shared is one round-robin-distributed array on the symmetric heap.
+type Shared struct {
+	h     *Heap
+	id    int
+	name  string
+	lay   Layout
+	segs  []*mem.Segment
+	bytes [][]byte
+}
+
+// Name returns the array's heap name.
+func (s *Shared) Name() string { return s.name }
+
+// Len returns the global element count.
+func (s *Shared) Len() int64 { return s.lay.N }
+
+// Layout exposes the round-robin index mapping.
+func (s *Shared) Layout() Layout { return s.lay }
+
+// addrOf translates a global index to its owner and owner-local
+// address.
+func (s *Shared) addrOf(i int64) (topology.CellID, mem.Addr) {
+	return topology.CellID(s.lay.Owner(i)), s.segs[s.lay.Owner(i)].Base() + mem.Addr(s.lay.Slot(i)*8)
+}
+
+// Word reads element i host-side (outside Machine.Run, or after a
+// barrier has quiesced the array).
+func (s *Shared) Word(i int64) int64 {
+	owner, slot := s.lay.Owner(i), s.lay.Slot(i)
+	return int64(binary.LittleEndian.Uint64(s.bytes[owner][slot*8:]))
+}
+
+// SetWord writes element i host-side (initialization before Run).
+func (s *Shared) SetWord(i, v int64) {
+	owner, slot := s.lay.Owner(i), s.lay.Slot(i)
+	binary.LittleEndian.PutUint64(s.bytes[owner][slot*8:], uint64(v))
+}
+
+// Words copies the whole array out host-side, in global index order.
+func (s *Shared) Words() []int64 {
+	out := make([]int64, s.lay.N)
+	for i := range out {
+		out[i] = s.Word(int64(i))
+	}
+	return out
+}
+
+// PE is one cell's handle on the heap: the fine-grained ("naive")
+// PUT/GET and remote-atomic operations, barriers and reductions.
+// Build one per cell, on every cell, before Machine.Run; use it only
+// from that cell's SPMD goroutine.
+type PE struct {
+	h    *Heap
+	cell *machine.Cell
+	comm *core.Comm
+	sync *barrier.Sync
+	me   int
+	np   int
+
+	stageSeg  *mem.Segment
+	stageB    []byte
+	stageFlag mc.FlagID
+	puts      int64
+
+	bulkSeg  *mem.Segment
+	bulkB    []byte
+	bulkFlag mc.FlagID
+	bulkPuts int64
+}
+
+// NewPE builds rank cell's processing element. The ring and bulk
+// staging segments and flags are allocated here, so construct PEs in
+// the same order on every cell (the natural loop over ranks) to keep
+// the heap symmetric.
+func NewPE(h *Heap, cell *machine.Cell) (*PE, error) {
+	sync, err := barrier.New(cell, nil)
+	if err != nil {
+		return nil, fmt.Errorf("pgas: NewPE cell %d: %w", cell.ID(), err)
+	}
+	pe := &PE{
+		h: h, cell: cell, comm: core.New(cell), sync: sync,
+		me: int(cell.ID()), np: cell.N(),
+	}
+	pe.stageSeg, pe.stageB, err = cell.AllocBytes("pgas.stage", stageSlots*8)
+	if err != nil {
+		return nil, fmt.Errorf("pgas: NewPE cell %d: %w", cell.ID(), err)
+	}
+	pe.bulkSeg, pe.bulkB, err = cell.AllocBytes("pgas.bulk", bulkWords*8)
+	if err != nil {
+		return nil, fmt.Errorf("pgas: NewPE cell %d: %w", cell.ID(), err)
+	}
+	pe.stageFlag = cell.Flags.Alloc()
+	pe.bulkFlag = cell.Flags.Alloc()
+	h.pes[pe.me] = pe
+	return pe, nil
+}
+
+// Rank returns this PE's cell id.
+func (pe *PE) Rank() int { return pe.me }
+
+// NP returns the number of cells.
+func (pe *PE) NP() int { return pe.np }
+
+// Comm exposes the underlying PUT/GET interface.
+func (pe *PE) Comm() *core.Comm { return pe.comm }
+
+// localWord reads a word of my own partition, annotated for the
+// sanitizer.
+func (pe *PE) localWord(s *Shared, slot int64) int64 {
+	pe.cell.SanRead(s.segs[pe.me].Base()+mem.Addr(slot*8), mem.Contiguous(8), "pgas local load")
+	return int64(binary.LittleEndian.Uint64(s.bytes[pe.me][slot*8:]))
+}
+
+// setLocalWord writes a word of my own partition, annotated for the
+// sanitizer.
+func (pe *PE) setLocalWord(s *Shared, slot, v int64) {
+	pe.cell.SanWrite(s.segs[pe.me].Base()+mem.Addr(slot*8), mem.Contiguous(8), "pgas local store")
+	binary.LittleEndian.PutUint64(s.bytes[pe.me][slot*8:], uint64(v))
+}
+
+// PutInt64 stores v into element i: an acknowledged fine-grained PUT
+// through the staging ring. The put is asynchronous — it is globally
+// visible only after Fence (or Barrier). Same-element puts from two
+// cells in one phase race unless the values agree.
+func (pe *PE) PutInt64(s *Shared, i, v int64) error {
+	if err := s.lay.Check(i); err != nil {
+		return err
+	}
+	owner, raddr := s.addrOf(i)
+	if int(owner) == pe.me {
+		pe.setLocalWord(s, s.lay.Slot(i), v)
+		return nil
+	}
+	// Recycle the oldest ring slot once its send DMA has read it.
+	if pe.puts >= stageSlots {
+		pe.comm.WaitFlag(pe.stageFlag, pe.puts-stageSlots+1)
+	}
+	off := (pe.puts % stageSlots) * 8
+	pe.cell.SanWrite(pe.stageSeg.Base()+mem.Addr(off), mem.Contiguous(8), "pgas put stage")
+	binary.LittleEndian.PutUint64(pe.stageB[off:], uint64(v))
+	err := pe.comm.Put(core.Transfer{
+		To: owner, Remote: raddr, Local: pe.stageSeg.Base() + mem.Addr(off),
+		Size: 8, SendFlag: pe.stageFlag, Ack: true,
+	})
+	if err != nil {
+		return err
+	}
+	pe.puts++
+	return nil
+}
+
+// GetInt64 loads element i: a blocking fine-grained GET.
+func (pe *PE) GetInt64(s *Shared, i int64) (int64, error) {
+	if err := s.lay.Check(i); err != nil {
+		return 0, err
+	}
+	owner, raddr := s.addrOf(i)
+	if int(owner) == pe.me {
+		return pe.localWord(s, s.lay.Slot(i)), nil
+	}
+	if err := pe.comm.ReadRemote(owner, raddr, pe.bulkSeg.Base(), 8); err != nil {
+		return 0, err
+	}
+	pe.cell.SanRead(pe.bulkSeg.Base(), mem.Contiguous(8), "pgas get read")
+	return int64(binary.LittleEndian.Uint64(pe.bulkB)), nil
+}
+
+// PutMem stores len(src) words into the owner-local run starting at
+// element i: slots Slot(i), Slot(i)+1, ... of Owner(i), which are
+// global elements i, i+P, i+2P, ... (libgetput's lgp_memput). Each
+// chunk is synchronous on the send side and acknowledged; globally
+// visible after Fence.
+func (pe *PE) PutMem(s *Shared, i int64, src []int64) error {
+	if err := pe.checkRun(s, i, len(src)); err != nil {
+		return err
+	}
+	owner, raddr := s.addrOf(i)
+	if int(owner) == pe.me {
+		slot := s.lay.Slot(i)
+		for k, v := range src {
+			pe.setLocalWord(s, slot+int64(k), v)
+		}
+		return nil
+	}
+	for done := 0; done < len(src); {
+		n := len(src) - done
+		if n > bulkWords {
+			n = bulkWords
+		}
+		pe.cell.SanWrite(pe.bulkSeg.Base(), mem.Contiguous(int64(n*8)), "pgas memput stage")
+		for k := 0; k < n; k++ {
+			binary.LittleEndian.PutUint64(pe.bulkB[k*8:], uint64(src[done+k]))
+		}
+		err := pe.comm.Put(core.Transfer{
+			To: owner, Remote: raddr + mem.Addr(done*8), Local: pe.bulkSeg.Base(),
+			Size: int64(n * 8), SendFlag: pe.bulkFlag, Ack: true,
+		})
+		if err != nil {
+			return err
+		}
+		pe.bulkPuts++
+		// The bulk buffer recycles for the next chunk as soon as the
+		// send DMA has captured this one.
+		pe.comm.WaitFlag(pe.bulkFlag, pe.bulkPuts)
+		done += n
+	}
+	return nil
+}
+
+// GetMem loads len(dst) words from the owner-local run starting at
+// element i (the read twin of PutMem). Blocking.
+func (pe *PE) GetMem(s *Shared, i int64, dst []int64) error {
+	if err := pe.checkRun(s, i, len(dst)); err != nil {
+		return err
+	}
+	owner, raddr := s.addrOf(i)
+	if int(owner) == pe.me {
+		slot := s.lay.Slot(i)
+		for k := range dst {
+			dst[k] = pe.localWord(s, slot+int64(k))
+		}
+		return nil
+	}
+	for done := 0; done < len(dst); {
+		n := len(dst) - done
+		if n > bulkWords {
+			n = bulkWords
+		}
+		err := pe.comm.ReadRemote(owner, raddr+mem.Addr(done*8), pe.bulkSeg.Base(), int64(n*8))
+		if err != nil {
+			return err
+		}
+		pe.cell.SanRead(pe.bulkSeg.Base(), mem.Contiguous(int64(n*8)), "pgas memget read")
+		for k := 0; k < n; k++ {
+			dst[done+k] = int64(binary.LittleEndian.Uint64(pe.bulkB[k*8:]))
+		}
+		done += n
+	}
+	return nil
+}
+
+// checkRun validates an owner-local run of n slots starting at i.
+func (pe *PE) checkRun(s *Shared, i int64, n int) error {
+	if err := s.lay.Check(i); err != nil {
+		return err
+	}
+	if n == 0 {
+		return nil
+	}
+	last := s.lay.Slot(i) + int64(n) - 1
+	if last >= s.lay.SlotsOn(s.lay.Owner(i)) {
+		return fmt.Errorf("pgas: %s: run of %d slots from index %d overruns cell %d's partition",
+			s.name, n, i, s.lay.Owner(i))
+	}
+	return nil
+}
+
+// ReadAll gathers the whole array into dst, in global index order:
+// one GetMem per owner run. Blocking; callers typically barrier
+// first.
+func (pe *PE) ReadAll(s *Shared, dst []int64) error {
+	if int64(len(dst)) != s.lay.N {
+		return fmt.Errorf("pgas: ReadAll %s: dst holds %d of %d elements", s.name, len(dst), s.lay.N)
+	}
+	tmp := make([]int64, s.lay.SlotsPerCell())
+	for owner := int64(0); owner < int64(s.lay.P); owner++ {
+		n := s.lay.SlotsOn(owner)
+		if n == 0 {
+			continue
+		}
+		if err := pe.GetMem(s, owner, tmp[:n]); err != nil {
+			return err
+		}
+		for k := int64(0); k < n; k++ {
+			dst[s.lay.Index(owner, k)] = tmp[k]
+		}
+	}
+	return nil
+}
+
+// FetchAdd atomically adds delta to element i and returns the
+// previous value. Blocking (the MC executes the RMW at the owner and
+// replies).
+func (pe *PE) FetchAdd(s *Shared, i, delta int64) (int64, error) {
+	if err := s.lay.Check(i); err != nil {
+		return 0, err
+	}
+	owner, raddr := s.addrOf(i)
+	return pe.comm.FetchAdd(owner, raddr, delta)
+}
+
+// CompareAndSwap atomically stores newVal into element i iff it holds
+// oldVal, returning the previous value. Blocking.
+func (pe *PE) CompareAndSwap(s *Shared, i, oldVal, newVal int64) (int64, error) {
+	if err := s.lay.Check(i); err != nil {
+		return 0, err
+	}
+	owner, raddr := s.addrOf(i)
+	return pe.comm.CompareAndSwap(owner, raddr, oldVal, newVal)
+}
+
+// Swap atomically stores v into element i, returning the previous
+// value. Blocking.
+func (pe *PE) Swap(s *Shared, i, v int64) (int64, error) {
+	if err := s.lay.Check(i); err != nil {
+		return 0, err
+	}
+	owner, raddr := s.addrOf(i)
+	return pe.comm.Swap(owner, raddr, v)
+}
+
+// AtomicAdd atomically adds delta to element i, fire-and-forget;
+// fenced by Fence/Barrier.
+func (pe *PE) AtomicAdd(s *Shared, i, delta int64) error {
+	if err := s.lay.Check(i); err != nil {
+		return err
+	}
+	owner, raddr := s.addrOf(i)
+	return pe.comm.AtomicAdd(owner, raddr, delta)
+}
+
+// AtomicMin atomically lowers element i to v if smaller (signed),
+// fire-and-forget; fenced by Fence/Barrier.
+func (pe *PE) AtomicMin(s *Shared, i, v int64) error {
+	if err := s.lay.Check(i); err != nil {
+		return err
+	}
+	owner, raddr := s.addrOf(i)
+	return pe.comm.AtomicMin(owner, raddr, v)
+}
+
+// AtomicMax atomically raises element i to v if larger (signed),
+// fire-and-forget; fenced by Fence/Barrier.
+func (pe *PE) AtomicMax(s *Shared, i, v int64) error {
+	if err := s.lay.Check(i); err != nil {
+		return err
+	}
+	owner, raddr := s.addrOf(i)
+	return pe.comm.AtomicMax(owner, raddr, v)
+}
+
+// Fence blocks until every PUT this PE issued has been delivered and
+// acknowledged and every fire-and-forget atomic has executed — the
+// SHMEM quiet operation.
+func (pe *PE) Fence() {
+	pe.comm.AckWait()
+	pe.comm.FenceAtomics()
+}
+
+// Barrier fences this PE's outstanding traffic and synchronizes all
+// cells: after it returns, every cell's prior puts and atomics are
+// globally visible (lgp_barrier).
+func (pe *PE) Barrier() {
+	pe.Fence()
+	pe.comm.Barrier()
+}
+
+// ReduceAdd returns the sum of x over all cells (comm-register scalar
+// reduction; exact for integers below 2^53). Collective.
+func (pe *PE) ReduceAdd(x float64) float64 {
+	return pe.sync.Reduce(trace.AllGroup, trace.ReduceSum, x)
+}
+
+// ReduceMax returns the max of x over all cells. Collective.
+func (pe *PE) ReduceMax(x float64) float64 {
+	return pe.sync.Reduce(trace.AllGroup, trace.ReduceMax, x)
+}
+
+// ReduceMin returns the min of x over all cells. Collective.
+func (pe *PE) ReduceMin(x float64) float64 {
+	return pe.sync.Reduce(trace.AllGroup, trace.ReduceMin, x)
+}

@@ -1,0 +1,266 @@
+package pgas
+
+import (
+	"testing"
+
+	"ap1000plus/internal/machine"
+	"ap1000plus/internal/topology"
+)
+
+// rig is a built machine + heap + per-cell PEs for tests.
+type rig struct {
+	m    *machine.Machine
+	h    *Heap
+	pes  []*PE
+	aggs []*AggPE
+}
+
+func newRig(t testing.TB, cfg machine.Config, agg bool, packets int) *rig {
+	t.Helper()
+	if cfg.Width == 0 {
+		cfg.Width, cfg.Height = 3, 2
+	}
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHeap(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &rig{m: m, h: h, pes: make([]*PE, m.Cells())}
+	build := func() error {
+		for id := 0; id < m.Cells(); id++ {
+			pe, err := NewPE(h, m.Cell(topology.CellID(id)))
+			if err != nil {
+				return err
+			}
+			r.pes[id] = pe
+		}
+		return nil
+	}
+	if err := build(); err != nil {
+		t.Fatal(err)
+	}
+	if agg {
+		ag, err := NewAggregator(h, packets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.aggs = make([]*AggPE, m.Cells())
+		for id := 0; id < m.Cells(); id++ {
+			a, err := ag.Bind(r.pes[id])
+			if err != nil {
+				t.Fatal(err)
+			}
+			r.aggs[id] = a
+		}
+	}
+	return r
+}
+
+func (r *rig) run(t testing.TB, body func(pe *PE) error) {
+	t.Helper()
+	if err := r.m.Run(func(c *machine.Cell) error {
+		return body(r.pes[c.ID()])
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.m.SanitizeErr(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.m.FaultErr(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPutGetInt64 moves fine-grained words across every (src,dst)
+// pair, including self, and checks visibility after a barrier.
+func TestPutGetInt64(t *testing.T) {
+	r := newRig(t, machine.Config{Sanitize: true}, false, 0)
+	n := int64(4 * r.h.NP())
+	s, err := r.h.Alloc("a", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	np := int64(r.h.NP())
+	r.run(t, func(pe *PE) error {
+		me := int64(pe.Rank())
+		// Each index is written by exactly one PE: the one the index
+		// hashes to, independent of the owner.
+		for i := int64(0); i < n; i++ {
+			if (i*7+3)%np == me {
+				if err := pe.PutInt64(s, i, 1000+i); err != nil {
+					return err
+				}
+			}
+		}
+		pe.Barrier()
+		for i := int64(0); i < n; i++ {
+			v, err := pe.GetInt64(s, (i+me)%n)
+			if err != nil {
+				return err
+			}
+			if want := 1000 + (i+me)%n; v != want {
+				t.Errorf("cell %d: a[%d] = %d, want %d", me, (i+me)%n, v, want)
+			}
+		}
+		return nil
+	})
+}
+
+// TestMemPutGet moves owner-local runs and checks the run semantics:
+// PutMem at index i writes elements i, i+P, i+2P, ...
+func TestMemPutGet(t *testing.T) {
+	r := newRig(t, machine.Config{Sanitize: true}, false, 0)
+	np := int64(r.h.NP())
+	n := 700*np + 3 // multi-chunk runs, non-divisible size
+	s, err := r.h.Alloc("runs", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.run(t, func(pe *PE) error {
+		me := int64(pe.Rank())
+		// Write the partition of the next cell, read back the one the
+		// previous cell wrote.
+		dst := (me + 1) % np
+		lay := s.Layout()
+		src := make([]int64, lay.SlotsOn(dst))
+		for k := range src {
+			src[k] = dst*1_000_000 + int64(k)
+		}
+		if err := pe.PutMem(s, dst, src); err != nil {
+			return err
+		}
+		pe.Barrier()
+		got := make([]int64, lay.SlotsOn(me))
+		if err := pe.GetMem(s, me, got); err != nil {
+			return err
+		}
+		for k, v := range got {
+			if want := me*1_000_000 + int64(k); v != want {
+				t.Errorf("cell %d: slot %d = %d, want %d", me, k, v, want)
+			}
+		}
+		return nil
+	})
+	// The runs wrote every element; spot-check through the global view.
+	for i := int64(0); i < n; i++ {
+		lay := s.Layout()
+		if want := lay.Owner(i)*1_000_000 + lay.Slot(i); s.Word(i) != want {
+			t.Fatalf("a[%d] = %d, want %d", i, s.Word(i), want)
+		}
+	}
+}
+
+// TestAtomicsAndReductions checks the atomic suite against analytic
+// totals and the exact integer collectives.
+func TestAtomicsAndReductions(t *testing.T) {
+	r := newRig(t, machine.Config{Sanitize: true}, false, 0)
+	np := int64(r.h.NP())
+	s, err := r.h.Alloc("counters", np+3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const iters = 40
+	r.run(t, func(pe *PE) error {
+		me := int64(pe.Rank())
+		for k := 0; k < iters; k++ {
+			if err := pe.AtomicAdd(s, 0, 1); err != nil {
+				return err
+			}
+			if err := pe.AtomicMin(s, 1, -(me*iters + int64(k))); err != nil {
+				return err
+			}
+			if err := pe.AtomicMax(s, 2, me*iters+int64(k)); err != nil {
+				return err
+			}
+		}
+		// Fetching ops: every previous value of a private counter.
+		if _, err := pe.FetchAdd(s, 3+me, 5); err != nil {
+			return err
+		}
+		pe.Barrier()
+		sum, err := pe.ReduceAddInt64(me + 1)
+		if err != nil {
+			return err
+		}
+		if want := np * (np + 1) / 2; sum != want {
+			t.Errorf("cell %d: ReduceAddInt64 = %d, want %d", me, sum, want)
+		}
+		mn, err := pe.ReduceMinInt64(-me)
+		if err != nil {
+			return err
+		}
+		if want := -(np - 1); mn != want {
+			t.Errorf("cell %d: ReduceMinInt64 = %d, want %d", me, mn, want)
+		}
+		prefix, total, err := pe.ScanAddInt64(me)
+		if err != nil {
+			return err
+		}
+		if wantP, wantT := me*(me-1)/2+0, np*(np-1)/2; total != wantT || prefix != func() int64 {
+			var s int64
+			for r := int64(0); r < me; r++ {
+				s += r
+			}
+			return s
+		}() {
+			t.Errorf("cell %d: scan = (%d,%d), want (…,%d)", me, prefix, total, wantT)
+			_ = wantP
+		}
+		v, err := pe.Broadcast(7777, 1%int(np))
+		if err != nil {
+			return err
+		}
+		if me == int64(1%int(np)) {
+			v = 7777
+		}
+		if v != 7777 {
+			t.Errorf("cell %d: broadcast = %d", me, v)
+		}
+		if got := pe.ReduceAdd(1); got != float64(np) {
+			t.Errorf("cell %d: ReduceAdd = %v", me, got)
+		}
+		return nil
+	})
+	if got := s.Word(0); got != np*iters {
+		t.Errorf("counter = %d, want %d", s.Word(0), np*iters)
+	}
+	if got, want := s.Word(1), -((np-1)*iters + iters - 1); got != want {
+		t.Errorf("min cell = %d, want %d", got, want)
+	}
+	if got, want := s.Word(2), (np-1)*iters+iters-1; got != want {
+		t.Errorf("max cell = %d, want %d", got, want)
+	}
+	for me := int64(0); me < np; me++ {
+		if got := s.Word(3 + me); got != 5 {
+			t.Errorf("private counter %d = %d, want 5", me, got)
+		}
+	}
+}
+
+// TestReadAll gathers a whole array on every cell.
+func TestReadAll(t *testing.T) {
+	r := newRig(t, machine.Config{}, false, 0)
+	n := int64(41) // prime vs np=6
+	s, err := r.h.Alloc("g", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < n; i++ {
+		s.SetWord(i, i*i)
+	}
+	r.run(t, func(pe *PE) error {
+		got := make([]int64, n)
+		if err := pe.ReadAll(s, got); err != nil {
+			return err
+		}
+		for i, v := range got {
+			if v != int64(i)*int64(i) {
+				t.Errorf("cell %d: g[%d] = %d", pe.Rank(), i, v)
+			}
+		}
+		return nil
+	})
+}

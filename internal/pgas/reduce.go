@@ -1,0 +1,108 @@
+package pgas
+
+import "fmt"
+
+// Exact integer collectives. The comm-register reduction is float64
+// (exact only below 2^53), so the integer variants go through the
+// heap's P-word scratch array instead: every cell stores its
+// contribution into its own scratch slot, barriers, reads all P slots
+// in rank order, and folds locally — deterministic, exact, and
+// identical on every cell. A trailing barrier protects the scratch
+// for the next collective.
+
+// reduceInt64 folds all cells' contributions with fold, in rank
+// order.
+func (pe *PE) reduceInt64(x int64, fold func(acc, v int64) int64) (int64, error) {
+	sc := pe.h.scratch
+	if err := pe.PutInt64(sc, int64(pe.me), x); err != nil {
+		return 0, err
+	}
+	pe.Barrier()
+	var acc int64
+	for r := int64(0); r < int64(pe.np); r++ {
+		v, err := pe.GetInt64(sc, r)
+		if err != nil {
+			return 0, err
+		}
+		if r == 0 {
+			acc = v
+		} else {
+			acc = fold(acc, v)
+		}
+	}
+	pe.Barrier()
+	return acc, nil
+}
+
+// ReduceAddInt64 returns the exact sum of x over all cells.
+// Collective.
+func (pe *PE) ReduceAddInt64(x int64) (int64, error) {
+	return pe.reduceInt64(x, func(a, v int64) int64 { return a + v })
+}
+
+// ReduceMinInt64 returns the exact signed min of x over all cells.
+// Collective.
+func (pe *PE) ReduceMinInt64(x int64) (int64, error) {
+	return pe.reduceInt64(x, func(a, v int64) int64 {
+		if v < a {
+			return v
+		}
+		return a
+	})
+}
+
+// ReduceMaxInt64 returns the exact signed max of x over all cells.
+// Collective.
+func (pe *PE) ReduceMaxInt64(x int64) (int64, error) {
+	return pe.reduceInt64(x, func(a, v int64) int64 {
+		if v > a {
+			return v
+		}
+		return a
+	})
+}
+
+// ScanAddInt64 returns the exclusive prefix sum of x by rank (the sum
+// of lower ranks' contributions) and the total over all cells — the
+// primitive behind deterministic position assignment (each cell
+// claims [prefix, prefix+x) of a shared output). Collective.
+func (pe *PE) ScanAddInt64(x int64) (prefix, total int64, err error) {
+	sc := pe.h.scratch
+	if err := pe.PutInt64(sc, int64(pe.me), x); err != nil {
+		return 0, 0, err
+	}
+	pe.Barrier()
+	for r := int64(0); r < int64(pe.np); r++ {
+		v, gerr := pe.GetInt64(sc, r)
+		if gerr != nil {
+			return 0, 0, gerr
+		}
+		if r < int64(pe.me) {
+			prefix += v
+		}
+		total += v
+	}
+	pe.Barrier()
+	return prefix, total, nil
+}
+
+// Broadcast returns root's x on every cell, through the scratch
+// array. Collective.
+func (pe *PE) Broadcast(x int64, root int) (int64, error) {
+	if root < 0 || root >= pe.np {
+		return 0, fmt.Errorf("pgas: Broadcast: bad root %d", root)
+	}
+	sc := pe.h.scratch
+	if pe.me == root {
+		if err := pe.PutInt64(sc, int64(root), x); err != nil {
+			return 0, err
+		}
+	}
+	pe.Barrier()
+	v, err := pe.GetInt64(sc, int64(root))
+	if err != nil {
+		return 0, err
+	}
+	pe.Barrier()
+	return v, nil
+}
