@@ -38,6 +38,8 @@ verify:
 	$(GO) vet ./...
 	$(GO) run ./cmd/apvet -json ./... > apvet.json
 	$(GO) test -race ./...
+	$(GO) test -race -run 'TestConcurrentFIFOProperty|TestOverflowConcurrentFIFO' ./internal/ring/
+	$(GO) test -race -run TestWireDifferential .
 	$(GO) test -run 'TestPutIssueZeroAllocUnobserved|TestBatchIssueZeroAllocUnobserved' .
 	$(GO) test -run TestDSMCacheHitZeroAlloc ./internal/dsm/
 	$(GO) test -run TestPGASAggregatedZeroAlloc ./internal/pgas/
@@ -54,6 +56,13 @@ chaos:
 	$(GO) test -fuzz FuzzPlan -fuzztime 5s ./internal/fault/
 	$(GO) test -fuzz FuzzRead -fuzztime 5s ./internal/trace/
 
+# The ring-buffer property tests and the wire differential gate run
+# inside `go test -race ./...` too; the explicit lines above pin them
+# as named gates — the SPSC FIFO property under the race detector, and
+# the seeded chaos workload on both Link implementations (and both
+# wire builds, trusted and faulty) asserting bit-identical memory and
+# flag counts.
+
 # bench also regenerates BENCH_obs.json — the Table 2 functional runs'
 # full machine counter report (per-app, per-cell) — and
 # BENCH_batch.json, the single-vs-batched command-issue comparison
@@ -62,8 +71,11 @@ chaos:
 # coherent DSM page cache vs plain blocking remote loads (hit rate,
 # message counts and wall-clock speedup on the gather kernel), and
 # BENCH_pgas.json, the PGAS bale kernels naive vs aggregated (T-net
-# messages per operation on histogram and index-gather), for diffing
-# communication behaviour across changes.
+# messages per operation on histogram and index-gather), and
+# BENCH_scale.json, the wire weak-scaling report (neighbor-PUT ring:
+# aggregate messages/sec and ns/hop on the mutex wire up to 256 cells
+# and the lock-free ring wire up to 4096), for diffing communication
+# behaviour across changes.
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./...
 	$(GO) run ./cmd/apbench -experiment table2 -metrics-json BENCH_obs.json > /dev/null
@@ -71,6 +83,7 @@ bench:
 	$(GO) run ./cmd/apbench -experiment dsmcache -dsmcache-json BENCH_dsmcache.json > /dev/null
 	$(GO) run ./cmd/apbench -experiment atomics -atomics-json BENCH_atomics.json > /dev/null
 	$(GO) run ./cmd/apbench -experiment pgas -pgas-json BENCH_pgas.json > /dev/null
+	$(GO) run ./cmd/apbench -experiment scale -scale-json BENCH_scale.json > /dev/null
 
 # Short fuzz pass over the trace codec (corpus seeds under
 # internal/trace/testdata/fuzz are always exercised by plain go test).

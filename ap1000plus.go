@@ -9,7 +9,7 @@
 //
 // # Quick start
 //
-//	m, _ := ap1000plus.NewMachine(ap1000plus.Config{Width: 2, Height: 2})
+//	m, _ := ap1000plus.New(ap1000plus.WithGrid(2, 2))
 //	segs := make([]*ap1000plus.Segment, m.Cells())
 //	for id := 0; id < m.Cells(); id++ {
 //		segs[id], _, _ = m.Cell(ap1000plus.CellID(id)).AllocFloat64("buf", 128)
@@ -33,10 +33,10 @@
 // Remote atomics update 8-byte words at their owning cell exactly
 // once: comm.FetchAdd / CompareAndSwap / Swap block for the previous
 // value, while comm.AtomicAdd / AtomicMin / AtomicMax are
-// fire-and-forget, fenced by comm.FenceAtomics. Config{Combining:
-// true} merges same-address combinable atomics inside the T-net, so a
-// hot counter costs O(log n) messages instead of O(n) — with
-// bit-for-bit identical results.
+// fire-and-forget, fenced by comm.FenceAtomics. WithCombining merges
+// same-address combinable atomics inside the T-net, so a hot counter
+// costs O(log n) messages instead of O(n) — with bit-for-bit
+// identical results.
 //
 // The architecture lives in internal packages, re-exported here:
 //
@@ -66,12 +66,11 @@ import (
 	"ap1000plus/internal/vpp"
 )
 
-// Machine construction and cells.
+// Machine construction and cells. Machines are built with New and a
+// list of Options (options.go); the parameter struct stays internal.
 type (
 	// Machine is a functional AP1000+ system instance.
 	Machine = machine.Machine
-	// Config parameterizes a machine (torus shape, memory, queues).
-	Config = machine.Config
 	// Cell is one processing element.
 	Cell = machine.Cell
 	// CellID identifies a cell.
@@ -89,9 +88,6 @@ type (
 	// Torus is the machine geometry.
 	Torus = topology.Torus
 )
-
-// NewMachine builds a machine; see machine.New.
-func NewMachine(cfg Config) (*Machine, error) { return machine.New(cfg) }
 
 // Table1 returns the published AP1000+ specifications.
 func Table1() machine.Spec { return machine.Table1() }
@@ -234,22 +230,22 @@ func NewAggregator(h *SymmetricHeap, packets int) (*Aggregator, error) {
 	return pgas.NewAggregator(h, packets)
 }
 
-// Observability (Config.Observe / Config.Timeline).
+// Observability (WithObserve / WithTimeline).
 type (
 	// Metrics is a machine-wide counter snapshot; see Machine.Metrics.
 	Metrics = machine.Metrics
 	// Timeline collects Chrome trace-event / Perfetto JSON; attach one
-	// via Config.Timeline and write it with Timeline.WriteJSON.
+	// via WithTimeline and write it with Timeline.WriteJSON.
 	Timeline = obs.Timeline
 )
 
 // NewTimeline returns an empty Perfetto timeline collector.
 func NewTimeline() *Timeline { return obs.NewTimeline() }
 
-// Fault injection (Config.Fault).
+// Fault injection (WithFault).
 type (
 	// FaultPlan is a deterministic, seedable wire-fault plan; attach
-	// one via Config.Fault to run over a lossy network with the MSC+'s
+	// one via WithFault to run over a lossy network with the MSC+'s
 	// reliable-delivery path armed. Check Machine.FaultErr after Run.
 	FaultPlan = fault.Plan
 	// CellFault reports a transfer abandoned after the retry budget.

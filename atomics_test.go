@@ -17,10 +17,17 @@ import (
 // values, and the machine metrics.
 func atomicCounterRun(t *testing.T, plan *FaultPlan, combining, sanitize bool, iters int) (uint64, map[int64]int, Metrics) {
 	t.Helper()
-	m, err := NewMachine(Config{
-		Width: 2, Height: 2, Observe: true,
-		Fault: plan, Combining: combining, Sanitize: sanitize,
-	})
+	opts := []Option{WithGrid(2, 2), WithObserve()}
+	if plan != nil {
+		opts = append(opts, WithFault(plan))
+	}
+	if combining {
+		opts = append(opts, WithCombining())
+	}
+	if sanitize {
+		opts = append(opts, WithSanitize())
+	}
+	m, err := New(opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,10 +118,17 @@ func TestChaosAtomicCounter(t *testing.T) {
 // each cell's fetch log and the final words.
 func atomicPrivateRun(t *testing.T, plan *FaultPlan, combining, sanitize bool) ([][]int64, []uint64) {
 	t.Helper()
-	m, err := NewMachine(Config{
-		Width: 2, Height: 2,
-		Fault: plan, Combining: combining, Sanitize: sanitize,
-	})
+	opts := []Option{WithGrid(2, 2)}
+	if plan != nil {
+		opts = append(opts, WithFault(plan))
+	}
+	if combining {
+		opts = append(opts, WithCombining())
+	}
+	if sanitize {
+		opts = append(opts, WithSanitize())
+	}
+	m, err := New(opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +266,7 @@ func TestAtomicCombinedEqualsUncombined(t *testing.T) {
 // for coalescing, and are fenced by FenceAtomics like singly-issued
 // ones.
 func TestAtomicBatchStaged(t *testing.T) {
-	m, err := NewMachine(Config{Width: 2, Height: 2})
+	m, err := New(WithGrid(2, 2))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -119,18 +119,18 @@ type bpropSnapshot struct {
 // snapshot plus the machine's issued-command totals.
 func bpropRun(t *testing.T, variant string, mode int, ops [][]bpropOp, flagsInto, getsBy []int) (bpropSnapshot, Metrics) {
 	t.Helper()
-	cfg := Config{Width: 2, Height: 2, Observe: true}
+	opts := []Option{WithGrid(2, 2), WithObserve()}
 	switch variant {
 	case "sanitize":
-		cfg.Sanitize = true
+		opts = append(opts, WithSanitize())
 	case "fault":
 		plan, err := ParseFaultPlan("drop=0.04,dup=0.03,seed=11")
 		if err != nil {
 			t.Fatal(err)
 		}
-		cfg.Fault = plan
+		opts = append(opts, WithFault(plan))
 	}
-	m, err := NewMachine(cfg)
+	m, err := New(opts...)
 	if err != nil {
 		t.Fatal(err)
 	}

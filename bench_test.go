@@ -308,7 +308,7 @@ func BenchmarkAblationQueueDepth(b *testing.B) {
 func BenchmarkPutIssueOverhead(b *testing.B) {
 	bench := func(b *testing.B, body func(comm *Comm, segs []*Segment) error) {
 		b.Helper()
-		m, err := NewMachine(Config{Width: 2, Height: 2, MemoryPerCell: 1 << 20})
+		m, err := New(WithGrid(2, 2), WithMemoryPerCell(1<<20))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -389,7 +389,7 @@ func BenchmarkReductionVector(b *testing.B) {
 
 func benchReduce(b *testing.B, body func(s *Sync, n int) error) {
 	b.Helper()
-	m, err := NewMachine(Config{Width: 4, Height: 4, MemoryPerCell: 1 << 20})
+	m, err := New(WithGrid(4, 4), WithMemoryPerCell(1<<20))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -425,7 +425,7 @@ func BenchmarkMLSimReplay(b *testing.B) {
 
 // TestFacadeQuickstart keeps the package-level doc example honest.
 func TestFacadeQuickstart(t *testing.T) {
-	m, err := NewMachine(Config{Width: 2, Height: 2, MemoryPerCell: 1 << 20})
+	m, err := New(WithGrid(2, 2), WithMemoryPerCell(1<<20))
 	if err != nil {
 		t.Fatal(err)
 	}

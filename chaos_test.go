@@ -24,7 +24,11 @@ type chaosKernel struct {
 
 func chaosMachine(t *testing.T, plan *FaultPlan) *Machine {
 	t.Helper()
-	m, err := NewMachine(Config{Width: 2, Height: 2, Observe: true, Fault: plan})
+	opts := []Option{WithGrid(2, 2), WithObserve()}
+	if plan != nil {
+		opts = append(opts, WithFault(plan))
+	}
+	m, err := New(opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -358,7 +362,7 @@ func TestChaosBudgetExhaustion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := NewMachine(Config{Width: 2, Height: 2, Fault: plan})
+	m, err := New(WithGrid(2, 2), WithFault(plan))
 	if err != nil {
 		t.Fatal(err)
 	}

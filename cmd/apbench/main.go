@@ -25,6 +25,10 @@
 // BENCH_atomics.json). -experiment pgas runs the bale histogram and
 // index-gather kernels on the PGAS layer, naive vs aggregated issue;
 // -pgas-json writes that report (for make bench / BENCH_pgas.json).
+// -experiment scale weak-scales the neighbor-PUT ring across the two
+// wire builds — the legacy mutex wire up to 256 cells, the lock-free
+// ring wire up to 4096 — reporting aggregate messages/sec and ns/hop;
+// -scale-json writes that report (for make bench / BENCH_scale.json).
 package main
 
 import (
@@ -45,7 +49,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"specs|params|fig7|table2|table3|fig8|stride|contention|batch|dsmcache|atomics|pgas|all")
+		"specs|params|fig7|table2|table3|fig8|stride|contention|batch|dsmcache|atomics|pgas|scale|all")
 	quick := flag.Bool("quick", false, "use reduced problem sizes")
 	size := flag.Int64("size", 1024, "message size for fig7")
 	distance := flag.Int("distance", 3, "routing distance for fig7")
@@ -60,6 +64,7 @@ func main() {
 	dsmCacheJSON := flag.String("dsmcache-json", "", "write the DSM page-cache report as JSON to this file (experiment dsmcache)")
 	atomicsJSON := flag.String("atomics-json", "", "write the remote-atomic combining report as JSON to this file (experiment atomics)")
 	pgasJSON := flag.String("pgas-json", "", "write the PGAS aggregation report as JSON to this file (experiment pgas)")
+	scaleJSON := flag.String("scale-json", "", "write the wire weak-scaling report as JSON to this file (experiment scale)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -92,7 +97,7 @@ func main() {
 		}
 	}
 
-	err = run(*experiment, *quick, *size, *distance, *only, *metrics, *metricsJSON, *batchJSON, *dsmCacheJSON, *atomicsJSON, *pgasJSON)
+	err = run(*experiment, *quick, *size, *distance, *only, *metrics, *metricsJSON, *batchJSON, *dsmCacheJSON, *atomicsJSON, *pgasJSON, *scaleJSON)
 	if err == nil && *timeline != "" {
 		err = writeTimeline(*timeline, parts)
 	}
@@ -136,9 +141,12 @@ type appMetrics struct {
 	Metrics *machine.Metrics
 }
 
-func run(experiment string, quick bool, size int64, distance int, only string, metrics bool, metricsJSON, batchJSON, dsmCacheJSON, atomicsJSON, pgasJSON string) error {
+func run(experiment string, quick bool, size int64, distance int, only string, metrics bool, metricsJSON, batchJSON, dsmCacheJSON, atomicsJSON, pgasJSON, scaleJSON string) error {
 	if experiment == "batch" {
 		return runBatch(os.Stdout, quick, batchJSON)
+	}
+	if experiment == "scale" {
+		return runScale(os.Stdout, quick, scaleJSON)
 	}
 	if experiment == "dsmcache" {
 		return runDSMCache(os.Stdout, quick, dsmCacheJSON)

@@ -10,26 +10,26 @@ import (
 // covered at -quick scale.
 func TestRunCheapExperiments(t *testing.T) {
 	for _, exp := range []string{"specs", "params", "fig7"} {
-		if err := run(exp, true, 256, 2, "", false, "", "", "", "", ""); err != nil {
+		if err := run(exp, true, 256, 2, "", false, "", "", "", "", "", ""); err != nil {
 			t.Errorf("run(%s): %v", exp, err)
 		}
 	}
 }
 
 func TestRunQuickTable2SingleApp(t *testing.T) {
-	if err := run("table2", true, 0, 0, "EP", false, "", "", "", "", ""); err != nil {
+	if err := run("table2", true, 0, 0, "EP", false, "", "", "", "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunQuickStride(t *testing.T) {
-	if err := run("stride", true, 0, 0, "", false, "", "", "", "", ""); err != nil {
+	if err := run("stride", true, 0, 0, "", false, "", "", "", "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("bogus", true, 0, 0, "", false, "", "", "", "", ""); err == nil {
+	if err := run("bogus", true, 0, 0, "", false, "", "", "", "", "", ""); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
@@ -39,7 +39,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 // messages than the uncached baseline.
 func TestRunQuickDSMCache(t *testing.T) {
 	path := t.TempDir() + "/dsmcache.json"
-	if err := run("dsmcache", true, 0, 0, "", false, "", "", path, "", ""); err != nil {
+	if err := run("dsmcache", true, 0, 0, "", false, "", "", path, "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -72,7 +72,7 @@ func TestRunQuickDSMCache(t *testing.T) {
 // O(log n) reduction the combining tree exists for.
 func TestRunQuickAtomics(t *testing.T) {
 	path := t.TempDir() + "/atomics.json"
-	if err := run("atomics", true, 0, 0, "", false, "", "", "", path, ""); err != nil {
+	if err := run("atomics", true, 0, 0, "", false, "", "", "", path, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -110,7 +110,7 @@ func TestRunQuickAtomics(t *testing.T) {
 // exstack exchange exists for.
 func TestRunQuickPGAS(t *testing.T) {
 	path := t.TempDir() + "/pgas.json"
-	if err := run("pgas", true, 0, 0, "", false, "", "", "", "", path); err != nil {
+	if err := run("pgas", true, 0, 0, "", false, "", "", "", "", path, ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -136,11 +136,50 @@ func TestRunQuickPGAS(t *testing.T) {
 	}
 }
 
+// TestRunQuickScale covers the wire weak-scaling experiment end to
+// end: every row's message count is deterministic (cells × rounds),
+// and the ring wire must reach a cell count the mutex wire is never
+// asked to run. The throughput acceptance bar (ring@1024 vs
+// mutex@256) is checked on the full-size `make bench` run, not at
+// -quick scale.
+func TestRunQuickScale(t *testing.T) {
+	path := t.TempDir() + "/scale.json"
+	if err := run("scale", true, 0, 0, "", false, "", "", "", "", "", path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []scaleRow
+	if err := json.Unmarshal(data, &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5 (-quick skips 4096)", len(rows))
+	}
+	maxRing, maxMutex := 0, 0
+	for _, r := range rows {
+		if want := int64(r.Cells) * int64(r.Rounds); r.Messages != want {
+			t.Errorf("%s/%d: %d messages, want %d", r.Wire, r.Cells, r.Messages, want)
+		}
+		if r.Wire == "ring" && r.Cells > maxRing {
+			maxRing = r.Cells
+		}
+		if r.Wire == "mutex" && r.Cells > maxMutex {
+			maxMutex = r.Cells
+		}
+	}
+	if maxRing <= maxMutex {
+		t.Errorf("ring wire topped out at %d cells, mutex at %d — the scaling story is missing", maxRing, maxMutex)
+	}
+}
+
 // TestRunQuickBatch covers the batched-issue experiment end to end,
 // including the JSON report.
 func TestRunQuickBatch(t *testing.T) {
 	path := t.TempDir() + "/batch.json"
-	if err := run("batch", true, 0, 0, "", false, "", path, "", "", ""); err != nil {
+	if err := run("batch", true, 0, 0, "", false, "", path, "", "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)

@@ -1,13 +1,16 @@
 package main
 
-// batchissue: the positional PutArgs/GetArgs wrappers exist only to
-// ease migration — new code states its transfer as a Transfer struct
-// (or stages it on a CommandList). And a CommandList opened with
-// Batch() but never Commit()ed issues nothing: the staged commands
-// silently evaporate. The Commit search stays package-scoped, so
-// helpers that open in one function and commit in another are clean.
-// Callees resolve through go/types: only core's real Batch/Commit
-// methods count, never a local function that shares the name.
+// batchissue: the positional PutArgs/GetArgs wrappers are gone —
+// new code states its transfer as a Transfer struct (or stages it on
+// a CommandList) — and the check keeps them gone: the NAMES are
+// banned, so declaring or calling a PutArgs/GetArgs on any receiver
+// is flagged even though core no longer has methods to resolve
+// against. And a CommandList opened with Batch() but never
+// Commit()ed issues nothing: the staged commands silently evaporate.
+// The Commit search stays package-scoped, so helpers that open in one
+// function and commit in another are clean. Batch/Commit callees
+// resolve through go/types: only core's real methods count, never a
+// local function that shares the name.
 
 import (
 	"fmt"
@@ -26,24 +29,32 @@ func (pr *program) checkBatchIssue() []Finding {
 		committed := false
 		for _, f := range u.Files {
 			ast.Inspect(f, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				callee := calleeOf(u.Info, call)
-				if callee == nil {
-					return true
-				}
-				switch full := callee.FullName(); {
-				case deprecatedPrims[full]:
-					name := callee.Name()
-					out = append(out, pr.finding(call.Pos(), "batchissue",
-						fmt.Sprintf("deprecated positional %s; pass a Transfer to %s or stage it on a CommandList",
-							name, strings.TrimSuffix(name, "Args"))))
-				case full == batchOpenPrim:
-					batchPos = append(batchPos, call.Pos())
-				case full == batchCommitPrim:
-					committed = true
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					// The names are banned at the declaration too: a local
+					// shim reintroducing the positional spelling is flagged
+					// before anything even calls it.
+					if bannedIssueNames[n.Name.Name] {
+						out = append(out, pr.finding(n.Name.Pos(), "batchissue",
+							fmt.Sprintf("declaration of retired positional %s; pass a Transfer to %s or stage it on a CommandList",
+								n.Name.Name, strings.TrimSuffix(n.Name.Name, "Args"))))
+					}
+				case *ast.CallExpr:
+					callee := calleeOf(u.Info, n)
+					if callee == nil {
+						return true
+					}
+					switch full := callee.FullName(); {
+					case bannedIssueNames[callee.Name()]:
+						name := callee.Name()
+						out = append(out, pr.finding(n.Pos(), "batchissue",
+							fmt.Sprintf("retired positional %s; pass a Transfer to %s or stage it on a CommandList",
+								name, strings.TrimSuffix(name, "Args"))))
+					case full == batchOpenPrim:
+						batchPos = append(batchPos, n.Pos())
+					case full == batchCommitPrim:
+						committed = true
+					}
 				}
 				return true
 			})

@@ -31,8 +31,9 @@
 //     parameters are float64 microseconds; converting a float-typed
 //     expression with event.Time(x) must go through
 //     event.Microseconds instead.
-//   - batchissue: no new uses of the deprecated positional
-//     PutArgs/GetArgs wrappers, and no Batch() whose package never
+//   - batchissue: the retired positional PutArgs/GetArgs names may
+//     not be declared or called on any type (pass a Transfer or stage
+//     a CommandList instead), and no Batch() whose package never
 //     calls Commit (staged commands are silently dropped).
 //   - dsmfence: DSM remote stores are non-blocking; a Store to a
 //     shared address followed by a Load of the same address without

@@ -40,8 +40,6 @@ var positionalPrims = map[string]struct {
 }{
 	"(*" + corePkg + ".Comm).PutStride": {"PutStride", []int{3, 4}, 5},
 	"(*" + corePkg + ".Comm).GetStride": {"GetStride", []int{3, 4}, -1},
-	"(*" + corePkg + ".Comm).PutArgs":   {"PutArgs", []int{4, 5}, 6},
-	"(*" + corePkg + ".Comm).GetArgs":   {"GetArgs", []int{4, 5}, -1},
 }
 
 // waitPrims block until a flag (arg 0) reaches a target (arg 1).
@@ -154,10 +152,14 @@ var rawMemPrims = map[string]string{
 	"(*" + memPkg + ".Payload).Deliver":  "Payload.Deliver",
 }
 
-// deprecatedPrims are the positional wrappers batchissue retires.
-var deprecatedPrims = map[string]bool{
-	"(*" + corePkg + ".Comm).PutArgs": true,
-	"(*" + corePkg + ".Comm).GetArgs": true,
+// bannedIssueNames are the retired positional-wrapper names. The
+// wrappers themselves were deleted from core; batchissue bans the
+// NAMES outright — declaring or calling a PutArgs/GetArgs on any type
+// is flagged, so the positional idiom cannot creep back in through a
+// lookalike shim.
+var bannedIssueNames = map[string]bool{
+	"PutArgs": true,
+	"GetArgs": true,
 }
 
 // batchOpen/batchCommit bracket a CommandList's lifetime.

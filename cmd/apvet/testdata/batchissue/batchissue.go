@@ -1,7 +1,9 @@
 // Package app is apvet testdata for the batchissue check: the
-// PutArgs/GetArgs calls are deprecated positional issue, and the
-// Batch() here is never Commit()ed anywhere in the package. Both
-// resolve through go/types against core's real methods.
+// positional PutArgs/GetArgs wrappers were deleted from core, and the
+// check bans the names outright — a local shim that redeclares them is
+// flagged at the declaration AND at every call, even though go/types
+// no longer resolves them to core methods. The Batch() here is never
+// Commit()ed anywhere in the package.
 package app
 
 import (
@@ -11,12 +13,24 @@ import (
 
 var bflag = mc.FlagID(7)
 
-func legacy(c *core.Comm) error {
-	if err := c.PutArgs(1, 0x1000, 0x1000, 64, mc.NoFlag, bflag, false); err != nil { // want batchissue
+// shim tries to resurrect the retired positional idiom on its own
+// receiver type.
+type shim struct{ c *core.Comm }
+
+func (s *shim) PutArgs(dst int, raddr, laddr uint64, size int64) error { // want batchissue
+	return s.c.Put(core.Transfer{To: 1, Remote: 0x1000, Local: 0x1000, Size: size})
+}
+
+func (s *shim) GetArgs(dst int, raddr, laddr uint64, size int64) error { // want batchissue
+	return s.c.Get(core.Transfer{To: 1, Remote: 0x2000, Local: 0x2000, Size: size})
+}
+
+func legacy(s *shim) error {
+	if err := s.PutArgs(1, 0x1000, 0x1000, 64); err != nil { // want batchissue
 		return err
 	}
-	c.WaitFlag(bflag, 1)
-	return c.GetArgs(1, 0x2000, 0x2000, 64, mc.NoFlag, mc.NoFlag) // want batchissue
+	s.c.WaitFlag(bflag, 1)
+	return s.GetArgs(1, 0x2000, 0x2000, 64) // want batchissue
 }
 
 func modern(c *core.Comm) error {

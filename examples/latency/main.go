@@ -51,7 +51,14 @@ func main() {
 // pingPong executes one acknowledged PUT round trip between two cells
 // of the functional machine — the exchange the model above prices.
 func pingPong(sanitize bool, plan *ap1000plus.FaultPlan) error {
-	m, err := ap1000plus.NewMachine(ap1000plus.Config{Width: 2, Height: 2, Sanitize: sanitize, Fault: plan})
+	opts := []ap1000plus.Option{ap1000plus.WithGrid(2, 2)}
+	if sanitize {
+		opts = append(opts, ap1000plus.WithSanitize())
+	}
+	if plan != nil {
+		opts = append(opts, ap1000plus.WithFault(plan))
+	}
+	m, err := ap1000plus.New(opts...)
 	if err != nil {
 		return err
 	}

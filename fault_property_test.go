@@ -61,7 +61,7 @@ func propWorkload(rng *rand.Rand, cells int) (ops [][]propOp, putsInto, getsBy [
 // the source's gin buffer — so the expected memory image is exact.
 func propRun(t *testing.T, plan *FaultPlan, ops [][]propOp, putsInto, getsBy []int) *Machine {
 	t.Helper()
-	m, err := NewMachine(Config{Width: 2, Height: 2, Observe: true, Fault: plan})
+	m, err := New(WithGrid(2, 2), WithObserve(), WithFault(plan))
 	if err != nil {
 		t.Fatal(err)
 	}

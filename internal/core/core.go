@@ -132,15 +132,6 @@ func (c *Comm) Put(t Transfer) error {
 	return c.PutStride(t.To, t.Remote, t.Local, t.SendFlag, t.RecvFlag, t.Ack, mem.Contiguous(t.Size), mem.Contiguous(t.Size))
 }
 
-// PutArgs is the paper's positional put(node_id, raddr, laddr, size,
-// send_flag, recv_flag, ack) spelling.
-//
-// Deprecated: use Put with a Transfer, or a CommandList for batched
-// issue. Kept as a thin wrapper for the positional idiom.
-func (c *Comm) PutArgs(dst topology.CellID, raddr, laddr mem.Addr, size int64, sendFlag, recvFlag mc.FlagID, ack bool) error {
-	return c.Put(Transfer{To: dst, Remote: raddr, Local: laddr, Size: size, SendFlag: sendFlag, RecvFlag: recvFlag, Ack: ack})
-}
-
 // PutStride is Put with independent one-dimensional stride patterns
 // on the sending and receiving side (Figure 3). The payload totals of
 // the two patterns must match.
@@ -197,15 +188,6 @@ func (c *Comm) pushAckGet(dst topology.CellID) {
 // completion signal.
 func (c *Comm) Get(t Transfer) error {
 	return c.GetStride(t.To, t.Remote, t.Local, t.SendFlag, t.RecvFlag, mem.Contiguous(t.Size), mem.Contiguous(t.Size))
-}
-
-// GetArgs is the paper's positional get(node_id, raddr, laddr, size,
-// send_flag, recv_flag) spelling.
-//
-// Deprecated: use Get with a Transfer, or a CommandList for batched
-// issue. Kept as a thin wrapper for the positional idiom.
-func (c *Comm) GetArgs(dst topology.CellID, raddr, laddr mem.Addr, size int64, sendFlag, recvFlag mc.FlagID) error {
-	return c.Get(Transfer{To: dst, Remote: raddr, Local: laddr, Size: size, SendFlag: sendFlag, RecvFlag: recvFlag})
 }
 
 // GetStride is Get with stride patterns: sendPat describes the layout

@@ -74,6 +74,15 @@ type Cell struct {
 	// which keeps the remote-access paths hook-free).
 	dsmHooks atomic.Pointer[DSMHooks]
 
+	// dirty is the cell's delivery doorbell on the ring wire: set by
+	// the first producer to push into an empty-scheduled MSC, cleared
+	// by the owning worker at the top of each drain. Unused (always
+	// false) on the mutex wire.
+	dirty atomic.Bool
+	// shard is the delivery worker this cell is pinned to (id mod W)
+	// on the ring wire; 0 on the mutex wire.
+	shard int
+
 	// invalLines counts cache lines invalidated by message reception:
 	// "Invalidation of cache is done at the time of message
 	// reception. This means that data reception from a network does
@@ -108,9 +117,16 @@ func newCell(m *Machine, id topology.CellID) (*Cell, error) {
 		MMU:     mc.NewMMU(mc.DefaultTLB),
 		Flags:   mc.NewFlags(),
 		Cregs:   mc.NewCommRegs(),
-		MSC:     msc.NewWithQueueWords(m.cfg.QueueWords),
 		OS:      newOS(),
 		loads:   make(map[int64]chan *mem.Payload),
+	}
+	if m.pool != nil {
+		// Ring wire: lock-free MSC front whose doorbell schedules this
+		// cell on its delivery shard.
+		c.shard = int(id) % m.pool.shards()
+		c.MSC = msc.NewRing(m.cfg.QueueWords, func() { m.notifyCell(c) })
+	} else {
+		c.MSC = msc.NewWithQueueWords(m.cfg.QueueWords)
 	}
 	c.bcastCond = sync.NewCond(&c.bcastMu)
 	if m.ts != nil {

@@ -140,13 +140,20 @@ func (m *Machine) sendData(c *Cell, cmd msc.Command, exec int) {
 	// flag (S4.1, "flag update combined with data transfer").
 	m.sanFlagInc(exec, int(c.id), cmd.SendFlag)
 	c.Flags.Inc(cmd.SendFlag)
-	m.xmit(c, tnet.Packet{Head: cmd, Payload: payload, SanTid: exec})
-	// Send delivers synchronously on this goroutine. PUT and remote
-	// store payloads are copied out during delivery, so their buffers
-	// can recycle; SEND payloads park in the destination's ring buffer
-	// and must stay alive. Under a fault plan a copy may still sit in
-	// the reorder limbo, so the buffer is left to the GC.
-	if cmd.Op != msc.OpSend && m.rel == nil {
+	pkt := tnet.Packet{Head: cmd, Payload: payload, SanTid: exec}
+	// PUT and remote store payloads are copied out during delivery, so
+	// their buffers can recycle; SEND payloads park in the
+	// destination's ring buffer and must stay alive. On the async ring
+	// wire delivery may happen after this return, so ownership moves to
+	// the consumer (FreeOnDeliver); on the sync wire Send delivers on
+	// this goroutine and the buffer is released here. Under a fault
+	// plan a copy may still sit in the reorder limbo, so the buffer is
+	// left to the GC.
+	if m.asyncWire && cmd.Op != msc.OpSend {
+		pkt.FreeOnDeliver = true
+	}
+	m.xmit(c, pkt)
+	if !m.asyncWire && cmd.Op != msc.OpSend && m.rel == nil {
 		payload.Release()
 	}
 }
@@ -176,11 +183,14 @@ func (m *Machine) reply(c *Cell, cmd msc.Command, exec int) {
 	out := cmd
 	out.Src = c.id
 	out.Dst = cmd.Src // back to the requester
-	m.xmit(c, tnet.Packet{Head: out, Payload: payload, SanTid: exec})
-	// The reply was copied into the requester's memory during the
-	// synchronous Send; recycle the buffer (unless a fault plan may
-	// still be holding a copy in limbo).
-	if m.rel == nil {
+	pkt := tnet.Packet{Head: out, Payload: payload, SanTid: exec}
+	// The reply is copied into the requester's memory during delivery;
+	// recycle the buffer afterwards — on the async ring wire by the
+	// consumer (FreeOnDeliver), on the sync wire here (unless a fault
+	// plan may still be holding a copy in limbo).
+	pkt.FreeOnDeliver = m.asyncWire
+	m.xmit(c, pkt)
+	if !m.asyncWire && m.rel == nil {
 		payload.Release()
 	}
 }

@@ -57,9 +57,30 @@ func Table1() Spec {
 	}
 }
 
+// WireKind selects the message hot-path build.
+type WireKind uint8
+
+const (
+	// WireRing is the default lock-free wire: MSC+ send queues on
+	// SPSC rings, a sharded pool of delivery workers instead of one
+	// controller goroutine per cell, and — when no fault plan or
+	// sanitizer forces synchronous delivery — asynchronous packet
+	// transport over per-shard-pair tnet Links.
+	WireRing WireKind = iota
+	// WireMutex is the original mutex+cond build: one controller
+	// goroutine per cell blocking on its MSC's condition variable,
+	// synchronous packet delivery on the sender's goroutine. Kept as
+	// the differential-testing reference (and for workloads that
+	// push commands from more than one goroutine per cell, which the
+	// ring wire's SPSC discipline forbids).
+	WireMutex
+)
+
 // Config parameterizes a machine instance.
 type Config struct {
-	// Width and Height give the torus dimensions (4..1024 cells).
+	// Width and Height give the torus dimensions (4..4096 cells; the
+	// shipped hardware stopped at 1024, the simulator admits 4x that
+	// for weak-scaling studies).
 	Width, Height int
 	// MemoryPerCell is DRAM per cell in bytes (default 16 MB).
 	MemoryPerCell int64
@@ -96,6 +117,17 @@ type Config struct {
 	// message-count optimization — combined and uncombined runs return
 	// the same results.
 	Combining bool
+	// Wire selects the hot-path build: WireRing (default, lock-free)
+	// or WireMutex (the legacy reference).
+	Wire WireKind
+	// Workers sets the ring wire's delivery-shard count; 0 picks
+	// min(GOMAXPROCS, cells). Setting it on WireMutex is a conflict —
+	// that build has one controller goroutine per cell by definition.
+	Workers int
+	// MutexLinks, on the ring wire, swaps the lock-free RingLinks for
+	// the reference MutexLinks (differential testing of the link
+	// layer; delivery semantics are identical).
+	MutexLinks bool
 }
 
 func (c *Config) fill() error {
@@ -107,6 +139,21 @@ func (c *Config) fill() error {
 	}
 	if c.QueueWords == 0 {
 		c.QueueWords = msc.QueueWords
+	}
+	if c.QueueWords < msc.CommandWords {
+		return fmt.Errorf("machine: QueueWords %d below one %d-word command", c.QueueWords, msc.CommandWords)
+	}
+	if c.Wire > WireMutex {
+		return fmt.Errorf("machine: unknown wire kind %d", c.Wire)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("machine: negative worker count %d", c.Workers)
+	}
+	if c.Wire == WireMutex && c.Workers > 0 {
+		return fmt.Errorf("machine: Workers conflicts with the mutex wire (it runs one controller per cell)")
+	}
+	if c.Wire == WireMutex && c.MutexLinks {
+		return fmt.Errorf("machine: MutexLinks conflicts with the mutex wire (it has no links)")
 	}
 	return nil
 }
@@ -127,6 +174,14 @@ type Machine struct {
 	obs      *obs.Observer
 	rel      *relay         // reliable delivery; nil without Config.Fault
 	comb     *tnet.Combiner // in-network combining; nil without Config.Combining
+	pool     *workerPool    // sharded delivery workers; nil on WireMutex
+	// asyncWire marks the tnet ring wire active: packets may be
+	// delivered on the destination shard's worker after Send returns,
+	// so senders transfer payload ownership (FreeOnDeliver) instead of
+	// releasing. False whenever a fault plan or the sanitizer needs
+	// synchronous delivery — the MSC rings and workers stay on, only
+	// the transport is synchronous.
+	asyncWire bool
 
 	groupMu sync.Mutex
 	groups  []*topology.Group // index = trace.GroupID
@@ -183,6 +238,13 @@ func New(cfg Config) (*Machine, error) {
 		m.tnet.SetFault(inj)
 		m.bnet.SetFault(inj, inj.ClassID("bcast"), inj.MaxAttempts())
 	}
+	if cfg.Wire == WireRing && !cfg.Combining {
+		// Combining keeps the per-cell controller goroutines: its
+		// stations absorb requests only when several cells' controllers
+		// submit concurrently, which a small shared worker pool
+		// serializes away.
+		m.pool = newWorkerPool(m, ringShards(cfg, torus.Cells()))
+	}
 	for id := 0; id < torus.Cells(); id++ {
 		c, err := newCell(m, topology.CellID(id))
 		if err != nil {
@@ -192,7 +254,31 @@ func New(cfg Config) (*Machine, error) {
 		m.tnet.Attach(c.id, c.receive)
 		m.bnet.Attach(c.id, c.receiveBroadcast)
 	}
+	if m.pool != nil && cfg.Fault == nil && !cfg.Sanitize {
+		// No one needs synchronous delivery: switch the T-net onto the
+		// asynchronous ring wire. The fault plan's reliable layer reads
+		// Send's per-attempt verdict, and the sanitizer's logical
+		// clocks assume one cell's packets deliver serially, so either
+		// keeps the transport synchronous (workers and MSC rings stay).
+		m.tnet.SetRingWire(m.pool.shards(), ringLinkCap, m.pool.wake, cfg.MutexLinks)
+		m.asyncWire = true
+	}
 	return m, nil
+}
+
+// ringShards picks the delivery-worker count for the ring wire.
+func ringShards(cfg Config, cells int) int {
+	w := cfg.Workers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > cells {
+		w = cells
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // Cells reports the cell count.
@@ -276,12 +362,16 @@ func (m *Machine) Run(program func(c *Cell) error) error {
 		return fmt.Errorf("machine: Run called twice (a machine instance executes one job; build a new Machine)")
 	}
 	var ctlWG sync.WaitGroup
-	for _, c := range m.cells {
-		ctlWG.Add(1)
-		go func(c *Cell) {
-			defer ctlWG.Done()
-			m.controller(c)
-		}(c)
+	if m.pool != nil {
+		m.pool.start(&ctlWG)
+	} else {
+		for _, c := range m.cells {
+			ctlWG.Add(1)
+			go func(c *Cell) {
+				defer ctlWG.Done()
+				m.controller(c)
+			}(c)
+		}
 	}
 
 	errs := make([]error, len(m.cells))
@@ -308,7 +398,11 @@ func (m *Machine) Run(program func(c *Cell) error) error {
 	// can queue new commands (a late GET request), so drain again until
 	// nothing is held.
 	for {
-		for m.inflight.Load() != 0 {
+		// On the async ring wire a packet can still be in a link after
+		// the command that sent it finished, so quiescence is both
+		// counters at zero (PendingPackets is decremented only after a
+		// delivery's handler returns, closing the window between them).
+		for m.inflight.Load() != 0 || m.tnet.PendingPackets() != 0 {
 			runtime.Gosched()
 		}
 		if m.rel == nil || m.tnet.FlushHeld() == 0 {
@@ -323,6 +417,9 @@ func (m *Machine) Run(program func(c *Cell) error) error {
 	}
 	for _, c := range m.cells {
 		c.MSC.Close()
+	}
+	if m.pool != nil {
+		m.pool.close()
 	}
 	ctlWG.Wait()
 

@@ -8,6 +8,7 @@ package msc
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"ap1000plus/internal/mc"
@@ -319,7 +320,8 @@ func (q *Queue) Name() string { return q.name }
 
 // MSC is one cell's message controller front end: the five queues and
 // the condition variable the send controller blocks on. The CPU
-// pushes commands; the machine's per-cell controller goroutine pops
+// pushes commands; the consumer — a per-cell controller goroutine on
+// the mutex wire, a shared delivery worker on the ring wire — pops
 // them in the hardware's priority order.
 type MSC struct {
 	mu   sync.Mutex
@@ -337,6 +339,12 @@ type MSC struct {
 	rloadReply *Queue
 
 	closed bool
+
+	// ring, when non-nil, replaces the mutex+cond front end with the
+	// lock-free build (NewRing): send queues become SPSC rings, the
+	// two reply Queues above are shared with it under its own lock,
+	// and every push rings a doorbell instead of signalling a cond.
+	ring *ringFront
 }
 
 // New builds an MSC+ with the hardware's 64-word queues.
@@ -358,25 +366,64 @@ func NewWithQueueWords(words int) *MSC {
 
 // PushUser enqueues a user-level PUT/GET command. This is the paper's
 // user interface: the program writes parameters "one-by-one to the
-// special address" with plain stores — no system call.
-func (m *MSC) PushUser(c Command) { m.push(m.userSend, c) }
+// special address" with plain stores — no system call. On the ring
+// front, the caller must be the cell's single program goroutine (the
+// SPMD discipline); the queue is an SPSC ring.
+func (m *MSC) PushUser(c Command) {
+	if f := m.ring; f != nil {
+		f.checkOpen()
+		f.user.push(c)
+		f.notify()
+		return
+	}
+	m.push(m.userSend, c)
+}
 
 // PushSystem enqueues a system-issued PUT/GET. A separate queue means
 // "the MSC+ does not need to save and restore the entries for the
 // user" when the OS communicates.
-func (m *MSC) PushSystem(c Command) { m.push(m.sysSend, c) }
+func (m *MSC) PushSystem(c Command) {
+	if f := m.ring; f != nil {
+		f.checkOpen()
+		f.sys.push(c)
+		f.notify()
+		return
+	}
+	m.push(m.sysSend, c)
+}
 
 // PushRemoteAccess enqueues a hardware remote load/store. "Remote
 // access uses another queue because the processor waits for a remote
 // load, so remote access must be privileged."
-func (m *MSC) PushRemoteAccess(c Command) { m.push(m.remoteAcc, c) }
+func (m *MSC) PushRemoteAccess(c Command) {
+	if f := m.ring; f != nil {
+		f.checkOpen()
+		f.remote.push(c)
+		f.notify()
+		return
+	}
+	m.push(m.remoteAcc, c)
+}
 
 // PushGetReply enqueues a reply to a GET request received from the
-// network.
-func (m *MSC) PushGetReply(c Command) { m.push(m.getReply, c) }
+// network. Reply pushes come from delivery context, so on the ring
+// front they go through the mutex-guarded reply queues.
+func (m *MSC) PushGetReply(c Command) {
+	if f := m.ring; f != nil {
+		f.pushReply(f.getReply, c)
+		return
+	}
+	m.push(m.getReply, c)
+}
 
 // PushRemoteLoadReply enqueues a reply to a remote load.
-func (m *MSC) PushRemoteLoadReply(c Command) { m.push(m.rloadReply, c) }
+func (m *MSC) PushRemoteLoadReply(c Command) {
+	if f := m.ring; f != nil {
+		f.pushReply(f.rloadReply, c)
+		return
+	}
+	m.push(m.rloadReply, c)
+}
 
 func (m *MSC) push(q *Queue, c Command) {
 	m.mu.Lock()
@@ -398,6 +445,14 @@ func (m *MSC) PushUserBatch(cmds []Command) {
 	if len(cmds) == 0 {
 		return
 	}
+	if f := m.ring; f != nil {
+		f.checkOpen()
+		for _, c := range cmds {
+			f.user.push(c)
+		}
+		f.notify()
+		return
+	}
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
@@ -413,6 +468,18 @@ func (m *MSC) PushUserBatch(cmds []Command) {
 // GET replies, then remote access, then system sends, then user
 // sends.
 func (m *MSC) Next() (Command, bool) {
+	if f := m.ring; f != nil {
+		var buf [1]Command
+		for {
+			if f.tryNextBatch(buf[:]) == 1 {
+				return buf[0], true
+			}
+			if f.closed.Load() {
+				return Command{}, false
+			}
+			runtime.Gosched()
+		}
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for {
@@ -439,6 +506,17 @@ func (m *MSC) Next() (Command, bool) {
 func (m *MSC) NextBatch(buf []Command) (int, bool) {
 	if len(buf) == 0 {
 		panic("msc: NextBatch with empty buffer")
+	}
+	if f := m.ring; f != nil {
+		for {
+			if n := f.tryNextBatch(buf); n > 0 {
+				return n, true
+			}
+			if f.closed.Load() {
+				return 0, false
+			}
+			runtime.Gosched()
+		}
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -467,8 +545,40 @@ func (m *MSC) NextBatch(buf []Command) (int, bool) {
 	}
 }
 
+// TryNextBatch fills buf with up to len(buf) pending commands without
+// blocking, in NextBatch's priority order. It is the ring-wire
+// delivery worker's drain primitive: the worker owns the consumer
+// side of the cell's SPSC rings, so only one goroutine may call it
+// (or any other pop) at a time.
+func (m *MSC) TryNextBatch(buf []Command) int {
+	if f := m.ring; f != nil {
+		return f.tryNextBatch(buf)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, q := range []*Queue{m.rloadReply, m.getReply, m.remoteAcc, m.sysSend, m.userSend} {
+		for n < len(buf) {
+			c, ok := q.Pop()
+			if !ok {
+				break
+			}
+			buf[n] = c
+			n++
+		}
+	}
+	return n
+}
+
 // TryNext pops without blocking.
 func (m *MSC) TryNext() (Command, bool) {
+	if f := m.ring; f != nil {
+		var buf [1]Command
+		if f.tryNextBatch(buf[:]) == 1 {
+			return buf[0], true
+		}
+		return Command{}, false
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for _, q := range []*Queue{m.rloadReply, m.getReply, m.remoteAcc, m.sysSend, m.userSend} {
@@ -481,6 +591,9 @@ func (m *MSC) TryNext() (Command, bool) {
 
 // Pending reports the total commands across all queues.
 func (m *MSC) Pending() int {
+	if f := m.ring; f != nil {
+		return f.pending()
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.userSend.Len() + m.sysSend.Len() + m.remoteAcc.Len() + m.getReply.Len() + m.rloadReply.Len()
@@ -489,6 +602,11 @@ func (m *MSC) Pending() int {
 // Close marks the MSC as shutting down; Next returns false once the
 // queues drain. Pushing after Close panics — it would lose commands.
 func (m *MSC) Close() {
+	if f := m.ring; f != nil {
+		f.closed.Store(true)
+		f.notify()
+		return
+	}
 	m.mu.Lock()
 	m.closed = true
 	m.mu.Unlock()
@@ -500,6 +618,19 @@ func (m *MSC) Close() {
 // run with the MSC lock held and must not call back into the MSC.
 // Both receive the command count of the triggering push or refill.
 func (m *MSC) SetObserver(onSpill func(queue string, n int), onRefill func(queue string, n int)) {
+	if f := m.ring; f != nil {
+		for _, q := range []*ringQueue{&f.user, &f.sys, &f.remote} {
+			q.onSpill = onSpill
+			q.onRefill = onRefill
+		}
+		f.replyMu.Lock()
+		for _, q := range []*Queue{f.getReply, f.rloadReply} {
+			q.onSpill = onSpill
+			q.onRefill = onRefill
+		}
+		f.replyMu.Unlock()
+		return
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for _, q := range []*Queue{m.userSend, m.sysSend, m.remoteAcc, m.getReply, m.rloadReply} {
@@ -515,6 +646,18 @@ type MSCStats struct {
 
 // Stats snapshots all queue counters.
 func (m *MSC) Stats() MSCStats {
+	if f := m.ring; f != nil {
+		f.replyMu.Lock()
+		get, rload := f.getReply.Stats(), f.rloadReply.Stats()
+		f.replyMu.Unlock()
+		return MSCStats{
+			UserSend:        f.user.snapshot(),
+			SysSend:         f.sys.snapshot(),
+			RemoteAccess:    f.remote.snapshot(),
+			GetReply:        get,
+			RemoteLoadReply: rload,
+		}
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return MSCStats{

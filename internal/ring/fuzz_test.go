@@ -1,0 +1,72 @@
+package ring
+
+import (
+	"runtime"
+	"testing"
+)
+
+// FuzzInterleavings drives a producer and a concurrent consumer whose
+// pacing (batch sizes and yield points) is taken from the fuzz input,
+// so the fuzzer explores producer/consumer interleavings the fixed
+// property test does not. The invariant is the SPSC contract itself:
+// the consumer sees the exact sequence 0..total-1 — FIFO order, no
+// loss, no duplication.
+func FuzzInterleavings(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4}, uint8(4))
+	f.Add([]byte{255, 0, 255, 0, 7}, uint8(1))
+	f.Add([]byte{16, 16, 16}, uint8(6))
+	f.Fuzz(func(t *testing.T, pacing []byte, capLog uint8) {
+		if len(pacing) == 0 {
+			pacing = []byte{1}
+		}
+		capacity := 1 << (capLog % 8) // 1..128, New rounds 1 up to 2
+		r := New[uint32](capacity)
+		const total = 4096
+		errc := make(chan string, 1)
+		go func() {
+			var want uint32
+			pi := 0
+			for want < total {
+				// pop a pacing-determined batch, then yield
+				batch := int(pacing[pi%len(pacing)])%7 + 1
+				pi++
+				for b := 0; b < batch && want < total; {
+					v, ok := r.Pop()
+					if !ok {
+						runtime.Gosched()
+						continue
+					}
+					if v != want {
+						errc <- "FIFO violated: popped wrong value"
+						return
+					}
+					want++
+					b++
+				}
+				runtime.Gosched()
+			}
+			if _, ok := r.Pop(); ok {
+				errc <- "ring not empty after consuming every pushed value"
+				return
+			}
+			errc <- ""
+		}()
+		pi := 0
+		for i := uint32(0); i < total; {
+			batch := int(pacing[pi%len(pacing)])%11 + 1
+			pi++
+			for b := 0; b < batch && i < total; {
+				if r.Push(i) {
+					i++
+					b++
+				} else {
+					runtime.Gosched()
+				}
+			}
+			runtime.Gosched()
+		}
+		if msg := <-errc; msg != "" {
+			t.Fatal(msg)
+		}
+	})
+}

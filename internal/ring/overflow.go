@@ -1,0 +1,108 @@
+package ring
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Overflow composes an SPSC ring with a mutex-guarded spill buffer so
+// Push never fails: when the ring is full the producer spills, just
+// as the MSC+ writes to its DRAM buffer when a hardware queue fills.
+// The concurrency contract is the SPSC one — one pusher, one popper —
+// and FIFO order is preserved across the spill by a monotonic rule:
+// once anything has spilled, the producer keeps spilling until the
+// consumer has taken every spilled item, so ring entries are always
+// older than spill entries. The consumer never refills the ring (that
+// would make it a second producer); it stages spilled items into a
+// consumer-local buffer served before the ring.
+type Overflow[T any] struct {
+	hw *SPSC[T]
+
+	mu           sync.Mutex
+	spill        []T
+	spillHead    int
+	spillPending atomic.Int64
+	spills       atomic.Int64
+
+	// Consumer-local staging of spilled items; stagedPending mirrors
+	// its length so Len works from any goroutine.
+	staged        []T
+	stagedHead    int
+	stagedPending atomic.Int64
+}
+
+// NewOverflow builds an Overflow whose fast-path ring holds at least
+// capacity items (rounded up to a power of two).
+func NewOverflow[T any](capacity int) *Overflow[T] {
+	return &Overflow[T]{hw: New[T](capacity)}
+}
+
+// Push appends v; it never fails. Single producer.
+func (o *Overflow[T]) Push(v T) {
+	if o.spillPending.Load() == 0 && o.hw.Push(v) {
+		return
+	}
+	o.mu.Lock()
+	o.spill = append(o.spill, v)
+	o.spillPending.Add(1)
+	o.spills.Add(1)
+	o.mu.Unlock()
+}
+
+// Pop removes the oldest item. Single consumer. Service order —
+// staged spill, then ring, then a fresh staging pass — is exactly age
+// order under the monotonic spill rule.
+func (o *Overflow[T]) Pop() (v T, ok bool) {
+	if o.stagedHead < len(o.staged) {
+		v = o.staged[o.stagedHead]
+		var zero T
+		o.staged[o.stagedHead] = zero
+		o.stagedHead++
+		o.stagedPending.Add(-1)
+		if o.stagedHead == len(o.staged) {
+			o.staged = o.staged[:0]
+			o.stagedHead = 0
+		}
+		return v, true
+	}
+	if v, ok = o.hw.Pop(); ok {
+		return v, true
+	}
+	if o.spillPending.Load() == 0 {
+		return v, false
+	}
+	o.mu.Lock()
+	n := len(o.spill) - o.spillHead
+	if max := o.hw.Cap(); n > max {
+		n = max
+	}
+	o.staged = append(o.staged[:0], o.spill[o.spillHead:o.spillHead+n]...)
+	o.stagedHead = 0
+	o.spillHead += n
+	if o.spillHead == len(o.spill) {
+		// Zero the drained prefix so spilled pointers are not pinned,
+		// then reuse the storage.
+		var zero T
+		for i := range o.spill {
+			o.spill[i] = zero
+		}
+		o.spill = o.spill[:0]
+		o.spillHead = 0
+	}
+	o.spillPending.Add(int64(-n))
+	o.stagedPending.Add(int64(n))
+	o.mu.Unlock()
+	return o.Pop()
+}
+
+// Len reports buffered items; exact for producer or consumer, a
+// point-in-time approximation for anyone else.
+func (o *Overflow[T]) Len() int {
+	return o.hw.Len() + int(o.spillPending.Load()) + int(o.stagedPending.Load())
+}
+
+// Spills reports how many pushes overflowed to the spill buffer.
+func (o *Overflow[T]) Spills() int64 { return o.spills.Load() }
+
+// Cap reports the fast-path ring capacity.
+func (o *Overflow[T]) Cap() int { return o.hw.Cap() }

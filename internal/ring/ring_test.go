@@ -1,0 +1,121 @@
+package ring
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+func TestCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{
+		{0, 2}, {1, 2}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {64, 64}, {65, 128},
+	} {
+		if got := New[int](tc.ask).Cap(); got != tc.want {
+			t.Errorf("New(%d).Cap() = %d, want %d", tc.ask, got, tc.want)
+		}
+	}
+}
+
+// TestFIFOSequential drives a small ring through many wrap-arounds on
+// one goroutine, checking FIFO order and full/empty edges against a
+// slice-backed reference queue.
+func TestFIFOSequential(t *testing.T) {
+	r := New[int](4)
+	rng := rand.New(rand.NewSource(1))
+	var ref []int
+	next := 0
+	for step := 0; step < 10000; step++ {
+		if rng.Intn(2) == 0 {
+			ok := r.Push(next)
+			wantOK := len(ref) < r.Cap()
+			if ok != wantOK {
+				t.Fatalf("step %d: Push ok=%v, want %v (len %d)", step, ok, wantOK, len(ref))
+			}
+			if ok {
+				ref = append(ref, next)
+				next++
+			}
+		} else {
+			v, ok := r.Pop()
+			wantOK := len(ref) > 0
+			if ok != wantOK {
+				t.Fatalf("step %d: Pop ok=%v, want %v (len %d)", step, ok, wantOK, len(ref))
+			}
+			if ok {
+				if v != ref[0] {
+					t.Fatalf("step %d: Pop = %d, want %d", step, v, ref[0])
+				}
+				ref = ref[1:]
+			}
+		}
+		if r.Len() != len(ref) {
+			t.Fatalf("step %d: Len = %d, want %d", step, r.Len(), len(ref))
+		}
+	}
+}
+
+// TestConcurrentFIFOProperty is the SPSC property test: a producer
+// pushing a strictly increasing sequence and a concurrent consumer
+// must see every value exactly once, in order, for any interleaving.
+// Random stalls on both sides vary the interleaving; `-race` (wired
+// into make verify) checks the happens-before edges of the
+// head/tail protocol.
+func TestConcurrentFIFOProperty(t *testing.T) {
+	const total = 50000
+	for _, capacity := range []int{2, 8, 64, 1024} {
+		r := New[uint64](capacity)
+		done := make(chan error, 1)
+		go func() {
+			rng := rand.New(rand.NewSource(int64(capacity)))
+			var want uint64
+			for want < total {
+				v, ok := r.Pop()
+				if !ok {
+					runtime.Gosched()
+					continue
+				}
+				if v != want {
+					done <- fmt.Errorf("cap %d: popped %d, want %d (lost or reordered)", capacity, v, want)
+					return
+				}
+				want++
+				if rng.Intn(64) == 0 {
+					runtime.Gosched()
+				}
+			}
+			if v, ok := r.Pop(); ok {
+				done <- fmt.Errorf("cap %d: duplicate or phantom value %d after draining", capacity, v)
+				return
+			}
+			done <- nil
+		}()
+		rng := rand.New(rand.NewSource(int64(capacity) * 7))
+		for i := uint64(0); i < total; {
+			if r.Push(i) {
+				i++
+			} else {
+				runtime.Gosched()
+			}
+			if rng.Intn(64) == 0 {
+				runtime.Gosched()
+			}
+		}
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestPopReleasesSlot pins that Pop zeroes the vacated slot, so the
+// ring never pins a popped pointer (pooled payloads must be
+// collectable/reusable the moment the consumer takes them).
+func TestPopReleasesSlot(t *testing.T) {
+	r := New[*int](2)
+	v := new(int)
+	r.Push(v)
+	r.Pop()
+	if r.buf[0] != nil {
+		t.Fatal("Pop left the slot's pointer live")
+	}
+}

@@ -3,18 +3,36 @@
 // The T-net routes statically (dimension order) and therefore
 // delivers messages between a given pair of cells in order — the
 // property S4.1's GET-as-acknowledge trick depends on. The functional
-// simulator preserves that property structurally: each cell's single
-// send controller processes its commands FIFO and delivers each
-// packet synchronously, so two messages from A to B can never
-// overtake each other. Link bandwidth (25 MB/s x 4 links per cell)
-// and hop latency matter only to the timing model (MLSim); here the
-// network accounts traffic statistics and hands packets to the
-// destination's receive controller.
+// simulator preserves that property structurally, in one of two wire
+// builds:
+//
+//   - The sync (mutex) wire: each cell's single send controller
+//     processes its commands FIFO and delivers each packet
+//     synchronously on the calling goroutine, so two messages from A
+//     to B can never overtake each other. This is also the only build
+//     that can report a per-attempt verdict to the reliable layer, so
+//     fault plans always run on it.
+//
+//   - The ring wire (SetRingWire): cells are partitioned over a small
+//     number of delivery shards, and each ordered pair of shards gets
+//     one Link — an SPSC ring with spill (RingLink). A packet from A
+//     to B goes over the (shard(A), shard(B)) link and is delivered
+//     by B's owning shard; A's commands are processed FIFO by A's own
+//     shard (every packet with Src=A is transmitted from that shard),
+//     and the link preserves FIFO, so the A→B stream stays in order.
+//     Same-shard traffic is delivered inline, which is trivially in
+//     order.
+//
+// Link bandwidth (25 MB/s x 4 links per cell) and hop latency matter
+// only to the timing model (MLSim); here the network accounts traffic
+// statistics and hands packets to the destination's receive
+// controller.
 package tnet
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"ap1000plus/internal/fault"
 	"ap1000plus/internal/mem"
@@ -35,6 +53,13 @@ type Packet struct {
 	// delivery (the sending controller — delivery is synchronous on
 	// its goroutine). -1 when the machine is not sanitized.
 	SanTid int
+	// FreeOnDeliver transfers payload ownership to the wire: the ring
+	// wire releases the payload to its pool after the destination's
+	// handler returns. Senders set it where the sync wire would have
+	// released after Send; it is never set on the sync wire (the
+	// sender still owns the payload there) or under a fault plan
+	// (retransmission needs the payload alive).
+	FreeOnDeliver bool
 }
 
 // Handler consumes a packet at its destination cell — the receive
@@ -75,6 +100,37 @@ type Network struct {
 	// goroutine (or in FlushHeld's quiescent drain).
 	inj   *fault.Injector
 	limbo map[streamKey][]Packet
+	// ring, when non-nil, replaces synchronous delivery with the
+	// lock-free ring wire (SetRingWire). Mutually exclusive with inj.
+	ring *ringWire
+}
+
+// ringWire is the lock-free wire: one Link per ordered shard pair,
+// stats sharded so the hot path takes no lock.
+type ringWire struct {
+	shards int
+	// links[consumer][producer]: the conduit from producing shard to
+	// consuming shard.
+	links [][]Link
+	// wake nudges a consuming shard's delivery worker after a
+	// cross-shard enqueue.
+	wake func(shard int)
+	// pending counts enqueued-but-undelivered cross-shard packets; a
+	// packet is uncounted only after its handler has returned, so the
+	// machine's drain barrier (inflight + pending both zero) cannot
+	// fire while a delivery is still executing.
+	pending atomic.Int64
+	stats   []wireShardStats
+}
+
+// wireShardStats is one shard's traffic counters, padded so shards do
+// not false-share cache lines.
+type wireShardStats struct {
+	messages atomic.Int64
+	bytes    atomic.Int64
+	hops     atomic.Int64
+	perOp    [msc.NumOps]atomic.Int64
+	_        [64]byte
 }
 
 // streamKey identifies one (src, dst, class) wire stream.
@@ -113,10 +169,52 @@ func (n *Network) Attach(id topology.CellID, h Handler) {
 func (n *Network) SetFault(inj *fault.Injector) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if inj != nil && n.ring != nil {
+		panic("tnet: fault injection requires the sync wire (per-attempt verdicts)")
+	}
 	n.inj = inj
 	if inj != nil && n.limbo == nil {
 		n.limbo = make(map[streamKey][]Packet)
 	}
+}
+
+// SetRingWire switches the network onto the lock-free ring wire:
+// cells are partitioned over shards delivery shards (cell id mod
+// shards), each ordered shard pair gets one Link with a linkCap-deep
+// fast path, and wake is called with the consuming shard after every
+// cross-shard enqueue. mutexLinks selects the reference MutexLink
+// build instead of RingLink (differential testing). Install before
+// traffic flows; incompatible with a fault injector — the reliable
+// layer needs the sync wire's per-attempt verdict.
+func (n *Network) SetRingWire(shards, linkCap int, wake func(shard int), mutexLinks bool) {
+	if shards <= 0 {
+		panic(fmt.Sprintf("tnet: %d delivery shards", shards))
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.inj != nil {
+		panic("tnet: ring wire requires no fault injector")
+	}
+	if wake == nil {
+		wake = func(int) {}
+	}
+	rw := &ringWire{
+		shards: shards,
+		links:  make([][]Link, shards),
+		wake:   wake,
+		stats:  make([]wireShardStats, shards),
+	}
+	for cons := range rw.links {
+		rw.links[cons] = make([]Link, shards)
+		for prod := range rw.links[cons] {
+			if mutexLinks {
+				rw.links[cons][prod] = NewMutexLink(linkCap)
+			} else {
+				rw.links[cons][prod] = NewRingLink(linkCap)
+			}
+		}
+	}
+	n.ring = rw
 }
 
 // Send routes a packet to its destination and runs the destination's
@@ -131,6 +229,9 @@ func (n *Network) Send(p Packet) bool {
 	dst := p.Head.Dst
 	if !n.torus.Valid(dst) {
 		panic(fmt.Sprintf("tnet: send to invalid cell %d", dst))
+	}
+	if rw := n.ring; rw != nil {
+		return n.sendRing(rw, p)
 	}
 	n.mu.Lock()
 	h := n.handlers[dst]
@@ -149,6 +250,94 @@ func (n *Network) Send(p Packet) bool {
 		return h(p)
 	}
 	return n.faultySend(inj, h, p)
+}
+
+// sendRing is Send on the lock-free wire. Stats go to the sending
+// shard's padded counters; same-shard packets are delivered inline on
+// the calling worker (trivially in order), cross-shard packets ride
+// the (producer, consumer) link and the consuming shard is woken.
+// There is no fault injector on this wire, so the verdict is always
+// the handler's own.
+func (n *Network) sendRing(rw *ringWire, p Packet) bool {
+	prod := int(p.Head.Src) % rw.shards
+	cons := int(p.Head.Dst) % rw.shards
+	s := &rw.stats[prod]
+	s.messages.Add(1)
+	s.bytes.Add(p.Payload.Size())
+	s.hops.Add(int64(n.torus.Distance(p.Head.Src, p.Head.Dst)))
+	if op := int(p.Head.Op); op < len(s.perOp) {
+		s.perOp[op].Add(1)
+	}
+	if prod == cons {
+		return n.deliverRing(p)
+	}
+	rw.pending.Add(1)
+	rw.links[cons][prod].Enqueue(p)
+	rw.wake(cons)
+	return true
+}
+
+// deliverRing hands a packet to its destination's receive controller
+// and, when the sender transferred ownership, returns the payload to
+// its pool. The handlers slice is written only during Attach, before
+// any worker starts, so the read needs no lock.
+func (n *Network) deliverRing(p Packet) bool {
+	h := n.handlers[p.Head.Dst]
+	if h == nil {
+		panic(fmt.Sprintf("tnet: cell %d has no receive controller", p.Head.Dst))
+	}
+	ok := h(p)
+	if p.FreeOnDeliver && p.Payload != nil {
+		p.Payload.Release()
+	}
+	return ok
+}
+
+// DrainInbox delivers up to max pending packets destined for the
+// given consuming shard (across all producing shards' links) and
+// reports how many. Only the shard's owning worker may call it — it
+// is the consumer side of the shard's SPSC links. The pending counter
+// is decremented after each handler returns, so a quiesce barrier on
+// PendingPackets cannot pass mid-delivery.
+func (n *Network) DrainInbox(shard, max int) int {
+	rw := n.ring
+	if rw == nil {
+		return 0
+	}
+	total := 0
+	for prod := 0; prod < rw.shards; prod++ {
+		total += rw.links[shard][prod].Drain(max, func(p Packet) {
+			n.deliverRing(p)
+			rw.pending.Add(-1)
+		})
+	}
+	return total
+}
+
+// PendingPackets reports cross-shard packets enqueued on the ring
+// wire whose delivery has not yet completed; 0 on the sync wire.
+func (n *Network) PendingPackets() int64 {
+	if rw := n.ring; rw != nil {
+		return rw.pending.Load()
+	}
+	return 0
+}
+
+// LinkStatsTotal aggregates every ring-wire link's counters; zero on
+// the sync wire.
+func (n *Network) LinkStatsTotal() LinkStats {
+	var t LinkStats
+	if rw := n.ring; rw != nil {
+		for _, row := range rw.links {
+			for _, l := range row {
+				s := l.Stats()
+				t.Enqueued += s.Enqueued
+				t.Drained += s.Drained
+				t.Spills += s.Spills
+			}
+		}
+	}
+	return t
 }
 
 // faultySend applies the injected wire fate to one transmission
@@ -238,9 +427,23 @@ func (n *Network) FlushHeld() int {
 	return len(all)
 }
 
-// Stats snapshots traffic counters.
+// Stats snapshots traffic counters, aggregating the ring wire's
+// per-shard counters when it is active.
 func (n *Network) Stats() Stats {
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.stats
+	s := n.stats
+	rw := n.ring
+	n.mu.Unlock()
+	if rw != nil {
+		for i := range rw.stats {
+			sh := &rw.stats[i]
+			s.Messages += sh.messages.Load()
+			s.Bytes += sh.bytes.Load()
+			s.HopsTotal += sh.hops.Load()
+			for op := range sh.perOp {
+				s.PerOp[op] += sh.perOp[op].Load()
+			}
+		}
+	}
+	return s
 }

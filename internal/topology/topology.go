@@ -1,5 +1,5 @@
 // Package topology models the AP1000+ cell arrangement: a
-// two-dimensional torus (the T-net wiring) of 4 to 1024 cells, with
+// two-dimensional torus (the T-net wiring) of 4 to 4096 cells, with
 // the static dimension-order routing the T-net uses, plus the cell
 // groups over which VPP Fortran performs group barriers and group
 // reductions.
@@ -23,16 +23,22 @@ type Torus struct {
 	w, h int
 }
 
-// NewTorus builds a torus with the given dimensions. The AP1000+
-// supports 4 to 1024 cells; dimensions outside that range (or
-// non-positive) are rejected.
+// MaxCells is the largest simulated configuration. The shipped
+// AP1000+ topped out at 1024 cells; the simulator admits 4x that so
+// weak-scaling runs can explore where in-network combining and
+// aggregation pay off (see apbench -experiment scale).
+const MaxCells = 4096
+
+// NewTorus builds a torus with the given dimensions. Configurations
+// of 4 to MaxCells cells are supported; dimensions outside that range
+// (or non-positive) are rejected.
 func NewTorus(w, h int) (*Torus, error) {
 	if w <= 0 || h <= 0 {
 		return nil, fmt.Errorf("topology: non-positive dimensions %dx%d", w, h)
 	}
 	n := w * h
-	if n < 4 || n > 1024 {
-		return nil, fmt.Errorf("topology: %d cells outside the AP1000+ range [4,1024]", n)
+	if n < 4 || n > MaxCells {
+		return nil, fmt.Errorf("topology: %d cells outside the simulator range [4,%d]", n, MaxCells)
 	}
 	return &Torus{w: w, h: h}, nil
 }
@@ -49,8 +55,8 @@ func MustTorus(w, h int) *Torus {
 // SquarishTorus builds the most square torus with exactly n cells,
 // mirroring how AP1000 cabinets were configured (e.g. 64 cells = 8x8).
 func SquarishTorus(n int) (*Torus, error) {
-	if n < 4 || n > 1024 {
-		return nil, fmt.Errorf("topology: %d cells outside [4,1024]", n)
+	if n < 4 || n > MaxCells {
+		return nil, fmt.Errorf("topology: %d cells outside [4,%d]", n, MaxCells)
 	}
 	best := 1
 	for d := 1; d*d <= n; d++ {

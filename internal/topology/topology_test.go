@@ -9,8 +9,11 @@ func TestNewTorusBounds(t *testing.T) {
 	if _, err := NewTorus(1, 2); err == nil {
 		t.Error("2 cells should be rejected (<4)")
 	}
-	if _, err := NewTorus(64, 32); err == nil {
-		t.Error("2048 cells should be rejected (>1024)")
+	if _, err := NewTorus(128, 64); err == nil {
+		t.Error("8192 cells should be rejected (>MaxCells)")
+	}
+	if tor, err := NewTorus(64, 64); err != nil || tor.Cells() != 4096 {
+		t.Errorf("4096 cells should be admitted: %v", err)
 	}
 	if _, err := NewTorus(0, 4); err == nil {
 		t.Error("zero dimension should be rejected")

@@ -13,10 +13,10 @@ import (
 // acknowledge GETs visible only on the counter side (the trace
 // excludes them, like the paper's Table 3).
 func TestCountersMatchTraceStats(t *testing.T) {
-	m, err := NewMachine(Config{
-		Width: 2, Height: 2, MemoryPerCell: 1 << 20,
-		TraceApp: "obs-consistency", Observe: true,
-	})
+	m, err := New(
+		WithGrid(2, 2), WithMemoryPerCell(1<<20),
+		WithTrace("obs-consistency"), WithObserve(),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +97,7 @@ func TestPutIssueZeroAllocUnobserved(t *testing.T) {
 	if raceDetectorEnabled {
 		t.Skip("sync.Pool drops items under -race; zero-alloc not measurable")
 	}
-	m, err := NewMachine(Config{Width: 2, Height: 2, MemoryPerCell: 1 << 20})
+	m, err := New(WithGrid(2, 2), WithMemoryPerCell(1<<20))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +139,7 @@ func TestBatchIssueZeroAllocUnobserved(t *testing.T) {
 	if raceDetectorEnabled {
 		t.Skip("sync.Pool drops items under -race; zero-alloc not measurable")
 	}
-	m, err := NewMachine(Config{Width: 2, Height: 2, MemoryPerCell: 1 << 20})
+	m, err := New(WithGrid(2, 2), WithMemoryPerCell(1<<20))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -85,10 +85,17 @@ func runPGASProperty(t *testing.T, cfg pgasPropCfg, seed uint64) []int64 {
 		}
 		plan = p
 	}
-	m, err := NewMachine(Config{
-		Width: 3, Height: 2, Observe: true,
-		Sanitize: cfg.sanitize, Combining: cfg.combining, Fault: plan,
-	})
+	opts := []Option{WithGrid(3, 2), WithObserve()}
+	if cfg.sanitize {
+		opts = append(opts, WithSanitize())
+	}
+	if cfg.combining {
+		opts = append(opts, WithCombining())
+	}
+	if plan != nil {
+		opts = append(opts, WithFault(plan))
+	}
+	m, err := New(opts...)
 	if err != nil {
 		t.Fatal(err)
 	}

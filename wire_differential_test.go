@@ -1,0 +1,158 @@
+package ap1000plus
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// wireDiffResult is everything the differential gate compares: the
+// final bytes of every cell's receive buffer and every cell's flag
+// increment count.
+type wireDiffResult struct {
+	mem   [][]byte
+	flags []int64
+}
+
+// wireDiffRun executes the seeded chaos workload — alternating rounds
+// of permutation PUTs and GETs with per-round flag waits and hardware
+// barriers — on a machine built from opts, and snapshots memory and
+// flag counts.
+func wireDiffRun(t *testing.T, opts ...Option) wireDiffResult {
+	t.Helper()
+	const (
+		chunk  = 64
+		rounds = 12
+	)
+	opts = append([]Option{WithGrid(4, 4), WithObserve(), WithMemoryPerCell(1 << 20)}, opts...)
+	m, err := New(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	np := m.Cells()
+	srcs := make([][]byte, np)
+	srcAddr := make([]Addr, np)
+	dsts := make([][]byte, np)
+	dstAddr := make([]Addr, np)
+	for id := 0; id < np; id++ {
+		seg, data, err := m.Cell(CellID(id)).AllocBytes("src", chunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcs[id], srcAddr[id] = data, seg.Base()
+		seg, data, err = m.Cell(CellID(id)).AllocBytes("dst", int64(np*chunk))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dsts[id], dstAddr[id] = data, seg.Base()
+	}
+	flag := FlagID(3)
+	err = m.Run(func(c *Cell) error {
+		comm := NewComm(c)
+		id := int(c.ID())
+		for r := 0; r < rounds; r++ {
+			// Deterministic fill of this cell's outgoing chunk.
+			for i := range srcs[id] {
+				srcs[id][i] = byte(id*31 + r*17 + i)
+			}
+			c.HWBarrier() // all chunks for round r in place
+			stride := 1 + (r*5+3)%(np-1)
+			peer := (id + stride) % np
+			var err error
+			if r%2 == 0 {
+				// PUT my chunk into the peer's slot for me.
+				err = comm.Put(Transfer{
+					To: CellID(peer), Remote: dstAddr[peer] + Addr(id*chunk),
+					Local: srcAddr[id], Size: chunk, RecvFlag: flag,
+				})
+			} else {
+				// GET the peer's chunk into its slot here.
+				err = comm.Get(Transfer{
+					To: CellID(peer), Remote: srcAddr[peer],
+					Local: dstAddr[id] + Addr(peer*chunk), Size: chunk, RecvFlag: flag,
+				})
+			}
+			if err != nil {
+				return err
+			}
+			// Every round delivers exactly one flagged DMA per cell: the
+			// incoming PUT on even rounds, my GET reply on odd ones.
+			c.Flags.Wait(flag, int64(r+1))
+			c.HWBarrier()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.FaultErr(); err != nil {
+		t.Fatal(err)
+	}
+	res := wireDiffResult{mem: make([][]byte, np), flags: make([]int64, np)}
+	for id := 0; id < np; id++ {
+		res.mem[id] = append([]byte(nil), dsts[id]...)
+		res.flags[id] = m.Cell(CellID(id)).Flags.Increments()
+	}
+	return res
+}
+
+// requireSameResult asserts bit-identical memory and flag counts.
+func requireSameResult(t *testing.T, name string, want, got wireDiffResult) {
+	t.Helper()
+	for id := range want.mem {
+		if !bytes.Equal(want.mem[id], got.mem[id]) {
+			t.Fatalf("%s: cell %d memory differs from reference", name, id)
+		}
+		if want.flags[id] != got.flags[id] {
+			t.Fatalf("%s: cell %d flag increments = %d, reference %d",
+				name, id, got.flags[id], want.flags[id])
+		}
+	}
+}
+
+// TestWireDifferential is the wire-equivalence gate: the same seeded
+// workload must produce bit-identical memory and flag counts on the
+// lock-free ring wire (both link implementations, multiple forced
+// delivery shards), the legacy mutex wire, and — under seeded fault
+// plans, where the ring build falls back to synchronous transport but
+// keeps its MSC rings and delivery workers — on both builds again.
+// Run under -race in make verify.
+func TestWireDifferential(t *testing.T) {
+	ref := wireDiffRun(t) // ring wire, ring links, default workers
+
+	variants := []struct {
+		name string
+		opts []Option
+	}{
+		{"ring wire, 4 workers", []Option{WithDeliveryWorkers(4)}},
+		{"ring wire, mutex links, 4 workers", []Option{WithMutexLinks(), WithDeliveryWorkers(4)}},
+		{"ring wire, one worker per cell", []Option{WithDeliveryWorkers(16)}},
+		{"mutex wire", []Option{WithMutexWire()}},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			requireSameResult(t, v.name, ref, wireDiffRun(t, v.opts...))
+		})
+	}
+
+	for _, spec := range []string{
+		"drop=0.06,dup=0.04,seed=17",
+		"drop=0.05,reorder=0.05,seed=23",
+	} {
+		t.Run("fault "+spec, func(t *testing.T) {
+			plan, err := ParseFaultPlan(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ringRes := wireDiffRun(t, WithFault(plan), WithDeliveryWorkers(4))
+			plan2, err := ParseFaultPlan(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mtxRes := wireDiffRun(t, WithFault(plan2), WithMutexWire())
+			name := fmt.Sprintf("fault %s ring-vs-reference", spec)
+			requireSameResult(t, name, ref, ringRes)
+			requireSameResult(t, "fault "+spec+" mutex-vs-ring", ringRes, mtxRes)
+		})
+	}
+}
