@@ -74,8 +74,11 @@ chaos:
 # messages per operation on histogram and index-gather), and
 # BENCH_scale.json, the wire weak-scaling report (neighbor-PUT ring:
 # aggregate messages/sec and ns/hop on the mutex wire up to 256 cells
-# and the lock-free ring wire up to 4096), for diffing communication
-# behaviour across changes.
+# and the lock-free ring wire up to 4096), and BENCH_tenancy.json,
+# the multi-tenant gang-scheduling report (open-loop Poisson job
+# stream over partitioned machines: per-tenant p50/p99 sojourn latency
+# and aggregate jobs/sec at 2/4/8 partitions of 64 cells), for diffing
+# communication behaviour across changes.
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./...
 	$(GO) run ./cmd/apbench -experiment table2 -metrics-json BENCH_obs.json > /dev/null
@@ -84,6 +87,7 @@ bench:
 	$(GO) run ./cmd/apbench -experiment atomics -atomics-json BENCH_atomics.json > /dev/null
 	$(GO) run ./cmd/apbench -experiment pgas -pgas-json BENCH_pgas.json > /dev/null
 	$(GO) run ./cmd/apbench -experiment scale -scale-json BENCH_scale.json > /dev/null
+	$(GO) run ./cmd/apbench -experiment tenancy -tenancy-json BENCH_tenancy.json > /dev/null
 
 # Short fuzz pass over the trace codec (corpus seeds under
 # internal/trace/testdata/fuzz are always exercised by plain go test).

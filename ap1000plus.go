@@ -58,9 +58,10 @@ import (
 	"ap1000plus/internal/mem"
 	"ap1000plus/internal/mlsim"
 	"ap1000plus/internal/obs"
-	"ap1000plus/internal/pgas"
 	"ap1000plus/internal/params"
+	"ap1000plus/internal/pgas"
 	"ap1000plus/internal/sendrecv"
+	"ap1000plus/internal/tenancy"
 	"ap1000plus/internal/topology"
 	"ap1000plus/internal/trace"
 	"ap1000plus/internal/vpp"
@@ -229,6 +230,31 @@ func NewPE(h *SymmetricHeap, c *Cell) (*PE, error) { return pgas.NewPE(h, c) }
 func NewAggregator(h *SymmetricHeap, packets int) (*Aggregator, error) {
 	return pgas.NewAggregator(h, packets)
 }
+
+// Multi-tenant partitions and gang scheduling (WithPartitions).
+type (
+	// Partition is one disjoint cell range of a partitioned machine,
+	// with its own barrier domain and job slot; see Machine.Partition,
+	// Machine.RunJob.
+	Partition = machine.Partition
+	// Scheduler gang-schedules queued tenant jobs onto free
+	// partitions, FIFO with best-fit placement.
+	Scheduler = tenancy.Scheduler
+	// TenantJob is one gang-scheduled unit of work.
+	TenantJob = tenancy.Job
+	// TenantResult is a job's completion record with queue/run/sojourn
+	// latencies.
+	TenantResult = tenancy.Result
+	// Ticket is the async handle Scheduler.Submit returns.
+	Ticket = tenancy.Ticket
+	// LoadGen replays an open-loop Poisson stream of job arrivals
+	// against a scheduler.
+	LoadGen = tenancy.LoadGen
+)
+
+// NewScheduler wraps a partitioned machine in a gang scheduler and
+// opens it; Close drains and closes the machine.
+func NewScheduler(m *Machine) (*Scheduler, error) { return tenancy.New(m) }
 
 // Observability (WithObserve / WithTimeline).
 type (

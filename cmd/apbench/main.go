@@ -29,6 +29,11 @@
 // wire builds — the legacy mutex wire up to 256 cells, the lock-free
 // ring wire up to 4096 — reporting aggregate messages/sec and ns/hop;
 // -scale-json writes that report (for make bench / BENCH_scale.json).
+// -experiment tenancy splits one machine into partitions, gangs an
+// open-loop Poisson stream of tenant jobs onto them through the gang
+// scheduler, and reports per-tenant p50/p99 sojourn latency and
+// aggregate jobs/sec per partition count; -tenancy-json writes that
+// report (for make bench / BENCH_tenancy.json).
 package main
 
 import (
@@ -49,7 +54,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"specs|params|fig7|table2|table3|fig8|stride|contention|batch|dsmcache|atomics|pgas|scale|all")
+		"specs|params|fig7|table2|table3|fig8|stride|contention|batch|dsmcache|atomics|pgas|scale|tenancy|all")
 	quick := flag.Bool("quick", false, "use reduced problem sizes")
 	size := flag.Int64("size", 1024, "message size for fig7")
 	distance := flag.Int("distance", 3, "routing distance for fig7")
@@ -65,22 +70,24 @@ func main() {
 	atomicsJSON := flag.String("atomics-json", "", "write the remote-atomic combining report as JSON to this file (experiment atomics)")
 	pgasJSON := flag.String("pgas-json", "", "write the PGAS aggregation report as JSON to this file (experiment pgas)")
 	scaleJSON := flag.String("scale-json", "", "write the wire weak-scaling report as JSON to this file (experiment scale)")
+	tenancyJSON := flag.String("tenancy-json", "", "write the multi-tenant gang-scheduling report as JSON to this file (experiment tenancy)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 	apps.Sanitize = *sanitize
 	apps.Observe = *metrics || *metricsJSON != ""
-	if *faultSpec != "" {
-		plan, err := fault.Parse(*faultSpec)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "apbench:", err)
-			os.Exit(1)
+	seedSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "fault-seed" {
+			seedSet = true
 		}
-		if *faultSeed != 0 {
-			plan.Seed = *faultSeed
-		}
-		apps.Fault = plan
+	})
+	plan, err := faultPlanFromFlags(*faultSpec, *faultSeed, seedSet)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apbench:", err)
+		os.Exit(1)
 	}
+	apps.Fault = plan
 
 	stopProf, err := obs.StartProfiles(*cpuprofile, *memprofile)
 	if err != nil {
@@ -97,7 +104,7 @@ func main() {
 		}
 	}
 
-	err = run(*experiment, *quick, *size, *distance, *only, *metrics, *metricsJSON, *batchJSON, *dsmCacheJSON, *atomicsJSON, *pgasJSON, *scaleJSON)
+	err = run(*experiment, *quick, *size, *distance, *only, *metrics, *metricsJSON, *batchJSON, *dsmCacheJSON, *atomicsJSON, *pgasJSON, *scaleJSON, *tenancyJSON)
 	if err == nil && *timeline != "" {
 		err = writeTimeline(*timeline, parts)
 	}
@@ -108,6 +115,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, "apbench:", err)
 		os.Exit(1)
 	}
+}
+
+// faultPlanFromFlags resolves -fault and -fault-seed into a plan.
+// seedSet reports whether -fault-seed appeared on the command line at
+// all (flag.Visit), so an explicit seed of 0 is honored and a seed
+// without a plan is an error instead of being silently ignored.
+func faultPlanFromFlags(spec string, seed int64, seedSet bool) (*fault.Plan, error) {
+	if spec == "" {
+		if seedSet {
+			return nil, fmt.Errorf("-fault-seed requires -fault")
+		}
+		return nil, nil
+	}
+	plan, err := fault.Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	if seedSet {
+		plan.Seed = seed
+	}
+	return plan, nil
 }
 
 // writeTimeline writes all collected per-app timelines as one merged
@@ -141,9 +169,12 @@ type appMetrics struct {
 	Metrics *machine.Metrics
 }
 
-func run(experiment string, quick bool, size int64, distance int, only string, metrics bool, metricsJSON, batchJSON, dsmCacheJSON, atomicsJSON, pgasJSON, scaleJSON string) error {
+func run(experiment string, quick bool, size int64, distance int, only string, metrics bool, metricsJSON, batchJSON, dsmCacheJSON, atomicsJSON, pgasJSON, scaleJSON, tenancyJSON string) error {
 	if experiment == "batch" {
 		return runBatch(os.Stdout, quick, batchJSON)
+	}
+	if experiment == "tenancy" {
+		return runTenancy(os.Stdout, quick, tenancyJSON)
 	}
 	if experiment == "scale" {
 		return runScale(os.Stdout, quick, scaleJSON)

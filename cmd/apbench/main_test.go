@@ -10,26 +10,26 @@ import (
 // covered at -quick scale.
 func TestRunCheapExperiments(t *testing.T) {
 	for _, exp := range []string{"specs", "params", "fig7"} {
-		if err := run(exp, true, 256, 2, "", false, "", "", "", "", "", ""); err != nil {
+		if err := run(exp, true, 256, 2, "", false, "", "", "", "", "", "", ""); err != nil {
 			t.Errorf("run(%s): %v", exp, err)
 		}
 	}
 }
 
 func TestRunQuickTable2SingleApp(t *testing.T) {
-	if err := run("table2", true, 0, 0, "EP", false, "", "", "", "", "", ""); err != nil {
+	if err := run("table2", true, 0, 0, "EP", false, "", "", "", "", "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunQuickStride(t *testing.T) {
-	if err := run("stride", true, 0, 0, "", false, "", "", "", "", "", ""); err != nil {
+	if err := run("stride", true, 0, 0, "", false, "", "", "", "", "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("bogus", true, 0, 0, "", false, "", "", "", "", "", ""); err == nil {
+	if err := run("bogus", true, 0, 0, "", false, "", "", "", "", "", "", ""); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
@@ -39,7 +39,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 // messages than the uncached baseline.
 func TestRunQuickDSMCache(t *testing.T) {
 	path := t.TempDir() + "/dsmcache.json"
-	if err := run("dsmcache", true, 0, 0, "", false, "", "", path, "", "", ""); err != nil {
+	if err := run("dsmcache", true, 0, 0, "", false, "", "", path, "", "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -72,7 +72,7 @@ func TestRunQuickDSMCache(t *testing.T) {
 // O(log n) reduction the combining tree exists for.
 func TestRunQuickAtomics(t *testing.T) {
 	path := t.TempDir() + "/atomics.json"
-	if err := run("atomics", true, 0, 0, "", false, "", "", "", path, "", ""); err != nil {
+	if err := run("atomics", true, 0, 0, "", false, "", "", "", path, "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -110,7 +110,7 @@ func TestRunQuickAtomics(t *testing.T) {
 // exstack exchange exists for.
 func TestRunQuickPGAS(t *testing.T) {
 	path := t.TempDir() + "/pgas.json"
-	if err := run("pgas", true, 0, 0, "", false, "", "", "", "", path, ""); err != nil {
+	if err := run("pgas", true, 0, 0, "", false, "", "", "", "", path, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -144,7 +144,7 @@ func TestRunQuickPGAS(t *testing.T) {
 // -quick scale.
 func TestRunQuickScale(t *testing.T) {
 	path := t.TempDir() + "/scale.json"
-	if err := run("scale", true, 0, 0, "", false, "", "", "", "", "", path); err != nil {
+	if err := run("scale", true, 0, 0, "", false, "", "", "", "", "", path, ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -179,7 +179,7 @@ func TestRunQuickScale(t *testing.T) {
 // including the JSON report.
 func TestRunQuickBatch(t *testing.T) {
 	path := t.TempDir() + "/batch.json"
-	if err := run("batch", true, 0, 0, "", false, "", path, "", "", "", ""); err != nil {
+	if err := run("batch", true, 0, 0, "", false, "", path, "", "", "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -200,6 +200,88 @@ func TestRunQuickBatch(t *testing.T) {
 		}
 		if b.Commands >= s.Commands {
 			t.Errorf("%s: batched issued %d commands, single %d — no drop", s.Workload, b.Commands, s.Commands)
+		}
+	}
+}
+
+// TestFaultPlanFromFlags pins the -fault/-fault-seed contract: a seed
+// without a plan is an error (not silently ignored), and an explicit
+// seed — including 0, which the old sentinel check could never apply —
+// overrides the plan's.
+func TestFaultPlanFromFlags(t *testing.T) {
+	if _, err := faultPlanFromFlags("", 7, true); err == nil {
+		t.Error("-fault-seed without -fault must be an error")
+	}
+	if plan, err := faultPlanFromFlags("", 0, false); err != nil || plan != nil {
+		t.Errorf("no flags: plan=%v err=%v, want nil/nil", plan, err)
+	}
+	plan, err := faultPlanFromFlags("drop=0.01,seed=5", 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Seed != 0 {
+		t.Errorf("explicit -fault-seed 0: plan seed = %d, want 0", plan.Seed)
+	}
+	if plan, err = faultPlanFromFlags("drop=0.01,seed=5", 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Seed != 5 {
+		t.Errorf("no -fault-seed: plan seed = %d, want the spec's 5", plan.Seed)
+	}
+	if plan, err = faultPlanFromFlags("drop=0.01,seed=5", 42, true); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Seed != 42 {
+		t.Errorf("-fault-seed 42: plan seed = %d, want 42", plan.Seed)
+	}
+	if _, err := faultPlanFromFlags("not-a-spec", 0, false); err == nil {
+		t.Error("bad spec must be an error")
+	}
+}
+
+// TestRunQuickTenancy covers the multi-tenant experiment end to end:
+// both -quick partition counts appear, each configuration has one row
+// per tenant, the jobs add up, and the latency numbers are sane
+// (p99 >= p50 > 0, positive throughput).
+func TestRunQuickTenancy(t *testing.T) {
+	path := t.TempDir() + "/tenancy.json"
+	if err := run("tenancy", true, 0, 0, "", false, "", "", "", "", "", "", path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []tenancyRow
+	if err := json.Unmarshal(data, &rows); err != nil {
+		t.Fatal(err)
+	}
+	perK := map[int][]tenancyRow{}
+	for _, r := range rows {
+		perK[r.Partitions] = append(perK[r.Partitions], r)
+	}
+	if len(perK[2]) != 2 || len(perK[4]) != 4 {
+		t.Fatalf("rows per partition count = {2:%d, 4:%d}, want one row per tenant", len(perK[2]), len(perK[4]))
+	}
+	for _, r := range rows {
+		if r.Jobs <= 0 {
+			t.Errorf("partitions=%d tenant %d: %d jobs", r.Partitions, r.Tenant, r.Jobs)
+		}
+		if r.P50Ms <= 0 || r.P99Ms < r.P50Ms {
+			t.Errorf("partitions=%d tenant %d: p50=%.3f p99=%.3f, want p99 >= p50 > 0",
+				r.Partitions, r.Tenant, r.P50Ms, r.P99Ms)
+		}
+		if r.JobsPerSec <= 0 {
+			t.Errorf("partitions=%d tenant %d: jobs/sec = %.1f", r.Partitions, r.Tenant, r.JobsPerSec)
+		}
+	}
+	for k, rs := range perK {
+		total := 0
+		for _, r := range rs {
+			total += r.Jobs
+		}
+		if total != 160 {
+			t.Errorf("partitions=%d: jobs sum to %d, want 160", k, total)
 		}
 	}
 }

@@ -18,17 +18,18 @@ const (
 	sendrecvPkg = "ap1000plus/internal/sendrecv"
 	barrierPkg  = "ap1000plus/internal/barrier"
 	pgasPkg     = "ap1000plus/internal/pgas"
+	tenancyPkg  = "ap1000plus/internal/tenancy"
 )
 
 // transferPrims issue one transfer described by a core.Transfer first
 // argument; the value is the verb used in findings.
 var transferPrims = map[string]string{
-	"(*" + corePkg + ".Comm).Put":               "Put",
-	"(*" + corePkg + ".Comm).Get":               "Get",
-	"(*" + corePkg + ".CommandList).Put":        "Put",
-	"(*" + corePkg + ".CommandList).Get":        "Get",
-	"(*" + corePkg + ".CommandList).PutStride":  "PutStride",
-	"(*" + corePkg + ".CommandList).GetStride":  "GetStride",
+	"(*" + corePkg + ".Comm).Put":              "Put",
+	"(*" + corePkg + ".Comm).Get":              "Get",
+	"(*" + corePkg + ".CommandList).Put":       "Put",
+	"(*" + corePkg + ".CommandList).Get":       "Get",
+	"(*" + corePkg + ".CommandList).PutStride": "PutStride",
+	"(*" + corePkg + ".CommandList).GetStride": "GetStride",
 }
 
 // positionalPrims issue one transfer with positional flag/ack
@@ -71,17 +72,17 @@ var selfSyncPrims = map[string]bool{
 // the set handlerblock forbids on delivery paths. The value is the
 // short name used in findings.
 var blockingPrims = map[string]string{
-	"(*" + mcPkg + ".Flags).Wait":              "Flags.Wait",
-	"(*" + mcPkg + ".CommRegs).Load32":         "CommRegs.Load32",
-	"(*" + mcPkg + ".CommRegs).Load64":         "CommRegs.Load64",
-	"(*" + corePkg + ".Comm).WaitFlag":         "Comm.WaitFlag",
-	"(*" + corePkg + ".Comm).AckWait":          "Comm.AckWait",
-	"(*" + corePkg + ".Comm).ReadRemote":       "Comm.ReadRemote",
-	"(*" + corePkg + ".Comm).Barrier":          "Comm.Barrier",
-	"(*" + machinePkg + ".Cell).LoadCreg32":    "Cell.LoadCreg32",
-	"(*" + machinePkg + ".Cell).LoadCreg64":    "Cell.LoadCreg64",
-	"(*" + machinePkg + ".Cell).HWBarrier":     "Cell.HWBarrier",
-	"(*" + machinePkg + ".Cell).RemoteLoad":    "Cell.RemoteLoad",
+	"(*" + mcPkg + ".Flags).Wait":                  "Flags.Wait",
+	"(*" + mcPkg + ".CommRegs).Load32":             "CommRegs.Load32",
+	"(*" + mcPkg + ".CommRegs).Load64":             "CommRegs.Load64",
+	"(*" + corePkg + ".Comm).WaitFlag":             "Comm.WaitFlag",
+	"(*" + corePkg + ".Comm).AckWait":              "Comm.AckWait",
+	"(*" + corePkg + ".Comm).ReadRemote":           "Comm.ReadRemote",
+	"(*" + corePkg + ".Comm).Barrier":              "Comm.Barrier",
+	"(*" + machinePkg + ".Cell).LoadCreg32":        "Cell.LoadCreg32",
+	"(*" + machinePkg + ".Cell).LoadCreg64":        "Cell.LoadCreg64",
+	"(*" + machinePkg + ".Cell).HWBarrier":         "Cell.HWBarrier",
+	"(*" + machinePkg + ".Cell).RemoteLoad":        "Cell.RemoteLoad",
 	"(*" + machinePkg + ".Cell).RemoteLoadCaching": "Cell.RemoteLoadCaching",
 	"(*" + machinePkg + ".Cell).RecvBroadcast":     "Cell.RecvBroadcast",
 	"(*" + machinePkg + ".Cell).FenceRemoteStores": "Cell.FenceRemoteStores",
@@ -98,39 +99,52 @@ var blockingPrims = map[string]string{
 	// atomic fence blocks for outstanding acknowledgements; the
 	// non-fetching updates (AtomicAdd/Min/Max) are fire-and-forget and
 	// deliberately absent.
-	"(*" + machinePkg + ".Cell).FetchAdd":          "Cell.FetchAdd",
-	"(*" + machinePkg + ".Cell).CompareAndSwap":    "Cell.CompareAndSwap",
-	"(*" + machinePkg + ".Cell).Swap":              "Cell.Swap",
-	"(*" + machinePkg + ".Cell).FenceAtomics":      "Cell.FenceAtomics",
-	"(*" + corePkg + ".Comm).FetchAdd":             "Comm.FetchAdd",
-	"(*" + corePkg + ".Comm).CompareAndSwap":       "Comm.CompareAndSwap",
-	"(*" + corePkg + ".Comm).Swap":                 "Comm.Swap",
-	"(*" + corePkg + ".Comm).FenceAtomics":         "Comm.FenceAtomics",
+	"(*" + machinePkg + ".Cell).FetchAdd":       "Cell.FetchAdd",
+	"(*" + machinePkg + ".Cell).CompareAndSwap": "Cell.CompareAndSwap",
+	"(*" + machinePkg + ".Cell).Swap":           "Cell.Swap",
+	"(*" + machinePkg + ".Cell).FenceAtomics":   "Cell.FenceAtomics",
+	"(*" + corePkg + ".Comm).FetchAdd":          "Comm.FetchAdd",
+	"(*" + corePkg + ".Comm).CompareAndSwap":    "Comm.CompareAndSwap",
+	"(*" + corePkg + ".Comm).Swap":              "Comm.Swap",
+	"(*" + corePkg + ".Comm).FenceAtomics":      "Comm.FenceAtomics",
 	// PGAS layer: puts can stall on the staging ring, gets and the
 	// fetching atomics wait for the remote word, the bulk movers wait
 	// per chunk, and the collectives are barriers. The aggregated
 	// Put/Add/Min/Max/Get/FetchAdd only queue (split-phase) and are
 	// deliberately absent — Advance and Flush are where they block.
-	"(*" + pgasPkg + ".PE).PutInt64":               "PE.PutInt64",
-	"(*" + pgasPkg + ".PE).GetInt64":               "PE.GetInt64",
-	"(*" + pgasPkg + ".PE).PutMem":                 "PE.PutMem",
-	"(*" + pgasPkg + ".PE).GetMem":                 "PE.GetMem",
-	"(*" + pgasPkg + ".PE).ReadAll":                "PE.ReadAll",
-	"(*" + pgasPkg + ".PE).FetchAdd":               "PE.FetchAdd",
-	"(*" + pgasPkg + ".PE).CompareAndSwap":         "PE.CompareAndSwap",
-	"(*" + pgasPkg + ".PE).Swap":                   "PE.Swap",
-	"(*" + pgasPkg + ".PE).Fence":                  "PE.Fence",
-	"(*" + pgasPkg + ".PE).Barrier":                "PE.Barrier",
-	"(*" + pgasPkg + ".PE).ReduceAdd":              "PE.ReduceAdd",
-	"(*" + pgasPkg + ".PE).ReduceMax":              "PE.ReduceMax",
-	"(*" + pgasPkg + ".PE).ReduceMin":              "PE.ReduceMin",
-	"(*" + pgasPkg + ".PE).ReduceAddInt64":         "PE.ReduceAddInt64",
-	"(*" + pgasPkg + ".PE).ReduceMinInt64":         "PE.ReduceMinInt64",
-	"(*" + pgasPkg + ".PE).ReduceMaxInt64":         "PE.ReduceMaxInt64",
-	"(*" + pgasPkg + ".PE).ScanAddInt64":           "PE.ScanAddInt64",
-	"(*" + pgasPkg + ".PE).Broadcast":              "PE.Broadcast",
-	"(*" + pgasPkg + ".AggPE).Advance":             "AggPE.Advance",
-	"(*" + pgasPkg + ".AggPE).Flush":               "AggPE.Flush",
+	"(*" + pgasPkg + ".PE).PutInt64":       "PE.PutInt64",
+	"(*" + pgasPkg + ".PE).GetInt64":       "PE.GetInt64",
+	"(*" + pgasPkg + ".PE).PutMem":         "PE.PutMem",
+	"(*" + pgasPkg + ".PE).GetMem":         "PE.GetMem",
+	"(*" + pgasPkg + ".PE).ReadAll":        "PE.ReadAll",
+	"(*" + pgasPkg + ".PE).FetchAdd":       "PE.FetchAdd",
+	"(*" + pgasPkg + ".PE).CompareAndSwap": "PE.CompareAndSwap",
+	"(*" + pgasPkg + ".PE).Swap":           "PE.Swap",
+	"(*" + pgasPkg + ".PE).Fence":          "PE.Fence",
+	"(*" + pgasPkg + ".PE).Barrier":        "PE.Barrier",
+	"(*" + pgasPkg + ".PE).ReduceAdd":      "PE.ReduceAdd",
+	"(*" + pgasPkg + ".PE).ReduceMax":      "PE.ReduceMax",
+	"(*" + pgasPkg + ".PE).ReduceMin":      "PE.ReduceMin",
+	"(*" + pgasPkg + ".PE).ReduceAddInt64": "PE.ReduceAddInt64",
+	"(*" + pgasPkg + ".PE).ReduceMinInt64": "PE.ReduceMinInt64",
+	"(*" + pgasPkg + ".PE).ReduceMaxInt64": "PE.ReduceMaxInt64",
+	"(*" + pgasPkg + ".PE).ScanAddInt64":   "PE.ScanAddInt64",
+	"(*" + pgasPkg + ".PE).Broadcast":      "PE.Broadcast",
+	"(*" + pgasPkg + ".AggPE).Advance":     "AggPE.Advance",
+	"(*" + pgasPkg + ".AggPE).Flush":       "AggPE.Flush",
+	// Multi-tenant layer: the machine lifecycle and the gang
+	// scheduler's synchronization surface all park the caller until
+	// other goroutines make progress — a job's cells (RunJob/Run), the
+	// drain doorbell (Close), a granted partition (Ticket.Wait), or
+	// the whole queue (Drain/Close/LoadGen.Run; LoadGen.Run has a
+	// value receiver, hence no pointer in its full name).
+	"(*" + machinePkg + ".Machine).Run":     "Machine.Run",
+	"(*" + machinePkg + ".Machine).RunJob":  "Machine.RunJob",
+	"(*" + machinePkg + ".Machine).Close":   "Machine.Close",
+	"(*" + tenancyPkg + ".Ticket).Wait":     "Ticket.Wait",
+	"(*" + tenancyPkg + ".Scheduler).Drain": "Scheduler.Drain",
+	"(*" + tenancyPkg + ".Scheduler).Close": "Scheduler.Close",
+	"(" + tenancyPkg + ".LoadGen).Run":      "LoadGen.Run",
 }
 
 // cellCountPrims return the machine's cell count — the P of the
@@ -146,10 +160,10 @@ var cellCountPrims = map[string]bool{
 
 // rawMemPrims bypass the MSC+ command queues.
 var rawMemPrims = map[string]string{
-	memPkg + ".Copy":                     "mem.Copy",
-	memPkg + ".CopyStride":               "mem.CopyStride",
-	memPkg + ".CapturePayload":           "mem.CapturePayload",
-	"(*" + memPkg + ".Payload).Deliver":  "Payload.Deliver",
+	memPkg + ".Copy":                    "mem.Copy",
+	memPkg + ".CopyStride":              "mem.CopyStride",
+	memPkg + ".CapturePayload":          "mem.CapturePayload",
+	"(*" + memPkg + ".Payload).Deliver": "Payload.Deliver",
 }
 
 // bannedIssueNames are the retired positional-wrapper names. The

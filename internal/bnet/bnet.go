@@ -58,6 +58,11 @@ type Network struct {
 	inj      *fault.Injector
 	class    int
 	attempts int
+	// partOf, when non-nil, maps each cell to its machine partition: a
+	// cell-originated broadcast is snooped only inside the sender's
+	// partition (the bus is segmented per partition under multi-user
+	// operation). Host-originated traffic still reaches every cell.
+	partOf []int32
 }
 
 // New builds a B-net for n cells.
@@ -95,18 +100,35 @@ func (n *Network) SetFault(inj *fault.Injector, class, attempts int) {
 	n.attempts = attempts
 }
 
-// Broadcast delivers m to every cell (including the sender, matching
-// the bus: every BIF snoops the medium). Broadcasts are globally
-// ordered — the bus carries one message at a time. It returns the
-// number of cells the message could NOT be delivered to within the
-// retry budget: always 0 without a fault plan.
+// SetPartitions installs the cell→partition map; nil restores the
+// single-segment bus. Install before traffic flows.
+func (n *Network) SetPartitions(of []int32) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if of != nil && len(of) != n.cells {
+		panic(fmt.Sprintf("bnet: partition map covers %d cells of %d", len(of), n.cells))
+	}
+	n.partOf = of
+}
+
+// Broadcast delivers m to every cell of the sender's partition
+// (including the sender, matching the bus: every BIF on the segment
+// snoops the medium); without a partition map, to every cell.
+// Broadcasts are globally ordered — the bus carries one message at a
+// time. It returns the number of cells the message could NOT be
+// delivered to within the retry budget: always 0 without a fault plan.
 func (n *Network) Broadcast(m Message) int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.stats.Broadcasts++
 	n.stats.Bytes += m.Payload.Size()
+	src := int(m.Src)
+	scoped := n.partOf != nil && src >= 0 && src < len(n.partOf)
 	failed := 0
 	for id, h := range n.handlers {
+		if scoped && n.partOf[id] != n.partOf[src] {
+			continue
+		}
 		if h == nil {
 			panic(fmt.Sprintf("bnet: cell %d has no handler", id))
 		}

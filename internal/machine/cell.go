@@ -24,6 +24,9 @@ type MessageSink func(port int32, src topology.CellID, payload *mem.Payload)
 type Cell struct {
 	id      topology.CellID
 	machine *Machine
+	// part is the partition the cell belongs to; its quiesce counter
+	// tracks this cell's in-flight work for the partition drain.
+	part *Partition
 
 	// Mem is the cell's DRAM.
 	Mem *mem.Space
@@ -113,6 +116,7 @@ func newCell(m *Machine, id topology.CellID) (*Cell, error) {
 	c := &Cell{
 		id:      id,
 		machine: m,
+		part:    m.parts[m.partOf[id]],
 		Mem:     space,
 		MMU:     mc.NewMMU(mc.DefaultTLB),
 		Flags:   mc.NewFlags(),
@@ -132,12 +136,14 @@ func newCell(m *Machine, id topology.CellID) (*Cell, error) {
 	if m.ts != nil {
 		c.rec = trace.NewRecorder()
 	}
-	if s := m.san; s != nil {
+	if m.cfg.Sanitize {
 		// Flag waits run on the owning cell's program goroutine; a
 		// satisfied wait acquires everything released into the flag.
-		cpu := s.CPU(int(id))
+		// The sanitizer is read through the machine on every wait:
+		// Open rebuilds it for each epoch of a reopened machine.
 		c.Flags.SetWaitObserver(func(f mc.FlagID) {
-			s.FlagWaited(cpu, int(id), int32(f))
+			s := m.san
+			s.FlagWaited(s.CPU(int(id)), int(id), int32(f))
 		})
 	}
 	if o := m.obs; o != nil {
@@ -243,7 +249,8 @@ func (c *Cell) SetMessageSink(s MessageSink) {
 	c.sink = s
 }
 
-// HWBarrier arrives at the S-net all-cells hardware barrier.
+// HWBarrier arrives at the cell's partition-wide S-net hardware
+// barrier (all cells of the machine when it is unpartitioned).
 func (c *Cell) HWBarrier() {
 	var start time.Time
 	o := c.machine.obs
@@ -253,10 +260,10 @@ func (c *Cell) HWBarrier() {
 	if s := c.machine.san; s != nil {
 		cpu := s.CPU(int(c.id))
 		tok := s.BarrierArrive(cpu)
-		c.machine.snet.Arrive()
+		c.machine.snet.Arrive(int(c.id))
 		s.BarrierDone(cpu, tok)
 	} else {
-		c.machine.snet.Arrive()
+		c.machine.snet.Arrive(int(c.id))
 	}
 	if o != nil {
 		d := time.Since(start)
@@ -270,9 +277,10 @@ func (c *Cell) HWBarrier() {
 	}
 }
 
-// push routes a command into this cell's MSC, tracking it for drain.
+// push routes a command into this cell's MSC, tracking it on the
+// cell's partition for drain.
 func (c *Cell) push(kind queueKind, cmd msc.Command) {
-	c.machine.inflight.Add(1)
+	c.part.q.add(1)
 	switch kind {
 	case qUser:
 		c.MSC.PushUser(cmd)
@@ -389,7 +397,7 @@ func (c *Cell) PushUserBatch(cmds []msc.Command) {
 		}
 	}
 	c.obsIssueBatch(cmds)
-	c.machine.inflight.Add(int64(len(cmds)))
+	c.part.q.add(int64(len(cmds)))
 	c.MSC.PushUserBatch(cmds)
 }
 
@@ -584,6 +592,42 @@ func (c *Cell) RemoteStoresIssued() int64 { return c.rstores.Load() }
 // cell so far has been acknowledged by its destination MSC+.
 func (c *Cell) FenceRemoteStores() {
 	c.Flags.Wait(mc.RemoteAckFlagID, c.rstores.Load())
+}
+
+// resetJob clears job-scoped state between gang-scheduled jobs, so
+// the second job on a partition starts from the same architectural
+// state a fresh machine would give it: the flag file, communication
+// registers, message sink, pending remote loads, broadcast inbox,
+// pending atomics, fence counters, DSM hooks and the OS logs.
+// Machine-lifetime state survives — memory segments and MMU mappings
+// (the OS does not scrub DRAM between jobs), cumulative metrics
+// counters, and trace recorders. Only called with the partition idle:
+// no job running, communication fully drained.
+func (c *Cell) resetJob() {
+	c.Flags.ResetAll()
+	c.Cregs.Clear()
+	c.sinkMu.Lock()
+	c.sink = nil
+	c.sinkMu.Unlock()
+	c.loadMu.Lock()
+	for tag := range c.loads {
+		delete(c.loads, tag)
+	}
+	c.loadSeq = 0
+	c.loadMu.Unlock()
+	c.bcastMu.Lock()
+	c.bcasts = nil
+	c.bcastMu.Unlock()
+	c.atomicMu.Lock()
+	for tag := range c.atomicWait {
+		delete(c.atomicWait, tag)
+	}
+	c.atomicSeq = 0
+	c.atomicMu.Unlock()
+	c.rstores.Store(0)
+	c.atoms.Store(0)
+	c.dsmHooks.Store(nil)
+	c.OS.reset()
 }
 
 // SanRead records a CPU-context read of local memory with the

@@ -33,8 +33,12 @@ func (m *Machine) controller(c *Cell) {
 		}
 		for i := 0; i < n; i++ {
 			m.process(c, buf[i])
-			m.inflight.Add(-1)
 		}
+		// Uncount the batch only after every command in it processed:
+		// the partition's quiesce counter must never read zero while a
+		// command is still executing (work a command spawns is counted
+		// before its own decrement lands).
+		c.part.q.add(-int64(n))
 	}
 }
 

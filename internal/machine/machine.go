@@ -14,7 +14,6 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"ap1000plus/internal/apsan"
 	"ap1000plus/internal/bnet"
@@ -128,6 +127,15 @@ type Config struct {
 	// the reference MutexLinks (differential testing of the link
 	// layer; delivery semantics are identical).
 	MutexLinks bool
+	// Partitions splits the machine into this many equal contiguous
+	// cell partitions — the paper's partitioned multi-user operation.
+	// Each partition is a gang-scheduling unit with disjoint T-net
+	// routing (a cross-partition send panics), a B-net segment scoped
+	// to the sender's partition, its own S-net barrier domain, and an
+	// independent quiesce/drain domain so concurrent jobs never wait
+	// on each other. 0 (or 1) runs the classic single-partition
+	// machine.
+	Partitions int
 }
 
 func (c *Config) fill() error {
@@ -155,6 +163,18 @@ func (c *Config) fill() error {
 	if c.Wire == WireMutex && c.MutexLinks {
 		return fmt.Errorf("machine: MutexLinks conflicts with the mutex wire (it has no links)")
 	}
+	if c.Partitions < 0 {
+		return fmt.Errorf("machine: negative partition count %d", c.Partitions)
+	}
+	if c.Partitions == 0 {
+		c.Partitions = 1
+	}
+	if c.Partitions > 1 && c.Sanitize {
+		return fmt.Errorf("machine: Sanitize requires a single partition (apsan models the all-cells barrier)")
+	}
+	if c.Partitions > 1 && c.Combining {
+		return fmt.Errorf("machine: Combining requires a single partition (the combining tree spans the machine)")
+	}
 	return nil
 }
 
@@ -164,17 +184,27 @@ type Machine struct {
 	torus *topology.Torus
 	tnet  *tnet.Network
 	bnet  *bnet.Network
-	snet  *snet.Barrier
+	snet  *snet.Domains
 	cells []*Cell
 
-	inflight atomic.Int64 // commands pushed but not fully processed
-	ran      atomic.Bool
-	ts       *trace.TraceSet
-	san      *apsan.Sanitizer
-	obs      *obs.Observer
-	rel      *relay         // reliable delivery; nil without Config.Fault
-	comb     *tnet.Combiner // in-network combining; nil without Config.Combining
-	pool     *workerPool    // sharded delivery workers; nil on WireMutex
+	// parts are the machine's gang-scheduling units; partOf maps each
+	// cell to its partition index. Always at least one partition.
+	parts  []*Partition
+	partOf []int32
+
+	// lifeMu guards the Open/Close lifecycle; ctlWG tracks the
+	// delivery workers (or per-cell controllers) of the current epoch.
+	lifeMu  sync.Mutex
+	opened  bool
+	everRan bool
+	ctlWG   sync.WaitGroup
+
+	ts   *trace.TraceSet
+	san  *apsan.Sanitizer
+	obs  *obs.Observer
+	rel  *relay         // reliable delivery; nil without Config.Fault
+	comb *tnet.Combiner // in-network combining; nil without Config.Combining
+	pool *workerPool    // sharded delivery workers; nil on WireMutex
 	// asyncWire marks the tnet ring wire active: packets may be
 	// delivered on the destination shard's worker after Send returns,
 	// so senders transfer payload ownership (FreeOnDeliver) instead of
@@ -202,7 +232,9 @@ func New(cfg Config) (*Machine, error) {
 		torus: torus,
 		tnet:  tnet.New(torus),
 		bnet:  bnet.New(torus.Cells()),
-		snet:  snet.New(torus.Cells()),
+	}
+	if err := m.buildPartitions(torus, cfg.Partitions); err != nil {
+		return nil, err
 	}
 	m.groups = []*topology.Group{topology.AllCells(torus)}
 	if cfg.Combining {
@@ -260,10 +292,16 @@ func New(cfg Config) (*Machine, error) {
 		// Send's per-attempt verdict, and the sanitizer's logical
 		// clocks assume one cell's packets deliver serially, so either
 		// keeps the transport synchronous (workers and MSC rings stay).
-		m.tnet.SetRingWire(m.pool.shards(), ringLinkCap, m.pool.wake, cfg.MutexLinks)
+		m.tnet.SetRingWire(m.pool.shards(), ringLinkCap, m.pool.wake, cfg.MutexLinks, m.trackWire)
 		m.asyncWire = true
 	}
 	return m, nil
+}
+
+// trackWire charges a cross-shard ring-wire packet to its destination
+// partition's quiesce counter: +1 before enqueue, -1 after delivery.
+func (m *Machine) trackWire(dst topology.CellID, delta int64) {
+	m.parts[m.partOf[dst]].q.add(delta)
 }
 
 // ringShards picks the delivery-worker count for the ring wire.
@@ -296,7 +334,8 @@ func (m *Machine) TNetStats() tnet.Stats { return m.tnet.Stats() }
 // BNetStats reports broadcast network statistics.
 func (m *Machine) BNetStats() bnet.Stats { return m.bnet.Stats() }
 
-// Barriers reports how many all-cell hardware barriers completed.
+// Barriers reports how many hardware barriers completed, summed over
+// every partition's S-net domain.
 func (m *Machine) Barriers() int64 { return m.snet.Count() }
 
 // Observer returns the observability context, or nil when neither
@@ -351,82 +390,35 @@ func (m *Machine) Trace() *trace.TraceSet {
 	return m.ts
 }
 
-// Run executes program SPMD: one goroutine per cell, plus one message
-// controller goroutine per cell. It returns after every cell's
-// program finished AND all in-flight communication drained, mirroring
-// a job completing on the machine. The first program error (or
-// panic, converted) is returned; faults taken by the hardware are
-// left in each cell's OS log.
+// Run executes program SPMD: one goroutine per cell, plus the
+// delivery engine (sharded workers or one controller goroutine per
+// cell). It returns after every cell's program finished AND all
+// in-flight communication drained, mirroring a job completing on the
+// machine. On a partitioned machine every partition runs the program
+// concurrently as its own job. Sequential Run calls on one machine
+// are legal: job-scoped cell state resets between jobs (memory
+// segments persist — see RunJob). The first program error (or panic,
+// converted) is returned; faults taken by the hardware are left in
+// each cell's OS log.
 func (m *Machine) Run(program func(c *Cell) error) error {
-	if !m.ran.CompareAndSwap(false, true) {
-		return fmt.Errorf("machine: Run called twice (a machine instance executes one job; build a new Machine)")
+	if err := m.Open(); err != nil {
+		return err
 	}
-	var ctlWG sync.WaitGroup
-	if m.pool != nil {
-		m.pool.start(&ctlWG)
-	} else {
-		for _, c := range m.cells {
-			ctlWG.Add(1)
-			go func(c *Cell) {
-				defer ctlWG.Done()
-				m.controller(c)
-			}(c)
-		}
+	errs := make([]error, len(m.parts))
+	var wg sync.WaitGroup
+	for i := range m.parts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = m.RunJob(i, program)
+		}(i)
 	}
-
-	errs := make([]error, len(m.cells))
-	var cpuWG sync.WaitGroup
-	for i, c := range m.cells {
-		cpuWG.Add(1)
-		go func(i int, c *Cell) {
-			defer cpuWG.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					buf := make([]byte, 8192)
-					n := runtime.Stack(buf, false)
-					errs[i] = fmt.Errorf("machine: cell %d panic: %v\n%s", c.id, r, buf[:n])
-				}
-			}()
-			errs[i] = program(c)
-		}(i, c)
-	}
-	cpuWG.Wait()
-
-	// Drain: wait for all queued and chained commands to complete,
-	// then stop the controllers. Under a fault plan, reordered packets
-	// held in limbo are flushed once the machine is quiescent; a flush
-	// can queue new commands (a late GET request), so drain again until
-	// nothing is held.
-	for {
-		// On the async ring wire a packet can still be in a link after
-		// the command that sent it finished, so quiescence is both
-		// counters at zero (PendingPackets is decremented only after a
-		// delivery's handler returns, closing the window between them).
-		for m.inflight.Load() != 0 || m.tnet.PendingPackets() != 0 {
-			runtime.Gosched()
-		}
-		if m.rel == nil || m.tnet.FlushHeld() == 0 {
-			break
-		}
-	}
-	if m.rel != nil {
-		// Quiescent: collapse the dedup holes left by abandoned
-		// (retry-budget-exhausted) packets so the per-link seen windows
-		// drain to empty instead of growing for the rest of the run.
-		m.rel.reconcile()
-	}
-	for _, c := range m.cells {
-		c.MSC.Close()
-	}
-	if m.pool != nil {
-		m.pool.close()
-	}
-	ctlWG.Wait()
-
+	wg.Wait()
+	closeErr := m.Close()
 	for _, err := range errs {
 		if err != nil {
 			return err
 		}
 	}
-	return nil
+	return closeErr
 }

@@ -526,13 +526,28 @@ func BenchmarkPutRoundTrip(b *testing.B) {
 	}
 }
 
-func TestRunTwiceRejected(t *testing.T) {
+// TestRunSequentialLegal pins the reusable-machine contract: back-to-
+// back Run calls on one machine succeed (the gang scheduler reuses
+// machines across jobs), while concurrent Run calls still collide on
+// the open latch.
+func TestRunSequentialLegal(t *testing.T) {
 	m := newMachine(t, Config{})
-	if err := m.Run(func(c *Cell) error { return nil }); err != nil {
+	for job := 0; job < 3; job++ {
+		if err := m.Run(func(c *Cell) error { return nil }); err != nil {
+			t.Fatalf("run %d: %v", job, err)
+		}
+	}
+	if err := m.Open(); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Run(func(c *Cell) error { return nil }); err == nil {
-		t.Fatal("second Run must be rejected")
+	if err := m.Open(); err == nil {
+		t.Fatal("double Open must be rejected")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err == nil {
+		t.Fatal("double Close must be rejected")
 	}
 }
 

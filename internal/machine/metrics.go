@@ -35,7 +35,9 @@ type Metrics struct {
 	Cells []CellMetrics
 	TNet  tnet.Stats
 	BNet  bnet.Stats
-	// HWBarriers counts completed all-cell S-net barriers.
+	// HWBarriers counts completed S-net barriers, summed over every
+	// partition's barrier domain (one domain on an unpartitioned
+	// machine).
 	HWBarriers int64
 	// WallNanos is wall-clock time since machine construction.
 	WallNanos int64
@@ -75,6 +77,45 @@ func (m *Machine) Metrics() Metrics {
 		cm := &mt.Cells[i]
 		if m.obs != nil {
 			cm.CellSnapshot = m.obs.Cell(i).Snapshot()
+		}
+		cm.Queues = c.MSC.Stats()
+		cm.OSInterrupts = c.OS.InterruptCounts()
+		cm.FlagIncrements = c.Flags.Increments()
+		cm.CacheInvalidations = c.CacheInvalidations()
+	}
+	if m.rel != nil {
+		t := mt.Totals()
+		mt.Fault = &FaultMetrics{
+			Stats:           m.rel.inj.Stats(),
+			Retransmits:     t.Retransmits,
+			BackoffNanos:    t.BackoffNanos,
+			Dedups:          t.Dedups,
+			CorruptDetected: t.CorruptDetected,
+			CellFaults:      t.CellFaults,
+		}
+	}
+	return mt
+}
+
+// PartitionMetrics is Metrics restricted to one partition: the cell
+// snapshots of that partition's cells and its own barrier-domain
+// count. The T-net and B-net counters stay zero — they are sharded by
+// delivery shard and bus, not by partition, so a per-tenant network
+// split does not exist; use the machine-wide Metrics for those.
+func (m *Machine) PartitionMetrics(part int) Metrics {
+	p := m.parts[part]
+	mt := Metrics{
+		Cells:      make([]CellMetrics, p.n),
+		HWBarriers: m.snet.Domain(part).Count(),
+	}
+	if m.obs != nil {
+		mt.WallNanos = time.Since(m.obs.Start()).Nanoseconds()
+	}
+	for i := 0; i < p.n; i++ {
+		c := m.cells[p.base+i]
+		cm := &mt.Cells[i]
+		if m.obs != nil {
+			cm.CellSnapshot = m.obs.Cell(p.base + i).Snapshot()
 		}
 		cm.Queues = c.MSC.Stats()
 		cm.OSInterrupts = c.OS.InterruptCounts()

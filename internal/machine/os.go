@@ -66,6 +66,16 @@ func (o *OS) interrupt(cause InterruptCause) {
 	}
 }
 
+// reset clears the interrupt counters and fault log between
+// gang-scheduled jobs; the obs hook survives — it belongs to the
+// machine's observability layer, not the job.
+func (o *OS) reset() {
+	o.mu.Lock()
+	o.interrupts = [numInterruptCauses]int64{}
+	o.faults = nil
+	o.mu.Unlock()
+}
+
 func (o *OS) fault(err error) {
 	o.mu.Lock()
 	o.faults = append(o.faults, err)

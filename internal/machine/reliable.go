@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"ap1000plus/internal/fault"
 	"ap1000plus/internal/mem"
@@ -163,20 +164,29 @@ func (r *relay) noteResult(src, dst topology.CellID, seq uint64, val int64) {
 // drain to empty. Without this, a retry-budget exhaustion under a
 // sustained reorder plan grows seen without bound for the rest of the
 // run.
-func (r *relay) reconcile() {
-	for i := range r.links {
-		l := &r.links[i]
-		l.mu.Lock()
-		for len(l.abandoned) > 0 {
-			// Marking one abandoned seq may collapse others; loop until
-			// the set is empty (see deletes entries as they land).
-			for seq := range l.abandoned {
-				delete(l.abandoned, seq)
-				l.see(seq)
-				break
+func (r *relay) reconcile() { r.reconcileRange(0, r.cells) }
+
+// reconcileRange is reconcile scoped to links whose source cell lies
+// in [lo, hi) — one partition's drain, which must not touch a
+// neighbor partition's links while that neighbor is mid-job. Links to
+// destinations outside the range are scanned too, but under partition
+// isolation they never carried traffic and are empty.
+func (r *relay) reconcileRange(lo, hi int) {
+	for src := lo; src < hi; src++ {
+		for dst := 0; dst < r.cells; dst++ {
+			l := &r.links[src*r.cells+dst]
+			l.mu.Lock()
+			for len(l.abandoned) > 0 {
+				// Marking one abandoned seq may collapse others; loop until
+				// the set is empty (see deletes entries as they land).
+				for seq := range l.abandoned {
+					delete(l.abandoned, seq)
+					l.see(seq)
+					break
+				}
 			}
+			l.mu.Unlock()
 		}
-		l.mu.Unlock()
 	}
 }
 
@@ -244,8 +254,8 @@ func (m *Machine) xmit(c *Cell, p tnet.Packet) bool {
 	for attempt := 1; attempt <= max; attempt++ {
 		if attempt > 1 {
 			// Ack timeout: charge the exponential backoff as simulated
-			// time (the functional machine is untimed; sleeping here
-			// would only slow the host) and let other controllers run.
+			// time (the functional machine is untimed, so the modeled
+			// delay is a counter, not a sleep).
 			if cc != nil {
 				cc.Retransmits.Add(1)
 				cc.BackoffNanos.Add(r.inj.Backoff(attempt - 1))
@@ -253,7 +263,21 @@ func (m *Machine) xmit(c *Cell, p tnet.Packet) bool {
 					tl.Instant(int(c.id), obs.TidMSC, "fault", "retransmit", o.NowUs())
 				}
 			}
-			runtime.Gosched()
+			if attempt == 2 {
+				// First retry: just yield — a single fault is overwhelmingly
+				// the common case, and a sleep here would slow chaos suites.
+				runtime.Gosched()
+			} else {
+				// Repeated faults on one packet (probability ~rate² and
+				// beyond): real bounded exponential backoff. A Gosched loop
+				// here busy-spins a full core per retransmit storm — fatal
+				// when one host gang-schedules many tenant machines.
+				d := time.Duration(1<<uint(attempt-3)) * time.Microsecond
+				if d > 50*time.Microsecond {
+					d = 50 * time.Microsecond
+				}
+				time.Sleep(d)
+			}
 		}
 		if m.tnet.Send(p) {
 			return true

@@ -90,6 +90,18 @@ func (p *workerPool) close() {
 	}
 }
 
+// reopen rearms a closed pool so Open can start a fresh set of worker
+// goroutines. Only legal after close and the workers' exit: the
+// doorbells are necessarily quiet by then.
+func (p *workerPool) reopen() {
+	for _, w := range p.workers {
+		w.mu.Lock()
+		w.closed = false
+		w.parked = false
+		w.mu.Unlock()
+	}
+}
+
 // notifyCell is the MSC+ doorbell: a producer pushed a command into
 // c's rings. The dirty bit collapses any number of pushes into one
 // activation; the worker clears it before draining, so a push that
@@ -175,8 +187,9 @@ func (m *Machine) drainCell(c *Cell) int {
 		}
 		for i := 0; i < n; i++ {
 			m.process(c, buf[i])
-			m.inflight.Add(-1)
 		}
+		// Uncount after the whole batch processed; see controller.
+		c.part.q.add(-int64(n))
 		done += n
 	}
 	if c.MSC.Pending() > 0 {

@@ -134,6 +134,18 @@ func (c *CommRegs) Present(idx int) bool {
 	return c.pbit[idx]
 }
 
+// Clear resets every register, p-bit, and usage counter to the
+// fresh-machine state — the OS scrubbing the register file between
+// gang-scheduled jobs. Only legal while the cell is idle.
+func (c *CommRegs) Clear() {
+	c.mu.Lock()
+	c.val = [NumCommRegs]uint32{}
+	c.pbit = [NumCommRegs]bool{}
+	c.overwrites, c.stores, c.loads = 0, 0, 0
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}
+
 // CommRegStats is a snapshot of register activity.
 type CommRegStats struct {
 	Stores, Loads, Overwrites int64

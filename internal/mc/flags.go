@@ -149,6 +149,21 @@ func (f *Flags) Reset(id FlagID) {
 	f.cond.Broadcast()
 }
 
+// ResetAll clears every flag and the allocation cursor — the OS
+// wiping a cell's flag file between gang-scheduled jobs. The wait
+// observers survive (they belong to the machine, not the job), and
+// the increment total restarts so a reused cell's per-job counts
+// compare bit-for-bit against a fresh machine's. Only legal while the
+// cell is idle: no transfers in flight, no waiter blocked.
+func (f *Flags) ResetAll() {
+	f.mu.Lock()
+	f.vals = make(map[FlagID]int64)
+	f.next = 1
+	f.incs = 0
+	f.mu.Unlock()
+	f.cond.Broadcast()
+}
+
 // Wait blocks until flag id reaches at least target. This is the
 // "program checks the value of these flags to detect the completion
 // of communications" loop (S3.1), minus the busy-wait.

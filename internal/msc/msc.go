@@ -613,6 +613,20 @@ func (m *MSC) Close() {
 	m.cond.Broadcast()
 }
 
+// Reopen reverses Close, making the MSC accept pushes again — the
+// machine reuses cells across gang-scheduled jobs instead of
+// rebuilding them. Only legal once the queues have fully drained and
+// every consumer that observed the Close has exited.
+func (m *MSC) Reopen() {
+	if f := m.ring; f != nil {
+		f.closed.Store(false)
+		return
+	}
+	m.mu.Lock()
+	m.closed = false
+	m.mu.Unlock()
+}
+
 // SetObserver installs spill/refill observers on all five queues
 // (observability layer). Install before traffic flows; the callbacks
 // run with the MSC lock held and must not call back into the MSC.

@@ -1,8 +1,11 @@
 // Package snet models the AP1000+ synchronization network: a
 // dedicated hardware tree that implements barrier synchronization
-// over all cells. Group barriers are done in software over the
-// communication registers (S4.5); the S-net serves only the all-cells
-// case, which is why it can be this simple — and this fast.
+// over all cells of a partition. Group barriers are done in software
+// over the communication registers (S4.5); the S-net serves only the
+// whole-partition case, which is why it can be this simple — and this
+// fast. Under partitioned multi-user operation the tree is split into
+// independent Domains, one per partition, so one tenant's barrier
+// never waits on another tenant's cells.
 package snet
 
 import (
@@ -61,4 +64,53 @@ func (b *Barrier) Count() int64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.count
+}
+
+// Domains splits the S-net into independent barrier domains, one per
+// machine partition. Cells are routed to their domain's barrier by a
+// static cell→domain map fixed at construction — the wired-AND tree is
+// physically segmented, so a partition's barrier completes on its own
+// cells only.
+type Domains struct {
+	of   []int32
+	doms []*Barrier
+}
+
+// NewDomains builds one barrier per domain. of maps every cell to its
+// domain index; sizes gives each domain's party count. The sizes must
+// cover exactly the cells in the map.
+func NewDomains(of []int32, sizes []int) *Domains {
+	d := &Domains{of: append([]int32(nil), of...), doms: make([]*Barrier, len(sizes))}
+	counted := make([]int, len(sizes))
+	for cell, dom := range of {
+		if dom < 0 || int(dom) >= len(sizes) {
+			panic(fmt.Sprintf("snet: cell %d mapped to domain %d of %d", cell, dom, len(sizes)))
+		}
+		counted[dom]++
+	}
+	for i, n := range sizes {
+		if counted[i] != n {
+			panic(fmt.Sprintf("snet: domain %d sized %d but maps %d cells", i, n, counted[i]))
+		}
+		d.doms[i] = New(n)
+	}
+	return d
+}
+
+// Arrive blocks the cell until every cell of its domain has arrived.
+func (d *Domains) Arrive(cell int) { d.doms[d.of[cell]].Arrive() }
+
+// Domain returns domain i's barrier.
+func (d *Domains) Domain(i int) *Barrier { return d.doms[i] }
+
+// Len reports the number of barrier domains.
+func (d *Domains) Len() int { return len(d.doms) }
+
+// Count sums completed barrier episodes across all domains.
+func (d *Domains) Count() int64 {
+	var n int64
+	for _, b := range d.doms {
+		n += b.Count()
+	}
+	return n
 }

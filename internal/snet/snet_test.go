@@ -84,6 +84,52 @@ func TestNewValidation(t *testing.T) {
 	New(0)
 }
 
+// TestDomainsIndependent pins the partition-isolation property: a
+// domain's barrier completes on its own cells only, even while the
+// neighbor domain never arrives at all.
+func TestDomainsIndependent(t *testing.T) {
+	// Cells 0-3 in domain 0, cells 4-5 in domain 1.
+	d := NewDomains([]int32{0, 0, 0, 0, 1, 1}, []int{4, 2})
+	var wg sync.WaitGroup
+	for cell := 0; cell < 4; cell++ {
+		wg.Add(1)
+		go func(cell int) {
+			defer wg.Done()
+			for r := 0; r < 20; r++ {
+				d.Arrive(cell)
+			}
+		}(cell)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("domain 0 barrier waited on idle domain 1")
+	}
+	if got := d.Domain(0).Count(); got != 20 {
+		t.Errorf("domain 0 count = %d, want 20", got)
+	}
+	if got := d.Domain(1).Count(); got != 0 {
+		t.Errorf("domain 1 count = %d, want 0", got)
+	}
+	if got := d.Count(); got != 20 {
+		t.Errorf("aggregate count = %d, want 20", got)
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d, want 2", d.Len())
+	}
+}
+
+func TestDomainsSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDomains([]int32{0, 0, 1}, []int{1, 2})
+}
+
 func TestSingleParty(t *testing.T) {
 	b := New(1)
 	for i := 0; i < 10; i++ {

@@ -1,0 +1,240 @@
+// Package tenancy gangs multiple tenants onto one partitioned AP1000+
+// machine. A Scheduler owns an opened machine and admits queued jobs
+// onto free partitions: each job is gang-scheduled — it gets every
+// cell of one partition at once, runs to completion, and releases the
+// partition for the next job in line. Admission is FIFO with best-fit
+// placement: the head of the queue goes to the smallest free partition
+// that holds it, so small jobs cannot starve a large one by stealing
+// the only big partition, and a big job at the head blocks until a
+// big-enough partition frees (strict FIFO, no reordering).
+//
+// The machine's partitions provide the isolation: disjoint cell sets,
+// a private barrier domain each, and a T-net that refuses
+// cross-partition traffic, so one tenant's chaos cannot perturb a
+// neighbor's results (see TestChaosTenantIsolation at the repo root).
+package tenancy
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ap1000plus/internal/machine"
+)
+
+// Job is one gang-scheduled unit of work: a program that needs Cells
+// cells of a single partition. The program receives the job-relative
+// rank (0..size-1 within the granted partition) alongside the cell,
+// so programs are written against logical ranks and run unchanged on
+// whichever partition the scheduler picks.
+type Job struct {
+	// ID tags the job in results; the scheduler assigns one if zero.
+	ID int64
+	// Cells is the minimum partition size the job needs. Zero means
+	// "any partition".
+	Cells int
+	// Program runs on every cell of the granted partition. rank is the
+	// cell's position within the partition, size the partition's cell
+	// count.
+	Program func(rank, size int, c *machine.Cell) error
+}
+
+// Result is the completion record of one job.
+type Result struct {
+	JobID     int64
+	Partition int
+	Err       error
+	Submitted time.Time
+	Started   time.Time
+	Done      time.Time
+}
+
+// QueueLatency is the time the job waited for a partition.
+func (r Result) QueueLatency() time.Duration { return r.Started.Sub(r.Submitted) }
+
+// RunLatency is the time the job held its partition.
+func (r Result) RunLatency() time.Duration { return r.Done.Sub(r.Started) }
+
+// Latency is the submit-to-done sojourn time, the per-tenant metric
+// the sustained-traffic harness reports as p50/p99.
+func (r Result) Latency() time.Duration { return r.Done.Sub(r.Submitted) }
+
+// Ticket is the handle Submit returns; Wait blocks until the job has
+// run (or failed) and returns its Result.
+type Ticket struct {
+	done chan struct{}
+	res  Result
+}
+
+// Wait blocks until the job completes and returns its result.
+func (t *Ticket) Wait() Result {
+	<-t.done
+	return t.res
+}
+
+type pendingJob struct {
+	job    Job
+	ticket *Ticket
+}
+
+// Scheduler is the gang scheduler. New opens the machine; Close
+// drains the queue and closes it.
+type Scheduler struct {
+	m *machine.Machine
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []pendingJob
+	free    []bool // free[i]: partition i has no job on it
+	cursor  int    // round-robin tiebreak over equal-size partitions
+	running int
+	nextID  int64
+	closed  bool
+}
+
+// New wraps m in a scheduler and opens it. The machine must be
+// partitioned the way the tenants expect (machine.Config.Partitions);
+// a single-partition machine degenerates to a serial batch queue.
+func New(m *machine.Machine) (*Scheduler, error) {
+	if err := m.Open(); err != nil {
+		return nil, err
+	}
+	s := &Scheduler{
+		m:    m,
+		free: make([]bool, m.Partitions()),
+	}
+	for i := range s.free {
+		s.free[i] = true
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s, nil
+}
+
+// Machine exposes the scheduled machine, e.g. for metrics.
+func (s *Scheduler) Machine() *machine.Machine { return s.m }
+
+// Submit enqueues a job and returns immediately with its ticket.
+// Errors are synchronous only for jobs that can never run (no
+// program, larger than every partition, scheduler closed).
+func (s *Scheduler) Submit(job Job) (*Ticket, error) {
+	if job.Program == nil {
+		return nil, errors.New("tenancy: job has no program")
+	}
+	largest := 0
+	for i := 0; i < s.m.Partitions(); i++ {
+		if n := s.m.Partition(i).Size(); n > largest {
+			largest = n
+		}
+	}
+	if job.Cells > largest {
+		return nil, fmt.Errorf("tenancy: job needs %d cells but the largest partition has %d", job.Cells, largest)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errors.New("tenancy: scheduler is closed")
+	}
+	if job.ID == 0 {
+		s.nextID++
+		job.ID = s.nextID
+	}
+	t := &Ticket{done: make(chan struct{})}
+	t.res.JobID = job.ID
+	t.res.Submitted = time.Now()
+	s.queue = append(s.queue, pendingJob{job: job, ticket: t})
+	s.dispatchLocked()
+	return t, nil
+}
+
+// dispatchLocked admits queue heads onto free partitions until the
+// head cannot be placed. Placement is best-fit (smallest free
+// partition that holds the job); ties go round-robin via the cursor
+// so equal partitions share work under light load. Callers hold s.mu.
+func (s *Scheduler) dispatchLocked() {
+	for len(s.queue) > 0 {
+		head := s.queue[0]
+		part := s.pickLocked(head.job.Cells)
+		if part < 0 {
+			return // strict FIFO: the head waits, nobody jumps it
+		}
+		s.queue = s.queue[1:]
+		s.free[part] = false
+		s.running++
+		go s.runJob(part, head)
+	}
+}
+
+// pickLocked returns the best-fit free partition for a job needing n
+// cells, or -1. Among equal-size candidates the one at or after the
+// rotating cursor wins.
+func (s *Scheduler) pickLocked(n int) int {
+	best, bestSize := -1, 0
+	k := len(s.free)
+	for off := 0; off < k; off++ {
+		i := (s.cursor + off) % k
+		if !s.free[i] {
+			continue
+		}
+		size := s.m.Partition(i).Size()
+		if size < n {
+			continue
+		}
+		if best < 0 || size < bestSize {
+			best, bestSize = i, size
+		}
+	}
+	if best >= 0 {
+		s.cursor = (best + 1) % k
+	}
+	return best
+}
+
+// runJob executes one admitted job on its granted partition, fills in
+// the ticket, and frees the partition for the next dispatch.
+func (s *Scheduler) runJob(part int, pj pendingJob) {
+	g := s.m.Partition(part).Group()
+	size := g.Size()
+	pj.ticket.res.Partition = part
+	pj.ticket.res.Started = time.Now()
+	err := s.m.RunJob(part, func(c *machine.Cell) error {
+		rank, ok := g.Rank(c.ID())
+		if !ok {
+			return fmt.Errorf("tenancy: cell %d not in partition %d", c.ID(), part)
+		}
+		return pj.job.Program(rank, size, c)
+	})
+	pj.ticket.res.Err = err
+	pj.ticket.res.Done = time.Now()
+	close(pj.ticket.done)
+
+	s.mu.Lock()
+	s.free[part] = true
+	s.running--
+	s.dispatchLocked()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Drain blocks until every submitted job has completed.
+func (s *Scheduler) Drain() {
+	s.mu.Lock()
+	for len(s.queue) > 0 || s.running > 0 {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// Close rejects further submissions, drains in-flight jobs, and
+// closes the machine.
+func (s *Scheduler) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("tenancy: scheduler already closed")
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.Drain()
+	return s.m.Close()
+}

@@ -67,7 +67,7 @@ func TestRingWireOrderAndDrain(t *testing.T) {
 			return true
 		})
 	}
-	n.SetRingWire(shards, 4, func(s int) { woken[s]++ }, false)
+	n.SetRingWire(shards, 4, func(s int) { woken[s]++ }, false, nil)
 
 	// Cell 0 (shard 0) sends interleaved streams to cell 2 (shard 0,
 	// inline) and cell 1 (shard 1, cross-shard).

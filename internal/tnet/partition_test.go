@@ -1,0 +1,51 @@
+package tnet
+
+import (
+	"testing"
+
+	"ap1000plus/internal/msc"
+	"ap1000plus/internal/topology"
+)
+
+// TestPartitionedSend pins the routing-isolation contract: with a
+// partition map installed, intra-partition sends deliver normally and
+// a cross-partition send panics — partitions own physically disjoint
+// slices of the torus.
+func TestPartitionedSend(t *testing.T) {
+	tor := topology.MustTorus(2, 2)
+	n := New(tor)
+	got := make([]int, tor.Cells())
+	for id := 0; id < tor.Cells(); id++ {
+		id := topology.CellID(id)
+		n.Attach(id, func(Packet) bool { got[id]++; return true })
+	}
+	// Cells 0,1 in partition 0; cells 2,3 in partition 1.
+	n.SetPartitions([]int32{0, 0, 1, 1})
+
+	if !n.Send(Packet{Head: msc.Command{Op: msc.OpPut, Src: 0, Dst: 1}}) {
+		t.Fatal("intra-partition send rejected")
+	}
+	if !n.Send(Packet{Head: msc.Command{Op: msc.OpPut, Src: 3, Dst: 2}}) {
+		t.Fatal("intra-partition send rejected")
+	}
+	if got[1] != 1 || got[2] != 1 {
+		t.Fatalf("deliveries = %v", got)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-partition send did not panic")
+		}
+	}()
+	n.Send(Packet{Head: msc.Command{Op: msc.OpPut, Src: 0, Dst: 2}})
+}
+
+func TestPartitionMapSizeMismatchPanics(t *testing.T) {
+	n := New(topology.MustTorus(2, 2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	n.SetPartitions([]int32{0, 0})
+}

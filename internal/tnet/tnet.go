@@ -103,6 +103,10 @@ type Network struct {
 	// ring, when non-nil, replaces synchronous delivery with the
 	// lock-free ring wire (SetRingWire). Mutually exclusive with inj.
 	ring *ringWire
+	// partOf, when non-nil, maps each cell to its machine partition;
+	// a cross-partition Send panics — partitions have physically
+	// disjoint T-net routing. Written once before traffic flows.
+	partOf []int32
 }
 
 // ringWire is the lock-free wire: one Link per ordered shard pair,
@@ -120,7 +124,12 @@ type ringWire struct {
 	// machine's drain barrier (inflight + pending both zero) cannot
 	// fire while a delivery is still executing.
 	pending atomic.Int64
-	stats   []wireShardStats
+	// track, when non-nil, mirrors pending per destination: +1 before
+	// a cross-shard enqueue, -1 after the handler returns. The machine
+	// points it at the destination partition's quiesce counter so each
+	// partition drains independently.
+	track func(dst topology.CellID, delta int64)
+	stats []wireShardStats
 }
 
 // wireShardStats is one shard's traffic counters, padded so shards do
@@ -164,6 +173,20 @@ func (n *Network) Attach(id topology.CellID, h Handler) {
 	n.handlers[id] = h
 }
 
+// SetPartitions installs the cell→partition map. A Send whose source
+// and destination lie in different partitions panics: partitioned
+// multi-user operation gives each partition a physically disjoint
+// slice of the torus, so no route crosses the boundary. Install
+// before traffic flows; nil restores the single-partition machine.
+func (n *Network) SetPartitions(of []int32) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if of != nil && len(of) != n.torus.Cells() {
+		panic(fmt.Sprintf("tnet: partition map covers %d cells of %d", len(of), n.torus.Cells()))
+	}
+	n.partOf = of
+}
+
 // SetFault installs the fault injector; every subsequent Send asks it
 // for a wire fate. Install before traffic flows.
 func (n *Network) SetFault(inj *fault.Injector) {
@@ -182,11 +205,14 @@ func (n *Network) SetFault(inj *fault.Injector) {
 // cells are partitioned over shards delivery shards (cell id mod
 // shards), each ordered shard pair gets one Link with a linkCap-deep
 // fast path, and wake is called with the consuming shard after every
-// cross-shard enqueue. mutexLinks selects the reference MutexLink
-// build instead of RingLink (differential testing). Install before
-// traffic flows; incompatible with a fault injector — the reliable
-// layer needs the sync wire's per-attempt verdict.
-func (n *Network) SetRingWire(shards, linkCap int, wake func(shard int), mutexLinks bool) {
+// cross-shard enqueue. track, when non-nil, mirrors the pending
+// counter per destination cell (+1 before enqueue, -1 after the
+// handler returns) — the machine's per-partition drain doorbell.
+// mutexLinks selects the reference MutexLink build instead of
+// RingLink (differential testing). Install before traffic flows;
+// incompatible with a fault injector — the reliable layer needs the
+// sync wire's per-attempt verdict.
+func (n *Network) SetRingWire(shards, linkCap int, wake func(shard int), mutexLinks bool, track func(dst topology.CellID, delta int64)) {
 	if shards <= 0 {
 		panic(fmt.Sprintf("tnet: %d delivery shards", shards))
 	}
@@ -202,6 +228,7 @@ func (n *Network) SetRingWire(shards, linkCap int, wake func(shard int), mutexLi
 		shards: shards,
 		links:  make([][]Link, shards),
 		wake:   wake,
+		track:  track,
 		stats:  make([]wireShardStats, shards),
 	}
 	for cons := range rw.links {
@@ -229,6 +256,10 @@ func (n *Network) Send(p Packet) bool {
 	dst := p.Head.Dst
 	if !n.torus.Valid(dst) {
 		panic(fmt.Sprintf("tnet: send to invalid cell %d", dst))
+	}
+	if of := n.partOf; of != nil && of[p.Head.Src] != of[dst] {
+		panic(fmt.Sprintf("tnet: cross-partition send %d->%d (partition %d -> %d): partitions have disjoint T-net routing",
+			p.Head.Src, dst, of[p.Head.Src], of[dst]))
 	}
 	if rw := n.ring; rw != nil {
 		return n.sendRing(rw, p)
@@ -271,7 +302,13 @@ func (n *Network) sendRing(rw *ringWire, p Packet) bool {
 	if prod == cons {
 		return n.deliverRing(p)
 	}
+	// Count before the enqueue: once the packet is in the link the
+	// consumer may deliver and decrement at any moment, and the
+	// counters must never dip to zero with a delivery outstanding.
 	rw.pending.Add(1)
+	if rw.track != nil {
+		rw.track(p.Head.Dst, 1)
+	}
 	rw.links[cons][prod].Enqueue(p)
 	rw.wake(cons)
 	return true
@@ -309,6 +346,9 @@ func (n *Network) DrainInbox(shard, max int) int {
 		total += rw.links[shard][prod].Drain(max, func(p Packet) {
 			n.deliverRing(p)
 			rw.pending.Add(-1)
+			if rw.track != nil {
+				rw.track(p.Head.Dst, -1)
+			}
 		})
 	}
 	return total
@@ -410,10 +450,19 @@ func (n *Network) releaseHeld(key streamKey, h Handler) {
 // controllers are quiescent; a flushed packet that was retransmitted
 // successfully dedups away, one whose retransmissions all failed
 // finally lands.
-func (n *Network) FlushHeld() int {
+func (n *Network) FlushHeld() int { return n.FlushHeldWhere(nil) }
+
+// FlushHeldWhere is FlushHeld restricted to streams whose (src, dst)
+// the match function accepts; nil accepts everything. A partition
+// drains only its own streams, leaving a neighbor's held packets for
+// that neighbor's own drain.
+func (n *Network) FlushHeldWhere(match func(src, dst topology.CellID) bool) int {
 	n.mu.Lock()
 	var all []Packet
 	for key, held := range n.limbo {
+		if match != nil && !match(key.src, key.dst) {
+			continue
+		}
 		all = append(all, held...)
 		delete(n.limbo, key)
 	}

@@ -102,6 +102,23 @@ func WithQueueWords(words int) Option {
 	}
 }
 
+// WithPartitions splits the machine into k disjoint partitions of
+// near-equal contiguous cell ranges. Each partition gets its own
+// barrier domain, its jobs run independently (Machine.RunJob, or the
+// gang Scheduler), and the T-net refuses cross-partition traffic —
+// the isolation boundary multi-tenant runs rely on. Default 1 (the
+// whole machine is one partition). Conflicts with WithSanitize and
+// WithCombining, whose models span all cells.
+func WithPartitions(k int) Option {
+	return func(b *builder) error {
+		if k <= 0 {
+			return fmt.Errorf("ap1000plus: partition count must be positive, got %d", k)
+		}
+		b.cfg.Partitions = k
+		return nil
+	}
+}
+
 // WithTrace enables trace recording under the given application name;
 // retrieve the capture with Machine.Traces and replay it with
 // Simulate.
